@@ -1,0 +1,47 @@
+//! Benchmarks the fully cycle-accurate 2D array machine against the fast
+//! analytic executor — quantifying the cost of bit-level fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_core::{
+    cycle_accurate_gemm, ComputingScheme, GemmExecutor, SystolicConfig,
+};
+use usystolic_gemm::im2col;
+use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+
+fn lowered_case() -> (GemmConfig, Matrix<i64>, Matrix<i64>) {
+    let gemm = GemmConfig::conv(4, 4, 2, 2, 2, 1, 3).expect("valid bench shape");
+    let input = FeatureMap::from_fn(4, 4, 2, |h, w, c| {
+        ((h as i64 * 37 + w as i64 * 11 + c as i64 * 5) % 257) - 128
+    });
+    let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
+        ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3) % 257) - 128
+    });
+    (
+        gemm,
+        im2col::lower_input(&gemm, &input).expect("shapes match"),
+        im2col::lower_weights(&gemm, &weights).expect("shapes match"),
+    )
+}
+
+fn bench_cycle_vs_fast(c: &mut Criterion) {
+    let (gemm, li, lw) = lowered_case();
+    let mut group = c.benchmark_group("cycle_accurate");
+    group.sample_size(10);
+    for scheme in [ComputingScheme::UnaryRate, ComputingScheme::BinaryParallel] {
+        let cfg = SystolicConfig::new(4, 3, scheme, 8)
+            .expect("valid bench configuration")
+            .with_acc_width(32);
+        group.bench_function(format!("fast_{}", scheme.label()), |b| {
+            let exec = GemmExecutor::new(cfg);
+            b.iter(|| black_box(exec.execute_lowered(&gemm, &li, &lw).expect("runs")))
+        });
+        group.bench_function(format!("cycle_{}", scheme.label()), |b| {
+            b.iter(|| black_box(cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_vs_fast);
+criterion_main!(benches);

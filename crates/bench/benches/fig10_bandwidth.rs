@@ -1,0 +1,22 @@
+//! Benchmark wrapper regenerating the Fig. 10 bandwidth tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_bench::bandwidth::{bandwidth_summary, figure10};
+use usystolic_bench::ArrayShape;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    for shape in ArrayShape::ALL {
+        group.bench_function(format!("figure10_{shape}"), |b| {
+            b.iter(|| black_box(figure10(shape)))
+        });
+        group.bench_function(format!("summary_{shape}"), |b| {
+            b.iter(|| black_box(bandwidth_summary(shape)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Benchmark wrapper regenerating the Fig. 11 area tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_bench::area::{area_reductions, figure11};
+use usystolic_bench::ArrayShape;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    for shape in ArrayShape::ALL {
+        group.bench_function(format!("figure11_{shape}"), |b| {
+            b.iter(|| black_box(figure11(shape)))
+        });
+        group.bench_function(format!("reductions_{shape}_8b"), |b| {
+            b.iter(|| black_box(area_reductions(shape, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

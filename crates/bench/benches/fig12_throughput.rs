@@ -1,0 +1,22 @@
+//! Benchmark wrapper regenerating the Fig. 12 throughput tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_bench::throughput::{contention_summary, figure12};
+use usystolic_bench::ArrayShape;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    for shape in ArrayShape::ALL {
+        group.bench_function(format!("figure12_{shape}"), |b| {
+            b.iter(|| black_box(figure12(shape)))
+        });
+        group.bench_function(format!("contention_{shape}"), |b| {
+            b.iter(|| black_box(contention_summary(shape)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Benchmark wrapper regenerating the Fig. 13 energy tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_bench::energy::{energy_summary, figure13_on_chip, figure13_total};
+use usystolic_bench::ArrayShape;
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    for shape in ArrayShape::ALL {
+        group.bench_function(format!("on_chip_{shape}"), |b| {
+            b.iter(|| black_box(figure13_on_chip(shape)))
+        });
+        group.bench_function(format!("total_{shape}"), |b| {
+            b.iter(|| black_box(figure13_total(shape)))
+        });
+        group.bench_function(format!("summary_{shape}"), |b| {
+            b.iter(|| black_box(energy_summary(shape)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmark wrapper regenerating the Fig. 14 efficiency tables
+//! (AlexNet panel; the MLPerf panel runs once to bound bench time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_bench::efficiency::{figure14, utilization_summary, Workload};
+use usystolic_bench::ArrayShape;
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    for shape in ArrayShape::ALL {
+        group.bench_function(format!("alexnet_{shape}"), |b| {
+            b.iter(|| black_box(figure14(shape, Workload::AlexNet)))
+        });
+    }
+    group.bench_function("mlperf_edge", |b| {
+        b.iter(|| black_box(figure14(ArrayShape::Edge, Workload::MlPerf)))
+    });
+    group.bench_function("utilization_summary", |b| {
+        b.iter(|| black_box(utilization_summary()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Benchmark wrapper for the Fig. 9 accuracy experiment (quick
+//! configuration) and the Section V-A GEMM error study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_bench::accuracy::{figure9_cnn, gemm_error_study, Difficulty};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("cnn_quick_sweep", |b| {
+        b.iter(|| black_box(figure9_cnn(Difficulty::Medium, &[4, 6], 2)))
+    });
+    group.bench_function("gemm_error_study_ebt8", |b| {
+        b.iter(|| black_box(gemm_error_study(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmarks of the functional systolic-array executors across the
+//! computing schemes, including the early-termination cost scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usystolic_core::{ComputingScheme, GemmExecutor, SystolicConfig};
+use usystolic_gemm::{FeatureMap, GemmConfig, WeightSet};
+
+fn case() -> (GemmConfig, FeatureMap<f64>, WeightSet<f64>) {
+    let gemm = GemmConfig::conv(8, 8, 3, 3, 3, 1, 6).expect("valid bench shape");
+    let input = FeatureMap::from_fn(8, 8, 3, |h, w, c| {
+        ((h * 13 + w * 7 + c) % 19) as f64 / 9.5 - 1.0
+    });
+    let weights = WeightSet::from_fn(6, 3, 3, 3, |oc, wh, ww, ic| {
+        ((oc * 5 + wh * 3 + ww + ic) % 11) as f64 / 22.0 - 0.25
+    });
+    (gemm, input, weights)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let (gemm, input, weights) = case();
+    let mut group = c.benchmark_group("functional_gemm");
+    group.sample_size(10);
+    for scheme in [
+        ComputingScheme::BinaryParallel,
+        ComputingScheme::UnaryRate,
+        ComputingScheme::UnaryTemporal,
+        ComputingScheme::UGemmHybrid,
+    ] {
+        let exec = GemmExecutor::new(
+            SystolicConfig::new(12, 14, scheme, 8).expect("valid bench configuration"),
+        );
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                black_box(exec.execute(&gemm, &input, &weights).expect("shapes match"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_termination(c: &mut Criterion) {
+    let (gemm, input, weights) = case();
+    let mut group = c.benchmark_group("early_termination");
+    group.sample_size(10);
+    for cycles in [32u64, 64, 128] {
+        let exec = GemmExecutor::new(
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(cycles)
+                .expect("valid cycle count"),
+        );
+        group.bench_function(format!("unary_{cycles}c"), |b| {
+            b.iter(|| {
+                black_box(exec.execute(&gemm, &input, &weights).expect("shapes match"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_early_termination);
+criterion_main!(benches);

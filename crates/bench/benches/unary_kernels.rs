@@ -1,0 +1,82 @@
+//! Microbenchmarks of the unary computing substrate: RNGs, bitstream
+//! logic and the uMUL kernel (Figs. 3 and 4 of the paper).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use usystolic_unary::coding::RateEncoder;
+use usystolic_unary::mul::UnipolarMul;
+use usystolic_unary::rng::{LfsrSource, NumberSource, SobolSource};
+use usystolic_unary::Bitstream;
+
+fn bench_rngs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("sobol_next_1k", |b| {
+        let mut s = SobolSource::dimension(3, 15);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= s.next();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("lfsr_next_1k", |b| {
+        let mut s = LfsrSource::new(15, 0xACE1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= s.next();
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_bitstreams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitstream");
+    let a: Bitstream = (0..4096).map(|i| i % 3 == 0).collect();
+    let b2: Bitstream = (0..4096).map(|i| i % 5 == 0).collect();
+    group.bench_function("and_4096", |b| {
+        b.iter(|| black_box(a.and(&b2).expect("equal lengths")))
+    });
+    group.bench_function("scc_4096", |b| {
+        b.iter(|| black_box(usystolic_unary::scc(&a, &b2).expect("equal lengths")))
+    });
+    group.finish();
+}
+
+fn bench_umul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("umul");
+    for bitwidth in [8u32, 12] {
+        let len = usystolic_unary::stream_len(bitwidth);
+        group.bench_function(format!("full_window_{bitwidth}bit"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        UnipolarMul::new(len / 3, bitwidth, SobolSource::dimension(0, bitwidth - 1)),
+                        RateEncoder::unipolar(
+                            len / 2,
+                            bitwidth,
+                            SobolSource::dimension(1, bitwidth - 1),
+                        ),
+                    )
+                },
+                |(mut mul, mut enc)| {
+                    let mut ones = 0u64;
+                    for _ in 0..len {
+                        if mul.step(enc.next_bit()) {
+                            ones += 1;
+                        }
+                    }
+                    black_box(ones)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rngs, bench_bitstreams, bench_umul);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Fig. 11: area breakdown of 8-bit and 16-bit systolic arrays.
+
+use crate::design::ArrayShape;
+use crate::table::{fmt_sig, Table};
+use usystolic_core::{ComputingScheme, SystolicConfig};
+use usystolic_hw::{ArrayArea, OnChipArea};
+use usystolic_sim::MemoryHierarchy;
+
+/// The Fig. 11 scheme order: BP, BS, UG, UR, UT.
+const SCHEMES: [ComputingScheme; 5] = [
+    ComputingScheme::BinaryParallel,
+    ComputingScheme::BinarySerial,
+    ComputingScheme::UGemmHybrid,
+    ComputingScheme::UnaryRate,
+    ComputingScheme::UnaryTemporal,
+];
+
+fn config_for(shape: ArrayShape, scheme: ComputingScheme, bitwidth: u32) -> SystolicConfig {
+    match shape {
+        ArrayShape::Edge => SystolicConfig::edge(scheme, bitwidth),
+        ArrayShape::Cloud => SystolicConfig::cloud(scheme, bitwidth),
+    }
+}
+
+/// Computes the Fig. 11 stacks: IREG / WREG / MUL / ACC / SRAM areas (mm²)
+/// for every scheme at 8 and 16 bits.
+#[must_use]
+pub fn figure11(shape: ArrayShape) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Fig. 11{}: area breakdown (mm2), {shape}",
+            if shape == ArrayShape::Edge { "a" } else { "b" }
+        ),
+        &["design", "IREG", "WREG", "MUL", "ACC", "SA total", "SRAM", "on-chip"],
+    );
+    for bitwidth in [8u32, 16] {
+        for scheme in SCHEMES {
+            let cfg = config_for(shape, scheme, bitwidth);
+            // Binary designs keep SRAM; unary designs are evaluated
+            // without (Section V-B conclusion).
+            let memory = if scheme.is_unary() {
+                MemoryHierarchy::no_sram()
+            } else {
+                shape.memory_with_sram()
+            };
+            let a = ArrayArea::for_config(&cfg);
+            let chip = OnChipArea::for_config(&cfg, &memory);
+            table.push_row(vec![
+                format!("{}-{}b", scheme.label(), bitwidth),
+                fmt_sig(a.ireg_mm2),
+                fmt_sig(a.wreg_mm2),
+                fmt_sig(a.mul_mm2),
+                fmt_sig(a.acc_mm2),
+                fmt_sig(a.total_mm2()),
+                fmt_sig(chip.sram_mm2),
+                fmt_sig(chip.total_mm2()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Section V-C's headline reductions: SA area reduction of each scheme
+/// from BP, and on-chip reduction of SRAM-less UR from SRAM-backed BP/BS.
+#[must_use]
+pub fn area_reductions(shape: ArrayShape, bitwidth: u32) -> Table {
+    let bp = ArrayArea::for_config(&config_for(shape, ComputingScheme::BinaryParallel, bitwidth))
+        .total_mm2();
+    let mut table = Table::new(
+        format!("Section V-C: area reductions vs BP (%), {shape}, {bitwidth}-bit"),
+        &["scheme", "SA reduction %", "on-chip reduction %"],
+    );
+    let bp_chip = OnChipArea::for_config(
+        &config_for(shape, ComputingScheme::BinaryParallel, bitwidth),
+        &shape.memory_with_sram(),
+    )
+    .total_mm2();
+    for scheme in &SCHEMES[1..] {
+        let sa =
+            ArrayArea::for_config(&config_for(shape, *scheme, bitwidth)).total_mm2();
+        let memory = if scheme.is_unary() {
+            MemoryHierarchy::no_sram()
+        } else {
+            shape.memory_with_sram()
+        };
+        let chip =
+            OnChipArea::for_config(&config_for(shape, *scheme, bitwidth), &memory).total_mm2();
+        table.push_row(vec![
+            scheme.label().to_owned(),
+            format!("{:.1}", 100.0 * (1.0 - sa / bp)),
+            format!("{:.1}", 100.0 * (1.0 - chip / bp_chip)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_covers_ten_designs() {
+        let t = figure11(ArrayShape::Edge);
+        assert_eq!(t.len(), 10); // 5 schemes × 2 bitwidths
+        assert!(t.rows()[0][0] == "BP-8b");
+        assert!(t.rows()[9][0] == "UT-16b");
+    }
+
+    #[test]
+    fn edge_reductions_match_paper_bands() {
+        // Paper: BS/UG/UR/UT reduce SA area by 30.9/50.9/59.0/62.5 %.
+        let t = area_reductions(ArrayShape::Edge, 8);
+        let red = |row: usize| -> f64 { t.rows()[row][1].parse().unwrap() };
+        assert!((red(0) - 30.9).abs() < 8.0, "BS {}", red(0));
+        assert!((red(1) - 50.9).abs() < 8.0, "UG {}", red(1));
+        assert!((red(2) - 59.0).abs() < 8.0, "UR {}", red(2));
+        assert!((red(3) - 62.5).abs() < 8.0, "UT {}", red(3));
+        // On-chip: UR without SRAM vs BP with SRAM ≈ 91.3 %.
+        let on_chip: f64 = t.rows()[2][2].parse().unwrap();
+        assert!((on_chip - 91.3).abs() < 6.0, "on-chip {on_chip}");
+    }
+
+    #[test]
+    fn sram_dominates_binary_on_chip_area() {
+        let t = figure11(ArrayShape::Edge);
+        // BP-8b row: SRAM column (6) exceeds SA total (5).
+        let sa: f64 = t.rows()[0][5].parse().unwrap();
+        let sram: f64 = t.rows()[0][6].parse().unwrap();
+        assert!(sram > sa, "SRAM {sram} should dwarf the edge SA {sa}");
+    }
+
+    #[test]
+    fn sixteen_bit_designs_are_larger() {
+        let t = figure11(ArrayShape::Edge);
+        for scheme_idx in 0..5 {
+            let a8: f64 = t.rows()[scheme_idx][5].parse().unwrap();
+            let a16: f64 = t.rows()[scheme_idx + 5][5].parse().unwrap();
+            assert!(a16 > a8, "row {scheme_idx}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 10: layerwise SRAM and DRAM bandwidth for 8-bit AlexNet.
+
+use crate::design::{alexnet_8bit_layers, design_points, ArrayShape};
+use crate::table::{fmt_sig, Table};
+use usystolic_hw::evaluate_layer;
+
+/// Computes the Fig. 10 data for one array shape: one row per design, one
+/// column pair (DRAM, SRAM) per AlexNet layer.
+#[must_use]
+pub fn figure10(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut headers: Vec<String> = vec!["design".into()];
+    for l in &layers {
+        headers.push(format!("{}-DRAM", l.name));
+        headers.push(format!("{}-SRAM", l.name));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Fig. 10{}: layerwise bandwidth (GB/s), 8-bit AlexNet, {shape}"
+            , if shape == ArrayShape::Edge { "a" } else { "b" }),
+        &header_refs,
+    );
+    for point in design_points(shape, 8) {
+        let mut row = vec![point.name.to_owned()];
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            row.push(fmt_sig(ev.report.dram_bandwidth_gbps));
+            row.push(fmt_sig(ev.report.sram_bandwidth_gbps));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// The paper's Section V-B summary statistics for one shape: per design,
+/// the maximum DRAM bandwidth over AlexNet layers, split by layer type.
+#[must_use]
+pub fn bandwidth_summary(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut table = Table::new(
+        format!("Section V-B: max DRAM bandwidth (GB/s) over AlexNet layers, {shape}"),
+        &["design", "conv max", "fc max"],
+    );
+    for point in design_points(shape, 8) {
+        let mut conv_max = 0.0f64;
+        let mut fc_max = 0.0f64;
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            if layer.name.starts_with("Conv") {
+                conv_max = conv_max.max(ev.report.dram_bandwidth_gbps);
+            } else {
+                fc_max = fc_max.max(ev.report.dram_bandwidth_gbps);
+            }
+        }
+        table.push_row(vec![point.name.to_owned(), fmt_sig(conv_max), fmt_sig(fc_max)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(t: &Table, row: usize, col: usize) -> f64 {
+        t.rows()[row][col].parse().unwrap()
+    }
+
+    #[test]
+    fn figure10_edge_shape_holds() {
+        let t = figure10(ArrayShape::Edge);
+        assert_eq!(t.len(), 6);
+        // Binary parallel DRAM bandwidth (col 1 = Conv1 DRAM) dwarfs
+        // Unary-128c's (row 4).
+        let bp = value(&t, 0, 1);
+        let u128 = value(&t, 4, 1);
+        assert!(bp > 5.0 * u128, "BP {bp} vs Unary-128c {u128}");
+        // Unary designs report zero SRAM bandwidth (no SRAM present).
+        assert_eq!(t.rows()[4][2], "0");
+        // uGEMM-H needs even less bandwidth than Unary-128c
+        // ("uGEMM-H requires even lower bandwidth due to longer MAC
+        // cycles").
+        let ug = value(&t, 5, 1);
+        assert!(ug < u128);
+    }
+
+    #[test]
+    fn unary_bandwidth_crawls_at_the_edge() {
+        // Paper: [0.11, 0.47] GB/s for conv, [0.46, 1.08] GB/s for FC
+        // (rate-coded uSystolic without SRAM). Check the band loosely.
+        let t = bandwidth_summary(ArrayShape::Edge);
+        for row in 2..=4 {
+            let conv: f64 = t.rows()[row][1].parse().unwrap();
+            let fc: f64 = t.rows()[row][2].parse().unwrap();
+            assert!(conv < 1.0, "{}: conv max {conv}", t.rows()[row][0]);
+            assert!(fc < 3.0, "{}: fc max {fc}", t.rows()[row][0]);
+        }
+    }
+
+    #[test]
+    fn more_cycles_mean_less_bandwidth_at_edge() {
+        let t = bandwidth_summary(ArrayShape::Edge);
+        let conv_of = |row: usize| -> f64 { t.rows()[row][1].parse().unwrap() };
+        assert!(conv_of(2) > conv_of(3), "32c > 64c");
+        assert!(conv_of(3) > conv_of(4), "64c > 128c");
+    }
+}

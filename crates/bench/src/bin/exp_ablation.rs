@@ -1,0 +1,18 @@
+//! Regenerates the design-choice ablations: RNG quality (Sobol vs LFSR),
+//! OREG width, and the early-termination accuracy-energy trade-off.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_ablation`
+
+use usystolic_bench::ablation::{
+    accumulator_width_sweep, early_termination_tradeoff, error_propagation, fault_tolerance,
+    rng_quality,
+};
+
+fn main() {
+    usystolic_bench::table::emit(&rng_quality(8, 200));
+    usystolic_bench::table::emit(&rng_quality(12, 100));
+    usystolic_bench::table::emit(&accumulator_width_sweep());
+    usystolic_bench::table::emit(&early_termination_tradeoff());
+    usystolic_bench::table::emit(&error_propagation(8));
+    usystolic_bench::table::emit(&fault_tolerance(8, 2000));
+}

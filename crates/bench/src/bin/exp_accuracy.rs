@@ -1,0 +1,25 @@
+//! Regenerates Fig. 9 (accuracy vs effective bitwidth, three task
+//! difficulties standing in for MNIST / CIFAR10 / ImageNet) and the
+//! Section V-A GEMM error study.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_accuracy [--quick]`
+
+use usystolic_bench::accuracy::{figure9_cnn, figure9_mlp, gemm_error_study, Difficulty};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ebts, per_class): (&[u32], usize) = if quick {
+        (&[4, 6, 8], 3)
+    } else {
+        (&[3, 4, 5, 6, 7, 8, 10, 12], 10)
+    };
+    for difficulty in Difficulty::ALL {
+        usystolic_bench::table::emit(&figure9_cnn(difficulty, ebts, per_class));
+    }
+    usystolic_bench::table::emit(&figure9_mlp(ebts, per_class));
+    usystolic_bench::table::emit(&gemm_error_study(8));
+    if !quick {
+        usystolic_bench::table::emit(&gemm_error_study(6));
+        usystolic_bench::table::emit(&gemm_error_study(10));
+    }
+}

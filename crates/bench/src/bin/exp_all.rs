@@ -1,0 +1,52 @@
+//! Runs the complete evaluation: every table and figure of the paper in
+//! one pass (accuracy in quick mode; use the individual binaries for the
+//! full sweeps).
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_all`
+
+use usystolic_bench::ablation::{
+    accumulator_width_sweep, early_termination_tradeoff, rng_quality,
+};
+use usystolic_bench::accuracy::{figure9_cnn, gemm_error_study, Difficulty};
+use usystolic_bench::area::{area_reductions, figure11};
+use usystolic_bench::bandwidth::{bandwidth_summary, figure10};
+use usystolic_bench::efficiency::{figure14, utilization_summary, Workload};
+use usystolic_bench::energy::{energy_summary, figure13_on_chip, figure13_total};
+use usystolic_bench::power::{power_on_chip, power_summary, power_total};
+use usystolic_bench::system::{battery_table, scaling_table};
+use usystolic_bench::table1::table1;
+use usystolic_bench::throughput::{contention_summary, figure12};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    println!("# uSystolic evaluation — all tables and figures\n");
+
+    usystolic_bench::table::emit(&figure9_cnn(Difficulty::Medium, &[6, 7, 8], 5));
+    usystolic_bench::table::emit(&gemm_error_study(8));
+
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&figure10(shape));
+        usystolic_bench::table::emit(&bandwidth_summary(shape));
+        usystolic_bench::table::emit(&figure11(shape));
+        usystolic_bench::table::emit(&area_reductions(shape, 8));
+        usystolic_bench::table::emit(&figure12(shape));
+        usystolic_bench::table::emit(&contention_summary(shape));
+        usystolic_bench::table::emit(&figure13_on_chip(shape));
+        usystolic_bench::table::emit(&figure13_total(shape));
+        usystolic_bench::table::emit(&energy_summary(shape));
+        usystolic_bench::table::emit(&power_on_chip(shape));
+        usystolic_bench::table::emit(&power_total(shape));
+        usystolic_bench::table::emit(&power_summary(shape));
+        usystolic_bench::table::emit(&figure14(shape, Workload::AlexNet));
+        usystolic_bench::table::emit(&figure14(shape, Workload::MlPerf));
+    }
+    usystolic_bench::table::emit(&utilization_summary());
+    usystolic_bench::table::emit(&table1());
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&scaling_table(shape));
+    }
+    usystolic_bench::table::emit(&battery_table());
+    usystolic_bench::table::emit(&rng_quality(8, 100));
+    usystolic_bench::table::emit(&accumulator_width_sweep());
+    usystolic_bench::table::emit(&early_termination_tradeoff());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 11 (area breakdown) plus the Section V-C reduction
+//! summary.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_area`
+
+use usystolic_bench::area::{area_reductions, figure11};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&figure11(shape));
+        for bitwidth in [8, 16] {
+            usystolic_bench::table::emit(&area_reductions(shape, bitwidth));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 10 (layerwise SRAM/DRAM bandwidth, 8-bit AlexNet)
+//! plus the Section V-B bandwidth summary.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_bandwidth`
+
+use usystolic_bench::bandwidth::{bandwidth_summary, figure10};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&figure10(shape));
+        usystolic_bench::table::emit(&bandwidth_summary(shape));
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates the design-space explorations: the §V-G SRAM sizing sweep
+//! and the footnote-1 dataflow comparison.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_design_space`
+
+use usystolic_bench::design_space::{dataflow_comparison, sram_sweep};
+
+fn main() {
+    usystolic_bench::table::emit(&sram_sweep());
+    usystolic_bench::table::emit(&dataflow_comparison());
+}

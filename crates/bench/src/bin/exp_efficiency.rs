@@ -1,0 +1,16 @@
+//! Regenerates Fig. 14 (on-chip efficiency improvements for AlexNet and
+//! the MLPerf-like suite) plus the Section V-G utilisation summary.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_efficiency`
+
+use usystolic_bench::efficiency::{figure14, utilization_summary, Workload};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for workload in [Workload::AlexNet, Workload::MlPerf] {
+        for shape in ArrayShape::ALL {
+            usystolic_bench::table::emit(&figure14(shape, workload));
+        }
+    }
+    usystolic_bench::table::emit(&utilization_summary());
+}

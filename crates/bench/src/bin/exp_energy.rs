@@ -1,0 +1,15 @@
+//! Regenerates Fig. 13 (layerwise on-chip and total energy, 8-bit
+//! AlexNet) plus the Section V-E reduction/EDP summary.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_energy`
+
+use usystolic_bench::energy::{energy_summary, figure13_on_chip, figure13_total};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&figure13_on_chip(shape));
+        usystolic_bench::table::emit(&figure13_total(shape));
+        usystolic_bench::table::emit(&energy_summary(shape));
+    }
+}

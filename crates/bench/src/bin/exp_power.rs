@@ -1,0 +1,15 @@
+//! Regenerates the Section V-F power tables (on-chip and total layerwise
+//! power, plus reduction summary).
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_power`
+
+use usystolic_bench::power::{power_on_chip, power_summary, power_total};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&power_on_chip(shape));
+        usystolic_bench::table::emit(&power_total(shape));
+        usystolic_bench::table::emit(&power_summary(shape));
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the Section V-H system-level tables: multi-instance
+//! scaling and battery lifetime.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_system`
+
+use usystolic_bench::system::{battery_table, scaling_table};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&scaling_table(shape));
+    }
+    usystolic_bench::table::emit(&battery_table());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I as a quantified comparison.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_table1`
+
+fn main() {
+    usystolic_bench::table::emit(&usystolic_bench::table1::table1());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 12 (layerwise throughput, 8-bit AlexNet) plus the
+//! Section V-D memory-contention summary.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_throughput`
+
+use usystolic_bench::throughput::{contention_summary, figure12};
+use usystolic_bench::ArrayShape;
+
+fn main() {
+    for shape in ArrayShape::ALL {
+        usystolic_bench::table::emit(&figure12(shape));
+        usystolic_bench::table::emit(&contention_summary(shape));
+    }
+}

@@ -1,0 +1,188 @@
+//! A command-line front end in the spirit of the released uSystolic-Sim:
+//! pick a computing scheme, an array shape, a memory hierarchy and a
+//! layer, and get the full evaluation record.
+//!
+//! ```sh
+//! cargo run --release -p usystolic-bench --bin sim_cli -- \
+//!     --scheme UR --cycles 128 --shape edge --no-sram \
+//!     --conv 31,31,96,5,5,1,256
+//! cargo run --release -p usystolic-bench --bin sim_cli -- \
+//!     --scheme BP --shape cloud --matmul 1,9216,4096
+//! cargo run --release -p usystolic-bench --bin sim_cli -- --network alexnet
+//! ```
+
+use usystolic_core::{ComputingScheme, SystolicConfig};
+use usystolic_gemm::GemmConfig;
+use usystolic_hw::summary::NetworkEvaluation;
+use usystolic_hw::evaluate_layer;
+use usystolic_models::zoo;
+use usystolic_sim::MemoryHierarchy;
+
+#[derive(Debug)]
+struct Args {
+    scheme: ComputingScheme,
+    cycles: Option<u64>,
+    bitwidth: u32,
+    cloud: bool,
+    no_sram: Option<bool>,
+    gemm: Option<GemmConfig>,
+    network: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: usystolic_sim [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
+                     [--shape edge|cloud] [--sram|--no-sram]
+                     (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_dims(s: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: ComputingScheme::UnaryRate,
+        cycles: None,
+        bitwidth: 8,
+        cloud: false,
+        no_sram: None,
+        gemm: None,
+        network: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scheme" => {
+                args.scheme = match value().as_str() {
+                    "BP" => ComputingScheme::BinaryParallel,
+                    "BS" => ComputingScheme::BinarySerial,
+                    "UG" => ComputingScheme::UGemmHybrid,
+                    "UR" => ComputingScheme::UnaryRate,
+                    "UT" => ComputingScheme::UnaryTemporal,
+                    _ => usage(),
+                }
+            }
+            "--cycles" => args.cycles = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--bits" => args.bitwidth = value().parse().unwrap_or_else(|_| usage()),
+            "--shape" => {
+                args.cloud = match value().as_str() {
+                    "edge" => false,
+                    "cloud" => true,
+                    _ => usage(),
+                }
+            }
+            "--sram" => args.no_sram = Some(false),
+            "--no-sram" => args.no_sram = Some(true),
+            "--conv" => {
+                let d = parse_dims(&value());
+                if d.len() != 7 {
+                    usage();
+                }
+                args.gemm = Some(
+                    GemmConfig::conv(d[0], d[1], d[2], d[3], d[4], d[5], d[6])
+                        .unwrap_or_else(|e| {
+                            eprintln!("invalid conv: {e}");
+                            std::process::exit(2)
+                        }),
+                );
+            }
+            "--matmul" => {
+                let d = parse_dims(&value());
+                if d.len() != 3 {
+                    usage();
+                }
+                args.gemm = Some(GemmConfig::matmul(d[0], d[1], d[2]).unwrap_or_else(|e| {
+                    eprintln!("invalid matmul: {e}");
+                    std::process::exit(2)
+                }));
+            }
+            "--network" => args.network = Some(value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.gemm.is_none() && args.network.is_none() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = if args.cloud {
+        SystolicConfig::cloud(args.scheme, args.bitwidth)
+    } else {
+        SystolicConfig::edge(args.scheme, args.bitwidth)
+    };
+    if let Some(c) = args.cycles {
+        config = config.with_mul_cycles(c).unwrap_or_else(|e| {
+            eprintln!("invalid --cycles: {e}");
+            std::process::exit(2)
+        });
+    }
+    // Default: binary keeps SRAM, unary drops it (the paper's conclusion).
+    let no_sram = args.no_sram.unwrap_or(args.scheme.is_unary());
+    let memory = if no_sram {
+        MemoryHierarchy::no_sram()
+    } else if args.cloud {
+        MemoryHierarchy::cloud_with_sram()
+    } else {
+        MemoryHierarchy::edge_with_sram()
+    };
+
+    println!("array:  {config}");
+    println!("memory: {}", if no_sram { "DRAM only (SRAM eliminated)" } else { "SRAM + DRAM" });
+
+    if let Some(gemm) = args.gemm {
+        let ev = evaluate_layer(&config, &memory, &gemm);
+        println!("layer:  {gemm}\n");
+        println!("runtime          {:>12.6} s  ({} cycles, {:.1}% stall)",
+            ev.report.runtime_s,
+            ev.report.timing.runtime_cycles,
+            100.0 * ev.report.timing.overhead());
+        println!("throughput       {:>12.3} layers/s", ev.report.throughput_per_s);
+        println!("DRAM bandwidth   {:>12.3} GB/s", ev.report.dram_bandwidth_gbps);
+        println!("SRAM bandwidth   {:>12.3} GB/s", ev.report.sram_bandwidth_gbps);
+        println!("utilization      {:>12.1} %", 100.0 * ev.report.utilization);
+        println!("on-chip energy   {:>12.3} uJ", ev.energy.on_chip_j() * 1.0e6);
+        println!("total energy     {:>12.3} uJ", ev.energy.total_j() * 1.0e6);
+        println!("on-chip power    {:>12.3} mW", ev.power.on_chip_w() * 1.0e3);
+        println!("total power      {:>12.3} mW", ev.power.total_w() * 1.0e3);
+        println!("on-chip area     {:>12.3} mm2", ev.area.total_mm2());
+        return;
+    }
+
+    let network = match args.network.as_deref() {
+        Some("alexnet") => zoo::alexnet(),
+        Some("resnet18") => zoo::resnet18(),
+        Some("vgg16") => zoo::vgg16(),
+        Some("mnist") => zoo::mnist_cnn4(),
+        _ => usage(),
+    };
+    println!("network: {} ({} GEMM layers, {} parameters)\n",
+        network.name, network.layers.len(), network.parameters());
+    let ev = NetworkEvaluation::evaluate(&config, &memory, &network.gemms());
+    println!("{:<10} {:>12} {:>14} {:>14}", "layer", "runtime s", "on-chip uJ", "total uJ");
+    for (layer, l) in network.layers.iter().zip(&ev.layers) {
+        println!(
+            "{:<10} {:>12.6} {:>14.3} {:>14.3}",
+            layer.name,
+            l.report.runtime_s,
+            l.energy.on_chip_j() * 1.0e6,
+            l.energy.total_j() * 1.0e6
+        );
+    }
+    println!("\ninference runtime    {:>12.6} s ({:.2} inf/s, {:.1} GOPS)",
+        ev.runtime_s, ev.inferences_per_s(), ev.gops());
+    println!("on-chip energy       {:>12.3} mJ ({:.0} inf per on-chip J)",
+        ev.on_chip_j * 1.0e3, ev.inferences_per_on_chip_joule());
+    println!("total energy         {:>12.3} mJ", ev.total_j * 1.0e3);
+    println!("avg on-chip power    {:>12.3} mW", ev.on_chip_power_w() * 1.0e3);
+    println!("avg total power      {:>12.3} mW", ev.total_power_w() * 1.0e3);
+}

@@ -1,0 +1,146 @@
+//! Design-space explorations the paper points at but does not sweep:
+//!
+//! * **SRAM sizing** (§V-G: "there indeed exists a continuous design
+//!   space where a small-sized on-chip SRAM can reduce the off-chip DRAM
+//!   access cost") — total energy and on-chip area of AlexNet across
+//!   per-variable SRAM capacities from none to the TPU's 8 MB.
+//! * **Dataflow choice** (footnote 1: C-BSG admits input- or
+//!   weight-stationary) — ideal runtime and DRAM traffic of both
+//!   dataflows per AlexNet layer.
+
+use crate::design::alexnet_8bit_layers;
+use crate::table::{fmt_sig, Table};
+use usystolic_core::{ComputingScheme, SystolicConfig};
+use usystolic_hw::{LayerEnergy, OnChipArea};
+use usystolic_sim::{
+    ideal_cycles_with, layer_traffic_with, Dataflow, MemoryHierarchy, Simulator,
+};
+
+/// The §V-G SRAM sizing sweep: full-AlexNet total energy (mJ) and on-chip
+/// area (mm²) per design across per-variable SRAM capacities.
+#[must_use]
+pub fn sram_sweep() -> Table {
+    let capacities: [(u64, &str); 6] = [
+        (0, "none"),
+        (16 << 10, "16KB"),
+        (64 << 10, "64KB"),
+        (256 << 10, "256KB"),
+        (1 << 20, "1MB"),
+        (8 << 20, "8MB"),
+    ];
+    let mut headers: Vec<String> = vec!["design".into(), "metric".into()];
+    headers.extend(capacities.iter().map(|(_, n)| (*n).to_owned()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Section V-G: SRAM sizing sweep — AlexNet total energy (mJ) / on-chip area (mm2), edge",
+        &header_refs,
+    );
+    let layers = alexnet_8bit_layers();
+    let designs = [
+        ("Binary Parallel", SystolicConfig::edge(ComputingScheme::BinaryParallel, 8)),
+        (
+            "Unary-128c",
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(128)
+                .expect("valid EBT"),
+        ),
+    ];
+    for (name, cfg) in designs {
+        let mut energy_row = vec![name.to_owned(), "energy mJ".into()];
+        let mut area_row = vec![name.to_owned(), "area mm2".into()];
+        for (bytes, _) in capacities {
+            let mem = MemoryHierarchy::with_sram_capacity(bytes);
+            let sim = Simulator::new(cfg, mem);
+            let total_j: f64 = layers
+                .iter()
+                .map(|l| {
+                    let report = sim.simulate(&l.gemm);
+                    LayerEnergy::compute(&cfg, &mem, &report).total_j()
+                })
+                .sum();
+            energy_row.push(fmt_sig(total_j * 1.0e3));
+            area_row.push(fmt_sig(OnChipArea::for_config(&cfg, &mem).total_mm2()));
+        }
+        table.push_row(energy_row);
+        table.push_row(area_row);
+    }
+    table
+}
+
+/// The dataflow comparison: ideal cycles (millions) and DRAM traffic (MB)
+/// of weight- vs input-stationary execution per AlexNet layer
+/// (Unary-128c, no SRAM).
+#[must_use]
+pub fn dataflow_comparison() -> Table {
+    let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+        .with_mul_cycles(128)
+        .expect("valid EBT");
+    let mut table = Table::new(
+        "Footnote 1: weight- vs input-stationary (Unary-128c, edge, no SRAM)",
+        &["layer", "WS Mcycles", "IS Mcycles", "WS MB", "IS MB"],
+    );
+    for layer in alexnet_8bit_layers() {
+        let ws_c = ideal_cycles_with(&layer.gemm, &cfg, Dataflow::WeightStationary);
+        let is_c = ideal_cycles_with(&layer.gemm, &cfg, Dataflow::InputStationary);
+        let ws_t = layer_traffic_with(&layer.gemm, &cfg, Dataflow::WeightStationary);
+        let is_t = layer_traffic_with(&layer.gemm, &cfg, Dataflow::InputStationary);
+        table.push_row(vec![
+            layer.name.clone(),
+            fmt_sig(ws_c as f64 / 1.0e6),
+            fmt_sig(is_c as f64 / 1.0e6),
+            fmt_sig(ws_t.dram.total() as f64 / 1.0e6),
+            fmt_sig(is_t.dram.total() as f64 / 1.0e6),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_sweep_shows_the_continuous_design_space() {
+        let t = sram_sweep();
+        assert_eq!(t.len(), 4);
+        // Binary parallel: some SRAM reduces total energy vs none.
+        let bp_energy: Vec<f64> =
+            t.rows()[0][2..].iter().map(|c| c.parse().unwrap()).collect();
+        let min = bp_energy.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            min < bp_energy[0],
+            "some SRAM capacity should beat none for binary: {bp_energy:?}"
+        );
+        // Area grows monotonically with capacity for every design.
+        for row in [1usize, 3] {
+            let areas: Vec<f64> =
+                t.rows()[row][2..].iter().map(|c| c.parse().unwrap()).collect();
+            assert!(areas.windows(2).all(|w| w[1] >= w[0]), "{areas:?}");
+        }
+    }
+
+    #[test]
+    fn unary_gains_little_from_sram() {
+        // The paper's elimination argument: uSystolic's energy curve is
+        // flat-ish in SRAM capacity (its bandwidth is already tiny), so
+        // dropping SRAM costs little relative to binary.
+        let t = sram_sweep();
+        let ur_energy: Vec<f64> =
+            t.rows()[2][2..].iter().map(|c| c.parse().unwrap()).collect();
+        let none = ur_energy[0];
+        let best = ur_energy.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Within 3x — the SRAM benefit exists (partial-sum traffic) but is
+        // bounded; binary's no-SRAM point is bandwidth-infeasible instead.
+        assert!(none / best < 3.5, "no-SRAM penalty {none}/{best} too large");
+    }
+
+    #[test]
+    fn dataflow_table_shows_ws_wins_fc() {
+        let t = dataflow_comparison();
+        // FC6 row: WS cycles far below IS (batch-1 FC).
+        let fc6 = t.rows().iter().find(|r| r[0] == "FC6").expect("FC6 present");
+        let ws: f64 = fc6[1].parse().unwrap();
+        let is: f64 = fc6[2].parse().unwrap();
+        assert!(ws < is, "FC6: WS {ws} must beat IS {is}");
+    }
+}

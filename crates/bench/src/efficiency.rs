@@ -1,0 +1,153 @@
+//! Fig. 14: on-chip energy- and power-efficiency improvements over the
+//! binary baselines, for AlexNet and the MLPerf-like suite.
+
+use crate::design::{design_points, ArrayShape};
+use crate::table::Table;
+use usystolic_core::TileMapping;
+use usystolic_gemm::GemmConfig;
+use usystolic_hw::evaluate_layer;
+use usystolic_models::mlperf::mlperf_gemms;
+use usystolic_models::zoo::alexnet;
+
+/// The workload axis of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 8-bit AlexNet (Fig. 14a/b).
+    AlexNet,
+    /// The MLPerf-like 1094-layer suite (Fig. 14c/d).
+    MlPerf,
+}
+
+impl Workload {
+    fn gemms(&self) -> Vec<GemmConfig> {
+        match self {
+            Workload::AlexNet => alexnet().gemms(),
+            Workload::MlPerf => mlperf_gemms(),
+        }
+    }
+
+    /// The workload label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::AlexNet => "AlexNet",
+            Workload::MlPerf => "MLPerf",
+        }
+    }
+}
+
+/// Computes a Fig. 14 panel: the mean on-chip energy-efficiency (E.E.I.)
+/// and power-efficiency (P.E.I.) improvement of every unary design over
+/// Binary Parallel and Binary Serial.
+#[must_use]
+pub fn figure14(shape: ArrayShape, workload: Workload) -> Table {
+    let gemms = workload.gemms();
+    let points = design_points(shape, 8);
+    let mut table = Table::new(
+        format!(
+            "Fig. 14: on-chip efficiency improvement (x), {} on {shape}",
+            workload.label()
+        ),
+        &["design", "EEI vs BP", "PEI vs BP", "EEI vs BS", "PEI vs BS"],
+    );
+    // Per-layer baseline efficiencies.
+    let eff = |idx: usize| -> Vec<(f64, f64)> {
+        gemms
+            .iter()
+            .map(|g| {
+                let ev = evaluate_layer(&points[idx].config, &points[idx].memory, g);
+                (ev.on_chip_efficiency.energy_eff, ev.on_chip_efficiency.power_eff)
+            })
+            .collect()
+    };
+    let bp = eff(0);
+    let bs = eff(1);
+    for (idx, point) in points.iter().enumerate().skip(2) {
+        let ours = eff(idx);
+        let mean_gain = |base: &[(f64, f64)], energy: bool| -> f64 {
+            ours.iter()
+                .zip(base)
+                .map(|(o, b)| if energy { o.0 / b.0 } else { o.1 / b.1 })
+                .sum::<f64>()
+                / ours.len() as f64
+        };
+        table.push_row(vec![
+            point.name.to_owned(),
+            format!("{:.2}", mean_gain(&bp, true)),
+            format!("{:.2}", mean_gain(&bp, false)),
+            format!("{:.2}", mean_gain(&bs, true)),
+            format!("{:.2}", mean_gain(&bs, false)),
+        ]);
+    }
+    table
+}
+
+/// Section V-G's utilisation comparison: mean MAC utilisation of AlexNet
+/// vs the MLPerf suite on both shapes (paper: 97.1 % → 69.6 % edge,
+/// 81.6 % → 37.2 % cloud).
+#[must_use]
+pub fn utilization_summary() -> Table {
+    let mut table = Table::new(
+        "Section V-G: mean MAC utilisation (%)",
+        &["workload", "edge", "cloud"],
+    );
+    for workload in [Workload::AlexNet, Workload::MlPerf] {
+        let gemms = workload.gemms();
+        let mean = |rows: usize, cols: usize| -> f64 {
+            100.0
+                * gemms
+                    .iter()
+                    .map(|g| TileMapping::new(g, rows, cols).utilization())
+                    .sum::<f64>()
+                / gemms.len() as f64
+        };
+        table.push_row(vec![
+            workload.label().to_owned(),
+            format!("{:.1}", mean(12, 14)),
+            format!("{:.1}", mean(256, 256)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_termination_raises_efficiency_at_edge() {
+        // Fig. 14a: early termination always increases on-chip efficiency
+        // over binary designs; shorter cycles help more.
+        let t = figure14(ArrayShape::Edge, Workload::AlexNet);
+        let eei = |row: usize| -> f64 { t.rows()[row][1].parse().unwrap() };
+        assert!(eei(0) > eei(1), "32c {} vs 64c {}", eei(0), eei(1));
+        assert!(eei(1) > eei(2), "64c {} vs 128c {}", eei(1), eei(2));
+        assert!(eei(0) > 1.0, "Unary-32c must beat binary parallel");
+        // PEI is positive for all unary designs (paper Fig. 14a).
+        for row in t.rows() {
+            let pei: f64 = row[2].parse().unwrap();
+            assert!(pei > 1.0, "{}: PEI {pei}", row[0]);
+        }
+    }
+
+    #[test]
+    fn alexnet_utilization_beats_mlperf() {
+        let t = utilization_summary();
+        let alex_edge: f64 = t.rows()[0][1].parse().unwrap();
+        let ml_edge: f64 = t.rows()[1][1].parse().unwrap();
+        assert!(alex_edge > ml_edge, "edge: {alex_edge} vs {ml_edge}");
+        let alex_cloud: f64 = t.rows()[0][2].parse().unwrap();
+        let ml_cloud: f64 = t.rows()[1][2].parse().unwrap();
+        assert!(alex_cloud > ml_cloud, "cloud: {alex_cloud} vs {ml_cloud}");
+        // Paper bands: AlexNet 97.1 % (edge); MLPerf well below AlexNet.
+        assert!(alex_edge > 90.0, "AlexNet edge utilisation {alex_edge}");
+    }
+
+    #[test]
+    fn ugemm_h_trails_usystolic_efficiency() {
+        let t = figure14(ArrayShape::Edge, Workload::AlexNet);
+        let u128_eei: f64 = t.rows()[2][1].parse().unwrap();
+        let ug_eei: f64 = t.rows()[3][1].parse().unwrap();
+        assert!(ug_eei < u128_eei, "uGEMM-H {ug_eei} vs Unary-128c {u128_eei}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fig. 13: layerwise energy (on-chip and total) for 8-bit AlexNet,
+//! plus the Section V-E EDP discussion.
+
+use crate::design::{alexnet_8bit_layers, design_points, ArrayShape};
+use crate::table::{fmt_sig, Table};
+use usystolic_hw::evaluate_layer;
+
+/// Computes the Fig. 13a/b data: per design and layer, the SA and SRAM
+/// energies (the upper/lower planes) in µJ.
+#[must_use]
+pub fn figure13_on_chip(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut headers: Vec<String> = vec!["design".into()];
+    for l in &layers {
+        headers.push(format!("{}-SA", l.name));
+        headers.push(format!("{}-SRAM", l.name));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 13{}: layerwise on-chip energy (uJ), 8-bit AlexNet, {shape}",
+            if shape == ArrayShape::Edge { "a" } else { "b" }
+        ),
+        &header_refs,
+    );
+    for point in design_points(shape, 8) {
+        let mut row = vec![point.name.to_owned()];
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            row.push(fmt_sig(ev.energy.sa_j() * 1.0e6));
+            row.push(fmt_sig(ev.energy.sram_j() * 1.0e6));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Computes the Fig. 13c/d data: total (on-chip + DRAM) energy per layer
+/// in µJ.
+#[must_use]
+pub fn figure13_total(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut headers: Vec<String> = vec!["design".into()];
+    headers.extend(layers.iter().map(|l| l.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 13{}: layerwise total energy (uJ), 8-bit AlexNet, {shape}",
+            if shape == ArrayShape::Edge { "c" } else { "d" }
+        ),
+        &header_refs,
+    );
+    for point in design_points(shape, 8) {
+        let mut row = vec![point.name.to_owned()];
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            row.push(fmt_sig(ev.energy.total_j() * 1.0e6));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Section V-E summary: mean on-chip and total energy reduction of each
+/// unary design vs Binary Parallel, plus the mean on-chip EDP change.
+#[must_use]
+pub fn energy_summary(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let points = design_points(shape, 8);
+    let baseline = &points[0]; // Binary Parallel with SRAM
+    let mut table = Table::new(
+        format!("Section V-E: mean energy reductions vs Binary Parallel (%), {shape}"),
+        &["design", "on-chip %", "total %", "on-chip EDP %"],
+    );
+    let base: Vec<_> = layers
+        .iter()
+        .map(|l| evaluate_layer(&baseline.config, &baseline.memory, &l.gemm))
+        .collect();
+    for point in &points[2..] {
+        let (mut on, mut tot, mut edp) = (0.0, 0.0, 0.0);
+        for (layer, b) in layers.iter().zip(&base) {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            on += 1.0 - ev.energy.on_chip_j() / b.energy.on_chip_j();
+            tot += 1.0 - ev.energy.total_j() / b.energy.total_j();
+            edp += 1.0 - ev.edp.on_chip_js / b.edp.on_chip_js;
+        }
+        let n = layers.len() as f64;
+        table.push_row(vec![
+            point.name.to_owned(),
+            format!("{:.1}", 100.0 * on / n),
+            format!("{:.1}", 100.0 * tot / n),
+            format!("{:.1}", 100.0 * edp / n),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_energy_dominates_binary_on_chip() {
+        let t = figure13_on_chip(ArrayShape::Edge);
+        // BP row: SRAM column exceeds SA column for every layer.
+        for layer in 0..8 {
+            let sa: f64 = t.rows()[0][1 + 2 * layer].parse().unwrap();
+            let sram: f64 = t.rows()[0][2 + 2 * layer].parse().unwrap();
+            assert!(sram > sa, "layer {layer}: SRAM {sram} vs SA {sa}");
+        }
+    }
+
+    #[test]
+    fn early_termination_cuts_on_chip_energy() {
+        let t = energy_summary(ArrayShape::Edge);
+        let on = |row: usize| -> f64 { t.rows()[row][1].parse().unwrap() };
+        // Unary-32c saves more than Unary-128c.
+        assert!(on(0) > on(2), "32c {} vs 128c {}", on(0), on(2));
+        // And saves a substantial fraction (paper mean: 83.5 %).
+        assert!(on(0) > 40.0, "Unary-32c on-chip saving {} too small", on(0));
+    }
+
+    #[test]
+    fn total_energy_gains_are_negative_at_edge() {
+        // Paper: mean total-energy "reduction" at the edge is −754 % — the
+        // DRAM dominates and uSystolic's partial-sum traffic costs.
+        let t = energy_summary(ArrayShape::Edge);
+        let tot: f64 = t.rows()[2][2].parse().unwrap(); // Unary-128c
+        assert!(tot < 0.0, "expected a total-energy degradation, got {tot}%");
+    }
+
+    #[test]
+    fn ugemm_h_consumes_more_than_usystolic() {
+        let t = figure13_on_chip(ArrayShape::Edge);
+        // uGEMM-H (row 5) SA energy ≥ 1.5x Unary-128c (row 4) per layer.
+        for layer in 0..8 {
+            let u: f64 = t.rows()[4][1 + 2 * layer].parse().unwrap();
+            let g: f64 = t.rows()[5][1 + 2 * layer].parse().unwrap();
+            assert!(g > 1.5 * u, "layer {layer}: uGEMM-H {g} vs Unary-128c {u}");
+        }
+    }
+
+    #[test]
+    fn total_includes_dram() {
+        let on = figure13_on_chip(ArrayShape::Edge);
+        let tot = figure13_total(ArrayShape::Edge);
+        // Unary-64c, Conv1: total > SA + SRAM.
+        let sa: f64 = on.rows()[3][1].parse().unwrap();
+        let sram: f64 = on.rows()[3][2].parse().unwrap();
+        let total: f64 = tot.rows()[3][1].parse().unwrap();
+        assert!(total > sa + sram);
+    }
+}

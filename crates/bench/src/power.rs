@@ -1,0 +1,129 @@
+//! Section V-F: layerwise power.
+
+use crate::design::{alexnet_8bit_layers, design_points, ArrayShape};
+use crate::table::{fmt_sig, Table};
+use usystolic_hw::evaluate_layer;
+
+/// Layerwise on-chip power (mW) per design.
+#[must_use]
+pub fn power_on_chip(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut headers: Vec<String> = vec!["design".into()];
+    headers.extend(layers.iter().map(|l| l.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Section V-F: layerwise on-chip power (mW), 8-bit AlexNet, {shape}"),
+        &header_refs,
+    );
+    for point in design_points(shape, 8) {
+        let mut row = vec![point.name.to_owned()];
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            row.push(fmt_sig(ev.power.on_chip_w() * 1.0e3));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Layerwise total power (mW, including DRAM access power) per design.
+#[must_use]
+pub fn power_total(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut headers: Vec<String> = vec!["design".into()];
+    headers.extend(layers.iter().map(|l| l.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("Section V-F: layerwise total power (mW), 8-bit AlexNet, {shape}"),
+        &header_refs,
+    );
+    for point in design_points(shape, 8) {
+        let mut row = vec![point.name.to_owned()];
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            row.push(fmt_sig(ev.power.total_w() * 1.0e3));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Mean on-chip power reduction of each unary design vs the binary
+/// baselines.
+#[must_use]
+pub fn power_summary(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let points = design_points(shape, 8);
+    let mut table = Table::new(
+        format!("Section V-F: mean on-chip power reduction (%), {shape}"),
+        &["design", "vs Binary Parallel", "vs Binary Serial"],
+    );
+    let mean_power = |idx: usize| -> Vec<f64> {
+        layers
+            .iter()
+            .map(|l| {
+                evaluate_layer(&points[idx].config, &points[idx].memory, &l.gemm)
+                    .power
+                    .on_chip_w()
+            })
+            .collect()
+    };
+    let bp = mean_power(0);
+    let bs = mean_power(1);
+    for (idx, point) in points.iter().enumerate().skip(2) {
+        let ours = mean_power(idx);
+        let vs = |base: &[f64]| -> f64 {
+            100.0
+                * ours
+                    .iter()
+                    .zip(base)
+                    .map(|(o, b)| 1.0 - o / b)
+                    .sum::<f64>()
+                / ours.len() as f64
+        };
+        table.push_row(vec![
+            point.name.to_owned(),
+            format!("{:.1}", vs(&bp)),
+            format!("{:.1}", vs(&bs)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_on_chip_power_reduction_is_huge() {
+        // Paper: [97.6, 99.5] % mean 98.4 % vs binary parallel at the edge.
+        let t = power_summary(ArrayShape::Edge);
+        for row in t.rows() {
+            let vs_bp: f64 = row[1].parse().unwrap();
+            assert!(vs_bp > 90.0, "{}: reduction {vs_bp}% below band", row[0]);
+        }
+    }
+
+    #[test]
+    fn cloud_reduction_is_smaller_than_edge() {
+        // Paper: cloud mean 66.4 % vs edge 98.4 %.
+        let edge = power_summary(ArrayShape::Edge);
+        let cloud = power_summary(ArrayShape::Cloud);
+        let e: f64 = edge.rows()[2][1].parse().unwrap(); // Unary-128c
+        let c: f64 = cloud.rows()[2][1].parse().unwrap();
+        assert!(c < e, "cloud {c}% must trail edge {e}%");
+    }
+
+    #[test]
+    fn total_power_exceeds_on_chip() {
+        let on = power_on_chip(ArrayShape::Edge);
+        let tot = power_total(ArrayShape::Edge);
+        for (r_on, r_tot) in on.rows().iter().zip(tot.rows()) {
+            for c in 1..r_on.len() {
+                let a: f64 = r_on[c].parse().unwrap();
+                let b: f64 = r_tot[c].parse().unwrap();
+                assert!(b >= a, "{} col {c}", r_on[0]);
+            }
+        }
+    }
+}

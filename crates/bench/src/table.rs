@@ -1,0 +1,185 @@
+//! Minimal aligned text tables for experiment output.
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table's title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Borrow of the rows, for programmatic checks in tests.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Borrow of the headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Renders the table as CSV (title as a `#` comment line), for piping
+    /// experiment output into plotting scripts.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = format!("# {}\n", self.title);
+        out.push_str(
+            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut core::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Prints a table to stdout, honouring the `USYSTOLIC_FORMAT` environment
+/// variable: `csv` emits [`Table::to_csv`], anything else the aligned
+/// text form. Lets every experiment binary feed plotting scripts without
+/// extra flags.
+pub fn emit(table: &Table) {
+    if std::env::var("USYSTOLIC_FORMAT").as_deref() == Ok("csv") {
+        print!("{}", table.to_csv());
+        println!();
+    } else {
+        println!("{table}");
+    }
+}
+
+/// Formats a float in engineering-friendly short form.
+#[must_use]
+pub fn fmt_sig(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["layer", "value"]);
+        t.push_row(vec!["Conv1".into(), "1.5".into()]);
+        t.push_row(vec!["FC8".into(), "12345.678".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("Conv1"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.headers().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_and_structures() {
+        let mut t = Table::new("csv demo", &["name", "value"]);
+        t.push_row(vec!["plain".into(), "1".into()]);
+        t.push_row(vec!["needs,quote".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# csv demo");
+        assert_eq!(lines[1], "name,value");
+        assert_eq!(lines[2], "plain,1");
+        assert_eq!(lines[3], "\"needs,quote\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(1.5), "1.500");
+        assert!(fmt_sig(12345.0).contains('e'));
+        assert!(fmt_sig(0.0001).contains('e'));
+    }
+}

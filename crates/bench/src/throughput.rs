@@ -1,0 +1,101 @@
+//! Fig. 12: layerwise throughput for 8-bit AlexNet.
+
+use crate::design::{alexnet_8bit_layers, design_points, ArrayShape};
+use crate::table::{fmt_sig, Table};
+use usystolic_hw::evaluate_layer;
+
+/// Computes the Fig. 12 data: layers/s per design per AlexNet layer.
+#[must_use]
+pub fn figure12(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut headers: Vec<String> = vec!["design".into()];
+    headers.extend(layers.iter().map(|l| l.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!(
+            "Fig. 12{}: layerwise throughput (layers/s), 8-bit AlexNet, {shape}",
+            if shape == ArrayShape::Edge { "a" } else { "b" }
+        ),
+        &header_refs,
+    );
+    for point in design_points(shape, 8) {
+        let mut row = vec![point.name.to_owned()];
+        for layer in &layers {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            row.push(fmt_sig(ev.report.throughput_per_s));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Section V-D's contention summary: mean runtime overhead per design over
+/// the conv layers.
+#[must_use]
+pub fn contention_summary(shape: ArrayShape) -> Table {
+    let layers = alexnet_8bit_layers();
+    let mut table = Table::new(
+        format!("Section V-D: mean conv-layer runtime overhead (%), {shape}"),
+        &["design", "overhead %"],
+    );
+    for point in design_points(shape, 8) {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for layer in layers.iter().filter(|l| l.name.starts_with("Conv")) {
+            let ev = evaluate_layer(&point.config, &point.memory, &layer.gemm);
+            total += ev.report.timing.overhead();
+            count += 1;
+        }
+        table.push_row(vec![
+            point.name.to_owned(),
+            format!("{:.1}", 100.0 * total / count as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(t: &Table, row: usize, col: usize) -> f64 {
+        t.rows()[row][col].parse().unwrap()
+    }
+
+    #[test]
+    fn throughput_degrades_with_mac_cycles_at_edge() {
+        // Fig. 12a: conv throughput drops almost linearly in MAC cycles.
+        let t = figure12(ArrayShape::Edge);
+        for col in 1..=5 {
+            // Conv1..Conv5 columns.
+            let bp = value(&t, 0, col);
+            let u32c = value(&t, 2, col);
+            let u128c = value(&t, 4, col);
+            assert!(bp > u32c && u32c > u128c, "col {col}");
+            let ratio = u32c / u128c;
+            assert!(
+                (2.5..5.5).contains(&ratio),
+                "col {col}: 32c/128c ratio {ratio} should be near 129/33"
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_contention_exceeds_edge_for_binary() {
+        let edge = contention_summary(ArrayShape::Edge);
+        let cloud = contention_summary(ArrayShape::Cloud);
+        let e_bp: f64 = edge.rows()[0][1].parse().unwrap();
+        let c_bp: f64 = cloud.rows()[0][1].parse().unwrap();
+        assert!(c_bp > e_bp, "cloud BP overhead {c_bp}% vs edge {e_bp}%");
+    }
+
+    #[test]
+    fn unary_overhead_is_small_at_edge() {
+        // Paper: 2.7 %, 1.3 %, 0.7 % for 32-, 64-, 128-cycle uSystolic.
+        let t = contention_summary(ArrayShape::Edge);
+        for row in 2..=4 {
+            let oh: f64 = t.rows()[row][1].parse().unwrap();
+            assert!(oh < 10.0, "{}: overhead {oh}%", t.rows()[row][0]);
+        }
+    }
+}

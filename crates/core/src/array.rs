@@ -1,0 +1,393 @@
+//! Functional array-level executors for the unary computing schemes.
+//!
+//! These run a complete (lowered) GEMM through the weight-stationary tile
+//! mapping with the cycle-level row model of [`crate::pe`], including the
+//! reduced-resolution binary accumulation and the top-row shifters of the
+//! early-termination path.
+
+use crate::config::SystolicConfig;
+use crate::mapping::TileMapping;
+use crate::pe::UnaryRow;
+use crate::scheme::ComputingScheme;
+use crate::CoreError;
+use usystolic_gemm::{GemmConfig, Matrix};
+use usystolic_unary::add::BinaryAccumulator;
+use usystolic_unary::rng::{NumberSource, SobolSource};
+use usystolic_unary::sign::SignMagnitude;
+
+/// Execution statistics of a functional GEMM run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExecStats {
+    /// MAC windows executed (one per weight/input element pair).
+    pub mac_windows: u64,
+    /// Accumulator saturation events (OREG overflow under the configured
+    /// reduced-resolution width).
+    pub saturation_events: u64,
+    /// PE compute cycles summed over all MAC windows (functional count;
+    /// the timing simulator models overlap and stalls).
+    pub compute_cycles: u64,
+}
+
+impl ExecStats {
+    /// Merges another run's statistics into this one (e.g. when summing
+    /// over the layers of a network).
+    pub fn absorb(&mut self, other: ExecStats) {
+        self.mac_windows += other.mac_windows;
+        self.saturation_events += other.saturation_events;
+        self.compute_cycles += other.compute_cycles;
+    }
+}
+
+fn check_lowered(
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+) -> Result<(), CoreError> {
+    let (k, n) = gemm.lowered_shape();
+    let m = gemm.output_pixels();
+    if input.rows() != m || input.cols() != k {
+        return Err(CoreError::Shape(format!(
+            "lowered input must be {m}x{k}, got {}x{}",
+            input.rows(),
+            input.cols()
+        )));
+    }
+    if weights.rows() != k || weights.cols() != n {
+        return Err(CoreError::Shape(format!(
+            "lowered weights must be {k}x{n}, got {}x{}",
+            weights.rows(),
+            weights.cols()
+        )));
+    }
+    Ok(())
+}
+
+/// Runs a lowered GEMM (`input: M × K`, `weights: K × N`, signed integer
+/// levels in `[-2^(N-1), 2^(N-1)]`) through the uSystolic array model.
+///
+/// Per weight tile and input vector, each occupied row executes one
+/// rate/temporal MAC window ([`UnaryRow::run_fast`]); the per-PE signed
+/// counts flow upward through reduced-resolution [`BinaryAccumulator`]s
+/// and the final partial sums are rescaled by the early-termination shift
+/// at the top-row shifters.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Shape`] for mismatched matrices and
+/// [`CoreError::Config`] if the configuration's scheme is not a uSystolic
+/// scheme.
+pub fn unary_gemm(
+    config: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+) -> Result<(Matrix<i64>, ExecStats), CoreError> {
+    let coding = match config.scheme() {
+        ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => config
+            .scheme()
+            .coding()
+            .expect("unary schemes define a coding"),
+        other => {
+            return Err(CoreError::Config(format!(
+                "unary_gemm does not execute {other}"
+            )))
+        }
+    };
+    check_lowered(gemm, input, weights)?;
+
+    let map = TileMapping::new(gemm, config.rows(), config.cols());
+    let (m, n) = (map.m(), map.n());
+    let bitwidth = config.bitwidth();
+    let mul_cycles = config.mul_cycles();
+    let et = config.early_termination();
+
+    let mut accs: Vec<BinaryAccumulator> =
+        (0..m * n).map(|_| BinaryAccumulator::new(config.acc_width())).collect();
+    let mut stats = ExecStats::default();
+
+    for cf in 0..map.col_folds() {
+        let n0 = cf * config.cols();
+        let tile_cols = map.cols_in_fold(cf);
+        for rf in 0..map.row_folds() {
+            let k0 = rf * config.rows();
+            let tile_rows = map.rows_in_fold(rf);
+            // Pre-split the tile's weights into sign-magnitude rows.
+            let tile_weights: Vec<Vec<SignMagnitude>> = (0..tile_rows)
+                .map(|r| {
+                    (0..tile_cols)
+                        .map(|c| SignMagnitude::from_signed(weights[(k0 + r, n0 + c)], bitwidth))
+                        .collect()
+                })
+                .collect();
+            for p in 0..m {
+                for (r, w_row) in tile_weights.iter().enumerate() {
+                    let ifm = SignMagnitude::from_signed(input[(p, k0 + r)], bitwidth);
+                    let mut row = UnaryRow::new(bitwidth, ifm, w_row.clone(), coding);
+                    let counts = row.run_fast(mul_cycles);
+                    for (c, &count) in counts.iter().enumerate() {
+                        accs[p * n + n0 + c].add(count);
+                    }
+                    stats.mac_windows += tile_cols as u64;
+                    stats.compute_cycles += config.mac_cycles();
+                }
+            }
+        }
+    }
+
+    let mut out = Matrix::<i64>::zeros(m, n);
+    for p in 0..m {
+        for c in 0..n {
+            let acc = &accs[p * n + c];
+            if acc.saturated() {
+                stats.saturation_events += 1;
+            }
+            // Top-row shifter: scale the n-bit partial sum back to N bits.
+            out[(p, c)] = et.scale(acc.value());
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Runs a lowered GEMM through the uGEMM-H model: bipolar uMUL directly on
+/// signed data (no sign-magnitude split), rate coding, binary
+/// accumulation.
+///
+/// Costs `2^N` multiply cycles per MAC window and two conditional
+/// generators per row (Section IV-C2); the per-window contribution is the
+/// bipolar ±1 sum `S ≈ w·i / 2^(N-2)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Shape`] for mismatched matrices and
+/// [`CoreError::Config`] if the configuration's scheme is not
+/// [`ComputingScheme::UGemmHybrid`].
+pub fn ugemm_h_gemm(
+    config: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+) -> Result<(Matrix<i64>, ExecStats), CoreError> {
+    if config.scheme() != ComputingScheme::UGemmHybrid {
+        return Err(CoreError::Config(format!(
+            "ugemm_h_gemm does not execute {}",
+            config.scheme()
+        )));
+    }
+    check_lowered(gemm, input, weights)?;
+
+    let map = TileMapping::new(gemm, config.rows(), config.cols());
+    let (m, n) = (map.m(), map.n());
+    let bitwidth = config.bitwidth();
+    let half = (1i64 << (bitwidth - 1)) as u64;
+    let len = 1u64 << bitwidth;
+
+    let mut accs: Vec<BinaryAccumulator> =
+        (0..m * n).map(|_| BinaryAccumulator::new(config.acc_width())).collect();
+    let mut stats = ExecStats::default();
+
+    for cf in 0..map.col_folds() {
+        let n0 = cf * config.cols();
+        let tile_cols = map.cols_in_fold(cf);
+        for rf in 0..map.row_folds() {
+            let k0 = rf * config.rows();
+            let tile_rows = map.rows_in_fold(rf);
+            for p in 0..m {
+                for r in 0..tile_rows {
+                    let i_level = input[(p, k0 + r)].clamp(-(half as i64), half as i64);
+                    let i_threshold = (i_level + half as i64) as u64;
+                    // Thresholds for the row's weights in bipolar encoding.
+                    let w_thresholds: Vec<u64> = (0..tile_cols)
+                        .map(|c| {
+                            let w = weights[(k0 + r, n0 + c)]
+                                .clamp(-(half as i64), half as i64);
+                            (w + half as i64) as u64
+                        })
+                        .collect();
+                    // Bipolar row window with spatial reuse: one input bit
+                    // and one (conditional) random number pair per cycle,
+                    // shared by all columns.
+                    let mut in_src = SobolSource::dimension(1, bitwidth);
+                    let mut rng_ones = SobolSource::dimension(0, bitwidth);
+                    let mut rng_zeros = SobolSource::dimension(2, bitwidth);
+                    let mut sums = vec![0i64; tile_cols];
+                    for _ in 0..len {
+                        let in_bit = in_src.next() < i_threshold;
+                        let r = if in_bit { rng_ones.next() } else { rng_zeros.next() };
+                        for (c, &t) in w_thresholds.iter().enumerate() {
+                            let out_bit = if in_bit { r < t } else { r >= t };
+                            sums[c] += if out_bit { 1 } else { -1 };
+                        }
+                    }
+                    for (c, &s) in sums.iter().enumerate() {
+                        accs[p * n + n0 + c].add(s);
+                    }
+                    stats.mac_windows += tile_cols as u64;
+                    stats.compute_cycles += config.mac_cycles();
+                }
+            }
+        }
+    }
+
+    let mut out = Matrix::<i64>::zeros(m, n);
+    for p in 0..m {
+        for c in 0..n {
+            let acc = &accs[p * n + c];
+            if acc.saturated() {
+                stats.saturation_events += 1;
+            }
+            out[(p, c)] = acc.value();
+        }
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_gemm::im2col;
+    use usystolic_gemm::{FeatureMap, WeightSet};
+
+    fn lowered_case(
+        seedi: i64,
+        seedw: i64,
+    ) -> (GemmConfig, Matrix<i64>, Matrix<i64>, Matrix<i64>) {
+        let gemm = GemmConfig::conv(4, 4, 2, 2, 2, 1, 3).unwrap();
+        let input = FeatureMap::from_fn(4, 4, 2, |h, w, c| {
+            ((h as i64 * 37 + w as i64 * 11 + c as i64 * 5 + seedi) % 257) - 128
+        });
+        let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
+            ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3 + seedw) % 257)
+                - 128
+        });
+        let li = im2col::lower_input(&gemm, &input).unwrap();
+        let lw = im2col::lower_weights(&gemm, &weights).unwrap();
+        // Exact integer product for reference.
+        let mut exact = Matrix::<i64>::zeros(li.rows(), lw.cols());
+        for p in 0..li.rows() {
+            for c in 0..lw.cols() {
+                let mut s = 0i64;
+                for k in 0..li.cols() {
+                    s += li[(p, k)] * lw[(k, c)];
+                }
+                exact[(p, c)] = s;
+            }
+        }
+        (gemm, li, lw, exact)
+    }
+
+    #[test]
+    fn unary_rate_tracks_exact_product() {
+        let (gemm, li, lw, exact) = lowered_case(1, 2);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).unwrap();
+        let (out, stats) = unary_gemm(&cfg, &gemm, &li, &lw).unwrap();
+        assert_eq!(stats.saturation_events, 0);
+        assert!(stats.mac_windows > 0);
+        // Output is in the 2^(N-1)-divided domain: out ≈ exact / 128.
+        for p in 0..out.rows() {
+            for c in 0..out.cols() {
+                let expect = exact[(p, c)] as f64 / 128.0;
+                let err = (out[(p, c)] as f64 - expect).abs();
+                // K = 8 terms, each within ±1 count.
+                assert!(err <= 8.0, "({p},{c}): {} vs {expect}", out[(p, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn unary_temporal_tracks_exact_product() {
+        let (gemm, li, lw, exact) = lowered_case(3, 4);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryTemporal, 8).unwrap();
+        let (out, _) = unary_gemm(&cfg, &gemm, &li, &lw).unwrap();
+        for p in 0..out.rows() {
+            for c in 0..out.cols() {
+                let expect = exact[(p, c)] as f64 / 128.0;
+                assert!(
+                    (out[(p, c)] as f64 - expect).abs() <= 10.0,
+                    "({p},{c}): {} vs {expect}",
+                    out[(p, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_preserves_scale() {
+        let (gemm, li, lw, exact) = lowered_case(5, 6);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .unwrap()
+            .with_effective_bitwidth(6)
+            .unwrap();
+        let (out, _) = unary_gemm(&cfg, &gemm, &li, &lw).unwrap();
+        for p in 0..out.rows() {
+            for c in 0..out.cols() {
+                let expect = exact[(p, c)] as f64 / 128.0;
+                // Coarser: counts quantised to 4-count steps by the shift,
+                // and per-term variance grows with the shorter window.
+                assert!(
+                    (out[(p, c)] as f64 - expect).abs() <= 48.0,
+                    "({p},{c}): {} vs {expect}",
+                    out[(p, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_boundaries_do_not_change_results() {
+        let (gemm, li, lw, _) = lowered_case(7, 8);
+        let big = SystolicConfig::new(8, 3, ComputingScheme::UnaryRate, 8).unwrap();
+        let small = SystolicConfig::new(3, 2, ComputingScheme::UnaryRate, 8).unwrap();
+        let (a, _) = unary_gemm(&big, &gemm, &li, &lw).unwrap();
+        let (b, _) = unary_gemm(&small, &gemm, &li, &lw).unwrap();
+        assert_eq!(a, b, "tiling must be value-preserving");
+    }
+
+    #[test]
+    fn narrow_accumulator_saturates_and_reports() {
+        let (gemm, li, lw, _) = lowered_case(9, 10);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .unwrap()
+            .with_acc_width(4);
+        let (_, stats) = unary_gemm(&cfg, &gemm, &li, &lw).unwrap();
+        assert!(stats.saturation_events > 0);
+    }
+
+    #[test]
+    fn ugemm_h_tracks_exact_product() {
+        let (gemm, li, lw, exact) = lowered_case(11, 12);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UGemmHybrid, 8).unwrap();
+        let (out, stats) = ugemm_h_gemm(&cfg, &gemm, &li, &lw).unwrap();
+        assert!(stats.mac_windows > 0);
+        for p in 0..out.rows() {
+            for c in 0..out.cols() {
+                // uGEMM-H output is in the 2^(N-2)-divided domain.
+                let expect = exact[(p, c)] as f64 / 64.0;
+                assert!(
+                    (out[(p, c)] as f64 - expect).abs() <= 24.0,
+                    "({p},{c}): {} vs {expect}",
+                    out[(p, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_mismatch_is_rejected() {
+        let (gemm, li, lw, _) = lowered_case(1, 1);
+        let bp = SystolicConfig::new(4, 3, ComputingScheme::BinaryParallel, 8).unwrap();
+        assert!(unary_gemm(&bp, &gemm, &li, &lw).is_err());
+        let ur = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).unwrap();
+        assert!(ugemm_h_gemm(&ur, &gemm, &li, &lw).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (gemm, li, _, _) = lowered_case(1, 1);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).unwrap();
+        let bad_w = Matrix::<i64>::zeros(3, 3);
+        assert!(unary_gemm(&cfg, &gemm, &li, &bad_w).is_err());
+        let bad_i = Matrix::<i64>::zeros(2, 2);
+        let lw = Matrix::<i64>::zeros(8, 3);
+        assert!(unary_gemm(&cfg, &gemm, &bad_i, &lw).is_err());
+    }
+}

@@ -1,0 +1,475 @@
+//! A fully cycle-accurate `R × C` array machine.
+//!
+//! Where [`crate::array`] exploits the Eq. 3 equivalence to evaluate each
+//! row's MAC window in one shot, this module steps the whole array cycle
+//! by cycle exactly as Fig. 7 describes it:
+//!
+//! * `R'` weight-preload cycles per tile;
+//! * input vectors injected bottom-row-first through the staircase skew
+//!   (the surrounding FIFOs), one new vector per MAC interval;
+//! * per row, the leftmost PE generates the (IFM-bit, random-number) pair
+//!   each multiply cycle and the pair travels right through the IDFF/RREG
+//!   chain — one column per cycle;
+//! * at the M-end cycle every PE folds in the partial sum its lower
+//!   neighbour published on the previous cycle, and the top row streams
+//!   the finished OFM through the early-termination shifters.
+//!
+//! `tests::matches_fast_executor_*` prove bit-exact equivalence with the
+//! analytic executors for every computing scheme, and
+//! `tests::cycle_count_matches_timing_model` cross-validates the measured
+//! cycle count against the `usystolic-sim` ideal-cycle formula.
+
+use crate::config::SystolicConfig;
+use crate::mapping::TileMapping;
+use crate::pe::IfmSource;
+use crate::scheme::ComputingScheme;
+use crate::CoreError;
+use usystolic_gemm::{GemmConfig, Matrix};
+use usystolic_unary::add::BinaryAccumulator;
+use usystolic_unary::rng::{NumberSource, SobolSource};
+use usystolic_unary::sign::SignMagnitude;
+
+/// Statistics of a cycle-accurate run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CycleStats {
+    /// Total clock cycles summed over all tiles.
+    pub cycles: u64,
+    /// PE-cycles spent inside MAC windows.
+    pub busy_pe_cycles: u64,
+    /// Weight tiles executed.
+    pub tiles: u64,
+    /// OREG saturation events.
+    pub saturation_events: u64,
+}
+
+/// Per-row bitstream generation state.
+enum RowGen {
+    /// uSystolic: C-I comparator source + conditional weight RNG.
+    Unary { ifm_src: IfmSource, w_rng: SobolSource, ifm: SignMagnitude, last_r: u64 },
+    /// uGEMM-H: bipolar input source + ones/zeros-phase RNG pair.
+    Bipolar {
+        in_src: SobolSource,
+        rng_ones: SobolSource,
+        rng_zeros: SobolSource,
+        in_threshold: u64,
+    },
+    /// Binary schemes: exact arithmetic, no bitstreams.
+    Binary,
+}
+
+impl RowGen {
+    /// The (enable/input bit, random number) pair for one multiply cycle.
+    fn gen_pair(&mut self) -> (bool, u64) {
+        match self {
+            RowGen::Unary { ifm_src, w_rng, ifm, last_r } => {
+                let e = ifm_src.next() < ifm.magnitude;
+                if e {
+                    *last_r = w_rng.next();
+                }
+                (e, *last_r)
+            }
+            RowGen::Bipolar { in_src, rng_ones, rng_zeros, in_threshold } => {
+                let in_bit = in_src.next() < *in_threshold;
+                let r = if in_bit { rng_ones.next() } else { rng_zeros.next() };
+                (in_bit, r)
+            }
+            RowGen::Binary => (false, 0),
+        }
+    }
+}
+
+/// Runs a lowered GEMM (`input: M × K`, `weights: K × N`) through the
+/// cycle-accurate machine.
+///
+/// Functionally identical to [`crate::exec::GemmExecutor::execute_lowered`]
+/// for every scheme (verified by test), but also yields the measured
+/// cycle counts.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Shape`] for mismatched matrices.
+pub fn cycle_accurate_gemm(
+    config: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+) -> Result<(Matrix<i64>, CycleStats), CoreError> {
+    let (k, n) = gemm.lowered_shape();
+    let m = gemm.output_pixels();
+    if input.rows() != m || input.cols() != k || weights.rows() != k || weights.cols() != n {
+        return Err(CoreError::Shape(format!(
+            "lowered shapes must be ({m}x{k})·({k}x{n}), got ({}x{})·({}x{})",
+            input.rows(),
+            input.cols(),
+            weights.rows(),
+            weights.cols()
+        )));
+    }
+
+    let map = TileMapping::new(gemm, config.rows(), config.cols());
+    let mut out = Matrix::<i64>::zeros(m, n);
+    let mut stats = CycleStats::default();
+
+    for cf in 0..map.col_folds() {
+        for rf in 0..map.row_folds() {
+            let tile = TileMachine::new(config, input, weights, &map, rf, cf);
+            tile.run(&mut out, &mut stats);
+        }
+    }
+
+    // Top-row shifters: rescale the early-terminated partial sums once,
+    // after all folds have been accumulated (linear, so order-free).
+    let shift = config.early_termination().shift();
+    if shift > 0 && config.scheme() == ComputingScheme::UnaryRate {
+        for v in out.as_mut_slice() {
+            *v <<= shift;
+        }
+    }
+    Ok((out, stats))
+}
+
+/// One weight tile stepping cycle by cycle.
+struct TileMachine<'a> {
+    config: &'a SystolicConfig,
+    input: &'a Matrix<i64>,
+    weights: &'a Matrix<i64>,
+    k0: usize,
+    n0: usize,
+    rows: usize,
+    cols: usize,
+    m: usize,
+}
+
+impl<'a> TileMachine<'a> {
+    fn new(
+        config: &'a SystolicConfig,
+        input: &'a Matrix<i64>,
+        weights: &'a Matrix<i64>,
+        map: &TileMapping,
+        rf: usize,
+        cf: usize,
+    ) -> Self {
+        Self {
+            config,
+            input,
+            weights,
+            k0: rf * config.rows(),
+            n0: cf * config.cols(),
+            rows: map.rows_in_fold(rf),
+            cols: map.cols_in_fold(cf),
+            m: map.m(),
+        }
+    }
+
+    fn fresh_row_gen(&self) -> RowGen {
+        let bitwidth = self.config.bitwidth();
+        match self.config.scheme() {
+            ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => RowGen::Unary {
+                ifm_src: IfmSource::for_coding(
+                    self.config.scheme().coding().expect("unary schemes have a coding"),
+                    bitwidth,
+                ),
+                w_rng: SobolSource::dimension(0, bitwidth - 1),
+                ifm: SignMagnitude::default(),
+                last_r: 0,
+            },
+            ComputingScheme::UGemmHybrid => RowGen::Bipolar {
+                in_src: SobolSource::dimension(1, bitwidth),
+                rng_ones: SobolSource::dimension(0, bitwidth),
+                rng_zeros: SobolSource::dimension(2, bitwidth),
+                in_threshold: 0,
+            },
+            _ => RowGen::Binary,
+        }
+    }
+
+    /// Resets a row generator for a new MAC window on `level`.
+    fn reset_row_gen(&self, gen: &mut RowGen, level: i64) {
+        let bitwidth = self.config.bitwidth();
+        match gen {
+            RowGen::Unary { ifm_src, w_rng, ifm, last_r } => {
+                ifm_src.reset();
+                w_rng.reset();
+                *ifm = SignMagnitude::from_signed(level, bitwidth);
+                *last_r = 0;
+            }
+            RowGen::Bipolar { in_src, rng_ones, rng_zeros, in_threshold } => {
+                in_src.reset();
+                rng_ones.reset();
+                rng_zeros.reset();
+                let half = 1i64 << (bitwidth - 1);
+                *in_threshold = (level.clamp(-half, half) + half) as u64;
+            }
+            RowGen::Binary => {}
+        }
+    }
+
+    fn run(self, out: &mut Matrix<i64>, stats: &mut CycleStats) {
+        let scheme = self.config.scheme();
+        let bitwidth = self.config.bitwidth();
+        let mac = self.config.mac_cycles() as i64;
+        let mul = self.config.mul_cycles() as i64;
+        let half = 1i64 << (bitwidth - 1);
+        let preload = self.rows as i64;
+        let (rows, cols, m) = (self.rows, self.cols, self.m as i64);
+
+        // Stationary weights of this tile, in the scheme's operand form.
+        let w_sm: Vec<Vec<SignMagnitude>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        SignMagnitude::from_signed(
+                            self.weights[(self.k0 + r, self.n0 + c)],
+                            bitwidth,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let w_bipolar_thr: Vec<Vec<u64>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let w =
+                            self.weights[(self.k0 + r, self.n0 + c)].clamp(-half, half);
+                        (w + half) as u64
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Bottom row starts first so partial sums cascade upward.
+        let start =
+            |r: usize, c: usize| preload + (rows as i64 - 1 - r as i64) + c as i64;
+        let t_end = start(0, cols - 1) + m * mac - 1;
+
+        let mut gens: Vec<RowGen> = (0..rows).map(|_| self.fresh_row_gen()).collect();
+        // Per-row (bit, random) delay chains; index c holds the pair
+        // generated c cycles ago.
+        let mut pipes: Vec<Vec<(bool, u64)>> = vec![vec![(false, 0); cols]; rows];
+        let mut accs: Vec<BinaryAccumulator> =
+            (0..rows * cols).map(|_| BinaryAccumulator::new(self.config.acc_width())).collect();
+        // Partial sums published at the previous cycle's M-end.
+        let mut psum_prev = vec![0i64; rows * cols];
+        let mut psum_next = vec![0i64; rows * cols];
+
+        for t in 0..=t_end {
+            // Phase 1: leftmost-column generation and pipeline shift.
+            for r in 0..rows {
+                let local0 = t - start(r, 0);
+                let pair = if local0 >= 0 && local0 / mac < m {
+                    let phase = local0 % mac;
+                    if phase == 0 {
+                        let p = (local0 / mac) as usize;
+                        let level = self.input[(p, self.k0 + r)];
+                        self.reset_row_gen(&mut gens[r], level);
+                    }
+                    if phase < mul {
+                        gens[r].gen_pair()
+                    } else {
+                        (false, 0)
+                    }
+                } else {
+                    (false, 0)
+                };
+                // Shift right by one PE; the new pair enters at column 0.
+                pipes[r].rotate_right(1);
+                pipes[r][0] = pair;
+            }
+
+            // Phase 2: PE compute and M-end cascade.
+            for r in 0..rows {
+                for c in 0..cols {
+                    let local = t - start(r, c);
+                    if local < 0 || local / mac >= m {
+                        continue;
+                    }
+                    let p = (local / mac) as usize;
+                    let phase = local % mac;
+                    stats.busy_pe_cycles += 1;
+                    let idx = r * cols + c;
+                    if phase < mul {
+                        match scheme {
+                            ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => {
+                                let (e, rand) = pipes[r][c];
+                                if e && rand < w_sm[r][c].magnitude {
+                                    let ifm = SignMagnitude::from_signed(
+                                        self.input[(p, self.k0 + r)],
+                                        bitwidth,
+                                    );
+                                    accs[idx].add(ifm.product_increment(w_sm[r][c]));
+                                }
+                            }
+                            ComputingScheme::UGemmHybrid => {
+                                let (in_bit, rand) = pipes[r][c];
+                                let thr = w_bipolar_thr[r][c];
+                                let bit = if in_bit { rand < thr } else { rand >= thr };
+                                accs[idx].add(if bit { 1 } else { -1 });
+                            }
+                            ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial => {
+                                // The exact product lands at the final
+                                // multiply cycle (serial schemes spread it
+                                // over N cycles without changing the value).
+                                if phase == mul - 1 {
+                                    accs[idx].add(
+                                        self.input[(p, self.k0 + r)]
+                                            * self.weights[(self.k0 + r, self.n0 + c)],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if phase == mac - 1 {
+                        // M-end: fold in the lower neighbour's partial sum
+                        // (published last cycle) and publish our own.
+                        let below =
+                            if r + 1 < rows { psum_prev[(r + 1) * cols + c] } else { 0 };
+                        accs[idx].add(below);
+                        if accs[idx].saturated() {
+                            stats.saturation_events += 1;
+                        }
+                        let total = accs[idx].drain();
+                        if r == 0 {
+                            out[(p, self.n0 + c)] += total;
+                        } else {
+                            psum_next[idx] = total;
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut psum_prev, &mut psum_next);
+        }
+
+        stats.cycles += (t_end + 1) as u64;
+        stats.tiles += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GemmExecutor;
+    use usystolic_gemm::im2col;
+    use usystolic_gemm::{FeatureMap, WeightSet};
+
+    fn lowered_case(seed: i64) -> (GemmConfig, Matrix<i64>, Matrix<i64>) {
+        let gemm = GemmConfig::conv(4, 4, 2, 2, 2, 1, 3).expect("valid test shape");
+        let input = FeatureMap::from_fn(4, 4, 2, |h, w, c| {
+            ((h as i64 * 37 + w as i64 * 11 + c as i64 * 5 + seed) % 257) - 128
+        });
+        let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
+            ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3 + seed) % 257)
+                - 128
+        });
+        let li = im2col::lower_input(&gemm, &input).expect("shapes match");
+        let lw = im2col::lower_weights(&gemm, &weights).expect("shapes match");
+        (gemm, li, lw)
+    }
+
+    fn assert_matches_fast(scheme: ComputingScheme, rows: usize, cols: usize, seed: i64) {
+        let (gemm, li, lw) = lowered_case(seed);
+        let cfg = SystolicConfig::new(rows, cols, scheme, 8)
+            .expect("valid test configuration")
+            .with_acc_width(32);
+        let (fast, _) = GemmExecutor::new(cfg)
+            .execute_lowered(&gemm, &li, &lw)
+            .expect("fast path executes");
+        let (cycle, stats) =
+            cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+        assert_eq!(fast, cycle, "{scheme} {rows}x{cols}");
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.saturation_events, 0);
+    }
+
+    #[test]
+    fn matches_fast_executor_unary_rate() {
+        assert_matches_fast(ComputingScheme::UnaryRate, 4, 3, 1);
+        assert_matches_fast(ComputingScheme::UnaryRate, 3, 2, 2); // folded
+        assert_matches_fast(ComputingScheme::UnaryRate, 12, 14, 3); // padded
+    }
+
+    #[test]
+    fn matches_fast_executor_unary_rate_early_terminated() {
+        let (gemm, li, lw) = lowered_case(4);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .expect("valid")
+            .with_effective_bitwidth(6)
+            .expect("valid EBT")
+            .with_acc_width(32);
+        let (fast, _) = GemmExecutor::new(cfg)
+            .execute_lowered(&gemm, &li, &lw)
+            .expect("fast path executes");
+        let (cycle, _) =
+            cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+        assert_eq!(fast, cycle);
+    }
+
+    #[test]
+    fn matches_fast_executor_unary_temporal() {
+        assert_matches_fast(ComputingScheme::UnaryTemporal, 4, 3, 5);
+        assert_matches_fast(ComputingScheme::UnaryTemporal, 2, 2, 6);
+    }
+
+    #[test]
+    fn matches_fast_executor_binary() {
+        assert_matches_fast(ComputingScheme::BinaryParallel, 4, 3, 7);
+        assert_matches_fast(ComputingScheme::BinaryParallel, 3, 5, 8);
+        assert_matches_fast(ComputingScheme::BinarySerial, 4, 3, 9);
+    }
+
+    #[test]
+    fn matches_fast_executor_ugemm_h() {
+        assert_matches_fast(ComputingScheme::UGemmHybrid, 4, 3, 10);
+        assert_matches_fast(ComputingScheme::UGemmHybrid, 3, 2, 11);
+    }
+
+    #[test]
+    fn cycle_count_matches_timing_model() {
+        // The measured cycles must agree with the analytic per-tile
+        // formula `R' + M·mac + R' + C' − 2` within one cycle per tile.
+        let (gemm, li, lw) = lowered_case(12);
+        for scheme in [ComputingScheme::BinaryParallel, ComputingScheme::UnaryRate] {
+            let cfg = SystolicConfig::new(4, 3, scheme, 8)
+                .expect("valid")
+                .with_acc_width(32);
+            let (_, stats) =
+                cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+            let map = TileMapping::new(&gemm, 4, 3);
+            let mut ideal = 0i64;
+            for rf in 0..map.row_folds() {
+                for cf in 0..map.col_folds() {
+                    let r = map.rows_in_fold(rf) as i64;
+                    let c = map.cols_in_fold(cf) as i64;
+                    ideal += r + map.m() as i64 * cfg.mac_cycles() as i64 + r + c - 2;
+                }
+            }
+            let diff = (stats.cycles as i64 - ideal).unsigned_abs();
+            assert!(
+                diff <= map.tiles() as u64,
+                "{scheme}: measured {} vs ideal {ideal}",
+                stats.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn busy_cycles_match_mac_work() {
+        let (gemm, li, lw) = lowered_case(13);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .expect("valid")
+            .with_acc_width(32);
+        let (_, stats) =
+            cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+        // Every (vector, weight) pair occupies one PE for mac_cycles.
+        let expect = gemm.macs() * cfg.mac_cycles();
+        assert_eq!(stats.busy_pe_cycles, expect);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let (gemm, li, _) = lowered_case(14);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).expect("valid");
+        let bad = Matrix::<i64>::zeros(2, 2);
+        assert!(cycle_accurate_gemm(&cfg, &gemm, &li, &bad).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Binary baseline executors (bit-parallel and bit-serial).
+//!
+//! Both binary schemes compute the exact integer product — they differ
+//! only in PE latency and hardware cost, which the timing and hardware
+//! models account for. The functional executor is therefore shared.
+
+use crate::config::SystolicConfig;
+use crate::scheme::ComputingScheme;
+use crate::array::ExecStats;
+use crate::CoreError;
+use usystolic_gemm::{GemmConfig, Matrix};
+
+/// Runs a lowered GEMM (`input: M × K`, `weights: K × N`) exactly, as the
+/// binary parallel and serial systolic arrays do.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] unless the configuration's scheme is
+/// binary, and [`CoreError::Shape`] for mismatched matrices.
+pub fn binary_gemm(
+    config: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+) -> Result<(Matrix<i64>, ExecStats), CoreError> {
+    if !matches!(
+        config.scheme(),
+        ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial
+    ) {
+        return Err(CoreError::Config(format!(
+            "binary_gemm does not execute {}",
+            config.scheme()
+        )));
+    }
+    let (k, n) = gemm.lowered_shape();
+    let m = gemm.output_pixels();
+    if input.rows() != m || input.cols() != k || weights.rows() != k || weights.cols() != n {
+        return Err(CoreError::Shape(format!(
+            "lowered shapes must be ({m}x{k})·({k}x{n}), got ({}x{})·({}x{})",
+            input.rows(),
+            input.cols(),
+            weights.rows(),
+            weights.cols()
+        )));
+    }
+
+    let mut out = Matrix::<i64>::zeros(m, n);
+    for p in 0..m {
+        for c in 0..n {
+            let mut acc = 0i64;
+            for r in 0..k {
+                acc += input[(p, r)] * weights[(r, c)];
+            }
+            out[(p, c)] = acc;
+        }
+    }
+    let mac_windows = (m * k * n) as u64;
+    let stats = ExecStats {
+        mac_windows,
+        saturation_events: 0,
+        compute_cycles: mac_windows * config.mac_cycles(),
+    };
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case() -> (GemmConfig, Matrix<i64>, Matrix<i64>) {
+        let gemm = GemmConfig::matmul(3, 4, 2).unwrap();
+        let input = Matrix::from_fn(3, 4, |p, k| (p * 4 + k) as i64 - 5);
+        let weights = Matrix::from_fn(4, 2, |k, c| (k * 2 + c) as i64 - 3);
+        (gemm, input, weights)
+    }
+
+    #[test]
+    fn exact_product() {
+        let (gemm, input, weights) = case();
+        let cfg = SystolicConfig::new(4, 2, ComputingScheme::BinaryParallel, 8).unwrap();
+        let (out, stats) = binary_gemm(&cfg, &gemm, &input, &weights).unwrap();
+        for p in 0..3 {
+            for c in 0..2 {
+                let expect: i64 = (0..4).map(|k| input[(p, k)] * weights[(k, c)]).sum();
+                assert_eq!(out[(p, c)], expect);
+            }
+        }
+        assert_eq!(stats.mac_windows, 3 * 4 * 2);
+        assert_eq!(stats.saturation_events, 0);
+    }
+
+    #[test]
+    fn serial_matches_parallel_functionally() {
+        let (gemm, input, weights) = case();
+        let bp = SystolicConfig::new(4, 2, ComputingScheme::BinaryParallel, 8).unwrap();
+        let bs = SystolicConfig::new(4, 2, ComputingScheme::BinarySerial, 8).unwrap();
+        let (a, sa) = binary_gemm(&bp, &gemm, &input, &weights).unwrap();
+        let (b, sb) = binary_gemm(&bs, &gemm, &input, &weights).unwrap();
+        assert_eq!(a, b);
+        // But the serial scheme burns more cycles.
+        assert!(sb.compute_cycles > sa.compute_cycles);
+    }
+
+    #[test]
+    fn rejects_unary_scheme() {
+        let (gemm, input, weights) = case();
+        let ur = SystolicConfig::new(4, 2, ComputingScheme::UnaryRate, 8).unwrap();
+        assert!(binary_gemm(&ur, &gemm, &input, &weights).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let (gemm, input, _) = case();
+        let cfg = SystolicConfig::new(4, 2, ComputingScheme::BinaryParallel, 8).unwrap();
+        let bad = Matrix::<i64>::zeros(5, 2);
+        assert!(binary_gemm(&cfg, &gemm, &input, &bad).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Differential checking utilities: run one random GEMM through every
+//! computing scheme and verify each against the exact reference within
+//! its scheme-specific tolerance.
+//!
+//! Exposed as a public API (not just a test) so downstream users who
+//! extend a scheme can fuzz their changes the same way this repository
+//! does.
+
+use crate::config::SystolicConfig;
+use crate::exec::GemmExecutor;
+use crate::scheme::ComputingScheme;
+use crate::CoreError;
+use usystolic_gemm::loopnest::gemm_reference;
+use usystolic_gemm::stats::ErrorStats;
+use usystolic_gemm::{FeatureMap, GemmConfig, WeightSet};
+
+/// Result of one differential check.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SchemeCheck {
+    /// The scheme checked.
+    pub scheme: ComputingScheme,
+    /// RMS error against the f64 reference.
+    pub rmse: f64,
+    /// The tolerance the scheme was held to.
+    pub tolerance: f64,
+    /// Whether the scheme passed.
+    pub passed: bool,
+}
+
+/// The per-scheme error tolerance, as a fraction of the reference value
+/// scale: binary schemes see only quantisation error; unary schemes add
+/// bounded bitstream variance; uGEMM-H doubles it (coarser ±1 steps).
+#[must_use]
+pub fn tolerance_for(scheme: ComputingScheme, bitwidth: u32) -> f64 {
+    let quant = 1.0 / (1u64 << (bitwidth - 1)) as f64;
+    match scheme {
+        ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial => 4.0 * quant,
+        ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => 24.0 * quant,
+        ComputingScheme::UGemmHybrid => 48.0 * quant,
+    }
+}
+
+/// Runs one seeded random GEMM through every scheme on a small array and
+/// reports each scheme's error against the reference.
+///
+/// # Errors
+///
+/// Propagates configuration/execution errors (which would themselves be
+/// bugs for the in-range inputs this generates).
+pub fn differential_check(seed: u64, bitwidth: u32) -> Result<Vec<SchemeCheck>, CoreError> {
+    // Derive a small GEMM shape and tensors from the seed with a splitmix
+    // step (deterministic, dependency-free).
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let dim = |lo: usize, hi: usize, v: u64| lo + (v as usize) % (hi - lo + 1);
+    let ih = dim(3, 8, next());
+    let iw = dim(3, 8, next());
+    let ic = dim(1, 4, next());
+    let wh = dim(1, ih.min(3), next());
+    let ww = dim(1, iw.min(3), next());
+    let oc = dim(1, 5, next());
+    let gemm = GemmConfig::conv(ih, iw, ic, wh, ww, 1, oc)?;
+
+    let mut val = move || (next() % 2001) as f64 / 1000.0 - 1.0;
+    let input = FeatureMap::from_fn(ih, iw, ic, |_, _, _| val());
+    let weights = WeightSet::from_fn(oc, wh, ww, ic, |_, _, _, _| val() * 0.5);
+    let reference = gemm_reference(&gemm, &input, &weights)?;
+    let scale = reference
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &x| m.max(x.abs()))
+        .max(1e-9);
+
+    let mut out = Vec::with_capacity(ComputingScheme::ALL.len());
+    for scheme in ComputingScheme::ALL {
+        let cfg = SystolicConfig::new(
+            dim(2, 6, seed ^ 0x55) ,
+            dim(2, 6, seed ^ 0xAA),
+            scheme,
+            bitwidth,
+        )
+        .map_err(|e| CoreError::Config(e.to_string()))?;
+        let outcome = GemmExecutor::new(cfg).execute(&gemm, &input, &weights)?;
+        let rmse = ErrorStats::compare(reference.as_slice(), outcome.output.as_slice())?
+            .rmse()
+            / scale;
+        let tolerance = tolerance_for(scheme, bitwidth);
+        out.push(SchemeCheck { scheme, rmse, tolerance, passed: rmse <= tolerance });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_seeds_pass_for_8bit() {
+        for seed in 0..24u64 {
+            let checks = differential_check(seed, 8).expect("check runs");
+            assert_eq!(checks.len(), 5);
+            for c in &checks {
+                assert!(
+                    c.passed,
+                    "seed {seed} {}: rmse {} > tolerance {}",
+                    c.scheme, c.rmse, c.tolerance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tolerances_rank_schemes() {
+        assert!(
+            tolerance_for(ComputingScheme::BinaryParallel, 8)
+                < tolerance_for(ComputingScheme::UnaryRate, 8)
+        );
+        assert!(
+            tolerance_for(ComputingScheme::UnaryRate, 8)
+                < tolerance_for(ComputingScheme::UGemmHybrid, 8)
+        );
+        // Tighter data → tighter tolerance.
+        assert!(
+            tolerance_for(ComputingScheme::UnaryRate, 12)
+                < tolerance_for(ComputingScheme::UnaryRate, 8)
+        );
+    }
+
+    #[test]
+    fn checks_are_deterministic() {
+        let a = differential_check(7, 8).expect("check runs");
+        let b = differential_check(7, 8).expect("check runs");
+        assert_eq!(a, b);
+    }
+}

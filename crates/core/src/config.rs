@@ -1,0 +1,309 @@
+//! Systolic-array configuration (Section IV-C2).
+
+use crate::scheme::ComputingScheme;
+use usystolic_unary::et::EtError;
+use usystolic_unary::EarlyTermination;
+
+/// Error constructing a [`SystolicConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Array dimensions must be non-zero.
+    EmptyArray,
+    /// Data bitwidth outside the supported range.
+    BadBitwidth(u32),
+    /// The early-termination policy is invalid for the scheme/bitwidth.
+    BadEarlyTermination(EtError),
+    /// Early termination requested for a scheme that does not support it.
+    EtUnsupportedByScheme(ComputingScheme),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::EmptyArray => f.write_str("array dimensions must be non-zero"),
+            ConfigError::BadBitwidth(w) => write!(f, "unsupported data bitwidth {w}"),
+            ConfigError::BadEarlyTermination(e) => write!(f, "bad early termination: {e}"),
+            ConfigError::EtUnsupportedByScheme(s) => {
+                write!(f, "{s} does not support early termination")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A complete systolic-array configuration: shape, computing scheme, data
+/// bitwidth, early-termination policy and accumulator width.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::{ComputingScheme, SystolicConfig};
+///
+/// // The paper's edge array (Eyeriss shape, 12×14) running rate-coded
+/// // uSystolic on 8-bit data, early-terminated to 32 multiply cycles.
+/// let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+///     .with_mul_cycles(32)
+///     .unwrap();
+/// assert_eq!(cfg.mac_cycles(), 33);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SystolicConfig {
+    rows: usize,
+    cols: usize,
+    scheme: ComputingScheme,
+    bitwidth: u32,
+    et: EarlyTermination,
+    acc_width: u32,
+}
+
+/// Array rows of the paper's **edge** configuration (MIT Eyeriss, 12×14).
+pub const EDGE_ROWS: usize = 12;
+/// Array columns of the paper's **edge** configuration.
+pub const EDGE_COLS: usize = 14;
+/// Array rows of the paper's **cloud** configuration (Google TPU, 256×256).
+pub const CLOUD_ROWS: usize = 256;
+/// Array columns of the paper's **cloud** configuration.
+pub const CLOUD_COLS: usize = 256;
+
+impl SystolicConfig {
+    /// Creates a configuration with explicit shape, scheme and bitwidth;
+    /// no early termination, default accumulator width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyArray`] for a zero dimension and
+    /// [`ConfigError::BadBitwidth`] for an unsupported bitwidth.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        scheme: ComputingScheme,
+        bitwidth: u32,
+    ) -> Result<Self, ConfigError> {
+        if rows == 0 || cols == 0 {
+            return Err(ConfigError::EmptyArray);
+        }
+        if !(2..=usystolic_unary::MAX_BITWIDTH).contains(&bitwidth) {
+            return Err(ConfigError::BadBitwidth(bitwidth));
+        }
+        let acc_width = default_acc_width(scheme, bitwidth, rows);
+        Ok(Self { rows, cols, scheme, bitwidth, et: EarlyTermination::full(bitwidth), acc_width })
+    }
+
+    /// The paper's edge configuration: a 12×14 array (Eyeriss shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported bitwidth (use [`new`](Self::new) for
+    /// fallible construction).
+    #[must_use]
+    pub fn edge(scheme: ComputingScheme, bitwidth: u32) -> Self {
+        Self::new(EDGE_ROWS, EDGE_COLS, scheme, bitwidth).expect("edge shape is valid")
+    }
+
+    /// The paper's cloud configuration: a 256×256 array (TPU shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported bitwidth.
+    #[must_use]
+    pub fn cloud(scheme: ComputingScheme, bitwidth: u32) -> Self {
+        Self::new(CLOUD_ROWS, CLOUD_COLS, scheme, bitwidth).expect("cloud shape is valid")
+    }
+
+    /// Applies an early-termination policy by effective bitwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EtUnsupportedByScheme`] unless the scheme is
+    /// rate-coded uSystolic (or `ebt == bitwidth`, a no-op), and
+    /// [`ConfigError::BadEarlyTermination`] for an invalid EBT.
+    pub fn with_effective_bitwidth(mut self, ebt: u32) -> Result<Self, ConfigError> {
+        if ebt != self.bitwidth && !self.scheme.supports_early_termination() {
+            return Err(ConfigError::EtUnsupportedByScheme(self.scheme));
+        }
+        self.et = EarlyTermination::new(self.bitwidth, ebt)
+            .map_err(ConfigError::BadEarlyTermination)?;
+        Ok(self)
+    }
+
+    /// Applies an early-termination policy by multiply cycle count (the
+    /// paper's "Unary-32c" notation).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`with_effective_bitwidth`](Self::with_effective_bitwidth).
+    pub fn with_mul_cycles(self, mul_cycles: u64) -> Result<Self, ConfigError> {
+        let et = EarlyTermination::from_mul_cycles(self.bitwidth, mul_cycles)
+            .map_err(ConfigError::BadEarlyTermination)?;
+        self.with_effective_bitwidth(et.effective_bitwidth())
+    }
+
+    /// Overrides the per-PE accumulator register width.
+    #[must_use]
+    pub fn with_acc_width(mut self, acc_width: u32) -> Self {
+        self.acc_width = acc_width;
+        self
+    }
+
+    /// Array rows `R`.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns `C`.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total PE count.
+    #[must_use]
+    pub fn pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Computing scheme.
+    #[must_use]
+    pub fn scheme(&self) -> ComputingScheme {
+        self.scheme
+    }
+
+    /// Data bitwidth `N`.
+    #[must_use]
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+
+    /// Early-termination policy (full-length when none was requested).
+    #[must_use]
+    pub fn early_termination(&self) -> EarlyTermination {
+        self.et
+    }
+
+    /// Per-PE accumulator register width.
+    #[must_use]
+    pub fn acc_width(&self) -> u32 {
+        self.acc_width
+    }
+
+    /// MAC cycles per PE under this configuration.
+    #[must_use]
+    pub fn mac_cycles(&self) -> u64 {
+        self.scheme.mac_cycles(self.bitwidth, self.et)
+    }
+
+    /// Multiplication cycles per PE under this configuration.
+    #[must_use]
+    pub fn mul_cycles(&self) -> u64 {
+        self.scheme.mul_cycles(self.bitwidth, self.et)
+    }
+}
+
+impl core::fmt::Display for SystolicConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}x{} {} {}b ({} MAC cycles)",
+            self.rows,
+            self.cols,
+            self.scheme.label(),
+            self.bitwidth,
+            self.mac_cycles()
+        )
+    }
+}
+
+/// Default accumulator width per scheme.
+///
+/// Binary designs need `2N + log2(R)` bits to hold the full-resolution
+/// product sum; uSystolic's reduced-resolution accumulation needs only
+/// `N + log2(R)` — the "N-bit smaller OREG" of Section III-A. One extra
+/// guard bit covers the sign-magnitude maximum of `2^(N-1)` (inclusive).
+fn default_acc_width(scheme: ComputingScheme, bitwidth: u32, rows: usize) -> u32 {
+    let fold_bits = (rows.max(2) as f64).log2().ceil() as u32;
+    match scheme {
+        ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial => {
+            2 * bitwidth + fold_bits + 2
+        }
+        ComputingScheme::UGemmHybrid
+        | ComputingScheme::UnaryRate
+        | ComputingScheme::UnaryTemporal => bitwidth + fold_bits + 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_and_cloud_shapes() {
+        let e = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        assert_eq!((e.rows(), e.cols()), (12, 14));
+        assert_eq!(e.pes(), 168);
+        let c = SystolicConfig::cloud(ComputingScheme::BinaryParallel, 16);
+        assert_eq!((c.rows(), c.cols()), (256, 256));
+    }
+
+    #[test]
+    fn et_by_cycles_matches_paper_notation() {
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(64)
+            .unwrap();
+        assert_eq!(cfg.early_termination().effective_bitwidth(), 7);
+        assert_eq!(cfg.mac_cycles(), 65);
+    }
+
+    #[test]
+    fn et_rejected_for_non_rate_schemes() {
+        for s in [
+            ComputingScheme::BinaryParallel,
+            ComputingScheme::BinarySerial,
+            ComputingScheme::UGemmHybrid,
+            ComputingScheme::UnaryTemporal,
+        ] {
+            let err = SystolicConfig::edge(s, 8).with_effective_bitwidth(6).unwrap_err();
+            assert_eq!(err, ConfigError::EtUnsupportedByScheme(s));
+            // Full-length "ET" is a no-op and allowed.
+            assert!(SystolicConfig::edge(s, 8).with_effective_bitwidth(8).is_ok());
+        }
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert_eq!(
+            SystolicConfig::new(0, 4, ComputingScheme::BinaryParallel, 8).unwrap_err(),
+            ConfigError::EmptyArray
+        );
+        assert_eq!(
+            SystolicConfig::new(4, 4, ComputingScheme::BinaryParallel, 1).unwrap_err(),
+            ConfigError::BadBitwidth(1)
+        );
+        assert!(SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(33)
+            .is_err());
+    }
+
+    #[test]
+    fn accumulator_widths_reflect_reduced_resolution() {
+        let bp = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let ur = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+        // uSystolic's OREG is at least N bits narrower than binary's.
+        assert!(bp.acc_width() >= ur.acc_width() + 8);
+        let custom = ur.with_acc_width(10);
+        assert_eq!(custom.acc_width(), 10);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(32)
+            .unwrap();
+        let s = cfg.to_string();
+        assert!(s.contains("12x14"));
+        assert!(s.contains("UR"));
+        assert!(s.contains("33"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Unified high-level GEMM execution across computing schemes.
+//!
+//! [`GemmExecutor`] is the crate's main entry point: it quantises `f64`
+//! tensors to the array's data bitwidth, lowers them (im2col), dispatches
+//! to the scheme's functional model, and dequantises the result — giving
+//! each scheme the treatment the paper gives it in the accuracy study
+//! (Section V-A).
+
+use crate::array::{ugemm_h_gemm, unary_gemm, ExecStats};
+use crate::baselines::binary_gemm;
+use crate::config::SystolicConfig;
+use crate::scheme::ComputingScheme;
+use crate::CoreError;
+use usystolic_gemm::im2col;
+use usystolic_gemm::quant::Quantizer;
+use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+
+/// The result of a scheme-accurate GEMM execution.
+#[derive(Debug, Clone)]
+pub struct GemmOutcome {
+    /// The dequantised output feature map.
+    pub output: FeatureMap<f64>,
+    /// Functional execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Executes GEMMs under a fixed systolic-array configuration.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::{ComputingScheme, GemmExecutor, SystolicConfig};
+/// use usystolic_gemm::{FeatureMap, GemmConfig, WeightSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SystolicConfig::new(4, 4, ComputingScheme::UnaryRate, 8)?;
+/// let exec = GemmExecutor::new(cfg);
+/// let gemm = GemmConfig::matmul(2, 4, 3)?;
+/// let input = FeatureMap::from_fn(2, 1, 4, |m, _, k| (m + k) as f64 * 0.1);
+/// let weights = WeightSet::from_fn(3, 1, 1, 4, |n, _, _, k| (n as f64 - k as f64) * 0.1);
+/// let outcome = exec.execute(&gemm, &input, &weights)?;
+/// assert_eq!(outcome.output.channels(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemmExecutor {
+    config: SystolicConfig,
+}
+
+impl GemmExecutor {
+    /// Creates an executor for the given configuration.
+    #[must_use]
+    pub fn new(config: SystolicConfig) -> Self {
+        Self { config }
+    }
+
+    /// The executor's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    /// Executes a GEMM on real-valued tensors: quantise → lower → run the
+    /// scheme's functional model → dequantise → fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from the GEMM substrate and scheme
+    /// dispatch errors.
+    pub fn execute(
+        &self,
+        gemm: &GemmConfig,
+        input: &FeatureMap<f64>,
+        weights: &WeightSet<f64>,
+    ) -> Result<GemmOutcome, CoreError> {
+        let bitwidth = self.config.bitwidth();
+        let qi = Quantizer::calibrated(bitwidth, input.as_slice());
+        let qw = Quantizer::calibrated(bitwidth, weights.as_slice());
+
+        let i_int = FeatureMap::from_fn(
+            input.height(),
+            input.width(),
+            input.channels(),
+            |h, w, c| qi.quantize(input[(h, w, c)]),
+        );
+        let w_int = WeightSet::from_fn(
+            weights.out_channels(),
+            weights.height(),
+            weights.width(),
+            weights.in_channels(),
+            |oc, wh, ww, ic| qw.quantize(weights[(oc, wh, ww, ic)]),
+        );
+
+        let li = im2col::lower_input(gemm, &i_int)?;
+        let lw = im2col::lower_weights(gemm, &w_int)?;
+        let (int_out, stats) = self.execute_lowered(gemm, &li, &lw)?;
+
+        let divisor = self.config.scheme().product_divisor(bitwidth);
+        let scale = divisor / (qi.scale() * qw.scale());
+        let real = int_out.map(|&v| v as f64 * scale);
+        let output = im2col::fold_output(gemm, &real)?;
+        Ok(GemmOutcome { output, stats })
+    }
+
+    /// Executes a GEMM on already-quantised lowered matrices
+    /// (`input: M × K`, `weights: K × N`, levels in
+    /// `[-2^(N-1), 2^(N-1)]`), returning the raw integer result in the
+    /// scheme's output domain (divide by
+    /// [`ComputingScheme::product_divisor`] to recover the level-domain
+    /// product).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and configuration errors from the scheme
+    /// executors.
+    pub fn execute_lowered(
+        &self,
+        gemm: &GemmConfig,
+        input: &Matrix<i64>,
+        weights: &Matrix<i64>,
+    ) -> Result<(Matrix<i64>, ExecStats), CoreError> {
+        match self.config.scheme() {
+            ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial => {
+                binary_gemm(&self.config, gemm, input, weights)
+            }
+            ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => {
+                unary_gemm(&self.config, gemm, input, weights)
+            }
+            ComputingScheme::UGemmHybrid => ugemm_h_gemm(&self.config, gemm, input, weights),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_gemm::loopnest::gemm_reference;
+    use usystolic_gemm::stats::ErrorStats;
+
+    fn case() -> (GemmConfig, FeatureMap<f64>, WeightSet<f64>) {
+        let gemm = GemmConfig::conv(5, 5, 2, 2, 2, 1, 3).unwrap();
+        let input = FeatureMap::from_fn(5, 5, 2, |h, w, c| {
+            (((h * 19 + w * 7 + c * 3) % 17) as f64 / 17.0 - 0.5) * 1.6
+        });
+        let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
+            (((oc * 29 + wh * 13 + ww * 5 + ic) % 23) as f64 / 23.0 - 0.45) * 0.8
+        });
+        (gemm, input, weights)
+    }
+
+    fn rmse_for(scheme: ComputingScheme) -> f64 {
+        let (gemm, input, weights) = case();
+        let reference = gemm_reference(&gemm, &input, &weights).unwrap();
+        let cfg = SystolicConfig::new(4, 3, scheme, 8).unwrap();
+        let out = GemmExecutor::new(cfg).execute(&gemm, &input, &weights).unwrap();
+        ErrorStats::compare(reference.as_slice(), out.output.as_slice())
+            .unwrap()
+            .rmse()
+    }
+
+    #[test]
+    fn every_scheme_approximates_the_reference() {
+        let (gemm, input, weights) = case();
+        let reference = gemm_reference(&gemm, &input, &weights).unwrap();
+        let ref_scale = reference
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |m, &x| m.max(x.abs()));
+        for scheme in ComputingScheme::ALL {
+            let rmse = rmse_for(scheme);
+            assert!(
+                rmse < ref_scale * 0.12,
+                "{scheme}: rmse {rmse} too large vs scale {ref_scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_parallel_error_is_pure_quantisation() {
+        // 8-bit quantisation error only: far below the unary variance.
+        let bp = rmse_for(ComputingScheme::BinaryParallel);
+        let ur = rmse_for(ComputingScheme::UnaryRate);
+        assert!(bp < ur, "BP {bp} should be more accurate than UR {ur}");
+    }
+
+    #[test]
+    fn ugemm_h_matches_usystolic_accuracy_class() {
+        // Section V-A: uGEMM-H has the same accuracy as uSystolic (the
+        // bipolar uMUL changes hardware cost, not resolution). Allow 2×.
+        let ug = rmse_for(ComputingScheme::UGemmHybrid);
+        let ur = rmse_for(ComputingScheme::UnaryRate);
+        assert!(ug < ur * 2.5 + 1e-9, "UG {ug} vs UR {ur}");
+    }
+
+    #[test]
+    fn early_termination_degrades_gracefully() {
+        let (gemm, input, weights) = case();
+        let reference = gemm_reference(&gemm, &input, &weights).unwrap();
+        let mut last = 0.0f64;
+        // Decreasing EBT must not *improve* accuracy (up to noise).
+        for ebt in [8u32, 7, 6, 5] {
+            let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+                .unwrap()
+                .with_effective_bitwidth(ebt)
+                .unwrap();
+            let out = GemmExecutor::new(cfg).execute(&gemm, &input, &weights).unwrap();
+            let rmse = ErrorStats::compare(reference.as_slice(), out.output.as_slice())
+                .unwrap()
+                .rmse();
+            assert!(
+                rmse >= last * 0.5,
+                "EBT {ebt}: rmse {rmse} vs previous {last}"
+            );
+            last = rmse;
+        }
+    }
+
+    #[test]
+    fn rate_and_temporal_have_similar_accuracy() {
+        // Section V-A: "uSystolic accuracy for rate and temporal codings
+        // with an identical EBT are almost the same".
+        let ur = rmse_for(ComputingScheme::UnaryRate);
+        let ut = rmse_for(ComputingScheme::UnaryTemporal);
+        assert!(
+            (ur - ut).abs() <= ur.max(ut),
+            "rate {ur} and temporal {ut} should be the same class"
+        );
+    }
+
+    #[test]
+    fn matmul_path_works_end_to_end() {
+        let gemm = GemmConfig::matmul(3, 6, 4).unwrap();
+        let input = FeatureMap::from_fn(3, 1, 6, |m, _, k| ((m * 6 + k) as f64) / 18.0 - 0.5);
+        let weights =
+            WeightSet::from_fn(4, 1, 1, 6, |n, _, _, k| ((n * 6 + k) as f64) / 24.0 - 0.4);
+        let reference = gemm_reference(&gemm, &input, &weights).unwrap();
+        let cfg = SystolicConfig::new(4, 4, ComputingScheme::UnaryRate, 10).unwrap();
+        let out = GemmExecutor::new(cfg).execute(&gemm, &input, &weights).unwrap();
+        let e = ErrorStats::compare(reference.as_slice(), out.output.as_slice()).unwrap();
+        assert!(e.rmse() < 0.05, "{e}");
+    }
+}

@@ -1,0 +1,214 @@
+//! The synchronisation FIFOs surrounding the array (Fig. 7: "The
+//! surrounding FIFOs are in charge of synchronizing data as in \[30\]").
+//!
+//! A weight-stationary array consumes its input vectors *skewed*: row `k`
+//! of a vector must arrive `k` cycles after row 0 (or in reverse order
+//! when partial sums cascade upward), and the outputs emerge with the
+//! mirror skew. [`DelayLine`] is the unit FIFO; [`SkewBank`] arranges one
+//! per row/column with staircase depths.
+
+use std::collections::VecDeque;
+
+/// A fixed-latency FIFO: elements emerge exactly `depth` pushes later.
+///
+/// A `depth` of 0 is a wire.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::fifo::DelayLine;
+///
+/// let mut line = DelayLine::new(2, 0i64);
+/// assert_eq!(line.push(7), 0); // fill value emerges first
+/// assert_eq!(line.push(8), 0);
+/// assert_eq!(line.push(9), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    queue: VecDeque<T>,
+    depth: usize,
+}
+
+impl<T: Clone> DelayLine<T> {
+    /// Creates a delay line of the given depth, pre-filled with `fill`.
+    #[must_use]
+    pub fn new(depth: usize, fill: T) -> Self {
+        Self { queue: VecDeque::from(vec![fill; depth]), depth }
+    }
+
+    /// Pushes one element and pops the element that has aged `depth`
+    /// cycles (the pushed element itself when depth is 0).
+    pub fn push(&mut self, value: T) -> T {
+        if self.depth == 0 {
+            return value;
+        }
+        self.queue.push_back(value);
+        self.queue.pop_front().expect("queue holds depth elements")
+    }
+
+    /// The configured latency.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of elements currently buffered (always equals the depth).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the line buffers nothing (depth 0).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// The direction of the staircase skew across a bank of FIFOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewOrder {
+    /// Lane 0 has depth 0, lane `i` has depth `i` (top-first injection).
+    Ascending,
+    /// Lane `n-1` has depth 0, lane `i` has depth `n-1-i` (bottom-first
+    /// injection — the order that makes partial sums cascade upward).
+    Descending,
+}
+
+/// A bank of [`DelayLine`]s with staircase depths, skewing a parallel
+/// vector into the diagonal wavefront a systolic array consumes.
+#[derive(Debug, Clone)]
+pub struct SkewBank<T> {
+    lanes: Vec<DelayLine<T>>,
+}
+
+impl<T: Clone> SkewBank<T> {
+    /// Creates a bank of `lanes` FIFOs in the given skew order, pre-filled
+    /// with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn new(lanes: usize, order: SkewOrder, fill: T) -> Self {
+        assert!(lanes > 0, "a skew bank needs at least one lane");
+        let lanes = (0..lanes)
+            .map(|i| {
+                let depth = match order {
+                    SkewOrder::Ascending => i,
+                    SkewOrder::Descending => lanes - 1 - i,
+                };
+                DelayLine::new(depth, fill.clone())
+            })
+            .collect();
+        Self { lanes }
+    }
+
+    /// Pushes one parallel vector and returns the skewed wavefront that
+    /// emerges this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the lane count.
+    pub fn push(&mut self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.lanes.len(), "lane count mismatch");
+        self.lanes
+            .iter_mut()
+            .zip(values)
+            .map(|(lane, v)| lane.push(v.clone()))
+            .collect()
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Cycles needed to fully drain the deepest lane.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.lanes.iter().map(DelayLine::depth).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_depth_is_a_wire() {
+        let mut line = DelayLine::new(0, 0u8);
+        assert_eq!(line.push(5), 5);
+        assert!(line.is_empty());
+        assert_eq!(line.len(), 0);
+    }
+
+    #[test]
+    fn delay_line_has_exact_latency() {
+        let mut line = DelayLine::new(3, -1i32);
+        let outs: Vec<i32> = (0..6).map(|v| line.push(v)).collect();
+        assert_eq!(outs, [-1, -1, -1, 0, 1, 2]);
+        assert_eq!(line.depth(), 3);
+        assert_eq!(line.len(), 3);
+    }
+
+    #[test]
+    fn ascending_skew_staircases() {
+        let mut bank = SkewBank::new(3, SkewOrder::Ascending, 0i32);
+        // Push the same vector three times; lane i echoes it i cycles
+        // later.
+        let w0 = bank.push(&[1, 2, 3]);
+        let w1 = bank.push(&[4, 5, 6]);
+        let w2 = bank.push(&[7, 8, 9]);
+        assert_eq!(w0, [1, 0, 0]);
+        assert_eq!(w1, [4, 2, 0]);
+        assert_eq!(w2, [7, 5, 3]);
+        assert_eq!(bank.max_depth(), 2);
+    }
+
+    #[test]
+    fn descending_skew_mirrors() {
+        let mut bank = SkewBank::new(3, SkewOrder::Descending, 0i32);
+        let w0 = bank.push(&[1, 2, 3]);
+        let w1 = bank.push(&[4, 5, 6]);
+        assert_eq!(w0, [0, 0, 3]);
+        assert_eq!(w1, [0, 2, 6]);
+    }
+
+    #[test]
+    fn skew_then_unskew_is_identity() {
+        // An ascending bank followed by a descending bank realigns the
+        // wavefront (total latency = lanes - 1 per element).
+        let lanes = 4;
+        let mut skew = SkewBank::new(lanes, SkewOrder::Ascending, 0i32);
+        let mut unskew = SkewBank::new(lanes, SkewOrder::Descending, 0i32);
+        let vectors: Vec<Vec<i32>> =
+            (0..8).map(|p| (0..lanes as i32).map(|l| p * 10 + l).collect()).collect();
+        let mut outs = Vec::new();
+        for v in &vectors {
+            outs.push(unskew.push(&skew.push(v)));
+        }
+        // Flush with zeros.
+        for _ in 0..(lanes - 1) {
+            outs.push(unskew.push(&skew.push(&vec![0; lanes])));
+        }
+        // Output p emerges at cycle p + lanes - 1, realigned.
+        for (p, v) in vectors.iter().enumerate() {
+            assert_eq!(&outs[p + lanes - 1], v, "vector {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count mismatch")]
+    fn mismatched_vector_panics() {
+        let mut bank = SkewBank::new(2, SkewOrder::Ascending, 0u8);
+        let _ = bank.push(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_bank_rejected() {
+        let _ = SkewBank::<u8>::new(0, SkewOrder::Ascending, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! A fully-streaming unary (FSU) GEMM architecture — the uGEMM baseline
+//! of Fig. 5a / Fig. 6, built to quantify Table I.
+//!
+//! An FSU design converts binary data to bitstreams **once**, computes
+//! the whole GEMM as parallel bipolar uMULs feeding a unary-domain
+//! MUX-adder tree, and converts back to binary at the very end. Its
+//! defining properties (and deficiencies) all fall out of this structure:
+//!
+//! * **fixed configuration**: one instance serves exactly one GEMM shape
+//!   (`K × N` PEs are wired for it) — low generalizability;
+//! * **weight storage in flip-flops**: all `K × N` weights live on chip
+//!   (the paper's footnote: AlexNet would need 61.1 MB of DFFs);
+//! * **global broadcast** of input and weight streams — low scalability;
+//! * **unary-domain accumulation**: the MUX tree computes the *scaled*
+//!   sum `(1/K)·Σ`, burning `log2(K)` bits of output resolution — the
+//!   accuracy deficit that motivates uSystolic's binary accumulation.
+
+use crate::CoreError;
+use usystolic_gemm::{GemmConfig, Matrix};
+use usystolic_unary::rng::{NumberSource, SobolSource};
+
+/// A fully-streaming unary GEMM instance, fixed to one configuration.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::FsuGemm;
+/// use usystolic_gemm::GemmConfig;
+///
+/// // An FSU instance for AlexNet FC6 needs every weight in flip-flops:
+/// let fc6 = GemmConfig::matmul(1, 9216, 4096)?;
+/// let fsu = FsuGemm::new(fc6, 8);
+/// assert!(fsu.weight_storage_bits() / 8 > 24 * 1024 * 1024);
+/// # Ok::<(), usystolic_gemm::GemmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsuGemm {
+    gemm: GemmConfig,
+    bitwidth: u32,
+}
+
+impl FsuGemm {
+    /// Instantiates the architecture for one GEMM shape.
+    #[must_use]
+    pub fn new(gemm: GemmConfig, bitwidth: u32) -> Self {
+        Self { gemm, bitwidth }
+    }
+
+    /// The fixed configuration this instance serves.
+    #[must_use]
+    pub fn gemm(&self) -> &GemmConfig {
+        &self.gemm
+    }
+
+    /// On-chip weight storage requirement in bits: every weight lives in
+    /// flip-flops (`K·N·bitwidth`).
+    #[must_use]
+    pub fn weight_storage_bits(&self) -> u64 {
+        let (k, n) = self.gemm.lowered_shape();
+        (k * n) as u64 * u64::from(self.bitwidth)
+    }
+
+    /// PE count: one bipolar multiplier per weight.
+    #[must_use]
+    pub fn pes(&self) -> u64 {
+        let (k, n) = self.gemm.lowered_shape();
+        (k * n) as u64
+    }
+
+    /// Stream length: `2^bitwidth` bipolar cycles.
+    #[must_use]
+    pub fn stream_cycles(&self) -> u64 {
+        1u64 << self.bitwidth
+    }
+
+    /// Executes the fixed GEMM on lowered operands (`input: M × K`,
+    /// `weights: K × N`, signed levels). Returns the output in the FSU
+    /// domain: `out ≈ Σ wᵢ·iᵢ / (K · 2^(N-2))` — note the extra `1/K`
+    /// against uSystolic, the MUX-tree scaling loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] if the operands do not match the
+    /// *fixed* configuration — an FSU instance cannot be retargeted.
+    pub fn execute(
+        &self,
+        input: &Matrix<i64>,
+        weights: &Matrix<i64>,
+    ) -> Result<Matrix<i64>, CoreError> {
+        let (k, n) = self.gemm.lowered_shape();
+        let m = self.gemm.output_pixels();
+        if input.rows() != m || input.cols() != k || weights.rows() != k || weights.cols() != n
+        {
+            return Err(CoreError::Shape(format!(
+                "FSU instance is fixed to ({m}x{k})·({k}x{n}); got ({}x{})·({}x{})",
+                input.rows(),
+                input.cols(),
+                weights.rows(),
+                weights.cols()
+            )));
+        }
+        let bitwidth = self.bitwidth;
+        let half = 1i64 << (bitwidth - 1);
+        let len = self.stream_cycles();
+
+        let mut out = Matrix::<i64>::zeros(m, n);
+        for p in 0..m {
+            // One bipolar conversion per input element (B-U at the very
+            // front of Fig. 5a).
+            let in_thresholds: Vec<u64> = (0..k)
+                .map(|kk| (input[(p, kk)].clamp(-half, half) + half) as u64)
+                .collect();
+            for c in 0..n {
+                let w_thresholds: Vec<u64> = (0..k)
+                    .map(|kk| (weights[(kk, c)].clamp(-half, half) + half) as u64)
+                    .collect();
+                // Shared sources model the broadcast: every PE column sees
+                // the same input stream and RNG phases.
+                let mut in_src = SobolSource::dimension(1, bitwidth);
+                let mut rng_ones = SobolSource::dimension(0, bitwidth);
+                let mut rng_zeros = SobolSource::dimension(2, bitwidth);
+                // The MUX tree's select source; the multiply-shift mapping
+                // draws on the (well-distributed) high bits.
+                let mut select = SobolSource::dimension(3, 16);
+                let mut sum = 0i64;
+                for _ in 0..len {
+                    let sel = ((select.next() as usize) * k) >> 16;
+                    let r_in = in_src.next();
+                    let r1 = rng_ones.next();
+                    let r0 = rng_zeros.next();
+                    // Only the selected product bit reaches the output —
+                    // the scaled addition of the MUX adder.
+                    let in_bit = r_in < in_thresholds[sel];
+                    let bit = if in_bit { r1 < w_thresholds[sel] } else { r0 >= w_thresholds[sel] };
+                    sum += if bit { 1 } else { -1 };
+                }
+                out[(p, c)] = sum;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The divisor recovering the level-domain dot product from the FSU
+    /// output: `K · 2^(N-2)`.
+    #[must_use]
+    pub fn product_divisor(&self) -> f64 {
+        let (k, _) = self.gemm.lowered_shape();
+        k as f64 * (1u64 << (self.bitwidth - 2)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystolicConfig;
+    use crate::exec::GemmExecutor;
+    use crate::scheme::ComputingScheme;
+
+    fn case() -> (GemmConfig, Matrix<i64>, Matrix<i64>, Matrix<i64>) {
+        let gemm = GemmConfig::matmul(4, 8, 3).expect("valid test shape");
+        let input = Matrix::from_fn(4, 8, |p, k| ((p * 8 + k) as i64 * 29 % 255) - 127);
+        let weights = Matrix::from_fn(8, 3, |k, c| ((k * 3 + c) as i64 * 41 % 255) - 127);
+        let mut exact = Matrix::<i64>::zeros(4, 3);
+        for p in 0..4 {
+            for c in 0..3 {
+                exact[(p, c)] = (0..8).map(|k| input[(p, k)] * weights[(k, c)]).sum();
+            }
+        }
+        (gemm, input, weights, exact)
+    }
+
+    #[test]
+    fn fsu_approximates_the_product() {
+        let (gemm, input, weights, exact) = case();
+        let fsu = FsuGemm::new(gemm, 8);
+        let out = fsu.execute(&input, &weights).expect("fixed shape matches");
+        for p in 0..4 {
+            for c in 0..3 {
+                // Recover the level-domain product and normalise to value
+                // units (level² scale = 2^(2N-2)).
+                let got = out[(p, c)] as f64 * fsu.product_divisor() / 16384.0;
+                let want = exact[(p, c)] as f64 / 16384.0;
+                // The MUX-tree sampling noise grows with the dot-product
+                // magnitude — that is precisely the FSU accuracy deficit.
+                assert!(
+                    (got - want).abs() < 0.25 + 0.15 * want.abs(),
+                    "({p},{c}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fsu_is_less_accurate_than_usystolic() {
+        // The Table I accuracy column: unary-domain accumulation loses to
+        // uSystolic's binary accumulation (Section II-B4a).
+        let (gemm, input, weights, exact) = case();
+        let fsu = FsuGemm::new(gemm, 8);
+        let fsu_out = fsu.execute(&input, &weights).expect("fixed shape matches");
+        let cfg = SystolicConfig::new(8, 3, ComputingScheme::UnaryRate, 8).expect("valid");
+        let (usys_out, _) = GemmExecutor::new(cfg)
+            .execute_lowered(&gemm, &input, &weights)
+            .expect("runs");
+        let rmse = |values: Vec<f64>| {
+            (values.iter().map(|e| e * e).sum::<f64>() / values.len() as f64).sqrt()
+        };
+        let fsu_err = rmse(
+            (0..12)
+                .map(|i| {
+                    let (p, c) = (i / 3, i % 3);
+                    fsu_out[(p, c)] as f64 * fsu.product_divisor() / 16384.0
+                        - exact[(p, c)] as f64 / 16384.0
+                })
+                .collect(),
+        );
+        // uSystolic's output domain is Σ(i·w)/2^(N-1): multiply by
+        // 2^(N-1) and normalise by the same 2^(2N-2).
+        let usys_err = rmse(
+            (0..12)
+                .map(|i| {
+                    let (p, c) = (i / 3, i % 3);
+                    usys_out[(p, c)] as f64 * 128.0 / 16384.0
+                        - exact[(p, c)] as f64 / 16384.0
+                })
+                .collect(),
+        );
+        assert!(
+            fsu_err > 2.0 * usys_err,
+            "FSU rmse {fsu_err} should be well above uSystolic {usys_err}"
+        );
+    }
+
+    #[test]
+    fn fsu_rejects_other_shapes() {
+        // Low generalizability: the instance serves exactly one shape.
+        let (gemm, _, _, _) = case();
+        let fsu = FsuGemm::new(gemm, 8);
+        let other_in = Matrix::<i64>::zeros(4, 9);
+        let other_w = Matrix::<i64>::zeros(9, 3);
+        assert!(fsu.execute(&other_in, &other_w).is_err());
+    }
+
+    #[test]
+    fn alexnet_fsu_weight_storage_is_infeasible() {
+        // The paper's footnote: FSU AlexNet needs more on-chip storage
+        // than the cloud TPU's 24 MB SRAM.
+        let fc6 = GemmConfig::matmul(1, 9216, 4096).expect("valid");
+        let fsu = FsuGemm::new(fc6, 8);
+        assert!(fsu.weight_storage_bits() / 8 > 24 * 1024 * 1024 / 2);
+        assert_eq!(fsu.pes(), 9216 * 4096);
+        assert_eq!(fsu.stream_cycles(), 256);
+    }
+}

@@ -1,0 +1,494 @@
+//! ISA support (Section III-D).
+//!
+//! uSystolic keeps the data-scheduling order of binary systolic arrays,
+//! so its instruction set mirrors a TPU-like weight-stationary ISA —
+//! *augmented with an indicator field for the MAC cycle count*, i.e. how
+//! many cycles each multiply-accumulate runs before terminating. This
+//! module provides:
+//!
+//! * [`Instruction`] / [`Program`] — the instruction stream;
+//! * [`ProgramBuilder`] — the "compiler": lowers a [`GemmConfig`] onto an
+//!   array configuration, emitting the fold loops exactly as a binary
+//!   array's scheduler would (the legacy-binary schedule of Fig. 1);
+//! * [`Processor`] — the interpreter: validates sequencing (weights before
+//!   compute, MAC cycles announced before any compute) and executes each
+//!   tile through the scheme's functional model.
+
+use crate::config::SystolicConfig;
+use crate::exec::GemmExecutor;
+use crate::mapping::TileMapping;
+use crate::CoreError;
+use usystolic_gemm::{GemmConfig, Matrix};
+
+/// One instruction of the uSystolic ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Instruction {
+    /// Announce the MAC cycle count for all subsequent compute — the
+    /// uSystolic augmentation over the TPU ISA. Must match a valid
+    /// early-termination point of the configured scheme.
+    SetMacCycles {
+        /// Total MAC cycles (multiply cycles + 1).
+        mac_cycles: u64,
+    },
+    /// Preload the weight tile of the given row/column fold; stationary
+    /// until the next `LoadWeights`.
+    LoadWeights {
+        /// Row fold index (K dimension).
+        row_fold: u32,
+        /// Column fold index (N dimension).
+        col_fold: u32,
+    },
+    /// Stream all `M` input vectors through the loaded tile. With
+    /// `accumulate`, partial sums add onto the output buffer (row folds
+    /// after the first); otherwise they initialise it.
+    MatMul {
+        /// Whether to accumulate onto existing partial sums.
+        accumulate: bool,
+    },
+    /// Mark the current column fold's outputs complete (the OFM drains
+    /// through the top-row shifters).
+    DrainOutputs {
+        /// Column fold index being drained.
+        col_fold: u32,
+    },
+}
+
+impl core::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Instruction::SetMacCycles { mac_cycles } => {
+                write!(f, "set_mac_cycles {mac_cycles}")
+            }
+            Instruction::LoadWeights { row_fold, col_fold } => {
+                write!(f, "load_weights rf={row_fold} cf={col_fold}")
+            }
+            Instruction::MatMul { accumulate } => {
+                write!(f, "matmul{}", if *accumulate { " acc" } else { "" })
+            }
+            Instruction::DrainOutputs { col_fold } => write!(f, "drain cf={col_fold}"),
+        }
+    }
+}
+
+/// A compiled instruction stream for one GEMM.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates a program from a hand-written instruction sequence (the
+    /// [`Processor`] validates sequencing at run time).
+    #[must_use]
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        Self { instructions }
+    }
+
+    /// The instructions in execution order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of weight-tile loads (one per fold pair — identical to what
+    /// a binary array's scheduler would issue).
+    #[must_use]
+    pub fn weight_loads(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::LoadWeights { .. }))
+            .count()
+    }
+}
+
+impl core::fmt::Display for Program {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for i in &self.instructions {
+            writeln!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compiles GEMMs into [`Program`]s for a fixed array configuration.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    config: SystolicConfig,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for the given array.
+    #[must_use]
+    pub fn new(config: SystolicConfig) -> Self {
+        Self { config }
+    }
+
+    /// Lowers a GEMM onto the array: the column-fold / row-fold loop nest
+    /// of the weight-stationary schedule, prefixed by the MAC-cycle
+    /// announcement.
+    #[must_use]
+    pub fn compile(&self, gemm: &GemmConfig) -> Program {
+        let map = TileMapping::new(gemm, self.config.rows(), self.config.cols());
+        let mut instructions =
+            vec![Instruction::SetMacCycles { mac_cycles: self.config.mac_cycles() }];
+        for cf in 0..map.col_folds() as u32 {
+            for rf in 0..map.row_folds() as u32 {
+                instructions.push(Instruction::LoadWeights { row_fold: rf, col_fold: cf });
+                instructions.push(Instruction::MatMul { accumulate: rf > 0 });
+            }
+            instructions.push(Instruction::DrainOutputs { col_fold: cf });
+        }
+        Program { instructions }
+    }
+}
+
+/// Errors raised by the [`Processor`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// Compute was issued before `SetMacCycles`.
+    MacCyclesNotSet,
+    /// The announced MAC cycle count is invalid for the scheme/bitwidth.
+    BadMacCycles(u64),
+    /// `MatMul` was issued with no weights loaded.
+    NoWeightsLoaded,
+    /// A fold index is outside the GEMM's fold structure.
+    FoldOutOfRange {
+        /// The offending instruction.
+        instruction: Instruction,
+    },
+    /// `DrainOutputs` names a column fold that has not been computed.
+    DrainBeforeCompute(u32),
+    /// An execution error from the functional model.
+    Exec(CoreError),
+}
+
+impl core::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsaError::MacCyclesNotSet => f.write_str("compute before set_mac_cycles"),
+            IsaError::BadMacCycles(c) => write!(f, "invalid MAC cycle count {c}"),
+            IsaError::NoWeightsLoaded => f.write_str("matmul with no weights loaded"),
+            IsaError::FoldOutOfRange { instruction } => {
+                write!(f, "fold out of range in `{instruction}`")
+            }
+            IsaError::DrainBeforeCompute(cf) => {
+                write!(f, "drain of uncomputed column fold {cf}")
+            }
+            IsaError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IsaError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for IsaError {
+    fn from(e: CoreError) -> Self {
+        IsaError::Exec(e)
+    }
+}
+
+/// Executes [`Program`]s against lowered operand matrices.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::{ComputingScheme, Processor, ProgramBuilder, SystolicConfig};
+/// use usystolic_gemm::{GemmConfig, Matrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = SystolicConfig::new(4, 4, ComputingScheme::BinaryParallel, 8)?;
+/// let gemm = GemmConfig::matmul(2, 6, 5)?;
+/// let program = ProgramBuilder::new(cfg).compile(&gemm);
+/// let input = Matrix::from_fn(2, 6, |p, k| (p * 6 + k) as i64 - 5);
+/// let weights = Matrix::from_fn(6, 5, |k, n| (k * 5 + n) as i64 - 14);
+/// let out = Processor::new(cfg, gemm).run(&program, &input, &weights)?;
+/// assert_eq!(out.rows(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Processor {
+    config: SystolicConfig,
+    gemm: GemmConfig,
+}
+
+impl Processor {
+    /// Creates a processor for one array configuration and GEMM shape.
+    #[must_use]
+    pub fn new(config: SystolicConfig, gemm: GemmConfig) -> Self {
+        Self { config, gemm }
+    }
+
+    /// Runs a program over lowered operands (`input: M × K`,
+    /// `weights: K × N`, integer levels), returning the integer output in
+    /// the scheme's domain (as
+    /// [`GemmExecutor::execute_lowered`](crate::exec::GemmExecutor)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] on sequencing violations or execution
+    /// failures.
+    pub fn run(
+        &self,
+        program: &Program,
+        input: &Matrix<i64>,
+        weights: &Matrix<i64>,
+    ) -> Result<Matrix<i64>, IsaError> {
+        let map = TileMapping::new(&self.gemm, self.config.rows(), self.config.cols());
+        let (m, n) = (map.m(), map.n());
+        let mut out = Matrix::<i64>::zeros(m, n);
+        let mut config = self.config;
+        let mut mac_set = false;
+        let mut loaded: Option<(u32, u32)> = None;
+        let mut computed_folds = vec![false; map.col_folds()];
+
+        for &inst in program.instructions() {
+            match inst {
+                Instruction::SetMacCycles { mac_cycles } => {
+                    if mac_cycles == 0 {
+                        return Err(IsaError::BadMacCycles(mac_cycles));
+                    }
+                    if mac_cycles != config.mac_cycles() {
+                        // Re-terminate: only rate-coded uSystolic may move.
+                        config = config
+                            .with_mul_cycles(mac_cycles - 1)
+                            .map_err(|_| IsaError::BadMacCycles(mac_cycles))?;
+                    }
+                    mac_set = true;
+                }
+                Instruction::LoadWeights { row_fold, col_fold } => {
+                    if row_fold as usize >= map.row_folds()
+                        || col_fold as usize >= map.col_folds()
+                    {
+                        return Err(IsaError::FoldOutOfRange { instruction: inst });
+                    }
+                    loaded = Some((row_fold, col_fold));
+                }
+                Instruction::MatMul { accumulate } => {
+                    if !mac_set {
+                        return Err(IsaError::MacCyclesNotSet);
+                    }
+                    let (rf, cf) = loaded.ok_or(IsaError::NoWeightsLoaded)?;
+                    self.execute_tile(&config, &map, rf, cf, accumulate, input, weights, &mut out)?;
+                    computed_folds[cf as usize] = true;
+                }
+                Instruction::DrainOutputs { col_fold } => {
+                    if col_fold as usize >= map.col_folds() {
+                        return Err(IsaError::FoldOutOfRange { instruction: inst });
+                    }
+                    if !computed_folds[col_fold as usize] {
+                        return Err(IsaError::DrainBeforeCompute(col_fold));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Executes one weight tile by slicing the operands and running the
+    /// scheme's functional model on the sub-GEMM.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_tile(
+        &self,
+        config: &SystolicConfig,
+        map: &TileMapping,
+        rf: u32,
+        cf: u32,
+        accumulate: bool,
+        input: &Matrix<i64>,
+        weights: &Matrix<i64>,
+        out: &mut Matrix<i64>,
+    ) -> Result<(), IsaError> {
+        let k0 = rf as usize * config.rows();
+        let n0 = cf as usize * config.cols();
+        let tile_k = map.rows_in_fold(rf as usize);
+        let tile_n = map.cols_in_fold(cf as usize);
+        let m = map.m();
+
+        let sub_gemm = GemmConfig::matmul(m, tile_k, tile_n)
+            .map_err(|e| IsaError::Exec(CoreError::Gemm(e)))?;
+        let sub_input = Matrix::from_fn(m, tile_k, |p, k| input[(p, k0 + k)]);
+        let sub_weights = Matrix::from_fn(tile_k, tile_n, |k, c| weights[(k0 + k, n0 + c)]);
+        let (tile_out, _) =
+            GemmExecutor::new(*config).execute_lowered(&sub_gemm, &sub_input, &sub_weights)?;
+        for p in 0..m {
+            for c in 0..tile_n {
+                if accumulate {
+                    out[(p, n0 + c)] += tile_out[(p, c)];
+                } else {
+                    out[(p, n0 + c)] = tile_out[(p, c)];
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ComputingScheme;
+
+    fn case() -> (SystolicConfig, GemmConfig, Matrix<i64>, Matrix<i64>) {
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::BinaryParallel, 8)
+            .expect("valid test configuration");
+        let gemm = GemmConfig::matmul(3, 9, 7).expect("valid test shape");
+        let input = Matrix::from_fn(3, 9, |p, k| ((p * 9 + k) % 17) as i64 - 8);
+        let weights = Matrix::from_fn(9, 7, |k, n| ((k * 7 + n) % 13) as i64 - 6);
+        (cfg, gemm, input, weights)
+    }
+
+    #[test]
+    fn compiled_program_has_legacy_binary_structure() {
+        let (cfg, gemm, _, _) = case();
+        let program = ProgramBuilder::new(cfg).compile(&gemm);
+        // 3 row folds × 3 col folds: 1 set + 9 loads + 9 matmuls + 3 drains.
+        assert_eq!(program.weight_loads(), 9);
+        assert_eq!(program.len(), 1 + 9 + 9 + 3);
+        assert_eq!(
+            program.instructions()[0],
+            Instruction::SetMacCycles { mac_cycles: 1 }
+        );
+        assert!(!program.is_empty());
+        // First matmul of each column fold initialises; the rest accumulate.
+        let matmuls: Vec<bool> = program
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                Instruction::MatMul { accumulate } => Some(*accumulate),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(matmuls, [false, true, true, false, true, true, false, true, true]);
+    }
+
+    #[test]
+    fn program_execution_matches_direct_executor() {
+        for scheme in ComputingScheme::ALL {
+            let (_, gemm, input, weights) = case();
+            let cfg = SystolicConfig::new(4, 3, scheme, 8).expect("valid configuration");
+            let program = ProgramBuilder::new(cfg).compile(&gemm);
+            let via_isa = Processor::new(cfg, gemm)
+                .run(&program, &input, &weights)
+                .expect("program runs");
+            let (direct, _) = GemmExecutor::new(cfg)
+                .execute_lowered(&gemm, &input, &weights)
+                .expect("direct run");
+            assert_eq!(via_isa, direct, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn mac_cycles_field_reterminates_unary() {
+        // The ISA's MAC-cycle indicator changes the early-termination
+        // point at run time (the dynamic knob of Section V-H).
+        let (_, gemm, input, weights) = case();
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .expect("valid configuration");
+        let mut program = ProgramBuilder::new(cfg).compile(&gemm).instructions().to_vec();
+        program[0] = Instruction::SetMacCycles { mac_cycles: 33 }; // EBT 6
+        let out = Processor::new(cfg, gemm)
+            .run(&Program { instructions: program }, &input, &weights)
+            .expect("program runs");
+        let et_cfg = cfg.with_mul_cycles(32).expect("valid EBT");
+        let (direct, _) = GemmExecutor::new(et_cfg)
+            .execute_lowered(&gemm, &input, &weights)
+            .expect("direct run");
+        assert_eq!(out, direct);
+    }
+
+    #[test]
+    fn sequencing_violations_are_rejected() {
+        let (cfg, gemm, input, weights) = case();
+        let proc = Processor::new(cfg, gemm);
+        // MatMul before SetMacCycles.
+        let p = Program {
+            instructions: vec![
+                Instruction::LoadWeights { row_fold: 0, col_fold: 0 },
+                Instruction::MatMul { accumulate: false },
+            ],
+        };
+        assert_eq!(proc.run(&p, &input, &weights).unwrap_err(), IsaError::MacCyclesNotSet);
+        // MatMul before LoadWeights.
+        let p = Program {
+            instructions: vec![
+                Instruction::SetMacCycles { mac_cycles: 1 },
+                Instruction::MatMul { accumulate: false },
+            ],
+        };
+        assert_eq!(proc.run(&p, &input, &weights).unwrap_err(), IsaError::NoWeightsLoaded);
+        // Fold out of range.
+        let p = Program {
+            instructions: vec![
+                Instruction::SetMacCycles { mac_cycles: 1 },
+                Instruction::LoadWeights { row_fold: 99, col_fold: 0 },
+            ],
+        };
+        assert!(matches!(
+            proc.run(&p, &input, &weights).unwrap_err(),
+            IsaError::FoldOutOfRange { .. }
+        ));
+        // Drain before compute.
+        let p = Program {
+            instructions: vec![
+                Instruction::SetMacCycles { mac_cycles: 1 },
+                Instruction::DrainOutputs { col_fold: 0 },
+            ],
+        };
+        assert_eq!(
+            proc.run(&p, &input, &weights).unwrap_err(),
+            IsaError::DrainBeforeCompute(0)
+        );
+        // Invalid MAC cycle counts.
+        let p = Program {
+            instructions: vec![Instruction::SetMacCycles { mac_cycles: 0 }],
+        };
+        assert_eq!(proc.run(&p, &input, &weights).unwrap_err(), IsaError::BadMacCycles(0));
+        let p = Program {
+            instructions: vec![Instruction::SetMacCycles { mac_cycles: 100 }],
+        };
+        assert_eq!(
+            proc.run(&p, &input, &weights).unwrap_err(),
+            IsaError::BadMacCycles(100)
+        );
+    }
+
+    #[test]
+    fn instruction_and_program_display() {
+        let (cfg, gemm, _, _) = case();
+        let program = ProgramBuilder::new(cfg).compile(&gemm);
+        let text = program.to_string();
+        assert!(text.contains("set_mac_cycles 1"));
+        assert!(text.contains("load_weights rf=0 cf=0"));
+        assert!(text.contains("matmul acc"));
+        assert!(text.contains("drain cf=2"));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        assert!(IsaError::MacCyclesNotSet.to_string().contains("set_mac_cycles"));
+        let e: IsaError = CoreError::Config("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,219 @@
+//! Lowering matrix convolution to matrix multiplication (im2col).
+//!
+//! A weight-stationary systolic array consumes GEMMs in lowered form: the
+//! weights become a `(WH·WW·IC) × OC` matrix held stationary in the PEs,
+//! and the input becomes a `(OH·OW) × (WH·WW·IC)` matrix of unrolled
+//! receptive-field columns streamed through the rows. This module performs
+//! that lowering and folds the result back.
+
+use crate::config::GemmConfig;
+use crate::tensor::{FeatureMap, Matrix, WeightSet};
+use crate::GemmError;
+
+/// Lowers the input feature map into the `(OH·OW) × (WH·WW·IC)` streaming
+/// matrix: row `p` holds the receptive field of output pixel `p`
+/// (`p = oh·OW + ow`), unrolled in `(wh, ww, ic)` order to match
+/// [`lower_weights`].
+///
+/// # Errors
+///
+/// Returns [`GemmError::ShapeMismatch`] if `input` does not match the
+/// configuration.
+pub fn lower_input<T: Clone + Default>(
+    config: &GemmConfig,
+    input: &FeatureMap<T>,
+) -> Result<Matrix<T>, GemmError> {
+    if (input.height(), input.width(), input.channels())
+        != (config.input_height(), config.input_width(), config.input_channels())
+    {
+        return Err(GemmError::ShapeMismatch {
+            expected: format!(
+                "input {}x{}x{}",
+                config.input_height(),
+                config.input_width(),
+                config.input_channels()
+            ),
+            found: format!("{}x{}x{}", input.height(), input.width(), input.channels()),
+        });
+    }
+    let (ow_max, s) = (config.output_width(), config.stride());
+    let k = config.reduction_len();
+    let mut out = Matrix::<T>::zeros(config.output_pixels(), k);
+    for oh in 0..config.output_height() {
+        for ow in 0..ow_max {
+            let p = oh * ow_max + ow;
+            let mut col = 0;
+            for wh in 0..config.weight_height() {
+                for ww in 0..config.weight_width() {
+                    for ic in 0..config.input_channels() {
+                        out[(p, col)] = input[(wh + oh * s, ww + ow * s, ic)].clone();
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lowers the weights into the `(WH·WW·IC) × OC` stationary matrix: column
+/// `oc` holds filter `oc` unrolled in `(wh, ww, ic)` order.
+///
+/// # Errors
+///
+/// Returns [`GemmError::ShapeMismatch`] if `weights` does not match the
+/// configuration.
+pub fn lower_weights<T: Clone + Default>(
+    config: &GemmConfig,
+    weights: &WeightSet<T>,
+) -> Result<Matrix<T>, GemmError> {
+    if (weights.out_channels(), weights.height(), weights.width(), weights.in_channels())
+        != (
+            config.output_channels(),
+            config.weight_height(),
+            config.weight_width(),
+            config.input_channels(),
+        )
+    {
+        return Err(GemmError::ShapeMismatch {
+            expected: "weights matching config".into(),
+            found: "different shape".into(),
+        });
+    }
+    let mut out = Matrix::<T>::zeros(config.reduction_len(), config.output_channels());
+    for oc in 0..config.output_channels() {
+        let mut row = 0;
+        for wh in 0..config.weight_height() {
+            for ww in 0..config.weight_width() {
+                for ic in 0..config.input_channels() {
+                    out[(row, oc)] = weights[(oc, wh, ww, ic)].clone();
+                    row += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a lowered `(OH·OW) × OC` output matrix back into the output
+/// feature map.
+///
+/// # Errors
+///
+/// Returns [`GemmError::ShapeMismatch`] if the matrix shape does not match
+/// the configuration's output.
+pub fn fold_output<T: Clone + Default>(
+    config: &GemmConfig,
+    lowered: &Matrix<T>,
+) -> Result<FeatureMap<T>, GemmError> {
+    if lowered.rows() != config.output_pixels() || lowered.cols() != config.output_channels() {
+        return Err(GemmError::ShapeMismatch {
+            expected: format!("{}x{}", config.output_pixels(), config.output_channels()),
+            found: format!("{}x{}", lowered.rows(), lowered.cols()),
+        });
+    }
+    let ow_max = config.output_width();
+    let mut out = FeatureMap::<T>::zeros(
+        config.output_height(),
+        config.output_width(),
+        config.output_channels(),
+    );
+    for oh in 0..config.output_height() {
+        for ow in 0..ow_max {
+            for oc in 0..config.output_channels() {
+                out[(oh, ow, oc)] = lowered[(oh * ow_max + ow, oc)].clone();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Plain dense matrix product `a · b` for `f64` matrices (the lowered GEMM
+/// check).
+///
+/// # Errors
+///
+/// Returns [`GemmError::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matmul_f64(a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>, GemmError> {
+    if a.cols() != b.rows() {
+        return Err(GemmError::ShapeMismatch {
+            expected: format!("inner dim {}", a.cols()),
+            found: format!("{}", b.rows()),
+        });
+    }
+    let mut out = Matrix::<f64>::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = a[(i, k)];
+            for j in 0..b.cols() {
+                out[(i, j)] += aik * b[(k, j)];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::gemm_reference;
+
+    #[test]
+    fn lowered_product_equals_direct_convolution() {
+        let cfg = GemmConfig::conv(5, 6, 3, 3, 2, 1, 4).unwrap();
+        let input =
+            FeatureMap::from_fn(5, 6, 3, |h, w, c| (h * 31 + w * 7 + c) as f64 * 0.1 - 2.0);
+        let weights = WeightSet::from_fn(4, 3, 2, 3, |oc, wh, ww, ic| {
+            ((oc * 13 + wh * 5 + ww * 3 + ic) % 7) as f64 - 3.0
+        });
+        let direct = gemm_reference(&cfg, &input, &weights).unwrap();
+
+        let a = lower_input(&cfg, &input).unwrap();
+        let b = lower_weights(&cfg, &weights).unwrap();
+        let lowered = matmul_f64(&a, &b).unwrap();
+        let folded = fold_output(&cfg, &lowered).unwrap();
+
+        for h in 0..direct.height() {
+            for w in 0..direct.width() {
+                for c in 0..direct.channels() {
+                    assert!(
+                        (direct[(h, w, c)] - folded[(h, w, c)]).abs() < 1e-9,
+                        "mismatch at ({h},{w},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_shapes() {
+        let cfg = GemmConfig::conv(8, 8, 2, 3, 3, 1, 5).unwrap();
+        let input = FeatureMap::<f64>::zeros(8, 8, 2);
+        let weights = WeightSet::<f64>::zeros(5, 3, 3, 2);
+        let a = lower_input(&cfg, &input).unwrap();
+        let b = lower_weights(&cfg, &weights).unwrap();
+        assert_eq!((a.rows(), a.cols()), (36, 18));
+        assert_eq!((b.rows(), b.cols()), (18, 5));
+    }
+
+    #[test]
+    fn matmul_case_is_trivially_lowered() {
+        let cfg = GemmConfig::matmul(3, 4, 2).unwrap();
+        let input = FeatureMap::from_fn(3, 1, 4, |m, _, k| (m * 4 + k) as f64);
+        let a = lower_input(&cfg, &input).unwrap();
+        // im2col of a 1×1 kernel is the input reinterpreted as M×K.
+        assert_eq!((a.rows(), a.cols()), (3, 4));
+        assert_eq!(a[(2, 3)], 11.0);
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let cfg = GemmConfig::conv(4, 4, 1, 3, 3, 1, 1).unwrap();
+        assert!(lower_input(&cfg, &FeatureMap::<f64>::zeros(4, 4, 2)).is_err());
+        assert!(lower_weights(&cfg, &WeightSet::<f64>::zeros(2, 3, 3, 1)).is_err());
+        assert!(fold_output(&cfg, &Matrix::<f64>::zeros(3, 3)).is_err());
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 2);
+        assert!(matmul_f64(&a, &b).is_err());
+    }
+}

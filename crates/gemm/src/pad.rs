@@ -1,0 +1,129 @@
+//! Zero-padding helpers.
+//!
+//! [`GemmConfig`] follows the paper's Table II, which has no explicit
+//! padding parameter — padded convolutions are expressed as enlarged
+//! inputs (the convention the model zoo uses). These helpers make that
+//! convention ergonomic: pad a feature map with a zero border and derive
+//! the enlarged configuration in one step.
+
+use crate::config::GemmConfig;
+use crate::tensor::FeatureMap;
+use crate::GemmError;
+
+/// Surrounds a feature map with a `pad`-wide zero border on all four
+/// sides (channels are untouched).
+///
+/// # Example
+///
+/// ```
+/// use usystolic_gemm::pad::pad_feature_map;
+/// use usystolic_gemm::FeatureMap;
+///
+/// let fm = FeatureMap::from_fn(2, 2, 1, |h, w, _| (h * 2 + w + 1) as f64);
+/// let padded = pad_feature_map(&fm, 1);
+/// assert_eq!(padded.height(), 4);
+/// assert_eq!(padded[(0, 0, 0)], 0.0); // border
+/// assert_eq!(padded[(1, 1, 0)], 1.0); // original (0,0)
+/// ```
+#[must_use]
+pub fn pad_feature_map<T: Clone + Default>(fm: &FeatureMap<T>, pad: usize) -> FeatureMap<T> {
+    FeatureMap::from_fn(
+        fm.height() + 2 * pad,
+        fm.width() + 2 * pad,
+        fm.channels(),
+        |h, w, c| {
+            if h >= pad && h < pad + fm.height() && w >= pad && w < pad + fm.width() {
+                fm[(h - pad, w - pad, c)].clone()
+            } else {
+                T::default()
+            }
+        },
+    )
+}
+
+/// Builds the configuration of a padded convolution: a convolution over
+/// the `pad`-enlarged input, whose output size matches the usual
+/// `(IH + 2·pad − WH)/S + 1` formula.
+///
+/// # Errors
+///
+/// Returns [`GemmError::InvalidConfig`] for invalid dimensions.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_gemm::pad::padded_conv;
+///
+/// // A pad-1 3x3 "same" convolution keeps the spatial size.
+/// let cfg = padded_conv(14, 14, 64, 3, 3, 1, 1, 64)?;
+/// assert_eq!(cfg.output_height(), 14);
+/// # Ok::<(), usystolic_gemm::GemmError>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn padded_conv(
+    ih: usize,
+    iw: usize,
+    ic: usize,
+    wh: usize,
+    ww: usize,
+    stride: usize,
+    pad: usize,
+    oc: usize,
+) -> Result<GemmConfig, GemmError> {
+    GemmConfig::conv(ih + 2 * pad, iw + 2 * pad, ic, wh, ww, stride, oc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::gemm_reference;
+    use crate::tensor::WeightSet;
+
+    #[test]
+    fn zero_pad_preserves_interior() {
+        let fm = FeatureMap::from_fn(3, 3, 2, |h, w, c| (h * 100 + w * 10 + c) as i64 + 1);
+        let p = pad_feature_map(&fm, 2);
+        assert_eq!(p.height(), 7);
+        assert_eq!(p.width(), 7);
+        assert_eq!(p.channels(), 2);
+        for h in 0..3 {
+            for w in 0..3 {
+                for c in 0..2 {
+                    assert_eq!(p[(h + 2, w + 2, c)], fm[(h, w, c)]);
+                }
+            }
+        }
+        assert_eq!(p[(0, 0, 0)], 0);
+        assert_eq!(p[(6, 6, 1)], 0);
+    }
+
+    #[test]
+    fn zero_pad_is_identity() {
+        let fm = FeatureMap::from_fn(2, 3, 1, |h, w, _| (h + w) as f64);
+        assert_eq!(pad_feature_map(&fm, 0), fm);
+    }
+
+    #[test]
+    fn same_convolution_matches_manual_padding() {
+        // conv over manually padded input == padded_conv config on the
+        // padded tensor, with the nominal output size.
+        let fm = FeatureMap::from_fn(4, 4, 1, |h, w, _| (h * 4 + w) as f64);
+        let weights = WeightSet::from_fn(1, 3, 3, 1, |_, _, _, _| 1.0);
+        let cfg = padded_conv(4, 4, 1, 3, 3, 1, 1, 1).expect("valid");
+        let padded = pad_feature_map(&fm, 1);
+        let out = gemm_reference(&cfg, &padded, &weights).expect("shapes match");
+        assert_eq!(out.height(), 4);
+        // Corner output sums only the 2x2 interior patch.
+        assert_eq!(out[(0, 0, 0)], 0.0 + 1.0 + 4.0 + 5.0);
+        // Center outputs sum full 3x3 windows.
+        assert_eq!(out[(1, 1, 0)], (0..=2).flat_map(|h| (0..=2).map(move |w| (h * 4 + w) as f64)).sum::<f64>());
+    }
+
+    #[test]
+    fn padded_conv_output_formula() {
+        let cfg = padded_conv(13, 13, 192, 3, 3, 1, 1, 384).expect("valid");
+        assert_eq!(cfg.output_height(), 13);
+        let strided = padded_conv(224, 224, 3, 7, 7, 2, 3, 64).expect("valid");
+        assert_eq!(strided.output_height(), 112);
+    }
+}

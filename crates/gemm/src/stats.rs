@@ -1,0 +1,139 @@
+//! Error statistics for comparing computed GEMMs against a reference.
+//!
+//! Section V-A ranks computing schemes by "both the mean and standard
+//! deviation of the error for GEMMs"; this module computes exactly those
+//! statistics.
+
+use crate::GemmError;
+
+/// Summary statistics of the elementwise error `got − reference`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorStats {
+    n: usize,
+    mean: f64,
+    std_dev: f64,
+    max_abs: f64,
+    rmse: f64,
+}
+
+impl ErrorStats {
+    /// Compares two equal-length slices elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GemmError::ShapeMismatch`] if lengths differ or both are
+    /// empty.
+    pub fn compare(reference: &[f64], got: &[f64]) -> Result<Self, GemmError> {
+        if reference.len() != got.len() || reference.is_empty() {
+            return Err(GemmError::ShapeMismatch {
+                expected: format!("{} non-empty elements", reference.len()),
+                found: format!("{}", got.len()),
+            });
+        }
+        let n = reference.len();
+        let errors: Vec<f64> = reference.iter().zip(got).map(|(&r, &g)| g - r).collect();
+        let mean = errors.iter().sum::<f64>() / n as f64;
+        let var = errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n as f64;
+        let max_abs = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        Ok(Self { n, mean, std_dev: var.sqrt(), max_abs, rmse })
+    }
+
+    /// Number of compared elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the comparison covered zero elements (never true for a
+    /// constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean signed error (bias).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the error.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Largest absolute error.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Root-mean-square error.
+    #[must_use]
+    pub fn rmse(&self) -> f64 {
+        self.rmse
+    }
+}
+
+impl core::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:+.3e} std={:.3e} max={:.3e} rmse={:.3e}",
+            self.n, self.mean, self.std_dev, self.max_abs, self.rmse
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_slices_have_zero_error() {
+        let a = [1.0, -2.0, 3.5];
+        let s = ErrorStats::compare(&a, &a).unwrap();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.max_abs(), 0.0);
+        assert_eq!(s.rmse(), 0.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn constant_offset_shows_as_mean() {
+        let r = [0.0, 1.0, 2.0];
+        let g = [0.5, 1.5, 2.5];
+        let s = ErrorStats::compare(&r, &g).unwrap();
+        assert!((s.mean() - 0.5).abs() < 1e-12);
+        assert!(s.std_dev() < 1e-12);
+        assert!((s.rmse() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_noise_shows_as_std() {
+        let r = [0.0, 0.0];
+        let g = [1.0, -1.0];
+        let s = ErrorStats::compare(&r, &g).unwrap();
+        assert!(s.mean().abs() < 1e-12);
+        assert!((s.std_dev() - 1.0).abs() < 1e-12);
+        assert!((s.max_abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_and_empty_rejected() {
+        assert!(ErrorStats::compare(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(ErrorStats::compare(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = ErrorStats::compare(&[0.0], &[0.25]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("mean"));
+        assert!(text.contains("rmse"));
+    }
+}

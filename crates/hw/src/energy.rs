@@ -1,0 +1,252 @@
+//! Layer energy model (Fig. 13).
+//!
+//! Energy is split exactly as the paper plots it: systolic-array (SA)
+//! dynamic and leakage, SRAM dynamic and leakage — their sum is the
+//! **on-chip energy** — plus the DRAM dynamic access energy for the
+//! **total energy**.
+
+use crate::area::ArrayArea;
+use crate::pe_area::PeComponents;
+use crate::tech;
+use usystolic_core::SystolicConfig;
+use usystolic_sim::{LayerReport, MemoryHierarchy};
+
+/// Energy of one layer, in joules, decomposed as in Fig. 13.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::{ComputingScheme, SystolicConfig};
+/// use usystolic_hw::LayerEnergy;
+/// use usystolic_sim::{MemoryHierarchy, Simulator};
+/// use usystolic_gemm::GemmConfig;
+///
+/// let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+///     .with_mul_cycles(32)?;
+/// let mem = MemoryHierarchy::no_sram();
+/// let layer = GemmConfig::matmul(1, 256, 256)?;
+/// let report = Simulator::new(cfg, mem).simulate(&layer);
+/// let energy = LayerEnergy::compute(&cfg, &mem, &report);
+/// assert!(energy.total_j() > energy.on_chip_j()); // DRAM adds on top
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerEnergy {
+    /// Systolic-array dynamic energy.
+    pub sa_dynamic_j: f64,
+    /// Systolic-array leakage energy.
+    pub sa_leakage_j: f64,
+    /// SRAM dynamic energy (zero when SRAM is eliminated).
+    pub sram_dynamic_j: f64,
+    /// SRAM leakage energy (zero when SRAM is eliminated).
+    pub sram_leakage_j: f64,
+    /// DRAM dynamic access energy.
+    pub dram_dynamic_j: f64,
+}
+
+impl LayerEnergy {
+    /// Computes the energy of a simulated layer.
+    #[must_use]
+    pub fn compute(
+        config: &SystolicConfig,
+        memory: &MemoryHierarchy,
+        report: &LayerReport,
+    ) -> Self {
+        let pe = PeComponents::for_config(config);
+        let busy_pe_cycles = report.macs as f64 * config.mac_cycles() as f64;
+        let sa_dynamic_j = busy_pe_cycles
+            * pe.toggles_per_busy_cycle(config.scheme())
+            * tech::GE_TOGGLE_ENERGY_J;
+        let sa_area = ArrayArea::for_config(config).total_mm2();
+        let sa_leakage_j = sa_area * tech::LOGIC_LEAK_W_PER_MM2 * report.runtime_s;
+
+        let (sram_dynamic_j, sram_leakage_j) = match memory.sram {
+            Some(s) => {
+                let scale = u64::from(config.bitwidth().div_ceil(8));
+                let cap = s.capacity_bytes * scale;
+                let dyn_j =
+                    report.traffic.sram.total() as f64 * tech::sram_dyn_j_per_byte(cap);
+                // Three variable SRAMs leak for the whole runtime —
+                // "the SRAM leakage power of varying designs are
+                // identical" (Section V-F).
+                let leak_j = 3.0 * tech::sram_leak_w(cap) * report.runtime_s;
+                (dyn_j, leak_j)
+            }
+            None => (0.0, 0.0),
+        };
+        let dram_dynamic_j =
+            report.traffic.dram.total() as f64 * tech::DRAM_ACCESS_J_PER_BYTE;
+        Self { sa_dynamic_j, sa_leakage_j, sram_dynamic_j, sram_leakage_j, dram_dynamic_j }
+    }
+
+    /// Systolic-array energy (dynamic + leakage).
+    #[must_use]
+    pub fn sa_j(&self) -> f64 {
+        self.sa_dynamic_j + self.sa_leakage_j
+    }
+
+    /// SRAM energy (dynamic + leakage).
+    #[must_use]
+    pub fn sram_j(&self) -> f64 {
+        self.sram_dynamic_j + self.sram_leakage_j
+    }
+
+    /// On-chip energy: SA + SRAM (Fig. 13a/b).
+    #[must_use]
+    pub fn on_chip_j(&self) -> f64 {
+        self.sa_j() + self.sram_j()
+    }
+
+    /// Total energy: on-chip + DRAM dynamic access (Fig. 13c/d).
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.on_chip_j() + self.dram_dynamic_j
+    }
+}
+
+/// Energy-delay products of a layer (Section V-E).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerEdp {
+    /// On-chip energy × runtime (J·s).
+    pub on_chip_js: f64,
+    /// Total energy × runtime (J·s).
+    pub total_js: f64,
+}
+
+impl LayerEdp {
+    /// Derives the EDPs from an energy report and runtime.
+    #[must_use]
+    pub fn new(energy: &LayerEnergy, runtime_s: f64) -> Self {
+        Self {
+            on_chip_js: energy.on_chip_j() * runtime_s,
+            total_js: energy.total_j() * runtime_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::ComputingScheme;
+    use usystolic_gemm::GemmConfig;
+    use usystolic_sim::Simulator;
+
+    fn conv2() -> GemmConfig {
+        GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).unwrap()
+    }
+
+    fn energy_of(
+        scheme: ComputingScheme,
+        mul_cycles: Option<u64>,
+        memory: MemoryHierarchy,
+    ) -> (LayerEnergy, f64) {
+        let mut cfg = SystolicConfig::edge(scheme, 8);
+        if let Some(c) = mul_cycles {
+            cfg = cfg.with_mul_cycles(c).unwrap();
+        }
+        let sim = Simulator::new(cfg, memory);
+        let r = sim.simulate(&conv2());
+        (LayerEnergy::compute(&cfg, &memory, &r), r.runtime_s)
+    }
+
+    #[test]
+    fn sram_leakage_dominates_binary_on_chip_energy() {
+        // Section V-E: "the SRAM leakage energy dominates the SRAM energy,
+        // which further dominates the on-chip energy" for binary designs.
+        let (e, _) = energy_of(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        assert!(e.sram_leakage_j > e.sram_dynamic_j);
+        assert!(e.sram_j() > e.sa_j());
+    }
+
+    #[test]
+    fn early_terminated_usystolic_beats_binary_on_chip() {
+        // Fig. 13a: early-terminated rate-coded uSystolic (no SRAM)
+        // consumes less on-chip energy than binary parallel (with SRAM).
+        let (bp, _) = energy_of(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let (ur32, _) =
+            energy_of(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        assert!(
+            ur32.on_chip_j() < bp.on_chip_j(),
+            "UR-32c {} vs BP {}",
+            ur32.on_chip_j(),
+            bp.on_chip_j()
+        );
+    }
+
+    #[test]
+    fn dram_dominates_total_energy_for_unary() {
+        let (e, _) = energy_of(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        assert!(e.dram_dynamic_j > e.on_chip_j());
+    }
+
+    #[test]
+    fn total_energy_can_degrade_without_sram() {
+        // Section V-E: total (DRAM-dominated) energy is often *worse* for
+        // uSystolic at the edge — the negative gains of the paper.
+        let (bp, _) = energy_of(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let (ur, _) =
+            energy_of(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        assert!(
+            ur.total_j() > bp.total_j(),
+            "expected negative total-energy gain at the edge for conv layers"
+        );
+    }
+
+    #[test]
+    fn early_termination_reduces_on_chip_energy() {
+        let (e32, _) =
+            energy_of(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let (e128, _) =
+            energy_of(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        assert!(e32.on_chip_j() < e128.on_chip_j());
+    }
+
+    #[test]
+    fn ugemm_h_costs_more_than_usystolic() {
+        // Section V-E: uGEMM-H consistently consumes over 2× the energy of
+        // uSystolic (larger area, longer runtime).
+        let (ug, _) =
+            energy_of(ComputingScheme::UGemmHybrid, None, MemoryHierarchy::no_sram());
+        let (ut, _) =
+            energy_of(ComputingScheme::UnaryTemporal, None, MemoryHierarchy::no_sram());
+        assert!(
+            ug.on_chip_j() > 1.5 * ut.on_chip_j(),
+            "UG {} vs UT {}",
+            ug.on_chip_j(),
+            ut.on_chip_j()
+        );
+    }
+
+    #[test]
+    fn edp_multiplies_energy_by_runtime() {
+        let (e, runtime) =
+            energy_of(ComputingScheme::UnaryRate, Some(64), MemoryHierarchy::no_sram());
+        let edp = LayerEdp::new(&e, runtime);
+        assert!((edp.on_chip_js - e.on_chip_j() * runtime).abs() < 1e-18);
+        assert!(edp.total_js > edp.on_chip_js);
+    }
+
+    #[test]
+    fn components_sum() {
+        let (e, _) = energy_of(
+            ComputingScheme::BinarySerial,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let sum = e.sa_dynamic_j + e.sa_leakage_j + e.sram_dynamic_j + e.sram_leakage_j;
+        assert!((e.on_chip_j() - sum).abs() < 1e-15);
+        assert!((e.total_j() - (sum + e.dram_dynamic_j)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-PE gate-level area model for all five computing schemes.
+//!
+//! The breakdown mirrors Fig. 11: **IREG**, **WREG**, **MUL** and **ACC**
+//! per PE. For binary designs these map onto Fig. 2 (IREG/WREG registers,
+//! MUL multiplier, ACC = ADD + OREG); for uSystolic they follow the
+//! paper's assignment — "IREG is for the IABS/IDFF/ISIGN, WREG contains
+//! WABS/WSIGN, MUL includes RNG/CNT/RREG/C-W/C-I/AND, and ACC consists of
+//! the rest". Blocks that exist only in the leftmost column (IABS, the
+//! RNGs/CNT, C-I) are amortised over the `C` columns of the array.
+
+use usystolic_core::{ComputingScheme, SystolicConfig};
+
+/// Gate-equivalent cost per register bit.
+const REG_GE: f64 = 6.0;
+/// Gate-equivalent cost per adder bit.
+const ADD_GE: f64 = 7.0;
+/// Gate-equivalent cost per comparator bit.
+const CMP_GE: f64 = 3.0;
+/// Routing-congestion exponent knob for array multipliers: the effective
+/// area is `6·N²·(1 + ROUTE_FACTOR·N)` — superquadratic in the bitwidth
+/// (Section I).
+const ROUTE_FACTOR: f64 = 0.015;
+
+/// Gate count of a Sobol generator of `w` bits: direction-number storage,
+/// XOR network and trailing-zero logic.
+fn sobol_ge(w: u32) -> f64 {
+    let w = f64::from(w);
+    2.0 * w * w + 10.0 * w
+}
+
+/// Gate count of a `w`-bit counter.
+fn counter_ge(w: u32) -> f64 {
+    8.0 * f64::from(w)
+}
+
+/// Per-PE area breakdown in gate equivalents, following Fig. 11's four
+/// stacks.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PeComponents {
+    /// Input-register block (IREG / IABS+IDFF+ISIGN).
+    pub ireg_ge: f64,
+    /// Weight-register block (WREG / WABS+WSIGN).
+    pub wreg_ge: f64,
+    /// Multiplier block (MUL / RNG+CNT+RREG+C-W+C-I+AND).
+    pub mul_ge: f64,
+    /// Accumulator block (ADD + OREG and the sign steering).
+    pub acc_ge: f64,
+}
+
+impl PeComponents {
+    /// Total gate equivalents per PE.
+    #[must_use]
+    pub fn total_ge(&self) -> f64 {
+        self.ireg_ge + self.wreg_ge + self.mul_ge + self.acc_ge
+    }
+
+    /// Derives the per-PE breakdown for an array configuration.
+    ///
+    /// Leftmost-column-only hardware is amortised by `1 / cols`.
+    #[must_use]
+    pub fn for_config(config: &SystolicConfig) -> Self {
+        let n = f64::from(config.bitwidth());
+        let w = config.bitwidth() - 1; // magnitude / RNG width
+        let acc_bits = f64::from(config.acc_width());
+        let cols = config.cols() as f64;
+        let acc = acc_bits * (REG_GE + ADD_GE);
+        match config.scheme() {
+            ComputingScheme::BinaryParallel => Self {
+                ireg_ge: n * REG_GE,
+                wreg_ge: n * REG_GE,
+                mul_ge: 6.0 * n * n * (1.0 + ROUTE_FACTOR * n),
+                acc_ge: acc,
+            },
+            ComputingScheme::BinarySerial => Self {
+                // The serialised input still needs an N-bit (shift)
+                // register.
+                ireg_ge: n * REG_GE,
+                wreg_ge: n * REG_GE,
+                // One N-bit adder, a 2N-bit partial register and control.
+                mul_ge: n * ADD_GE + 2.0 * n * REG_GE + 3.0 * n,
+                acc_ge: acc,
+            },
+            ComputingScheme::UGemmHybrid => Self {
+                // Signed data used directly: an input DFF plus the
+                // amortised input register at the leftmost column; no
+                // sign/magnitude split.
+                ireg_ge: REG_GE + n * REG_GE / cols,
+                wreg_ge: n * REG_GE,
+                // Two conditional generators (ones/zeros phases): doubled
+                // RREG + comparator chains, plus two amortised N-bit Sobol
+                // RNGs and the input comparator.
+                mul_ge: 2.0 * (n * REG_GE + n * CMP_GE)
+                    + 3.0
+                    + (2.0 * sobol_ge(config.bitwidth()) + n * CMP_GE) / cols,
+                acc_ge: acc,
+            },
+            ComputingScheme::UnaryRate => Self {
+                // ISIGN + IDFF everywhere, IABS only at the leftmost
+                // column.
+                ireg_ge: 2.0 * REG_GE + n * REG_GE / cols,
+                wreg_ge: n * REG_GE, // WABS (N-1) + WSIGN
+                // RREG + C-W + AND everywhere; weight Sobol, IFM Sobol and
+                // C-I at the leftmost column only.
+                mul_ge: f64::from(w) * (REG_GE + CMP_GE)
+                    + 1.0
+                    + (2.0 * sobol_ge(w) + f64::from(w) * CMP_GE) / cols,
+                acc_ge: acc + 2.0, // sign XOR steering
+            },
+            ComputingScheme::UnaryTemporal => Self {
+                ireg_ge: 2.0 * REG_GE + n * REG_GE / cols,
+                wreg_ge: n * REG_GE,
+                // The IFM generator is a counter instead of a second Sobol.
+                mul_ge: f64::from(w) * (REG_GE + CMP_GE)
+                    + 1.0
+                    + (sobol_ge(w) + counter_ge(w) + f64::from(w) * CMP_GE) / cols,
+                acc_ge: acc + 2.0,
+            },
+        }
+    }
+
+    /// Gate equivalents toggled per *busy* PE cycle — the activity factor
+    /// of the dynamic-energy model. Bit-parallel MACs switch the whole
+    /// multiplier every cycle; serial and unary PEs switch only a thin
+    /// slice per cycle.
+    #[must_use]
+    pub fn toggles_per_busy_cycle(&self, scheme: ComputingScheme) -> f64 {
+        match scheme {
+            ComputingScheme::BinaryParallel => self.mul_ge + self.acc_ge,
+            ComputingScheme::BinarySerial => 0.6 * self.mul_ge + 0.2 * self.acc_ge,
+            // A comparator, the AND/XNOR gate and an accumulator increment.
+            ComputingScheme::UGemmHybrid => 0.35 * self.mul_ge + 0.15 * self.acc_ge,
+            ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => {
+                0.3 * self.mul_ge + 0.15 * self.acc_ge
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(scheme: ComputingScheme, bitwidth: u32) -> f64 {
+        PeComponents::for_config(&SystolicConfig::edge(scheme, bitwidth)).total_ge()
+    }
+
+    #[test]
+    fn area_reductions_match_figure_11_edge_8bit() {
+        // Paper: switching BP → BS, UG, UR, UT shrinks the SA by 30.9 %,
+        // 50.9 %, 59.0 %, 62.5 % (edge, 8-bit). Allow ±8 points — the
+        // gate model is analytic, not a synthesis run.
+        let bp = total(ComputingScheme::BinaryParallel, 8);
+        let cases = [
+            (ComputingScheme::BinarySerial, 0.309),
+            (ComputingScheme::UGemmHybrid, 0.509),
+            (ComputingScheme::UnaryRate, 0.590),
+            (ComputingScheme::UnaryTemporal, 0.625),
+        ];
+        for (scheme, expect) in cases {
+            let got = 1.0 - total(scheme, 8) / bp;
+            assert!(
+                (got - expect).abs() < 0.08,
+                "{scheme}: reduction {got:.3} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheme_ordering_holds_for_16bit() {
+        let bp = total(ComputingScheme::BinaryParallel, 16);
+        let bs = total(ComputingScheme::BinarySerial, 16);
+        let ug = total(ComputingScheme::UGemmHybrid, 16);
+        let ur = total(ComputingScheme::UnaryRate, 16);
+        let ut = total(ComputingScheme::UnaryTemporal, 16);
+        assert!(bp > bs && bs > ug && ug > ur && ur >= ut);
+    }
+
+    #[test]
+    fn usystolic_mul_beats_ugemm_h_mul() {
+        // Paper: rate-coded uSystolic has a 58.2 % smaller MUL than
+        // uGEMM-H, driving a ~16.5 % overall reduction.
+        let ur = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
+        let ug =
+            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UGemmHybrid, 8));
+        let mul_reduction = 1.0 - ur.mul_ge / ug.mul_ge;
+        assert!(
+            (0.35..0.70).contains(&mul_reduction),
+            "MUL reduction {mul_reduction:.3} out of band"
+        );
+        let total_reduction = 1.0 - ur.total_ge() / ug.total_ge();
+        assert!(
+            (0.05..0.30).contains(&total_reduction),
+            "total reduction {total_reduction:.3} out of band"
+        );
+    }
+
+    #[test]
+    fn bs_mul_smaller_but_acc_bigger_than_unary() {
+        // Paper: "Though BS designs have smaller MUL than uSystolic, the
+        // overall area is higher due to larger ACC."
+        let bs = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinarySerial, 8));
+        let ur = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
+        assert!(bs.acc_ge > ur.acc_ge);
+        assert!(bs.total_ge() > ur.total_ge());
+    }
+
+    #[test]
+    fn cloud_amortisation_shrinks_unary_mul() {
+        // With 256 columns the leftmost-column RNGs amortise away.
+        let edge = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
+        let cloud =
+            PeComponents::for_config(&SystolicConfig::cloud(ComputingScheme::UnaryRate, 8));
+        assert!(cloud.mul_ge < edge.mul_ge);
+    }
+
+    #[test]
+    fn binary_multiplier_is_superquadratic() {
+        let m8 = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8)).mul_ge;
+        let m16 =
+            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 16)).mul_ge;
+        assert!(m16 > 4.0 * m8, "16-bit multiplier must be more than 4x the 8-bit one");
+    }
+
+    #[test]
+    fn toggles_are_a_fraction_of_area() {
+        for scheme in ComputingScheme::ALL {
+            let pe = PeComponents::for_config(&SystolicConfig::edge(scheme, 8));
+            let t = pe.toggles_per_busy_cycle(scheme);
+            assert!(t > 0.0 && t <= pe.total_ge(), "{scheme}");
+        }
+        // Binary parallel toggles far more per cycle than unary.
+        let bp = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8));
+        let ur = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
+        assert!(
+            bp.toggles_per_busy_cycle(ComputingScheme::BinaryParallel)
+                > 10.0 * ur.toggles_per_busy_cycle(ComputingScheme::UnaryRate)
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Layer power and efficiency (Sections V-F and V-G).
+//!
+//! Power is energy over runtime; efficiency divides the throughput by the
+//! energy (energy efficiency, layers/s/J) and by the power (power
+//! efficiency, layers/s/W).
+
+use crate::energy::LayerEnergy;
+
+/// Power of one layer in watts, decomposed like the energy.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerPower {
+    /// Systolic-array power.
+    pub sa_w: f64,
+    /// SRAM power.
+    pub sram_w: f64,
+    /// DRAM dynamic access power.
+    pub dram_w: f64,
+}
+
+impl LayerPower {
+    /// Derives average power from a layer's energy and runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runtime_s` is not positive.
+    #[must_use]
+    pub fn new(energy: &LayerEnergy, runtime_s: f64) -> Self {
+        assert!(runtime_s > 0.0, "runtime must be positive");
+        Self {
+            sa_w: energy.sa_j() / runtime_s,
+            sram_w: energy.sram_j() / runtime_s,
+            dram_w: energy.dram_dynamic_j / runtime_s,
+        }
+    }
+
+    /// On-chip power: SA + SRAM.
+    #[must_use]
+    pub fn on_chip_w(&self) -> f64 {
+        self.sa_w + self.sram_w
+    }
+
+    /// Total power: on-chip + DRAM.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.on_chip_w() + self.dram_w
+    }
+}
+
+/// Throughput-normalised efficiency of one layer (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Efficiency {
+    /// Energy efficiency: throughput / energy (1 / (s·J)).
+    pub energy_eff: f64,
+    /// Power efficiency: throughput / power (1 / J).
+    pub power_eff: f64,
+}
+
+impl Efficiency {
+    /// On-chip efficiency from energy, runtime and throughput.
+    #[must_use]
+    pub fn on_chip(energy: &LayerEnergy, runtime_s: f64, throughput_per_s: f64) -> Self {
+        let power = LayerPower::new(energy, runtime_s);
+        Self {
+            energy_eff: throughput_per_s / energy.on_chip_j(),
+            power_eff: throughput_per_s / power.on_chip_w(),
+        }
+    }
+
+    /// Total efficiency (including DRAM) from energy, runtime and
+    /// throughput.
+    #[must_use]
+    pub fn total(energy: &LayerEnergy, runtime_s: f64, throughput_per_s: f64) -> Self {
+        let power = LayerPower::new(energy, runtime_s);
+        Self {
+            energy_eff: throughput_per_s / energy.total_j(),
+            power_eff: throughput_per_s / power.total_w(),
+        }
+    }
+}
+
+/// The `X×` improvement of one efficiency over a baseline (the bar heights
+/// of Fig. 14).
+#[must_use]
+pub fn improvement(ours: f64, baseline: f64) -> f64 {
+    ours / baseline
+}
+
+/// The percentage reduction of a cost metric against a baseline, as the
+/// paper quotes (e.g. "reduces the on-chip energy by 83.5 %"); negative
+/// values are degradations.
+#[must_use]
+pub fn reduction_percent(ours: f64, baseline: f64) -> f64 {
+    (1.0 - ours / baseline) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::LayerEnergy;
+    use usystolic_core::{ComputingScheme, SystolicConfig};
+    use usystolic_gemm::GemmConfig;
+    use usystolic_sim::{MemoryHierarchy, Simulator};
+
+    fn layer() -> GemmConfig {
+        GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).unwrap()
+    }
+
+    fn eval(scheme: ComputingScheme, cycles: Option<u64>, mem: MemoryHierarchy) -> (LayerEnergy, f64, f64) {
+        let mut cfg = SystolicConfig::edge(scheme, 8);
+        if let Some(c) = cycles {
+            cfg = cfg.with_mul_cycles(c).unwrap();
+        }
+        let r = Simulator::new(cfg, mem).simulate(&layer());
+        (LayerEnergy::compute(&cfg, &mem, &r), r.runtime_s, r.throughput_per_s)
+    }
+
+    #[test]
+    fn usystolic_slashes_on_chip_power_at_edge() {
+        // Section V-F: [97.6, 99.5] % on-chip power reduction vs binary
+        // parallel at the edge.
+        let (be, br, _) = eval(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let (ue, ur_s, _) =
+            eval(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        let bp = LayerPower::new(&be, br).on_chip_w();
+        let up = LayerPower::new(&ue, ur_s).on_chip_w();
+        let red = reduction_percent(up, bp);
+        assert!(red > 90.0, "on-chip power reduction {red:.1}% below paper band");
+    }
+
+    #[test]
+    fn power_times_runtime_recovers_energy() {
+        let (e, runtime, _) =
+            eval(ComputingScheme::BinarySerial, None, MemoryHierarchy::edge_with_sram());
+        let p = LayerPower::new(&e, runtime);
+        assert!((p.total_w() * runtime - e.total_j()).abs() / e.total_j() < 1e-9);
+        assert!((p.on_chip_w() - p.sa_w - p.sram_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_improvement_of_early_termination() {
+        // Fig. 14: early termination always increases on-chip energy and
+        // power efficiency over the non-terminated design.
+        let (e128, r128, t128) =
+            eval(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        let (e32, r32, t32) =
+            eval(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let f128 = Efficiency::on_chip(&e128, r128, t128);
+        let f32 = Efficiency::on_chip(&e32, r32, t32);
+        assert!(improvement(f32.energy_eff, f128.energy_eff) > 1.0);
+        assert!(improvement(f32.power_eff, f128.power_eff) > 1.0);
+    }
+
+    #[test]
+    fn on_chip_efficiency_gain_over_binary_is_positive_for_conv() {
+        // Conv layers: moderate but positive on-chip efficiency gains for
+        // early-terminated uSystolic over binary parallel at the edge.
+        let (be, br, bt) = eval(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let (ue, ur_s, ut) =
+            eval(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let b = Efficiency::on_chip(&be, br, bt);
+        let u = Efficiency::on_chip(&ue, ur_s, ut);
+        assert!(
+            improvement(u.power_eff, b.power_eff) > 1.5,
+            "power-efficiency gain {}x too small",
+            improvement(u.power_eff, b.power_eff)
+        );
+    }
+
+    #[test]
+    fn fc_layers_drive_the_headline_efficiency_gains() {
+        // The paper's up-to-112× / 44.8× figures come from memory-bound FC
+        // layers, where the binary design burns SRAM leakage while stalled
+        // and uSystolic has almost no on-chip infrastructure.
+        let fc6 = GemmConfig::matmul(1, 9216, 4096).unwrap();
+        let eval_fc = |scheme, cycles: Option<u64>, mem: MemoryHierarchy| {
+            let mut cfg = SystolicConfig::edge(scheme, 8);
+            if let Some(c) = cycles {
+                cfg = cfg.with_mul_cycles(c).unwrap();
+            }
+            let r = Simulator::new(cfg, mem).simulate(&fc6);
+            (LayerEnergy::compute(&cfg, &mem, &r), r.runtime_s, r.throughput_per_s)
+        };
+        let (be, br, bt) = eval_fc(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let (ue, ur_s, ut) =
+            eval_fc(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let b = Efficiency::on_chip(&be, br, bt);
+        let u = Efficiency::on_chip(&ue, ur_s, ut);
+        let pei = improvement(u.power_eff, b.power_eff);
+        let eei = improvement(u.energy_eff, b.energy_eff);
+        assert!(pei > 10.0, "FC power-efficiency gain {pei}x too small");
+        assert!(eei > 5.0, "FC energy-efficiency gain {eei}x too small");
+    }
+
+    #[test]
+    fn total_efficiency_gains_mostly_vanish() {
+        // Section V-G: "When considering the total energy and power with
+        // the DRAM access, such improvements almost vanish."
+        let (be, br, bt) = eval(
+            ComputingScheme::BinaryParallel,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let (ue, ur_s, ut) =
+            eval(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let b_on = Efficiency::on_chip(&be, br, bt);
+        let u_on = Efficiency::on_chip(&ue, ur_s, ut);
+        let b_tot = Efficiency::total(&be, br, bt);
+        let u_tot = Efficiency::total(&ue, ur_s, ut);
+        let on_gain = improvement(u_on.power_eff, b_on.power_eff);
+        let tot_gain = improvement(u_tot.power_eff, b_tot.power_eff);
+        assert!(tot_gain < on_gain, "total gain {tot_gain} must trail on-chip {on_gain}");
+    }
+
+    #[test]
+    fn reduction_percent_signs() {
+        assert!((reduction_percent(1.0, 4.0) - 75.0).abs() < 1e-12);
+        assert!(reduction_percent(4.0, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Technology constants of the 32 nm / 400 MHz design point.
+//!
+//! These stand in for the Synopsys Design Compiler + CACTI 7 numbers of
+//! the paper (Section IV-B). Absolute values are representative of a
+//! 32 nm LP process; the *relative* relations they encode are the ones the
+//! paper's conclusions rest on:
+//!
+//! * SRAM leakage dominates on-chip power for SRAM-backed designs
+//!   (Section V-E/V-F), so the per-KB SRAM leakage is large against the
+//!   low-leakage (HVT) systolic logic;
+//! * DRAM access energy is orders of magnitude above on-chip per-byte
+//!   costs \[19\], so the per-byte DRAM energy dominates total energy;
+//! * binary multiplier area grows superquadratically with bitwidth
+//!   (routing congestion \[68\], \[74\]).
+
+/// Area of one gate equivalent in µm², including placement/routing
+/// overhead of a synthesised design (calibrated against the Fig. 11a
+/// outlier labels: the 16-bit binary-parallel MUL/ACC stack tops of
+/// 0.96 / 1.34 mm² and the 91.3 % on-chip reduction of Section V-C).
+pub const GE_AREA_UM2: f64 = 2.5;
+
+/// Leakage power density of the (high-threshold) systolic-array logic, in
+/// W/mm².
+pub const LOGIC_LEAK_W_PER_MM2: f64 = 0.02;
+
+/// Dynamic energy per gate-equivalent toggle, in joules.
+pub const GE_TOGGLE_ENERGY_J: f64 = 0.2e-15;
+
+/// SRAM leakage per kilobyte, in watts (6T cells leak far more per area
+/// than HVT logic).
+pub const SRAM_LEAK_W_PER_KB: f64 = 0.7e-3;
+
+/// DRAM dynamic access energy per byte (activate + column access + I/O of
+/// a DDR3 chip), in joules.
+pub const DRAM_ACCESS_J_PER_BYTE: f64 = 100.0e-12;
+
+/// SRAM area model `c1·KB + c2·√KB` (mm²): cell array plus periphery.
+/// Calibrated so that the paper's edge SRAM (192 KB total) is 1.46 mm² and
+/// its 16-bit double (384 KB) is 2.12 mm² — the outlier labels of
+/// Fig. 11a.
+pub const SRAM_AREA_LINEAR_MM2_PER_KB: f64 = 0.00049;
+/// See [`SRAM_AREA_LINEAR_MM2_PER_KB`].
+pub const SRAM_AREA_PERIPHERY_MM2_PER_SQRT_KB: f64 = 0.0985;
+
+/// SRAM dynamic energy per byte: `c·KB^0.25` joules (larger arrays burn
+/// more per access).
+pub const SRAM_DYN_J_PER_BYTE_COEFF: f64 = 0.3e-12;
+
+/// Converts gate equivalents to mm².
+#[must_use]
+pub fn ge_to_mm2(ge: f64) -> f64 {
+    ge * GE_AREA_UM2 * 1.0e-6
+}
+
+/// SRAM macro area in mm² for a capacity in bytes.
+#[must_use]
+pub fn sram_area_mm2(capacity_bytes: u64) -> f64 {
+    let kb = capacity_bytes as f64 / 1024.0;
+    SRAM_AREA_LINEAR_MM2_PER_KB * kb + SRAM_AREA_PERIPHERY_MM2_PER_SQRT_KB * kb.sqrt()
+}
+
+/// SRAM leakage power in watts for a capacity in bytes.
+#[must_use]
+pub fn sram_leak_w(capacity_bytes: u64) -> f64 {
+    SRAM_LEAK_W_PER_KB * capacity_bytes as f64 / 1024.0
+}
+
+/// SRAM dynamic energy per byte transferred, in joules.
+#[must_use]
+pub fn sram_dyn_j_per_byte(capacity_bytes: u64) -> f64 {
+    let kb = capacity_bytes as f64 / 1024.0;
+    SRAM_DYN_J_PER_BYTE_COEFF * kb.powf(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_area_matches_figure_11_labels() {
+        // 192 KB → 1.46 mm², 384 KB → 2.12 mm² (the Fig. 11a outliers).
+        assert!((sram_area_mm2(192 * 1024) - 1.46).abs() < 0.02);
+        assert!((sram_area_mm2(384 * 1024) - 2.12).abs() < 0.03);
+    }
+
+    #[test]
+    fn sram_area_is_monotone_and_sublinear() {
+        let a1 = sram_area_mm2(64 * 1024);
+        let a2 = sram_area_mm2(128 * 1024);
+        assert!(a2 > a1);
+        assert!(a2 < 2.0 * a1, "periphery amortises: doubling capacity < 2x area");
+    }
+
+    #[test]
+    fn sram_leakage_scales_linearly() {
+        assert!((sram_leak_w(2048) - 2.0 * sram_leak_w(1024)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_byte_energy_dominates_sram() {
+        // The [19]-style hierarchy gap: DRAM per byte ≫ SRAM per byte.
+        assert!(DRAM_ACCESS_J_PER_BYTE > 10.0 * sram_dyn_j_per_byte(8 * 1024 * 1024));
+    }
+
+    #[test]
+    fn ge_conversion() {
+        assert!((ge_to_mm2(1.0e6) - GE_AREA_UM2).abs() < 1e-9);
+    }
+}

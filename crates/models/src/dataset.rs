@@ -1,0 +1,399 @@
+//! A procedurally generated 10-class digit-like dataset.
+//!
+//! The paper evaluates trained CNNs on MNIST/CIFAR10/ImageNet; shipping or
+//! training on those datasets is out of scope for a self-contained
+//! reproduction, so this module generates a deterministic 10-class glyph
+//! dataset (12×12 grayscale) that plays the same role: a classification
+//! task whose accuracy degrades smoothly as the GEMM arithmetic coarsens,
+//! which is exactly what Fig. 9 measures. See DESIGN.md for the
+//! substitution rationale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length.
+pub const IMAGE_SIZE: usize = 12;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+/// Pixels per image.
+pub const PIXELS: usize = IMAGE_SIZE * IMAGE_SIZE;
+
+/// A labelled grayscale image with pixels in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Row-major pixels.
+    pub pixels: Vec<f64>,
+    /// Class label in `0..CLASSES`.
+    pub label: usize,
+}
+
+/// A deterministic dataset of glyph samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+/// Draws the noiseless template of a class into a 12×12 buffer.
+fn template(class: usize) -> [f64; PIXELS] {
+    let mut img = [0.0f64; PIXELS];
+    let mut set = |r: usize, c: usize| {
+        if r < IMAGE_SIZE && c < IMAGE_SIZE {
+            img[r * IMAGE_SIZE + c] = 1.0;
+        }
+    };
+    match class {
+        // Distinct strokes per class: bars, crosses, frames, diagonals...
+        0 => {
+            // Ring.
+            for i in 2..10 {
+                set(2, i);
+                set(9, i);
+                set(i, 2);
+                set(i, 9);
+            }
+        }
+        1 => {
+            // Vertical bar.
+            for r in 1..11 {
+                set(r, 6);
+                set(r, 5);
+            }
+        }
+        2 => {
+            // Top bar + diagonal + bottom bar.
+            for c in 2..10 {
+                set(2, c);
+                set(9, c);
+            }
+            for i in 0..7 {
+                set(8 - i, 3 + i.min(6));
+            }
+        }
+        3 => {
+            // Three horizontal bars.
+            for c in 3..10 {
+                set(2, c);
+                set(6, c);
+                set(10, c);
+            }
+            for r in 2..11 {
+                set(r, 9);
+            }
+        }
+        4 => {
+            // Left stroke + middle bar + right stroke.
+            for r in 1..7 {
+                set(r, 3);
+            }
+            for c in 3..10 {
+                set(6, c);
+            }
+            for r in 1..11 {
+                set(r, 8);
+            }
+        }
+        5 => {
+            // S-shape.
+            for c in 2..10 {
+                set(2, c);
+                set(6, c);
+                set(10, c);
+            }
+            for r in 2..7 {
+                set(r, 2);
+            }
+            for r in 6..11 {
+                set(r, 9);
+            }
+        }
+        6 => {
+            // Lower loop.
+            for r in 2..11 {
+                set(r, 3);
+            }
+            for c in 3..9 {
+                set(10, c);
+                set(6, c);
+            }
+            for r in 6..11 {
+                set(r, 8);
+            }
+        }
+        7 => {
+            // Top bar + rising diagonal.
+            for c in 2..10 {
+                set(2, c);
+            }
+            for i in 0..8 {
+                set(3 + i, 9 - i.min(7));
+            }
+        }
+        8 => {
+            // Two stacked boxes.
+            for c in 3..9 {
+                set(2, c);
+                set(6, c);
+                set(10, c);
+            }
+            for r in 2..11 {
+                set(r, 3);
+                set(r, 8);
+            }
+        }
+        _ => {
+            // Dense diagonal cross.
+            for i in 1..11 {
+                set(i, i);
+                set(i, 11 - i);
+            }
+        }
+    }
+    img
+}
+
+impl Dataset {
+    /// Generates `per_class` samples of every class with the given noise
+    /// amplitude and ±1 pixel jitter, deterministically from `seed`.
+    #[must_use]
+    pub fn generate(per_class: usize, noise: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(per_class * CLASSES);
+        for class in 0..CLASSES {
+            let base = template(class);
+            for _ in 0..per_class {
+                let dr = rng.gen_range(-1i32..=1);
+                let dc = rng.gen_range(-1i32..=1);
+                let mut pixels = vec![0.0f64; PIXELS];
+                for r in 0..IMAGE_SIZE as i32 {
+                    for c in 0..IMAGE_SIZE as i32 {
+                        let (sr, sc) = (r - dr, c - dc);
+                        let v = if (0..IMAGE_SIZE as i32).contains(&sr)
+                            && (0..IMAGE_SIZE as i32).contains(&sc)
+                        {
+                            base[(sr as usize) * IMAGE_SIZE + sc as usize]
+                        } else {
+                            0.0
+                        };
+                        let noisy = v + noise * (rng.gen::<f64>() - 0.5);
+                        pixels[(r as usize) * IMAGE_SIZE + c as usize] =
+                            noisy.clamp(0.0, 1.0);
+                    }
+                }
+                samples.push(Sample { pixels, label: class });
+            }
+        }
+        Self { samples }
+    }
+
+    /// The samples, grouped by class in generation order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Deterministically shuffles the samples (for SGD epochs).
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher-Yates.
+        for i in (1..self.samples.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.samples.swap(i, j);
+        }
+    }
+
+    /// Splits the dataset into a training and a held-out fraction
+    /// (shuffled deterministically first so classes mix).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < train_fraction < 1.0`.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train fraction must be in (0, 1)"
+        );
+        let mut shuffled = self.clone();
+        shuffled.shuffle(seed);
+        let cut = ((shuffled.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, shuffled.len() - 1);
+        let (a, b) = shuffled.samples.split_at(cut);
+        (Dataset { samples: a.to_vec() }, Dataset { samples: b.to_vec() })
+    }
+}
+
+/// A `CLASSES × CLASSES` confusion matrix: `matrix[truth][prediction]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: [[u32; CLASSES]; CLASSES],
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from a predictor over a dataset.
+    #[must_use]
+    pub fn build(data: &Dataset, mut predict: impl FnMut(&Sample) -> usize) -> Self {
+        let mut counts = [[0u32; CLASSES]; CLASSES];
+        for s in data.samples() {
+            let p = predict(s).min(CLASSES - 1);
+            counts[s.label][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Count of samples with the given truth/prediction pair.
+    #[must_use]
+    pub fn count(&self, truth: usize, prediction: usize) -> u32 {
+        self.counts[truth][prediction]
+    }
+
+    /// Overall accuracy (trace over total).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let correct: u32 = (0..CLASSES).map(|c| self.counts[c][c]).sum();
+        let total: u32 = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        f64::from(correct) / f64::from(total)
+    }
+
+    /// Per-class recall (correct over truth count), `None` for absent
+    /// classes.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let total: u32 = self.counts[class].iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(f64::from(self.counts[class][class]) / f64::from(total))
+    }
+
+    /// The most confused (truth, prediction) off-diagonal pair, if any
+    /// misclassification happened.
+    #[must_use]
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u32)> {
+        let mut best: Option<(usize, usize, u32)> = None;
+        for t in 0..CLASSES {
+            for p in 0..CLASSES {
+                if t != p
+                    && self.counts[t][p] > 0
+                    && best.is_none_or(|(_, _, c)| self.counts[t][p] > c)
+                {
+                    best = Some((t, p, self.counts[t][p]));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(5, 0.2, 42);
+        let b = Dataset::generate(5, 0.2, 42);
+        assert_eq!(a, b);
+        let c = Dataset::generate(5, 0.2, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_classes_present() {
+        let d = Dataset::generate(3, 0.1, 1);
+        assert_eq!(d.len(), 30);
+        for class in 0..CLASSES {
+            assert!(d.samples().iter().any(|s| s.label == class));
+        }
+    }
+
+    #[test]
+    fn pixels_are_normalised() {
+        let d = Dataset::generate(2, 0.5, 7);
+        for s in d.samples() {
+            assert_eq!(s.pixels.len(), PIXELS);
+            assert!(s.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn templates_are_distinct() {
+        for a in 0..CLASSES {
+            for b in (a + 1)..CLASSES {
+                let ta = template(a);
+                let tb = template(b);
+                let diff: f64 = ta.iter().zip(&tb).map(|(x, y)| (x - y).abs()).sum();
+                assert!(diff > 4.0, "classes {a} and {b} are too similar ({diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_dataset() {
+        let d = Dataset::generate(6, 0.2, 3);
+        let (train, test) = d.split(0.75, 9);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.len(), 45);
+        // Every sample appears exactly once across the two halves.
+        let mut all: Vec<_> = train.samples().iter().chain(test.samples()).collect();
+        all.sort_by(|a, b| a.pixels.partial_cmp(&b.pixels).unwrap());
+        let mut orig: Vec<_> = d.samples().iter().collect();
+        orig.sort_by(|a, b| a.pixels.partial_cmp(&b.pixels).unwrap());
+        assert_eq!(all.len(), orig.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn split_rejects_bad_fraction() {
+        let _ = Dataset::generate(2, 0.2, 1).split(1.5, 0);
+    }
+
+    #[test]
+    fn confusion_matrix_statistics() {
+        let d = Dataset::generate(4, 0.1, 5);
+        // A perfect oracle.
+        let perfect = ConfusionMatrix::build(&d, |s| s.label);
+        assert!((perfect.accuracy() - 1.0).abs() < 1e-12);
+        assert_eq!(perfect.worst_confusion(), None);
+        for c in 0..CLASSES {
+            assert_eq!(perfect.recall(c), Some(1.0));
+            assert_eq!(perfect.count(c, c), 4);
+        }
+        // A constant predictor.
+        let constant = ConfusionMatrix::build(&d, |_| 3);
+        assert!((constant.accuracy() - 0.1).abs() < 1e-12);
+        assert_eq!(constant.recall(3), Some(1.0));
+        assert_eq!(constant.recall(0), Some(0.0));
+        let (t, p, c) = constant.worst_confusion().expect("misses exist");
+        assert_eq!(p, 3);
+        assert_ne!(t, 3);
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn shuffle_permutes_but_preserves() {
+        let mut d = Dataset::generate(4, 0.1, 2);
+        let before = d.samples().to_vec();
+        d.shuffle(9);
+        assert_ne!(d.samples(), &before[..]);
+        let mut a: Vec<usize> = before.iter().map(|s| s.label).collect();
+        let mut b: Vec<usize> = d.samples().iter().map(|s| s.label).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

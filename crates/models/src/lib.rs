@@ -1,0 +1,29 @@
+//! DNN workloads and accuracy experiments for the uSystolic evaluation.
+//!
+//! * [`zoo`] — the paper's CNNs as GEMM layer tables: AlexNet (61 M
+//!   parameters), ResNet18 (11.7 M) and the 4-layer MNIST CNN (1.2 M).
+//! * [`mlperf`] — an MLPerf-like suite of eight models totalling exactly
+//!   1094 GEMM layers (Section IV-C1), for the generalizability study of
+//!   Fig. 14c/d.
+//! * [`dataset`] — a procedurally generated 10-class glyph dataset (the
+//!   self-contained stand-in for MNIST/CIFAR10/ImageNet; see DESIGN.md).
+//! * [`mlp`] — a pure-Rust MLP ([`TinyMlp`]) exercising the pure-matmul
+//!   path end to end.
+//! * [`trainer`] — a pure-Rust CNN ([`TinyCnn`]) trained with SGD whose
+//!   inference can be re-executed under every computing scheme and
+//!   fixed-point format, reproducing the Fig. 9 accuracy experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod mlp;
+pub mod mlperf;
+pub mod trainer;
+pub mod zoo;
+
+pub use dataset::{ConfusionMatrix, Dataset, Sample};
+pub use mlperf::{mlperf_gemms, mlperf_suite};
+pub use mlp::TinyMlp;
+pub use trainer::TinyCnn;
+pub use zoo::{alexnet, mnist_cnn4, resnet18, vgg16, NamedLayer, Network};

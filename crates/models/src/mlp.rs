@@ -1,0 +1,209 @@
+//! A pure-Rust MLP classifier — the matrix-multiplication-only companion
+//! to [`crate::trainer::TinyCnn`].
+//!
+//! The paper stresses that uSystolic generalises across GEMM *types*
+//! (convolution **and** matrix multiplication, Table II). [`TinyMlp`]
+//! exercises the pure-matmul path end to end: both layers are FC GEMMs,
+//! so an accuracy sweep through a [`GemmExecutor`] validates the
+//! `matmul` lowering the same way the CNN validates the conv lowering.
+
+use crate::dataset::{Dataset, Sample, CLASSES, PIXELS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usystolic_core::{CoreError, GemmExecutor};
+use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+
+/// Hidden layer width.
+const HIDDEN: usize = 32;
+
+/// A two-layer perceptron: `PIXELS → HIDDEN (ReLU) → CLASSES`.
+#[derive(Debug, Clone)]
+pub struct TinyMlp {
+    w1: Matrix<f64>, // HIDDEN × PIXELS
+    b1: Vec<f64>,
+    w2: Matrix<f64>, // CLASSES × HIDDEN
+    b2: Vec<f64>,
+}
+
+impl TinyMlp {
+    /// Creates a randomly initialised network, deterministic in `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s1 = (2.0 / PIXELS as f64).sqrt();
+        let w1 = Matrix::from_fn(HIDDEN, PIXELS, |_, _| (rng.gen::<f64>() - 0.5) * 2.0 * s1);
+        let s2 = (2.0 / HIDDEN as f64).sqrt();
+        let w2 = Matrix::from_fn(CLASSES, HIDDEN, |_, _| (rng.gen::<f64>() - 0.5) * 2.0 * s2);
+        Self { w1, b1: vec![0.0; HIDDEN], w2, b2: vec![0.0; CLASSES] }
+    }
+
+    /// The first layer's GEMM configuration (`1 × PIXELS · PIXELS × HIDDEN`).
+    #[must_use]
+    pub fn layer1_gemm() -> GemmConfig {
+        GemmConfig::matmul(1, PIXELS, HIDDEN).expect("static shape is valid")
+    }
+
+    /// The second layer's GEMM configuration.
+    #[must_use]
+    pub fn layer2_gemm() -> GemmConfig {
+        GemmConfig::matmul(1, HIDDEN, CLASSES).expect("static shape is valid")
+    }
+
+    fn forward(&self, pixels: &[f64]) -> (Vec<f64>, [f64; CLASSES]) {
+        let mut hidden = vec![0.0f64; HIDDEN];
+        for (h, hv) in hidden.iter_mut().enumerate() {
+            let mut acc = self.b1[h];
+            for (i, &x) in pixels.iter().enumerate() {
+                acc += self.w1[(h, i)] * x;
+            }
+            *hv = acc.max(0.0);
+        }
+        let mut logits = [0.0f64; CLASSES];
+        for (j, l) in logits.iter_mut().enumerate() {
+            let mut acc = self.b2[j];
+            for (h, &hv) in hidden.iter().enumerate() {
+                acc += self.w2[(j, h)] * hv;
+            }
+            *l = acc;
+        }
+        (hidden, logits)
+    }
+
+    /// Trains with SGD; returns the final-epoch training accuracy.
+    pub fn train(&mut self, data: &Dataset, epochs: usize, lr: f64) -> f64 {
+        let mut data = data.clone();
+        let mut correct = 0usize;
+        for epoch in 0..epochs {
+            data.shuffle(2000 + epoch as u64);
+            correct = 0;
+            for sample in data.samples() {
+                correct += usize::from(self.step(sample, lr));
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+
+    /// One SGD step; returns whether the pre-update prediction was
+    /// correct.
+    fn step(&mut self, sample: &Sample, lr: f64) -> bool {
+        let (hidden, logits) = self.forward(&sample.pixels);
+        let correct = argmax(&logits) == sample.label;
+        // Softmax cross-entropy gradient.
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exp: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exp.iter().sum();
+        let mut dlogits: Vec<f64> = exp.iter().map(|e| e / sum).collect();
+        dlogits[sample.label] -= 1.0;
+
+        let mut dhidden = vec![0.0f64; HIDDEN];
+        for (j, &dl) in dlogits.iter().enumerate() {
+            self.b2[j] -= lr * dl;
+            for h in 0..HIDDEN {
+                dhidden[h] += dl * self.w2[(j, h)];
+                self.w2[(j, h)] -= lr * dl * hidden[h];
+            }
+        }
+        for h in 0..HIDDEN {
+            if hidden[h] <= 0.0 {
+                continue; // ReLU gradient gate
+            }
+            let dh = dhidden[h];
+            self.b1[h] -= lr * dh;
+            for (i, &x) in sample.pixels.iter().enumerate() {
+                self.w1[(h, i)] -= lr * dh * x;
+            }
+        }
+        correct
+    }
+
+    /// Top-1 accuracy under exact FP arithmetic.
+    #[must_use]
+    pub fn accuracy_fp(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .samples()
+            .iter()
+            .filter(|s| argmax(&self.forward(&s.pixels).1) == s.label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Top-1 accuracy with both matmul layers executed by a
+    /// systolic-array scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    pub fn accuracy_with(&self, data: &Dataset, exec: &GemmExecutor) -> Result<f64, CoreError> {
+        let g1 = Self::layer1_gemm();
+        let g2 = Self::layer2_gemm();
+        let w1 = WeightSet::from_fn(HIDDEN, 1, 1, PIXELS, |n, _, _, k| self.w1[(n, k)]);
+        let w2 = WeightSet::from_fn(CLASSES, 1, 1, HIDDEN, |n, _, _, k| self.w2[(n, k)]);
+        let mut correct = 0usize;
+        for sample in data.samples() {
+            let x = FeatureMap::from_fn(1, 1, PIXELS, |_, _, k| sample.pixels[k]);
+            let h_out = exec.execute(&g1, &x, &w1)?.output;
+            let h = FeatureMap::from_fn(1, 1, HIDDEN, |_, _, k| {
+                (h_out[(0, 0, k)] + self.b1[k]).max(0.0)
+            });
+            let logits_out = exec.execute(&g2, &h, &w2)?.output;
+            let mut logits = [0.0f64; CLASSES];
+            for (j, l) in logits.iter_mut().enumerate() {
+                *l = logits_out[(0, 0, j)] + self.b2[j];
+            }
+            if argmax(&logits) == sample.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::{ComputingScheme, SystolicConfig};
+
+    fn trained() -> (TinyMlp, Dataset) {
+        let train = Dataset::generate(40, 0.25, 21);
+        let test = Dataset::generate(4, 0.25, 91);
+        let mut net = TinyMlp::new(5);
+        net.train(&train, 10, 0.03);
+        (net, test)
+    }
+
+    #[test]
+    fn mlp_trains_to_high_accuracy() {
+        let (net, test) = trained();
+        let acc = net.accuracy_fp(&test);
+        assert!(acc >= 0.85, "MLP FP accuracy {acc} too low");
+    }
+
+    #[test]
+    fn matmul_path_matches_fp_class_under_usystolic() {
+        let (net, test) = trained();
+        let fp = net.accuracy_fp(&test);
+        let cfg = SystolicConfig::new(12, 14, ComputingScheme::UnaryRate, 8)
+            .expect("valid configuration");
+        let acc = net.accuracy_with(&test, &GemmExecutor::new(cfg)).expect("runs");
+        assert!(acc >= fp - 0.2, "uSystolic MLP accuracy {acc} vs FP {fp}");
+    }
+
+    #[test]
+    fn binary_parallel_preserves_mlp_accuracy() {
+        let (net, test) = trained();
+        let cfg = SystolicConfig::new(12, 14, ComputingScheme::BinaryParallel, 8)
+            .expect("valid configuration");
+        let acc = net.accuracy_with(&test, &GemmExecutor::new(cfg)).expect("runs");
+        assert!(acc >= net.accuracy_fp(&test) - 0.1);
+    }
+}

@@ -1,0 +1,421 @@
+//! A pure-Rust CNN trainer for the accuracy experiments (Fig. 9
+//! substitute).
+//!
+//! [`TinyCnn`] is a small convolutional classifier (conv 3×3×6 → ReLU →
+//! 2×2 average pool → FC → softmax) trained with SGD on the procedural
+//! glyph dataset. Its inference path can be re-executed under any
+//! computing scheme through a [`GemmExecutor`], or under the paper's
+//! fixed-point comparison formats, reproducing the accuracy-vs-EBT
+//! experiment end to end in Rust.
+
+use crate::dataset::{Dataset, Sample, CLASSES, IMAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usystolic_core::{CoreError, GemmExecutor};
+use usystolic_gemm::quant::{fxp_gemm, FxpFormat};
+use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+
+const CONV_K: usize = 3;
+const CONV_OC: usize = 6;
+const CONV_OUT: usize = IMAGE_SIZE - CONV_K + 1; // 10
+const POOL_OUT: usize = CONV_OUT / 2; // 5
+const FC_IN: usize = POOL_OUT * POOL_OUT * CONV_OC; // 150
+
+/// The trainable CNN.
+#[derive(Debug, Clone)]
+pub struct TinyCnn {
+    conv_w: WeightSet<f64>,
+    conv_b: Vec<f64>,
+    fc_w: Matrix<f64>, // CLASSES × FC_IN
+    fc_b: Vec<f64>,
+}
+
+/// Everything the backward pass needs from a forward pass.
+struct ForwardCache {
+    conv_z: Vec<f64>, // CONV_OUT² × OC, pre-activation
+    pooled: Vec<f64>, // FC_IN
+    logits: [f64; CLASSES],
+}
+
+impl TinyCnn {
+    /// Creates a randomly initialised network (He-style scaling),
+    /// deterministic in `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv_scale = (2.0 / (CONV_K * CONV_K) as f64).sqrt();
+        let conv_w = WeightSet::from_fn(CONV_OC, CONV_K, CONV_K, 1, |_, _, _, _| {
+            (rng.gen::<f64>() - 0.5) * 2.0 * conv_scale
+        });
+        let fc_scale = (2.0 / FC_IN as f64).sqrt();
+        let fc_w = Matrix::from_fn(CLASSES, FC_IN, |_, _| {
+            (rng.gen::<f64>() - 0.5) * 2.0 * fc_scale
+        });
+        Self { conv_w, conv_b: vec![0.0; CONV_OC], fc_w, fc_b: vec![0.0; CLASSES] }
+    }
+
+    /// The GEMM configuration of the convolution layer.
+    #[must_use]
+    pub fn conv_gemm() -> GemmConfig {
+        GemmConfig::conv(IMAGE_SIZE, IMAGE_SIZE, 1, CONV_K, CONV_K, 1, CONV_OC)
+            .expect("static shape is valid")
+    }
+
+    /// The GEMM configuration of the fully connected layer.
+    #[must_use]
+    pub fn fc_gemm() -> GemmConfig {
+        GemmConfig::matmul(1, FC_IN, CLASSES).expect("static shape is valid")
+    }
+
+    fn forward(&self, pixels: &[f64]) -> ForwardCache {
+        // Convolution + bias.
+        let mut conv_z = vec![0.0f64; CONV_OUT * CONV_OUT * CONV_OC];
+        for oh in 0..CONV_OUT {
+            for ow in 0..CONV_OUT {
+                for oc in 0..CONV_OC {
+                    let mut acc = self.conv_b[oc];
+                    for kh in 0..CONV_K {
+                        for kw in 0..CONV_K {
+                            acc += self.conv_w[(oc, kh, kw, 0)]
+                                * pixels[(oh + kh) * IMAGE_SIZE + (ow + kw)];
+                        }
+                    }
+                    conv_z[(oh * CONV_OUT + ow) * CONV_OC + oc] = acc;
+                }
+            }
+        }
+        let pooled = Self::pool_relu(&conv_z);
+        let logits = self.classify(&pooled);
+        ForwardCache { conv_z, pooled, logits }
+    }
+
+    /// ReLU then 2×2 average pooling, flattening as `(ph, pw, oc)` —
+    /// matching the channel-innermost lowering of the FC GEMM.
+    fn pool_relu(conv_z: &[f64]) -> Vec<f64> {
+        let mut pooled = vec![0.0f64; FC_IN];
+        for ph in 0..POOL_OUT {
+            for pw in 0..POOL_OUT {
+                for oc in 0..CONV_OC {
+                    let mut acc = 0.0;
+                    for dh in 0..2 {
+                        for dw in 0..2 {
+                            let z = conv_z
+                                [((2 * ph + dh) * CONV_OUT + 2 * pw + dw) * CONV_OC + oc];
+                            acc += z.max(0.0);
+                        }
+                    }
+                    pooled[(ph * POOL_OUT + pw) * CONV_OC + oc] = acc / 4.0;
+                }
+            }
+        }
+        pooled
+    }
+
+    fn classify(&self, pooled: &[f64]) -> [f64; CLASSES] {
+        let mut logits = [0.0f64; CLASSES];
+        for (j, logit) in logits.iter_mut().enumerate() {
+            let mut acc = self.fc_b[j];
+            for (i, &p) in pooled.iter().enumerate() {
+                acc += self.fc_w[(j, i)] * p;
+            }
+            *logit = acc;
+        }
+        logits
+    }
+
+    fn softmax(logits: &[f64; CLASSES]) -> [f64; CLASSES] {
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut exp = [0.0f64; CLASSES];
+        let mut sum = 0.0;
+        for (e, &l) in exp.iter_mut().zip(logits) {
+            *e = (l - max).exp();
+            sum += *e;
+        }
+        for e in &mut exp {
+            *e /= sum;
+        }
+        exp
+    }
+
+    /// Trains with plain SGD; returns the final-epoch training accuracy.
+    pub fn train(&mut self, data: &Dataset, epochs: usize, lr: f64) -> f64 {
+        let mut data = data.clone();
+        let mut correct = 0usize;
+        for epoch in 0..epochs {
+            data.shuffle(1000 + epoch as u64);
+            correct = 0;
+            for sample in data.samples() {
+                let cache = self.forward(&sample.pixels);
+                let probs = Self::softmax(&cache.logits);
+                let pred = argmax(&cache.logits);
+                if pred == sample.label {
+                    correct += 1;
+                }
+                self.backward(sample, &cache, &probs, lr);
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+
+    fn backward(
+        &mut self,
+        sample: &Sample,
+        cache: &ForwardCache,
+        probs: &[f64; CLASSES],
+        lr: f64,
+    ) {
+        // Cross-entropy gradient at the logits.
+        let mut dlogits = *probs;
+        dlogits[sample.label] -= 1.0;
+
+        // FC gradients and pooled-activation gradient.
+        let mut dpooled = vec![0.0f64; FC_IN];
+        for (j, &dl) in dlogits.iter().enumerate() {
+            self.fc_b[j] -= lr * dl;
+            for (i, dp) in dpooled.iter_mut().enumerate() {
+                *dp += dl * self.fc_w[(j, i)];
+                self.fc_w[(j, i)] -= lr * dl * cache.pooled[i];
+            }
+        }
+
+        // Through the average pool and ReLU.
+        let mut dconv = vec![0.0f64; CONV_OUT * CONV_OUT * CONV_OC];
+        for ph in 0..POOL_OUT {
+            for pw in 0..POOL_OUT {
+                for oc in 0..CONV_OC {
+                    let g = dpooled[(ph * POOL_OUT + pw) * CONV_OC + oc] / 4.0;
+                    for dh in 0..2 {
+                        for dw in 0..2 {
+                            let idx =
+                                ((2 * ph + dh) * CONV_OUT + 2 * pw + dw) * CONV_OC + oc;
+                            if cache.conv_z[idx] > 0.0 {
+                                dconv[idx] = g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Convolution weight gradients.
+        for oc in 0..CONV_OC {
+            let mut db = 0.0;
+            for oh in 0..CONV_OUT {
+                for ow in 0..CONV_OUT {
+                    let dz = dconv[(oh * CONV_OUT + ow) * CONV_OC + oc];
+                    if dz == 0.0 {
+                        continue;
+                    }
+                    db += dz;
+                    for kh in 0..CONV_K {
+                        for kw in 0..CONV_K {
+                            let x = sample.pixels[(oh + kh) * IMAGE_SIZE + (ow + kw)];
+                            self.conv_w[(oc, kh, kw, 0)] -= lr * dz * x;
+                        }
+                    }
+                }
+            }
+            self.conv_b[oc] -= lr * db;
+        }
+    }
+
+    /// Predicted class under exact FP arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` does not hold [`crate::dataset::PIXELS`] values.
+    #[must_use]
+    pub fn predict_fp(&self, pixels: &[f64]) -> usize {
+        assert_eq!(pixels.len(), crate::dataset::PIXELS, "wrong image size");
+        argmax(&self.forward(pixels).logits)
+    }
+
+    /// Predicted class with both GEMM layers executed by a systolic-array
+    /// scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` does not hold [`crate::dataset::PIXELS`] values.
+    pub fn predict_with(
+        &self,
+        pixels: &[f64],
+        exec: &GemmExecutor,
+    ) -> Result<usize, CoreError> {
+        assert_eq!(pixels.len(), crate::dataset::PIXELS, "wrong image size");
+        let fc_weights = WeightSet::from_fn(CLASSES, 1, 1, FC_IN, |n, _, _, k| self.fc_w[(n, k)]);
+        let input = FeatureMap::from_fn(IMAGE_SIZE, IMAGE_SIZE, 1, |h, w, _| {
+            pixels[h * IMAGE_SIZE + w]
+        });
+        let conv_out = exec.execute(&Self::conv_gemm(), &input, &self.conv_w)?.output;
+        let pooled = self.pool_from_featuremap(&conv_out);
+        let fc_in = FeatureMap::from_fn(1, 1, FC_IN, |_, _, k| pooled[k]);
+        let fc_out = exec.execute(&Self::fc_gemm(), &fc_in, &fc_weights)?.output;
+        let mut logits = [0.0f64; CLASSES];
+        for (j, logit) in logits.iter_mut().enumerate() {
+            *logit = fc_out[(0, 0, j)] + self.fc_b[j];
+        }
+        Ok(argmax(&logits))
+    }
+
+    /// Top-1 accuracy under exact FP arithmetic.
+    #[must_use]
+    pub fn accuracy_fp(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .samples()
+            .iter()
+            .filter(|s| self.predict_fp(&s.pixels) == s.label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Top-1 accuracy with both GEMM layers executed by a systolic-array
+    /// scheme (the uSystolic / baseline accuracy experiment).
+    ///
+    /// Activation, pooling and bias addition stay in the binary domain, as
+    /// in any hybrid unary-binary system (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors.
+    pub fn accuracy_with(&self, data: &Dataset, exec: &GemmExecutor) -> Result<f64, CoreError> {
+        let mut correct = 0usize;
+        for sample in data.samples() {
+            if self.predict_with(&sample.pixels, exec)? == sample.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Top-1 accuracy with both GEMM layers quantised to a fixed-point
+    /// comparison format (FXP-o-res / FXP-i-res of Section V-A).
+    #[must_use]
+    pub fn accuracy_fxp(&self, data: &Dataset, format: FxpFormat) -> f64 {
+        let conv_cfg = Self::conv_gemm();
+        let fc_cfg = Self::fc_gemm();
+        let fc_weights = WeightSet::from_fn(CLASSES, 1, 1, FC_IN, |n, _, _, k| self.fc_w[(n, k)]);
+        let mut correct = 0usize;
+        for sample in data.samples() {
+            let input = FeatureMap::from_fn(IMAGE_SIZE, IMAGE_SIZE, 1, |h, w, _| {
+                sample.pixels[h * IMAGE_SIZE + w]
+            });
+            let conv_out = fxp_gemm(&conv_cfg, &input, &self.conv_w, format)
+                .expect("static shapes match");
+            let pooled = self.pool_from_featuremap(&conv_out);
+            let fc_in = FeatureMap::from_fn(1, 1, FC_IN, |_, _, k| pooled[k]);
+            let fc_out =
+                fxp_gemm(&fc_cfg, &fc_in, &fc_weights, format).expect("static shapes match");
+            let mut logits = [0.0f64; CLASSES];
+            for (j, logit) in logits.iter_mut().enumerate() {
+                *logit = fc_out[(0, 0, j)] + self.fc_b[j];
+            }
+            if argmax(&logits) == sample.label {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+
+    /// Adds the conv bias, applies ReLU and average-pools a conv-output
+    /// feature map into the flattened FC input.
+    fn pool_from_featuremap(&self, conv_out: &FeatureMap<f64>) -> Vec<f64> {
+        let mut pooled = vec![0.0f64; FC_IN];
+        for ph in 0..POOL_OUT {
+            for pw in 0..POOL_OUT {
+                for oc in 0..CONV_OC {
+                    let mut acc = 0.0;
+                    for dh in 0..2 {
+                        for dw in 0..2 {
+                            let z = conv_out[(2 * ph + dh, 2 * pw + dw, oc)]
+                                + self.conv_b[oc];
+                            acc += z.max(0.0);
+                        }
+                    }
+                    pooled[(ph * POOL_OUT + pw) * CONV_OC + oc] = acc / 4.0;
+                }
+            }
+        }
+        pooled
+    }
+}
+
+fn argmax(xs: &[f64; CLASSES]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::{ComputingScheme, SystolicConfig};
+
+    fn trained() -> (TinyCnn, Dataset) {
+        let train = Dataset::generate(40, 0.25, 11);
+        let test = Dataset::generate(5, 0.25, 99);
+        let mut net = TinyCnn::new(7);
+        net.train(&train, 8, 0.05);
+        (net, test)
+    }
+
+    #[test]
+    fn training_reaches_high_fp_accuracy() {
+        let (net, test) = trained();
+        let acc = net.accuracy_fp(&test);
+        assert!(acc >= 0.9, "FP32 test accuracy {acc} too low");
+    }
+
+    #[test]
+    fn untrained_network_is_near_chance() {
+        let net = TinyCnn::new(3);
+        let test = Dataset::generate(10, 0.25, 5);
+        let acc = net.accuracy_fp(&test);
+        assert!(acc < 0.5, "untrained accuracy {acc} suspiciously high");
+    }
+
+    #[test]
+    fn usystolic_rate_matches_fp_class_accuracy() {
+        let (net, test) = trained();
+        let fp = net.accuracy_fp(&test);
+        let cfg = SystolicConfig::new(12, 14, ComputingScheme::UnaryRate, 8).unwrap();
+        let acc = net.accuracy_with(&test, &GemmExecutor::new(cfg)).unwrap();
+        assert!(
+            acc >= fp - 0.15,
+            "uSystolic accuracy {acc} fell too far from FP {fp}"
+        );
+    }
+
+    #[test]
+    fn severe_early_termination_hurts_accuracy_more_than_mild() {
+        let (net, test) = trained();
+        let acc_at = |ebt: u32| {
+            let cfg = SystolicConfig::new(12, 14, ComputingScheme::UnaryRate, 8)
+                .unwrap()
+                .with_effective_bitwidth(ebt)
+                .unwrap();
+            net.accuracy_with(&test, &GemmExecutor::new(cfg)).unwrap()
+        };
+        let mild = acc_at(8);
+        let severe = acc_at(3);
+        assert!(
+            severe <= mild + 0.05,
+            "EBT 3 accuracy {severe} should not beat EBT 8 {mild}"
+        );
+    }
+
+    #[test]
+    fn fxp_i_res_at_least_matches_o_res() {
+        let (net, test) = trained();
+        let o = net.accuracy_fxp(&test, FxpFormat::OutputRes(6));
+        let i = net.accuracy_fxp(&test, FxpFormat::InputRes(6));
+        assert!(i + 0.1 >= o, "i-res {i} vs o-res {o}");
+    }
+}

@@ -1,0 +1,278 @@
+//! The CNN workloads of the paper's accuracy and performance studies
+//! (Section IV-C1): a small 4-layer MNIST CNN (1.2 M parameters), the
+//! medium ResNet18 (11.7 M) and the large AlexNet (61.1 M).
+//!
+//! Only the GEMM layers matter to uSystolic (pooling/activation run in the
+//! binary domain); each network is a named list of [`GemmConfig`]s whose
+//! shapes follow the original publications.
+
+use usystolic_gemm::GemmConfig;
+
+/// One GEMM layer of a network, with the paper's layer naming
+/// (Conv1..Conv5, FC6..FC8 for AlexNet).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NamedLayer {
+    /// Layer name as the paper's figures label it.
+    pub name: String,
+    /// The layer's GEMM configuration.
+    pub gemm: GemmConfig,
+}
+
+impl NamedLayer {
+    fn new(name: &str, gemm: GemmConfig) -> Self {
+        Self { name: name.to_owned(), gemm }
+    }
+}
+
+/// A network: a named sequence of GEMM layers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Network {
+    /// Network name.
+    pub name: String,
+    /// The GEMM layers in execution order.
+    pub layers: Vec<NamedLayer>,
+}
+
+impl Network {
+    /// Total weight parameter count across all GEMM layers.
+    #[must_use]
+    pub fn parameters(&self) -> u64 {
+        self.layers.iter().map(|l| l.gemm.weight_elems()).sum()
+    }
+
+    /// Total MAC count of one inference.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.gemm.macs()).sum()
+    }
+
+    /// The raw GEMM configurations, for bulk simulation.
+    #[must_use]
+    pub fn gemms(&self) -> Vec<GemmConfig> {
+        self.layers.iter().map(|l| l.gemm).collect()
+    }
+}
+
+fn conv(ih: usize, iw: usize, ic: usize, wh: usize, ww: usize, s: usize, oc: usize) -> GemmConfig {
+    GemmConfig::conv(ih, iw, ic, wh, ww, s, oc).expect("zoo layer shapes are valid")
+}
+
+fn fc(k: usize, n: usize) -> GemmConfig {
+    GemmConfig::matmul(1, k, n).expect("zoo layer shapes are valid")
+}
+
+/// AlexNet for ImageNet: 5 conv + 3 FC GEMM layers, 61.1 M parameters
+/// (Krizhevsky et al. \[33\]). Spatial sizes include the original paddings
+/// as enlarged inputs so the output shapes match the published network.
+#[must_use]
+pub fn alexnet() -> Network {
+    Network {
+        name: "AlexNet".into(),
+        layers: vec![
+            NamedLayer::new("Conv1", conv(227, 227, 3, 11, 11, 4, 96)),
+            // 27×27 after pool, pad 2 → 31.
+            NamedLayer::new("Conv2", conv(31, 31, 96, 5, 5, 1, 256)),
+            // 13×13 after pool, pad 1 → 15.
+            NamedLayer::new("Conv3", conv(15, 15, 256, 3, 3, 1, 384)),
+            NamedLayer::new("Conv4", conv(15, 15, 384, 3, 3, 1, 384)),
+            NamedLayer::new("Conv5", conv(15, 15, 384, 3, 3, 1, 256)),
+            NamedLayer::new("FC6", fc(9216, 4096)),
+            NamedLayer::new("FC7", fc(4096, 4096)),
+            NamedLayer::new("FC8", fc(4096, 1000)),
+        ],
+    }
+}
+
+/// The paper's small 4-layer CNN for MNIST (1.2 M parameters): two conv
+/// layers and two FC layers.
+#[must_use]
+pub fn mnist_cnn4() -> Network {
+    Network {
+        name: "MNIST-CNN4".into(),
+        layers: vec![
+            NamedLayer::new("Conv1", conv(28, 28, 1, 5, 5, 1, 32)),
+            // 12×12 after pool.
+            NamedLayer::new("Conv2", conv(12, 12, 32, 5, 5, 1, 64)),
+            // 4×4×64 = 1024 after pool.
+            NamedLayer::new("FC3", fc(1024, 1024)),
+            NamedLayer::new("FC4", fc(1024, 10)),
+        ],
+    }
+}
+
+/// ResNet18 for CIFAR10-sized inputs scaled to the ImageNet stem
+/// (He et al. \[22\]): 11.7 M parameters over 21 GEMM layers (20 convs +
+/// final FC; projection shortcuts included).
+#[must_use]
+pub fn resnet18() -> Network {
+    let mut layers = vec![NamedLayer::new("Conv1", conv(229, 229, 3, 7, 7, 2, 64))];
+    // Four stages of two basic blocks each; spatial sizes after the
+    // stride-2 stem + pool: 56 → 28 → 14 → 7 (pad-1 3×3 convs appear as
+    // +2 enlarged inputs).
+    let stages: [(usize, usize, usize); 4] =
+        [(56, 64, 64), (56, 64, 128), (28, 128, 256), (14, 256, 512)];
+    for (stage_idx, (in_size, in_ch, out_ch)) in stages.into_iter().enumerate() {
+        let stride = if stage_idx == 0 { 1 } else { 2 };
+        let out_size = in_size / stride;
+        let base = format!("Conv{}", stage_idx + 2);
+        // Block 1 (possibly strided, with projection shortcut).
+        layers.push(NamedLayer::new(
+            &format!("{base}a_1"),
+            conv(in_size + 2, in_size + 2, in_ch, 3, 3, stride, out_ch),
+        ));
+        layers.push(NamedLayer::new(
+            &format!("{base}a_2"),
+            conv(out_size + 2, out_size + 2, out_ch, 3, 3, 1, out_ch),
+        ));
+        if stride != 1 || in_ch != out_ch {
+            layers.push(NamedLayer::new(
+                &format!("{base}a_proj"),
+                conv(in_size, in_size, in_ch, 1, 1, stride, out_ch),
+            ));
+        }
+        // Block 2.
+        layers.push(NamedLayer::new(
+            &format!("{base}b_1"),
+            conv(out_size + 2, out_size + 2, out_ch, 3, 3, 1, out_ch),
+        ));
+        layers.push(NamedLayer::new(
+            &format!("{base}b_2"),
+            conv(out_size + 2, out_size + 2, out_ch, 3, 3, 1, out_ch),
+        ));
+    }
+    layers.push(NamedLayer::new("FC", fc(512, 1000)));
+    Network { name: "ResNet18".into(), layers }
+}
+
+/// VGG16 (Simonyan & Zisserman \[59\]): 13 convs + 3 FC GEMM layers,
+/// ~138 M parameters — the heaviest classical CNN, useful for stressing
+/// the memory hierarchy.
+#[must_use]
+pub fn vgg16() -> Network {
+    // (spatial size, in channels, out channels) for each conv; pad-1 3x3
+    // convs appear as +2 enlarged inputs.
+    let convs: [(usize, usize, usize); 13] = [
+        (224, 3, 64),
+        (224, 64, 64),
+        (112, 64, 128),
+        (112, 128, 128),
+        (56, 128, 256),
+        (56, 256, 256),
+        (56, 256, 256),
+        (28, 256, 512),
+        (28, 512, 512),
+        (28, 512, 512),
+        (14, 512, 512),
+        (14, 512, 512),
+        (14, 512, 512),
+    ];
+    let mut layers: Vec<NamedLayer> = convs
+        .iter()
+        .enumerate()
+        .map(|(i, &(sz, ic, oc))| {
+            NamedLayer::new(&format!("Conv{}", i + 1), conv(sz + 2, sz + 2, ic, 3, 3, 1, oc))
+        })
+        .collect();
+    layers.push(NamedLayer::new("FC14", fc(25088, 4096)));
+    layers.push(NamedLayer::new("FC15", fc(4096, 4096)));
+    layers.push(NamedLayer::new("FC16", fc(4096, 1000)));
+    Network { name: "VGG16".into(), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_has_8_gemm_layers() {
+        let net = alexnet();
+        assert_eq!(net.layers.len(), 8);
+        assert_eq!(net.layers[0].name, "Conv1");
+        assert_eq!(net.layers[7].name, "FC8");
+    }
+
+    #[test]
+    fn alexnet_parameter_count_matches_paper() {
+        // Paper: 61.1 M parameters (weights; biases excluded here).
+        let p = alexnet().parameters();
+        assert!(
+            (60_000_000..62_500_000).contains(&p),
+            "AlexNet parameters {p} out of band"
+        );
+    }
+
+    #[test]
+    fn alexnet_conv_output_shapes() {
+        let net = alexnet();
+        assert_eq!(net.layers[0].gemm.output_height(), 55); // Conv1
+        assert_eq!(net.layers[1].gemm.output_height(), 27); // Conv2
+        assert_eq!(net.layers[2].gemm.output_height(), 13); // Conv3
+        // FC6 consumes 6×6×256 = 9216.
+        assert_eq!(net.layers[5].gemm.reduction_len(), 9216);
+    }
+
+    #[test]
+    fn mnist_cnn4_parameter_count_matches_paper() {
+        // Paper: 1.2 M parameters.
+        let p = mnist_cnn4().parameters();
+        assert!(
+            (1_100_000..1_300_000).contains(&p),
+            "MNIST CNN parameters {p} out of band"
+        );
+        assert_eq!(mnist_cnn4().layers.len(), 4);
+    }
+
+    #[test]
+    fn resnet18_parameter_count_matches_paper() {
+        // Paper: 11.7 M parameters.
+        let p = resnet18().parameters();
+        assert!(
+            (11_000_000..12_500_000).contains(&p),
+            "ResNet18 parameters {p} out of band"
+        );
+    }
+
+    #[test]
+    fn resnet18_layer_structure() {
+        let net = resnet18();
+        // Stem + 4 stages × (4 convs + up to 1 projection) + FC.
+        assert_eq!(net.layers.len(), 1 + 4 + 5 + 5 + 5 + 1);
+        assert!(net.layers.last().unwrap().name == "FC");
+    }
+
+    #[test]
+    fn macs_are_positive_and_conv_heavy() {
+        let net = alexnet();
+        let conv_macs: u64 = net.layers[..5].iter().map(|l| l.gemm.macs()).sum();
+        let fc_macs: u64 = net.layers[5..].iter().map(|l| l.gemm.macs()).sum();
+        assert!(conv_macs > 10 * fc_macs, "AlexNet compute is conv-dominated");
+        assert_eq!(net.macs(), conv_macs + fc_macs);
+    }
+
+    #[test]
+    fn gemms_returns_all_layers() {
+        assert_eq!(alexnet().gemms().len(), 8);
+    }
+
+    #[test]
+    fn vgg16_parameter_count_matches_publication() {
+        // ~138 M weights in the reference network.
+        let net = vgg16();
+        assert_eq!(net.layers.len(), 16);
+        let p = net.parameters();
+        assert!(
+            (135_000_000..141_000_000).contains(&p),
+            "VGG16 parameters {p} out of band"
+        );
+        // FC14 consumes 7x7x512 = 25088 features.
+        assert_eq!(net.layers[13].gemm.reduction_len(), 25088);
+    }
+
+    #[test]
+    fn vgg16_conv_outputs_preserve_spatial_size() {
+        // Pad-1 3x3 convs keep the nominal spatial sizes.
+        let net = vgg16();
+        assert_eq!(net.layers[0].gemm.output_height(), 224);
+        assert_eq!(net.layers[12].gemm.output_height(), 14);
+    }
+}

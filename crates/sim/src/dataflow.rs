@@ -1,0 +1,222 @@
+//! Dataflow comparison: weight-stationary vs input-stationary.
+//!
+//! The paper fixes the weight-stationary (WS) dataflow (Section II-A), but
+//! footnote 1 observes that C-BSG "allows the dataflow to be either input
+//! or weight stationary". This module models the input-stationary (IS)
+//! alternative at the timing/traffic level, quantifying when each wins:
+//!
+//! * **WS** pins a `K×N` weight tile and streams the `M` input vectors —
+//!   efficient when the *stationary* `N` dimension fills the array
+//!   columns (FC layers, where `N` is in the thousands);
+//! * **IS** pins a `K×M` input tile and streams the `N` weight vectors —
+//!   efficient when `M ≫ N` (early conv layers with many pixels but few
+//!   output channels, which leave a WS array's columns mostly idle).
+//!
+//! Either way the winner is the dataflow whose stationary dimension
+//! utilises the columns best — the quantified version of "DNN dataflow
+//! choice is overrated" \[73\]: for the bulk of AlexNet's layers both
+//! dataflows land within a small factor.
+
+use crate::memory::MemoryHierarchy;
+use crate::traffic::{input_elem_bytes, output_elem_bytes, LayerTraffic, VariableTraffic};
+use usystolic_core::SystolicConfig;
+use usystolic_gemm::GemmConfig;
+
+/// The stationary operand of the systolic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Dataflow {
+    /// Weights stay in the PEs; inputs stream (the paper's choice).
+    WeightStationary,
+    /// Inputs stay in the PEs; weights stream (footnote 1's alternative).
+    InputStationary,
+}
+
+impl core::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Dataflow::WeightStationary => "weight-stationary",
+            Dataflow::InputStationary => "input-stationary",
+        })
+    }
+}
+
+/// The generalised fold structure: `stationary_cols` values are pinned per
+/// tile and `streamed` vectors pass through each tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Folds {
+    row_folds: u64,
+    col_folds: u64,
+    last_rows: u64,
+    last_cols: u64,
+    rows: u64,
+    cols: u64,
+    streamed: u64,
+}
+
+fn folds(gemm: &GemmConfig, config: &SystolicConfig, dataflow: Dataflow) -> Folds {
+    let k = gemm.reduction_len() as u64;
+    let m = gemm.output_pixels() as u64;
+    let n = gemm.output_channels() as u64;
+    let (stationary_cols, streamed) = match dataflow {
+        Dataflow::WeightStationary => (n, m),
+        Dataflow::InputStationary => (m, n),
+    };
+    let rows = config.rows() as u64;
+    let cols = config.cols() as u64;
+    Folds {
+        row_folds: k.div_ceil(rows),
+        col_folds: stationary_cols.div_ceil(cols),
+        last_rows: k - (k.div_ceil(rows) - 1) * rows,
+        last_cols: stationary_cols - (stationary_cols.div_ceil(cols) - 1) * cols,
+        rows,
+        cols,
+        streamed,
+    }
+}
+
+/// Stall-free compute cycles under the chosen dataflow.
+#[must_use]
+pub fn ideal_cycles_with(
+    gemm: &GemmConfig,
+    config: &SystolicConfig,
+    dataflow: Dataflow,
+) -> u64 {
+    let f = folds(gemm, config, dataflow);
+    let mac = config.mac_cycles();
+    let mut total = 0u64;
+    for rf in 0..f.row_folds {
+        let r = if rf + 1 == f.row_folds { f.last_rows } else { f.rows };
+        for cf in 0..f.col_folds {
+            let c = if cf + 1 == f.col_folds { f.last_cols } else { f.cols };
+            total += r + f.streamed * mac + (r + c).saturating_sub(2);
+        }
+    }
+    total
+}
+
+/// Streamed DRAM traffic under the chosen dataflow (no-SRAM accounting, as
+/// the unary designs run).
+#[must_use]
+pub fn layer_traffic_with(
+    gemm: &GemmConfig,
+    config: &SystolicConfig,
+    dataflow: Dataflow,
+) -> LayerTraffic {
+    let f = folds(gemm, config, dataflow);
+    let in_bytes = input_elem_bytes(config.bitwidth());
+    let out_bytes = output_elem_bytes(config);
+    let k = gemm.reduction_len() as u64;
+    let m = gemm.output_pixels() as u64;
+    let n = gemm.output_channels() as u64;
+    let dram = match dataflow {
+        Dataflow::WeightStationary => VariableTraffic {
+            ifm: m * k * f.col_folds * in_bytes,
+            weight: k * n * in_bytes,
+            ofm: m * n * (2 * f.row_folds - 1) * out_bytes,
+        },
+        Dataflow::InputStationary => VariableTraffic {
+            // Inputs are the preloaded (stationary) operand: once each.
+            ifm: m * k * in_bytes,
+            // Weights stream: every input-column fold re-streams them.
+            weight: k * n * f.col_folds * in_bytes,
+            ofm: m * n * (2 * f.row_folds - 1) * out_bytes,
+        },
+    };
+    LayerTraffic { sram: VariableTraffic::default(), dram }
+}
+
+/// Runtime cycles under the chosen dataflow against a shared memory
+/// hierarchy (no-SRAM): max of compute and DRAM service.
+#[must_use]
+pub fn runtime_cycles_with(
+    gemm: &GemmConfig,
+    config: &SystolicConfig,
+    memory: &MemoryHierarchy,
+    dataflow: Dataflow,
+) -> u64 {
+    let ideal = ideal_cycles_with(gemm, config, dataflow);
+    let traffic = layer_traffic_with(gemm, config, dataflow);
+    let dram = (traffic.dram.total() as f64 / memory.dram.sustained_bytes_per_cycle()).ceil()
+        as u64;
+    ideal.max(dram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::ComputingScheme;
+
+    fn edge() -> SystolicConfig {
+        SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(128)
+            .expect("valid EBT")
+    }
+
+    #[test]
+    fn ws_matches_the_base_model() {
+        // The generalised WS path must agree with the dedicated model.
+        let gemm = GemmConfig::conv(15, 15, 64, 3, 3, 1, 96).expect("valid layer");
+        let cfg = edge();
+        assert_eq!(
+            ideal_cycles_with(&gemm, &cfg, Dataflow::WeightStationary),
+            crate::runtime::ideal_cycles(&gemm, &cfg)
+        );
+        let base = crate::traffic::layer_traffic(&gemm, &cfg, &MemoryHierarchy::no_sram());
+        let gen = layer_traffic_with(&gemm, &cfg, Dataflow::WeightStationary);
+        assert_eq!(base.dram, gen.dram);
+    }
+
+    #[test]
+    fn ws_wins_on_batch1_fc_layers() {
+        // FC with M=1: the IS array pins a single input column (1/14th
+        // utilisation) and re-streams all weights per row fold; WS fills
+        // its columns with the 1024 output channels.
+        let fc = GemmConfig::matmul(1, 1024, 1024).expect("valid layer");
+        let cfg = edge();
+        let ws = ideal_cycles_with(&fc, &cfg, Dataflow::WeightStationary);
+        let is = ideal_cycles_with(&fc, &cfg, Dataflow::InputStationary);
+        assert!(ws < is / 4, "WS {ws} should be far below IS {is} for batch-1 FC");
+    }
+
+    #[test]
+    fn is_wins_on_few_channel_conv_layers() {
+        // Conv with M ≫ N: WS leaves most columns idle (only 8 output
+        // channels); IS pins the abundant pixels instead.
+        let conv = GemmConfig::conv(31, 31, 16, 5, 5, 1, 8).expect("valid layer");
+        let cfg = edge();
+        let ws = ideal_cycles_with(&conv, &cfg, Dataflow::WeightStationary);
+        let is = ideal_cycles_with(&conv, &cfg, Dataflow::InputStationary);
+        assert!(is < ws, "IS {is} should beat WS {ws} for few-channel conv");
+    }
+
+    #[test]
+    fn traffic_mirrors_the_stationary_operand() {
+        let gemm = GemmConfig::matmul(40, 48, 56).expect("valid layer");
+        let cfg = edge();
+        let ws = layer_traffic_with(&gemm, &cfg, Dataflow::WeightStationary);
+        let is = layer_traffic_with(&gemm, &cfg, Dataflow::InputStationary);
+        // WS reads each weight once but re-streams inputs per column
+        // fold; IS is the exact mirror.
+        assert_eq!(ws.dram.weight, 48 * 56);
+        assert_eq!(is.dram.ifm, 40 * 48);
+        assert!(ws.dram.ifm > is.dram.ifm);
+        assert!(is.dram.weight > ws.dram.weight);
+    }
+
+    #[test]
+    fn runtime_covers_memory_service() {
+        let gemm = GemmConfig::matmul(1, 512, 512).expect("valid layer");
+        let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let mem = MemoryHierarchy::no_sram();
+        for df in [Dataflow::WeightStationary, Dataflow::InputStationary] {
+            let rt = runtime_cycles_with(&gemm, &cfg, &mem, df);
+            assert!(rt >= ideal_cycles_with(&gemm, &cfg, df), "{df}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dataflow::WeightStationary.to_string(), "weight-stationary");
+        assert_eq!(Dataflow::InputStationary.to_string(), "input-stationary");
+    }
+}

@@ -1,0 +1,169 @@
+//! Bank/page-level DRAM analysis of execution traces.
+//!
+//! The paper's DRAM is an 8-bank, 8192-bit-page DDR3 chip
+//! (Section IV-C3). This module replays a [`TraceGenerator`](crate::trace::TraceGenerator) trace
+//! against that structure and reports:
+//!
+//! * the **row-buffer (page) hit rate** — how often consecutive accesses
+//!   to a bank stay in the open page;
+//! * the **same-cycle bank-conflict rate** — how many accesses collide on
+//!   a bank within one cycle and must serialise. Binary-parallel arrays
+//!   demand many words per cycle and conflict heavily; byte-crawling
+//!   uSystolic rarely issues more than one access per cycle — the
+//!   microarchitectural face of the paper's contention argument.
+
+use crate::memory::DramSpec;
+use crate::trace::TraceEvent;
+use std::collections::HashMap;
+
+/// Result of replaying a trace against the DRAM bank/page structure.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DramAnalysis {
+    /// Total accesses replayed.
+    pub accesses: u64,
+    /// Accesses that hit an already-open page.
+    pub page_hits: u64,
+    /// Accesses that collided with another access to the same bank in the
+    /// same cycle (beyond the first).
+    pub same_cycle_conflicts: u64,
+}
+
+impl DramAnalysis {
+    /// Page hit rate in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.page_hits as f64 / self.accesses as f64
+    }
+
+    /// Fraction of accesses that had to serialise behind a same-cycle
+    /// bank conflict.
+    #[must_use]
+    pub fn conflict_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.same_cycle_conflicts as f64 / self.accesses as f64
+    }
+
+    /// An effective-bandwidth efficiency estimate: page hits stream at
+    /// full rate, misses pay an activate penalty, conflicts serialise.
+    #[must_use]
+    pub fn effective_efficiency(&self) -> f64 {
+        let miss_penalty = 0.4; // activate+precharge amortisation
+        let base = self.hit_rate() + (1.0 - self.hit_rate()) * miss_penalty;
+        base / (1.0 + self.conflict_rate())
+    }
+}
+
+/// Replays a (cycle-sorted) trace against the DRAM's bank/page structure.
+#[must_use]
+pub fn analyze_trace(events: &[TraceEvent], dram: &DramSpec) -> DramAnalysis {
+    let page_bytes = u64::from(dram.page_bits) / 8;
+    let banks = u64::from(dram.banks);
+    // Open row per bank.
+    let mut open_rows: HashMap<u64, u64> = HashMap::new();
+    let mut analysis = DramAnalysis { accesses: 0, page_hits: 0, same_cycle_conflicts: 0 };
+    let mut cycle_bank_use: HashMap<u64, u64> = HashMap::new();
+    let mut current_cycle = u64::MAX;
+
+    for e in events {
+        if e.cycle != current_cycle {
+            current_cycle = e.cycle;
+            cycle_bank_use.clear();
+        }
+        let page = e.address / page_bytes;
+        let bank = page % banks;
+        let row = page / banks;
+        analysis.accesses += 1;
+        match open_rows.insert(bank, row) {
+            Some(prev) if prev == row => analysis.page_hits += 1,
+            _ => {}
+        }
+        let uses = cycle_bank_use.entry(bank).or_insert(0);
+        if *uses > 0 {
+            analysis.same_cycle_conflicts += 1;
+        }
+        *uses += 1;
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryHierarchy;
+    use crate::trace::TraceGenerator;
+    use usystolic_core::{ComputingScheme, SystolicConfig};
+    use usystolic_gemm::GemmConfig;
+
+    fn analysis_for(scheme: ComputingScheme, mul_cycles: Option<u64>) -> DramAnalysis {
+        let mut cfg = SystolicConfig::edge(scheme, 8);
+        if let Some(c) = mul_cycles {
+            cfg = cfg.with_mul_cycles(c).expect("valid EBT");
+        }
+        let gemm = GemmConfig::conv(9, 9, 4, 3, 3, 1, 8).expect("valid layer");
+        let events = TraceGenerator::new(cfg, gemm).generate();
+        analyze_trace(&events, &MemoryHierarchy::no_sram().dram)
+    }
+
+    #[test]
+    fn crawling_unary_has_fewer_bank_conflicts() {
+        let bp = analysis_for(ComputingScheme::BinaryParallel, None);
+        let ur = analysis_for(ComputingScheme::UnaryRate, Some(128));
+        assert!(
+            ur.conflict_rate() < bp.conflict_rate() / 2.0,
+            "unary conflicts {} vs binary {}",
+            ur.conflict_rate(),
+            bp.conflict_rate()
+        );
+        assert!(bp.same_cycle_conflicts > 0, "binary parallel must conflict");
+    }
+
+    #[test]
+    fn rates_are_bounded() {
+        for scheme in [ComputingScheme::BinaryParallel, ComputingScheme::UnaryRate] {
+            let a = analysis_for(scheme, None);
+            assert!((0.0..=1.0).contains(&a.hit_rate()));
+            assert!(a.conflict_rate() >= 0.0);
+            assert!(a.effective_efficiency() > 0.0 && a.effective_efficiency() <= 1.0);
+            assert!(a.accesses > 0);
+        }
+    }
+
+    #[test]
+    fn conflicts_reduce_effective_efficiency() {
+        let bp = analysis_for(ComputingScheme::BinaryParallel, None);
+        let ur = analysis_for(ComputingScheme::UnaryRate, Some(128));
+        assert!(ur.effective_efficiency() >= bp.effective_efficiency());
+    }
+
+    #[test]
+    fn empty_trace_is_degenerate_zero() {
+        let a = analyze_trace(&[], &MemoryHierarchy::no_sram().dram);
+        assert_eq!(a.hit_rate(), 0.0);
+        assert_eq!(a.conflict_rate(), 0.0);
+        assert_eq!(a.accesses, 0);
+    }
+
+    #[test]
+    fn sequential_stream_hits_pages() {
+        // A pure sequential stream within one region should mostly hit.
+        use crate::trace::{Access, IFM_BASE};
+        use crate::memory::Variable;
+        let events: Vec<TraceEvent> = (0..4096u64)
+            .map(|i| TraceEvent {
+                cycle: i,
+                variable: Variable::Ifm,
+                access: Access::Read,
+                address: IFM_BASE + i,
+                bytes: 1,
+            })
+            .collect();
+        let a = analyze_trace(&events, &MemoryHierarchy::no_sram().dram);
+        assert!(a.hit_rate() > 0.9, "sequential hit rate {}", a.hit_rate());
+        assert_eq!(a.same_cycle_conflicts, 0);
+    }
+}

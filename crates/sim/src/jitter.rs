@@ -1,0 +1,129 @@
+//! Synchronisation-slack analysis (Sections III-A and V-H).
+//!
+//! "Long MAC cycles allow to better hide timing fluctuation of data
+//! synchronization in the FIFO, even without on-chip SRAM" (§III-A), and
+//! at the system level the "simple runtime control can hide packet
+//! routing variation in the interconnection" (§V-H). This module makes
+//! that slack concrete: a PE only stalls when its next operand arrives
+//! later than the *slack* its MAC interval leaves after the transfer
+//! itself, so a design tolerates any delivery jitter up to that slack.
+
+use usystolic_core::SystolicConfig;
+
+/// The synchronisation-slack budget of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SlackBudget {
+    /// Cycles between consecutive operand deliveries to a PE (the MAC
+    /// interval).
+    pub interval_cycles: u64,
+    /// Cycles the transfer itself needs at the interface.
+    pub transfer_cycles: u64,
+}
+
+impl SlackBudget {
+    /// Derives the budget from an array configuration: one operand per
+    /// MAC interval, one interface cycle per transfer.
+    #[must_use]
+    pub fn for_config(config: &SystolicConfig) -> Self {
+        Self { interval_cycles: config.mac_cycles(), transfer_cycles: 1 }
+    }
+
+    /// The jitter (in cycles) the design absorbs without stalling.
+    #[must_use]
+    pub fn tolerated_jitter(&self) -> u64 {
+        self.interval_cycles.saturating_sub(self.transfer_cycles)
+    }
+
+    /// Stall cycles incurred by a delivery arriving `jitter` cycles late.
+    #[must_use]
+    pub fn stall_for(&self, jitter: u64) -> u64 {
+        jitter.saturating_sub(self.tolerated_jitter())
+    }
+
+    /// Expected per-delivery stall under a worst-case-`max_jitter`
+    /// uniform jitter distribution (deterministic closed form: the mean
+    /// of `max(0, j − slack)` for `j` uniform on `0..=max_jitter`).
+    #[must_use]
+    pub fn expected_stall(&self, max_jitter: u64) -> f64 {
+        let slack = self.tolerated_jitter();
+        if max_jitter <= slack {
+            return 0.0;
+        }
+        let n = max_jitter + 1;
+        // Sum over j = slack+1 ..= max_jitter of (j - slack).
+        let k = max_jitter - slack;
+        (k * (k + 1)) as f64 / 2.0 / n as f64
+    }
+
+    /// Relative throughput under jitter: interval over
+    /// (interval + expected stall).
+    #[must_use]
+    pub fn throughput_retention(&self, max_jitter: u64) -> f64 {
+        let interval = self.interval_cycles as f64;
+        interval / (interval + self.expected_stall(max_jitter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::ComputingScheme;
+
+    fn budget(scheme: ComputingScheme, cycles: Option<u64>) -> SlackBudget {
+        let mut cfg = SystolicConfig::edge(scheme, 8);
+        if let Some(c) = cycles {
+            cfg = cfg.with_mul_cycles(c).expect("valid EBT");
+        }
+        SlackBudget::for_config(&cfg)
+    }
+
+    #[test]
+    fn unary_slack_dwarfs_binary() {
+        let bp = budget(ComputingScheme::BinaryParallel, None);
+        let ur = budget(ComputingScheme::UnaryRate, Some(128));
+        assert_eq!(bp.tolerated_jitter(), 0, "binary parallel has zero slack");
+        assert_eq!(ur.tolerated_jitter(), 128);
+    }
+
+    #[test]
+    fn stall_kicks_in_past_the_slack() {
+        let ur = budget(ComputingScheme::UnaryRate, Some(32));
+        assert_eq!(ur.stall_for(0), 0);
+        assert_eq!(ur.stall_for(32), 0);
+        assert_eq!(ur.stall_for(40), 8);
+    }
+
+    #[test]
+    fn expected_stall_closed_form() {
+        // slack 0, jitter uniform on 0..=4: mean = (1+2+3+4)/5 = 2.
+        let bp = budget(ComputingScheme::BinaryParallel, None);
+        assert!((bp.expected_stall(4) - 2.0).abs() < 1e-12);
+        // Fully within slack: zero.
+        let ur = budget(ComputingScheme::UnaryRate, Some(128));
+        assert_eq!(ur.expected_stall(100), 0.0);
+    }
+
+    #[test]
+    fn unary_retains_throughput_under_jitter_binary_does_not() {
+        // §V-H: the long MAC interval hides interconnect variation.
+        let jitter = 16u64;
+        let bp = budget(ComputingScheme::BinaryParallel, None).throughput_retention(jitter);
+        let bs = budget(ComputingScheme::BinarySerial, None).throughput_retention(jitter);
+        let ur = budget(ComputingScheme::UnaryRate, Some(64)).throughput_retention(jitter);
+        assert!(bp < 0.2, "binary parallel collapses: {bp}");
+        assert!(bs > bp, "serial {bs} tolerates more than parallel {bp}");
+        assert!((ur - 1.0).abs() < 1e-12, "unary fully hides the jitter: {ur}");
+    }
+
+    #[test]
+    fn retention_is_monotone_in_interval() {
+        let jitter = 40u64;
+        let mut last = 0.0;
+        for cycles in [32u64, 64, 128] {
+            let r = budget(ComputingScheme::UnaryRate, Some(cycles))
+                .throughput_retention(jitter);
+            assert!(r >= last);
+            last = r;
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Memory hierarchy models (Section IV-C3 of the paper).
+//!
+//! Three on-chip SRAMs (one per GEMM variable: IFM, weight, OFM) may be
+//! present or absent; the off-chip memory is a DDR3 DRAM. Capacities
+//! follow the paper: the edge configuration splits Eyeriss's 192 KB evenly
+//! (64 KB per variable), the cloud configuration splits the TPU's 24 MB
+//! (8 MB per variable); both use 16 banks per SRAM. The DRAM is a 1 GB
+//! DDR3 chip with 8 banks and 8192-bit pages.
+
+/// The three GEMM variables that own memory resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Variable {
+    /// Input feature map.
+    Ifm,
+    /// Weights.
+    Weight,
+    /// Output feature map (partial sums and final outputs).
+    Ofm,
+}
+
+impl Variable {
+    /// All three variables.
+    pub const ALL: [Variable; 3] = [Variable::Ifm, Variable::Weight, Variable::Ofm];
+}
+
+impl core::fmt::Display for Variable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Variable::Ifm => "IFM",
+            Variable::Weight => "W",
+            Variable::Ofm => "OFM",
+        })
+    }
+}
+
+/// One double-buffered on-chip SRAM serving a single variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SramSpec {
+    /// Capacity in bytes (per variable).
+    pub capacity_bytes: u64,
+    /// Bank count (16 in both paper configurations).
+    pub banks: u32,
+    /// Bytes deliverable per bank per cycle (wide TPU-style reads).
+    pub word_bytes: u32,
+}
+
+impl SramSpec {
+    /// Peak bandwidth in bytes per cycle.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> u64 {
+        u64::from(self.banks) * u64::from(self.word_bytes)
+    }
+}
+
+/// The off-chip DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DramSpec {
+    /// Capacity in bytes (1 GB in the paper).
+    pub capacity_bytes: u64,
+    /// Bank count (8 in the paper).
+    pub banks: u32,
+    /// Page size in bits (8192 in the paper).
+    pub page_bits: u32,
+    /// Peak bandwidth in bytes per core cycle at the array clock.
+    pub peak_bytes_per_cycle: f64,
+    /// Streaming efficiency: fraction of peak sustained for the systolic
+    /// access patterns (row-buffer hits across 8 banks).
+    pub efficiency: f64,
+}
+
+impl DramSpec {
+    /// The paper's DRAM: 22 nm 1 GB DDR3, 8 banks, 8192-bit page. The
+    /// sustained rate models a 64-bit DDR3-1600 part (12.8 GB/s peak, 75 %
+    /// streaming efficiency) seen from a 400 MHz core clock.
+    #[must_use]
+    pub fn ddr3_1gb() -> Self {
+        Self {
+            capacity_bytes: 1 << 30,
+            banks: 8,
+            page_bits: 8192,
+            peak_bytes_per_cycle: 32.0, // 12.8 GB/s at 400 MHz
+            efficiency: 0.75,
+        }
+    }
+
+    /// Sustained bandwidth in bytes per cycle.
+    #[must_use]
+    pub fn sustained_bytes_per_cycle(&self) -> f64 {
+        self.peak_bytes_per_cycle * self.efficiency
+    }
+}
+
+/// A complete memory hierarchy: optional per-variable SRAMs plus DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryHierarchy {
+    /// The per-variable SRAM, or `None` when on-chip SRAM is eliminated.
+    pub sram: Option<SramSpec>,
+    /// The off-chip DRAM.
+    pub dram: DramSpec,
+}
+
+/// Total on-chip SRAM of the edge configuration (Eyeriss: 108 KB global +
+/// 168 × 0.5 KB scratchpads = 192 KB).
+pub const EDGE_SRAM_TOTAL: u64 = 192 * 1024;
+/// Total on-chip SRAM of the cloud configuration (TPU: 24 MB).
+pub const CLOUD_SRAM_TOTAL: u64 = 24 * 1024 * 1024;
+
+impl MemoryHierarchy {
+    /// Edge hierarchy with SRAM: 64 KB per variable, 16 banks.
+    #[must_use]
+    pub fn edge_with_sram() -> Self {
+        Self {
+            sram: Some(SramSpec {
+                capacity_bytes: EDGE_SRAM_TOTAL / 3,
+                banks: 16,
+                word_bytes: 8,
+            }),
+            dram: DramSpec::ddr3_1gb(),
+        }
+    }
+
+    /// Cloud hierarchy with SRAM: 8 MB per variable, 16 banks, wide words.
+    #[must_use]
+    pub fn cloud_with_sram() -> Self {
+        Self {
+            sram: Some(SramSpec {
+                capacity_bytes: CLOUD_SRAM_TOTAL / 3,
+                banks: 16,
+                word_bytes: 32,
+            }),
+            dram: DramSpec::ddr3_1gb(),
+        }
+    }
+
+    /// A hierarchy with on-chip SRAM eliminated (Section III-E): the array
+    /// feeds straight from DRAM.
+    #[must_use]
+    pub fn no_sram() -> Self {
+        Self { sram: None, dram: DramSpec::ddr3_1gb() }
+    }
+
+    /// A hierarchy with an arbitrary per-variable SRAM capacity — the
+    /// continuous design space Section V-G points at ("a small-sized
+    /// on-chip SRAM can reduce the off-chip DRAM access cost"). Zero
+    /// bytes eliminates the SRAM.
+    #[must_use]
+    pub fn with_sram_capacity(bytes_per_variable: u64) -> Self {
+        if bytes_per_variable == 0 {
+            return Self::no_sram();
+        }
+        Self {
+            sram: Some(SramSpec {
+                capacity_bytes: bytes_per_variable,
+                banks: 16,
+                word_bytes: 8,
+            }),
+            dram: DramSpec::ddr3_1gb(),
+        }
+    }
+
+    /// Whether on-chip SRAM is present.
+    #[must_use]
+    pub fn has_sram(&self) -> bool {
+        self.sram.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_splits_eyeriss_sram_evenly() {
+        let m = MemoryHierarchy::edge_with_sram();
+        let s = m.sram.unwrap();
+        assert_eq!(s.capacity_bytes, 64 * 1024);
+        assert_eq!(s.banks, 16);
+    }
+
+    #[test]
+    fn cloud_splits_tpu_sram_evenly() {
+        let m = MemoryHierarchy::cloud_with_sram();
+        assert_eq!(m.sram.unwrap().capacity_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn dram_matches_paper_parameters() {
+        let d = DramSpec::ddr3_1gb();
+        assert_eq!(d.capacity_bytes, 1 << 30);
+        assert_eq!(d.banks, 8);
+        assert_eq!(d.page_bits, 8192);
+        assert!(d.sustained_bytes_per_cycle() > 0.0);
+        assert!(d.sustained_bytes_per_cycle() <= d.peak_bytes_per_cycle);
+    }
+
+    #[test]
+    fn no_sram_eliminates_sram() {
+        let m = MemoryHierarchy::no_sram();
+        assert!(!m.has_sram());
+        assert!(MemoryHierarchy::edge_with_sram().has_sram());
+    }
+
+    #[test]
+    fn sram_bandwidth_is_banks_times_word() {
+        let s = SramSpec { capacity_bytes: 1024, banks: 16, word_bytes: 8 };
+        assert_eq!(s.bytes_per_cycle(), 128);
+    }
+
+    #[test]
+    fn variables_display() {
+        assert_eq!(Variable::Ifm.to_string(), "IFM");
+        assert_eq!(Variable::ALL.len(), 3);
+    }
+}

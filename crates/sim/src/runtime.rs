@@ -1,0 +1,178 @@
+//! Layer runtime model: ideal weight-stationary pipeline cycles plus
+//! memory-contention stalls.
+//!
+//! The compute side follows the SCALE-Sim pipeline model: per weight tile,
+//! `R'` preload cycles, then `M` input vectors at one vector per MAC
+//! interval with `R' + C' − 2` cycles of systolic skew. The memory side
+//! converts the layer's DRAM and SRAM traffic into minimum service cycles
+//! at the sustained bandwidths; the runtime is the maximum of compute and
+//! memory service (perfectly overlapped double buffering), and the
+//! difference to the ideal compute time is the *memory contention
+//! overhead* of Section V-D.
+
+use crate::memory::MemoryHierarchy;
+use crate::traffic::{layer_traffic, LayerTraffic};
+use usystolic_core::{SystolicConfig, TileMapping};
+use usystolic_gemm::GemmConfig;
+
+/// Cycle-level timing of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerTiming {
+    /// Stall-free compute cycles of the weight-stationary pipeline.
+    pub ideal_cycles: u64,
+    /// Cycles added by memory contention.
+    pub stall_cycles: u64,
+    /// Total runtime cycles.
+    pub runtime_cycles: u64,
+}
+
+impl LayerTiming {
+    /// Memory-contention overhead: `stall / ideal` (the percentage the
+    /// paper quotes, e.g. "+161.8 % average runtime overhead").
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.stall_cycles as f64 / self.ideal_cycles as f64
+    }
+}
+
+/// Ideal (stall-free) compute cycles of a layer.
+#[must_use]
+pub fn ideal_cycles(gemm: &GemmConfig, config: &SystolicConfig) -> u64 {
+    let map = TileMapping::new(gemm, config.rows(), config.cols());
+    let m = map.m() as u64;
+    let mac = config.mac_cycles();
+    let mut total = 0u64;
+    for rf in 0..map.row_folds() {
+        for cf in 0..map.col_folds() {
+            let r = map.rows_in_fold(rf) as u64;
+            let c = map.cols_in_fold(cf) as u64;
+            // Preload R' rows, stream M vectors at the MAC interval, drain
+            // through the systolic skew.
+            total += r + m * mac + (r + c).saturating_sub(2);
+        }
+    }
+    total
+}
+
+/// Computes the layer timing under the given memory hierarchy.
+#[must_use]
+pub fn layer_timing(
+    gemm: &GemmConfig,
+    config: &SystolicConfig,
+    memory: &MemoryHierarchy,
+) -> LayerTiming {
+    let traffic = layer_traffic(gemm, config, memory);
+    layer_timing_from_traffic(gemm, config, memory, &traffic)
+}
+
+/// Computes the layer timing from pre-computed traffic (avoids recomputing
+/// traffic when both are needed).
+#[must_use]
+pub fn layer_timing_from_traffic(
+    gemm: &GemmConfig,
+    config: &SystolicConfig,
+    memory: &MemoryHierarchy,
+    traffic: &LayerTraffic,
+) -> LayerTiming {
+    let ideal = ideal_cycles(gemm, config);
+    let dram_cycles =
+        (traffic.dram.total() as f64 / memory.dram.sustained_bytes_per_cycle()).ceil() as u64;
+    let sram_cycles = match memory.sram {
+        Some(s) => {
+            let per_var =
+                [traffic.sram.ifm, traffic.sram.weight, traffic.sram.ofm];
+            per_var
+                .iter()
+                .map(|&b| (b as f64 / s.bytes_per_cycle() as f64).ceil() as u64)
+                .max()
+                .unwrap_or(0)
+        }
+        None => 0,
+    };
+    let runtime = ideal.max(dram_cycles).max(sram_cycles);
+    LayerTiming { ideal_cycles: ideal, stall_cycles: runtime - ideal, runtime_cycles: runtime }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::ComputingScheme;
+
+    #[test]
+    fn ideal_cycles_scale_with_mac_interval() {
+        let gemm = GemmConfig::matmul(100, 12, 14).unwrap();
+        let bp = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let ur = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(128)
+            .unwrap();
+        let a = ideal_cycles(&gemm, &bp);
+        let b = ideal_cycles(&gemm, &ur);
+        // The 129× MAC interval dominates (preload/skew dilute it a bit).
+        assert!(b > 90 * a && b < 130 * a, "{b} vs {a}");
+    }
+
+    #[test]
+    fn folds_multiply_cycles() {
+        let small = GemmConfig::matmul(10, 12, 14).unwrap();
+        let doubled = GemmConfig::matmul(10, 24, 14).unwrap();
+        let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        assert_eq!(ideal_cycles(&doubled, &cfg), 2 * ideal_cycles(&small, &cfg));
+    }
+
+    #[test]
+    fn binary_without_sram_stalls() {
+        // A memory-hungry layer on binary parallel with no SRAM is
+        // DRAM-bound (the paper's 10.49 GB/s point).
+        let gemm = GemmConfig::conv(27, 27, 96, 5, 5, 1, 256).unwrap();
+        let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let t = layer_timing(&gemm, &cfg, &MemoryHierarchy::no_sram());
+        assert!(t.stall_cycles > 0, "expected DRAM-bound run");
+        assert!(t.overhead() > 0.5);
+    }
+
+    #[test]
+    fn crawling_unary_hides_memory_without_sram() {
+        // The headline claim: uSystolic with long MAC intervals needs so
+        // little bandwidth that removing SRAM costs (almost) nothing.
+        let gemm = GemmConfig::conv(27, 27, 96, 5, 5, 1, 256).unwrap();
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(128)
+            .unwrap();
+        let t = layer_timing(&gemm, &cfg, &MemoryHierarchy::no_sram());
+        assert_eq!(t.stall_cycles, 0, "unary should be compute-bound");
+    }
+
+    #[test]
+    fn sram_removes_binary_stalls_on_edge() {
+        let gemm = GemmConfig::conv(13, 13, 192, 3, 3, 1, 384).unwrap();
+        let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let without = layer_timing(&gemm, &cfg, &MemoryHierarchy::no_sram());
+        let with = layer_timing(&gemm, &cfg, &MemoryHierarchy::edge_with_sram());
+        assert!(with.runtime_cycles <= without.runtime_cycles);
+    }
+
+    #[test]
+    fn cloud_binary_has_more_contention_than_edge() {
+        // Section V-D: heavy memory contention for binary parallel on the
+        // cloud configuration.
+        let gemm = GemmConfig::conv(27, 27, 96, 5, 5, 1, 256).unwrap();
+        let edge = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let cloud = SystolicConfig::cloud(ComputingScheme::BinaryParallel, 8);
+        let te = layer_timing(&gemm, &edge, &MemoryHierarchy::edge_with_sram());
+        let tc = layer_timing(&gemm, &cloud, &MemoryHierarchy::cloud_with_sram());
+        assert!(
+            tc.overhead() > te.overhead(),
+            "cloud {} vs edge {}",
+            tc.overhead(),
+            te.overhead()
+        );
+    }
+
+    #[test]
+    fn runtime_is_max_of_compute_and_memory() {
+        let gemm = GemmConfig::matmul(4, 12, 14).unwrap();
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+        let t = layer_timing(&gemm, &cfg, &MemoryHierarchy::no_sram());
+        assert_eq!(t.runtime_cycles, t.ideal_cycles + t.stall_cycles);
+    }
+}

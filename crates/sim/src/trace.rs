@@ -1,0 +1,284 @@
+//! Memory trace generation — the "trace profiling" widget of the
+//! evaluation framework (Fig. 8: bandwidth and throughput are "calculated
+//! by profiling memory traces modelled with a customized systolic array
+//! simulator").
+//!
+//! [`TraceGenerator`] emits the cycle-stamped memory accesses of a
+//! weight-stationary execution (weight preloads, IFM element reads at
+//! every window start, OFM partial-sum reads/writes at every top-row
+//! M-end). The generated trace is cross-validated against the analytic
+//! models: its byte totals equal [`crate::traffic::layer_traffic`] and its
+//! last cycle matches [`crate::runtime::ideal_cycles`].
+
+use crate::memory::Variable;
+use usystolic_core::{SystolicConfig, TileMapping};
+use usystolic_gemm::GemmConfig;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Access {
+    /// Memory read.
+    Read,
+    /// Memory write.
+    Write,
+}
+
+/// One memory access of the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEvent {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Which GEMM variable's region is accessed.
+    pub variable: Variable,
+    /// Read or write.
+    pub access: Access,
+    /// Byte address within a flat per-variable region.
+    pub address: u64,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+}
+
+/// Base address of the IFM region in the flat trace address space.
+pub const IFM_BASE: u64 = 0x1000_0000;
+/// Base address of the weight region.
+pub const WEIGHT_BASE: u64 = 0x2000_0000;
+/// Base address of the OFM region.
+pub const OFM_BASE: u64 = 0x3000_0000;
+
+/// Generates cycle-stamped memory traces for one layer on one array.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_core::{ComputingScheme, SystolicConfig};
+/// use usystolic_sim::trace::TraceGenerator;
+/// use usystolic_gemm::GemmConfig;
+///
+/// let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)?;
+/// let gemm = GemmConfig::matmul(2, 8, 3)?;
+/// let trace = TraceGenerator::new(cfg, gemm).generate();
+/// assert!(trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TraceGenerator {
+    config: SystolicConfig,
+    gemm: GemmConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for one array/layer pair.
+    #[must_use]
+    pub fn new(config: SystolicConfig, gemm: GemmConfig) -> Self {
+        Self { config, gemm }
+    }
+
+    /// Generates the complete trace, in issue order.
+    ///
+    /// Element addresses follow the lowered layout: IFM element `(p, k)`
+    /// sits at `IFM_BASE + (p·K + k)·bytes`, weight `(k, n)` at
+    /// `WEIGHT_BASE + (k·N + n)·bytes`, OFM `(p, n)` at
+    /// `OFM_BASE + (p·N + n)·out_bytes`.
+    #[must_use]
+    pub fn generate(&self) -> Vec<TraceEvent> {
+        let map = TileMapping::new(&self.gemm, self.config.rows(), self.config.cols());
+        let in_bytes = crate::traffic::input_elem_bytes(self.config.bitwidth()) as u32;
+        let out_bytes = crate::traffic::output_elem_bytes(&self.config) as u32;
+        let mac = self.config.mac_cycles();
+        let (k, n) = (map.k() as u64, map.n() as u64);
+        let m = map.m() as u64;
+        let mut events = Vec::new();
+        let mut base_cycle = 0u64;
+
+        for cf in 0..map.col_folds() {
+            let n0 = (cf * self.config.cols()) as u64;
+            let tile_cols = map.cols_in_fold(cf) as u64;
+            for rf in 0..map.row_folds() {
+                let k0 = (rf * self.config.rows()) as u64;
+                let tile_rows = map.rows_in_fold(rf) as u64;
+                // Weight preload: one tile row per cycle, `tile_cols` wide.
+                for pr in 0..tile_rows {
+                    for c in 0..tile_cols {
+                        events.push(TraceEvent {
+                            cycle: base_cycle + pr,
+                            variable: Variable::Weight,
+                            access: Access::Read,
+                            address: WEIGHT_BASE
+                                + ((k0 + pr) * n + n0 + c) * u64::from(in_bytes),
+                            bytes: in_bytes,
+                        });
+                    }
+                }
+                let stream_start = base_cycle + tile_rows;
+                // IFM element reads at each row's window start
+                // (bottom-first skew).
+                for p in 0..m {
+                    for r in 0..tile_rows {
+                        events.push(TraceEvent {
+                            cycle: stream_start + (tile_rows - 1 - r) + p * mac,
+                            variable: Variable::Ifm,
+                            access: Access::Read,
+                            address: IFM_BASE + (p * k + k0 + r) * u64::from(in_bytes),
+                            bytes: in_bytes,
+                        });
+                    }
+                }
+                // OFM: top-row M-end per column and vector; row folds
+                // after the first read the old partial back first.
+                for p in 0..m {
+                    for c in 0..tile_cols {
+                        let cycle = stream_start + (tile_rows - 1) + c + p * mac + mac - 1;
+                        let address = OFM_BASE + (p * n + n0 + c) * u64::from(out_bytes);
+                        if rf > 0 {
+                            events.push(TraceEvent {
+                                cycle,
+                                variable: Variable::Ofm,
+                                access: Access::Read,
+                                address,
+                                bytes: out_bytes,
+                            });
+                        }
+                        events.push(TraceEvent {
+                            cycle,
+                            variable: Variable::Ofm,
+                            access: Access::Write,
+                            address,
+                            bytes: out_bytes,
+                        });
+                    }
+                }
+                // Next tile starts after this tile fully drains.
+                base_cycle = stream_start + (tile_rows - 1) + (tile_cols - 1) + m * mac;
+            }
+        }
+        events.sort_by_key(|e| e.cycle);
+        events
+    }
+
+    /// Total traced bytes per variable — must equal the analytic
+    /// streamed-traffic model.
+    #[must_use]
+    pub fn byte_totals(&self) -> (u64, u64, u64) {
+        let mut ifm = 0u64;
+        let mut weight = 0u64;
+        let mut ofm = 0u64;
+        for e in self.generate() {
+            match e.variable {
+                Variable::Ifm => ifm += u64::from(e.bytes),
+                Variable::Weight => weight += u64::from(e.bytes),
+                Variable::Ofm => ofm += u64::from(e.bytes),
+            }
+        }
+        (ifm, weight, ofm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryHierarchy;
+    use crate::runtime::ideal_cycles;
+    use crate::traffic::layer_traffic;
+    use usystolic_core::ComputingScheme;
+
+    fn case() -> (SystolicConfig, GemmConfig) {
+        (
+            SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+                .expect("valid test configuration"),
+            GemmConfig::conv(5, 5, 2, 2, 2, 1, 5).expect("valid test shape"),
+        )
+    }
+
+    #[test]
+    fn trace_bytes_match_analytic_traffic() {
+        let (cfg, gemm) = case();
+        let (ifm, weight, ofm) = TraceGenerator::new(cfg, gemm).byte_totals();
+        let analytic = layer_traffic(&gemm, &cfg, &MemoryHierarchy::no_sram());
+        assert_eq!(ifm, analytic.dram.ifm);
+        assert_eq!(weight, analytic.dram.weight);
+        assert_eq!(ofm, analytic.dram.ofm);
+    }
+
+    #[test]
+    fn trace_span_matches_ideal_cycles() {
+        let (cfg, gemm) = case();
+        let events = TraceGenerator::new(cfg, gemm).generate();
+        let last = events.iter().map(|e| e.cycle).max().expect("non-empty trace");
+        let ideal = ideal_cycles(&gemm, &cfg);
+        let diff = (last + 1).abs_diff(ideal);
+        let tiles = TileMapping::new(&gemm, cfg.rows(), cfg.cols()).tiles() as u64;
+        assert!(diff <= tiles, "trace span {} vs ideal {ideal}", last + 1);
+    }
+
+    #[test]
+    fn trace_is_cycle_sorted_and_region_separated() {
+        let (cfg, gemm) = case();
+        let events = TraceGenerator::new(cfg, gemm).generate();
+        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        for e in &events {
+            let (base, limit) = match e.variable {
+                Variable::Ifm => (IFM_BASE, WEIGHT_BASE),
+                Variable::Weight => (WEIGHT_BASE, OFM_BASE),
+                Variable::Ofm => (OFM_BASE, u64::MAX),
+            };
+            assert!(e.address >= base && e.address < limit);
+        }
+    }
+
+    #[test]
+    fn every_weight_read_exactly_once() {
+        let (cfg, gemm) = case();
+        let events = TraceGenerator::new(cfg, gemm).generate();
+        let mut weight_addrs: Vec<u64> = events
+            .iter()
+            .filter(|e| e.variable == Variable::Weight)
+            .map(|e| e.address)
+            .collect();
+        let before = weight_addrs.len();
+        weight_addrs.sort_unstable();
+        weight_addrs.dedup();
+        assert_eq!(before, weight_addrs.len(), "weights are preloaded exactly once");
+        assert_eq!(before as u64, gemm.weight_elems());
+    }
+
+    #[test]
+    fn partial_sum_reads_only_after_first_row_fold() {
+        // A single-row-fold GEMM has no OFM reads at all.
+        let cfg = SystolicConfig::new(8, 5, ComputingScheme::BinaryParallel, 8)
+            .expect("valid configuration");
+        let gemm = GemmConfig::matmul(3, 8, 5).expect("valid"); // K=8 fits: 1 fold
+        let events = TraceGenerator::new(cfg, gemm).generate();
+        assert!(!events
+            .iter()
+            .any(|e| e.variable == Variable::Ofm && e.access == Access::Read));
+        // A folded GEMM has them.
+        let folded = GemmConfig::matmul(3, 20, 5).expect("valid");
+        let events = TraceGenerator::new(cfg, folded).generate();
+        assert!(events
+            .iter()
+            .any(|e| e.variable == Variable::Ofm && e.access == Access::Read));
+    }
+
+    #[test]
+    fn unary_traces_are_sparser_in_time() {
+        // Same layer, same events, but the unary trace spreads over a
+        // ~33x longer window — the byte-crawling picture.
+        let gemm = GemmConfig::matmul(8, 4, 3).expect("valid");
+        let bp = SystolicConfig::new(4, 3, ComputingScheme::BinaryParallel, 8)
+            .expect("valid");
+        let ur = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .expect("valid")
+            .with_mul_cycles(128)
+            .expect("valid EBT");
+        let span = |cfg| {
+            let e = TraceGenerator::new(cfg, gemm).generate();
+            e.last().expect("non-empty").cycle + 1
+        };
+        let bp_span = span(bp);
+        let ur_span = span(ur);
+        assert!(
+            ur_span > 20 * bp_span,
+            "unary span {ur_span} vs binary {bp_span}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Bitstream generators: plain (BSG) and conditional (C-BSG).
+//!
+//! The conditional bitstream generator is the key accuracy mechanism of the
+//! uMUL (Fig. 4 of the paper): one operand's bitstream acts as the *enable*
+//! of the RNG that generates the other operand's bitstream. The RNG only
+//! advances on enabled cycles, which makes the generated stream conditioned
+//! on the enable stream and drives the stochastic cross-correlation to zero
+//! (Eq. 1: `SCC = 0 ⇔ C-BSG(B, R)`).
+
+use crate::rng::NumberSource;
+
+/// Plain comparator bitstream generator: compares a stationary magnitude
+/// with a free-running number source every cycle.
+#[derive(Debug, Clone)]
+pub struct Bsg<S> {
+    magnitude: u64,
+    source: S,
+}
+
+impl<S: NumberSource> Bsg<S> {
+    /// Creates a generator for `magnitude` over the given source.
+    #[must_use]
+    pub fn new(magnitude: u64, source: S) -> Self {
+        Self { magnitude, source }
+    }
+
+    /// Emits the next bit, always advancing the source.
+    pub fn next_bit(&mut self) -> bool {
+        self.source.next() < self.magnitude
+    }
+
+    /// Resets the source to its initial state.
+    pub fn reset(&mut self) {
+        self.source.reset();
+    }
+
+    /// Updates the stationary magnitude (e.g. a new weight is preloaded).
+    pub fn set_magnitude(&mut self, magnitude: u64) {
+        self.magnitude = magnitude;
+    }
+
+    /// The stationary magnitude.
+    #[must_use]
+    pub fn magnitude(&self) -> u64 {
+        self.magnitude
+    }
+}
+
+/// Conditional bitstream generator (C-BSG, Fig. 4).
+///
+/// The source advances **only when the enable bit is 1**; on disabled
+/// cycles the output is forced to 0. Feeding the IFM bitstream as the
+/// enable of the weight RNG yields a product stream whose number of ones
+/// over a full period is (nearly) exactly `|I|·|W| / 2^(N-1)` when the
+/// source is low-discrepancy.
+#[derive(Debug, Clone)]
+pub struct ConditionalBsg<S> {
+    magnitude: u64,
+    source: S,
+    enabled_cycles: u64,
+}
+
+impl<S: NumberSource> ConditionalBsg<S> {
+    /// Creates a conditional generator for `magnitude` over the given
+    /// source.
+    #[must_use]
+    pub fn new(magnitude: u64, source: S) -> Self {
+        Self { magnitude, source, enabled_cycles: 0 }
+    }
+
+    /// Processes one cycle: if `enable` is set, advances the source and
+    /// compares; otherwise emits 0 and holds the source.
+    ///
+    /// The returned bit is the AND-gate output of the uMUL: it is 1 only
+    /// when the enable bit is 1 **and** the conditionally generated bit is
+    /// 1.
+    pub fn step(&mut self, enable: bool) -> bool {
+        if !enable {
+            return false;
+        }
+        self.enabled_cycles += 1;
+        self.source.next() < self.magnitude
+    }
+
+    /// Number of cycles the source has been advanced (ones seen on the
+    /// enable input).
+    #[must_use]
+    pub fn enabled_cycles(&self) -> u64 {
+        self.enabled_cycles
+    }
+
+    /// Resets the source and the enabled-cycle counter.
+    pub fn reset(&mut self) {
+        self.source.reset();
+        self.enabled_cycles = 0;
+    }
+
+    /// Updates the stationary magnitude without touching the source state.
+    pub fn set_magnitude(&mut self, magnitude: u64) {
+        self.magnitude = magnitude;
+    }
+
+    /// The stationary magnitude.
+    #[must_use]
+    pub fn magnitude(&self) -> u64 {
+        self.magnitude
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::Bitstream;
+    use crate::rng::{CounterSource, SobolSource};
+
+    #[test]
+    fn plain_bsg_counts_exactly_over_period() {
+        let mut g = Bsg::new(100, SobolSource::dimension(0, 7));
+        let ones = (0..128).filter(|_| g.next_bit()).count();
+        assert_eq!(ones, 100);
+    }
+
+    #[test]
+    fn cbsg_holds_source_when_disabled() {
+        let mut g = ConditionalBsg::new(64, SobolSource::dimension(0, 7));
+        assert!(!g.step(false));
+        assert!(!g.step(false));
+        assert_eq!(g.enabled_cycles(), 0);
+        g.step(true);
+        assert_eq!(g.enabled_cycles(), 1);
+    }
+
+    #[test]
+    fn figure4_example() {
+        // Fig. 4: SRC value 8/16 gated by enable stream of value 8/16
+        // produces a 4/16 product stream. Reproduce with a counter source
+        // so the "RNG" output is deterministic (0,1,2,... only on enabled
+        // cycles); enable = alternating bits.
+        let mut g = ConditionalBsg::new(8, CounterSource::new(4));
+        let enable: Bitstream = "0101010101010101".chars().map(|c| c == '1').collect();
+        let out: Bitstream = enable.iter().map(|e| g.step(e)).collect();
+        // Counter runs 0..7 on the 8 enabled cycles; all are < 8 → every
+        // enabled cycle emits 1? No: counter emits 0..7 < 8 → 8 ones. With
+        // a *counter* the product degenerates to min(); use Sobol for the
+        // accurate product below. Here we simply verify gating.
+        assert_eq!(out.count_ones(), 8);
+        assert_eq!(out.and(&enable).unwrap(), out, "output only on enabled cycles");
+    }
+
+    #[test]
+    fn cbsg_product_is_accurate_with_sobol() {
+        // |I| = 77/128, |W| = 100/128 → product ones should be
+        // round(77 * 100 / 128) = 60 ± 1 over the full 128-cycle stream.
+        let mut enable_gen = Bsg::new(77, SobolSource::dimension(1, 7));
+        let mut g = ConditionalBsg::new(100, SobolSource::dimension(0, 7));
+        let mut ones = 0u64;
+        for _ in 0..128 {
+            let e = enable_gen.next_bit();
+            if g.step(e) {
+                ones += 1;
+            }
+        }
+        let exact = 77.0 * 100.0 / 128.0;
+        assert!((ones as f64 - exact).abs() <= 1.0, "{ones} vs {exact}");
+    }
+
+    #[test]
+    fn cbsg_reset_clears_state() {
+        let mut g = ConditionalBsg::new(5, SobolSource::dimension(0, 3));
+        for i in 0..6 {
+            g.step(i % 2 == 0);
+        }
+        g.reset();
+        assert_eq!(g.enabled_cycles(), 0);
+        // Replays identically after reset.
+        let a: Vec<bool> = (0..8).map(|i| g.step(i % 3 != 0)).collect();
+        g.reset();
+        let b: Vec<bool> = (0..8).map(|i| g.step(i % 3 != 0)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_magnitude_swaps_weight() {
+        let mut g = Bsg::new(0, SobolSource::dimension(0, 7));
+        assert!(!g.next_bit());
+        g.set_magnitude(128);
+        assert_eq!(g.magnitude(), 128);
+        assert!(g.next_bit(), "magnitude 2^(N-1) always compares true");
+    }
+}

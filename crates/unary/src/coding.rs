@@ -1,0 +1,376 @@
+//! Rate and temporal coding of binary data into unary bitstreams (Fig. 3).
+//!
+//! An `N`-bit binary magnitude `x` is converted into a `2^(N-1)`-bit stream
+//! whose fraction of ones equals `x / 2^(N-1)`. Rate coding compares `x`
+//! against a pseudo-random sequence (random-looking bit order); temporal
+//! coding compares against a counter (all ones up front). Both encode the
+//! *same value*; only the bit order differs, which is what determines
+//! correlation behaviour and early-termination fidelity.
+
+use crate::bitstream::Bitstream;
+use crate::rng::{CounterSource, NumberSource};
+use crate::{stream_len, UnaryError};
+
+/// Interpretation of a bitstream's probability as a value
+/// (Section II-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Polarity {
+    /// Unsigned: `V = P(1)` in `[0, 1]`.
+    Unipolar,
+    /// Signed: `V = 2 P(1) - 1` in `[-1, 1]`.
+    Bipolar,
+}
+
+impl Polarity {
+    /// Decodes a probability of ones into a value under this polarity.
+    #[must_use]
+    pub fn decode(self, p_one: f64) -> f64 {
+        match self {
+            Polarity::Unipolar => p_one,
+            Polarity::Bipolar => 2.0 * p_one - 1.0,
+        }
+    }
+
+    /// Encodes a value in the polarity's range into a probability of ones.
+    ///
+    /// Values are clamped to the representable range.
+    #[must_use]
+    pub fn encode(self, value: f64) -> f64 {
+        match self {
+            Polarity::Unipolar => value.clamp(0.0, 1.0),
+            Polarity::Bipolar => (value.clamp(-1.0, 1.0) + 1.0) / 2.0,
+        }
+    }
+}
+
+impl core::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Polarity::Unipolar => "unipolar",
+            Polarity::Bipolar => "bipolar",
+        })
+    }
+}
+
+/// The coding family of a bitstream generator (Fig. 3): which number
+/// sequence feeds the comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Coding {
+    /// Rate coding: pseudo-random comparator input, random bit order.
+    Rate,
+    /// Temporal coding: counter comparator input, deterministic bit order.
+    Temporal,
+}
+
+impl core::fmt::Display for Coding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Coding::Rate => "rate",
+            Coding::Temporal => "temporal",
+        })
+    }
+}
+
+/// Cycle-level rate encoder: `bit = (source.next() < magnitude)`.
+///
+/// This is the `SRC → CMP ← RNG` structure of Fig. 3a. The magnitude is a
+/// `bitwidth`-bit unsigned value in `0..=2^(bitwidth-1)`; a magnitude of
+/// `2^(bitwidth-1)` encodes exactly 1.0 (an all-ones stream).
+#[derive(Debug, Clone)]
+pub struct RateEncoder<S> {
+    magnitude: u64,
+    source: S,
+}
+
+impl<S: NumberSource> RateEncoder<S> {
+    /// Creates a unipolar rate encoder for an `N`-bit magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source.width() != bitwidth - 1`, or if the magnitude
+    /// exceeds `2^(bitwidth-1)`.
+    #[must_use]
+    pub fn unipolar(magnitude: u64, bitwidth: u32, source: S) -> Self {
+        let max = stream_len(bitwidth);
+        assert!(
+            magnitude <= max,
+            "magnitude {magnitude} exceeds 2^({bitwidth}-1) = {max}"
+        );
+        assert_eq!(
+            u64::from(source.width()),
+            u64::from(bitwidth - 1),
+            "number source width must match bitwidth - 1"
+        );
+        Self { magnitude, source }
+    }
+
+    /// Emits the next bit of the stream and advances the number source.
+    pub fn next_bit(&mut self) -> bool {
+        self.source.next() < self.magnitude
+    }
+
+    /// Generates the full `2^(bitwidth-1)`-bit stream.
+    #[must_use]
+    pub fn stream(&mut self) -> Bitstream {
+        let len = self.source.period();
+        (0..len).map(|_| self.next_bit()).collect()
+    }
+
+    /// Generates the first `len` bits of the stream (early-terminated).
+    #[must_use]
+    pub fn stream_prefix(&mut self, len: usize) -> Bitstream {
+        (0..len).map(|_| self.next_bit()).collect()
+    }
+
+    /// Resets the underlying number source.
+    pub fn reset(&mut self) {
+        self.source.reset();
+    }
+
+    /// The stationary magnitude being encoded.
+    #[must_use]
+    pub fn magnitude(&self) -> u64 {
+        self.magnitude
+    }
+}
+
+/// Cycle-level temporal encoder: `bit = (counter < magnitude)` — the
+/// `SRC → CMP ← CNT` structure of Fig. 3b. The emitted stream is
+/// `magnitude` ones followed by zeros.
+#[derive(Debug, Clone)]
+pub struct TemporalEncoder {
+    inner: RateEncoder<CounterSource>,
+}
+
+impl TemporalEncoder {
+    /// Creates a unipolar temporal encoder for an `N`-bit magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the magnitude exceeds `2^(bitwidth-1)`.
+    #[must_use]
+    pub fn unipolar(magnitude: u64, bitwidth: u32) -> Self {
+        Self {
+            inner: RateEncoder::unipolar(
+                magnitude,
+                bitwidth,
+                CounterSource::new(bitwidth - 1),
+            ),
+        }
+    }
+
+    /// Emits the next bit of the stream.
+    pub fn next_bit(&mut self) -> bool {
+        self.inner.next_bit()
+    }
+
+    /// Generates the full stream: `magnitude` ones then zeros.
+    #[must_use]
+    pub fn stream(&mut self) -> Bitstream {
+        self.inner.stream()
+    }
+
+    /// Resets the internal counter.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+/// Encodes an `N`-bit magnitude into a full unipolar bitstream using the
+/// given number source.
+///
+/// Convenience wrapper over [`RateEncoder`]; the source decides whether the
+/// result is rate coded (RNG) or temporal coded (counter).
+///
+/// # Errors
+///
+/// Returns [`UnaryError::MagnitudeOverflow`] if `magnitude > 2^(bitwidth-1)`
+/// and [`UnaryError::UnsupportedBitwidth`] for a bad bitwidth.
+pub fn encode_unipolar<S: NumberSource>(
+    magnitude: u64,
+    bitwidth: u32,
+    source: S,
+) -> Result<Bitstream, UnaryError> {
+    if !(2..=crate::MAX_BITWIDTH).contains(&bitwidth) {
+        return Err(UnaryError::UnsupportedBitwidth(bitwidth));
+    }
+    if magnitude > stream_len(bitwidth) {
+        return Err(UnaryError::MagnitudeOverflow { magnitude, bitwidth });
+    }
+    Ok(RateEncoder::unipolar(magnitude, bitwidth, source).stream())
+}
+
+/// Decodes a unipolar bitstream back to an integer magnitude at the given
+/// bitwidth: `round(P(1) * 2^(bitwidth-1))`.
+#[must_use]
+pub fn decode_unipolar(stream: &Bitstream, bitwidth: u32) -> u64 {
+    let scale = stream_len(bitwidth) as f64;
+    (stream.unipolar_value() * scale).round() as u64
+}
+
+/// Encodes a signed `bitwidth`-bit level into a **bipolar** bitstream of
+/// length `2^bitwidth` (Fig. 3's signed interpretation: `V_b = 2P − 1`).
+///
+/// The source must emit `bitwidth`-bit numbers — bipolar streams carry
+/// one extra resolution bit, which is exactly why the bipolar uMUL costs
+/// twice the cycles of the unipolar one (Section III-A).
+///
+/// # Errors
+///
+/// Returns [`UnaryError::MagnitudeOverflow`] if `|level| > 2^(bitwidth-1)`
+/// and [`UnaryError::UnsupportedBitwidth`] for a bad bitwidth.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_unary::coding::{decode_bipolar, encode_bipolar};
+/// use usystolic_unary::rng::SobolSource;
+///
+/// let bs = encode_bipolar(-64, 8, SobolSource::dimension(0, 8))?;
+/// assert_eq!(bs.len(), 256);
+/// assert_eq!(decode_bipolar(&bs, 8), -64);
+/// # Ok::<(), usystolic_unary::UnaryError>(())
+/// ```
+pub fn encode_bipolar<S: NumberSource>(
+    level: i64,
+    bitwidth: u32,
+    source: S,
+) -> Result<Bitstream, UnaryError> {
+    if !(2..=crate::MAX_BITWIDTH).contains(&bitwidth) {
+        return Err(UnaryError::UnsupportedBitwidth(bitwidth));
+    }
+    let half = stream_len(bitwidth) as i64;
+    if level.abs() > half {
+        return Err(UnaryError::MagnitudeOverflow {
+            magnitude: level.unsigned_abs(),
+            bitwidth,
+        });
+    }
+    if u64::from(source.width()) != u64::from(bitwidth) {
+        return Err(UnaryError::UnsupportedBitwidth(source.width()));
+    }
+    let threshold = (level + half) as u64;
+    let mut src = source;
+    Ok((0..(1u64 << bitwidth)).map(|_| src.next() < threshold).collect())
+}
+
+/// Decodes a bipolar bitstream back to a signed level:
+/// `round((2·P(1) − 1) · 2^(bitwidth-1))`.
+#[must_use]
+pub fn decode_bipolar(stream: &Bitstream, bitwidth: u32) -> i64 {
+    let scale = stream_len(bitwidth) as f64;
+    (stream.bipolar_value() * scale).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SobolSource;
+
+    #[test]
+    fn polarity_decode_encode_roundtrip() {
+        assert!((Polarity::Unipolar.decode(0.25) - 0.25).abs() < 1e-12);
+        assert!((Polarity::Bipolar.decode(0.25) + 0.5).abs() < 1e-12);
+        assert!((Polarity::Bipolar.encode(-0.5) - 0.25).abs() < 1e-12);
+        // Clamping.
+        assert!((Polarity::Unipolar.encode(2.0) - 1.0).abs() < 1e-12);
+        assert!((Polarity::Bipolar.encode(-3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_coding_is_exact_over_full_period() {
+        // Sobol emits every value exactly once per period, so the count of
+        // ones equals the magnitude exactly — for every magnitude.
+        for mag in [0u64, 1, 7, 64, 127, 128] {
+            let bs = encode_unipolar(mag, 8, SobolSource::dimension(0, 7)).unwrap();
+            assert_eq!(bs.len(), 128);
+            assert_eq!(bs.count_ones(), mag, "magnitude {mag}");
+        }
+    }
+
+    #[test]
+    fn temporal_coding_emits_leading_ones() {
+        let bs = TemporalEncoder::unipolar(5, 4).stream();
+        assert_eq!(bs.to_string(), "11111000");
+    }
+
+    #[test]
+    fn figure3_example_half() {
+        // Fig. 3: P = 0.5 for both codings of an 8/16 value (bitwidth 5).
+        let rate = encode_unipolar(8, 5, SobolSource::dimension(0, 4)).unwrap();
+        assert!((rate.unipolar_value() - 0.5).abs() < 1e-12);
+        let temporal = TemporalEncoder::unipolar(8, 5).stream();
+        assert!((temporal.unipolar_value() - 0.5).abs() < 1e-12);
+        assert_eq!(temporal.to_string(), "1111111100000000");
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for mag in 0..=128u64 {
+            let bs = encode_unipolar(mag, 8, SobolSource::dimension(2, 7)).unwrap();
+            assert_eq!(decode_unipolar(&bs, 8), mag);
+        }
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let err = encode_unipolar(129, 8, SobolSource::dimension(0, 7)).unwrap_err();
+        assert_eq!(err, UnaryError::MagnitudeOverflow { magnitude: 129, bitwidth: 8 });
+    }
+
+    #[test]
+    fn bad_bitwidth_is_an_error() {
+        let err = encode_unipolar(0, 1, SobolSource::dimension(0, 7)).unwrap_err();
+        assert_eq!(err, UnaryError::UnsupportedBitwidth(1));
+    }
+
+    #[test]
+    fn stream_prefix_is_a_prefix() {
+        let mut enc = RateEncoder::unipolar(77, 8, SobolSource::dimension(0, 7));
+        let prefix = enc.stream_prefix(32);
+        enc.reset();
+        let full = enc.stream();
+        for i in 0..32 {
+            assert_eq!(prefix.get(i), full.get(i));
+        }
+    }
+
+    #[test]
+    fn encoder_reset_replays() {
+        let mut enc = RateEncoder::unipolar(50, 8, SobolSource::dimension(1, 7));
+        let a = enc.stream();
+        enc.reset();
+        let b = enc.stream();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Polarity::Unipolar.to_string(), "unipolar");
+        assert_eq!(Coding::Rate.to_string(), "rate");
+        assert_eq!(Coding::Temporal.to_string(), "temporal");
+    }
+
+    #[test]
+    fn bipolar_roundtrip_over_full_range() {
+        for level in [-128i64, -77, -1, 0, 1, 99, 128] {
+            let bs = encode_bipolar(level, 8, SobolSource::dimension(0, 8)).unwrap();
+            assert_eq!(decode_bipolar(&bs, 8), level, "level {level}");
+        }
+    }
+
+    #[test]
+    fn bipolar_streams_are_twice_as_long() {
+        let uni = encode_unipolar(64, 8, SobolSource::dimension(0, 7)).unwrap();
+        let bi = encode_bipolar(64, 8, SobolSource::dimension(0, 8)).unwrap();
+        assert_eq!(bi.len(), 2 * uni.len());
+    }
+
+    #[test]
+    fn bipolar_errors() {
+        assert!(encode_bipolar(200, 8, SobolSource::dimension(0, 8)).is_err());
+        assert!(encode_bipolar(0, 1, SobolSource::dimension(0, 8)).is_err());
+        // Wrong source width.
+        assert!(encode_bipolar(0, 8, SobolSource::dimension(0, 7)).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! In-stream stochastic division via correlation (CORDIV) — the
+//! companion kernel the paper cites as \[71\] ("In-Stream Stochastic
+//! Division and Square Root via Correlation", Wu & San Miguel, DAC 2019).
+//!
+//! Division is the classic hard operation of unary computing. CORDIV
+//! exploits *maximal* correlation between dividend and divisor streams
+//! (the opposite regime from the uMUL's zero-SCC requirement): when both
+//! streams are generated from the same number source, a 1 in the dividend
+//! implies a 1 in the divisor (for `a ≤ b`), and
+//!
+//! ```text
+//! out = divisor_bit ? dividend_bit : last_quotient_bit
+//! ```
+//!
+//! converges to `P(a) / P(b)`. The single history flip-flop makes the
+//! hardware as trivial as the uMUL's AND gate.
+
+/// The CORDIV in-stream divider: one multiplexer and one D flip-flop.
+#[derive(Debug, Clone, Default)]
+pub struct CorDiv {
+    last_quotient: bool,
+    ones: u64,
+    cycles: u64,
+}
+
+impl CorDiv {
+    /// Creates a divider with a cleared history bit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one cycle of (dividend, divisor) bits, returning the
+    /// quotient bit.
+    ///
+    /// For accurate results the two streams must be **maximally
+    /// correlated** (generated from the same number source) and the
+    /// dividend value must not exceed the divisor value.
+    pub fn step(&mut self, dividend: bool, divisor: bool) -> bool {
+        let out = if divisor { dividend } else { self.last_quotient };
+        if divisor {
+            self.last_quotient = dividend;
+        }
+        self.ones += u64::from(out);
+        self.cycles += 1;
+        out
+    }
+
+    /// Running quotient estimate `P(out)`.
+    #[must_use]
+    pub fn quotient(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.ones as f64 / self.cycles as f64
+    }
+
+    /// Cycles processed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets the divider.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Divides two magnitudes by streaming maximally-correlated encodings
+/// through a [`CorDiv`] for one full period.
+///
+/// # Panics
+///
+/// Panics if `dividend > divisor`, if `divisor` is zero, or if the
+/// magnitudes exceed `2^(bitwidth-1)`.
+#[must_use]
+pub fn divide(dividend: u64, divisor: u64, bitwidth: u32) -> f64 {
+    use crate::rng::{NumberSource, SobolSource};
+    let max = crate::stream_len(bitwidth);
+    assert!(divisor > 0, "division by zero");
+    assert!(dividend <= divisor, "CORDIV requires dividend <= divisor");
+    assert!(divisor <= max, "divisor exceeds range");
+    // The same source drives both comparators: maximal correlation.
+    let mut src = SobolSource::dimension(0, bitwidth - 1);
+    let mut div = CorDiv::new();
+    for _ in 0..max {
+        let r = src.next();
+        div.step(r < dividend, r < divisor);
+    }
+    div.quotient()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides_simple_ratios() {
+        // CORDIV's history bit assumes the divisor's ones are spread
+        // through the stream, so representative (non-vanishing) operand
+        // magnitudes are used — the regime DNN activations live in.
+        for (a, b) in [(32u64, 64u64), (64, 128), (48, 96), (100, 100), (0, 77)] {
+            let q = divide(a, b, 8);
+            let exact = a as f64 / b as f64;
+            // CORDIV's published mean error is a few percent; allow the
+            // same here.
+            assert!(
+                (q - exact).abs() < 0.08,
+                "{a}/{b}: got {q}, expected {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_bitwidth() {
+        // Constant ratio 0.75 across widths.
+        let err = |bits: u32| {
+            let max = crate::stream_len(bits);
+            (divide(3 * max / 8, max / 2, bits) - 0.75).abs()
+        };
+        assert!(err(12) <= err(6) + 1e-9);
+        assert!(err(12) < 0.02);
+    }
+
+    #[test]
+    fn divider_state_machine() {
+        let mut d = CorDiv::new();
+        assert_eq!(d.quotient(), 0.0);
+        // Divisor 1 passes the dividend through.
+        assert!(d.step(true, true));
+        // Divisor 0 replays the stored quotient bit.
+        assert!(d.step(false, false));
+        assert_eq!(d.cycles(), 2);
+        d.reset();
+        assert_eq!(d.cycles(), 0);
+        // After reset, divisor-0 cycles replay the cleared history.
+        assert!(!d.step(true, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        let _ = divide(1, 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dividend <= divisor")]
+    fn oversized_dividend_panics() {
+        let _ = divide(100, 50, 8);
+    }
+}

@@ -1,0 +1,341 @@
+//! Cycle-level unary multipliers.
+//!
+//! * [`UnipolarMul`] — the uMUL of Fig. 4: a stationary magnitude, a
+//!   conditional bitstream generator and an AND gate. uSystolic uses this
+//!   on sign-magnitude data (Section III-A), which **halves** both the area
+//!   and the cycle count relative to the bipolar multiplier.
+//! * [`BipolarMul`] — the bipolar uMUL used by the uGEMM-H baseline
+//!   (Section IV-C2): multiplies signed data directly in bipolar coding,
+//!   spending twice the cycles (`2^N` vs `2^(N-1)`) and roughly twice the
+//!   hardware (two conditional generators instead of one).
+
+use crate::bsg::ConditionalBsg;
+use crate::rng::NumberSource;
+use crate::stream_len;
+
+/// Unipolar uMUL with conditional bitstream generation (Fig. 4).
+///
+/// The stationary operand (e.g. the weight magnitude `|W|`) is stored in
+/// binary. The streaming operand arrives as an *enable* bitstream (e.g. the
+/// rate- or temporal-coded IFM magnitude). Each cycle:
+///
+/// 1. if the enable bit is 0 the output bit is 0 and the RNG holds;
+/// 2. if the enable bit is 1 the RNG advances and the output bit is
+///    `rng < |W|`.
+///
+/// Over the full `2^(N-1)` cycles the number of output ones is
+/// `≈ |I|·|W| / 2^(N-1)` — with a Sobol source the error is below one count.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_unary::mul::UnipolarMul;
+/// use usystolic_unary::coding::RateEncoder;
+/// use usystolic_unary::rng::SobolSource;
+///
+/// let mut mul = UnipolarMul::new(100, 8, SobolSource::dimension(0, 7));
+/// let mut ifm = RateEncoder::unipolar(77, 8, SobolSource::dimension(1, 7));
+/// let ones: u32 = (0..128).map(|_| u32::from(mul.step(ifm.next_bit()))).sum();
+/// assert!((i64::from(ones) - (77 * 100 / 128)).abs() <= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnipolarMul<S> {
+    cbsg: ConditionalBsg<S>,
+    bitwidth: u32,
+    cycles: u64,
+}
+
+impl<S: NumberSource> UnipolarMul<S> {
+    /// Creates a multiplier with stationary magnitude `weight_magnitude`
+    /// for `bitwidth`-bit data, over `source` (which must emit
+    /// `bitwidth - 1`-bit numbers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the magnitude exceeds `2^(bitwidth-1)` or the source width
+    /// does not match.
+    #[must_use]
+    pub fn new(weight_magnitude: u64, bitwidth: u32, source: S) -> Self {
+        let max = stream_len(bitwidth);
+        assert!(
+            weight_magnitude <= max,
+            "weight magnitude {weight_magnitude} exceeds {max}"
+        );
+        assert_eq!(
+            source.width(),
+            bitwidth - 1,
+            "number source width must be bitwidth - 1"
+        );
+        Self { cbsg: ConditionalBsg::new(weight_magnitude, source), bitwidth, cycles: 0 }
+    }
+
+    /// Processes one cycle with the streaming operand's bit; returns the
+    /// product bit (the AND-gate output).
+    pub fn step(&mut self, enable: bool) -> bool {
+        self.cycles += 1;
+        self.cbsg.step(enable)
+    }
+
+    /// Full multiplication cycle count for this bitwidth: `2^(bitwidth-1)`.
+    #[must_use]
+    pub fn full_cycles(&self) -> u64 {
+        stream_len(self.bitwidth)
+    }
+
+    /// Cycles elapsed since construction or [`reset`](Self::reset).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Loads a new stationary magnitude (weight preload) and resets state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the magnitude exceeds `2^(bitwidth-1)`.
+    pub fn load(&mut self, weight_magnitude: u64) {
+        assert!(weight_magnitude <= stream_len(self.bitwidth));
+        self.cbsg.set_magnitude(weight_magnitude);
+        self.reset();
+    }
+
+    /// Resets the RNG and cycle counter without changing the magnitude.
+    pub fn reset(&mut self) {
+        self.cbsg.reset();
+        self.cycles = 0;
+    }
+
+    /// Data bitwidth `N`.
+    #[must_use]
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+
+    /// The stationary magnitude.
+    #[must_use]
+    pub fn weight_magnitude(&self) -> u64 {
+        self.cbsg.magnitude()
+    }
+}
+
+/// Bipolar uMUL (the uGEMM/uGEMM-H multiplier).
+///
+/// Operates directly on signed values in bipolar coding with streams of
+/// length `2^N` (one extra bit of resolution is needed for the sign, which
+/// is why it costs **twice** the cycles of [`UnipolarMul`]). It keeps two
+/// conditional generators — one for enabled (input = 1) cycles and one for
+/// disabled cycles — so that
+///
+/// ```text
+/// out = input ? (r1 < T) : !(r0 < T)      where T encodes (w + 1) / 2
+/// ```
+///
+/// which realises the XNOR identity `2·p_y − 1 = (2·p_a − 1)(2·p_b − 1)`
+/// with low variance. The doubled generator is the "twice the area" of
+/// Section IV-C2.
+#[derive(Debug, Clone)]
+pub struct BipolarMul<S> {
+    ones_gen: ConditionalBsg<S>,
+    zeros_gen: ConditionalBsg<S>,
+    bitwidth: u32,
+    cycles: u64,
+}
+
+impl<S: NumberSource> BipolarMul<S> {
+    /// Creates a bipolar multiplier for `bitwidth`-bit signed data with
+    /// stationary value `weight` in `[-2^(bitwidth-1), 2^(bitwidth-1)]`.
+    ///
+    /// `source_ones` and `source_zeros` must emit `bitwidth`-bit numbers
+    /// (the bipolar stream length is `2^bitwidth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is out of range or the source widths mismatch.
+    #[must_use]
+    pub fn new(weight: i64, bitwidth: u32, source_ones: S, source_zeros: S) -> Self {
+        let half = stream_len(bitwidth) as i64;
+        assert!(
+            (-half..=half).contains(&weight),
+            "weight {weight} out of [-{half}, {half}]"
+        );
+        assert_eq!(source_ones.width(), bitwidth, "ones source width must be bitwidth");
+        assert_eq!(source_zeros.width(), bitwidth, "zeros source width must be bitwidth");
+        // Bipolar threshold encoding (w + half) of 2*half.
+        let threshold = (weight + half) as u64;
+        Self {
+            ones_gen: ConditionalBsg::new(threshold, source_ones),
+            zeros_gen: ConditionalBsg::new(threshold, source_zeros),
+            bitwidth,
+            cycles: 0,
+        }
+    }
+
+    /// Processes one cycle with the streaming operand's bipolar bit;
+    /// returns the bipolar product bit.
+    pub fn step(&mut self, input: bool) -> bool {
+        self.cycles += 1;
+        if input {
+            self.ones_gen.step(true)
+        } else {
+            !self.zeros_gen.step(true)
+        }
+    }
+
+    /// Full multiplication cycle count: `2^bitwidth` — twice the unipolar
+    /// multiplier's.
+    #[must_use]
+    pub fn full_cycles(&self) -> u64 {
+        1u64 << self.bitwidth
+    }
+
+    /// Cycles elapsed since construction or reset.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets both generators and the cycle counter.
+    pub fn reset(&mut self) {
+        self.ones_gen.reset();
+        self.zeros_gen.reset();
+        self.cycles = 0;
+    }
+
+    /// Data bitwidth `N`.
+    #[must_use]
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::{RateEncoder, TemporalEncoder};
+    use crate::rng::SobolSource;
+
+    fn unipolar_product(w: u64, i: u64, bitwidth: u32) -> u64 {
+        let mut mul = UnipolarMul::new(w, bitwidth, SobolSource::dimension(0, bitwidth - 1));
+        let mut ifm =
+            RateEncoder::unipolar(i, bitwidth, SobolSource::dimension(1, bitwidth - 1));
+        (0..stream_len(bitwidth)).filter(|_| mul.step(ifm.next_bit())).count() as u64
+    }
+
+    #[test]
+    fn unipolar_product_near_exact() {
+        for (w, i) in [(100u64, 77u64), (128, 128), (0, 77), (77, 0), (1, 1), (64, 64)] {
+            let ones = unipolar_product(w, i, 8);
+            let exact = (w as f64) * (i as f64) / 128.0;
+            assert!(
+                (ones as f64 - exact).abs() <= 1.0,
+                "w={w} i={i}: {ones} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn unipolar_with_temporal_input_is_accurate() {
+        // Temporal IFM coding (counter-generated contiguous ones) still
+        // multiplies accurately because the weight RNG is conditioned on
+        // the enable bits, not their placement.
+        let mut mul = UnipolarMul::new(100, 8, SobolSource::dimension(0, 7));
+        let mut ifm = TemporalEncoder::unipolar(77, 8);
+        let ones = (0..128).filter(|_| mul.step(ifm.next_bit())).count() as f64;
+        let exact = 100.0 * 77.0 / 128.0;
+        assert!((ones - exact).abs() <= 1.0);
+    }
+
+    #[test]
+    fn unipolar_load_replaces_weight() {
+        let mut mul = UnipolarMul::new(10, 8, SobolSource::dimension(0, 7));
+        mul.step(true);
+        mul.load(128);
+        assert_eq!(mul.cycles(), 0);
+        assert_eq!(mul.weight_magnitude(), 128);
+        // Full-scale weight: every enabled cycle emits 1.
+        assert!(mul.step(true));
+    }
+
+    #[test]
+    fn unipolar_full_cycles_matches_paper() {
+        let mul = UnipolarMul::new(1, 8, SobolSource::dimension(0, 7));
+        assert_eq!(mul.full_cycles(), 128);
+        let mul16 = UnipolarMul::new(1, 16, SobolSource::dimension(0, 15));
+        assert_eq!(mul16.full_cycles(), 32_768);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn unipolar_rejects_overflow_weight() {
+        let _ = UnipolarMul::new(129, 8, SobolSource::dimension(0, 7));
+    }
+
+    fn bipolar_product(w: i64, i: i64, bitwidth: u32) -> f64 {
+        let mut mul = BipolarMul::new(
+            w,
+            bitwidth,
+            SobolSource::dimension(0, bitwidth),
+            SobolSource::dimension(2, bitwidth),
+        );
+        let len = 1u64 << bitwidth;
+        let half = stream_len(bitwidth) as i64;
+        // Bipolar-encode the input with an independent Sobol dimension.
+        let mut input = RateEncoder::unipolar(
+            (i + half) as u64,
+            bitwidth + 1,
+            SobolSource::dimension(1, bitwidth),
+        );
+        let ones = (0..len).filter(|_| mul.step(input.next_bit())).count() as f64;
+        2.0 * ones / len as f64 - 1.0
+    }
+
+    #[test]
+    fn bipolar_product_accurate_for_signed_data() {
+        for (w, i) in [(100i64, -77i64), (-100, -77), (64, 64), (-128, 128), (0, 77)] {
+            let got = bipolar_product(w, i, 8);
+            let exact = (w as f64 / 128.0) * (i as f64 / 128.0);
+            assert!(
+                (got - exact).abs() < 0.03,
+                "w={w} i={i}: {got} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bipolar_costs_twice_the_cycles() {
+        let uni = UnipolarMul::new(0, 8, SobolSource::dimension(0, 7));
+        let bi = BipolarMul::new(
+            0,
+            8,
+            SobolSource::dimension(0, 8),
+            SobolSource::dimension(1, 8),
+        );
+        assert_eq!(bi.full_cycles(), 2 * uni.full_cycles());
+    }
+
+    #[test]
+    fn bipolar_reset_replays() {
+        let mut m = BipolarMul::new(
+            37,
+            8,
+            SobolSource::dimension(0, 8),
+            SobolSource::dimension(1, 8),
+        );
+        let a: Vec<bool> = (0..32).map(|c| m.step(c % 3 == 0)).collect();
+        m.reset();
+        assert_eq!(m.cycles(), 0);
+        let b: Vec<bool> = (0..32).map(|c| m.step(c % 3 == 0)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bipolar_rejects_out_of_range_weight() {
+        let _ = BipolarMul::new(
+            200,
+            8,
+            SobolSource::dimension(0, 8),
+            SobolSource::dimension(1, 8),
+        );
+    }
+}

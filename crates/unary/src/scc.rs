@@ -1,0 +1,156 @@
+//! Stochastic cross-correlation (SCC).
+//!
+//! SCC measures the similarity of two bitstreams' bit placements (Alaghi &
+//! Hayes \[2\]). `SCC = 0` is necessary and sufficient for an AND gate to be
+//! an accurate unipolar multiplier (Section II-B2, Eq. 1). `SCC = +1` means
+//! maximal overlap (AND degenerates to `min`), `SCC = -1` minimal overlap
+//! (AND degenerates to `max(a + b - 1, 0)`).
+
+use crate::bitstream::Bitstream;
+use crate::UnaryError;
+
+/// Computes the stochastic cross-correlation of two equal-length
+/// bitstreams.
+///
+/// Let `p_a`, `p_b` be the ones-probabilities and `p_ab` the joint
+/// ones-probability. Then
+///
+/// ```text
+///            p_ab − p_a·p_b
+/// SCC = ────────────────────────────────          if p_ab > p_a·p_b
+///        min(p_a, p_b) − p_a·p_b
+///
+///            p_ab − p_a·p_b
+/// SCC = ────────────────────────────────          otherwise
+///        p_a·p_b − max(p_a + p_b − 1, 0)
+/// ```
+///
+/// Degenerate streams (all-zero or all-one operands) have an undefined
+/// correlation; this returns `0.0` for them, matching the convention that
+/// they multiply exactly through an AND gate anyway.
+///
+/// # Errors
+///
+/// Returns [`UnaryError::LengthMismatch`] if the streams differ in length.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_unary::{scc, Bitstream};
+///
+/// let a: Bitstream = "11001100".chars().map(|c| c == '1').collect();
+/// let same = a.clone();
+/// assert!((scc(&a, &same).unwrap() - 1.0).abs() < 1e-12);
+/// let opposite = a.not();
+/// assert!((scc(&a, &opposite).unwrap() + 1.0).abs() < 1e-12);
+/// ```
+pub fn scc(a: &Bitstream, b: &Bitstream) -> Result<f64, UnaryError> {
+    if a.len() != b.len() {
+        return Err(UnaryError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return Ok(0.0);
+    }
+    let p_a = a.count_ones() as f64 / n;
+    let p_b = b.count_ones() as f64 / n;
+    let p_ab = a.overlap(b)? as f64 / n;
+    let indep = p_a * p_b;
+    let delta = p_ab - indep;
+    let denom = if delta > 0.0 {
+        p_a.min(p_b) - indep
+    } else {
+        indep - (p_a + p_b - 1.0).max(0.0)
+    };
+    if denom.abs() < 1e-15 {
+        return Ok(0.0);
+    }
+    Ok((delta / denom).clamp(-1.0, 1.0))
+}
+
+/// Root-mean-square error of an AND-gate product against the exact
+/// real-valued product, for diagnostics of multiplier accuracy.
+///
+/// # Errors
+///
+/// Returns [`UnaryError::LengthMismatch`] if the streams differ in length.
+pub fn and_product_error(a: &Bitstream, b: &Bitstream) -> Result<f64, UnaryError> {
+    let p = a.and(b)?;
+    Ok((p.unipolar_value() - a.unipolar_value() * b.unipolar_value()).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::encode_unipolar;
+    use crate::rng::SobolSource;
+
+    fn bs(s: &str) -> Bitstream {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn identical_streams_have_scc_one() {
+        let a = bs("10110010");
+        assert!((scc(&a, &a.clone()).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_streams_have_scc_minus_one() {
+        let a = bs("11110000");
+        let b = bs("00001111");
+        assert!((scc(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_sobol_dimensions_have_near_zero_scc() {
+        let a = encode_unipolar(77, 8, SobolSource::dimension(0, 7)).unwrap();
+        let b = encode_unipolar(100, 8, SobolSource::dimension(1, 7)).unwrap();
+        let c = scc(&a, &b).unwrap();
+        assert!(c.abs() < 0.15, "SCC {c} not near zero");
+    }
+
+    #[test]
+    fn same_dimension_same_value_is_fully_correlated() {
+        let a = encode_unipolar(64, 8, SobolSource::dimension(0, 7)).unwrap();
+        let b = encode_unipolar(64, 8, SobolSource::dimension(0, 7)).unwrap();
+        assert!((scc(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_streams_are_zero() {
+        let zeros = Bitstream::zeros(16);
+        let ones = Bitstream::ones(16);
+        let x = bs("1010101010101010");
+        assert_eq!(scc(&zeros, &x).unwrap(), 0.0);
+        assert_eq!(scc(&ones, &x).unwrap(), 0.0);
+        assert_eq!(scc(&Bitstream::new(), &Bitstream::new()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_scc_gives_accurate_and_product() {
+        // The core claim of Eq. 1: zero SCC ⇒ AND is an accurate multiplier.
+        let a = encode_unipolar(90, 8, SobolSource::dimension(0, 7)).unwrap();
+        let b = encode_unipolar(50, 8, SobolSource::dimension(3, 7)).unwrap();
+        let err = and_product_error(&a, &b).unwrap();
+        assert!(err < 0.05, "AND product error {err} too large");
+    }
+
+    #[test]
+    fn correlated_streams_give_poor_and_product() {
+        // SCC = 1 ⇒ AND degenerates to min(p_a, p_b).
+        let a = encode_unipolar(90, 8, SobolSource::dimension(0, 7)).unwrap();
+        let b = encode_unipolar(50, 8, SobolSource::dimension(0, 7)).unwrap();
+        let p = a.and(&b).unwrap();
+        let min = (50.0f64 / 128.0).min(90.0 / 128.0);
+        assert!((p.unipolar_value() - min).abs() < 1e-9);
+        let exact = (90.0 / 128.0) * (50.0 / 128.0);
+        assert!((p.unipolar_value() - exact).abs() > 0.1);
+    }
+
+    #[test]
+    fn mismatch_is_error() {
+        assert!(scc(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+        assert!(and_product_error(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Sign-magnitude conversion.
+//!
+//! uSystolic multiplies two signed operands in **sign-magnitude** format
+//! with a *unipolar* uMUL (Section III-A): the magnitudes multiply through
+//! the cheap unipolar path while the XOR of the sign bits decides whether
+//! the product bits are accumulated positively or negatively. Conversion
+//! happens once at the array edge (leftmost column / top row).
+
+/// A signed value split into a sign bit and an absolute magnitude, as held
+/// in the WSIGN/WABS and ISIGN/IABS registers of Fig. 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SignMagnitude {
+    /// True for negative values.
+    pub negative: bool,
+    /// Absolute value, in `0..=2^(bitwidth-1)`.
+    pub magnitude: u64,
+}
+
+impl SignMagnitude {
+    /// Converts a signed integer, clamping to the representable range of
+    /// `bitwidth`-bit sign-magnitude data: `[-2^(b-1), 2^(b-1)]`.
+    ///
+    /// Note the range is symmetric (unlike two's complement): `-2^(b-1)` is
+    /// representable because the magnitude field spans `0..=2^(b-1)`, where
+    /// the maximum encodes exactly 1.0 in unary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitwidth` is outside `2..=crate::MAX_BITWIDTH`.
+    #[must_use]
+    pub fn from_signed(value: i64, bitwidth: u32) -> Self {
+        let max = crate::stream_len(bitwidth) as i64;
+        let clamped = value.clamp(-max, max);
+        Self { negative: clamped < 0, magnitude: clamped.unsigned_abs() }
+    }
+
+    /// Recovers the signed integer value.
+    #[must_use]
+    pub fn to_signed(self) -> i64 {
+        let m = self.magnitude as i64;
+        if self.negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Sign of the product of two sign-magnitude values — the XOR gate of
+    /// Fig. 7 (left): negative iff exactly one operand is negative.
+    #[must_use]
+    pub fn product_negative(self, other: Self) -> bool {
+        self.negative ^ other.negative
+    }
+
+    /// The +1 / -1 increment this operand pair contributes per asserted
+    /// product bit when accumulated in binary.
+    #[must_use]
+    pub fn product_increment(self, other: Self) -> i64 {
+        if self.product_negative(other) {
+            -1
+        } else {
+            1
+        }
+    }
+}
+
+impl core::fmt::Display for SignMagnitude {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}{}", if self.negative { "-" } else { "+" }, self.magnitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_signed() {
+        for v in [-128i64, -5, 0, 7, 127, 128] {
+            let sm = SignMagnitude::from_signed(v, 8);
+            assert_eq!(sm.to_signed(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(SignMagnitude::from_signed(1000, 8).to_signed(), 128);
+        assert_eq!(SignMagnitude::from_signed(-1000, 8).to_signed(), -128);
+    }
+
+    #[test]
+    fn negative_zero_is_positive_zero() {
+        let sm = SignMagnitude::from_signed(0, 8);
+        assert!(!sm.negative);
+        assert_eq!(sm.magnitude, 0);
+    }
+
+    #[test]
+    fn product_sign_is_xor() {
+        let pos = SignMagnitude::from_signed(3, 8);
+        let neg = SignMagnitude::from_signed(-3, 8);
+        assert!(!pos.product_negative(pos));
+        assert!(pos.product_negative(neg));
+        assert!(neg.product_negative(pos));
+        assert!(!neg.product_negative(neg));
+        assert_eq!(pos.product_increment(neg), -1);
+        assert_eq!(neg.product_increment(neg), 1);
+    }
+
+    #[test]
+    fn display_shows_sign() {
+        assert_eq!(SignMagnitude::from_signed(-7, 8).to_string(), "-7");
+        assert_eq!(SignMagnitude::from_signed(7, 8).to_string(), "+7");
+    }
+}

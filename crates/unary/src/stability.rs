@@ -1,0 +1,180 @@
+//! Normalized stability — the cross-level early-termination metric
+//! (Wu, Yin & San Miguel, ASP-DAC 2021 \[72\], which Section II-B3 builds
+//! its early-termination reliability argument on).
+//!
+//! A bitstream's *running value* after `t` bits is the fraction of ones
+//! seen so far. The stream has **stabilised** at the first cycle `T`
+//! after which the running value never strays more than `ε` from its
+//! final value; the *normalized stability* is `1 − T / L`. Rate-coded
+//! low-discrepancy streams stabilise early (high stability), which is why
+//! they can be early-terminated with little accuracy loss; temporal
+//! streams keep drifting until the very end (stability ≈ 0), which is why
+//! the paper forbids terminating them.
+
+use crate::bitstream::Bitstream;
+
+/// The first cycle index `T` (1-based bit count) after which the running
+/// unipolar value stays within `epsilon` of the stream's final value, and
+/// the derived normalized stability `1 − T / L`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stability {
+    /// Bits consumed before the value stabilised (0 means stable from the
+    /// first bit).
+    pub stabilization_bits: usize,
+    /// Normalized stability in `[0, 1]`; larger is better.
+    pub normalized: f64,
+}
+
+/// Measures the stability of a bitstream under the error bound `epsilon`.
+///
+/// Returns a stability of 1.0 for an empty stream (trivially stable).
+///
+/// # Panics
+///
+/// Panics if `epsilon` is negative.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_unary::stability::stability;
+/// use usystolic_unary::Bitstream;
+///
+/// // An alternating stream reaches its final value 0.5 almost
+/// // immediately — high stability.
+/// let alternating: Bitstream = (0..64).map(|i| i % 2 == 0).collect();
+/// let s = stability(&alternating, 0.05);
+/// assert!(s.normalized > 0.6);
+///
+/// // A temporal (leading-ones) stream only settles at the very end.
+/// let temporal: Bitstream = (0..64).map(|i| i < 32).collect();
+/// let t = stability(&temporal, 0.05);
+/// assert!(t.normalized < s.normalized);
+/// ```
+#[must_use]
+pub fn stability(stream: &Bitstream, epsilon: f64) -> Stability {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let len = stream.len();
+    if len == 0 {
+        return Stability { stabilization_bits: 0, normalized: 1.0 };
+    }
+    let final_value = stream.unipolar_value();
+    let mut ones = 0usize;
+    // Find the last prefix whose running value violates the bound.
+    let mut last_violation = 0usize;
+    for (i, bit) in stream.iter().enumerate() {
+        if bit {
+            ones += 1;
+        }
+        let running = ones as f64 / (i + 1) as f64;
+        if (running - final_value).abs() > epsilon {
+            last_violation = i + 1;
+        }
+    }
+    Stability {
+        stabilization_bits: last_violation,
+        normalized: 1.0 - last_violation as f64 / len as f64,
+    }
+}
+
+/// Recommends the smallest effective bitwidth whose truncated running
+/// value is within `epsilon` of the full-stream value — an offline ET
+/// advisor in the spirit of the metric-based characterisation the paper
+/// cites (\[69\], \[72\]).
+///
+/// Returns the full bitwidth when no earlier point qualifies.
+///
+/// # Panics
+///
+/// Panics if the stream length is not `2^(bitwidth-1)`.
+#[must_use]
+pub fn recommend_ebt(stream: &Bitstream, bitwidth: u32, epsilon: f64) -> u32 {
+    let len = crate::stream_len(bitwidth);
+    assert_eq!(stream.len() as u64, len, "stream length must match the bitwidth");
+    let final_value = stream.unipolar_value();
+    for ebt in 1..bitwidth {
+        let prefix_len = (1usize << (ebt - 1)).min(stream.len());
+        let ones = stream.iter().take(prefix_len).filter(|&b| b).count();
+        let running = ones as f64 / prefix_len as f64;
+        if (running - final_value).abs() <= epsilon {
+            return ebt;
+        }
+    }
+    bitwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::{encode_unipolar, TemporalEncoder};
+    use crate::rng::SobolSource;
+
+    #[test]
+    fn constant_streams_are_fully_stable() {
+        let ones = Bitstream::ones(128);
+        let s = stability(&ones, 0.01);
+        assert_eq!(s.stabilization_bits, 0);
+        assert!((s.normalized - 1.0).abs() < 1e-12);
+        let zeros = Bitstream::zeros(128);
+        assert!((stability(&zeros, 0.01).normalized - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_trivially_stable() {
+        assert_eq!(stability(&Bitstream::new(), 0.1).normalized, 1.0);
+    }
+
+    #[test]
+    fn rate_coding_is_more_stable_than_temporal() {
+        // The structural reason rate coding early-terminates safely
+        // (Section II-B3) and temporal coding does not.
+        let magnitude = 77;
+        let rate = encode_unipolar(magnitude, 8, SobolSource::dimension(0, 7))
+            .expect("valid encode");
+        let temporal = TemporalEncoder::unipolar(magnitude, 8).stream();
+        let sr = stability(&rate, 0.05);
+        let st = stability(&temporal, 0.05);
+        assert!(
+            sr.normalized > st.normalized + 0.2,
+            "rate {} vs temporal {}",
+            sr.normalized,
+            st.normalized
+        );
+    }
+
+    #[test]
+    fn looser_bounds_raise_stability() {
+        let rate =
+            encode_unipolar(90, 8, SobolSource::dimension(1, 7)).expect("valid encode");
+        let tight = stability(&rate, 0.01);
+        let loose = stability(&rate, 0.2);
+        assert!(loose.normalized >= tight.normalized);
+    }
+
+    #[test]
+    fn recommend_ebt_finds_early_point_for_rate_coding() {
+        let rate =
+            encode_unipolar(64, 8, SobolSource::dimension(0, 7)).expect("valid encode");
+        let ebt = recommend_ebt(&rate, 8, 0.05);
+        assert!(ebt < 8, "rate coding should admit early termination, got EBT {ebt}");
+    }
+
+    #[test]
+    fn recommend_ebt_refuses_temporal_coding() {
+        // A mid-range temporal stream's prefixes are all-ones — far from
+        // the final value — so the advisor returns the full bitwidth.
+        let temporal = TemporalEncoder::unipolar(64, 8).stream();
+        assert_eq!(recommend_ebt(&temporal, 8, 0.05), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream length")]
+    fn recommend_ebt_checks_length() {
+        let _ = recommend_ebt(&Bitstream::ones(10), 8, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_rejected() {
+        let _ = stability(&Bitstream::ones(4), -0.1);
+    }
+}

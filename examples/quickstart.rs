@@ -1,0 +1,48 @@
+//! Quickstart: run one GEMM through the uSystolic array and compare it
+//! against the exact floating-point reference.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use usystolic::arch::{ComputingScheme, GemmExecutor, SystolicConfig};
+use usystolic::gemm::loopnest::gemm_reference;
+use usystolic::gemm::stats::ErrorStats;
+use usystolic::gemm::{FeatureMap, GemmConfig, WeightSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small convolution: 8×8×4 input, 3×3 kernels, 8 output channels.
+    let gemm = GemmConfig::conv(8, 8, 4, 3, 3, 1, 8)?;
+    println!("GEMM: {gemm}");
+
+    // Deterministic pseudo-random tensors in [-1, 1].
+    let input = FeatureMap::from_fn(8, 8, 4, |h, w, c| {
+        (((h * 31 + w * 7 + c * 3) % 17) as f64 / 8.5) - 1.0
+    });
+    let weights = WeightSet::from_fn(8, 3, 3, 4, |oc, wh, ww, ic| {
+        ((((oc * 13 + wh * 5 + ww * 11 + ic) % 23) as f64 / 23.0) - 0.5) * 0.6
+    });
+
+    // The exact reference (Algorithm 1 of the paper, in f64).
+    let reference = gemm_reference(&gemm, &input, &weights)?;
+
+    // An 8-bit rate-coded uSystolic array in the paper's edge shape
+    // (12×14, Eyeriss), early-terminated to 32 multiply cycles.
+    let config = SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(32)?;
+    println!("Array: {config}");
+    let outcome = GemmExecutor::new(config).execute(&gemm, &input, &weights)?;
+
+    let err = ErrorStats::compare(reference.as_slice(), outcome.output.as_slice())?;
+    println!("uSystolic vs FP64 reference: {err}");
+    println!(
+        "MAC windows: {}, OREG saturations: {}",
+        outcome.stats.mac_windows, outcome.stats.saturation_events
+    );
+
+    // The same GEMM on the exact binary-parallel baseline for comparison.
+    let bp = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+    let bp_out = GemmExecutor::new(bp).execute(&gemm, &input, &weights)?;
+    let bp_err = ErrorStats::compare(reference.as_slice(), bp_out.output.as_slice())?;
+    println!("Binary parallel (8-bit quantisation only): {bp_err}");
+    Ok(())
+}

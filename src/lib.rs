@@ -1,0 +1,37 @@
+//! # uSystolic — byte-crawling unary systolic array
+//!
+//! Facade crate for the reproduction of *"uSystolic: Byte-Crawling Unary
+//! Systolic Array"* (Wu & San Miguel, HPCA 2022). It re-exports the
+//! workspace crates under stable module names:
+//!
+//! * [`unary`] — unary computing substrate (bitstreams, Sobol/LFSR RNGs,
+//!   rate/temporal coding, uMUL, SCC, early termination).
+//! * [`gemm`] — GEMM configuration (Table II), reference loop nest,
+//!   tensors and fixed-point quantisation.
+//! * [`arch`] — functional systolic arrays: the uSystolic PE array plus the
+//!   binary parallel, binary serial and uGEMM-H baselines.
+//! * [`sim`] — the uSystolic-Sim substitute: weight-stationary timing,
+//!   SRAM/DRAM memory hierarchy, per-layer bandwidth and runtime.
+//! * [`hw`] — hardware cost models (area, leakage/dynamic energy, power,
+//!   efficiency) standing in for Design Compiler + CACTI.
+//! * [`models`] — DNN workload zoo (AlexNet, ResNet18, MNIST CNN,
+//!   MLPerf-like suite) and a pure-Rust CNN trainer.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use usystolic::arch::{ComputingScheme, SystolicConfig};
+//! use usystolic::gemm::GemmConfig;
+//!
+//! // An 8-bit uSystolic rate-coded array in the paper's edge shape.
+//! let config = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+//! let gemm = GemmConfig::matmul(4, 6, 5);
+//! # let _ = (config, gemm);
+//! ```
+
+pub use usystolic_core as arch;
+pub use usystolic_gemm as gemm;
+pub use usystolic_hw as hw;
+pub use usystolic_models as models;
+pub use usystolic_sim as sim;
+pub use usystolic_unary as unary;

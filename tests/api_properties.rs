@@ -1,0 +1,105 @@
+//! Property tests for the auxiliary public APIs: skew FIFOs, padding,
+//! CSV tables and the confusion matrix.
+
+use proptest::prelude::*;
+use usystolic::arch::{DelayLine, SkewBank, SkewOrder};
+use usystolic::gemm::pad::{pad_feature_map, padded_conv};
+use usystolic::gemm::FeatureMap;
+use usystolic::models::dataset::{Dataset, CLASSES};
+use usystolic::models::ConfusionMatrix;
+
+proptest! {
+    /// A delay line is exactly a `depth`-shift of its input.
+    #[test]
+    fn delay_line_shifts(depth in 0usize..16, data in proptest::collection::vec(any::<i32>(), 1..64)) {
+        let mut line = DelayLine::new(depth, 0i32);
+        let out: Vec<i32> = data.iter().map(|&v| line.push(v)).collect();
+        for (i, &o) in out.iter().enumerate() {
+            if i < depth {
+                prop_assert_eq!(o, 0);
+            } else {
+                prop_assert_eq!(o, data[i - depth]);
+            }
+        }
+    }
+
+    /// Ascending-then-descending skew banks are an identity with
+    /// `lanes − 1` latency, for arbitrary lane counts and payloads.
+    #[test]
+    fn skew_unskew_identity(lanes in 1usize..10, frames in 1usize..12, seed in any::<u32>()) {
+        let mut skew = SkewBank::new(lanes, SkewOrder::Ascending, 0i64);
+        let mut unskew = SkewBank::new(lanes, SkewOrder::Descending, 0i64);
+        let vectors: Vec<Vec<i64>> = (0..frames)
+            .map(|f| (0..lanes).map(|l| i64::from(seed) + (f * lanes + l) as i64).collect())
+            .collect();
+        let mut outs = Vec::new();
+        for v in &vectors {
+            outs.push(unskew.push(&skew.push(v)));
+        }
+        for _ in 0..lanes.saturating_sub(1) {
+            outs.push(unskew.push(&skew.push(&vec![0; lanes])));
+        }
+        for (f, v) in vectors.iter().enumerate() {
+            prop_assert_eq!(&outs[f + lanes - 1], v, "frame {}", f);
+        }
+    }
+
+    /// Padding preserves every interior element and adds an exact zero
+    /// border; the padded conv config reproduces the standard output size.
+    #[test]
+    fn padding_properties(h in 1usize..8, w in 1usize..8, c in 1usize..4, pad in 0usize..4) {
+        let fm = FeatureMap::from_fn(h, w, c, |hh, ww, cc| (hh * 100 + ww * 10 + cc) as i64 + 1);
+        let p = pad_feature_map(&fm, pad);
+        prop_assert_eq!(p.height(), h + 2 * pad);
+        prop_assert_eq!(p.width(), w + 2 * pad);
+        for hh in 0..h {
+            for ww in 0..w {
+                for cc in 0..c {
+                    prop_assert_eq!(p[(hh + pad, ww + pad, cc)], fm[(hh, ww, cc)]);
+                }
+            }
+        }
+        // Border sums to zero.
+        let interior: i64 = fm.as_slice().iter().sum();
+        let total: i64 = p.as_slice().iter().sum();
+        prop_assert_eq!(interior, total);
+        // Config formula.
+        if h >= 3 && w >= 3 {
+            let cfg = padded_conv(h, w, c, 3, 3, 1, pad, 2).expect("valid");
+            prop_assert_eq!(cfg.output_height(), (h + 2 * pad - 3) + 1);
+        }
+    }
+
+    /// CSV output always has `rows + 2` lines and a stable column count.
+    #[test]
+    fn csv_is_rectangular(rows in 0usize..10, cols in 1usize..6) {
+        use usystolic_bench::Table;
+        let headers: Vec<String> = (0..cols).map(|c| format!("h{c}")).collect();
+        let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new("prop", &refs);
+        for r in 0..rows {
+            t.push_row((0..cols).map(|c| format!("{r}:{c}")).collect());
+        }
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        prop_assert_eq!(lines.len(), rows + 2);
+        for line in &lines[1..] {
+            prop_assert_eq!(line.split(',').count(), cols);
+        }
+    }
+
+    /// The confusion matrix conserves sample counts and its accuracy
+    /// equals the fraction of fixed-point predictions that match.
+    #[test]
+    fn confusion_matrix_conserves(per_class in 1usize..6, offset in 0usize..10) {
+        let d = Dataset::generate(per_class, 0.1, 7);
+        let cm = ConfusionMatrix::build(&d, |s| (s.label + offset) % CLASSES);
+        let total: u32 = (0..CLASSES)
+            .flat_map(|t| (0..CLASSES).map(move |p| (t, p)))
+            .map(|(t, p)| cm.count(t, p))
+            .sum();
+        prop_assert_eq!(total as usize, d.len());
+        let expect = if offset % CLASSES == 0 { 1.0 } else { 0.0 };
+        prop_assert!((cm.accuracy() - expect).abs() < 1e-12);
+    }
+}

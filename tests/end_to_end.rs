@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: full GEMMs through every computing
+//! scheme, checked against the exact reference, plus network-level
+//! simulation consistency.
+
+use usystolic::arch::{ComputingScheme, GemmExecutor, SystolicConfig};
+use usystolic::gemm::loopnest::gemm_reference;
+use usystolic::gemm::stats::ErrorStats;
+use usystolic::gemm::{FeatureMap, GemmConfig, WeightSet};
+use usystolic::hw::evaluate_network;
+use usystolic::models::zoo::alexnet;
+use usystolic::sim::MemoryHierarchy;
+
+fn test_case(seed: u64) -> (GemmConfig, FeatureMap<f64>, WeightSet<f64>) {
+    let gemm = GemmConfig::conv(7, 7, 3, 3, 3, 1, 5).expect("valid test shape");
+    let s = seed as usize;
+    let input = FeatureMap::from_fn(7, 7, 3, |h, w, c| {
+        (((h * 31 + w * 17 + c * 7 + s) % 29) as f64 / 14.5) - 1.0
+    });
+    let weights = WeightSet::from_fn(5, 3, 3, 3, |oc, wh, ww, ic| {
+        ((((oc * 19 + wh * 11 + ww * 5 + ic * 3 + s) % 23) as f64 / 23.0) - 0.5) * 0.7
+    });
+    (gemm, input, weights)
+}
+
+#[test]
+fn all_schemes_track_the_reference_end_to_end() {
+    let (gemm, input, weights) = test_case(1);
+    let reference = gemm_reference(&gemm, &input, &weights).expect("shapes match");
+    let scale = reference.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    for scheme in ComputingScheme::ALL {
+        let cfg = SystolicConfig::new(8, 5, scheme, 8).expect("valid configuration");
+        let out = GemmExecutor::new(cfg)
+            .execute(&gemm, &input, &weights)
+            .expect("execution succeeds");
+        let err = ErrorStats::compare(reference.as_slice(), out.output.as_slice())
+            .expect("equal shapes");
+        assert!(
+            err.rmse() < 0.15 * scale,
+            "{scheme}: rmse {} vs scale {scale}",
+            err.rmse()
+        );
+    }
+}
+
+#[test]
+fn array_shape_does_not_change_results() {
+    // Folding is value-preserving for every scheme: a 3×2 array computes
+    // exactly what a 16×16 array computes.
+    let (gemm, input, weights) = test_case(2);
+    for scheme in ComputingScheme::ALL {
+        let small = GemmExecutor::new(
+            SystolicConfig::new(3, 2, scheme, 8).expect("valid configuration"),
+        )
+        .execute(&gemm, &input, &weights)
+        .expect("small array executes");
+        let large = GemmExecutor::new(
+            SystolicConfig::new(16, 16, scheme, 8).expect("valid configuration"),
+        )
+        .execute(&gemm, &input, &weights)
+        .expect("large array executes");
+        let diff = small
+            .output
+            .as_slice()
+            .iter()
+            .zip(large.output.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-9, "{scheme}: max diff {diff}");
+    }
+}
+
+#[test]
+fn wider_data_improves_every_scheme() {
+    let (gemm, input, weights) = test_case(3);
+    let reference = gemm_reference(&gemm, &input, &weights).expect("shapes match");
+    for scheme in [
+        ComputingScheme::BinaryParallel,
+        ComputingScheme::UnaryRate,
+        ComputingScheme::UnaryTemporal,
+    ] {
+        let rmse_at = |bits: u32| {
+            let cfg = SystolicConfig::new(8, 5, scheme, bits).expect("valid configuration");
+            let out = GemmExecutor::new(cfg)
+                .execute(&gemm, &input, &weights)
+                .expect("execution succeeds");
+            ErrorStats::compare(reference.as_slice(), out.output.as_slice())
+                .expect("equal shapes")
+                .rmse()
+        };
+        let narrow = rmse_at(6);
+        let wide = rmse_at(10);
+        assert!(
+            wide < narrow,
+            "{scheme}: 10-bit rmse {wide} should beat 6-bit {narrow}"
+        );
+    }
+}
+
+#[test]
+fn alexnet_evaluates_under_every_design() {
+    // A smoke pass of the full hardware stack over all 8 AlexNet layers.
+    let layers = alexnet().gemms();
+    for scheme in ComputingScheme::ALL {
+        let cfg = SystolicConfig::edge(scheme, 8);
+        let memory = if scheme.is_unary() {
+            MemoryHierarchy::no_sram()
+        } else {
+            MemoryHierarchy::edge_with_sram()
+        };
+        let evals = evaluate_network(&cfg, &memory, &layers);
+        assert_eq!(evals.len(), 8);
+        for (ev, gemm) in evals.iter().zip(&layers) {
+            assert!(ev.report.runtime_s > 0.0, "{scheme} {gemm}");
+            assert!(ev.energy.total_j() > ev.energy.on_chip_j());
+            assert!(ev.power.total_w() > 0.0);
+            assert!(ev.report.timing.runtime_cycles >= ev.report.timing.ideal_cycles);
+        }
+    }
+}
+
+#[test]
+fn executor_surfaces_shape_errors() {
+    let (gemm, input, _) = test_case(4);
+    let wrong_weights = WeightSet::<f64>::zeros(5, 2, 2, 3); // wrong kernel
+    let exec = GemmExecutor::new(
+        SystolicConfig::new(4, 4, ComputingScheme::UnaryRate, 8).expect("valid configuration"),
+    );
+    assert!(exec.execute(&gemm, &input, &wrong_weights).is_err());
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate exposes every subsystem under stable names.
+    let _ = usystolic::unary::stream_len(8);
+    let _ = usystolic::gemm::GemmConfig::matmul(1, 2, 3).expect("valid");
+    let _ = usystolic::arch::ComputingScheme::ALL;
+    let _ = usystolic::sim::MemoryHierarchy::no_sram();
+    let _ = usystolic::hw::tech::GE_AREA_UM2;
+    let _ = usystolic::models::mlperf::mlperf_gemms().len();
+}

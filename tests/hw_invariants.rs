@@ -1,0 +1,135 @@
+//! Conservation and monotonicity invariants of the hardware cost models,
+//! swept across schemes, bitwidths and shapes.
+
+use usystolic::arch::{ComputingScheme, SystolicConfig};
+use usystolic::gemm::GemmConfig;
+use usystolic::hw::{evaluate_layer, ArrayArea, OnChipArea, PeComponents};
+use usystolic::sim::MemoryHierarchy;
+
+#[test]
+fn area_grows_with_bitwidth_for_every_scheme() {
+    for scheme in ComputingScheme::ALL {
+        let mut last = 0.0;
+        for bits in [4u32, 8, 12, 16] {
+            let a = ArrayArea::for_config(&SystolicConfig::edge(scheme, bits)).total_mm2();
+            assert!(a > last, "{scheme} at {bits} bits: {a} vs {last}");
+            last = a;
+        }
+    }
+}
+
+#[test]
+fn area_scales_with_pe_count() {
+    for scheme in ComputingScheme::ALL {
+        let edge = ArrayArea::for_config(&SystolicConfig::edge(scheme, 8)).total_mm2();
+        let cloud = ArrayArea::for_config(&SystolicConfig::cloud(scheme, 8)).total_mm2();
+        let ratio = cloud / edge;
+        let pe_ratio = (256.0 * 256.0) / (12.0 * 14.0);
+        // Per-PE areas differ slightly between shapes (leftmost-column
+        // amortisation), so the ratio brackets the PE ratio loosely.
+        assert!(
+            ratio > pe_ratio * 0.7 && ratio < pe_ratio * 1.3,
+            "{scheme}: area ratio {ratio} vs PE ratio {pe_ratio}"
+        );
+    }
+}
+
+#[test]
+fn pe_breakdown_components_are_positive() {
+    for scheme in ComputingScheme::ALL {
+        for bits in [4u32, 8, 16] {
+            let pe = PeComponents::for_config(&SystolicConfig::edge(scheme, bits));
+            assert!(pe.ireg_ge > 0.0, "{scheme} {bits}");
+            assert!(pe.wreg_ge > 0.0, "{scheme} {bits}");
+            assert!(pe.mul_ge > 0.0, "{scheme} {bits}");
+            assert!(pe.acc_ge > 0.0, "{scheme} {bits}");
+            let sum = pe.ireg_ge + pe.wreg_ge + pe.mul_ge + pe.acc_ge;
+            assert!((sum - pe.total_ge()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn energy_components_conserve() {
+    let gemm = GemmConfig::conv(13, 13, 32, 3, 3, 1, 48).expect("valid layer");
+    for scheme in ComputingScheme::ALL {
+        for mem in [MemoryHierarchy::edge_with_sram(), MemoryHierarchy::no_sram()] {
+            let cfg = SystolicConfig::edge(scheme, 8);
+            let ev = evaluate_layer(&cfg, &mem, &gemm);
+            let e = ev.energy;
+            assert!(
+                (e.on_chip_j() - e.sa_j() - e.sram_j()).abs() < 1e-15,
+                "{scheme}"
+            );
+            assert!((e.total_j() - e.on_chip_j() - e.dram_dynamic_j).abs() < 1e-15);
+            if !mem.has_sram() {
+                assert_eq!(e.sram_j(), 0.0, "{scheme}: SRAM energy without SRAM");
+            }
+            // Power × runtime ≡ energy.
+            let p = ev.power;
+            assert!(
+                (p.total_w() * ev.report.runtime_s - e.total_j()).abs() / e.total_j()
+                    < 1e-9
+            );
+        }
+    }
+}
+
+#[test]
+fn efficiency_is_reciprocal_consistent() {
+    let gemm = GemmConfig::matmul(4, 96, 64).expect("valid layer");
+    let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+    let mem = MemoryHierarchy::no_sram();
+    let ev = evaluate_layer(&cfg, &mem, &gemm);
+    // power_eff = throughput / power = 1 / energy.
+    let expect = 1.0 / ev.energy.on_chip_j();
+    assert!(
+        (ev.on_chip_efficiency.power_eff - expect).abs() / expect < 1e-9,
+        "{} vs {}",
+        ev.on_chip_efficiency.power_eff,
+        expect
+    );
+    // energy_eff = throughput / energy.
+    let expect = ev.report.throughput_per_s / ev.energy.on_chip_j();
+    assert!((ev.on_chip_efficiency.energy_eff - expect).abs() / expect < 1e-9);
+}
+
+#[test]
+fn leakage_energy_scales_with_runtime() {
+    // Same design, bigger layer → proportionally more leakage energy.
+    let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+    let mem = MemoryHierarchy::no_sram();
+    let small = GemmConfig::matmul(4, 24, 28).expect("valid layer");
+    let large = GemmConfig::matmul(8, 24, 28).expect("valid layer");
+    let e_small = evaluate_layer(&cfg, &mem, &small);
+    let e_large = evaluate_layer(&cfg, &mem, &large);
+    let ratio_runtime = e_large.report.runtime_s / e_small.report.runtime_s;
+    let ratio_leak = e_large.energy.sa_leakage_j / e_small.energy.sa_leakage_j;
+    assert!((ratio_runtime - ratio_leak).abs() < 1e-9);
+}
+
+#[test]
+fn on_chip_area_includes_sram_iff_present() {
+    let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+    let with = OnChipArea::for_config(&cfg, &MemoryHierarchy::edge_with_sram());
+    let without = OnChipArea::for_config(&cfg, &MemoryHierarchy::no_sram());
+    assert!(with.sram_mm2 > 0.0);
+    assert_eq!(without.sram_mm2, 0.0);
+    assert!(
+        (with.total_mm2() - without.total_mm2() - with.sram_mm2).abs() < 1e-12,
+        "SA area must be memory-independent"
+    );
+}
+
+#[test]
+fn custom_sram_capacities_interpolate() {
+    // Area grows monotonically across the §V-G capacity sweep.
+    let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+    let mut last = -1.0;
+    for bytes in [0u64, 16 << 10, 64 << 10, 1 << 20, 8 << 20] {
+        let area = OnChipArea::for_config(&cfg, &MemoryHierarchy::with_sram_capacity(bytes))
+            .total_mm2();
+        assert!(area > last, "{bytes} bytes: {area} vs {last}");
+        last = area;
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based fuzzing of the ISA processor: arbitrary instruction
+//! sequences must never panic — they either execute or return a typed
+//! sequencing error — and valid programs always match the direct
+//! executor.
+
+use proptest::prelude::*;
+use usystolic::arch::{
+    ComputingScheme, GemmExecutor, Instruction, Processor, Program, ProgramBuilder,
+    SystolicConfig,
+};
+use usystolic::gemm::{GemmConfig, Matrix};
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (0u64..300).prop_map(|mac_cycles| Instruction::SetMacCycles { mac_cycles }),
+        (0u32..6, 0u32..6)
+            .prop_map(|(row_fold, col_fold)| Instruction::LoadWeights { row_fold, col_fold }),
+        any::<bool>().prop_map(|accumulate| Instruction::MatMul { accumulate }),
+        (0u32..6).prop_map(|col_fold| Instruction::DrainOutputs { col_fold }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary instruction streams never panic.
+    #[test]
+    fn arbitrary_programs_never_panic(
+        instructions in proptest::collection::vec(arb_instruction(), 0..12)
+    ) {
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::BinaryParallel, 8)
+            .expect("valid configuration");
+        let gemm = GemmConfig::matmul(2, 7, 5).expect("valid shape");
+        let input = Matrix::from_fn(2, 7, |p, k| (p + k) as i64 - 3);
+        let weights = Matrix::from_fn(7, 5, |k, n| (k * n) as i64 % 9 - 4);
+        let program = Program::from_instructions(instructions);
+        // Either Ok or a typed IsaError — both acceptable; panics are not.
+        let _ = Processor::new(cfg, gemm).run(&program, &input, &weights);
+    }
+
+    /// Compiled programs always run and match the direct executor, for
+    /// random GEMM shapes and array shapes.
+    #[test]
+    fn compiled_programs_always_match(
+        m in 1usize..5, k in 1usize..20, n in 1usize..20,
+        rows in 1usize..7, cols in 1usize..7,
+        seed in any::<u32>(),
+    ) {
+        let cfg = SystolicConfig::new(rows, cols, ComputingScheme::BinaryParallel, 8)
+            .expect("valid configuration");
+        let gemm = GemmConfig::matmul(m, k, n).expect("valid shape");
+        let s = seed as usize;
+        let input = Matrix::from_fn(m, k, |p, kk| ((p * k + kk + s) % 31) as i64 - 15);
+        let weights = Matrix::from_fn(k, n, |kk, c| ((kk * n + c + s) % 29) as i64 - 14);
+        let program = ProgramBuilder::new(cfg).compile(&gemm);
+        let via_isa = Processor::new(cfg, gemm)
+            .run(&program, &input, &weights)
+            .expect("compiled programs are always valid");
+        let (direct, _) = GemmExecutor::new(cfg)
+            .execute_lowered(&gemm, &input, &weights)
+            .expect("direct execution succeeds");
+        prop_assert_eq!(via_isa, direct);
+    }
+}

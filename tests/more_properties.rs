@@ -1,0 +1,105 @@
+//! Property-based tests for the extension modules: dataflows, jitter
+//! slack, stability, CORDIV and the differential checker.
+
+use proptest::prelude::*;
+use usystolic::arch::{ComputingScheme, SystolicConfig};
+use usystolic::gemm::GemmConfig;
+use usystolic::sim::{ideal_cycles_with, layer_traffic_with, Dataflow, SlackBudget};
+use usystolic::unary::coding::encode_unipolar;
+use usystolic::unary::rng::SobolSource;
+use usystolic::unary::stability::{recommend_ebt, stability};
+
+proptest! {
+    /// Both dataflows schedule exactly the same MAC work: streamed ×
+    /// stationary × reduction volumes agree with the GEMM's MAC count.
+    #[test]
+    fn dataflows_conserve_macs(m in 1usize..30, k in 1usize..60, n in 1usize..60) {
+        let gemm = GemmConfig::matmul(m, k, n).expect("valid shape");
+        prop_assert_eq!(gemm.macs(), (m * k * n) as u64);
+        // Compute cycles of each dataflow are at least streamed × mac and
+        // finite.
+        let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        for df in [Dataflow::WeightStationary, Dataflow::InputStationary] {
+            let c = ideal_cycles_with(&gemm, &cfg, df);
+            prop_assert!(c > 0);
+        }
+    }
+
+    /// Dataflow traffic mirrors: WS weight bytes == IS IFM-once bytes
+    /// relation — each dataflow reads its stationary operand exactly once.
+    #[test]
+    fn stationary_operand_read_once(m in 1usize..20, k in 1usize..40, n in 1usize..40) {
+        let gemm = GemmConfig::matmul(m, k, n).expect("valid shape");
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+        let ws = layer_traffic_with(&gemm, &cfg, Dataflow::WeightStationary);
+        let is = layer_traffic_with(&gemm, &cfg, Dataflow::InputStationary);
+        prop_assert_eq!(ws.dram.weight, (k * n) as u64);
+        prop_assert_eq!(is.dram.ifm, (m * k) as u64);
+        // And the streamed operand is read at least once.
+        prop_assert!(ws.dram.ifm >= (m * k) as u64);
+        prop_assert!(is.dram.weight >= (k * n) as u64);
+    }
+
+    /// Jitter slack: stall is zero up to the tolerated jitter and then
+    /// linear; expected stall is monotone in the jitter bound.
+    #[test]
+    fn jitter_slack_properties(cycles_exp in 0u32..4, jitter in 0u64..300) {
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(16 << cycles_exp)
+            .expect("valid EBT");
+        let b = SlackBudget::for_config(&cfg);
+        if jitter <= b.tolerated_jitter() {
+            prop_assert_eq!(b.stall_for(jitter), 0);
+        } else {
+            prop_assert_eq!(b.stall_for(jitter), jitter - b.tolerated_jitter());
+        }
+        prop_assert!(b.expected_stall(jitter) <= b.expected_stall(jitter + 10));
+        let r = b.throughput_retention(jitter);
+        prop_assert!(r > 0.0 && r <= 1.0);
+    }
+
+    /// Stability is monotone in epsilon and bounded in [0, 1].
+    #[test]
+    fn stability_bounds(magnitude in 0u64..=128, eps in 0.0f64..0.5) {
+        let bs = encode_unipolar(magnitude, 8, SobolSource::dimension(0, 7))
+            .expect("valid encode");
+        let s = stability(&bs, eps);
+        prop_assert!((0.0..=1.0).contains(&s.normalized));
+        let looser = stability(&bs, eps + 0.1);
+        prop_assert!(looser.normalized >= s.normalized - 1e-12);
+        // The advisor never exceeds the full bitwidth.
+        let ebt = recommend_ebt(&bs, 8, eps);
+        prop_assert!((1..=8).contains(&ebt));
+    }
+
+    /// CORDIV stays within a coarse bound for representative operands.
+    #[test]
+    fn cordiv_bounded(divisor in 32u64..=128, frac in 0.0f64..=1.0) {
+        let dividend = (frac * divisor as f64).round() as u64;
+        let q = usystolic::unary::div::divide(dividend, divisor, 8);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&q));
+        prop_assert!(
+            (q - dividend as f64 / divisor as f64).abs() < 0.15,
+            "{}/{} -> {}", dividend, divisor, q
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The differential checker passes for arbitrary seeds at 8 and 10
+    /// bits — the cross-scheme fuzz the crate exposes publicly.
+    #[test]
+    fn differential_checker_passes(seed in any::<u64>(), wide in any::<bool>()) {
+        let bits = if wide { 10 } else { 8 };
+        let checks = usystolic::arch::differential_check(seed, bits)
+            .expect("check runs");
+        for c in checks {
+            prop_assert!(
+                c.passed,
+                "seed {} {}: rmse {} > tol {}", seed, c.scheme, c.rmse, c.tolerance
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Network-level integration: full model zoo passes through the
+//! simulator + hardware stack, with cross-network and cross-scheme
+//! consistency checks.
+
+use usystolic::arch::{ComputingScheme, SystolicConfig};
+use usystolic::hw::NetworkEvaluation;
+use usystolic::models::zoo::{alexnet, mnist_cnn4, resnet18, vgg16};
+use usystolic::sim::MemoryHierarchy;
+
+fn eval(
+    net_gemms: &[usystolic::gemm::GemmConfig],
+    scheme: ComputingScheme,
+    cycles: Option<u64>,
+) -> NetworkEvaluation {
+    let mut cfg = SystolicConfig::edge(scheme, 8);
+    if let Some(c) = cycles {
+        cfg = cfg.with_mul_cycles(c).expect("valid EBT");
+    }
+    let mem = if scheme.is_unary() {
+        MemoryHierarchy::no_sram()
+    } else {
+        MemoryHierarchy::edge_with_sram()
+    };
+    NetworkEvaluation::evaluate(&cfg, &mem, net_gemms)
+}
+
+#[test]
+fn bigger_networks_take_longer_and_burn_more() {
+    // MNIST-CNN4 < AlexNet < VGG16 in MACs, runtime and total energy
+    // under a fixed design.
+    let nets = [mnist_cnn4(), alexnet(), vgg16()];
+    let evals: Vec<NetworkEvaluation> = nets
+        .iter()
+        .map(|n| eval(&n.gemms(), ComputingScheme::UnaryRate, Some(32)))
+        .collect();
+    for w in evals.windows(2) {
+        assert!(w[0].macs < w[1].macs);
+        assert!(w[0].runtime_s < w[1].runtime_s);
+        assert!(w[0].total_j < w[1].total_j);
+    }
+}
+
+#[test]
+fn every_zoo_network_runs_under_every_scheme() {
+    for net in [mnist_cnn4(), resnet18(), alexnet(), vgg16()] {
+        for scheme in ComputingScheme::ALL {
+            let ev = eval(&net.gemms(), scheme, None);
+            assert_eq!(ev.layers.len(), net.layers.len(), "{} {scheme}", net.name);
+            assert!(ev.runtime_s > 0.0);
+            assert!(ev.on_chip_power_w() > 0.0);
+            for l in &ev.layers {
+                assert!(l.report.utilization > 0.0 && l.report.utilization <= 1.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn unary_on_chip_power_wins_on_every_network() {
+    for net in [mnist_cnn4(), resnet18(), alexnet(), vgg16()] {
+        let bp = eval(&net.gemms(), ComputingScheme::BinaryParallel, None);
+        let ur = eval(&net.gemms(), ComputingScheme::UnaryRate, Some(64));
+        assert!(
+            ur.on_chip_power_w() < bp.on_chip_power_w() / 10.0,
+            "{}: UR {} W vs BP {} W",
+            net.name,
+            ur.on_chip_power_w(),
+            bp.on_chip_power_w()
+        );
+    }
+}
+
+#[test]
+fn early_termination_scales_runtime_across_networks() {
+    for net in [mnist_cnn4(), alexnet()] {
+        let e32 = eval(&net.gemms(), ComputingScheme::UnaryRate, Some(32));
+        let e128 = eval(&net.gemms(), ComputingScheme::UnaryRate, Some(128));
+        let ratio = e128.runtime_s / e32.runtime_s;
+        assert!(
+            (2.5..4.5).contains(&ratio),
+            "{}: runtime ratio {ratio} should be near 129/33",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn resnet18_conv_dominates_its_runtime() {
+    let net = resnet18();
+    let ev = eval(&net.gemms(), ComputingScheme::UnaryRate, Some(64));
+    let fc_runtime: f64 = net
+        .layers
+        .iter()
+        .zip(&ev.layers)
+        .filter(|(l, _)| l.name.starts_with("FC"))
+        .map(|(_, e)| e.report.runtime_s)
+        .sum();
+    assert!(
+        fc_runtime < 0.05 * ev.runtime_s,
+        "ResNet18 FC runtime {fc_runtime} vs total {}",
+        ev.runtime_s
+    );
+}

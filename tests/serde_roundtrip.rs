@@ -1,0 +1,49 @@
+//! Serialisation coverage for the data-structure types (C-SERDE).
+//!
+//! No JSON backend is among the allowed dependencies, so these tests pin
+//! the *capability*: every experiment-facing record implements
+//! `serde::Serialize` (checked at compile time through a generic bound)
+//! and copies are value-identical (no hidden interior state that a
+//! round-trip would lose).
+
+use usystolic::arch::{ComputingScheme, SystolicConfig};
+use usystolic::gemm::GemmConfig;
+use usystolic::hw::evaluate_layer;
+use usystolic::sim::MemoryHierarchy;
+
+fn assert_serializable<T: serde::Serialize>(_: &T) {}
+
+#[test]
+fn evaluation_records_are_serializable_and_stable() {
+    let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+        .with_mul_cycles(64)
+        .expect("valid EBT");
+    let mem = MemoryHierarchy::no_sram();
+    let gemm = GemmConfig::conv(9, 9, 4, 3, 3, 1, 8).expect("valid layer");
+    let ev = evaluate_layer(&cfg, &mem, &gemm);
+
+    // Every experiment-facing record implements Serialize.
+    assert_serializable(&cfg);
+    assert_serializable(&mem);
+    assert_serializable(&gemm);
+    assert_serializable(&ev);
+    assert_serializable(&ev.report);
+    assert_serializable(&ev.energy);
+    assert_serializable(&ev.power);
+    assert_serializable(&ev.area);
+
+    // Clones are value-identical (no hidden interior state).
+    let copy = ev;
+    assert_eq!(format!("{ev:?}"), format!("{copy:?}"));
+}
+
+#[test]
+fn config_types_are_serializable() {
+    assert_serializable(&ComputingScheme::UnaryTemporal);
+    assert_serializable(&usystolic::unary::EarlyTermination::full(8));
+    assert_serializable(&usystolic::unary::coding::Polarity::Bipolar);
+    assert_serializable(&usystolic::unary::coding::Coding::Rate);
+    assert_serializable(&usystolic::sim::Variable::Ifm);
+    let net = usystolic::models::zoo::alexnet();
+    assert_serializable(&net);
+}

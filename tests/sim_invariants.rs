@@ -1,0 +1,157 @@
+//! Conservation and monotonicity invariants of the timing/memory
+//! simulator, checked across a grid of design points and layer shapes.
+
+use usystolic::arch::{ComputingScheme, SystolicConfig};
+use usystolic::gemm::GemmConfig;
+use usystolic::sim::{ideal_cycles, MemoryHierarchy, Simulator};
+
+fn layer_grid() -> Vec<GemmConfig> {
+    vec![
+        GemmConfig::matmul(1, 64, 64).expect("valid"),
+        GemmConfig::matmul(1, 9216, 4096).expect("valid"),
+        GemmConfig::matmul(32, 512, 512).expect("valid"),
+        GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).expect("valid"),
+        GemmConfig::conv(15, 15, 384, 3, 3, 1, 384).expect("valid"),
+        GemmConfig::conv(227, 227, 3, 11, 11, 4, 96).expect("valid"),
+        GemmConfig::conv(5, 5, 1, 3, 3, 2, 2).expect("valid"),
+    ]
+}
+
+fn design_grid() -> Vec<(SystolicConfig, MemoryHierarchy)> {
+    let mut out = Vec::new();
+    for scheme in ComputingScheme::ALL {
+        for (cfg, sram) in [
+            (SystolicConfig::edge(scheme, 8), MemoryHierarchy::edge_with_sram()),
+            (SystolicConfig::cloud(scheme, 8), MemoryHierarchy::cloud_with_sram()),
+        ] {
+            out.push((cfg, sram));
+            out.push((cfg, MemoryHierarchy::no_sram()));
+        }
+    }
+    out
+}
+
+#[test]
+fn runtime_never_beats_ideal() {
+    for (cfg, mem) in design_grid() {
+        let sim = Simulator::new(cfg, mem);
+        for gemm in layer_grid() {
+            let r = sim.simulate(&gemm);
+            assert!(r.timing.runtime_cycles >= r.timing.ideal_cycles, "{cfg} {gemm}");
+            assert_eq!(
+                r.timing.runtime_cycles,
+                r.timing.ideal_cycles + r.timing.stall_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn dram_bandwidth_never_exceeds_sustained_rate() {
+    for (cfg, mem) in design_grid() {
+        let sim = Simulator::new(cfg, mem);
+        let limit = mem.dram.sustained_bytes_per_cycle()
+            * usystolic::sim::CLOCK_HZ
+            / 1.0e9;
+        for gemm in layer_grid() {
+            let r = sim.simulate(&gemm);
+            assert!(
+                r.dram_bandwidth_gbps <= limit * 1.001,
+                "{cfg} {gemm}: {} GB/s over the {limit} GB/s DRAM limit",
+                r.dram_bandwidth_gbps
+            );
+        }
+    }
+}
+
+#[test]
+fn removing_sram_never_reduces_dram_traffic() {
+    for scheme in ComputingScheme::ALL {
+        let cfg = SystolicConfig::edge(scheme, 8);
+        for gemm in layer_grid() {
+            let with =
+                Simulator::new(cfg, MemoryHierarchy::edge_with_sram()).simulate(&gemm);
+            let without = Simulator::new(cfg, MemoryHierarchy::no_sram()).simulate(&gemm);
+            assert!(
+                without.traffic.dram.total() >= with.traffic.dram.total(),
+                "{scheme} {gemm}: no-SRAM traffic {} below with-SRAM {}",
+                without.traffic.dram.total(),
+                with.traffic.dram.total()
+            );
+            assert_eq!(without.traffic.sram.total(), 0);
+        }
+    }
+}
+
+#[test]
+fn longer_mac_intervals_increase_runtime() {
+    for gemm in layer_grid() {
+        let mut last = 0u64;
+        for cycles in [32u64, 64, 128] {
+            let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(cycles)
+                .expect("valid cycle count");
+            let r = Simulator::new(cfg, MemoryHierarchy::no_sram()).simulate(&gemm);
+            assert!(
+                r.timing.runtime_cycles > last,
+                "{gemm}: {cycles}c runtime {} not above previous {last}",
+                r.timing.runtime_cycles
+            );
+            last = r.timing.runtime_cycles;
+        }
+    }
+}
+
+#[test]
+fn ideal_cycles_scale_with_gemm_size() {
+    let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+    let small = GemmConfig::matmul(10, 12, 14).expect("valid");
+    let big = GemmConfig::matmul(20, 12, 14).expect("valid");
+    assert!(ideal_cycles(&big, &cfg) > ideal_cycles(&small, &cfg));
+}
+
+#[test]
+fn bigger_arrays_do_not_slow_layers_down() {
+    // For a fixed compute-bound layer, the cloud array is at least as fast
+    // as the edge array under every scheme.
+    let gemm = GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).expect("valid");
+    for scheme in ComputingScheme::ALL {
+        let edge = Simulator::new(
+            SystolicConfig::edge(scheme, 8),
+            MemoryHierarchy::edge_with_sram(),
+        )
+        .simulate(&gemm);
+        let cloud = Simulator::new(
+            SystolicConfig::cloud(scheme, 8),
+            MemoryHierarchy::cloud_with_sram(),
+        )
+        .simulate(&gemm);
+        assert!(
+            cloud.runtime_s <= edge.runtime_s,
+            "{scheme}: cloud {} vs edge {}",
+            cloud.runtime_s,
+            edge.runtime_s
+        );
+    }
+}
+
+#[test]
+fn sixteen_bit_layers_move_more_bytes() {
+    for scheme in [ComputingScheme::BinaryParallel, ComputingScheme::UnaryRate] {
+        let gemm = GemmConfig::conv(15, 15, 64, 3, 3, 1, 64).expect("valid");
+        let t8 = Simulator::new(
+            SystolicConfig::edge(scheme, 8),
+            MemoryHierarchy::no_sram(),
+        )
+        .simulate(&gemm);
+        let t16 = Simulator::new(
+            SystolicConfig::edge(scheme, 16),
+            MemoryHierarchy::no_sram(),
+        )
+        .simulate(&gemm);
+        assert!(
+            t16.traffic.dram.total() >= 2 * t8.traffic.dram.total(),
+            "{scheme}"
+        );
+    }
+}
