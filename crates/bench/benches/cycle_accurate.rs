@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use usystolic_core::{
-    cycle_accurate_gemm, ComputingScheme, GemmExecutor, SystolicConfig,
-};
+use usystolic_core::{cycle_accurate_gemm, ComputingScheme, GemmExecutor, SystolicConfig};
 use usystolic_gemm::im2col;
 use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
 

@@ -31,9 +31,7 @@ fn bench_schemes(c: &mut Criterion) {
             SystolicConfig::new(12, 14, scheme, 8).expect("valid bench configuration"),
         );
         group.bench_function(scheme.label(), |b| {
-            b.iter(|| {
-                black_box(exec.execute(&gemm, &input, &weights).expect("shapes match"))
-            })
+            b.iter(|| black_box(exec.execute(&gemm, &input, &weights).expect("shapes match")))
         });
     }
     group.finish();
@@ -50,9 +48,7 @@ fn bench_early_termination(c: &mut Criterion) {
                 .expect("valid cycle count"),
         );
         group.bench_function(format!("unary_{cycles}c"), |b| {
-            b.iter(|| {
-                black_box(exec.execute(&gemm, &input, &weights).expect("shapes match"))
-            })
+            b.iter(|| black_box(exec.execute(&gemm, &input, &weights).expect("shapes match")))
         });
     }
     group.finish();

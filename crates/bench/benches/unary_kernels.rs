@@ -54,7 +54,11 @@ fn bench_umul(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     (
-                        UnipolarMul::new(len / 3, bitwidth, SobolSource::dimension(0, bitwidth - 1)),
+                        UnipolarMul::new(
+                            len / 3,
+                            bitwidth,
+                            SobolSource::dimension(0, bitwidth - 1),
+                        ),
                         RateEncoder::unipolar(
                             len / 2,
                             bitwidth,

@@ -12,8 +12,6 @@
 //!    product representations.
 
 use crate::table::{fmt_sig, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use usystolic_core::{ComputingScheme, GemmExecutor, SystolicConfig};
 use usystolic_gemm::loopnest::gemm_reference;
 use usystolic_gemm::stats::ErrorStats;
@@ -22,6 +20,7 @@ use usystolic_hw::LayerEnergy;
 use usystolic_sim::{MemoryHierarchy, Simulator};
 use usystolic_unary::coding::RateEncoder;
 use usystolic_unary::mul::UnipolarMul;
+use usystolic_unary::rng::SplitMix64;
 use usystolic_unary::rng::{LfsrSource, NumberSource, SobolSource};
 
 /// Mean absolute uMUL product error (in counts, over the full stream) for
@@ -38,11 +37,11 @@ where
     E: NumberSource,
 {
     let len = usystolic_unary::stream_len(bitwidth);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut total = 0.0;
     for _ in 0..samples {
-        let w = rng.gen_range(0..=len);
-        let i = rng.gen_range(0..=len);
+        let w = rng.below(len + 1);
+        let i = rng.below(len + 1);
         let mut mul = UnipolarMul::new(w, bitwidth, weight_src());
         let mut enc = RateEncoder::unipolar(i, bitwidth, enable_src());
         let ones = (0..len).filter(|_| mul.step(enc.next_bit())).count() as f64;
@@ -80,10 +79,9 @@ pub fn rng_quality(bitwidth: u32, samples: usize) -> Table {
 
 fn ablation_case() -> (GemmConfig, FeatureMap<f64>, WeightSet<f64>) {
     let gemm = GemmConfig::conv(8, 8, 4, 3, 3, 1, 8).expect("valid ablation shape");
-    let mut rng = StdRng::seed_from_u64(77);
-    let input = FeatureMap::from_fn(8, 8, 4, |_, _, _| rng.gen::<f64>() * 2.0 - 1.0);
-    let weights =
-        WeightSet::from_fn(8, 3, 3, 4, |_, _, _, _| (rng.gen::<f64>() * 2.0 - 1.0) * 0.3);
+    let mut rng = SplitMix64::new(77);
+    let input = FeatureMap::from_fn(8, 8, 4, |_, _, _| rng.next_f64() * 2.0 - 1.0);
+    let weights = WeightSet::from_fn(8, 3, 3, 4, |_, _, _, _| (rng.next_f64() * 2.0 - 1.0) * 0.3);
     (gemm, input, weights)
 }
 
@@ -126,11 +124,11 @@ pub fn error_propagation(depth: usize) -> Table {
     use usystolic_gemm::loopnest::gemm_reference;
     let width = 12usize;
     let gemm = GemmConfig::matmul(1, width, width).expect("valid chain layer");
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::new(99);
     let layer_weights: Vec<WeightSet<f64>> = (0..depth)
         .map(|_| {
             WeightSet::from_fn(width, 1, 1, width, |_, _, _, _| {
-                (rng.gen::<f64>() * 2.0 - 1.0) * 0.5
+                (rng.next_f64() * 2.0 - 1.0) * 0.5
             })
         })
         .collect();
@@ -149,14 +147,12 @@ pub fn error_propagation(depth: usize) -> Table {
     let mut reference = x0.clone();
     let mut states: Vec<FeatureMap<f64>> = vec![x0.clone(); schemes.len()];
     for (layer, weights) in layer_weights.iter().enumerate() {
-        let squash = |fm: &FeatureMap<f64>| {
-            FeatureMap::from_fn(1, 1, width, |_, _, k| fm[(0, 0, k)].tanh())
-        };
+        let squash =
+            |fm: &FeatureMap<f64>| FeatureMap::from_fn(1, 1, width, |_, _, k| fm[(0, 0, k)].tanh());
         reference = squash(&gemm_reference(&gemm, &reference, weights).expect("shapes match"));
         let mut row = vec![format!("L{}", layer + 1)];
         for (si, &scheme) in schemes.iter().enumerate() {
-            let cfg =
-                SystolicConfig::new(12, 12, scheme, 8).expect("valid chain configuration");
+            let cfg = SystolicConfig::new(12, 12, scheme, 8).expect("valid chain configuration");
             let out = GemmExecutor::new(cfg)
                 .execute(&gemm, &states[si], weights)
                 .expect("chain layer executes");
@@ -185,7 +181,7 @@ pub fn fault_tolerance(bitwidth: u32, samples: usize) -> Table {
         format!("Ablation: mean |error| under bit flips ({bitwidth}-bit products)"),
         &["flips", "unary (counts)", "binary (counts)"],
     );
-    let mut rng = StdRng::seed_from_u64(123);
+    let mut rng = SplitMix64::new(123);
     for flips in [1usize, 2, 4, 8] {
         let mut unary_err = 0.0f64;
         let mut binary_err = 0.0f64;
@@ -196,8 +192,8 @@ pub fn fault_tolerance(bitwidth: u32, samples: usize) -> Table {
             for _ in 0..flips {
                 // Flipping a 1 → −1, a 0 → +1; positions are uniform so the
                 // sign follows the stream's ones-density.
-                let product = rng.gen_range(0..=len);
-                let was_one = rng.gen_range(0..len) < product;
+                let product = rng.below(len + 1);
+                let was_one = rng.below(len) < product;
                 delta += if was_one { -1 } else { 1 };
             }
             unary_err += delta.unsigned_abs() as f64;
@@ -205,8 +201,8 @@ pub fn fault_tolerance(bitwidth: u32, samples: usize) -> Table {
             // value by 2^k.
             let mut bdelta = 0i64;
             for _ in 0..flips {
-                let k = rng.gen_range(0..bitwidth);
-                let sign: bool = rng.gen();
+                let k = rng.below(u64::from(bitwidth)) as u32;
+                let sign: bool = rng.next_bool();
                 bdelta += if sign { 1i64 << k } else { -(1i64 << k) };
             }
             binary_err += bdelta.unsigned_abs() as f64;

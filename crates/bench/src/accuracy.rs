@@ -11,8 +11,6 @@
 //!    `error(FXP-i-res) < error(uSystolic) < error(FXP-o-res)`.
 
 use crate::table::{fmt_sig, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use usystolic_core::{ComputingScheme, GemmExecutor, SystolicConfig};
 use usystolic_gemm::loopnest::gemm_reference;
 use usystolic_gemm::quant::{fxp_gemm, FxpFormat};
@@ -20,6 +18,7 @@ use usystolic_gemm::stats::ErrorStats;
 use usystolic_gemm::{FeatureMap, GemmConfig, WeightSet};
 use usystolic_models::dataset::Dataset;
 use usystolic_models::trainer::TinyCnn;
+use usystolic_unary::rng::SplitMix64;
 
 /// An effective bitwidth `n` is executed as an `n`-bit full-length run —
 /// functionally identical to early-terminating a wider run at `2^(n-1)`
@@ -103,7 +102,10 @@ pub fn figure9_cnn(difficulty: Difficulty, ebts: &[u32], test_per_class: usize) 
     headers.push("FP32".into());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig. 9: top-1 accuracy (%) vs EBT, glyph CNN, {}", difficulty.label()),
+        format!(
+            "Fig. 9: top-1 accuracy (%) vs EBT, glyph CNN, {}",
+            difficulty.label()
+        ),
         &header_refs,
     );
 
@@ -116,16 +118,23 @@ pub fn figure9_cnn(difficulty: Difficulty, ebts: &[u32], test_per_class: usize) 
         row.push(fp.clone());
         table.push_row(row);
     };
-    push("FXP-o-res", &mut |n| net.accuracy_fxp(&test, FxpFormat::OutputRes(n)));
-    push("FXP-i-res", &mut |n| net.accuracy_fxp(&test, FxpFormat::InputRes(n)));
+    push("FXP-o-res", &mut |n| {
+        net.accuracy_fxp(&test, FxpFormat::OutputRes(n))
+    });
+    push("FXP-i-res", &mut |n| {
+        net.accuracy_fxp(&test, FxpFormat::InputRes(n))
+    });
     push("uSystolic-rate", &mut |n| {
-        net.accuracy_with(&test, &rate_exec(n)).expect("executor accepts the CNN")
+        net.accuracy_with(&test, &rate_exec(n))
+            .expect("executor accepts the CNN")
     });
     push("uSystolic-temporal", &mut |n| {
-        net.accuracy_with(&test, &temporal_exec(n)).expect("executor accepts the CNN")
+        net.accuracy_with(&test, &temporal_exec(n))
+            .expect("executor accepts the CNN")
     });
     push("uGEMM-H", &mut |n| {
-        net.accuracy_with(&test, &ugemm_exec(n)).expect("executor accepts the CNN")
+        net.accuracy_with(&test, &ugemm_exec(n))
+            .expect("executor accepts the CNN")
     });
     table
 }
@@ -145,8 +154,10 @@ pub fn figure9_mlp(ebts: &[u32], test_per_class: usize) -> Table {
     headers.extend(ebts.iter().map(|n| format!("{}-{}", n, 1u64 << (n - 1))));
     headers.push("FP32".into());
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table =
-        Table::new("Fig. 9 (matmul path): top-1 accuracy (%) vs EBT, glyph MLP", &header_refs);
+    let mut table = Table::new(
+        "Fig. 9 (matmul path): top-1 accuracy (%) vs EBT, glyph MLP",
+        &header_refs,
+    );
     let fp = format!("{:.1}", 100.0 * net.accuracy_fp(&test));
     let mut push = |name: &str, f: &mut dyn FnMut(u32) -> f64| {
         let mut row = vec![name.to_owned()];
@@ -157,10 +168,12 @@ pub fn figure9_mlp(ebts: &[u32], test_per_class: usize) -> Table {
         table.push_row(row);
     };
     push("uSystolic-rate", &mut |n| {
-        net.accuracy_with(&test, &rate_exec(n)).expect("executor accepts the MLP")
+        net.accuracy_with(&test, &rate_exec(n))
+            .expect("executor accepts the MLP")
     });
     push("uSystolic-temporal", &mut |n| {
-        net.accuracy_with(&test, &temporal_exec(n)).expect("executor accepts the MLP")
+        net.accuracy_with(&test, &temporal_exec(n))
+            .expect("executor accepts the MLP")
     });
     table
 }
@@ -178,20 +191,20 @@ fn proxy_layer(net: &str) -> GemmConfig {
 }
 
 fn random_tensors(gemm: &GemmConfig, seed: u64) -> (FeatureMap<f64>, WeightSet<f64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let input = FeatureMap::from_fn(
         gemm.input_height(),
         gemm.input_width(),
         gemm.input_channels(),
-        |_, _, _| rng.gen::<f64>() * 2.0 - 1.0,
+        |_, _, _| rng.next_f64() * 2.0 - 1.0,
     );
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut rng = SplitMix64::new(seed ^ 0xABCD);
     let weights = WeightSet::from_fn(
         gemm.output_channels(),
         gemm.weight_height(),
         gemm.weight_width(),
         gemm.input_channels(),
-        |_, _, _, _| (rng.gen::<f64>() * 2.0 - 1.0) * 0.25,
+        |_, _, _, _| (rng.next_f64() * 2.0 - 1.0) * 0.25,
     );
     (input, weights)
 }
@@ -214,10 +227,8 @@ pub fn gemm_error_study(ebt: u32) -> Table {
                 .expect("equal shapes")
                 .rmse()
         };
-        let o_res =
-            rmse(&fxp_gemm(&gemm, &input, &weights, FxpFormat::OutputRes(ebt)).unwrap());
-        let i_res =
-            rmse(&fxp_gemm(&gemm, &input, &weights, FxpFormat::InputRes(ebt)).unwrap());
+        let o_res = rmse(&fxp_gemm(&gemm, &input, &weights, FxpFormat::OutputRes(ebt)).unwrap());
+        let i_res = rmse(&fxp_gemm(&gemm, &input, &weights, FxpFormat::InputRes(ebt)).unwrap());
         let usys = rmse(
             &rate_exec(ebt)
                 .execute(&gemm, &input, &weights)

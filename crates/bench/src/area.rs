@@ -31,7 +31,9 @@ pub fn figure11(shape: ArrayShape) -> Table {
             "Fig. 11{}: area breakdown (mm2), {shape}",
             if shape == ArrayShape::Edge { "a" } else { "b" }
         ),
-        &["design", "IREG", "WREG", "MUL", "ACC", "SA total", "SRAM", "on-chip"],
+        &[
+            "design", "IREG", "WREG", "MUL", "ACC", "SA total", "SRAM", "on-chip",
+        ],
     );
     for bitwidth in [8u32, 16] {
         for scheme in SCHEMES {
@@ -64,8 +66,12 @@ pub fn figure11(shape: ArrayShape) -> Table {
 /// from BP, and on-chip reduction of SRAM-less UR from SRAM-backed BP/BS.
 #[must_use]
 pub fn area_reductions(shape: ArrayShape, bitwidth: u32) -> Table {
-    let bp = ArrayArea::for_config(&config_for(shape, ComputingScheme::BinaryParallel, bitwidth))
-        .total_mm2();
+    let bp = ArrayArea::for_config(&config_for(
+        shape,
+        ComputingScheme::BinaryParallel,
+        bitwidth,
+    ))
+    .total_mm2();
     let mut table = Table::new(
         format!("Section V-C: area reductions vs BP (%), {shape}, {bitwidth}-bit"),
         &["scheme", "SA reduction %", "on-chip reduction %"],
@@ -76,8 +82,7 @@ pub fn area_reductions(shape: ArrayShape, bitwidth: u32) -> Table {
     )
     .total_mm2();
     for scheme in &SCHEMES[1..] {
-        let sa =
-            ArrayArea::for_config(&config_for(shape, *scheme, bitwidth)).total_mm2();
+        let sa = ArrayArea::for_config(&config_for(shape, *scheme, bitwidth)).total_mm2();
         let memory = if scheme.is_unary() {
             MemoryHierarchy::no_sram()
         } else {

@@ -16,8 +16,10 @@ pub fn figure10(shape: ArrayShape) -> Table {
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        format!("Fig. 10{}: layerwise bandwidth (GB/s), 8-bit AlexNet, {shape}"
-            , if shape == ArrayShape::Edge { "a" } else { "b" }),
+        format!(
+            "Fig. 10{}: layerwise bandwidth (GB/s), 8-bit AlexNet, {shape}",
+            if shape == ArrayShape::Edge { "a" } else { "b" }
+        ),
         &header_refs,
     );
     for point in design_points(shape, 8) {
@@ -52,7 +54,11 @@ pub fn bandwidth_summary(shape: ArrayShape) -> Table {
                 fc_max = fc_max.max(ev.report.dram_bandwidth_gbps);
             }
         }
-        table.push_row(vec![point.name.to_owned(), fmt_sig(conv_max), fmt_sig(fc_max)]);
+        table.push_row(vec![
+            point.name.to_owned(),
+            fmt_sig(conv_max),
+            fmt_sig(fc_max),
+        ]);
     }
     table
 }

@@ -4,9 +4,7 @@
 //!
 //! Usage: `cargo run --release -p usystolic-bench --bin exp_all`
 
-use usystolic_bench::ablation::{
-    accumulator_width_sweep, early_termination_tradeoff, rng_quality,
-};
+use usystolic_bench::ablation::{accumulator_width_sweep, early_termination_tradeoff, rng_quality};
 use usystolic_bench::accuracy::{figure9_cnn, gemm_error_study, Difficulty};
 use usystolic_bench::area::{area_reductions, figure11};
 use usystolic_bench::bandwidth::{bandwidth_summary, figure10};

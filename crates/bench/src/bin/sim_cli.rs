@@ -10,12 +10,25 @@
 //!     --scheme BP --shape cloud --matmul 1,9216,4096
 //! cargo run --release -p usystolic-bench --bin sim_cli -- --network alexnet
 //! ```
+//!
+//! Observability (all optional, zero overhead when absent):
+//!
+//! ```sh
+//! sim_cli --scheme UR --cycles 128 --no-sram --conv 31,31,96,5,5,1,256 \
+//!     --trace /tmp/t.json --metrics /tmp/m.json --json
+//! ```
+//!
+//! `--trace` writes a Chrome `trace_event` file (open in
+//! `chrome://tracing` or Perfetto), `--metrics` a counters/gauges/
+//! histograms snapshot, and `--json` replaces the human-readable report
+//! with the full evaluation record as structured JSON on stdout.
 
 use usystolic_core::{ComputingScheme, SystolicConfig};
 use usystolic_gemm::GemmConfig;
-use usystolic_hw::summary::NetworkEvaluation;
 use usystolic_hw::evaluate_layer;
+use usystolic_hw::summary::NetworkEvaluation;
 use usystolic_models::zoo;
+use usystolic_obs::{JsonValue, ToJson};
 use usystolic_sim::MemoryHierarchy;
 
 #[derive(Debug)]
@@ -27,21 +40,48 @@ struct Args {
     no_sram: Option<bool>,
     gemm: Option<GemmConfig>,
     network: Option<String>,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: usystolic_sim [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
                      [--shape edge|cloud] [--sram|--no-sram]
+                     [--trace FILE] [--metrics FILE] [--json]
                      (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)"
     );
     std::process::exit(2);
 }
 
-fn parse_dims(s: &str) -> Vec<usize> {
-    s.split(',')
-        .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
-        .collect()
+/// Exits with a clear diagnostic (code 2) instead of a panic/backtrace.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("sim_cli: error: {message}");
+    std::process::exit(2);
+}
+
+/// Parses `--conv`/`--matmul` dimension lists, failing loudly on anything
+/// that is not exactly `expected` comma-separated non-negative integers.
+fn parse_dims(flag: &str, s: &str, expected: usize) -> Vec<usize> {
+    let dims: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                fail(format!(
+                    "{flag} {s}: '{}' is not a non-negative integer",
+                    p.trim()
+                ))
+            })
+        })
+        .collect();
+    if dims.len() != expected {
+        fail(format!(
+            "{flag} {s}: expected {expected} comma-separated dimensions, got {}",
+            dims.len()
+        ));
+    }
+    dims
 }
 
 fn parse_args() -> Args {
@@ -53,56 +93,71 @@ fn parse_args() -> Args {
         no_sram: None,
         gemm: None,
         network: None,
+        trace: None,
+        metrics: None,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = || it.next().unwrap_or_else(|| usage());
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| fail(format!("{flag} requires a value")))
+        };
         match flag.as_str() {
             "--scheme" => {
-                args.scheme = match value().as_str() {
+                let v = value();
+                args.scheme = match v.as_str() {
                     "BP" => ComputingScheme::BinaryParallel,
                     "BS" => ComputingScheme::BinarySerial,
                     "UG" => ComputingScheme::UGemmHybrid,
                     "UR" => ComputingScheme::UnaryRate,
                     "UT" => ComputingScheme::UnaryTemporal,
-                    _ => usage(),
+                    _ => fail(format!("--scheme {v}: expected BP, BS, UG, UR or UT")),
                 }
             }
-            "--cycles" => args.cycles = Some(value().parse().unwrap_or_else(|_| usage())),
-            "--bits" => args.bitwidth = value().parse().unwrap_or_else(|_| usage()),
+            "--cycles" => {
+                let v = value();
+                args.cycles = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--cycles {v}: not an integer"))),
+                );
+            }
+            "--bits" => {
+                let v = value();
+                args.bitwidth = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--bits {v}: not an integer")));
+            }
             "--shape" => {
-                args.cloud = match value().as_str() {
+                let v = value();
+                args.cloud = match v.as_str() {
                     "edge" => false,
                     "cloud" => true,
-                    _ => usage(),
+                    _ => fail(format!("--shape {v}: expected edge or cloud")),
                 }
             }
             "--sram" => args.no_sram = Some(false),
             "--no-sram" => args.no_sram = Some(true),
             "--conv" => {
-                let d = parse_dims(&value());
-                if d.len() != 7 {
-                    usage();
-                }
+                let v = value();
+                let d = parse_dims("--conv", &v, 7);
                 args.gemm = Some(
                     GemmConfig::conv(d[0], d[1], d[2], d[3], d[4], d[5], d[6])
-                        .unwrap_or_else(|e| {
-                            eprintln!("invalid conv: {e}");
-                            std::process::exit(2)
-                        }),
+                        .unwrap_or_else(|e| fail(format!("--conv {v}: {e}"))),
                 );
             }
             "--matmul" => {
-                let d = parse_dims(&value());
-                if d.len() != 3 {
-                    usage();
-                }
-                args.gemm = Some(GemmConfig::matmul(d[0], d[1], d[2]).unwrap_or_else(|e| {
-                    eprintln!("invalid matmul: {e}");
-                    std::process::exit(2)
-                }));
+                let v = value();
+                let d = parse_dims("--matmul", &v, 3);
+                args.gemm = Some(
+                    GemmConfig::matmul(d[0], d[1], d[2])
+                        .unwrap_or_else(|e| fail(format!("--matmul {v}: {e}"))),
+                );
             }
             "--network" => args.network = Some(value()),
+            "--trace" => args.trace = Some(value().into()),
+            "--metrics" => args.metrics = Some(value().into()),
+            "--json" => args.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -113,6 +168,33 @@ fn parse_args() -> Args {
     args
 }
 
+/// Writes the observability artefacts collected during the run.
+fn export_session(args: &Args, session: &usystolic_obs::Session) {
+    if let Some(path) = &args.trace {
+        session
+            .tracer
+            .write_chrome(path)
+            .unwrap_or_else(|e| fail(format!("writing trace to {}: {e}", path.display())));
+        if !args.json {
+            eprintln!(
+                "trace:  {} ({} events, {} dropped)",
+                path.display(),
+                session.tracer.len(),
+                session.tracer.dropped()
+            );
+        }
+    }
+    if let Some(path) = &args.metrics {
+        session
+            .metrics
+            .write_snapshot(path)
+            .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display())));
+        if !args.json {
+            eprintln!("metrics: {}", path.display());
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let mut config = if args.cloud {
@@ -121,10 +203,9 @@ fn main() {
         SystolicConfig::edge(args.scheme, args.bitwidth)
     };
     if let Some(c) = args.cycles {
-        config = config.with_mul_cycles(c).unwrap_or_else(|e| {
-            eprintln!("invalid --cycles: {e}");
-            std::process::exit(2)
-        });
+        config = config
+            .with_mul_cycles(c)
+            .unwrap_or_else(|e| fail(format!("--cycles: {e}")));
     }
     // Default: binary keeps SRAM, unary drops it (the paper's conclusion).
     let no_sram = args.no_sram.unwrap_or(args.scheme.is_unary());
@@ -136,21 +217,64 @@ fn main() {
         MemoryHierarchy::edge_with_sram()
     };
 
-    println!("array:  {config}");
-    println!("memory: {}", if no_sram { "DRAM only (SRAM eliminated)" } else { "SRAM + DRAM" });
+    // Collect traces/metrics only when asked for: with no session the
+    // instrumented hot paths stay allocation-free.
+    let observing = args.trace.is_some() || args.metrics.is_some();
+    if observing {
+        usystolic_obs::install(usystolic_obs::Session::new());
+    }
+
+    if !args.json {
+        println!("array:  {config}");
+        println!(
+            "memory: {}",
+            if no_sram {
+                "DRAM only (SRAM eliminated)"
+            } else {
+                "SRAM + DRAM"
+            }
+        );
+    }
 
     if let Some(gemm) = args.gemm {
         let ev = evaluate_layer(&config, &memory, &gemm);
+        if let Some(session) = usystolic_obs::take() {
+            export_session(&args, &session);
+        }
+        if args.json {
+            let record = JsonValue::object(vec![
+                ("config", config.to_json()),
+                ("memory", memory.to_json()),
+                ("gemm", gemm.to_json()),
+                ("evaluation", ev.to_json()),
+            ]);
+            println!("{}", record.render());
+            return;
+        }
         println!("layer:  {gemm}\n");
-        println!("runtime          {:>12.6} s  ({} cycles, {:.1}% stall)",
+        println!(
+            "runtime          {:>12.6} s  ({} cycles, {:.1}% stall)",
             ev.report.runtime_s,
             ev.report.timing.runtime_cycles,
-            100.0 * ev.report.timing.overhead());
-        println!("throughput       {:>12.3} layers/s", ev.report.throughput_per_s);
-        println!("DRAM bandwidth   {:>12.3} GB/s", ev.report.dram_bandwidth_gbps);
-        println!("SRAM bandwidth   {:>12.3} GB/s", ev.report.sram_bandwidth_gbps);
+            100.0 * ev.report.timing.overhead()
+        );
+        println!(
+            "throughput       {:>12.3} layers/s",
+            ev.report.throughput_per_s
+        );
+        println!(
+            "DRAM bandwidth   {:>12.3} GB/s",
+            ev.report.dram_bandwidth_gbps
+        );
+        println!(
+            "SRAM bandwidth   {:>12.3} GB/s",
+            ev.report.sram_bandwidth_gbps
+        );
         println!("utilization      {:>12.1} %", 100.0 * ev.report.utilization);
-        println!("on-chip energy   {:>12.3} uJ", ev.energy.on_chip_j() * 1.0e6);
+        println!(
+            "on-chip energy   {:>12.3} uJ",
+            ev.energy.on_chip_j() * 1.0e6
+        );
         println!("total energy     {:>12.3} uJ", ev.energy.total_j() * 1.0e6);
         println!("on-chip power    {:>12.3} mW", ev.power.on_chip_w() * 1.0e3);
         println!("total power      {:>12.3} mW", ev.power.total_w() * 1.0e3);
@@ -163,12 +287,35 @@ fn main() {
         Some("resnet18") => zoo::resnet18(),
         Some("vgg16") => zoo::vgg16(),
         Some("mnist") => zoo::mnist_cnn4(),
-        _ => usage(),
+        Some(other) => fail(format!(
+            "--network {other}: expected alexnet, resnet18, vgg16 or mnist"
+        )),
+        None => usage(),
     };
-    println!("network: {} ({} GEMM layers, {} parameters)\n",
-        network.name, network.layers.len(), network.parameters());
     let ev = NetworkEvaluation::evaluate(&config, &memory, &network.gemms());
-    println!("{:<10} {:>12} {:>14} {:>14}", "layer", "runtime s", "on-chip uJ", "total uJ");
+    if let Some(session) = usystolic_obs::take() {
+        export_session(&args, &session);
+    }
+    if args.json {
+        let record = JsonValue::object(vec![
+            ("config", config.to_json()),
+            ("memory", memory.to_json()),
+            ("network", network.to_json()),
+            ("evaluation", ev.to_json()),
+        ]);
+        println!("{}", record.render());
+        return;
+    }
+    println!(
+        "network: {} ({} GEMM layers, {} parameters)\n",
+        network.name,
+        network.layers.len(),
+        network.parameters()
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "layer", "runtime s", "on-chip uJ", "total uJ"
+    );
     for (layer, l) in network.layers.iter().zip(&ev.layers) {
         println!(
             "{:<10} {:>12.6} {:>14.3} {:>14.3}",
@@ -178,11 +325,24 @@ fn main() {
             l.energy.total_j() * 1.0e6
         );
     }
-    println!("\ninference runtime    {:>12.6} s ({:.2} inf/s, {:.1} GOPS)",
-        ev.runtime_s, ev.inferences_per_s(), ev.gops());
-    println!("on-chip energy       {:>12.3} mJ ({:.0} inf per on-chip J)",
-        ev.on_chip_j * 1.0e3, ev.inferences_per_on_chip_joule());
+    println!(
+        "\ninference runtime    {:>12.6} s ({:.2} inf/s, {:.1} GOPS)",
+        ev.runtime_s,
+        ev.inferences_per_s(),
+        ev.gops()
+    );
+    println!(
+        "on-chip energy       {:>12.3} mJ ({:.0} inf per on-chip J)",
+        ev.on_chip_j * 1.0e3,
+        ev.inferences_per_on_chip_joule()
+    );
     println!("total energy         {:>12.3} mJ", ev.total_j * 1.0e3);
-    println!("avg on-chip power    {:>12.3} mW", ev.on_chip_power_w() * 1.0e3);
-    println!("avg total power      {:>12.3} mW", ev.total_power_w() * 1.0e3);
+    println!(
+        "avg on-chip power    {:>12.3} mW",
+        ev.on_chip_power_w() * 1.0e3
+    );
+    println!(
+        "avg total power      {:>12.3} mW",
+        ev.total_power_w() * 1.0e3
+    );
 }

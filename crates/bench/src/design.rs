@@ -159,8 +159,7 @@ mod tests {
 
     #[test]
     fn alexnet_layers_match_figures() {
-        let names: Vec<String> =
-            alexnet_8bit_layers().into_iter().map(|l| l.name).collect();
+        let names: Vec<String> = alexnet_8bit_layers().into_iter().map(|l| l.name).collect();
         assert_eq!(
             names,
             ["Conv1", "Conv2", "Conv3", "Conv4", "Conv5", "FC6", "FC7", "FC8"]

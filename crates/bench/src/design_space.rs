@@ -12,9 +12,7 @@ use crate::design::alexnet_8bit_layers;
 use crate::table::{fmt_sig, Table};
 use usystolic_core::{ComputingScheme, SystolicConfig};
 use usystolic_hw::{LayerEnergy, OnChipArea};
-use usystolic_sim::{
-    ideal_cycles_with, layer_traffic_with, Dataflow, MemoryHierarchy, Simulator,
-};
+use usystolic_sim::{ideal_cycles_with, layer_traffic_with, Dataflow, MemoryHierarchy, Simulator};
 
 /// The §V-G SRAM sizing sweep: full-AlexNet total energy (mJ) and on-chip
 /// area (mm²) per design across per-variable SRAM capacities.
@@ -37,7 +35,10 @@ pub fn sram_sweep() -> Table {
     );
     let layers = alexnet_8bit_layers();
     let designs = [
-        ("Binary Parallel", SystolicConfig::edge(ComputingScheme::BinaryParallel, 8)),
+        (
+            "Binary Parallel",
+            SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+        ),
         (
             "Unary-128c",
             SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
@@ -104,8 +105,10 @@ mod tests {
         let t = sram_sweep();
         assert_eq!(t.len(), 4);
         // Binary parallel: some SRAM reduces total energy vs none.
-        let bp_energy: Vec<f64> =
-            t.rows()[0][2..].iter().map(|c| c.parse().unwrap()).collect();
+        let bp_energy: Vec<f64> = t.rows()[0][2..]
+            .iter()
+            .map(|c| c.parse().unwrap())
+            .collect();
         let min = bp_energy.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(
             min < bp_energy[0],
@@ -113,8 +116,10 @@ mod tests {
         );
         // Area grows monotonically with capacity for every design.
         for row in [1usize, 3] {
-            let areas: Vec<f64> =
-                t.rows()[row][2..].iter().map(|c| c.parse().unwrap()).collect();
+            let areas: Vec<f64> = t.rows()[row][2..]
+                .iter()
+                .map(|c| c.parse().unwrap())
+                .collect();
             assert!(areas.windows(2).all(|w| w[1] >= w[0]), "{areas:?}");
         }
     }
@@ -125,8 +130,10 @@ mod tests {
         // flat-ish in SRAM capacity (its bandwidth is already tiny), so
         // dropping SRAM costs little relative to binary.
         let t = sram_sweep();
-        let ur_energy: Vec<f64> =
-            t.rows()[2][2..].iter().map(|c| c.parse().unwrap()).collect();
+        let ur_energy: Vec<f64> = t.rows()[2][2..]
+            .iter()
+            .map(|c| c.parse().unwrap())
+            .collect();
         let none = ur_energy[0];
         let best = ur_energy.iter().cloned().fold(f64::INFINITY, f64::min);
         // Within 3x — the SRAM benefit exists (partial-sum traffic) but is
@@ -138,7 +145,11 @@ mod tests {
     fn dataflow_table_shows_ws_wins_fc() {
         let t = dataflow_comparison();
         // FC6 row: WS cycles far below IS (batch-1 FC).
-        let fc6 = t.rows().iter().find(|r| r[0] == "FC6").expect("FC6 present");
+        let fc6 = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == "FC6")
+            .expect("FC6 present");
         let ws: f64 = fc6[1].parse().unwrap();
         let is: f64 = fc6[2].parse().unwrap();
         assert!(ws < is, "FC6: WS {ws} must beat IS {is}");

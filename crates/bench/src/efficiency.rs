@@ -56,7 +56,10 @@ pub fn figure14(shape: ArrayShape, workload: Workload) -> Table {
             .iter()
             .map(|g| {
                 let ev = evaluate_layer(&points[idx].config, &points[idx].memory, g);
-                (ev.on_chip_efficiency.energy_eff, ev.on_chip_efficiency.power_eff)
+                (
+                    ev.on_chip_efficiency.energy_eff,
+                    ev.on_chip_efficiency.power_eff,
+                )
             })
             .collect()
     };
@@ -148,6 +151,9 @@ mod tests {
         let t = figure14(ArrayShape::Edge, Workload::AlexNet);
         let u128_eei: f64 = t.rows()[2][1].parse().unwrap();
         let ug_eei: f64 = t.rows()[3][1].parse().unwrap();
-        assert!(ug_eei < u128_eei, "uGEMM-H {ug_eei} vs Unary-128c {u128_eei}");
+        assert!(
+            ug_eei < u128_eei,
+            "uGEMM-H {ug_eei} vs Unary-128c {u128_eei}"
+        );
     }
 }

@@ -73,13 +73,7 @@ pub fn power_summary(shape: ArrayShape) -> Table {
     for (idx, point) in points.iter().enumerate().skip(2) {
         let ours = mean_power(idx);
         let vs = |base: &[f64]| -> f64 {
-            100.0
-                * ours
-                    .iter()
-                    .zip(base)
-                    .map(|(o, b)| 1.0 - o / b)
-                    .sum::<f64>()
-                / ours.len() as f64
+            100.0 * ours.iter().zip(base).map(|(o, b)| 1.0 - o / b).sum::<f64>() / ours.len() as f64
         };
         table.push_row(vec![
             point.name.to_owned(),

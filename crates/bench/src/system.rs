@@ -16,15 +16,22 @@ fn designs(shape: ArrayShape) -> Vec<(String, SystolicConfig)> {
         ArrayShape::Cloud => SystolicConfig::cloud(scheme, 8),
     };
     vec![
-        ("Binary Parallel".into(), base(ComputingScheme::BinaryParallel)),
+        (
+            "Binary Parallel".into(),
+            base(ComputingScheme::BinaryParallel),
+        ),
         ("Binary Serial".into(), base(ComputingScheme::BinarySerial)),
         (
             "Unary-32c".into(),
-            base(ComputingScheme::UnaryRate).with_mul_cycles(32).expect("valid EBT"),
+            base(ComputingScheme::UnaryRate)
+                .with_mul_cycles(32)
+                .expect("valid EBT"),
         ),
         (
             "Unary-128c".into(),
-            base(ComputingScheme::UnaryRate).with_mul_cycles(128).expect("valid EBT"),
+            base(ComputingScheme::UnaryRate)
+                .with_mul_cycles(128)
+                .expect("valid EBT"),
         ),
     ]
 }
@@ -46,7 +53,10 @@ pub fn scaling_table(shape: ArrayShape) -> Table {
         let sys = MultiInstanceSystem::new(cfg, MemoryHierarchy::no_sram());
         let mut row = vec![name];
         for &n in &counts {
-            row.push(format!("{:.0}", 100.0 * sys.scale(&layer, n).scaling_efficiency));
+            row.push(format!(
+                "{:.0}",
+                100.0 * sys.scale(&layer, n).scaling_efficiency
+            ));
         }
         table.push_row(row);
     }
@@ -101,6 +111,9 @@ mod tests {
     fn early_termination_prolongs_battery() {
         let t = battery_table();
         let inf = |row: usize| -> f64 { t.rows()[row][1].parse().unwrap() };
-        assert!(inf(0) > inf(1) && inf(1) > inf(2), "32c > 64c > 128c inferences");
+        assert!(
+            inf(0) > inf(1) && inf(1) > inf(2),
+            "32c > 64c > 128c inferences"
+        );
     }
 }

@@ -123,9 +123,17 @@ pub fn table1() -> Table {
         table.push_row(vec![
             name.to_owned(),
             fmt_sig(accuracy_of(name)),
-            if power_mw.is_nan() { "n/a".into() } else { fmt_sig(power_mw) },
+            if power_mw.is_nan() {
+                "n/a".into()
+            } else {
+                fmt_sig(power_mw)
+            },
             instances,
-            if name == "FSU" { distinct_shapes.len().to_string() } else { "1".into() },
+            if name == "FSU" {
+                distinct_shapes.len().to_string()
+            } else {
+                "1".into()
+            },
         ]);
     }
     table
@@ -141,7 +149,10 @@ mod tests {
         assert_eq!(t.len(), 4);
         let rmse_of = |row: usize| -> f64 { t.rows()[row][1].parse().unwrap() };
         // Accuracy: binary precise < uSystolic ≈ HUB < FSU.
-        assert!(rmse_of(0) < rmse_of(3), "binary beats uSystolic on accuracy");
+        assert!(
+            rmse_of(0) < rmse_of(3),
+            "binary beats uSystolic on accuracy"
+        );
         assert!(rmse_of(3) < rmse_of(1), "uSystolic beats FSU on accuracy");
         assert!(rmse_of(2) < rmse_of(1), "HUB beats FSU on accuracy");
         // Power: uSystolic far below binary.

@@ -16,7 +16,7 @@ use usystolic_unary::rng::{NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
 
 /// Execution statistics of a functional GEMM run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// MAC windows executed (one per weight/input element pair).
     pub mac_windows: u64,
@@ -36,6 +36,40 @@ impl ExecStats {
         self.saturation_events += other.saturation_events;
         self.compute_cycles += other.compute_cycles;
     }
+}
+
+/// Records one tile's wall-clock span on the [`usystolic_obs::PID_WALL`]
+/// lane (no-op when no session is installed).
+fn record_tile(kernel: &'static str, cf: usize, rf: usize, rows: usize, cols: usize, t0: f64) {
+    usystolic_obs::with(|o| {
+        use usystolic_obs::ToJson;
+        let t1 = o.tracer.now_us();
+        o.metrics.observe("core.tile_us", t1 - t0);
+        o.tracer.complete(
+            format!("{kernel} tile c{cf}r{rf}"),
+            "core",
+            usystolic_obs::PID_WALL,
+            1,
+            t0,
+            t1 - t0,
+            vec![
+                ("col_fold".to_owned(), (cf as u64).to_json()),
+                ("row_fold".to_owned(), (rf as u64).to_json()),
+                ("rows".to_owned(), (rows as u64).to_json()),
+                ("cols".to_owned(), (cols as u64).to_json()),
+            ],
+        );
+    });
+}
+
+/// Folds a finished kernel run's statistics into the session counters.
+fn record_kernel_stats(stats: &ExecStats) {
+    usystolic_obs::with(|o| {
+        o.metrics.count("core.mac_windows", stats.mac_windows);
+        o.metrics.count("core.compute_cycles", stats.compute_cycles);
+        o.metrics
+            .count("core.saturation_events", stats.saturation_events);
+    });
 }
 
 fn check_lowered(
@@ -101,8 +135,9 @@ pub fn unary_gemm(
     let mul_cycles = config.mul_cycles();
     let et = config.early_termination();
 
-    let mut accs: Vec<BinaryAccumulator> =
-        (0..m * n).map(|_| BinaryAccumulator::new(config.acc_width())).collect();
+    let mut accs: Vec<BinaryAccumulator> = (0..m * n)
+        .map(|_| BinaryAccumulator::new(config.acc_width()))
+        .collect();
     let mut stats = ExecStats::default();
 
     for cf in 0..map.col_folds() {
@@ -111,6 +146,8 @@ pub fn unary_gemm(
         for rf in 0..map.row_folds() {
             let k0 = rf * config.rows();
             let tile_rows = map.rows_in_fold(rf);
+            let mut tile_t0 = 0.0;
+            usystolic_obs::with(|o| tile_t0 = o.tracer.now_us());
             // Pre-split the tile's weights into sign-magnitude rows.
             let tile_weights: Vec<Vec<SignMagnitude>> = (0..tile_rows)
                 .map(|r| {
@@ -131,6 +168,7 @@ pub fn unary_gemm(
                     stats.compute_cycles += config.mac_cycles();
                 }
             }
+            record_tile("unary_gemm", cf, rf, tile_rows, tile_cols, tile_t0);
         }
     }
 
@@ -145,6 +183,7 @@ pub fn unary_gemm(
             out[(p, c)] = et.scale(acc.value());
         }
     }
+    record_kernel_stats(&stats);
     Ok((out, stats))
 }
 
@@ -181,8 +220,9 @@ pub fn ugemm_h_gemm(
     let half = (1i64 << (bitwidth - 1)) as u64;
     let len = 1u64 << bitwidth;
 
-    let mut accs: Vec<BinaryAccumulator> =
-        (0..m * n).map(|_| BinaryAccumulator::new(config.acc_width())).collect();
+    let mut accs: Vec<BinaryAccumulator> = (0..m * n)
+        .map(|_| BinaryAccumulator::new(config.acc_width()))
+        .collect();
     let mut stats = ExecStats::default();
 
     for cf in 0..map.col_folds() {
@@ -191,6 +231,8 @@ pub fn ugemm_h_gemm(
         for rf in 0..map.row_folds() {
             let k0 = rf * config.rows();
             let tile_rows = map.rows_in_fold(rf);
+            let mut tile_t0 = 0.0;
+            usystolic_obs::with(|o| tile_t0 = o.tracer.now_us());
             for p in 0..m {
                 for r in 0..tile_rows {
                     let i_level = input[(p, k0 + r)].clamp(-(half as i64), half as i64);
@@ -198,8 +240,7 @@ pub fn ugemm_h_gemm(
                     // Thresholds for the row's weights in bipolar encoding.
                     let w_thresholds: Vec<u64> = (0..tile_cols)
                         .map(|c| {
-                            let w = weights[(k0 + r, n0 + c)]
-                                .clamp(-(half as i64), half as i64);
+                            let w = weights[(k0 + r, n0 + c)].clamp(-(half as i64), half as i64);
                             (w + half as i64) as u64
                         })
                         .collect();
@@ -212,7 +253,11 @@ pub fn ugemm_h_gemm(
                     let mut sums = vec![0i64; tile_cols];
                     for _ in 0..len {
                         let in_bit = in_src.next() < i_threshold;
-                        let r = if in_bit { rng_ones.next() } else { rng_zeros.next() };
+                        let r = if in_bit {
+                            rng_ones.next()
+                        } else {
+                            rng_zeros.next()
+                        };
                         for (c, &t) in w_thresholds.iter().enumerate() {
                             let out_bit = if in_bit { r < t } else { r >= t };
                             sums[c] += if out_bit { 1 } else { -1 };
@@ -225,6 +270,7 @@ pub fn ugemm_h_gemm(
                     stats.compute_cycles += config.mac_cycles();
                 }
             }
+            record_tile("ugemm_h", cf, rf, tile_rows, tile_cols, tile_t0);
         }
     }
 
@@ -238,7 +284,18 @@ pub fn ugemm_h_gemm(
             out[(p, c)] = acc.value();
         }
     }
+    record_kernel_stats(&stats);
     Ok((out, stats))
+}
+
+impl usystolic_obs::ToJson for ExecStats {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("mac_windows", self.mac_windows.to_json()),
+            ("saturation_events", self.saturation_events.to_json()),
+            ("compute_cycles", self.compute_cycles.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -247,17 +304,13 @@ mod tests {
     use usystolic_gemm::im2col;
     use usystolic_gemm::{FeatureMap, WeightSet};
 
-    fn lowered_case(
-        seedi: i64,
-        seedw: i64,
-    ) -> (GemmConfig, Matrix<i64>, Matrix<i64>, Matrix<i64>) {
+    fn lowered_case(seedi: i64, seedw: i64) -> (GemmConfig, Matrix<i64>, Matrix<i64>, Matrix<i64>) {
         let gemm = GemmConfig::conv(4, 4, 2, 2, 2, 1, 3).unwrap();
         let input = FeatureMap::from_fn(4, 4, 2, |h, w, c| {
             ((h as i64 * 37 + w as i64 * 11 + c as i64 * 5 + seedi) % 257) - 128
         });
         let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
-            ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3 + seedw) % 257)
-                - 128
+            ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3 + seedw) % 257) - 128
         });
         let li = im2col::lower_input(&gemm, &input).unwrap();
         let lw = im2col::lower_weights(&gemm, &weights).unwrap();

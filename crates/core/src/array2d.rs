@@ -30,7 +30,7 @@ use usystolic_unary::rng::{NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
 
 /// Statistics of a cycle-accurate run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Total clock cycles summed over all tiles.
     pub cycles: u64,
@@ -45,7 +45,12 @@ pub struct CycleStats {
 /// Per-row bitstream generation state.
 enum RowGen {
     /// uSystolic: C-I comparator source + conditional weight RNG.
-    Unary { ifm_src: IfmSource, w_rng: SobolSource, ifm: SignMagnitude, last_r: u64 },
+    Unary {
+        ifm_src: IfmSource,
+        w_rng: SobolSource,
+        ifm: SignMagnitude,
+        last_r: u64,
+    },
     /// uGEMM-H: bipolar input source + ones/zeros-phase RNG pair.
     Bipolar {
         in_src: SobolSource,
@@ -61,16 +66,30 @@ impl RowGen {
     /// The (enable/input bit, random number) pair for one multiply cycle.
     fn gen_pair(&mut self) -> (bool, u64) {
         match self {
-            RowGen::Unary { ifm_src, w_rng, ifm, last_r } => {
+            RowGen::Unary {
+                ifm_src,
+                w_rng,
+                ifm,
+                last_r,
+            } => {
                 let e = ifm_src.next() < ifm.magnitude;
                 if e {
                     *last_r = w_rng.next();
                 }
                 (e, *last_r)
             }
-            RowGen::Bipolar { in_src, rng_ones, rng_zeros, in_threshold } => {
+            RowGen::Bipolar {
+                in_src,
+                rng_ones,
+                rng_zeros,
+                in_threshold,
+            } => {
                 let in_bit = in_src.next() < *in_threshold;
-                let r = if in_bit { rng_ones.next() } else { rng_zeros.next() };
+                let r = if in_bit {
+                    rng_ones.next()
+                } else {
+                    rng_zeros.next()
+                };
                 (in_bit, r)
             }
             RowGen::Binary => (false, 0),
@@ -166,7 +185,10 @@ impl<'a> TileMachine<'a> {
         match self.config.scheme() {
             ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => RowGen::Unary {
                 ifm_src: IfmSource::for_coding(
-                    self.config.scheme().coding().expect("unary schemes have a coding"),
+                    self.config
+                        .scheme()
+                        .coding()
+                        .expect("unary schemes have a coding"),
                     bitwidth,
                 ),
                 w_rng: SobolSource::dimension(0, bitwidth - 1),
@@ -187,13 +209,23 @@ impl<'a> TileMachine<'a> {
     fn reset_row_gen(&self, gen: &mut RowGen, level: i64) {
         let bitwidth = self.config.bitwidth();
         match gen {
-            RowGen::Unary { ifm_src, w_rng, ifm, last_r } => {
+            RowGen::Unary {
+                ifm_src,
+                w_rng,
+                ifm,
+                last_r,
+            } => {
                 ifm_src.reset();
                 w_rng.reset();
                 *ifm = SignMagnitude::from_signed(level, bitwidth);
                 *last_r = 0;
             }
-            RowGen::Bipolar { in_src, rng_ones, rng_zeros, in_threshold } => {
+            RowGen::Bipolar {
+                in_src,
+                rng_ones,
+                rng_zeros,
+                in_threshold,
+            } => {
                 in_src.reset();
                 rng_ones.reset();
                 rng_zeros.reset();
@@ -230,8 +262,7 @@ impl<'a> TileMachine<'a> {
             .map(|r| {
                 (0..cols)
                     .map(|c| {
-                        let w =
-                            self.weights[(self.k0 + r, self.n0 + c)].clamp(-half, half);
+                        let w = self.weights[(self.k0 + r, self.n0 + c)].clamp(-half, half);
                         (w + half) as u64
                     })
                     .collect()
@@ -239,16 +270,16 @@ impl<'a> TileMachine<'a> {
             .collect();
 
         // Bottom row starts first so partial sums cascade upward.
-        let start =
-            |r: usize, c: usize| preload + (rows as i64 - 1 - r as i64) + c as i64;
+        let start = |r: usize, c: usize| preload + (rows as i64 - 1 - r as i64) + c as i64;
         let t_end = start(0, cols - 1) + m * mac - 1;
 
         let mut gens: Vec<RowGen> = (0..rows).map(|_| self.fresh_row_gen()).collect();
         // Per-row (bit, random) delay chains; index c holds the pair
         // generated c cycles ago.
         let mut pipes: Vec<Vec<(bool, u64)>> = vec![vec![(false, 0); cols]; rows];
-        let mut accs: Vec<BinaryAccumulator> =
-            (0..rows * cols).map(|_| BinaryAccumulator::new(self.config.acc_width())).collect();
+        let mut accs: Vec<BinaryAccumulator> = (0..rows * cols)
+            .map(|_| BinaryAccumulator::new(self.config.acc_width()))
+            .collect();
         // Partial sums published at the previous cycle's M-end.
         let mut psum_prev = vec![0i64; rows * cols];
         let mut psum_next = vec![0i64; rows * cols];
@@ -322,8 +353,11 @@ impl<'a> TileMachine<'a> {
                     if phase == mac - 1 {
                         // M-end: fold in the lower neighbour's partial sum
                         // (published last cycle) and publish our own.
-                        let below =
-                            if r + 1 < rows { psum_prev[(r + 1) * cols + c] } else { 0 };
+                        let below = if r + 1 < rows {
+                            psum_prev[(r + 1) * cols + c]
+                        } else {
+                            0
+                        };
                         accs[idx].add(below);
                         if accs[idx].saturated() {
                             stats.saturation_events += 1;
@@ -358,8 +392,7 @@ mod tests {
             ((h as i64 * 37 + w as i64 * 11 + c as i64 * 5 + seed) % 257) - 128
         });
         let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
-            ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3 + seed) % 257)
-                - 128
+            ((oc as i64 * 53 + wh as i64 * 17 + ww as i64 * 7 + ic as i64 * 3 + seed) % 257) - 128
         });
         let li = im2col::lower_input(&gemm, &input).expect("shapes match");
         let lw = im2col::lower_weights(&gemm, &weights).expect("shapes match");
@@ -399,8 +432,7 @@ mod tests {
         let (fast, _) = GemmExecutor::new(cfg)
             .execute_lowered(&gemm, &li, &lw)
             .expect("fast path executes");
-        let (cycle, _) =
-            cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+        let (cycle, _) = cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
         assert_eq!(fast, cycle);
     }
 
@@ -458,8 +490,7 @@ mod tests {
         let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
             .expect("valid")
             .with_acc_width(32);
-        let (_, stats) =
-            cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+        let (_, stats) = cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
         // Every (vector, weight) pair occupies one PE for mac_cycles.
         let expect = gemm.macs() * cfg.mac_cycles();
         assert_eq!(stats.busy_pe_cycles, expect);

@@ -4,9 +4,9 @@
 //! only in PE latency and hardware cost, which the timing and hardware
 //! models account for. The functional executor is therefore shared.
 
+use crate::array::ExecStats;
 use crate::config::SystolicConfig;
 use crate::scheme::ComputingScheme;
-use crate::array::ExecStats;
 use crate::CoreError;
 use usystolic_gemm::{GemmConfig, Matrix};
 
@@ -60,6 +60,10 @@ pub fn binary_gemm(
         saturation_events: 0,
         compute_cycles: mac_windows * config.mac_cycles(),
     };
+    usystolic_obs::with(|o| {
+        o.metrics.count("core.mac_windows", stats.mac_windows);
+        o.metrics.count("core.compute_cycles", stats.compute_cycles);
+    });
     Ok((out, stats))
 }
 

@@ -15,7 +15,7 @@ use usystolic_gemm::stats::ErrorStats;
 use usystolic_gemm::{FeatureMap, GemmConfig, WeightSet};
 
 /// Result of one differential check.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeCheck {
     /// The scheme checked.
     pub scheme: ComputingScheme,
@@ -80,18 +80,22 @@ pub fn differential_check(seed: u64, bitwidth: u32) -> Result<Vec<SchemeCheck>, 
     let mut out = Vec::with_capacity(ComputingScheme::ALL.len());
     for scheme in ComputingScheme::ALL {
         let cfg = SystolicConfig::new(
-            dim(2, 6, seed ^ 0x55) ,
+            dim(2, 6, seed ^ 0x55),
             dim(2, 6, seed ^ 0xAA),
             scheme,
             bitwidth,
         )
         .map_err(|e| CoreError::Config(e.to_string()))?;
         let outcome = GemmExecutor::new(cfg).execute(&gemm, &input, &weights)?;
-        let rmse = ErrorStats::compare(reference.as_slice(), outcome.output.as_slice())?
-            .rmse()
-            / scale;
+        let rmse =
+            ErrorStats::compare(reference.as_slice(), outcome.output.as_slice())?.rmse() / scale;
         let tolerance = tolerance_for(scheme, bitwidth);
-        out.push(SchemeCheck { scheme, rmse, tolerance, passed: rmse <= tolerance });
+        out.push(SchemeCheck {
+            scheme,
+            rmse,
+            tolerance,
+            passed: rmse <= tolerance,
+        });
     }
     Ok(out)
 }

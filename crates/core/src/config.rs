@@ -48,7 +48,7 @@ impl std::error::Error for ConfigError {}
 ///     .unwrap();
 /// assert_eq!(cfg.mac_cycles(), 33);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SystolicConfig {
     rows: usize,
     cols: usize,
@@ -88,7 +88,14 @@ impl SystolicConfig {
             return Err(ConfigError::BadBitwidth(bitwidth));
         }
         let acc_width = default_acc_width(scheme, bitwidth, rows);
-        Ok(Self { rows, cols, scheme, bitwidth, et: EarlyTermination::full(bitwidth), acc_width })
+        Ok(Self {
+            rows,
+            cols,
+            scheme,
+            bitwidth,
+            et: EarlyTermination::full(bitwidth),
+            acc_width,
+        })
     }
 
     /// The paper's edge configuration: a 12×14 array (Eyeriss shape).
@@ -123,8 +130,8 @@ impl SystolicConfig {
         if ebt != self.bitwidth && !self.scheme.supports_early_termination() {
             return Err(ConfigError::EtUnsupportedByScheme(self.scheme));
         }
-        self.et = EarlyTermination::new(self.bitwidth, ebt)
-            .map_err(ConfigError::BadEarlyTermination)?;
+        self.et =
+            EarlyTermination::new(self.bitwidth, ebt).map_err(ConfigError::BadEarlyTermination)?;
         Ok(self)
     }
 
@@ -234,6 +241,20 @@ fn default_acc_width(scheme: ComputingScheme, bitwidth: u32, rows: usize) -> u32
     }
 }
 
+impl usystolic_obs::ToJson for SystolicConfig {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("rows", self.rows().to_json()),
+            ("cols", self.cols().to_json()),
+            ("scheme", self.scheme().to_json()),
+            ("bitwidth", self.bitwidth().to_json()),
+            ("early_termination", self.early_termination().to_json()),
+            ("acc_width", self.acc_width().to_json()),
+            ("mac_cycles", self.mac_cycles().to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,10 +285,14 @@ mod tests {
             ComputingScheme::UGemmHybrid,
             ComputingScheme::UnaryTemporal,
         ] {
-            let err = SystolicConfig::edge(s, 8).with_effective_bitwidth(6).unwrap_err();
+            let err = SystolicConfig::edge(s, 8)
+                .with_effective_bitwidth(6)
+                .unwrap_err();
             assert_eq!(err, ConfigError::EtUnsupportedByScheme(s));
             // Full-length "ET" is a no-op and allowed.
-            assert!(SystolicConfig::edge(s, 8).with_effective_bitwidth(8).is_ok());
+            assert!(SystolicConfig::edge(s, 8)
+                .with_effective_bitwidth(8)
+                .is_ok());
         }
     }
 

@@ -74,6 +74,9 @@ impl GemmExecutor {
         input: &FeatureMap<f64>,
         weights: &WeightSet<f64>,
     ) -> Result<GemmOutcome, CoreError> {
+        let mut t0 = 0.0;
+        usystolic_obs::with(|o| t0 = o.tracer.now_us());
+
         let bitwidth = self.config.bitwidth();
         let qi = Quantizer::calibrated(bitwidth, input.as_slice());
         let qw = Quantizer::calibrated(bitwidth, weights.as_slice());
@@ -100,6 +103,39 @@ impl GemmExecutor {
         let scale = divisor / (qi.scale() * qw.scale());
         let real = int_out.map(|&v| v as f64 * scale);
         let output = im2col::fold_output(gemm, &real)?;
+
+        usystolic_obs::with(|o| {
+            use usystolic_obs::ToJson;
+            let t1 = o.tracer.now_us();
+            o.metrics.count("core.gemm_executions", 1);
+            // Crawling dividend of early termination: cycles a full-length
+            // unary window would have spent beyond the truncated one.
+            let saved = match self.config.scheme() {
+                ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => {
+                    stats.mac_windows
+                        * (1u64 << self.config.bitwidth()).saturating_sub(self.config.mul_cycles())
+                }
+                _ => 0,
+            };
+            o.metrics.count("core.et_cycles_saved", saved);
+            o.tracer.complete(
+                format!("gemm.execute {}", self.config.scheme().label()),
+                "core",
+                usystolic_obs::PID_WALL,
+                0,
+                t0,
+                t1 - t0,
+                vec![
+                    ("scheme".to_owned(), self.config.scheme().to_json()),
+                    ("macs".to_owned(), gemm.macs().to_json()),
+                    ("mac_windows".to_owned(), stats.mac_windows.to_json()),
+                    (
+                        "saturation_events".to_owned(),
+                        stats.saturation_events.to_json(),
+                    ),
+                ],
+            );
+        });
         Ok(GemmOutcome { output, stats })
     }
 
@@ -153,7 +189,9 @@ mod tests {
         let (gemm, input, weights) = case();
         let reference = gemm_reference(&gemm, &input, &weights).unwrap();
         let cfg = SystolicConfig::new(4, 3, scheme, 8).unwrap();
-        let out = GemmExecutor::new(cfg).execute(&gemm, &input, &weights).unwrap();
+        let out = GemmExecutor::new(cfg)
+            .execute(&gemm, &input, &weights)
+            .unwrap();
         ErrorStats::compare(reference.as_slice(), out.output.as_slice())
             .unwrap()
             .rmse()
@@ -204,7 +242,9 @@ mod tests {
                 .unwrap()
                 .with_effective_bitwidth(ebt)
                 .unwrap();
-            let out = GemmExecutor::new(cfg).execute(&gemm, &input, &weights).unwrap();
+            let out = GemmExecutor::new(cfg)
+                .execute(&gemm, &input, &weights)
+                .unwrap();
             let rmse = ErrorStats::compare(reference.as_slice(), out.output.as_slice())
                 .unwrap()
                 .rmse();
@@ -236,7 +276,9 @@ mod tests {
             WeightSet::from_fn(4, 1, 1, 6, |n, _, _, k| ((n * 6 + k) as f64) / 24.0 - 0.4);
         let reference = gemm_reference(&gemm, &input, &weights).unwrap();
         let cfg = SystolicConfig::new(4, 4, ComputingScheme::UnaryRate, 10).unwrap();
-        let out = GemmExecutor::new(cfg).execute(&gemm, &input, &weights).unwrap();
+        let out = GemmExecutor::new(cfg)
+            .execute(&gemm, &input, &weights)
+            .unwrap();
         let e = ErrorStats::compare(reference.as_slice(), out.output.as_slice()).unwrap();
         assert!(e.rmse() < 0.05, "{e}");
     }

@@ -33,7 +33,10 @@ impl<T: Clone> DelayLine<T> {
     /// Creates a delay line of the given depth, pre-filled with `fill`.
     #[must_use]
     pub fn new(depth: usize, fill: T) -> Self {
-        Self { queue: VecDeque::from(vec![fill; depth]), depth }
+        Self {
+            queue: VecDeque::from(vec![fill; depth]),
+            depth,
+        }
     }
 
     /// Pushes one element and pops the element that has aged `depth`
@@ -183,8 +186,9 @@ mod tests {
         let lanes = 4;
         let mut skew = SkewBank::new(lanes, SkewOrder::Ascending, 0i32);
         let mut unskew = SkewBank::new(lanes, SkewOrder::Descending, 0i32);
-        let vectors: Vec<Vec<i32>> =
-            (0..8).map(|p| (0..lanes as i32).map(|l| p * 10 + l).collect()).collect();
+        let vectors: Vec<Vec<i32>> = (0..8)
+            .map(|p| (0..lanes as i32).map(|l| p * 10 + l).collect())
+            .collect();
         let mut outs = Vec::new();
         for v in &vectors {
             outs.push(unskew.push(&skew.push(v)));

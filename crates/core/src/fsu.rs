@@ -89,8 +89,7 @@ impl FsuGemm {
     ) -> Result<Matrix<i64>, CoreError> {
         let (k, n) = self.gemm.lowered_shape();
         let m = self.gemm.output_pixels();
-        if input.rows() != m || input.cols() != k || weights.rows() != k || weights.cols() != n
-        {
+        if input.rows() != m || input.cols() != k || weights.rows() != k || weights.cols() != n {
             return Err(CoreError::Shape(format!(
                 "FSU instance is fixed to ({m}x{k})·({k}x{n}); got ({}x{})·({}x{})",
                 input.rows(),
@@ -131,7 +130,11 @@ impl FsuGemm {
                     // Only the selected product bit reaches the output —
                     // the scaled addition of the MUX adder.
                     let in_bit = r_in < in_thresholds[sel];
-                    let bit = if in_bit { r1 < w_thresholds[sel] } else { r0 >= w_thresholds[sel] };
+                    let bit = if in_bit {
+                        r1 < w_thresholds[sel]
+                    } else {
+                        r0 >= w_thresholds[sel]
+                    };
                     sum += if bit { 1 } else { -1 };
                 }
                 out[(p, c)] = sum;
@@ -219,8 +222,7 @@ mod tests {
             (0..12)
                 .map(|i| {
                     let (p, c) = (i / 3, i % 3);
-                    usys_out[(p, c)] as f64 * 128.0 / 16384.0
-                        - exact[(p, c)] as f64 / 16384.0
+                    usys_out[(p, c)] as f64 * 128.0 / 16384.0 - exact[(p, c)] as f64 / 16384.0
                 })
                 .collect(),
         );

@@ -21,7 +21,7 @@ use crate::CoreError;
 use usystolic_gemm::{GemmConfig, Matrix};
 
 /// One instruction of the uSystolic ISA.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instruction {
     /// Announce the MAC cycle count for all subsequent compute — the
     /// uSystolic augmentation over the TPU ISA. Must match a valid
@@ -71,7 +71,7 @@ impl core::fmt::Display for Instruction {
 }
 
 /// A compiled instruction stream for one GEMM.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     instructions: Vec<Instruction>,
 }
@@ -141,11 +141,15 @@ impl ProgramBuilder {
     #[must_use]
     pub fn compile(&self, gemm: &GemmConfig) -> Program {
         let map = TileMapping::new(gemm, self.config.rows(), self.config.cols());
-        let mut instructions =
-            vec![Instruction::SetMacCycles { mac_cycles: self.config.mac_cycles() }];
+        let mut instructions = vec![Instruction::SetMacCycles {
+            mac_cycles: self.config.mac_cycles(),
+        }];
         for cf in 0..map.col_folds() as u32 {
             for rf in 0..map.row_folds() as u32 {
-                instructions.push(Instruction::LoadWeights { row_fold: rf, col_fold: cf });
+                instructions.push(Instruction::LoadWeights {
+                    row_fold: rf,
+                    col_fold: cf,
+                });
                 instructions.push(Instruction::MatMul { accumulate: rf > 0 });
             }
             instructions.push(Instruction::DrainOutputs { col_fold: cf });
@@ -277,8 +281,7 @@ impl Processor {
                     mac_set = true;
                 }
                 Instruction::LoadWeights { row_fold, col_fold } => {
-                    if row_fold as usize >= map.row_folds()
-                        || col_fold as usize >= map.col_folds()
+                    if row_fold as usize >= map.row_folds() || col_fold as usize >= map.col_folds()
                     {
                         return Err(IsaError::FoldOutOfRange { instruction: inst });
                     }
@@ -379,7 +382,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(matmuls, [false, true, true, false, true, true, false, true, true]);
+        assert_eq!(
+            matmuls,
+            [false, true, true, false, true, true, false, true, true]
+        );
     }
 
     #[test]
@@ -403,12 +409,21 @@ mod tests {
         // The ISA's MAC-cycle indicator changes the early-termination
         // point at run time (the dynamic knob of Section V-H).
         let (_, gemm, input, weights) = case();
-        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
-            .expect("valid configuration");
-        let mut program = ProgramBuilder::new(cfg).compile(&gemm).instructions().to_vec();
+        let cfg =
+            SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).expect("valid configuration");
+        let mut program = ProgramBuilder::new(cfg)
+            .compile(&gemm)
+            .instructions()
+            .to_vec();
         program[0] = Instruction::SetMacCycles { mac_cycles: 33 }; // EBT 6
         let out = Processor::new(cfg, gemm)
-            .run(&Program { instructions: program }, &input, &weights)
+            .run(
+                &Program {
+                    instructions: program,
+                },
+                &input,
+                &weights,
+            )
             .expect("program runs");
         let et_cfg = cfg.with_mul_cycles(32).expect("valid EBT");
         let (direct, _) = GemmExecutor::new(et_cfg)
@@ -424,11 +439,17 @@ mod tests {
         // MatMul before SetMacCycles.
         let p = Program {
             instructions: vec![
-                Instruction::LoadWeights { row_fold: 0, col_fold: 0 },
+                Instruction::LoadWeights {
+                    row_fold: 0,
+                    col_fold: 0,
+                },
                 Instruction::MatMul { accumulate: false },
             ],
         };
-        assert_eq!(proc.run(&p, &input, &weights).unwrap_err(), IsaError::MacCyclesNotSet);
+        assert_eq!(
+            proc.run(&p, &input, &weights).unwrap_err(),
+            IsaError::MacCyclesNotSet
+        );
         // MatMul before LoadWeights.
         let p = Program {
             instructions: vec![
@@ -436,12 +457,18 @@ mod tests {
                 Instruction::MatMul { accumulate: false },
             ],
         };
-        assert_eq!(proc.run(&p, &input, &weights).unwrap_err(), IsaError::NoWeightsLoaded);
+        assert_eq!(
+            proc.run(&p, &input, &weights).unwrap_err(),
+            IsaError::NoWeightsLoaded
+        );
         // Fold out of range.
         let p = Program {
             instructions: vec![
                 Instruction::SetMacCycles { mac_cycles: 1 },
-                Instruction::LoadWeights { row_fold: 99, col_fold: 0 },
+                Instruction::LoadWeights {
+                    row_fold: 99,
+                    col_fold: 0,
+                },
             ],
         };
         assert!(matches!(
@@ -463,7 +490,10 @@ mod tests {
         let p = Program {
             instructions: vec![Instruction::SetMacCycles { mac_cycles: 0 }],
         };
-        assert_eq!(proc.run(&p, &input, &weights).unwrap_err(), IsaError::BadMacCycles(0));
+        assert_eq!(
+            proc.run(&p, &input, &weights).unwrap_err(),
+            IsaError::BadMacCycles(0)
+        );
         let p = Program {
             instructions: vec![Instruction::SetMacCycles { mac_cycles: 100 }],
         };
@@ -487,7 +517,9 @@ mod tests {
     #[test]
     fn error_display_and_source() {
         use std::error::Error;
-        assert!(IsaError::MacCyclesNotSet.to_string().contains("set_mac_cycles"));
+        assert!(IsaError::MacCyclesNotSet
+            .to_string()
+            .contains("set_mac_cycles"));
         let e: IsaError = CoreError::Config("x".into()).into();
         assert!(e.source().is_some());
     }

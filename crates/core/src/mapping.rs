@@ -24,7 +24,7 @@ use usystolic_gemm::GemmConfig;
 /// assert_eq!(map.col_folds(), 293);
 /// # Ok::<(), usystolic_gemm::GemmError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileMapping {
     rows: usize,
     cols: usize,

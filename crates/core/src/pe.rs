@@ -21,9 +21,9 @@
 //! holds at every column (Eq. 4) — the row-level simulation verifies this
 //! bit-for-bit in its tests.
 
+use usystolic_unary::coding::Coding;
 use usystolic_unary::rng::{CounterSource, NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
-use usystolic_unary::coding::Coding;
 
 /// The IFM bitstream source of a leftmost PE: an RNG for rate coding or a
 /// counter for temporal coding (the `RNG/CNT` block of Fig. 7).
@@ -274,7 +274,11 @@ mod tests {
         let mut row = UnaryRow::new(8, sm(77), vec![sm(100)], Coding::Rate);
         let counts = row.run(128).to_vec();
         let exact = 77.0 * 100.0 / 128.0;
-        assert!((counts[0] as f64 - exact).abs() <= 1.0, "{} vs {exact}", counts[0]);
+        assert!(
+            (counts[0] as f64 - exact).abs() <= 1.0,
+            "{} vs {exact}",
+            counts[0]
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use usystolic_unary::coding::Coding;
 use usystolic_unary::EarlyTermination;
 
 /// The computing scheme of a systolic-array PE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ComputingScheme {
     /// Conventional bit-parallel binary MAC: 1 cycle (the TPU-style
     /// baseline \[30\]).
@@ -142,6 +142,12 @@ impl core::fmt::Display for ComputingScheme {
     }
 }
 
+impl usystolic_obs::ToJson for ComputingScheme {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::Str(self.label().to_owned())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,7 +189,10 @@ mod tests {
     fn coding_assignment() {
         use usystolic_unary::coding::Coding;
         assert_eq!(ComputingScheme::UnaryRate.coding(), Some(Coding::Rate));
-        assert_eq!(ComputingScheme::UnaryTemporal.coding(), Some(Coding::Temporal));
+        assert_eq!(
+            ComputingScheme::UnaryTemporal.coding(),
+            Some(Coding::Temporal)
+        );
         assert_eq!(ComputingScheme::UGemmHybrid.coding(), Some(Coding::Rate));
         assert_eq!(ComputingScheme::BinaryParallel.coding(), None);
         assert!(!ComputingScheme::BinarySerial.is_unary());

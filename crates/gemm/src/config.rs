@@ -10,7 +10,7 @@ use crate::GemmError;
 
 /// Whether a GEMM is a matrix convolution or a matrix multiplication
 /// (the *type* axis of Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmKind {
     /// Matrix convolution (`Conv` layers).
     Convolution,
@@ -40,7 +40,7 @@ impl core::fmt::Display for GemmKind {
 /// assert_eq!(conv1.output_height(), 55);
 /// assert_eq!(conv1.macs(), 55 * 55 * 96 * 11 * 11 * 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GemmConfig {
     kind: GemmKind,
     ih: usize,
@@ -68,7 +68,16 @@ impl GemmConfig {
         stride: usize,
         oc: usize,
     ) -> Result<Self, GemmError> {
-        let cfg = Self { kind: GemmKind::Convolution, ih, iw, ic, wh, ww, stride, oc };
+        let cfg = Self {
+            kind: GemmKind::Convolution,
+            ih,
+            iw,
+            ic,
+            wh,
+            ww,
+            stride,
+            oc,
+        };
         cfg.validate()?;
         Ok(cfg)
     }
@@ -104,7 +113,9 @@ impl GemmConfig {
             || self.stride == 0
             || self.oc == 0
         {
-            return Err(GemmError::InvalidConfig("all parameters must be non-zero".into()));
+            return Err(GemmError::InvalidConfig(
+                "all parameters must be non-zero".into(),
+            ));
         }
         if self.wh > self.ih || self.ww > self.iw {
             return Err(GemmError::InvalidConfig(format!(
@@ -240,6 +251,30 @@ impl core::fmt::Display for GemmConfig {
             self.output_width(),
             self.oc
         )
+    }
+}
+
+impl usystolic_obs::ToJson for GemmKind {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::Str(self.to_string())
+    }
+}
+
+impl usystolic_obs::ToJson for GemmConfig {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("kind", self.kind().to_json()),
+            ("input_height", self.input_height().to_json()),
+            ("input_width", self.input_width().to_json()),
+            ("input_channels", self.input_channels().to_json()),
+            ("weight_height", self.weight_height().to_json()),
+            ("weight_width", self.weight_width().to_json()),
+            ("stride", self.stride().to_json()),
+            ("output_channels", self.output_channels().to_json()),
+            ("output_height", self.output_height().to_json()),
+            ("output_width", self.output_width().to_json()),
+            ("macs", self.macs().to_json()),
+        ])
     }
 }
 

@@ -24,7 +24,11 @@ pub fn lower_input<T: Clone + Default>(
     input: &FeatureMap<T>,
 ) -> Result<Matrix<T>, GemmError> {
     if (input.height(), input.width(), input.channels())
-        != (config.input_height(), config.input_width(), config.input_channels())
+        != (
+            config.input_height(),
+            config.input_width(),
+            config.input_channels(),
+        )
     {
         return Err(GemmError::ShapeMismatch {
             expected: format!(
@@ -67,14 +71,17 @@ pub fn lower_weights<T: Clone + Default>(
     config: &GemmConfig,
     weights: &WeightSet<T>,
 ) -> Result<Matrix<T>, GemmError> {
-    if (weights.out_channels(), weights.height(), weights.width(), weights.in_channels())
-        != (
-            config.output_channels(),
-            config.weight_height(),
-            config.weight_width(),
-            config.input_channels(),
-        )
-    {
+    if (
+        weights.out_channels(),
+        weights.height(),
+        weights.width(),
+        weights.in_channels(),
+    ) != (
+        config.output_channels(),
+        config.weight_height(),
+        config.weight_width(),
+        config.input_channels(),
+    ) {
         return Err(GemmError::ShapeMismatch {
             expected: "weights matching config".into(),
             found: "different shape".into(),
@@ -161,8 +168,7 @@ mod tests {
     #[test]
     fn lowered_product_equals_direct_convolution() {
         let cfg = GemmConfig::conv(5, 6, 3, 3, 2, 1, 4).unwrap();
-        let input =
-            FeatureMap::from_fn(5, 6, 3, |h, w, c| (h * 31 + w * 7 + c) as f64 * 0.1 - 2.0);
+        let input = FeatureMap::from_fn(5, 6, 3, |h, w, c| (h * 31 + w * 7 + c) as f64 * 0.1 - 2.0);
         let weights = WeightSet::from_fn(4, 3, 2, 3, |oc, wh, ww, ic| {
             ((oc * 13 + wh * 5 + ww * 3 + ic) % 7) as f64 - 3.0
         });

@@ -19,7 +19,11 @@ fn check_shapes<T>(
     input: &FeatureMap<T>,
     weights: &WeightSet<T>,
 ) -> Result<(), GemmError> {
-    let want_in = (config.input_height(), config.input_width(), config.input_channels());
+    let want_in = (
+        config.input_height(),
+        config.input_width(),
+        config.input_channels(),
+    );
     let got_in = (input.height(), input.width(), input.channels());
     if want_in != got_in {
         return Err(GemmError::ShapeMismatch {
@@ -33,8 +37,12 @@ fn check_shapes<T>(
         config.weight_width(),
         config.input_channels(),
     );
-    let got_w =
-        (weights.out_channels(), weights.height(), weights.width(), weights.in_channels());
+    let got_w = (
+        weights.out_channels(),
+        weights.height(),
+        weights.width(),
+        weights.in_channels(),
+    );
     if want_w != got_w {
         return Err(GemmError::ShapeMismatch {
             expected: format!("weights {want_w:?}"),
@@ -180,8 +188,7 @@ mod tests {
         let cfg = GemmConfig::matmul(1, 4, 1).unwrap();
         let input = FeatureMap::from_fn(1, 1, 4, |_, _, k| (k + 1) as i64);
         let weights = WeightSet::from_fn(1, 1, 1, 4, |_, _, _, _| 2i64);
-        let out = gemm_with_mac(&cfg, &input, &weights, 0i64, |acc, &w, &i| acc + w * i)
-            .unwrap();
+        let out = gemm_with_mac(&cfg, &input, &weights, 0i64, |acc, &w, &i| acc + w * i).unwrap();
         assert_eq!(out[(0, 0, 0)], 2 * (1 + 2 + 3 + 4));
     }
 

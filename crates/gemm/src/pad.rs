@@ -116,7 +116,12 @@ mod tests {
         // Corner output sums only the 2x2 interior patch.
         assert_eq!(out[(0, 0, 0)], 0.0 + 1.0 + 4.0 + 5.0);
         // Center outputs sum full 3x3 windows.
-        assert_eq!(out[(1, 1, 0)], (0..=2).flat_map(|h| (0..=2).map(move |w| (h * 4 + w) as f64)).sum::<f64>());
+        assert_eq!(
+            out[(1, 1, 0)],
+            (0..=2)
+                .flat_map(|h| (0..=2).map(move |w| (h * 4 + w) as f64))
+                .sum::<f64>()
+        );
     }
 
     #[test]

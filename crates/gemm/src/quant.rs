@@ -30,7 +30,7 @@ use crate::GemmError;
 /// assert_eq!(level, 64);
 /// assert!((q.dequantize(level) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantizer {
     bits: u32,
     scale: f64,
@@ -50,7 +50,10 @@ impl Quantizer {
             max_abs.is_finite() && max_abs > 0.0,
             "max_abs must be positive and finite"
         );
-        Self { bits, scale: (1u64 << (bits - 1)) as f64 / max_abs }
+        Self {
+            bits,
+            scale: (1u64 << (bits - 1)) as f64 / max_abs,
+        }
     }
 
     /// Creates a quantiser covering the maximum absolute value of `data`
@@ -90,7 +93,7 @@ impl Quantizer {
 
 /// One of the paper's fixed-point comparison formats at effective bitwidth
 /// `n`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FxpFormat {
     /// FXP-o-res: the output is `n` bits; inputs split `n` between them.
     OutputRes(u32),
@@ -154,10 +157,7 @@ impl core::fmt::Display for FxpFormat {
 /// assert_eq!(int[(0, 0, 0)], q.quantize(-1.0));
 /// ```
 #[must_use]
-pub fn quantize_feature_map(
-    fm: &FeatureMap<f64>,
-    bits: u32,
-) -> (FeatureMap<i64>, Quantizer) {
+pub fn quantize_feature_map(fm: &FeatureMap<f64>, bits: u32) -> (FeatureMap<i64>, Quantizer) {
     let q = Quantizer::calibrated(bits, fm.as_slice());
     let int = FeatureMap::from_fn(fm.height(), fm.width(), fm.channels(), |h, w, c| {
         q.quantize(fm[(h, w, c)])
@@ -210,9 +210,12 @@ pub fn fxp_gemm(
         weights.in_channels(),
         |oc, wh, ww, ic| qw.quantize(weights[(oc, wh, ww, ic)]),
     );
-    let i_int = FeatureMap::from_fn(input.height(), input.width(), input.channels(), |h, w, c| {
-        qi.quantize(input[(h, w, c)])
-    });
+    let i_int = FeatureMap::from_fn(
+        input.height(),
+        input.width(),
+        input.channels(),
+        |h, w, c| qi.quantize(input[(h, w, c)]),
+    );
 
     let int_out = gemm_with_mac(config, &i_int, &w_int, 0i64, |acc, &w, &i| acc + w * i)?;
 
@@ -225,11 +228,16 @@ pub fn fxp_gemm(
         .collect();
     let qo = Quantizer::calibrated(format.output_bits(), &real);
     let mut idx = 0;
-    let out = FeatureMap::from_fn(int_out.height(), int_out.width(), int_out.channels(), |_, _, _| {
-        let v = qo.dequantize(qo.quantize(real[idx]));
-        idx += 1;
-        v
-    });
+    let out = FeatureMap::from_fn(
+        int_out.height(),
+        int_out.width(),
+        int_out.channels(),
+        |_, _, _| {
+            let v = qo.dequantize(qo.quantize(real[idx]));
+            idx += 1;
+            v
+        },
+    );
     Ok(out)
 }
 

@@ -7,7 +7,7 @@
 use crate::GemmError;
 
 /// Summary statistics of the elementwise error `got − reference`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorStats {
     n: usize,
     mean: f64,
@@ -36,7 +36,13 @@ impl ErrorStats {
         let var = errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n as f64;
         let max_abs = errors.iter().fold(0.0f64, |m, e| m.max(e.abs()));
         let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
-        Ok(Self { n, mean, std_dev: var.sqrt(), max_abs, rmse })
+        Ok(Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            max_abs,
+            rmse,
+        })
     }
 
     /// Number of compared elements.

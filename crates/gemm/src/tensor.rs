@@ -14,7 +14,7 @@ use crate::GemmError;
 /// assert_eq!(m[(0, 2)], 5.0);
 /// assert_eq!(m.rows(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix<T = f64> {
     rows: usize,
     cols: usize,
@@ -30,7 +30,11 @@ impl<T: Clone + Default> Matrix<T> {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![T::default(); rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -118,7 +122,11 @@ impl<T> Matrix<T> {
     /// Applies `f` to every element, producing a new matrix.
     #[must_use]
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
@@ -126,21 +134,31 @@ impl<T> core::ops::Index<(usize, usize)> for Matrix<T> {
     type Output = T;
 
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl<T> core::ops::IndexMut<(usize, usize)> for Matrix<T> {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
 
 /// An input/output feature map: `height × width × channels`, row-major with
 /// channel innermost (the `I` and `O` variables of Table II).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureMap<T = f64> {
     height: usize,
     width: usize,
@@ -160,7 +178,12 @@ impl<T: Clone + Default> FeatureMap<T> {
             height > 0 && width > 0 && channels > 0,
             "feature map dimensions must be non-zero"
         );
-        Self { height, width, channels, data: vec![T::default(); height * width * channels] }
+        Self {
+            height,
+            width,
+            channels,
+            data: vec![T::default(); height * width * channels],
+        }
     }
 
     /// Builds a feature map by evaluating `f(h, w, c)` everywhere.
@@ -179,7 +202,12 @@ impl<T: Clone + Default> FeatureMap<T> {
                 }
             }
         }
-        Self { height, width, channels, data }
+        Self {
+            height,
+            width,
+            channels,
+            data,
+        }
     }
 }
 
@@ -262,7 +290,7 @@ impl<T> core::ops::IndexMut<(usize, usize, usize)> for FeatureMap<T> {
 
 /// A set of convolution weights: `out-channels × height × width ×
 /// in-channels` (the `W` variable of Table II).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightSet<T = f64> {
     out_channels: usize,
     height: usize,
@@ -311,7 +339,13 @@ impl<T: Clone + Default> WeightSet<T> {
                 }
             }
         }
-        Self { out_channels, height, width, in_channels, data }
+        Self {
+            out_channels,
+            height,
+            width,
+            in_channels,
+            data,
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use usystolic_core::SystolicConfig;
 use usystolic_sim::MemoryHierarchy;
 
 /// Area of one systolic array in mm², broken down as in Fig. 11.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayArea {
     /// IREG stack (mm²).
     pub ireg_mm2: f64,
@@ -40,7 +40,7 @@ impl ArrayArea {
 }
 
 /// On-chip area: systolic array plus (optional) SRAM.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnChipArea {
     /// The systolic-array breakdown.
     pub array: ArrayArea,
@@ -67,13 +67,38 @@ impl OnChipArea {
                 tech::sram_area_mm2(3 * s.capacity_bytes * scale)
             })
             .unwrap_or(0.0);
-        Self { array: ArrayArea::for_config(config), sram_mm2 }
+        Self {
+            array: ArrayArea::for_config(config),
+            sram_mm2,
+        }
     }
 
     /// Total on-chip area in mm².
     #[must_use]
     pub fn total_mm2(&self) -> f64 {
         self.array.total_mm2() + self.sram_mm2
+    }
+}
+
+impl usystolic_obs::ToJson for ArrayArea {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("ireg_mm2", self.ireg_mm2.to_json()),
+            ("wreg_mm2", self.wreg_mm2.to_json()),
+            ("mul_mm2", self.mul_mm2.to_json()),
+            ("acc_mm2", self.acc_mm2.to_json()),
+            ("total_mm2", self.total_mm2().to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for OnChipArea {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("array", self.array.to_json()),
+            ("sram_mm2", self.sram_mm2.to_json()),
+            ("total_mm2", self.total_mm2().to_json()),
+        ])
     }
 }
 

@@ -30,7 +30,7 @@ use usystolic_sim::{LayerReport, MemoryHierarchy};
 /// assert!(energy.total_j() > energy.on_chip_j()); // DRAM adds on top
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerEnergy {
     /// Systolic-array dynamic energy.
     pub sa_dynamic_j: f64,
@@ -54,9 +54,8 @@ impl LayerEnergy {
     ) -> Self {
         let pe = PeComponents::for_config(config);
         let busy_pe_cycles = report.macs as f64 * config.mac_cycles() as f64;
-        let sa_dynamic_j = busy_pe_cycles
-            * pe.toggles_per_busy_cycle(config.scheme())
-            * tech::GE_TOGGLE_ENERGY_J;
+        let sa_dynamic_j =
+            busy_pe_cycles * pe.toggles_per_busy_cycle(config.scheme()) * tech::GE_TOGGLE_ENERGY_J;
         let sa_area = ArrayArea::for_config(config).total_mm2();
         let sa_leakage_j = sa_area * tech::LOGIC_LEAK_W_PER_MM2 * report.runtime_s;
 
@@ -64,8 +63,7 @@ impl LayerEnergy {
             Some(s) => {
                 let scale = u64::from(config.bitwidth().div_ceil(8));
                 let cap = s.capacity_bytes * scale;
-                let dyn_j =
-                    report.traffic.sram.total() as f64 * tech::sram_dyn_j_per_byte(cap);
+                let dyn_j = report.traffic.sram.total() as f64 * tech::sram_dyn_j_per_byte(cap);
                 // Three variable SRAMs leak for the whole runtime —
                 // "the SRAM leakage power of varying designs are
                 // identical" (Section V-F).
@@ -74,9 +72,14 @@ impl LayerEnergy {
             }
             None => (0.0, 0.0),
         };
-        let dram_dynamic_j =
-            report.traffic.dram.total() as f64 * tech::DRAM_ACCESS_J_PER_BYTE;
-        Self { sa_dynamic_j, sa_leakage_j, sram_dynamic_j, sram_leakage_j, dram_dynamic_j }
+        let dram_dynamic_j = report.traffic.dram.total() as f64 * tech::DRAM_ACCESS_J_PER_BYTE;
+        Self {
+            sa_dynamic_j,
+            sa_leakage_j,
+            sram_dynamic_j,
+            sram_leakage_j,
+            dram_dynamic_j,
+        }
     }
 
     /// Systolic-array energy (dynamic + leakage).
@@ -105,7 +108,7 @@ impl LayerEnergy {
 }
 
 /// Energy-delay products of a layer (Section V-E).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerEdp {
     /// On-chip energy × runtime (J·s).
     pub on_chip_js: f64,
@@ -121,6 +124,29 @@ impl LayerEdp {
             on_chip_js: energy.on_chip_j() * runtime_s,
             total_js: energy.total_j() * runtime_s,
         }
+    }
+}
+
+impl usystolic_obs::ToJson for LayerEnergy {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("sa_dynamic_j", self.sa_dynamic_j.to_json()),
+            ("sa_leakage_j", self.sa_leakage_j.to_json()),
+            ("sram_dynamic_j", self.sram_dynamic_j.to_json()),
+            ("sram_leakage_j", self.sram_leakage_j.to_json()),
+            ("dram_dynamic_j", self.dram_dynamic_j.to_json()),
+            ("on_chip_j", self.on_chip_j().to_json()),
+            ("total_j", self.total_j().to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for LayerEdp {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("on_chip_js", self.on_chip_js.to_json()),
+            ("total_js", self.total_js.to_json()),
+        ])
     }
 }
 
@@ -171,8 +197,11 @@ mod tests {
             None,
             MemoryHierarchy::edge_with_sram(),
         );
-        let (ur32, _) =
-            energy_of(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let (ur32, _) = energy_of(
+            ComputingScheme::UnaryRate,
+            Some(32),
+            MemoryHierarchy::no_sram(),
+        );
         assert!(
             ur32.on_chip_j() < bp.on_chip_j(),
             "UR-32c {} vs BP {}",
@@ -183,7 +212,11 @@ mod tests {
 
     #[test]
     fn dram_dominates_total_energy_for_unary() {
-        let (e, _) = energy_of(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        let (e, _) = energy_of(
+            ComputingScheme::UnaryRate,
+            Some(128),
+            MemoryHierarchy::no_sram(),
+        );
         assert!(e.dram_dynamic_j > e.on_chip_j());
     }
 
@@ -196,8 +229,11 @@ mod tests {
             None,
             MemoryHierarchy::edge_with_sram(),
         );
-        let (ur, _) =
-            energy_of(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        let (ur, _) = energy_of(
+            ComputingScheme::UnaryRate,
+            Some(128),
+            MemoryHierarchy::no_sram(),
+        );
         assert!(
             ur.total_j() > bp.total_j(),
             "expected negative total-energy gain at the edge for conv layers"
@@ -206,10 +242,16 @@ mod tests {
 
     #[test]
     fn early_termination_reduces_on_chip_energy() {
-        let (e32, _) =
-            energy_of(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
-        let (e128, _) =
-            energy_of(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        let (e32, _) = energy_of(
+            ComputingScheme::UnaryRate,
+            Some(32),
+            MemoryHierarchy::no_sram(),
+        );
+        let (e128, _) = energy_of(
+            ComputingScheme::UnaryRate,
+            Some(128),
+            MemoryHierarchy::no_sram(),
+        );
         assert!(e32.on_chip_j() < e128.on_chip_j());
     }
 
@@ -217,10 +259,16 @@ mod tests {
     fn ugemm_h_costs_more_than_usystolic() {
         // Section V-E: uGEMM-H consistently consumes over 2× the energy of
         // uSystolic (larger area, longer runtime).
-        let (ug, _) =
-            energy_of(ComputingScheme::UGemmHybrid, None, MemoryHierarchy::no_sram());
-        let (ut, _) =
-            energy_of(ComputingScheme::UnaryTemporal, None, MemoryHierarchy::no_sram());
+        let (ug, _) = energy_of(
+            ComputingScheme::UGemmHybrid,
+            None,
+            MemoryHierarchy::no_sram(),
+        );
+        let (ut, _) = energy_of(
+            ComputingScheme::UnaryTemporal,
+            None,
+            MemoryHierarchy::no_sram(),
+        );
         assert!(
             ug.on_chip_j() > 1.5 * ut.on_chip_j(),
             "UG {} vs UT {}",
@@ -231,8 +279,11 @@ mod tests {
 
     #[test]
     fn edp_multiplies_energy_by_runtime() {
-        let (e, runtime) =
-            energy_of(ComputingScheme::UnaryRate, Some(64), MemoryHierarchy::no_sram());
+        let (e, runtime) = energy_of(
+            ComputingScheme::UnaryRate,
+            Some(64),
+            MemoryHierarchy::no_sram(),
+        );
         let edp = LayerEdp::new(&e, runtime);
         assert!((edp.on_chip_js - e.on_chip_j() * runtime).abs() < 1e-18);
         assert!(edp.total_js > edp.on_chip_js);

@@ -9,7 +9,7 @@ use usystolic_gemm::GemmConfig;
 use usystolic_sim::{LayerReport, MemoryHierarchy, Simulator};
 
 /// Full hardware evaluation of one GEMM layer on one design point.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerEvaluation {
     /// Timing / traffic / bandwidth report from the simulator.
     pub report: LayerReport,
@@ -42,16 +42,8 @@ pub fn evaluate_layer(
         energy,
         power,
         edp: LayerEdp::new(&energy, report.runtime_s),
-        on_chip_efficiency: Efficiency::on_chip(
-            &energy,
-            report.runtime_s,
-            report.throughput_per_s,
-        ),
-        total_efficiency: Efficiency::total(
-            &energy,
-            report.runtime_s,
-            report.throughput_per_s,
-        ),
+        on_chip_efficiency: Efficiency::on_chip(&energy, report.runtime_s, report.throughput_per_s),
+        total_efficiency: Efficiency::total(&energy, report.runtime_s, report.throughput_per_s),
         area: OnChipArea::for_config(config, memory),
     }
 }
@@ -63,7 +55,24 @@ pub fn evaluate_network(
     memory: &MemoryHierarchy,
     layers: &[GemmConfig],
 ) -> Vec<LayerEvaluation> {
-    layers.iter().map(|l| evaluate_layer(config, memory, l)).collect()
+    layers
+        .iter()
+        .map(|l| evaluate_layer(config, memory, l))
+        .collect()
+}
+
+impl usystolic_obs::ToJson for LayerEvaluation {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("report", self.report.to_json()),
+            ("energy", self.energy.to_json()),
+            ("power", self.power.to_json()),
+            ("edp", self.edp.to_json()),
+            ("on_chip_efficiency", self.on_chip_efficiency.to_json()),
+            ("total_efficiency", self.total_efficiency.to_json()),
+            ("area", self.area.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

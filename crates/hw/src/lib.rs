@@ -29,5 +29,5 @@ pub use area::{ArrayArea, OnChipArea};
 pub use energy::{LayerEdp, LayerEnergy};
 pub use evaluate::{evaluate_layer, evaluate_network, LayerEvaluation};
 pub use pe_area::PeComponents;
-pub use summary::NetworkEvaluation;
 pub use power::{improvement, reduction_percent, Efficiency, LayerPower};
+pub use summary::NetworkEvaluation;

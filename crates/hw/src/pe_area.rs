@@ -35,7 +35,7 @@ fn counter_ge(w: u32) -> f64 {
 
 /// Per-PE area breakdown in gate equivalents, following Fig. 11's four
 /// stacks.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeComponents {
     /// Input-register block (IREG / IABS+IDFF+ISIGN).
     pub ireg_ge: f64,
@@ -180,8 +180,7 @@ mod tests {
         // Paper: rate-coded uSystolic has a 58.2 % smaller MUL than
         // uGEMM-H, driving a ~16.5 % overall reduction.
         let ur = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
-        let ug =
-            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UGemmHybrid, 8));
+        let ug = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UGemmHybrid, 8));
         let mul_reduction = 1.0 - ur.mul_ge / ug.mul_ge;
         assert!(
             (0.35..0.70).contains(&mul_reduction),
@@ -208,17 +207,22 @@ mod tests {
     fn cloud_amortisation_shrinks_unary_mul() {
         // With 256 columns the leftmost-column RNGs amortise away.
         let edge = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
-        let cloud =
-            PeComponents::for_config(&SystolicConfig::cloud(ComputingScheme::UnaryRate, 8));
+        let cloud = PeComponents::for_config(&SystolicConfig::cloud(ComputingScheme::UnaryRate, 8));
         assert!(cloud.mul_ge < edge.mul_ge);
     }
 
     #[test]
     fn binary_multiplier_is_superquadratic() {
-        let m8 = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8)).mul_ge;
+        let m8 =
+            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8))
+                .mul_ge;
         let m16 =
-            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 16)).mul_ge;
-        assert!(m16 > 4.0 * m8, "16-bit multiplier must be more than 4x the 8-bit one");
+            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 16))
+                .mul_ge;
+        assert!(
+            m16 > 4.0 * m8,
+            "16-bit multiplier must be more than 4x the 8-bit one"
+        );
     }
 
     #[test]
@@ -229,7 +233,8 @@ mod tests {
             assert!(t > 0.0 && t <= pe.total_ge(), "{scheme}");
         }
         // Binary parallel toggles far more per cycle than unary.
-        let bp = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8));
+        let bp =
+            PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8));
         let ur = PeComponents::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8));
         assert!(
             bp.toggles_per_busy_cycle(ComputingScheme::BinaryParallel)

@@ -7,7 +7,7 @@
 use crate::energy::LayerEnergy;
 
 /// Power of one layer in watts, decomposed like the energy.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPower {
     /// Systolic-array power.
     pub sa_w: f64,
@@ -47,7 +47,7 @@ impl LayerPower {
 }
 
 /// Throughput-normalised efficiency of one layer (Fig. 14).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Efficiency {
     /// Energy efficiency: throughput / energy (1 / (s·J)).
     pub energy_eff: f64,
@@ -93,6 +93,27 @@ pub fn reduction_percent(ours: f64, baseline: f64) -> f64 {
     (1.0 - ours / baseline) * 100.0
 }
 
+impl usystolic_obs::ToJson for LayerPower {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("sa_w", self.sa_w.to_json()),
+            ("sram_w", self.sram_w.to_json()),
+            ("dram_w", self.dram_w.to_json()),
+            ("on_chip_w", self.on_chip_w().to_json()),
+            ("total_w", self.total_w().to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for Efficiency {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("energy_eff", self.energy_eff.to_json()),
+            ("power_eff", self.power_eff.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,13 +126,21 @@ mod tests {
         GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).unwrap()
     }
 
-    fn eval(scheme: ComputingScheme, cycles: Option<u64>, mem: MemoryHierarchy) -> (LayerEnergy, f64, f64) {
+    fn eval(
+        scheme: ComputingScheme,
+        cycles: Option<u64>,
+        mem: MemoryHierarchy,
+    ) -> (LayerEnergy, f64, f64) {
         let mut cfg = SystolicConfig::edge(scheme, 8);
         if let Some(c) = cycles {
             cfg = cfg.with_mul_cycles(c).unwrap();
         }
         let r = Simulator::new(cfg, mem).simulate(&layer());
-        (LayerEnergy::compute(&cfg, &mem, &r), r.runtime_s, r.throughput_per_s)
+        (
+            LayerEnergy::compute(&cfg, &mem, &r),
+            r.runtime_s,
+            r.throughput_per_s,
+        )
     }
 
     #[test]
@@ -123,18 +152,27 @@ mod tests {
             None,
             MemoryHierarchy::edge_with_sram(),
         );
-        let (ue, ur_s, _) =
-            eval(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
+        let (ue, ur_s, _) = eval(
+            ComputingScheme::UnaryRate,
+            Some(128),
+            MemoryHierarchy::no_sram(),
+        );
         let bp = LayerPower::new(&be, br).on_chip_w();
         let up = LayerPower::new(&ue, ur_s).on_chip_w();
         let red = reduction_percent(up, bp);
-        assert!(red > 90.0, "on-chip power reduction {red:.1}% below paper band");
+        assert!(
+            red > 90.0,
+            "on-chip power reduction {red:.1}% below paper band"
+        );
     }
 
     #[test]
     fn power_times_runtime_recovers_energy() {
-        let (e, runtime, _) =
-            eval(ComputingScheme::BinarySerial, None, MemoryHierarchy::edge_with_sram());
+        let (e, runtime, _) = eval(
+            ComputingScheme::BinarySerial,
+            None,
+            MemoryHierarchy::edge_with_sram(),
+        );
         let p = LayerPower::new(&e, runtime);
         assert!((p.total_w() * runtime - e.total_j()).abs() / e.total_j() < 1e-9);
         assert!((p.on_chip_w() - p.sa_w - p.sram_w).abs() < 1e-12);
@@ -144,10 +182,16 @@ mod tests {
     fn efficiency_improvement_of_early_termination() {
         // Fig. 14: early termination always increases on-chip energy and
         // power efficiency over the non-terminated design.
-        let (e128, r128, t128) =
-            eval(ComputingScheme::UnaryRate, Some(128), MemoryHierarchy::no_sram());
-        let (e32, r32, t32) =
-            eval(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let (e128, r128, t128) = eval(
+            ComputingScheme::UnaryRate,
+            Some(128),
+            MemoryHierarchy::no_sram(),
+        );
+        let (e32, r32, t32) = eval(
+            ComputingScheme::UnaryRate,
+            Some(32),
+            MemoryHierarchy::no_sram(),
+        );
         let f128 = Efficiency::on_chip(&e128, r128, t128);
         let f32 = Efficiency::on_chip(&e32, r32, t32);
         assert!(improvement(f32.energy_eff, f128.energy_eff) > 1.0);
@@ -163,8 +207,11 @@ mod tests {
             None,
             MemoryHierarchy::edge_with_sram(),
         );
-        let (ue, ur_s, ut) =
-            eval(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let (ue, ur_s, ut) = eval(
+            ComputingScheme::UnaryRate,
+            Some(32),
+            MemoryHierarchy::no_sram(),
+        );
         let b = Efficiency::on_chip(&be, br, bt);
         let u = Efficiency::on_chip(&ue, ur_s, ut);
         assert!(
@@ -186,15 +233,22 @@ mod tests {
                 cfg = cfg.with_mul_cycles(c).unwrap();
             }
             let r = Simulator::new(cfg, mem).simulate(&fc6);
-            (LayerEnergy::compute(&cfg, &mem, &r), r.runtime_s, r.throughput_per_s)
+            (
+                LayerEnergy::compute(&cfg, &mem, &r),
+                r.runtime_s,
+                r.throughput_per_s,
+            )
         };
         let (be, br, bt) = eval_fc(
             ComputingScheme::BinaryParallel,
             None,
             MemoryHierarchy::edge_with_sram(),
         );
-        let (ue, ur_s, ut) =
-            eval_fc(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let (ue, ur_s, ut) = eval_fc(
+            ComputingScheme::UnaryRate,
+            Some(32),
+            MemoryHierarchy::no_sram(),
+        );
         let b = Efficiency::on_chip(&be, br, bt);
         let u = Efficiency::on_chip(&ue, ur_s, ut);
         let pei = improvement(u.power_eff, b.power_eff);
@@ -212,15 +266,21 @@ mod tests {
             None,
             MemoryHierarchy::edge_with_sram(),
         );
-        let (ue, ur_s, ut) =
-            eval(ComputingScheme::UnaryRate, Some(32), MemoryHierarchy::no_sram());
+        let (ue, ur_s, ut) = eval(
+            ComputingScheme::UnaryRate,
+            Some(32),
+            MemoryHierarchy::no_sram(),
+        );
         let b_on = Efficiency::on_chip(&be, br, bt);
         let u_on = Efficiency::on_chip(&ue, ur_s, ut);
         let b_tot = Efficiency::total(&be, br, bt);
         let u_tot = Efficiency::total(&ue, ur_s, ut);
         let on_gain = improvement(u_on.power_eff, b_on.power_eff);
         let tot_gain = improvement(u_tot.power_eff, b_tot.power_eff);
-        assert!(tot_gain < on_gain, "total gain {tot_gain} must trail on-chip {on_gain}");
+        assert!(
+            tot_gain < on_gain,
+            "total gain {tot_gain} must trail on-chip {on_gain}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ use usystolic_gemm::GemmConfig;
 use usystolic_sim::MemoryHierarchy;
 
 /// Aggregated evaluation of one full network pass.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkEvaluation {
     /// Per-layer records, in execution order.
     pub layers: Vec<LayerEvaluation>,
@@ -36,7 +36,13 @@ impl NetworkEvaluation {
         let on_chip_j = layers.iter().map(|l| l.energy.on_chip_j()).sum();
         let total_j = layers.iter().map(|l| l.energy.total_j()).sum();
         let macs = layers.iter().map(|l| l.report.macs).sum();
-        Self { layers, runtime_s, on_chip_j, total_j, macs }
+        Self {
+            layers,
+            runtime_s,
+            on_chip_j,
+            total_j,
+            macs,
+        }
     }
 
     /// Inferences per second.
@@ -67,6 +73,20 @@ impl NetworkEvaluation {
     #[must_use]
     pub fn gops(&self) -> f64 {
         2.0 * self.macs as f64 / self.runtime_s / 1.0e9
+    }
+}
+
+impl usystolic_obs::ToJson for NetworkEvaluation {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("layers", self.layers.to_json()),
+            ("runtime_s", self.runtime_s.to_json()),
+            ("on_chip_j", self.on_chip_j.to_json()),
+            ("total_j", self.total_j.to_json()),
+            ("macs", self.macs.to_json()),
+            ("inferences_per_s", self.inferences_per_s().to_json()),
+            ("gops", self.gops().to_json()),
+        ])
     }
 }
 
@@ -103,10 +123,7 @@ mod tests {
     fn derived_metrics_are_consistent() {
         let ev = eval(ComputingScheme::BinaryParallel, None);
         assert!((ev.inferences_per_s() * ev.runtime_s - 1.0).abs() < 1e-9);
-        assert!(
-            (ev.on_chip_power_w() * ev.runtime_s - ev.on_chip_j).abs() / ev.on_chip_j
-                < 1e-9
-        );
+        assert!((ev.on_chip_power_w() * ev.runtime_s - ev.on_chip_j).abs() / ev.on_chip_j < 1e-9);
         assert!(ev.gops() > 0.0);
     }
 
@@ -114,9 +131,7 @@ mod tests {
     fn early_termination_improves_the_battery_metric() {
         let e32 = eval(ComputingScheme::UnaryRate, Some(32));
         let e128 = eval(ComputingScheme::UnaryRate, Some(128));
-        assert!(
-            e32.inferences_per_on_chip_joule() > e128.inferences_per_on_chip_joule()
-        );
+        assert!(e32.inferences_per_on_chip_joule() > e128.inferences_per_on_chip_joule());
         // And binary burns more on-chip energy per inference than
         // early-terminated unary.
         let bp = eval(ComputingScheme::BinaryParallel, None);

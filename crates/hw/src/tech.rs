@@ -88,7 +88,10 @@ mod tests {
         let a1 = sram_area_mm2(64 * 1024);
         let a2 = sram_area_mm2(128 * 1024);
         assert!(a2 > a1);
-        assert!(a2 < 2.0 * a1, "periphery amortises: doubling capacity < 2x area");
+        assert!(
+            a2 < 2.0 * a1,
+            "periphery amortises: doubling capacity < 2x area"
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! which is exactly what Fig. 9 measures. See DESIGN.md for the
 //! substitution rationale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use usystolic_unary::rng::SplitMix64;
 
 /// Image side length.
 pub const IMAGE_SIZE: usize = 12;
@@ -156,13 +155,13 @@ impl Dataset {
     /// amplitude and ±1 pixel jitter, deterministically from `seed`.
     #[must_use]
     pub fn generate(per_class: usize, noise: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut samples = Vec::with_capacity(per_class * CLASSES);
         for class in 0..CLASSES {
             let base = template(class);
             for _ in 0..per_class {
-                let dr = rng.gen_range(-1i32..=1);
-                let dc = rng.gen_range(-1i32..=1);
+                let dr = rng.range_i64(-1, 1) as i32;
+                let dc = rng.range_i64(-1, 1) as i32;
                 let mut pixels = vec![0.0f64; PIXELS];
                 for r in 0..IMAGE_SIZE as i32 {
                     for c in 0..IMAGE_SIZE as i32 {
@@ -174,12 +173,14 @@ impl Dataset {
                         } else {
                             0.0
                         };
-                        let noisy = v + noise * (rng.gen::<f64>() - 0.5);
-                        pixels[(r as usize) * IMAGE_SIZE + c as usize] =
-                            noisy.clamp(0.0, 1.0);
+                        let noisy = v + noise * (rng.next_f64() - 0.5);
+                        pixels[(r as usize) * IMAGE_SIZE + c as usize] = noisy.clamp(0.0, 1.0);
                     }
                 }
-                samples.push(Sample { pixels, label: class });
+                samples.push(Sample {
+                    pixels,
+                    label: class,
+                });
             }
         }
         Self { samples }
@@ -205,10 +206,10 @@ impl Dataset {
 
     /// Deterministically shuffles the samples (for SGD epochs).
     pub fn shuffle(&mut self, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         // Fisher-Yates.
         for i in (1..self.samples.len()).rev() {
-            let j = rng.gen_range(0..=i);
+            let j = rng.below(i as u64 + 1) as usize;
             self.samples.swap(i, j);
         }
     }
@@ -230,7 +231,14 @@ impl Dataset {
         let cut = ((shuffled.len() as f64) * train_fraction).round() as usize;
         let cut = cut.clamp(1, shuffled.len() - 1);
         let (a, b) = shuffled.samples.split_at(cut);
-        (Dataset { samples: a.to_vec() }, Dataset { samples: b.to_vec() })
+        (
+            Dataset {
+                samples: a.to_vec(),
+            },
+            Dataset {
+                samples: b.to_vec(),
+            },
+        )
     }
 }
 

@@ -23,7 +23,7 @@ pub mod trainer;
 pub mod zoo;
 
 pub use dataset::{ConfusionMatrix, Dataset, Sample};
-pub use mlperf::{mlperf_gemms, mlperf_suite};
 pub use mlp::TinyMlp;
+pub use mlperf::{mlperf_gemms, mlperf_suite};
 pub use trainer::TinyCnn;
 pub use zoo::{alexnet, mnist_cnn4, resnet18, vgg16, NamedLayer, Network};

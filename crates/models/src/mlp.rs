@@ -8,10 +8,9 @@
 //! `matmul` lowering the same way the CNN validates the conv lowering.
 
 use crate::dataset::{Dataset, Sample, CLASSES, PIXELS};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use usystolic_core::{CoreError, GemmExecutor};
 use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+use usystolic_unary::rng::SplitMix64;
 
 /// Hidden layer width.
 const HIDDEN: usize = 32;
@@ -29,12 +28,17 @@ impl TinyMlp {
     /// Creates a randomly initialised network, deterministic in `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let s1 = (2.0 / PIXELS as f64).sqrt();
-        let w1 = Matrix::from_fn(HIDDEN, PIXELS, |_, _| (rng.gen::<f64>() - 0.5) * 2.0 * s1);
+        let w1 = Matrix::from_fn(HIDDEN, PIXELS, |_, _| (rng.next_f64() - 0.5) * 2.0 * s1);
         let s2 = (2.0 / HIDDEN as f64).sqrt();
-        let w2 = Matrix::from_fn(CLASSES, HIDDEN, |_, _| (rng.gen::<f64>() - 0.5) * 2.0 * s2);
-        Self { w1, b1: vec![0.0; HIDDEN], w2, b2: vec![0.0; CLASSES] }
+        let w2 = Matrix::from_fn(CLASSES, HIDDEN, |_, _| (rng.next_f64() - 0.5) * 2.0 * s2);
+        Self {
+            w1,
+            b1: vec![0.0; HIDDEN],
+            w2,
+            b2: vec![0.0; CLASSES],
+        }
     }
 
     /// The first layer's GEMM configuration (`1 × PIXELS · PIXELS × HIDDEN`).
@@ -194,7 +198,9 @@ mod tests {
         let fp = net.accuracy_fp(&test);
         let cfg = SystolicConfig::new(12, 14, ComputingScheme::UnaryRate, 8)
             .expect("valid configuration");
-        let acc = net.accuracy_with(&test, &GemmExecutor::new(cfg)).expect("runs");
+        let acc = net
+            .accuracy_with(&test, &GemmExecutor::new(cfg))
+            .expect("runs");
         assert!(acc >= fp - 0.2, "uSystolic MLP accuracy {acc} vs FP {fp}");
     }
 
@@ -203,7 +209,9 @@ mod tests {
         let (net, test) = trained();
         let cfg = SystolicConfig::new(12, 14, ComputingScheme::BinaryParallel, 8)
             .expect("valid configuration");
-        let acc = net.accuracy_with(&test, &GemmExecutor::new(cfg)).expect("runs");
+        let acc = net
+            .accuracy_with(&test, &GemmExecutor::new(cfg))
+            .expect("runs");
         assert!(acc >= net.accuracy_fp(&test) - 0.1);
     }
 }

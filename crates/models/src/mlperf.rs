@@ -32,7 +32,10 @@ fn layers(name: &str, gemms: Vec<GemmConfig>) -> Network {
         layers: gemms
             .into_iter()
             .enumerate()
-            .map(|(i, g)| NamedLayer { name: format!("L{i}"), gemm: g })
+            .map(|(i, g)| NamedLayer {
+                name: format!("L{i}"),
+                gemm: g,
+            })
             .collect(),
     }
 }
@@ -91,15 +94,22 @@ pub fn resnet50() -> Network {
     let mut g = vec![conv(229, 229, 3, 7, 7, 2, 64)];
     // (spatial in, blocks, mid channels) per stage; each bottleneck is
     // 1x1 → 3x3 → 1x1, with one projection per stage.
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(56, 3, 64, 64), (56, 4, 128, 256), (28, 6, 256, 512), (14, 3, 512, 1024)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (56, 3, 64, 64),
+        (56, 4, 128, 256),
+        (28, 6, 256, 512),
+        (14, 3, 512, 1024),
+    ];
     for (stage_idx, (in_size, blocks, mid, in_ch)) in stages.into_iter().enumerate() {
         let stride = if stage_idx == 0 { 1 } else { 2 };
         let out_size = in_size / stride;
         let out_ch = mid * 4;
         for b in 0..blocks {
-            let (ic, s, sz) =
-                if b == 0 { (in_ch, stride, in_size) } else { (out_ch, 1, out_size) };
+            let (ic, s, sz) = if b == 0 {
+                (in_ch, stride, in_size)
+            } else {
+                (out_ch, 1, out_size)
+            };
             g.push(conv(sz, sz, ic, 1, 1, s, mid));
             g.push(conv(out_size + 2, out_size + 2, mid, 3, 3, 1, mid));
             g.push(conv(out_size, out_size, mid, 1, 1, 1, out_ch));
@@ -241,8 +251,14 @@ mod tests {
     fn suite_has_both_conv_and_matmul() {
         use usystolic_gemm::GemmKind;
         let gemms = mlperf_gemms();
-        let convs = gemms.iter().filter(|g| g.kind() == GemmKind::Convolution).count();
-        let mms = gemms.iter().filter(|g| g.kind() == GemmKind::MatrixMultiply).count();
+        let convs = gemms
+            .iter()
+            .filter(|g| g.kind() == GemmKind::Convolution)
+            .count();
+        let mms = gemms
+            .iter()
+            .filter(|g| g.kind() == GemmKind::MatrixMultiply)
+            .count();
         assert!(convs > 100);
         assert!(mms > 800, "recurrent unrolling dominates the layer count");
     }
@@ -253,7 +269,10 @@ mod tests {
         // (97.1 % → 69.6 % on the edge array for AlexNet → MLPerf).
         use usystolic_core::TileMapping;
         let avg = |gemms: &[GemmConfig]| {
-            gemms.iter().map(|g| TileMapping::new(g, 12, 14).utilization()).sum::<f64>()
+            gemms
+                .iter()
+                .map(|g| TileMapping::new(g, 12, 14).utilization())
+                .sum::<f64>()
                 / gemms.len() as f64
         };
         let alex = avg(&alexnet().gemms());
@@ -262,7 +281,10 @@ mod tests {
             suite < alex,
             "MLPerf utilisation {suite:.3} must trail AlexNet {alex:.3}"
         );
-        assert!(alex > 0.9, "AlexNet edge utilisation should be high, got {alex:.3}");
+        assert!(
+            alex > 0.9,
+            "AlexNet edge utilisation should be high, got {alex:.3}"
+        );
     }
 
     #[test]

@@ -9,11 +9,10 @@
 //! experiment end to end in Rust.
 
 use crate::dataset::{Dataset, Sample, CLASSES, IMAGE_SIZE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use usystolic_core::{CoreError, GemmExecutor};
 use usystolic_gemm::quant::{fxp_gemm, FxpFormat};
 use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+use usystolic_unary::rng::SplitMix64;
 
 const CONV_K: usize = 3;
 const CONV_OC: usize = 6;
@@ -42,16 +41,21 @@ impl TinyCnn {
     /// deterministic in `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let conv_scale = (2.0 / (CONV_K * CONV_K) as f64).sqrt();
         let conv_w = WeightSet::from_fn(CONV_OC, CONV_K, CONV_K, 1, |_, _, _, _| {
-            (rng.gen::<f64>() - 0.5) * 2.0 * conv_scale
+            (rng.next_f64() - 0.5) * 2.0 * conv_scale
         });
         let fc_scale = (2.0 / FC_IN as f64).sqrt();
         let fc_w = Matrix::from_fn(CLASSES, FC_IN, |_, _| {
-            (rng.gen::<f64>() - 0.5) * 2.0 * fc_scale
+            (rng.next_f64() - 0.5) * 2.0 * fc_scale
         });
-        Self { conv_w, conv_b: vec![0.0; CONV_OC], fc_w, fc_b: vec![0.0; CLASSES] }
+        Self {
+            conv_w,
+            conv_b: vec![0.0; CONV_OC],
+            fc_w,
+            fc_b: vec![0.0; CLASSES],
+        }
     }
 
     /// The GEMM configuration of the convolution layer.
@@ -86,7 +90,11 @@ impl TinyCnn {
         }
         let pooled = Self::pool_relu(&conv_z);
         let logits = self.classify(&pooled);
-        ForwardCache { conv_z, pooled, logits }
+        ForwardCache {
+            conv_z,
+            pooled,
+            logits,
+        }
     }
 
     /// ReLU then 2×2 average pooling, flattening as `(ph, pw, oc)` —
@@ -99,8 +107,7 @@ impl TinyCnn {
                     let mut acc = 0.0;
                     for dh in 0..2 {
                         for dw in 0..2 {
-                            let z = conv_z
-                                [((2 * ph + dh) * CONV_OUT + 2 * pw + dw) * CONV_OC + oc];
+                            let z = conv_z[((2 * ph + dh) * CONV_OUT + 2 * pw + dw) * CONV_OC + oc];
                             acc += z.max(0.0);
                         }
                     }
@@ -157,13 +164,7 @@ impl TinyCnn {
         correct as f64 / data.len() as f64
     }
 
-    fn backward(
-        &mut self,
-        sample: &Sample,
-        cache: &ForwardCache,
-        probs: &[f64; CLASSES],
-        lr: f64,
-    ) {
+    fn backward(&mut self, sample: &Sample, cache: &ForwardCache, probs: &[f64; CLASSES], lr: f64) {
         // Cross-entropy gradient at the logits.
         let mut dlogits = *probs;
         dlogits[sample.label] -= 1.0;
@@ -186,8 +187,7 @@ impl TinyCnn {
                     let g = dpooled[(ph * POOL_OUT + pw) * CONV_OC + oc] / 4.0;
                     for dh in 0..2 {
                         for dw in 0..2 {
-                            let idx =
-                                ((2 * ph + dh) * CONV_OUT + 2 * pw + dw) * CONV_OC + oc;
+                            let idx = ((2 * ph + dh) * CONV_OUT + 2 * pw + dw) * CONV_OC + oc;
                             if cache.conv_z[idx] > 0.0 {
                                 dconv[idx] = g;
                             }
@@ -240,17 +240,15 @@ impl TinyCnn {
     /// # Panics
     ///
     /// Panics if `pixels` does not hold [`crate::dataset::PIXELS`] values.
-    pub fn predict_with(
-        &self,
-        pixels: &[f64],
-        exec: &GemmExecutor,
-    ) -> Result<usize, CoreError> {
+    pub fn predict_with(&self, pixels: &[f64], exec: &GemmExecutor) -> Result<usize, CoreError> {
         assert_eq!(pixels.len(), crate::dataset::PIXELS, "wrong image size");
         let fc_weights = WeightSet::from_fn(CLASSES, 1, 1, FC_IN, |n, _, _, k| self.fc_w[(n, k)]);
         let input = FeatureMap::from_fn(IMAGE_SIZE, IMAGE_SIZE, 1, |h, w, _| {
             pixels[h * IMAGE_SIZE + w]
         });
-        let conv_out = exec.execute(&Self::conv_gemm(), &input, &self.conv_w)?.output;
+        let conv_out = exec
+            .execute(&Self::conv_gemm(), &input, &self.conv_w)?
+            .output;
         let pooled = self.pool_from_featuremap(&conv_out);
         let fc_in = FeatureMap::from_fn(1, 1, FC_IN, |_, _, k| pooled[k]);
         let fc_out = exec.execute(&Self::fc_gemm(), &fc_in, &fc_weights)?.output;
@@ -303,8 +301,8 @@ impl TinyCnn {
             let input = FeatureMap::from_fn(IMAGE_SIZE, IMAGE_SIZE, 1, |h, w, _| {
                 sample.pixels[h * IMAGE_SIZE + w]
             });
-            let conv_out = fxp_gemm(&conv_cfg, &input, &self.conv_w, format)
-                .expect("static shapes match");
+            let conv_out =
+                fxp_gemm(&conv_cfg, &input, &self.conv_w, format).expect("static shapes match");
             let pooled = self.pool_from_featuremap(&conv_out);
             let fc_in = FeatureMap::from_fn(1, 1, FC_IN, |_, _, k| pooled[k]);
             let fc_out =
@@ -330,8 +328,7 @@ impl TinyCnn {
                     let mut acc = 0.0;
                     for dh in 0..2 {
                         for dw in 0..2 {
-                            let z = conv_out[(2 * ph + dh, 2 * pw + dw, oc)]
-                                + self.conv_b[oc];
+                            let z = conv_out[(2 * ph + dh, 2 * pw + dw, oc)] + self.conv_b[oc];
                             acc += z.max(0.0);
                         }
                     }

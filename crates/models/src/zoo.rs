@@ -10,7 +10,7 @@ use usystolic_gemm::GemmConfig;
 
 /// One GEMM layer of a network, with the paper's layer naming
 /// (Conv1..Conv5, FC6..FC8 for AlexNet).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NamedLayer {
     /// Layer name as the paper's figures label it.
     pub name: String,
@@ -20,12 +20,15 @@ pub struct NamedLayer {
 
 impl NamedLayer {
     fn new(name: &str, gemm: GemmConfig) -> Self {
-        Self { name: name.to_owned(), gemm }
+        Self {
+            name: name.to_owned(),
+            gemm,
+        }
     }
 }
 
 /// A network: a named sequence of GEMM layers.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     /// Network name.
     pub name: String,
@@ -141,7 +144,10 @@ pub fn resnet18() -> Network {
         ));
     }
     layers.push(NamedLayer::new("FC", fc(512, 1000)));
-    Network { name: "ResNet18".into(), layers }
+    Network {
+        name: "ResNet18".into(),
+        layers,
+    }
 }
 
 /// VGG16 (Simonyan & Zisserman \[59\]): 13 convs + 3 FC GEMM layers,
@@ -170,13 +176,39 @@ pub fn vgg16() -> Network {
         .iter()
         .enumerate()
         .map(|(i, &(sz, ic, oc))| {
-            NamedLayer::new(&format!("Conv{}", i + 1), conv(sz + 2, sz + 2, ic, 3, 3, 1, oc))
+            NamedLayer::new(
+                &format!("Conv{}", i + 1),
+                conv(sz + 2, sz + 2, ic, 3, 3, 1, oc),
+            )
         })
         .collect();
     layers.push(NamedLayer::new("FC14", fc(25088, 4096)));
     layers.push(NamedLayer::new("FC15", fc(4096, 4096)));
     layers.push(NamedLayer::new("FC16", fc(4096, 1000)));
-    Network { name: "VGG16".into(), layers }
+    Network {
+        name: "VGG16".into(),
+        layers,
+    }
+}
+
+impl usystolic_obs::ToJson for NamedLayer {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("name", self.name.as_str().to_json()),
+            ("gemm", self.gemm.to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for Network {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("name", self.name.as_str().to_json()),
+            ("layers", self.layers.to_json()),
+            ("parameters", self.parameters().to_json()),
+            ("macs", self.macs().to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +239,7 @@ mod tests {
         assert_eq!(net.layers[0].gemm.output_height(), 55); // Conv1
         assert_eq!(net.layers[1].gemm.output_height(), 27); // Conv2
         assert_eq!(net.layers[2].gemm.output_height(), 13); // Conv3
-        // FC6 consumes 6×6×256 = 9216.
+                                                            // FC6 consumes 6×6×256 = 9216.
         assert_eq!(net.layers[5].gemm.reduction_len(), 9216);
     }
 
@@ -245,7 +277,10 @@ mod tests {
         let net = alexnet();
         let conv_macs: u64 = net.layers[..5].iter().map(|l| l.gemm.macs()).sum();
         let fc_macs: u64 = net.layers[5..].iter().map(|l| l.gemm.macs()).sum();
-        assert!(conv_macs > 10 * fc_macs, "AlexNet compute is conv-dominated");
+        assert!(
+            conv_macs > 10 * fc_macs,
+            "AlexNet compute is conv-dominated"
+        );
         assert_eq!(net.macs(), conv_macs + fc_macs);
     }
 

@@ -1,0 +1,585 @@
+//! A hand-rolled JSON value model, writer and parser.
+//!
+//! The workspace must build with **zero external dependencies** (the
+//! experiment machines have no registry access), so instead of serde this
+//! module provides:
+//!
+//! * [`JsonValue`] — an owned JSON tree with a compact renderer that
+//!   escapes strings per RFC 8259 and maps non-finite floats to `null`;
+//! * [`ToJson`] — the trait every experiment-facing record implements in
+//!   place of `serde::Serialize`;
+//! * [`JsonValue::parse`] — a small recursive-descent parser used by the
+//!   test suite to validate exported traces and snapshots.
+//!
+//! The renderer is deterministic: object keys keep insertion order, so
+//! golden-file tests are stable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An owned JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (rendered without a fraction).
+    Int(i64),
+    /// An unsigned integer (rendered without a fraction).
+    UInt(u64),
+    /// A double. NaN and infinities render as `null` (JSON has no
+    /// representation for them).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object from key/value pairs.
+    #[must_use]
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Looks up a key in an object node.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The node as an `f64` if it is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Int(v) => Some(v as f64),
+            JsonValue::UInt(v) => Some(v as f64),
+            JsonValue::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The node as a `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::UInt(v) => Some(v),
+            JsonValue::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The node as a string slice if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The node as an array slice if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the tree to a compact JSON string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => render_f64(*v, out),
+            JsonValue::Str(s) => render_str(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset on malformed input or
+    /// trailing garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+fn render_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1.0e15 {
+        // Keep integral floats readable and round-trippable.
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not produced by the writer;
+                            // map them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                _ => {
+                    // Re-sync to a char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err("bad float"))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(JsonValue::Int(v))
+        } else {
+            text.parse::<u64>()
+                .map(JsonValue::UInt)
+                .map_err(|_| self.err("bad integer"))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Conversion to a [`JsonValue`] — the workspace's stand-in for
+/// `serde::Serialize`.
+pub trait ToJson {
+    /// Builds the JSON tree for this value.
+    fn to_json(&self) -> JsonValue;
+
+    /// Renders straight to a compact JSON string.
+    fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str((*self).to_owned())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty => $variant:ident as $cast:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::$variant(*self as $cast)
+            }
+        }
+    )*};
+}
+
+impl_tojson_int!(
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64
+);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Int(-7).render(), "-7");
+        assert_eq!(JsonValue::UInt(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(JsonValue::Float(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Float(2.0).render(), "2.0");
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".to_owned());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = JsonValue::object(vec![
+            (
+                "xs",
+                JsonValue::Array(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+            ),
+            ("name", JsonValue::Str("edge".into())),
+        ]);
+        assert_eq!(v.render(), r#"{"xs":[1,2],"name":"edge"}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let v = JsonValue::object(vec![
+            ("a", JsonValue::Float(0.125)),
+            (
+                "b",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(false)]),
+            ),
+            ("c", JsonValue::Str("π ≤ \"4\"".into())),
+            ("d", JsonValue::Int(-3)),
+        ]);
+        let text = v.render();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("12 34").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let v = JsonValue::parse(" { \"k\" : [ 1 , \"\\u0041\" ] } ").unwrap();
+        assert_eq!(
+            v.get("k").unwrap().as_array().unwrap()[1].as_str(),
+            Some("A")
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = JsonValue::object(vec![("n", JsonValue::UInt(9))]);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(9.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Int(5).as_u64(), Some(5));
+        assert_eq!(JsonValue::Int(-5).as_u64(), None);
+    }
+
+    #[test]
+    fn tojson_blanket_impls() {
+        assert_eq!(42u32.to_json_string(), "42");
+        assert_eq!((-1i8).to_json_string(), "-1");
+        assert_eq!(Some(3u64).to_json_string(), "3");
+        assert_eq!(None::<u64>.to_json_string(), "null");
+        assert_eq!(vec![1u8, 2].to_json_string(), "[1,2]");
+        assert_eq!("hi".to_json_string(), "\"hi\"");
+    }
+}

@@ -1,0 +1,174 @@
+//! # usystolic-obs — zero-dependency observability
+//!
+//! Cycle-level tracing, a metrics registry and structured JSON export for
+//! the uSystolic workspace, with **no external dependencies**:
+//!
+//! * [`json`] — a hand-rolled JSON writer/parser and the [`ToJson`] trait
+//!   (the workspace's stand-in for `serde::Serialize`);
+//! * [`metrics`] — counters, gauges and fixed-bucket histograms;
+//! * [`trace`] — a bounded-ring-buffer span/event tracer exporting Chrome
+//!   `trace_event` JSON (loadable in `chrome://tracing` / Perfetto) and
+//!   JSONL.
+//!
+//! ## Sessions
+//!
+//! Instrumentation throughout the simulator and functional executors is
+//! routed through a thread-local [`Session`]. By default **no session is
+//! installed** and every instrumentation site reduces to one thread-local
+//! load and a branch — no heap allocation, no formatting, no locking (a
+//! property pinned by the `noop_overhead` integration test). To observe a
+//! run:
+//!
+//! ```
+//! use usystolic_obs as obs;
+//!
+//! obs::install(obs::Session::new());
+//! // ... run instrumented code: Simulator::simulate, GemmExecutor::execute ...
+//! obs::with(|o| o.metrics.count("my.counter", 1));
+//! let session = obs::take().expect("installed above");
+//! assert_eq!(session.metrics.counter("my.counter"), 1);
+//! let chrome_json = session.tracer.export_chrome();
+//! # let _ = chrome_json;
+//! ```
+//!
+//! Sessions are deliberately thread-local: the simulator is
+//! single-threaded per design point, and sweep harnesses that fan out
+//! across threads install one session per worker and
+//! [`Registry::absorb`] the results.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{JsonError, JsonValue, ToJson};
+pub use metrics::{Histogram, Registry};
+pub use trace::{Phase, TraceEvent, Tracer, DEFAULT_CAPACITY, PID_SIM, PID_WALL};
+
+use std::cell::RefCell;
+
+/// One observability session: a tracer, a metrics registry and the
+/// virtual cycle cursor the timing simulator advances.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// Span/event ring buffer.
+    pub tracer: Tracer,
+    /// Counters, gauges, histograms.
+    pub metrics: Registry,
+    /// Virtual timeline cursor for simulated-cycle spans: each
+    /// `Simulator::simulate` call places its layer span here and advances
+    /// the cursor by the layer's runtime cycles.
+    pub sim_cycles: u64,
+}
+
+impl Session {
+    /// Creates a session with the default tracer capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a session whose tracer holds at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            tracer: Tracer::new(capacity),
+            metrics: Registry::new(),
+            sim_cycles: 0,
+        }
+    }
+}
+
+thread_local! {
+    static SESSION: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// Installs a session on this thread, returning the previous one.
+pub fn install(session: Session) -> Option<Session> {
+    SESSION.with(|s| s.borrow_mut().replace(session))
+}
+
+/// Removes and returns this thread's session, disabling instrumentation.
+pub fn take() -> Option<Session> {
+    SESSION.with(|s| s.borrow_mut().take())
+}
+
+/// Whether a session is installed on this thread.
+#[must_use]
+pub fn is_enabled() -> bool {
+    SESSION.with(|s| s.borrow().is_some())
+}
+
+/// Runs `f` against this thread's session, or does nothing when none is
+/// installed. This is the single gate every instrumentation site goes
+/// through: the disabled path is a thread-local load plus a branch.
+pub fn with<F: FnOnce(&mut Session)>(f: F) {
+    SESSION.with(|s| {
+        if let Some(session) = s.borrow_mut().as_mut() {
+            f(session);
+        }
+    });
+}
+
+/// Convenience: adds to a counter in the installed session (no-op when
+/// disabled).
+pub fn count(name: &str, v: u64) {
+    with(|o| o.metrics.count(name, v));
+}
+
+/// Convenience: sets a gauge in the installed session (no-op when
+/// disabled).
+pub fn gauge(name: &str, v: f64) {
+    with(|o| o.metrics.gauge(name, v));
+}
+
+/// Convenience: records a histogram sample in the installed session
+/// (no-op when disabled).
+pub fn observe(name: &str, v: f64) {
+    with(|o| o.metrics.observe(name, v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_with_take_round_trip() {
+        assert!(take().is_none());
+        assert!(!is_enabled());
+        install(Session::new());
+        assert!(is_enabled());
+        count("x", 2);
+        count("x", 3);
+        gauge("g", 1.0);
+        observe("h", 4.0);
+        let s = take().expect("session installed");
+        assert_eq!(s.metrics.counter("x"), 5);
+        assert_eq!(s.metrics.gauge_value("g"), Some(1.0));
+        assert_eq!(s.metrics.histogram("h").unwrap().count(), 1);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn disabled_helpers_are_noops() {
+        assert!(take().is_none());
+        count("never", 1);
+        gauge("never", 1.0);
+        observe("never", 1.0);
+        with(|_| panic!("must not run without a session"));
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn install_returns_previous_session() {
+        install(Session::new());
+        count("a", 1);
+        let prev = install(Session::new()).expect("previous session");
+        assert_eq!(prev.metrics.counter("a"), 1);
+        let fresh = take().expect("fresh session");
+        assert_eq!(fresh.metrics.counter("a"), 0);
+    }
+}

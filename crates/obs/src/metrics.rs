@@ -1,0 +1,358 @@
+//! A metrics registry: named counters, gauges and fixed-bucket
+//! histograms, exported as a JSON snapshot.
+//!
+//! The registry is the accounting side of the observability layer: the
+//! simulator and the functional executors fold their per-layer numbers
+//! (DRAM/SRAM bytes, stall cycles, MAC windows, early-termination savings,
+//! tile folds) into it, and experiment binaries dump one snapshot per run
+//! as a before/after artifact for performance work.
+
+use crate::json::{JsonValue, ToJson};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram with an implicit overflow (`+Inf`) bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given upper bucket bounds
+    /// (inclusive). A sample `v` falls into the first bucket whose bound
+    /// satisfies `v <= bound`, or into the overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Ten exponential buckets from 1 upward (1, 2, 4, … 512) — the
+    /// default when a histogram is observed without prior registration.
+    #[must_use]
+    pub fn exponential_default() -> Self {
+        let bounds: Vec<f64> = (0..10).map(|i| f64::from(1u32 << i)).collect();
+        Self::with_buckets(&bounds)
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Upper bucket bounds (without the overflow bucket).
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("bounds", self.bounds.to_json()),
+            ("counts", self.counts.to_json()),
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            (
+                "min",
+                if self.count == 0 {
+                    JsonValue::Null
+                } else {
+                    self.min.to_json()
+                },
+            ),
+            (
+                "max",
+                if self.count == 0 {
+                    JsonValue::Null
+                } else {
+                    self.max.to_json()
+                },
+            ),
+        ])
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the named counter, creating it at zero first.
+    pub fn count(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    /// Reads a counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Reads a gauge.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Registers a histogram with explicit bucket bounds, replacing any
+    /// existing histogram of the same name.
+    pub fn register_histogram(&mut self, name: &str, bounds: &[f64]) {
+        self.histograms
+            .insert(name.to_owned(), Histogram::with_buckets(bounds));
+    }
+
+    /// Records a sample, auto-registering with
+    /// [`Histogram::exponential_default`] buckets when the name is new.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::exponential_default)
+            .observe(v);
+    }
+
+    /// Reads a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// other's value, histograms are replaced when names collide.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Writes the snapshot to a file as pretty-enough compact JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+impl ToJson for Registry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "counters",
+                JsonValue::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.count("sim.dram_bytes", 10);
+        r.count("sim.dram_bytes", 5);
+        assert_eq!(r.counter("sim.dram_bytes"), 15);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.gauge("util", 0.25);
+        r.gauge("util", 0.75);
+        assert_eq!(r.gauge_value("util"), Some(0.75));
+        assert_eq!(r.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let mut h = Histogram::with_buckets(&[1.0, 2.0, 4.0]);
+        // Exactly on a bound falls into that bucket (v <= bound).
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        assert_eq!(h.counts(), &[1, 1, 1, 0]);
+        // Just above a bound falls into the next bucket.
+        h.observe(1.0 + f64::EPSILON * 2.0);
+        assert_eq!(h.counts(), &[1, 2, 1, 0]);
+        // Above the last bound goes to overflow.
+        h.observe(4.1);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        // Below the first bound goes to the first bucket.
+        h.observe(-3.0);
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::with_buckets(&[10.0]);
+        h.observe(2.0);
+        h.observe(6.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 8.0);
+        assert_eq!(h.mean(), 4.0);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("min").unwrap().as_f64(), Some(2.0));
+        assert_eq!(j.get("max").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::with_buckets(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn observe_auto_registers() {
+        let mut r = Registry::new();
+        r.observe("lat", 3.0);
+        assert_eq!(r.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Registry::new();
+        a.count("c", 1);
+        let mut b = Registry::new();
+        b.count("c", 2);
+        b.gauge("g", 9.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge_value("g"), Some(9.0));
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut r = Registry::new();
+        r.count("a.b", 7);
+        r.gauge("g", 1.5);
+        r.register_histogram("h", &[1.0, 2.0]);
+        r.observe("h", 1.5);
+        let parsed = crate::json::JsonValue::parse(&r.to_json_string()).unwrap();
+        assert_eq!(
+            parsed.get("counters").unwrap().get("a.b").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            parsed.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(1.5)
+        );
+        let h = parsed.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("counts").unwrap().as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Pins the "observability off = free" contract: with no session
+//! installed, instrumentation helpers perform **zero heap allocations**.
+//!
+//! A counting global allocator records every allocation on the process;
+//! the disabled path (`obs::with`, `obs::count`, …) must not touch it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_during<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn disabled_instrumentation_does_not_allocate() {
+    assert!(
+        usystolic_obs::take().is_none(),
+        "test requires no installed session"
+    );
+
+    // Touch the thread-local once so lazy TLS initialisation is not
+    // charged to the measured region.
+    usystolic_obs::count("warmup", 1);
+
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            usystolic_obs::count("sim.dram_bytes", i);
+            usystolic_obs::gauge("sim.utilization", 0.5);
+            usystolic_obs::observe("core.tile_cycles", i as f64);
+            usystolic_obs::with(|o| {
+                // Never runs: no session installed.
+                o.metrics.count("unreachable", 1);
+            });
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled observability path allocated {allocs} times"
+    );
+}
+
+#[test]
+fn enabled_instrumentation_records() {
+    usystolic_obs::install(usystolic_obs::Session::new());
+    usystolic_obs::count("k", 2);
+    let s = usystolic_obs::take().expect("installed above");
+    assert_eq!(s.metrics.counter("k"), 2);
+}

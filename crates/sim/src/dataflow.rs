@@ -23,7 +23,7 @@ use usystolic_core::SystolicConfig;
 use usystolic_gemm::GemmConfig;
 
 /// The stationary operand of the systolic schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// Weights stay in the PEs; inputs stream (the paper's choice).
     WeightStationary,
@@ -76,18 +76,22 @@ fn folds(gemm: &GemmConfig, config: &SystolicConfig, dataflow: Dataflow) -> Fold
 
 /// Stall-free compute cycles under the chosen dataflow.
 #[must_use]
-pub fn ideal_cycles_with(
-    gemm: &GemmConfig,
-    config: &SystolicConfig,
-    dataflow: Dataflow,
-) -> u64 {
+pub fn ideal_cycles_with(gemm: &GemmConfig, config: &SystolicConfig, dataflow: Dataflow) -> u64 {
     let f = folds(gemm, config, dataflow);
     let mac = config.mac_cycles();
     let mut total = 0u64;
     for rf in 0..f.row_folds {
-        let r = if rf + 1 == f.row_folds { f.last_rows } else { f.rows };
+        let r = if rf + 1 == f.row_folds {
+            f.last_rows
+        } else {
+            f.rows
+        };
         for cf in 0..f.col_folds {
-            let c = if cf + 1 == f.col_folds { f.last_cols } else { f.cols };
+            let c = if cf + 1 == f.col_folds {
+                f.last_cols
+            } else {
+                f.cols
+            };
             total += r + f.streamed * mac + (r + c).saturating_sub(2);
         }
     }
@@ -122,7 +126,10 @@ pub fn layer_traffic_with(
             ofm: m * n * (2 * f.row_folds - 1) * out_bytes,
         },
     };
-    LayerTraffic { sram: VariableTraffic::default(), dram }
+    LayerTraffic {
+        sram: VariableTraffic::default(),
+        dram,
+    }
 }
 
 /// Runtime cycles under the chosen dataflow against a shared memory
@@ -136,8 +143,8 @@ pub fn runtime_cycles_with(
 ) -> u64 {
     let ideal = ideal_cycles_with(gemm, config, dataflow);
     let traffic = layer_traffic_with(gemm, config, dataflow);
-    let dram = (traffic.dram.total() as f64 / memory.dram.sustained_bytes_per_cycle()).ceil()
-        as u64;
+    let dram =
+        (traffic.dram.total() as f64 / memory.dram.sustained_bytes_per_cycle()).ceil() as u64;
     ideal.max(dram)
 }
 
@@ -175,7 +182,10 @@ mod tests {
         let cfg = edge();
         let ws = ideal_cycles_with(&fc, &cfg, Dataflow::WeightStationary);
         let is = ideal_cycles_with(&fc, &cfg, Dataflow::InputStationary);
-        assert!(ws < is / 4, "WS {ws} should be far below IS {is} for batch-1 FC");
+        assert!(
+            ws < is / 4,
+            "WS {ws} should be far below IS {is} for batch-1 FC"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::trace::TraceEvent;
 use std::collections::HashMap;
 
 /// Result of replaying a trace against the DRAM bank/page structure.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramAnalysis {
     /// Total accesses replayed.
     pub accesses: u64,
@@ -65,7 +65,11 @@ pub fn analyze_trace(events: &[TraceEvent], dram: &DramSpec) -> DramAnalysis {
     let banks = u64::from(dram.banks);
     // Open row per bank.
     let mut open_rows: HashMap<u64, u64> = HashMap::new();
-    let mut analysis = DramAnalysis { accesses: 0, page_hits: 0, same_cycle_conflicts: 0 };
+    let mut analysis = DramAnalysis {
+        accesses: 0,
+        page_hits: 0,
+        same_cycle_conflicts: 0,
+    };
     let mut cycle_bank_use: HashMap<u64, u64> = HashMap::new();
     let mut current_cycle = u64::MAX;
 
@@ -151,8 +155,8 @@ mod tests {
     #[test]
     fn sequential_stream_hits_pages() {
         // A pure sequential stream within one region should mostly hit.
-        use crate::trace::{Access, IFM_BASE};
         use crate::memory::Variable;
+        use crate::trace::{Access, IFM_BASE};
         let events: Vec<TraceEvent> = (0..4096u64)
             .map(|i| TraceEvent {
                 cycle: i,

@@ -11,7 +11,7 @@
 use usystolic_core::SystolicConfig;
 
 /// The synchronisation-slack budget of a design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlackBudget {
     /// Cycles between consecutive operand deliveries to a PE (the MAC
     /// interval).
@@ -25,7 +25,10 @@ impl SlackBudget {
     /// MAC interval, one interface cycle per transfer.
     #[must_use]
     pub fn for_config(config: &SystolicConfig) -> Self {
-        Self { interval_cycles: config.mac_cycles(), transfer_cycles: 1 }
+        Self {
+            interval_cycles: config.mac_cycles(),
+            transfer_cycles: 1,
+        }
     }
 
     /// The jitter (in cycles) the design absorbs without stalling.
@@ -112,7 +115,10 @@ mod tests {
         let ur = budget(ComputingScheme::UnaryRate, Some(64)).throughput_retention(jitter);
         assert!(bp < 0.2, "binary parallel collapses: {bp}");
         assert!(bs > bp, "serial {bs} tolerates more than parallel {bp}");
-        assert!((ur - 1.0).abs() < 1e-12, "unary fully hides the jitter: {ur}");
+        assert!(
+            (ur - 1.0).abs() < 1e-12,
+            "unary fully hides the jitter: {ur}"
+        );
     }
 
     #[test]
@@ -120,8 +126,7 @@ mod tests {
         let jitter = 40u64;
         let mut last = 0.0;
         for cycles in [32u64, 64, 128] {
-            let r = budget(ComputingScheme::UnaryRate, Some(cycles))
-                .throughput_retention(jitter);
+            let r = budget(ComputingScheme::UnaryRate, Some(cycles)).throughput_retention(jitter);
             assert!(r >= last);
             last = r;
         }

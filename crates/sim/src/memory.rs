@@ -8,7 +8,7 @@
 //! DDR3 chip with 8 banks and 8192-bit pages.
 
 /// The three GEMM variables that own memory resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variable {
     /// Input feature map.
     Ifm,
@@ -34,7 +34,7 @@ impl core::fmt::Display for Variable {
 }
 
 /// One double-buffered on-chip SRAM serving a single variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SramSpec {
     /// Capacity in bytes (per variable).
     pub capacity_bytes: u64,
@@ -53,7 +53,7 @@ impl SramSpec {
 }
 
 /// The off-chip DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramSpec {
     /// Capacity in bytes (1 GB in the paper).
     pub capacity_bytes: u64,
@@ -91,7 +91,7 @@ impl DramSpec {
 }
 
 /// A complete memory hierarchy: optional per-variable SRAMs plus DRAM.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryHierarchy {
     /// The per-variable SRAM, or `None` when on-chip SRAM is eliminated.
     pub sram: Option<SramSpec>,
@@ -136,7 +136,10 @@ impl MemoryHierarchy {
     /// feeds straight from DRAM.
     #[must_use]
     pub fn no_sram() -> Self {
-        Self { sram: None, dram: DramSpec::ddr3_1gb() }
+        Self {
+            sram: None,
+            dram: DramSpec::ddr3_1gb(),
+        }
     }
 
     /// A hierarchy with an arbitrary per-variable SRAM capacity — the
@@ -162,6 +165,43 @@ impl MemoryHierarchy {
     #[must_use]
     pub fn has_sram(&self) -> bool {
         self.sram.is_some()
+    }
+}
+
+impl usystolic_obs::ToJson for Variable {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::Str(self.to_string())
+    }
+}
+
+impl usystolic_obs::ToJson for SramSpec {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("capacity_bytes", self.capacity_bytes.to_json()),
+            ("banks", self.banks.to_json()),
+            ("word_bytes", self.word_bytes.to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for DramSpec {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("capacity_bytes", self.capacity_bytes.to_json()),
+            ("banks", self.banks.to_json()),
+            ("page_bits", self.page_bits.to_json()),
+            ("peak_bytes_per_cycle", self.peak_bytes_per_cycle.to_json()),
+            ("efficiency", self.efficiency.to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for MemoryHierarchy {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("sram", self.sram.to_json()),
+            ("dram", self.dram.to_json()),
+        ])
     }
 }
 
@@ -202,7 +242,11 @@ mod tests {
 
     #[test]
     fn sram_bandwidth_is_banks_times_word() {
-        let s = SramSpec { capacity_bytes: 1024, banks: 16, word_bytes: 8 };
+        let s = SramSpec {
+            capacity_bytes: 1024,
+            banks: 16,
+            word_bytes: 8,
+        };
         assert_eq!(s.bytes_per_cycle(), 128);
     }
 

@@ -16,7 +16,7 @@ use usystolic_core::SystolicConfig;
 use usystolic_gemm::GemmConfig;
 
 /// The scaling behaviour of `n` instances on one layer.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingReport {
     /// Instance count.
     pub instances: usize,
@@ -70,8 +70,7 @@ impl MultiInstanceSystem {
     pub fn scale(&self, gemm: &GemmConfig, instances: usize) -> ScalingReport {
         assert!(instances > 0, "need at least one instance");
         let traffic = layer_traffic(gemm, &self.config, &self.memory);
-        let single =
-            layer_timing_from_traffic(gemm, &self.config, &self.memory, &traffic);
+        let single = layer_timing_from_traffic(gemm, &self.config, &self.memory, &traffic);
         // Shared DRAM: n instances demand n× the bytes in the same window.
         let dram_cycles = (instances as f64 * traffic.dram.total() as f64
             / self.memory.dram.sustained_bytes_per_cycle())
@@ -93,12 +92,7 @@ impl MultiInstanceSystem {
     /// `min_efficiency` (searching 1..=max), i.e. where the system hits
     /// the memory wall.
     #[must_use]
-    pub fn max_instances(
-        &self,
-        gemm: &GemmConfig,
-        min_efficiency: f64,
-        max: usize,
-    ) -> usize {
+    pub fn max_instances(&self, gemm: &GemmConfig, min_efficiency: f64, max: usize) -> usize {
         let mut best = 1;
         for n in 1..=max {
             if self.scale(gemm, n).scaling_efficiency >= min_efficiency {
@@ -114,7 +108,7 @@ impl MultiInstanceSystem {
 /// A battery-lifetime estimate (the §V-H edge scenario: "if the power
 /// supply … is running out, early termination improves energy and power
 /// efficiency to prolong the system lifespan").
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifetimeReport {
     /// Inferences achievable from the energy budget.
     pub inferences: f64,
@@ -131,8 +125,15 @@ pub fn battery_lifetime(
     runtime_per_pass_s: f64,
     budget_j: f64,
 ) -> LifetimeReport {
-    let inferences = if energy_per_pass_j > 0.0 { budget_j / energy_per_pass_j } else { 0.0 };
-    LifetimeReport { inferences, lifetime_s: inferences * runtime_per_pass_s }
+    let inferences = if energy_per_pass_j > 0.0 {
+        budget_j / energy_per_pass_j
+    } else {
+        0.0
+    };
+    LifetimeReport {
+        inferences,
+        lifetime_s: inferences * runtime_per_pass_s,
+    }
 }
 
 #[cfg(test)]

@@ -7,12 +7,13 @@ use crate::runtime::{layer_timing_from_traffic, LayerTiming};
 use crate::traffic::{layer_traffic, LayerTraffic};
 use usystolic_core::{SystolicConfig, TileMapping};
 use usystolic_gemm::GemmConfig;
+use usystolic_obs::ToJson;
 
 /// The array clock of every synthesised design: 400 MHz (Section IV-C2).
 pub const CLOCK_HZ: f64 = 400.0e6;
 
 /// Everything the timing simulator knows about one layer's execution.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerReport {
     /// Cycle-level timing.
     pub timing: LayerTiming,
@@ -51,7 +52,7 @@ pub struct LayerReport {
 /// // Crawling bytes: well under 1 GB/s of DRAM, no SRAM at all.
 /// assert!(report.dram_bandwidth_gbps < 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Simulator {
     config: SystolicConfig,
     memory: MemoryHierarchy,
@@ -62,7 +63,11 @@ impl Simulator {
     /// Creates a simulator at the paper's 400 MHz clock.
     #[must_use]
     pub fn new(config: SystolicConfig, memory: MemoryHierarchy) -> Self {
-        Self { config, memory, clock_hz: CLOCK_HZ }
+        Self {
+            config,
+            memory,
+            clock_hz: CLOCK_HZ,
+        }
     }
 
     /// Overrides the clock (Hz).
@@ -103,7 +108,7 @@ impl Simulator {
         let runtime_s = timing.runtime_cycles as f64 / self.clock_hz;
         let gb = 1.0e9;
         let map = TileMapping::new(gemm, self.config.rows(), self.config.cols());
-        LayerReport {
+        let report = LayerReport {
             timing,
             traffic,
             runtime_s,
@@ -112,7 +117,52 @@ impl Simulator {
             throughput_per_s: 1.0 / runtime_s,
             utilization: map.utilization(),
             macs: gemm.macs(),
-        }
+        };
+        usystolic_obs::with(|o| {
+            o.metrics.count("sim.layers", 1);
+            o.metrics.count("sim.macs", report.macs);
+            o.metrics
+                .gauge("sim.dram_bandwidth_gbps", report.dram_bandwidth_gbps);
+            o.metrics.gauge("sim.utilization", report.utilization);
+            // One simulated cycle maps to one microsecond-unit tick on the
+            // PID_SIM lane; layers abut on a virtual cursor the session
+            // advances because the timing model is analytic.
+            let ts = o.sim_cycles as f64;
+            o.tracer.complete(
+                format!("layer {}", self.config.scheme().label()),
+                "sim",
+                usystolic_obs::PID_SIM,
+                0,
+                ts,
+                report.timing.runtime_cycles as f64,
+                vec![
+                    ("scheme".to_owned(), self.config.scheme().to_json()),
+                    ("macs".to_owned(), report.macs.to_json()),
+                    (
+                        "ideal_cycles".to_owned(),
+                        report.timing.ideal_cycles.to_json(),
+                    ),
+                    (
+                        "stall_cycles".to_owned(),
+                        report.timing.stall_cycles.to_json(),
+                    ),
+                    (
+                        "dram_bytes".to_owned(),
+                        report.traffic.dram.total().to_json(),
+                    ),
+                    ("utilization".to_owned(), report.utilization.to_json()),
+                ],
+            );
+            o.tracer.counter(
+                "sim.dram_bandwidth_gbps",
+                "sim",
+                usystolic_obs::PID_SIM,
+                ts,
+                report.dram_bandwidth_gbps,
+            );
+            o.sim_cycles += report.timing.runtime_cycles;
+        });
+        report
     }
 
     /// Simulates a sequence of layers (e.g. a network), returning one
@@ -120,6 +170,21 @@ impl Simulator {
     #[must_use]
     pub fn simulate_network(&self, layers: &[GemmConfig]) -> Vec<LayerReport> {
         layers.iter().map(|l| self.simulate(l)).collect()
+    }
+}
+
+impl usystolic_obs::ToJson for LayerReport {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("timing", self.timing.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("runtime_s", self.runtime_s.to_json()),
+            ("dram_bandwidth_gbps", self.dram_bandwidth_gbps.to_json()),
+            ("sram_bandwidth_gbps", self.sram_bandwidth_gbps.to_json()),
+            ("throughput_per_s", self.throughput_per_s.to_json()),
+            ("utilization", self.utilization.to_json()),
+            ("macs", self.macs.to_json()),
+        ])
     }
 }
 
@@ -191,7 +256,9 @@ mod tests {
         )
         .simulate(&alexnet_conv2());
         let ur = Simulator::new(
-            SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(128).unwrap(),
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(128)
+                .unwrap(),
             mem,
         )
         .simulate(&alexnet_conv2());
@@ -209,13 +276,17 @@ mod tests {
         // linearly with the reciprocal of MAC cycles.
         let mem = MemoryHierarchy::no_sram();
         let t32 = Simulator::new(
-            SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(32).unwrap(),
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(32)
+                .unwrap(),
             mem,
         )
         .simulate(&alexnet_conv2())
         .throughput_per_s;
         let t128 = Simulator::new(
-            SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(128).unwrap(),
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(128)
+                .unwrap(),
             mem,
         )
         .simulate(&alexnet_conv2())
@@ -244,7 +315,9 @@ mod tests {
         let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
         let mem = MemoryHierarchy::edge_with_sram();
         let base = Simulator::new(cfg, mem).simulate(&alexnet_conv2());
-        let fast = Simulator::new(cfg, mem).with_clock(800.0e6).simulate(&alexnet_conv2());
+        let fast = Simulator::new(cfg, mem)
+            .with_clock(800.0e6)
+            .simulate(&alexnet_conv2());
         assert!((fast.runtime_s - base.runtime_s / 2.0).abs() < 1e-9);
     }
 }

@@ -16,7 +16,7 @@ use usystolic_core::{SystolicConfig, TileMapping};
 use usystolic_gemm::GemmConfig;
 
 /// Cycle-level timing of one layer.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerTiming {
     /// Stall-free compute cycles of the weight-stationary pipeline.
     pub ideal_cycles: u64,
@@ -79,8 +79,7 @@ pub fn layer_timing_from_traffic(
         (traffic.dram.total() as f64 / memory.dram.sustained_bytes_per_cycle()).ceil() as u64;
     let sram_cycles = match memory.sram {
         Some(s) => {
-            let per_var =
-                [traffic.sram.ifm, traffic.sram.weight, traffic.sram.ofm];
+            let per_var = [traffic.sram.ifm, traffic.sram.weight, traffic.sram.ofm];
             per_var
                 .iter()
                 .map(|&b| (b as f64 / s.bytes_per_cycle() as f64).ceil() as u64)
@@ -90,7 +89,29 @@ pub fn layer_timing_from_traffic(
         None => 0,
     };
     let runtime = ideal.max(dram_cycles).max(sram_cycles);
-    LayerTiming { ideal_cycles: ideal, stall_cycles: runtime - ideal, runtime_cycles: runtime }
+    let timing = LayerTiming {
+        ideal_cycles: ideal,
+        stall_cycles: runtime - ideal,
+        runtime_cycles: runtime,
+    };
+    usystolic_obs::with(|o| {
+        o.metrics.count("sim.ideal_cycles", timing.ideal_cycles);
+        o.metrics.count("sim.stall_cycles", timing.stall_cycles);
+        o.metrics.count("sim.runtime_cycles", timing.runtime_cycles);
+        o.metrics
+            .observe("sim.layer_overhead_pct", timing.overhead() * 100.0);
+    });
+    timing
+}
+
+impl usystolic_obs::ToJson for LayerTiming {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("ideal_cycles", self.ideal_cycles.to_json()),
+            ("stall_cycles", self.stall_cycles.to_json()),
+            ("runtime_cycles", self.runtime_cycles.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use usystolic_core::{SystolicConfig, TileMapping};
 use usystolic_gemm::GemmConfig;
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Access {
     /// Memory read.
     Read,
@@ -24,7 +24,7 @@ pub enum Access {
 }
 
 /// One memory access of the execution trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Issue cycle.
     pub cycle: u64,
@@ -103,8 +103,7 @@ impl TraceGenerator {
                             cycle: base_cycle + pr,
                             variable: Variable::Weight,
                             access: Access::Read,
-                            address: WEIGHT_BASE
-                                + ((k0 + pr) * n + n0 + c) * u64::from(in_bytes),
+                            address: WEIGHT_BASE + ((k0 + pr) * n + n0 + c) * u64::from(in_bytes),
                             bytes: in_bytes,
                         });
                     }
@@ -203,7 +202,11 @@ mod tests {
     fn trace_span_matches_ideal_cycles() {
         let (cfg, gemm) = case();
         let events = TraceGenerator::new(cfg, gemm).generate();
-        let last = events.iter().map(|e| e.cycle).max().expect("non-empty trace");
+        let last = events
+            .iter()
+            .map(|e| e.cycle)
+            .max()
+            .expect("non-empty trace");
         let ideal = ideal_cycles(&gemm, &cfg);
         let diff = (last + 1).abs_diff(ideal);
         let tiles = TileMapping::new(&gemm, cfg.rows(), cfg.cols()).tiles() as u64;
@@ -237,7 +240,11 @@ mod tests {
         let before = weight_addrs.len();
         weight_addrs.sort_unstable();
         weight_addrs.dedup();
-        assert_eq!(before, weight_addrs.len(), "weights are preloaded exactly once");
+        assert_eq!(
+            before,
+            weight_addrs.len(),
+            "weights are preloaded exactly once"
+        );
         assert_eq!(before as u64, gemm.weight_elems());
     }
 
@@ -264,8 +271,7 @@ mod tests {
         // Same layer, same events, but the unary trace spreads over a
         // ~33x longer window — the byte-crawling picture.
         let gemm = GemmConfig::matmul(8, 4, 3).expect("valid");
-        let bp = SystolicConfig::new(4, 3, ComputingScheme::BinaryParallel, 8)
-            .expect("valid");
+        let bp = SystolicConfig::new(4, 3, ComputingScheme::BinaryParallel, 8).expect("valid");
         let ur = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
             .expect("valid")
             .with_mul_cycles(128)

@@ -19,7 +19,7 @@ use usystolic_core::{SystolicConfig, TileMapping};
 use usystolic_gemm::GemmConfig;
 
 /// Byte counts per GEMM variable.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VariableTraffic {
     /// Input-feature-map bytes.
     pub ifm: u64,
@@ -38,7 +38,7 @@ impl VariableTraffic {
 }
 
 /// The complete traffic picture of one layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LayerTraffic {
     /// Bytes served by the on-chip SRAM (zero when SRAM is absent).
     pub sram: VariableTraffic,
@@ -89,35 +89,42 @@ pub fn layer_traffic(
     // Array-side (streamed) volumes.
     let ifm_streamed = m * k * col_folds * in_bytes; // every column fold re-streams all vectors
     let weight_streamed = k * n * in_bytes; // each weight preloaded exactly once
-    // Partial sums: per column fold, each output written once per row fold
-    // and read back once per subsequent row fold.
+                                            // Partial sums: per column fold, each output written once per row fold
+                                            // and read back once per subsequent row fold.
     let ofm_streamed = m * n * (2 * row_folds - 1) * out_bytes;
 
     // Compulsory (raw) volumes.
     let ifm_raw = gemm.input_elems() * in_bytes;
     let ofm_final = m * n * out_bytes;
 
-    match memory.sram {
+    let traffic = match memory.sram {
         Some(sram) => {
             // SRAM serves the streamed traffic; DRAM sees compulsory
             // transfers plus capacity-miss refetches/spills.
             let ifm_fits = ifm_raw <= sram.capacity_bytes;
-            let dram_ifm = if ifm_fits { ifm_raw } else { ifm_raw * col_folds };
+            let dram_ifm = if ifm_fits {
+                ifm_raw
+            } else {
+                ifm_raw * col_folds
+            };
             // Weights always stream through once (weight-stationary reuse
             // happens in the PEs, not the SRAM).
             let dram_weight = weight_streamed;
             // Partial-sum working set per column fold.
             let ofm_ws = m * map.cols_in_fold(0) as u64 * out_bytes;
             let ofm_fits = ofm_ws <= sram.capacity_bytes;
-            let dram_ofm =
-                if ofm_fits { ofm_final } else { ofm_streamed };
+            let dram_ofm = if ofm_fits { ofm_final } else { ofm_streamed };
             LayerTraffic {
                 sram: VariableTraffic {
                     ifm: ifm_streamed + dram_ifm, // reads by array + fills from DRAM
                     weight: 2 * weight_streamed,  // fill + drain to the array
                     ofm: ofm_streamed + dram_ofm,
                 },
-                dram: VariableTraffic { ifm: dram_ifm, weight: dram_weight, ofm: dram_ofm },
+                dram: VariableTraffic {
+                    ifm: dram_ifm,
+                    weight: dram_weight,
+                    ofm: dram_ofm,
+                },
             }
         }
         None => LayerTraffic {
@@ -128,6 +135,35 @@ pub fn layer_traffic(
                 ofm: ofm_streamed,
             },
         },
+    };
+    usystolic_obs::with(|o| {
+        o.metrics.count("sim.dram_bytes", traffic.dram.total());
+        o.metrics.count("sim.dram_ifm_bytes", traffic.dram.ifm);
+        o.metrics
+            .count("sim.dram_weight_bytes", traffic.dram.weight);
+        o.metrics.count("sim.dram_ofm_bytes", traffic.dram.ofm);
+        o.metrics.count("sim.sram_bytes", traffic.sram.total());
+    });
+    traffic
+}
+
+impl usystolic_obs::ToJson for VariableTraffic {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("ifm", self.ifm.to_json()),
+            ("weight", self.weight.to_json()),
+            ("ofm", self.ofm.to_json()),
+            ("total", self.total().to_json()),
+        ])
+    }
+}
+
+impl usystolic_obs::ToJson for LayerTraffic {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("sram", self.sram.to_json()),
+            ("dram", self.dram.to_json()),
+        ])
     }
 }
 
@@ -193,7 +229,11 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let v = VariableTraffic { ifm: 1, weight: 2, ofm: 3 };
+        let v = VariableTraffic {
+            ifm: 1,
+            weight: 2,
+            ofm: 3,
+        };
         assert_eq!(v.total(), 6);
     }
 }

@@ -55,7 +55,10 @@ impl<S: NumberSource> MuxAdder<S> {
     /// Returns [`UnaryError::LengthMismatch`] if lengths differ.
     pub fn add(&mut self, a: &Bitstream, b: &Bitstream) -> Result<Bitstream, UnaryError> {
         if a.len() != b.len() {
-            return Err(UnaryError::LengthMismatch { left: a.len(), right: b.len() });
+            return Err(UnaryError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
         }
         Ok((0..a.len())
             .map(|i| {
@@ -137,8 +140,15 @@ impl BinaryAccumulator {
     /// Panics if `width` is outside `2..=63`.
     #[must_use]
     pub fn new(width: u32) -> Self {
-        assert!((2..=63).contains(&width), "unsupported accumulator width {width}");
-        Self { value: 0, width, saturated: false }
+        assert!(
+            (2..=63).contains(&width),
+            "unsupported accumulator width {width}"
+        );
+        Self {
+            value: 0,
+            width,
+            saturated: false,
+        }
     }
 
     /// Adds a signed amount (e.g. ±1 per product bit, or a partial sum from
@@ -213,7 +223,9 @@ mod tests {
     fn mux_adder_averages() {
         let a = Bitstream::ones(256);
         let b = Bitstream::zeros(256);
-        let sum = MuxAdder::new(SobolSource::dimension(0, 8)).add(&a, &b).unwrap();
+        let sum = MuxAdder::new(SobolSource::dimension(0, 8))
+            .add(&a, &b)
+            .unwrap();
         assert!((sum.unipolar_value() - 0.5).abs() < 0.02);
     }
 
@@ -221,7 +233,9 @@ mod tests {
     fn mux_adder_rejects_mismatch() {
         let a = Bitstream::ones(8);
         let b = Bitstream::ones(9);
-        assert!(MuxAdder::new(SobolSource::dimension(0, 8)).add(&a, &b).is_err());
+        assert!(MuxAdder::new(SobolSource::dimension(0, 8))
+            .add(&a, &b)
+            .is_err());
     }
 
     #[test]

@@ -39,13 +39,19 @@ impl Bitstream {
     /// Creates an all-zero bitstream of `len` bits.
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates an all-one bitstream of `len` bits.
     #[must_use]
     pub fn ones(len: usize) -> Self {
-        let mut bs = Self { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut bs = Self {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         bs.mask_tail();
         bs
     }
@@ -53,7 +59,10 @@ impl Bitstream {
     /// Creates a bitstream with capacity reserved for `len` bits.
     #[must_use]
     pub fn with_capacity(len: usize) -> Self {
-        Self { words: Vec::with_capacity(len.div_ceil(64)), len: 0 }
+        Self {
+            words: Vec::with_capacity(len.div_ceil(64)),
+            len: 0,
+        }
     }
 
     /// Number of bits in the stream.
@@ -96,7 +105,11 @@ impl Bitstream {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if bit {
             self.words[index / 64] |= mask;
@@ -174,8 +187,10 @@ impl Bitstream {
     /// Logical complement of the stream.
     #[must_use]
     pub fn not(&self) -> Self {
-        let mut out =
-            Self { words: self.words.iter().map(|w| !w).collect(), len: self.len };
+        let mut out = Self {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
         out.mask_tail();
         out
     }
@@ -188,7 +203,10 @@ impl Bitstream {
     /// Returns [`UnaryError::LengthMismatch`] if lengths differ.
     pub fn overlap(&self, other: &Self) -> Result<u64, UnaryError> {
         if self.len != other.len {
-            return Err(UnaryError::LengthMismatch { left: self.len, right: other.len });
+            return Err(UnaryError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
         }
         Ok(self
             .words
@@ -245,16 +263,20 @@ impl Bitstream {
         out
     }
 
-    fn zip_words(
-        &self,
-        other: &Self,
-        f: impl Fn(u64, u64) -> u64,
-    ) -> Result<Self, UnaryError> {
+    fn zip_words(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Result<Self, UnaryError> {
         if self.len != other.len {
-            return Err(UnaryError::LengthMismatch { left: self.len, right: other.len });
+            return Err(UnaryError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
         }
         Ok(Self {
-            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             len: self.len,
         })
     }

@@ -65,7 +65,11 @@ impl<S: NumberSource> ConditionalBsg<S> {
     /// source.
     #[must_use]
     pub fn new(magnitude: u64, source: S) -> Self {
-        Self { magnitude, source, enabled_cycles: 0 }
+        Self {
+            magnitude,
+            source,
+            enabled_cycles: 0,
+        }
     }
 
     /// Processes one cycle: if `enable` is set, advances the source and
@@ -144,7 +148,11 @@ mod tests {
         // a *counter* the product degenerates to min(); use Sobol for the
         // accurate product below. Here we simply verify gating.
         assert_eq!(out.count_ones(), 8);
-        assert_eq!(out.and(&enable).unwrap(), out, "output only on enabled cycles");
+        assert_eq!(
+            out.and(&enable).unwrap(),
+            out,
+            "output only on enabled cycles"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::{stream_len, UnaryError};
 
 /// Interpretation of a bitstream's probability as a value
 /// (Section II-B1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
     /// Unsigned: `V = P(1)` in `[0, 1]`.
     Unipolar,
@@ -54,7 +54,7 @@ impl core::fmt::Display for Polarity {
 
 /// The coding family of a bitstream generator (Fig. 3): which number
 /// sequence feeds the comparator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Coding {
     /// Rate coding: pseudo-random comparator input, random bit order.
     Rate,
@@ -151,11 +151,7 @@ impl TemporalEncoder {
     #[must_use]
     pub fn unipolar(magnitude: u64, bitwidth: u32) -> Self {
         Self {
-            inner: RateEncoder::unipolar(
-                magnitude,
-                bitwidth,
-                CounterSource::new(bitwidth - 1),
-            ),
+            inner: RateEncoder::unipolar(magnitude, bitwidth, CounterSource::new(bitwidth - 1)),
         }
     }
 
@@ -195,7 +191,10 @@ pub fn encode_unipolar<S: NumberSource>(
         return Err(UnaryError::UnsupportedBitwidth(bitwidth));
     }
     if magnitude > stream_len(bitwidth) {
-        return Err(UnaryError::MagnitudeOverflow { magnitude, bitwidth });
+        return Err(UnaryError::MagnitudeOverflow {
+            magnitude,
+            bitwidth,
+        });
     }
     Ok(RateEncoder::unipolar(magnitude, bitwidth, source).stream())
 }
@@ -251,7 +250,9 @@ pub fn encode_bipolar<S: NumberSource>(
     }
     let threshold = (level + half) as u64;
     let mut src = source;
-    Ok((0..(1u64 << bitwidth)).map(|_| src.next() < threshold).collect())
+    Ok((0..(1u64 << bitwidth))
+        .map(|_| src.next() < threshold)
+        .collect())
 }
 
 /// Decodes a bipolar bitstream back to a signed level:
@@ -260,6 +261,24 @@ pub fn encode_bipolar<S: NumberSource>(
 pub fn decode_bipolar(stream: &Bitstream, bitwidth: u32) -> i64 {
     let scale = stream_len(bitwidth) as f64;
     (stream.bipolar_value() * scale).round() as i64
+}
+
+impl usystolic_obs::ToJson for Polarity {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::Str(
+            match self {
+                Polarity::Unipolar => "unipolar",
+                Polarity::Bipolar => "bipolar",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl usystolic_obs::ToJson for Coding {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::Str(self.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -315,7 +334,13 @@ mod tests {
     #[test]
     fn overflow_is_an_error() {
         let err = encode_unipolar(129, 8, SobolSource::dimension(0, 7)).unwrap_err();
-        assert_eq!(err, UnaryError::MagnitudeOverflow { magnitude: 129, bitwidth: 8 });
+        assert_eq!(
+            err,
+            UnaryError::MagnitudeOverflow {
+                magnitude: 129,
+                bitwidth: 8
+            }
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl CorDiv {
     /// correlated** (generated from the same number source) and the
     /// dividend value must not exceed the divisor value.
     pub fn step(&mut self, dividend: bool, divisor: bool) -> bool {
-        let out = if divisor { dividend } else { self.last_quotient };
+        let out = if divisor {
+            dividend
+        } else {
+            self.last_quotient
+        };
         if divisor {
             self.last_quotient = dividend;
         }

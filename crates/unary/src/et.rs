@@ -25,7 +25,7 @@ use crate::coding::Coding;
 /// assert_eq!(et.shift(), 2);
 /// assert_eq!(et.scale(10), 40);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EarlyTermination {
     full_bitwidth: u32,
     effective_bitwidth: u32,
@@ -77,13 +77,19 @@ impl EarlyTermination {
                 full: full_bitwidth,
             });
         }
-        Ok(Self { full_bitwidth, effective_bitwidth })
+        Ok(Self {
+            full_bitwidth,
+            effective_bitwidth,
+        })
     }
 
     /// The no-termination policy (`n = N`).
     #[must_use]
     pub fn full(bitwidth: u32) -> Self {
-        Self { full_bitwidth: bitwidth, effective_bitwidth: bitwidth }
+        Self {
+            full_bitwidth: bitwidth,
+            effective_bitwidth: bitwidth,
+        }
     }
 
     /// Creates a policy checked against the coding: temporal coding only
@@ -174,6 +180,17 @@ impl core::fmt::Display for EarlyTermination {
     }
 }
 
+impl usystolic_obs::ToJson for EarlyTermination {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("full_bitwidth", self.full_bitwidth().to_json()),
+            ("effective_bitwidth", self.effective_bitwidth().to_json()),
+            ("mul_cycles", self.mul_cycles().to_json()),
+            ("shift", self.shift().to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,9 +198,15 @@ mod tests {
     #[test]
     fn paper_ebt_cycle_pairs() {
         // Fig. 9 x-axis: 6-32, 7-64, 8-128, 9-256, 10-512, 11-1024, 12-2048.
-        for (ebt, cycles) in
-            [(6u32, 32u64), (7, 64), (8, 128), (9, 256), (10, 512), (11, 1024), (12, 2048)]
-        {
+        for (ebt, cycles) in [
+            (6u32, 32u64),
+            (7, 64),
+            (8, 128),
+            (9, 256),
+            (10, 512),
+            (11, 1024),
+            (12, 2048),
+        ] {
             let et = EarlyTermination::new(12, ebt).unwrap();
             assert_eq!(et.mul_cycles(), cycles, "EBT {ebt}");
             assert_eq!(et.to_string(), format!("{ebt}-{cycles}"));
@@ -228,13 +251,18 @@ mod tests {
         let et = EarlyTermination::from_mul_cycles(8, 32).unwrap();
         assert_eq!(et.effective_bitwidth(), 6);
         assert!(EarlyTermination::from_mul_cycles(8, 33).is_err());
-        assert!(EarlyTermination::from_mul_cycles(8, 256).is_err(), "EBT 9 > N 8");
+        assert!(
+            EarlyTermination::from_mul_cycles(8, 256).is_err(),
+            "EBT 9 > N 8"
+        );
     }
 
     #[test]
     fn error_display() {
         let e = EarlyTermination::new(8, 9).unwrap_err();
         assert!(e.to_string().contains("9"));
-        assert!(EtError::TemporalCodingUnsupported.to_string().contains("temporal"));
+        assert!(EtError::TemporalCodingUnsupported
+            .to_string()
+            .contains("temporal"));
     }
 }

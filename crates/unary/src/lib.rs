@@ -97,12 +97,18 @@ pub enum UnaryError {
 impl core::fmt::Display for UnaryError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            UnaryError::MagnitudeOverflow { magnitude, bitwidth } => write!(
+            UnaryError::MagnitudeOverflow {
+                magnitude,
+                bitwidth,
+            } => write!(
                 f,
                 "magnitude {magnitude} exceeds 2^({bitwidth}-1) for {bitwidth}-bit data"
             ),
             UnaryError::UnsupportedBitwidth(w) => {
-                write!(f, "unsupported data bitwidth {w} (expected 2..={MAX_BITWIDTH})")
+                write!(
+                    f,
+                    "unsupported data bitwidth {w} (expected 2..={MAX_BITWIDTH})"
+                )
             }
             UnaryError::LengthMismatch { left, right } => {
                 write!(f, "bitstream length mismatch: {left} vs {right}")
@@ -154,7 +160,10 @@ mod tests {
 
     #[test]
     fn error_display_is_meaningful() {
-        let e = UnaryError::MagnitudeOverflow { magnitude: 300, bitwidth: 8 };
+        let e = UnaryError::MagnitudeOverflow {
+            magnitude: 300,
+            bitwidth: 8,
+        };
         assert!(e.to_string().contains("300"));
         let e = UnaryError::LengthMismatch { left: 4, right: 8 };
         assert!(e.to_string().contains("4"));

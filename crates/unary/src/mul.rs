@@ -66,7 +66,11 @@ impl<S: NumberSource> UnipolarMul<S> {
             bitwidth - 1,
             "number source width must be bitwidth - 1"
         );
-        Self { cbsg: ConditionalBsg::new(weight_magnitude, source), bitwidth, cycles: 0 }
+        Self {
+            cbsg: ConditionalBsg::new(weight_magnitude, source),
+            bitwidth,
+            cycles: 0,
+        }
     }
 
     /// Processes one cycle with the streaming operand's bit; returns the
@@ -158,8 +162,16 @@ impl<S: NumberSource> BipolarMul<S> {
             (-half..=half).contains(&weight),
             "weight {weight} out of [-{half}, {half}]"
         );
-        assert_eq!(source_ones.width(), bitwidth, "ones source width must be bitwidth");
-        assert_eq!(source_zeros.width(), bitwidth, "zeros source width must be bitwidth");
+        assert_eq!(
+            source_ones.width(),
+            bitwidth,
+            "ones source width must be bitwidth"
+        );
+        assert_eq!(
+            source_zeros.width(),
+            bitwidth,
+            "zeros source width must be bitwidth"
+        );
         // Bipolar threshold encoding (w + half) of 2*half.
         let threshold = (weight + half) as u64;
         Self {
@@ -216,14 +228,22 @@ mod tests {
 
     fn unipolar_product(w: u64, i: u64, bitwidth: u32) -> u64 {
         let mut mul = UnipolarMul::new(w, bitwidth, SobolSource::dimension(0, bitwidth - 1));
-        let mut ifm =
-            RateEncoder::unipolar(i, bitwidth, SobolSource::dimension(1, bitwidth - 1));
-        (0..stream_len(bitwidth)).filter(|_| mul.step(ifm.next_bit())).count() as u64
+        let mut ifm = RateEncoder::unipolar(i, bitwidth, SobolSource::dimension(1, bitwidth - 1));
+        (0..stream_len(bitwidth))
+            .filter(|_| mul.step(ifm.next_bit()))
+            .count() as u64
     }
 
     #[test]
     fn unipolar_product_near_exact() {
-        for (w, i) in [(100u64, 77u64), (128, 128), (0, 77), (77, 0), (1, 1), (64, 64)] {
+        for (w, i) in [
+            (100u64, 77u64),
+            (128, 128),
+            (0, 77),
+            (77, 0),
+            (1, 1),
+            (64, 64),
+        ] {
             let ones = unipolar_product(w, i, 8);
             let exact = (w as f64) * (i as f64) / 128.0;
             assert!(
@@ -291,13 +311,16 @@ mod tests {
 
     #[test]
     fn bipolar_product_accurate_for_signed_data() {
-        for (w, i) in [(100i64, -77i64), (-100, -77), (64, 64), (-128, 128), (0, 77)] {
+        for (w, i) in [
+            (100i64, -77i64),
+            (-100, -77),
+            (64, 64),
+            (-128, 128),
+            (0, 77),
+        ] {
             let got = bipolar_product(w, i, 8);
             let exact = (w as f64 / 128.0) * (i as f64 / 128.0);
-            assert!(
-                (got - exact).abs() < 0.03,
-                "w={w} i={i}: {got} vs {exact}"
-            );
+            assert!((got - exact).abs() < 0.03, "w={w} i={i}: {got} vs {exact}");
         }
     }
 

@@ -126,7 +126,9 @@ impl SobolSource {
         let dimension = dimension % SOBOL_DIMENSIONS;
         let direction = if dimension == 0 {
             // v_j = 2^(width - j): plain bit-reversed counter.
-            (1..=width as u64).map(|j| 1u64 << (width as u64 - j)).collect()
+            (1..=width as u64)
+                .map(|j| 1u64 << (width as u64 - j))
+                .collect()
         } else {
             let (s, a, m_init) = SOBOL_SEEDS[dimension - 1];
             let mut m: Vec<u64> = m_init.to_vec();
@@ -142,9 +144,16 @@ impl SobolSource {
                 }
                 m.push(val);
             }
-            (0..width as usize).map(|j| m[j] << (width as usize - j - 1)).collect()
+            (0..width as usize)
+                .map(|j| m[j] << (width as usize - j - 1))
+                .collect()
         };
-        Self { direction, width, state: 0, index: 0 }
+        Self {
+            direction,
+            width,
+            state: 0,
+            index: 0,
+        }
     }
 
     /// The sequence index of the *next* output (0 before the first call to
@@ -193,28 +202,28 @@ pub struct LfsrSource {
 /// Maximal-length feedback tap masks for LFSR widths 2..=24 (taps are the
 /// XOR'd bit positions of a Fibonacci LFSR, LSB = stage 1).
 const LFSR_TAPS: [u64; 23] = [
-    0b11,                       // 2
-    0b110,                      // 3
-    0b1100,                     // 4
-    0b1_0100,                   // 5
-    0b11_0000,                  // 6
-    0b110_0000,                 // 7
-    0b1011_1000,                // 8
-    0b1_0001_0000,              // 9
-    0b10_0100_0000,             // 10
-    0b101_0000_0000,            // 11
-    0b1110_0000_1000,           // 12 (x^12+x^11+x^10+x^4+1)
-    0b1_1100_1000_0000,         // 13 (x^13+x^12+x^11+x^8+1)
-    0b11_1000_0000_0010,        // 14 (x^14+x^13+x^12+x^2+1)
-    0b110_0000_0000_0000,       // 15
-    0b1101_0000_0000_1000,      // 16 (x^16+x^15+x^13+x^4+1)
-    0b1_0010_0000_0000_0000,    // 17
-    0b10_0000_0100_0000_0000,   // 18
-    0b111_0010_0000_0000_0000,  // 19 — x^19+x^18+x^17+x^14+1
-    0b1001_0000_0000_0000_0000, // 20
-    0b1_0100_0000_0000_0000_0000, // 21
-    0b11_0000_0000_0000_0000_0000, // 22
-    0b100_0010_0000_0000_0000_0000, // 23 — x^23+x^18+1
+    0b11,                            // 2
+    0b110,                           // 3
+    0b1100,                          // 4
+    0b1_0100,                        // 5
+    0b11_0000,                       // 6
+    0b110_0000,                      // 7
+    0b1011_1000,                     // 8
+    0b1_0001_0000,                   // 9
+    0b10_0100_0000,                  // 10
+    0b101_0000_0000,                 // 11
+    0b1110_0000_1000,                // 12 (x^12+x^11+x^10+x^4+1)
+    0b1_1100_1000_0000,              // 13 (x^13+x^12+x^11+x^8+1)
+    0b11_1000_0000_0010,             // 14 (x^14+x^13+x^12+x^2+1)
+    0b110_0000_0000_0000,            // 15
+    0b1101_0000_0000_1000,           // 16 (x^16+x^15+x^13+x^4+1)
+    0b1_0010_0000_0000_0000,         // 17
+    0b10_0000_0100_0000_0000,        // 18
+    0b111_0010_0000_0000_0000,       // 19 — x^19+x^18+x^17+x^14+1
+    0b1001_0000_0000_0000_0000,      // 20
+    0b1_0100_0000_0000_0000_0000,    // 21
+    0b11_0000_0000_0000_0000_0000,   // 22
+    0b100_0010_0000_0000_0000_0000,  // 23 — x^23+x^18+1
     0b1110_0000_1000_0000_0000_0000, // 24 — x^24+x^23+x^22+x^17+1
 ];
 
@@ -230,7 +239,12 @@ impl LfsrSource {
         assert!((2..=24).contains(&width), "unsupported LFSR width {width}");
         let mask = (1u64 << width) - 1;
         let seed = if seed & mask == 0 { 1 } else { seed & mask };
-        Self { state: seed, seed, width, taps: LFSR_TAPS[(width - 2) as usize] }
+        Self {
+            state: seed,
+            seed,
+            width,
+            taps: LFSR_TAPS[(width - 2) as usize],
+        }
     }
 }
 
@@ -287,7 +301,11 @@ impl CounterSource {
     pub fn starting_at(width: u32, start: u64) -> Self {
         assert!(width > 0 && width < 64, "unsupported counter width {width}");
         let start = start & ((1u64 << width) - 1);
-        Self { width, state: start, start }
+        Self {
+            width,
+            state: start,
+            start,
+        }
     }
 }
 
@@ -304,6 +322,86 @@ impl NumberSource for CounterSource {
 
     fn reset(&mut self) {
         self.state = self.start;
+    }
+}
+
+/// Deterministic 64-bit software PRNG (SplitMix64, Steele et al.).
+///
+/// This is **not** a hardware number source like [`SobolSource`] or
+/// [`LfsrSource`] — it is the workspace's replacement for the external
+/// `rand` crate wherever experiments need reproducible test tensors,
+/// weight initialisation or shuffles. One multiply-xorshift round per
+/// output, full 64-bit state, and a fixed seed gives a fixed sequence on
+/// every platform.
+///
+/// # Example
+///
+/// ```
+/// use usystolic_unary::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of the next output).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        // Rejection sampling over the largest multiple of n.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// A uniform boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
     }
 }
 
@@ -417,6 +515,42 @@ mod tests {
         assert_eq!((0..4).map(|_| c.next()).collect::<Vec<_>>(), [6, 7, 0, 1]);
         c.reset();
         assert_eq!(c.next(), 6);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform_enough() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Crude uniformity: mean of 4k floats within 5% of 0.5.
+        let mut r = SplitMix64::new(1);
+        let mean: f64 = (0..4096).map(|_| r.next_f64()).sum::<f64>() / 4096.0;
+        assert!((mean - 0.5).abs() < 0.025, "mean {mean}");
+    }
+
+    #[test]
+    fn splitmix_ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range_i64(-1, 1);
+            assert!((-1..=1).contains(&v));
+        }
+        // All three values of [-1, 1] appear.
+        let mut seen = [false; 3];
+        let mut r = SplitMix64::new(4);
+        for _ in 0..100 {
+            seen[(r.range_i64(-1, 1) + 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn splitmix_below_zero_panics() {
+        SplitMix64::new(0).below(0);
     }
 
     #[test]

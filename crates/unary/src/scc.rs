@@ -46,7 +46,10 @@ use crate::UnaryError;
 /// ```
 pub fn scc(a: &Bitstream, b: &Bitstream) -> Result<f64, UnaryError> {
     if a.len() != b.len() {
-        return Err(UnaryError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(UnaryError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     let n = a.len() as f64;
     if a.is_empty() {

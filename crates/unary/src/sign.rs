@@ -8,7 +8,7 @@
 
 /// A signed value split into a sign bit and an absolute magnitude, as held
 /// in the WSIGN/WABS and ISIGN/IABS registers of Fig. 7.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct SignMagnitude {
     /// True for negative values.
     pub negative: bool,
@@ -31,7 +31,10 @@ impl SignMagnitude {
     pub fn from_signed(value: i64, bitwidth: u32) -> Self {
         let max = crate::stream_len(bitwidth) as i64;
         let clamped = value.clamp(-max, max);
-        Self { negative: clamped < 0, magnitude: clamped.unsigned_abs() }
+        Self {
+            negative: clamped < 0,
+            magnitude: clamped.unsigned_abs(),
+        }
     }
 
     /// Recovers the signed integer value.
@@ -66,7 +69,12 @@ impl SignMagnitude {
 
 impl core::fmt::Display for SignMagnitude {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}{}", if self.negative { "-" } else { "+" }, self.magnitude)
+        write!(
+            f,
+            "{}{}",
+            if self.negative { "-" } else { "+" },
+            self.magnitude
+        )
     }
 }
 

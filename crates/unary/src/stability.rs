@@ -16,7 +16,7 @@ use crate::bitstream::Bitstream;
 /// The first cycle index `T` (1-based bit count) after which the running
 /// unipolar value stays within `epsilon` of the stream's final value, and
 /// the derived normalized stability `1 − T / L`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stability {
     /// Bits consumed before the value stabilised (0 means stable from the
     /// first bit).
@@ -55,7 +55,10 @@ pub fn stability(stream: &Bitstream, epsilon: f64) -> Stability {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     let len = stream.len();
     if len == 0 {
-        return Stability { stabilization_bits: 0, normalized: 1.0 };
+        return Stability {
+            stabilization_bits: 0,
+            normalized: 1.0,
+        };
     }
     let final_value = stream.unipolar_value();
     let mut ones = 0usize;
@@ -89,7 +92,11 @@ pub fn stability(stream: &Bitstream, epsilon: f64) -> Stability {
 #[must_use]
 pub fn recommend_ebt(stream: &Bitstream, bitwidth: u32, epsilon: f64) -> u32 {
     let len = crate::stream_len(bitwidth);
-    assert_eq!(stream.len() as u64, len, "stream length must match the bitwidth");
+    assert_eq!(
+        stream.len() as u64,
+        len,
+        "stream length must match the bitwidth"
+    );
     let final_value = stream.unipolar_value();
     for ebt in 1..bitwidth {
         let prefix_len = (1usize << (ebt - 1)).min(stream.len());
@@ -128,8 +135,8 @@ mod tests {
         // The structural reason rate coding early-terminates safely
         // (Section II-B3) and temporal coding does not.
         let magnitude = 77;
-        let rate = encode_unipolar(magnitude, 8, SobolSource::dimension(0, 7))
-            .expect("valid encode");
+        let rate =
+            encode_unipolar(magnitude, 8, SobolSource::dimension(0, 7)).expect("valid encode");
         let temporal = TemporalEncoder::unipolar(magnitude, 8).stream();
         let sr = stability(&rate, 0.05);
         let st = stability(&temporal, 0.05);
@@ -143,8 +150,7 @@ mod tests {
 
     #[test]
     fn looser_bounds_raise_stability() {
-        let rate =
-            encode_unipolar(90, 8, SobolSource::dimension(1, 7)).expect("valid encode");
+        let rate = encode_unipolar(90, 8, SobolSource::dimension(1, 7)).expect("valid encode");
         let tight = stability(&rate, 0.01);
         let loose = stability(&rate, 0.2);
         assert!(loose.normalized >= tight.normalized);
@@ -152,10 +158,12 @@ mod tests {
 
     #[test]
     fn recommend_ebt_finds_early_point_for_rate_coding() {
-        let rate =
-            encode_unipolar(64, 8, SobolSource::dimension(0, 7)).expect("valid encode");
+        let rate = encode_unipolar(64, 8, SobolSource::dimension(0, 7)).expect("valid encode");
         let ebt = recommend_ebt(&rate, 8, 0.05);
-        assert!(ebt < 8, "rate coding should admit early termination, got EBT {ebt}");
+        assert!(
+            ebt < 8,
+            "rate coding should admit early termination, got EBT {ebt}"
+        );
     }
 
     #[test]

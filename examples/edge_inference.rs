@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test = Dataset::generate(8, 0.25, 99);
     let mut net = TinyCnn::new(7);
     let train_acc = net.train(&train, 8, 0.05);
-    println!("trained on {} samples, final train accuracy {train_acc:.3}", train.len());
+    println!(
+        "trained on {} samples, final train accuracy {train_acc:.3}",
+        train.len()
+    );
     println!("FP32 test accuracy: {:.3}\n", net.accuracy_fp(&test));
 
     println!(

@@ -29,9 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = TinyCnn::new(7);
     net.train(&train, 8, 0.05);
 
-    let usys = GemmExecutor::new(
-        SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(64)?,
-    );
+    let usys =
+        GemmExecutor::new(SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(64)?);
 
     println!("glyph classification on the uSystolic edge array (rate coded, 64 cycles)\n");
     let demo = Dataset::generate(1, 0.35, 12345);

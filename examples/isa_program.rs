@@ -9,8 +9,7 @@
 //! ```
 
 use usystolic::arch::{
-    ComputingScheme, GemmExecutor, Instruction, Processor, Program, ProgramBuilder,
-    SystolicConfig,
+    ComputingScheme, GemmExecutor, Instruction, Processor, Program, ProgramBuilder, SystolicConfig,
 };
 use usystolic::gemm::{GemmConfig, Matrix};
 
@@ -23,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compile the GEMM onto the array — the same fold loop a binary
     // array's scheduler would emit.
     let program = ProgramBuilder::new(config).compile(&gemm);
-    println!("Compiled program ({} instructions):\n{program}", program.len());
+    println!(
+        "Compiled program ({} instructions):\n{program}",
+        program.len()
+    );
 
     let processor = Processor::new(config, gemm);
     let full = processor.run(&program, &input, &weights)?;
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .max()
             .unwrap_or(0)
     };
-    println!("full-length program vs direct executor: max |diff| = {}", max_diff(&full, &direct));
+    println!(
+        "full-length program vs direct executor: max |diff| = {}",
+        max_diff(&full, &direct)
+    );
     println!(
         "early-terminated (33 MAC cycles) vs full: max |diff| = {} output counts",
         max_diff(&terminated, &full)

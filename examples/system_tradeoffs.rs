@@ -18,9 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // wall? (Paper: "uSystolic's low bandwidth empowers better
     // scalability.")
     println!("multi-instance scaling on one shared DRAM (AlexNet Conv2, edge arrays):\n");
-    println!("{:<24} {:>10} {:>14} {:>12}", "design", "instances", "agg. layers/s", "efficiency");
+    println!(
+        "{:<24} {:>10} {:>14} {:>12}",
+        "design", "instances", "agg. layers/s", "efficiency"
+    );
     let designs = [
-        ("Binary Parallel", SystolicConfig::edge(ComputingScheme::BinaryParallel, 8)),
+        (
+            "Binary Parallel",
+            SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+        ),
         (
             "uSystolic rate 32c",
             SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(32)?,
@@ -40,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 n,
                 r.aggregate_throughput,
                 100.0 * r.scaling_efficiency,
-                if r.dram_limited { "  <- memory wall" } else { "" }
+                if r.dram_limited {
+                    "  <- memory wall"
+                } else {
+                    ""
+                }
             );
         }
         println!();
@@ -49,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 2: battery lifetime — a 100 J budget running full AlexNet
     // passes, on-chip energy only (the battery scenario of §V-H).
     println!("battery lifetime for a 100 J on-chip budget (8-bit AlexNet):\n");
-    println!("{:<24} {:>14} {:>14}", "design", "inferences", "lifetime (s)");
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "design", "inferences", "lifetime (s)"
+    );
     for cycles in [32u64, 64, 128] {
         let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8).with_mul_cycles(cycles)?;
         let mem = MemoryHierarchy::no_sram();

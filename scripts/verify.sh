@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Local mirror of the CI gate: hermetic build, tests, formatting, lints,
+# then a smoke run of the observability pipeline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace --offline"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo fmt --all --check"
+if rustup component list 2>/dev/null | grep -q "rustfmt.*(installed)"; then
+    cargo fmt --all --check
+else
+    echo "    (rustfmt not installed, skipping)"
+fi
+
+echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+if rustup component list 2>/dev/null | grep -q "clippy.*(installed)"; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "    (clippy not installed, skipping)"
+fi
+
+echo "==> sim_cli observability smoke test"
+trace=$(mktemp /tmp/usystolic_trace.XXXXXX.json)
+metrics=$(mktemp /tmp/usystolic_metrics.XXXXXX.json)
+./target/release/sim_cli \
+    --scheme UR --cycles 128 --shape edge --no-sram \
+    --conv 31,31,96,5,5,1,256 \
+    --trace "$trace" --metrics "$metrics" --json > /dev/null
+grep -q '"traceEvents"' "$trace"
+grep -q '"sim.dram_bytes"' "$metrics"
+rm -f "$trace" "$metrics"
+
+echo "verify: OK"

@@ -16,6 +16,9 @@
 //!   efficiency) standing in for Design Compiler + CACTI.
 //! * [`models`] — DNN workload zoo (AlexNet, ResNet18, MNIST CNN,
 //!   MLPerf-like suite) and a pure-Rust CNN trainer.
+//! * [`obs`] — zero-dependency observability: cycle-level tracing with
+//!   Chrome `trace_event`/JSONL export, a metrics registry and the
+//!   [`obs::ToJson`] structured-JSON trait.
 //!
 //! # Quickstart
 //!
@@ -33,5 +36,6 @@ pub use usystolic_core as arch;
 pub use usystolic_gemm as gemm;
 pub use usystolic_hw as hw;
 pub use usystolic_models as models;
+pub use usystolic_obs as obs;
 pub use usystolic_sim as sim;
 pub use usystolic_unary as unary;

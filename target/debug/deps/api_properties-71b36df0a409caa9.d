@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_properties-71b36df0a409caa9.d: tests/api_properties.rs
+
+/root/repo/target/debug/deps/api_properties-71b36df0a409caa9: tests/api_properties.rs
+
+tests/api_properties.rs:

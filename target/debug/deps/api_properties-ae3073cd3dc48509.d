@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_properties-ae3073cd3dc48509.d: tests/api_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_properties-ae3073cd3dc48509.rmeta: tests/api_properties.rs Cargo.toml
+
+tests/api_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

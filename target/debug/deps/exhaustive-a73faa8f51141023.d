@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exhaustive-a73faa8f51141023.d: tests/exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexhaustive-a73faa8f51141023.rmeta: tests/exhaustive.rs Cargo.toml
+
+tests/exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive-d591ef2573a559f4.d: tests/exhaustive.rs
+
+/root/repo/target/debug/deps/exhaustive-d591ef2573a559f4: tests/exhaustive.rs
+
+tests/exhaustive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablation-49cf55502639d51f.d: crates/bench/src/bin/exp_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablation-49cf55502639d51f.rmeta: crates/bench/src/bin/exp_ablation.rs Cargo.toml
+
+crates/bench/src/bin/exp_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

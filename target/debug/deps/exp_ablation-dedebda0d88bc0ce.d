@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-dedebda0d88bc0ce.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/exp_ablation-dedebda0d88bc0ce: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_accuracy-86de132416a09670.d: crates/bench/src/bin/exp_accuracy.rs
+
+/root/repo/target/debug/deps/exp_accuracy-86de132416a09670: crates/bench/src/bin/exp_accuracy.rs
+
+crates/bench/src/bin/exp_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_accuracy-d2b9b5278414a958.d: crates/bench/src/bin/exp_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_accuracy-d2b9b5278414a958.rmeta: crates/bench/src/bin/exp_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/exp_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_accuracy-d38e01202865dd68.d: crates/bench/src/bin/exp_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_accuracy-d38e01202865dd68.rmeta: crates/bench/src/bin/exp_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/exp_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

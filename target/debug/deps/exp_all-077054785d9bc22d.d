@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-077054785d9bc22d.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/exp_all-077054785d9bc22d: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

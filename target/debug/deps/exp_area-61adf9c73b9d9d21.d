@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_area-61adf9c73b9d9d21.d: crates/bench/src/bin/exp_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_area-61adf9c73b9d9d21.rmeta: crates/bench/src/bin/exp_area.rs Cargo.toml
+
+crates/bench/src/bin/exp_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_area-bdd11681b02d7676.d: crates/bench/src/bin/exp_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_area-bdd11681b02d7676.rmeta: crates/bench/src/bin/exp_area.rs Cargo.toml
+
+crates/bench/src/bin/exp_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

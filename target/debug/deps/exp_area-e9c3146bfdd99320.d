@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_area-e9c3146bfdd99320.d: crates/bench/src/bin/exp_area.rs
+
+/root/repo/target/debug/deps/exp_area-e9c3146bfdd99320: crates/bench/src/bin/exp_area.rs
+
+crates/bench/src/bin/exp_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_bandwidth-520df80bb16a9af3.d: crates/bench/src/bin/exp_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_bandwidth-520df80bb16a9af3.rmeta: crates/bench/src/bin/exp_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/exp_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_bandwidth-8422dce77aaa1b3e.d: crates/bench/src/bin/exp_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_bandwidth-8422dce77aaa1b3e.rmeta: crates/bench/src/bin/exp_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/exp_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

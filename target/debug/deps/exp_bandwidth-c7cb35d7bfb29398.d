@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_bandwidth-c7cb35d7bfb29398.d: crates/bench/src/bin/exp_bandwidth.rs
+
+/root/repo/target/debug/deps/exp_bandwidth-c7cb35d7bfb29398: crates/bench/src/bin/exp_bandwidth.rs
+
+crates/bench/src/bin/exp_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_design_space-0b15ccf6f25542f1.d: crates/bench/src/bin/exp_design_space.rs
+
+/root/repo/target/debug/deps/exp_design_space-0b15ccf6f25542f1: crates/bench/src/bin/exp_design_space.rs
+
+crates/bench/src/bin/exp_design_space.rs:

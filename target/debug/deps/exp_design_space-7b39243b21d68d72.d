@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_design_space-7b39243b21d68d72.d: crates/bench/src/bin/exp_design_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_design_space-7b39243b21d68d72.rmeta: crates/bench/src/bin/exp_design_space.rs Cargo.toml
+
+crates/bench/src/bin/exp_design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

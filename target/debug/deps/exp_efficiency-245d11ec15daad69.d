@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_efficiency-245d11ec15daad69.d: crates/bench/src/bin/exp_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_efficiency-245d11ec15daad69.rmeta: crates/bench/src/bin/exp_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/exp_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_efficiency-9828878e582fdd35.d: crates/bench/src/bin/exp_efficiency.rs
+
+/root/repo/target/debug/deps/exp_efficiency-9828878e582fdd35: crates/bench/src/bin/exp_efficiency.rs
+
+crates/bench/src/bin/exp_efficiency.rs:

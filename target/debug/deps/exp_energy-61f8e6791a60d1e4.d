@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_energy-61f8e6791a60d1e4.d: crates/bench/src/bin/exp_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_energy-61f8e6791a60d1e4.rmeta: crates/bench/src/bin/exp_energy.rs Cargo.toml
+
+crates/bench/src/bin/exp_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_energy-6e50850e28d71f19.d: crates/bench/src/bin/exp_energy.rs
+
+/root/repo/target/debug/deps/exp_energy-6e50850e28d71f19: crates/bench/src/bin/exp_energy.rs
+
+crates/bench/src/bin/exp_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_energy-fe0358c7934178b4.d: crates/bench/src/bin/exp_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_energy-fe0358c7934178b4.rmeta: crates/bench/src/bin/exp_energy.rs Cargo.toml
+
+crates/bench/src/bin/exp_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

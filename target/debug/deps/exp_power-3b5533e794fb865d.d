@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_power-3b5533e794fb865d.d: crates/bench/src/bin/exp_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_power-3b5533e794fb865d.rmeta: crates/bench/src/bin/exp_power.rs Cargo.toml
+
+crates/bench/src/bin/exp_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_power-d03aa8590e591cbe.d: crates/bench/src/bin/exp_power.rs
+
+/root/repo/target/debug/deps/exp_power-d03aa8590e591cbe: crates/bench/src/bin/exp_power.rs
+
+crates/bench/src/bin/exp_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_system-3c612b92832035f3.d: crates/bench/src/bin/exp_system.rs
+
+/root/repo/target/debug/deps/exp_system-3c612b92832035f3: crates/bench/src/bin/exp_system.rs
+
+crates/bench/src/bin/exp_system.rs:

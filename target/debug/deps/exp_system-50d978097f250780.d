@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_system-50d978097f250780.d: crates/bench/src/bin/exp_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_system-50d978097f250780.rmeta: crates/bench/src/bin/exp_system.rs Cargo.toml
+
+crates/bench/src/bin/exp_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

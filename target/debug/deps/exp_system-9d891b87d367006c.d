@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_system-9d891b87d367006c.d: crates/bench/src/bin/exp_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_system-9d891b87d367006c.rmeta: crates/bench/src/bin/exp_system.rs Cargo.toml
+
+crates/bench/src/bin/exp_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-68c5db80ebf38f65.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/exp_table1-68c5db80ebf38f65: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

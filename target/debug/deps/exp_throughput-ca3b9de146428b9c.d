@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_throughput-ca3b9de146428b9c.d: crates/bench/src/bin/exp_throughput.rs
+
+/root/repo/target/debug/deps/exp_throughput-ca3b9de146428b9c: crates/bench/src/bin/exp_throughput.rs
+
+crates/bench/src/bin/exp_throughput.rs:

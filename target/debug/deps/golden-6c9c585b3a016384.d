@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-6c9c585b3a016384.d: tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-6c9c585b3a016384.rmeta: tests/golden.rs Cargo.toml
+
+tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-905f6e58c0b4c321.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-905f6e58c0b4c321: tests/golden.rs
+
+tests/golden.rs:

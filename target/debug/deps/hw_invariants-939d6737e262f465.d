@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_invariants-939d6737e262f465.d: tests/hw_invariants.rs
+
+/root/repo/target/debug/deps/hw_invariants-939d6737e262f465: tests/hw_invariants.rs
+
+tests/hw_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_invariants-ea72b20126725b54.d: tests/hw_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_invariants-ea72b20126725b54.rmeta: tests/hw_invariants.rs Cargo.toml
+
+tests/hw_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_fuzz-ef3ce9047e28b5ca.d: tests/isa_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_fuzz-ef3ce9047e28b5ca.rmeta: tests/isa_fuzz.rs Cargo.toml
+
+tests/isa_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isa_fuzz-f0576faa329df307.d: tests/isa_fuzz.rs
+
+/root/repo/target/debug/deps/isa_fuzz-f0576faa329df307: tests/isa_fuzz.rs
+
+tests/isa_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/more_properties-513c2c9e65c2a3b6.d: tests/more_properties.rs
+
+/root/repo/target/debug/deps/more_properties-513c2c9e65c2a3b6: tests/more_properties.rs
+
+tests/more_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/more_properties-9baa632210f21347.d: tests/more_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmore_properties-9baa632210f21347.rmeta: tests/more_properties.rs Cargo.toml
+
+tests/more_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/networks-06f8a49e668cda42.d: tests/networks.rs
+
+/root/repo/target/debug/deps/networks-06f8a49e668cda42: tests/networks.rs
+
+tests/networks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/networks-a8e031b347235187.d: tests/networks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetworks-a8e031b347235187.rmeta: tests/networks.rs Cargo.toml
+
+tests/networks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

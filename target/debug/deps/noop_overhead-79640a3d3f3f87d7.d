@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noop_overhead-79640a3d3f3f87d7.d: crates/obs/tests/noop_overhead.rs
+
+/root/repo/target/debug/deps/noop_overhead-79640a3d3f3f87d7: crates/obs/tests/noop_overhead.rs
+
+crates/obs/tests/noop_overhead.rs:

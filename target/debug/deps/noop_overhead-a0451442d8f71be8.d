@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noop_overhead-a0451442d8f71be8.d: crates/obs/tests/noop_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoop_overhead-a0451442d8f71be8.rmeta: crates/obs/tests/noop_overhead.rs Cargo.toml
+
+crates/obs/tests/noop_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-4651095baabfc384.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-4651095baabfc384: tests/observability.rs
+
+tests/observability.rs:

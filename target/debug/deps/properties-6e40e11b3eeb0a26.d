@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6e40e11b3eeb0a26.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6e40e11b3eeb0a26: tests/properties.rs
+
+tests/properties.rs:

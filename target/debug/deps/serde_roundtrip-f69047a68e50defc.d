@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-f69047a68e50defc.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-f69047a68e50defc: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

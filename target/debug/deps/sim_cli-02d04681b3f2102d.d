@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_cli-02d04681b3f2102d.d: crates/bench/src/bin/sim_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_cli-02d04681b3f2102d.rmeta: crates/bench/src/bin/sim_cli.rs Cargo.toml
+
+crates/bench/src/bin/sim_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

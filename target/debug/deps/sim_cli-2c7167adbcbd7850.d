@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_cli-2c7167adbcbd7850.d: crates/bench/src/bin/sim_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_cli-2c7167adbcbd7850.rmeta: crates/bench/src/bin/sim_cli.rs Cargo.toml
+
+crates/bench/src/bin/sim_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_cli-f408afe946cc5456.d: crates/bench/src/bin/sim_cli.rs
+
+/root/repo/target/debug/deps/sim_cli-f408afe946cc5456: crates/bench/src/bin/sim_cli.rs
+
+crates/bench/src/bin/sim_cli.rs:

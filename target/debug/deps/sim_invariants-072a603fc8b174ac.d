@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_invariants-072a603fc8b174ac.d: tests/sim_invariants.rs
+
+/root/repo/target/debug/deps/sim_invariants-072a603fc8b174ac: tests/sim_invariants.rs
+
+tests/sim_invariants.rs:

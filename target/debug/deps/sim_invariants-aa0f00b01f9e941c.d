@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_invariants-aa0f00b01f9e941c.d: tests/sim_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_invariants-aa0f00b01f9e941c.rmeta: tests/sim_invariants.rs Cargo.toml
+
+tests/sim_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

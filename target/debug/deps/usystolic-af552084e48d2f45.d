@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/usystolic-af552084e48d2f45.d: src/lib.rs
+
+/root/repo/target/debug/deps/usystolic-af552084e48d2f45: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/usystolic-caa700d41d986d85.d: src/lib.rs
+
+/root/repo/target/debug/deps/libusystolic-caa700d41d986d85.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libusystolic-caa700d41d986d85.rmeta: src/lib.rs
+
+src/lib.rs:

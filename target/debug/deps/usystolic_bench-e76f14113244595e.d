@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/usystolic_bench-e76f14113244595e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_bench-e76f14113244595e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/accuracy.rs:
+crates/bench/src/area.rs:
+crates/bench/src/bandwidth.rs:
+crates/bench/src/design.rs:
+crates/bench/src/design_space.rs:
+crates/bench/src/efficiency.rs:
+crates/bench/src/energy.rs:
+crates/bench/src/power.rs:
+crates/bench/src/system.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/usystolic_core-b2d9a596dd2d9c2b.d: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/array2d.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/fifo.rs crates/core/src/fsu.rs crates/core/src/isa.rs crates/core/src/mapping.rs crates/core/src/pe.rs crates/core/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_core-b2d9a596dd2d9c2b.rmeta: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/array2d.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/fifo.rs crates/core/src/fsu.rs crates/core/src/isa.rs crates/core/src/mapping.rs crates/core/src/pe.rs crates/core/src/scheme.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/array.rs:
+crates/core/src/array2d.rs:
+crates/core/src/baselines.rs:
+crates/core/src/check.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/fifo.rs:
+crates/core/src/fsu.rs:
+crates/core/src/isa.rs:
+crates/core/src/mapping.rs:
+crates/core/src/pe.rs:
+crates/core/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/usystolic_gemm-0a0195ec24ecda26.d: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_gemm-0a0195ec24ecda26.rmeta: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs Cargo.toml
+
+crates/gemm/src/lib.rs:
+crates/gemm/src/config.rs:
+crates/gemm/src/im2col.rs:
+crates/gemm/src/loopnest.rs:
+crates/gemm/src/pad.rs:
+crates/gemm/src/quant.rs:
+crates/gemm/src/stats.rs:
+crates/gemm/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

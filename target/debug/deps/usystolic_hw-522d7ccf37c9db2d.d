@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/usystolic_hw-522d7ccf37c9db2d.d: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_hw-522d7ccf37c9db2d.rmeta: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/area.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/evaluate.rs:
+crates/hw/src/pe_area.rs:
+crates/hw/src/power.rs:
+crates/hw/src/summary.rs:
+crates/hw/src/tech.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/usystolic_hw-924c3905a8701a2c.d: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+/root/repo/target/debug/deps/libusystolic_hw-924c3905a8701a2c.rlib: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+/root/repo/target/debug/deps/libusystolic_hw-924c3905a8701a2c.rmeta: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/area.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/evaluate.rs:
+crates/hw/src/pe_area.rs:
+crates/hw/src/power.rs:
+crates/hw/src/summary.rs:
+crates/hw/src/tech.rs:

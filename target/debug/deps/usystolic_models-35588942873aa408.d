@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/usystolic_models-35588942873aa408.d: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/usystolic_models-35588942873aa408: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/dataset.rs:
+crates/models/src/mlp.rs:
+crates/models/src/mlperf.rs:
+crates/models/src/trainer.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/usystolic_models-4a8a7c3e65a6185a.d: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libusystolic_models-4a8a7c3e65a6185a.rlib: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libusystolic_models-4a8a7c3e65a6185a.rmeta: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/dataset.rs:
+crates/models/src/mlp.rs:
+crates/models/src/mlperf.rs:
+crates/models/src/trainer.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/usystolic_models-7cd4a4d33e60a5d6.d: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_models-7cd4a4d33e60a5d6.rmeta: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/dataset.rs:
+crates/models/src/mlp.rs:
+crates/models/src/mlperf.rs:
+crates/models/src/trainer.rs:
+crates/models/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/usystolic_obs-cf11cf4b3a46b030.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_obs-cf11cf4b3a46b030.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/usystolic_obs-e02542cbf46a64c4.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/usystolic_obs-e02542cbf46a64c4: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:

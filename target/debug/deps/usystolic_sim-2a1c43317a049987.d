@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/usystolic_sim-2a1c43317a049987.d: crates/sim/src/lib.rs crates/sim/src/dataflow.rs crates/sim/src/dram_model.rs crates/sim/src/jitter.rs crates/sim/src/memory.rs crates/sim/src/multi.rs crates/sim/src/report.rs crates/sim/src/runtime.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_sim-2a1c43317a049987.rmeta: crates/sim/src/lib.rs crates/sim/src/dataflow.rs crates/sim/src/dram_model.rs crates/sim/src/jitter.rs crates/sim/src/memory.rs crates/sim/src/multi.rs crates/sim/src/report.rs crates/sim/src/runtime.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataflow.rs:
+crates/sim/src/dram_model.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

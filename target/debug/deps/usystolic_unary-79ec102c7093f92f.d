@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/usystolic_unary-79ec102c7093f92f.d: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusystolic_unary-79ec102c7093f92f.rmeta: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs Cargo.toml
+
+crates/unary/src/lib.rs:
+crates/unary/src/add.rs:
+crates/unary/src/bitstream.rs:
+crates/unary/src/bsg.rs:
+crates/unary/src/coding.rs:
+crates/unary/src/div.rs:
+crates/unary/src/et.rs:
+crates/unary/src/mul.rs:
+crates/unary/src/rng.rs:
+crates/unary/src/scc.rs:
+crates/unary/src/sign.rs:
+crates/unary/src/stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

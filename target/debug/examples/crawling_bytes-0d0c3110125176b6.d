@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crawling_bytes-0d0c3110125176b6.d: examples/crawling_bytes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrawling_bytes-0d0c3110125176b6.rmeta: examples/crawling_bytes.rs Cargo.toml
+
+examples/crawling_bytes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crawling_bytes-ce7d232828e1ba8e.d: examples/crawling_bytes.rs
+
+/root/repo/target/debug/examples/crawling_bytes-ce7d232828e1ba8e: examples/crawling_bytes.rs
+
+examples/crawling_bytes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_inference-00bd6ce542857f37.d: examples/edge_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_inference-00bd6ce542857f37.rmeta: examples/edge_inference.rs Cargo.toml
+
+examples/edge_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

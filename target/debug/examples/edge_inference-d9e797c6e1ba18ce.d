@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_inference-d9e797c6e1ba18ce.d: examples/edge_inference.rs
+
+/root/repo/target/debug/examples/edge_inference-d9e797c6e1ba18ce: examples/edge_inference.rs
+
+examples/edge_inference.rs:

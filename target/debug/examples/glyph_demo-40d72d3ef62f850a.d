@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/glyph_demo-40d72d3ef62f850a.d: examples/glyph_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libglyph_demo-40d72d3ef62f850a.rmeta: examples/glyph_demo.rs Cargo.toml
+
+examples/glyph_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/glyph_demo-44088a6d94ed3d2c.d: examples/glyph_demo.rs
+
+/root/repo/target/debug/examples/glyph_demo-44088a6d94ed3d2c: examples/glyph_demo.rs
+
+examples/glyph_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/isa_program-6da36833a5e61dab.d: examples/isa_program.rs
+
+/root/repo/target/debug/examples/isa_program-6da36833a5e61dab: examples/isa_program.rs
+
+examples/isa_program.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/isa_program-b493649af9c0866f.d: examples/isa_program.rs Cargo.toml
+
+/root/repo/target/debug/examples/libisa_program-b493649af9c0866f.rmeta: examples/isa_program.rs Cargo.toml
+
+examples/isa_program.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

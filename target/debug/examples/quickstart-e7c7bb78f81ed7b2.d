@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7c7bb78f81ed7b2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7c7bb78f81ed7b2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/system_tradeoffs-8a1912392a01aca5.d: examples/system_tradeoffs.rs
+
+/root/repo/target/debug/examples/system_tradeoffs-8a1912392a01aca5: examples/system_tradeoffs.rs
+
+examples/system_tradeoffs.rs:

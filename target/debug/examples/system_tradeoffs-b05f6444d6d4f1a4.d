@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/system_tradeoffs-b05f6444d6d4f1a4.d: examples/system_tradeoffs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsystem_tradeoffs-b05f6444d6d4f1a4.rmeta: examples/system_tradeoffs.rs Cargo.toml
+
+examples/system_tradeoffs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_ablation-8a69923ec2f51767.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/release/deps/exp_ablation-8a69923ec2f51767: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

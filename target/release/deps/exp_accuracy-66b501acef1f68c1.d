@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_accuracy-66b501acef1f68c1.d: crates/bench/src/bin/exp_accuracy.rs
+
+/root/repo/target/release/deps/exp_accuracy-66b501acef1f68c1: crates/bench/src/bin/exp_accuracy.rs
+
+crates/bench/src/bin/exp_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_all-2fc25422ee5d7054.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/release/deps/exp_all-2fc25422ee5d7054: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_area-6871c1de109ae860.d: crates/bench/src/bin/exp_area.rs
+
+/root/repo/target/release/deps/exp_area-6871c1de109ae860: crates/bench/src/bin/exp_area.rs
+
+crates/bench/src/bin/exp_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_bandwidth-5ec018b5f4a1a291.d: crates/bench/src/bin/exp_bandwidth.rs
+
+/root/repo/target/release/deps/exp_bandwidth-5ec018b5f4a1a291: crates/bench/src/bin/exp_bandwidth.rs
+
+crates/bench/src/bin/exp_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_design_space-2e184d90335ba5e5.d: crates/bench/src/bin/exp_design_space.rs
+
+/root/repo/target/release/deps/exp_design_space-2e184d90335ba5e5: crates/bench/src/bin/exp_design_space.rs
+
+crates/bench/src/bin/exp_design_space.rs:

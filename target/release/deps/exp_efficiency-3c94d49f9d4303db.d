@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_efficiency-3c94d49f9d4303db.d: crates/bench/src/bin/exp_efficiency.rs
+
+/root/repo/target/release/deps/exp_efficiency-3c94d49f9d4303db: crates/bench/src/bin/exp_efficiency.rs
+
+crates/bench/src/bin/exp_efficiency.rs:

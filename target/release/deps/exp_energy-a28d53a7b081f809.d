@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_energy-a28d53a7b081f809.d: crates/bench/src/bin/exp_energy.rs
+
+/root/repo/target/release/deps/exp_energy-a28d53a7b081f809: crates/bench/src/bin/exp_energy.rs
+
+crates/bench/src/bin/exp_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_power-6f3760ea52d71438.d: crates/bench/src/bin/exp_power.rs
+
+/root/repo/target/release/deps/exp_power-6f3760ea52d71438: crates/bench/src/bin/exp_power.rs
+
+crates/bench/src/bin/exp_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_system-eb8f97df4b1f90ef.d: crates/bench/src/bin/exp_system.rs
+
+/root/repo/target/release/deps/exp_system-eb8f97df4b1f90ef: crates/bench/src/bin/exp_system.rs
+
+crates/bench/src/bin/exp_system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_table1-78fdf526128550fb.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/release/deps/exp_table1-78fdf526128550fb: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_throughput-477125080ae118f2.d: crates/bench/src/bin/exp_throughput.rs
+
+/root/repo/target/release/deps/exp_throughput-477125080ae118f2: crates/bench/src/bin/exp_throughput.rs
+
+crates/bench/src/bin/exp_throughput.rs:

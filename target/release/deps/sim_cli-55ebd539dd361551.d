@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_cli-55ebd539dd361551.d: crates/bench/src/bin/sim_cli.rs
+
+/root/repo/target/release/deps/sim_cli-55ebd539dd361551: crates/bench/src/bin/sim_cli.rs
+
+crates/bench/src/bin/sim_cli.rs:

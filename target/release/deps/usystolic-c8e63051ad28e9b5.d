@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/usystolic-c8e63051ad28e9b5.d: src/lib.rs
+
+/root/repo/target/release/deps/libusystolic-c8e63051ad28e9b5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libusystolic-c8e63051ad28e9b5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/usystolic_bench-b93d3f51288e89b9.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libusystolic_bench-b93d3f51288e89b9.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libusystolic_bench-b93d3f51288e89b9.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/accuracy.rs:
+crates/bench/src/area.rs:
+crates/bench/src/bandwidth.rs:
+crates/bench/src/design.rs:
+crates/bench/src/design_space.rs:
+crates/bench/src/efficiency.rs:
+crates/bench/src/energy.rs:
+crates/bench/src/power.rs:
+crates/bench/src/system.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/throughput.rs:

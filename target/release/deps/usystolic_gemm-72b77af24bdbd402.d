@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/usystolic_gemm-72b77af24bdbd402.d: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs
+
+/root/repo/target/release/deps/libusystolic_gemm-72b77af24bdbd402.rlib: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs
+
+/root/repo/target/release/deps/libusystolic_gemm-72b77af24bdbd402.rmeta: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs
+
+crates/gemm/src/lib.rs:
+crates/gemm/src/config.rs:
+crates/gemm/src/im2col.rs:
+crates/gemm/src/loopnest.rs:
+crates/gemm/src/pad.rs:
+crates/gemm/src/quant.rs:
+crates/gemm/src/stats.rs:
+crates/gemm/src/tensor.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/usystolic_hw-363f96c4e9b089e2.d: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+/root/repo/target/release/deps/libusystolic_hw-363f96c4e9b089e2.rlib: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+/root/repo/target/release/deps/libusystolic_hw-363f96c4e9b089e2.rmeta: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/area.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/evaluate.rs:
+crates/hw/src/pe_area.rs:
+crates/hw/src/power.rs:
+crates/hw/src/summary.rs:
+crates/hw/src/tech.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/usystolic_models-7b5ae476c8d645ca.d: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libusystolic_models-7b5ae476c8d645ca.rlib: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+/root/repo/target/release/deps/libusystolic_models-7b5ae476c8d645ca.rmeta: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/dataset.rs:
+crates/models/src/mlp.rs:
+crates/models/src/mlperf.rs:
+crates/models/src/trainer.rs:
+crates/models/src/zoo.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/usystolic_unary-8720879235f6bd7e.d: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs
+
+/root/repo/target/release/deps/libusystolic_unary-8720879235f6bd7e.rlib: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs
+
+/root/repo/target/release/deps/libusystolic_unary-8720879235f6bd7e.rmeta: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs
+
+crates/unary/src/lib.rs:
+crates/unary/src/add.rs:
+crates/unary/src/bitstream.rs:
+crates/unary/src/bsg.rs:
+crates/unary/src/coding.rs:
+crates/unary/src/div.rs:
+crates/unary/src/et.rs:
+crates/unary/src/mul.rs:
+crates/unary/src/rng.rs:
+crates/unary/src/scc.rs:
+crates/unary/src/sign.rs:
+crates/unary/src/stability.rs:

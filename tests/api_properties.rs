@@ -1,6 +1,12 @@
 //! Property tests for the auxiliary public APIs: skew FIFOs, padding,
 //! CSV tables and the confusion matrix.
 
+// Gated off by default: proptest is a registry crate and the workspace
+// must build with no network access. Enable with
+// `--features external-deps` after re-adding `proptest = "1"` to the
+// root [dev-dependencies].
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use usystolic::arch::{DelayLine, SkewBank, SkewOrder};
 use usystolic::gemm::pad::{pad_feature_map, padded_conv};

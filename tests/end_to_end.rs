@@ -26,14 +26,17 @@ fn test_case(seed: u64) -> (GemmConfig, FeatureMap<f64>, WeightSet<f64>) {
 fn all_schemes_track_the_reference_end_to_end() {
     let (gemm, input, weights) = test_case(1);
     let reference = gemm_reference(&gemm, &input, &weights).expect("shapes match");
-    let scale = reference.as_slice().iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    let scale = reference
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &x| m.max(x.abs()));
     for scheme in ComputingScheme::ALL {
         let cfg = SystolicConfig::new(8, 5, scheme, 8).expect("valid configuration");
         let out = GemmExecutor::new(cfg)
             .execute(&gemm, &input, &weights)
             .expect("execution succeeds");
-        let err = ErrorStats::compare(reference.as_slice(), out.output.as_slice())
-            .expect("equal shapes");
+        let err =
+            ErrorStats::compare(reference.as_slice(), out.output.as_slice()).expect("equal shapes");
         assert!(
             err.rmse() < 0.15 * scale,
             "{scheme}: rmse {} vs scale {scale}",
@@ -48,16 +51,14 @@ fn array_shape_does_not_change_results() {
     // exactly what a 16×16 array computes.
     let (gemm, input, weights) = test_case(2);
     for scheme in ComputingScheme::ALL {
-        let small = GemmExecutor::new(
-            SystolicConfig::new(3, 2, scheme, 8).expect("valid configuration"),
-        )
-        .execute(&gemm, &input, &weights)
-        .expect("small array executes");
-        let large = GemmExecutor::new(
-            SystolicConfig::new(16, 16, scheme, 8).expect("valid configuration"),
-        )
-        .execute(&gemm, &input, &weights)
-        .expect("large array executes");
+        let small =
+            GemmExecutor::new(SystolicConfig::new(3, 2, scheme, 8).expect("valid configuration"))
+                .execute(&gemm, &input, &weights)
+                .expect("small array executes");
+        let large =
+            GemmExecutor::new(SystolicConfig::new(16, 16, scheme, 8).expect("valid configuration"))
+                .execute(&gemm, &input, &weights)
+                .expect("large array executes");
         let diff = small
             .output
             .as_slice()

@@ -20,8 +20,14 @@ fn umul_exhaustive_6bit() {
             for w in 0..=len {
                 let mut row = UnaryRow::new(
                     bitwidth,
-                    SignMagnitude { negative: false, magnitude: i },
-                    vec![SignMagnitude { negative: false, magnitude: w }],
+                    SignMagnitude {
+                        negative: false,
+                        magnitude: i,
+                    },
+                    vec![SignMagnitude {
+                        negative: false,
+                        magnitude: w,
+                    }],
                     coding,
                 );
                 let count = row.run_fast(len)[0] as f64;

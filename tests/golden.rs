@@ -52,7 +52,10 @@ fn golden_unary_row_counts_temporal() {
     let mut row = UnaryRow::new(
         8,
         SignMagnitude::from_signed(-90, 8),
-        vec![SignMagnitude::from_signed(64, 8), SignMagnitude::from_signed(17, 8)],
+        vec![
+            SignMagnitude::from_signed(64, 8),
+            SignMagnitude::from_signed(17, 8),
+        ],
         Coding::Temporal,
     );
     let counts = row.run_fast(128).to_vec();
@@ -64,8 +67,8 @@ fn golden_unary_gemm_output() {
     let gemm = GemmConfig::matmul(2, 3, 2).expect("valid shape");
     let input = Matrix::from_vec(2, 3, vec![100, -50, 25, 0, 127, -127]).expect("shape");
     let weights = Matrix::from_vec(3, 2, vec![64, -64, 32, 32, -128, 128]).expect("shape");
-    let cfg = SystolicConfig::new(3, 2, ComputingScheme::UnaryRate, 8)
-        .expect("valid configuration");
+    let cfg =
+        SystolicConfig::new(3, 2, ComputingScheme::UnaryRate, 8).expect("valid configuration");
     let (out, _) = GemmExecutor::new(cfg)
         .execute_lowered(&gemm, &input, &weights)
         .expect("runs");
@@ -78,8 +81,8 @@ fn golden_ugemm_h_output() {
     let gemm = GemmConfig::matmul(1, 2, 1).expect("valid shape");
     let input = Matrix::from_vec(1, 2, vec![100, -100]).expect("shape");
     let weights = Matrix::from_vec(2, 1, vec![64, 64]).expect("shape");
-    let cfg = SystolicConfig::new(2, 1, ComputingScheme::UGemmHybrid, 8)
-        .expect("valid configuration");
+    let cfg =
+        SystolicConfig::new(2, 1, ComputingScheme::UGemmHybrid, 8).expect("valid configuration");
     let (out, _) = GemmExecutor::new(cfg)
         .execute_lowered(&gemm, &input, &weights)
         .expect("runs");

@@ -53,7 +53,10 @@ fn pe_breakdown_components_are_positive() {
 fn energy_components_conserve() {
     let gemm = GemmConfig::conv(13, 13, 32, 3, 3, 1, 48).expect("valid layer");
     for scheme in ComputingScheme::ALL {
-        for mem in [MemoryHierarchy::edge_with_sram(), MemoryHierarchy::no_sram()] {
+        for mem in [
+            MemoryHierarchy::edge_with_sram(),
+            MemoryHierarchy::no_sram(),
+        ] {
             let cfg = SystolicConfig::edge(scheme, 8);
             let ev = evaluate_layer(&cfg, &mem, &gemm);
             let e = ev.energy;
@@ -67,10 +70,7 @@ fn energy_components_conserve() {
             }
             // Power × runtime ≡ energy.
             let p = ev.power;
-            assert!(
-                (p.total_w() * ev.report.runtime_s - e.total_j()).abs() / e.total_j()
-                    < 1e-9
-            );
+            assert!((p.total_w() * ev.report.runtime_s - e.total_j()).abs() / e.total_j() < 1e-9);
         }
     }
 }
@@ -127,8 +127,8 @@ fn custom_sram_capacities_interpolate() {
     let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
     let mut last = -1.0;
     for bytes in [0u64, 16 << 10, 64 << 10, 1 << 20, 8 << 20] {
-        let area = OnChipArea::for_config(&cfg, &MemoryHierarchy::with_sram_capacity(bytes))
-            .total_mm2();
+        let area =
+            OnChipArea::for_config(&cfg, &MemoryHierarchy::with_sram_capacity(bytes)).total_mm2();
         assert!(area > last, "{bytes} bytes: {area} vs {last}");
         last = area;
     }

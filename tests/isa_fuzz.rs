@@ -3,10 +3,15 @@
 //! sequencing error — and valid programs always match the direct
 //! executor.
 
+// Gated off by default: proptest is a registry crate and the workspace
+// must build with no network access. Enable with
+// `--features external-deps` after re-adding `proptest = "1"` to the
+// root [dev-dependencies].
+#![cfg(feature = "external-deps")]
+
 use proptest::prelude::*;
 use usystolic::arch::{
-    ComputingScheme, GemmExecutor, Instruction, Processor, Program, ProgramBuilder,
-    SystolicConfig,
+    ComputingScheme, GemmExecutor, Instruction, Processor, Program, ProgramBuilder, SystolicConfig,
 };
 use usystolic::gemm::{GemmConfig, Matrix};
 

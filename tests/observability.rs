@@ -1,0 +1,209 @@
+//! End-to-end observability coverage: trace export shape, counter
+//! reconciliation against the simulator's own report, and the
+//! instrumented functional path.
+//!
+//! The zero-overhead (no-session) contract is pinned separately in
+//! `crates/obs/tests/noop_overhead.rs` with a counting global allocator.
+
+use usystolic::arch::{ComputingScheme, GemmExecutor, SystolicConfig};
+use usystolic::gemm::{FeatureMap, GemmConfig, WeightSet};
+use usystolic::obs::{self, JsonValue, ToJson};
+use usystolic::sim::{MemoryHierarchy, Simulator};
+
+fn alexnet_conv2() -> GemmConfig {
+    GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).unwrap()
+}
+
+fn crawling_edge() -> SystolicConfig {
+    SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+        .with_mul_cycles(128)
+        .unwrap()
+}
+
+/// The Chrome `trace_event` export of a simulated layer matches the
+/// golden shape `chrome://tracing` / Perfetto require: a `traceEvents`
+/// array of objects with `name`/`cat`/`ph`/`ts`/`pid`/`tid`, `dur` on
+/// complete spans, and the top-level `displayTimeUnit`.
+#[test]
+fn chrome_trace_export_has_golden_shape() {
+    obs::install(obs::Session::new());
+    let sim = Simulator::new(crawling_edge(), MemoryHierarchy::no_sram());
+    let report = sim.simulate(&alexnet_conv2());
+    let session = obs::take().expect("session installed");
+
+    let parsed = JsonValue::parse(&session.tracer.export_chrome()).expect("valid JSON");
+    assert_eq!(
+        parsed.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ms")
+    );
+    assert!(parsed
+        .get("otherData")
+        .and_then(|o| o.get("producer"))
+        .is_some());
+
+    let events = parsed
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    for ev in events {
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(
+                ev.get(key).is_some(),
+                "event missing {key}: {}",
+                ev.render()
+            );
+        }
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap();
+        assert!(["X", "i", "C"].contains(&ph), "unknown phase {ph}");
+        if ph == "X" {
+            assert!(ev.get("dur").and_then(JsonValue::as_f64).is_some());
+        }
+    }
+
+    // The layer span sits on the simulated-cycle lane, one tick per
+    // cycle, and carries the report's own numbers as args.
+    let span = events
+        .iter()
+        .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .expect("layer span");
+    assert_eq!(
+        span.get("pid").and_then(JsonValue::as_u64),
+        Some(u64::from(obs::PID_SIM))
+    );
+    assert_eq!(
+        span.get("dur").and_then(JsonValue::as_f64),
+        Some(report.timing.runtime_cycles as f64)
+    );
+    assert_eq!(
+        span.get("args")
+            .and_then(|a| a.get("macs"))
+            .and_then(JsonValue::as_u64),
+        Some(report.macs)
+    );
+}
+
+/// The metrics a simulation run accumulates reconcile exactly with the
+/// `LayerReport` the same run returns — no double counting anywhere in
+/// the traffic/timing/report call chain.
+#[test]
+fn simulator_counters_reconcile_with_report() {
+    obs::install(obs::Session::new());
+    let sim = Simulator::new(crawling_edge(), MemoryHierarchy::no_sram());
+    let report = sim.simulate(&alexnet_conv2());
+    let session = obs::take().expect("session installed");
+    let m = &session.metrics;
+
+    assert_eq!(m.counter("sim.layers"), 1);
+    assert_eq!(m.counter("sim.macs"), report.macs);
+    assert_eq!(m.counter("sim.dram_bytes"), report.traffic.dram.total());
+    assert_eq!(m.counter("sim.dram_ifm_bytes"), report.traffic.dram.ifm);
+    assert_eq!(
+        m.counter("sim.dram_weight_bytes"),
+        report.traffic.dram.weight
+    );
+    assert_eq!(m.counter("sim.dram_ofm_bytes"), report.traffic.dram.ofm);
+    assert_eq!(m.counter("sim.sram_bytes"), report.traffic.sram.total());
+    assert_eq!(m.counter("sim.ideal_cycles"), report.timing.ideal_cycles);
+    assert_eq!(m.counter("sim.stall_cycles"), report.timing.stall_cycles);
+    assert_eq!(
+        m.counter("sim.runtime_cycles"),
+        report.timing.runtime_cycles
+    );
+    assert_eq!(m.gauge_value("sim.utilization"), Some(report.utilization));
+}
+
+/// Counters accumulate across a multi-layer network simulation.
+#[test]
+fn network_counters_sum_over_layers() {
+    obs::install(obs::Session::new());
+    let sim = Simulator::new(
+        SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+        MemoryHierarchy::edge_with_sram(),
+    );
+    let layers = [alexnet_conv2(), GemmConfig::matmul(1, 9216, 4096).unwrap()];
+    let reports = sim.simulate_network(&layers);
+    let session = obs::take().expect("session installed");
+
+    assert_eq!(session.metrics.counter("sim.layers"), reports.len() as u64);
+    assert_eq!(
+        session.metrics.counter("sim.dram_bytes"),
+        reports.iter().map(|r| r.traffic.dram.total()).sum::<u64>()
+    );
+    assert_eq!(
+        session.metrics.counter("sim.runtime_cycles"),
+        reports.iter().map(|r| r.timing.runtime_cycles).sum::<u64>()
+    );
+    // Layer spans abut on the virtual cycle cursor.
+    assert_eq!(
+        session.sim_cycles,
+        session.metrics.counter("sim.runtime_cycles")
+    );
+}
+
+/// The functional execution path emits wall-clock spans (executor +
+/// per-tile) and MAC-window counters that match the returned stats.
+#[test]
+fn functional_execution_traces_wall_clock_spans() {
+    obs::install(obs::Session::new());
+    let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).unwrap();
+    let gemm = GemmConfig::conv(5, 5, 2, 2, 2, 1, 3).unwrap();
+    let input = FeatureMap::from_fn(5, 5, 2, |h, w, c| (h + w + c) as f64 * 0.05 - 0.3);
+    let weights = WeightSet::from_fn(3, 2, 2, 2, |oc, wh, ww, ic| {
+        (oc + wh + ww + ic) as f64 * 0.04 - 0.2
+    });
+    let outcome = GemmExecutor::new(cfg)
+        .execute(&gemm, &input, &weights)
+        .unwrap();
+    let session = obs::take().expect("session installed");
+
+    assert_eq!(session.metrics.counter("core.gemm_executions"), 1);
+    assert_eq!(
+        session.metrics.counter("core.mac_windows"),
+        outcome.stats.mac_windows
+    );
+    assert_eq!(
+        session.metrics.counter("core.compute_cycles"),
+        outcome.stats.compute_cycles
+    );
+
+    let spans: Vec<_> = session
+        .tracer
+        .events()
+        .filter(|e| e.pid == obs::PID_WALL && e.ph == obs::Phase::Complete)
+        .collect();
+    assert!(
+        spans.iter().any(|e| e.name.starts_with("gemm.execute")),
+        "executor span"
+    );
+    assert!(
+        spans.iter().any(|e| e.name.contains("tile")),
+        "per-tile spans"
+    );
+    for span in spans {
+        assert!(span.dur >= 0.0, "negative duration in {}", span.name);
+    }
+}
+
+/// Histogram bucket boundaries are inclusive at the upper bound and the
+/// overflow bucket catches everything beyond the last bound (integration
+/// duplicate of the crate-level unit test, exercised through the facade).
+#[test]
+fn histogram_bucket_boundaries_via_facade() {
+    let mut reg = obs::Registry::new();
+    reg.register_histogram("lat", &[1.0, 10.0, 100.0]);
+    for v in [0.5, 1.0, 1.5, 10.0, 99.9, 100.0, 1000.0] {
+        reg.observe("lat", v);
+    }
+    let h = reg.histogram("lat").unwrap();
+    assert_eq!(h.count(), 7);
+    // Buckets: (≤1, ≤10, ≤100, overflow) — upper bounds inclusive.
+    assert_eq!(h.counts(), &[2, 2, 2, 1]);
+
+    let rendered = h.to_json();
+    let counts = rendered
+        .get("counts")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    assert_eq!(counts.len(), 4);
+}

@@ -23,8 +23,8 @@ fn ur(cycles: u64) -> SystolicConfig {
 fn claim_systolic_array_area_reduction() {
     let bp = ArrayArea::for_config(&SystolicConfig::edge(ComputingScheme::BinaryParallel, 8))
         .total_mm2();
-    let ur = ArrayArea::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8))
-        .total_mm2();
+    let ur =
+        ArrayArea::for_config(&SystolicConfig::edge(ComputingScheme::UnaryRate, 8)).total_mm2();
     let reduction = 100.0 * (1.0 - ur / bp);
     assert!(
         (51.0..=67.0).contains(&reduction),
@@ -86,7 +86,11 @@ fn claim_binary_needs_sram() {
     let peak = alexnet()
         .layers
         .iter()
-        .map(|l| evaluate_layer(&cfg, &mem, &l.gemm).report.dram_bandwidth_gbps)
+        .map(|l| {
+            evaluate_layer(&cfg, &mem, &l.gemm)
+                .report
+                .dram_bandwidth_gbps
+        })
         .fold(0.0f64, f64::max);
     assert!(
         peak > 5.0,
@@ -102,8 +106,12 @@ fn claim_on_chip_power_reduction() {
     let bp_mem = MemoryHierarchy::edge_with_sram();
     let ur_mem = MemoryHierarchy::no_sram();
     for layer in alexnet().layers {
-        let bp = evaluate_layer(&bp_cfg, &bp_mem, &layer.gemm).power.on_chip_w();
-        let u = evaluate_layer(&ur(128), &ur_mem, &layer.gemm).power.on_chip_w();
+        let bp = evaluate_layer(&bp_cfg, &bp_mem, &layer.gemm)
+            .power
+            .on_chip_w();
+        let u = evaluate_layer(&ur(128), &ur_mem, &layer.gemm)
+            .power
+            .on_chip_w();
         let reduction = 100.0 * (1.0 - u / bp);
         assert!(
             reduction > 90.0,
@@ -125,13 +133,17 @@ fn claim_headline_efficiency_maxima() {
     for layer in alexnet().layers {
         let bp = evaluate_layer(&bp_cfg, &bp_mem, &layer.gemm);
         let u = evaluate_layer(&ur(32), &ur_mem, &layer.gemm);
-        max_eei = max_eei
-            .max(u.on_chip_efficiency.energy_eff / bp.on_chip_efficiency.energy_eff);
-        max_pei =
-            max_pei.max(u.on_chip_efficiency.power_eff / bp.on_chip_efficiency.power_eff);
+        max_eei = max_eei.max(u.on_chip_efficiency.energy_eff / bp.on_chip_efficiency.energy_eff);
+        max_pei = max_pei.max(u.on_chip_efficiency.power_eff / bp.on_chip_efficiency.power_eff);
     }
-    assert!(max_eei > 10.0, "max EEI {max_eei:.1}x too low vs paper 112.2x");
-    assert!(max_pei > 10.0, "max PEI {max_pei:.1}x too low vs paper 44.8x");
+    assert!(
+        max_eei > 10.0,
+        "max EEI {max_eei:.1}x too low vs paper 112.2x"
+    );
+    assert!(
+        max_pei > 10.0,
+        "max PEI {max_pei:.1}x too low vs paper 44.8x"
+    );
 }
 
 /// Section V-D: cloud binary parallel suffers heavy memory contention
@@ -146,8 +158,11 @@ fn claim_cloud_contention_ordering() {
         .expect("valid cycle count");
     let conv = |cfg, mem: &MemoryHierarchy| -> f64 {
         let layers = alexnet();
-        let convs: Vec<_> =
-            layers.layers.iter().filter(|l| l.name.starts_with("Conv")).collect();
+        let convs: Vec<_> = layers
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("Conv"))
+            .collect();
         convs
             .iter()
             .map(|l| evaluate_layer(&cfg, mem, &l.gemm).report.timing.overhead())
@@ -180,7 +195,10 @@ fn claim_ugemm_h_energy_penalty() {
 #[test]
 fn claim_fsu_weight_storage_infeasible() {
     let params = alexnet().parameters();
-    assert!(params > 24 * 1024 * 1024, "AlexNet weights {params} must exceed 24 MB");
+    assert!(
+        params > 24 * 1024 * 1024,
+        "AlexNet weights {params} must exceed 24 MB"
+    );
 }
 
 /// Table II mapping: an FC layer is a 1×1 convolution under the unified

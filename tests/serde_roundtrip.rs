@@ -1,20 +1,26 @@
 //! Serialisation coverage for the data-structure types (C-SERDE).
 //!
-//! No JSON backend is among the allowed dependencies, so these tests pin
-//! the *capability*: every experiment-facing record implements
-//! `serde::Serialize` (checked at compile time through a generic bound)
-//! and copies are value-identical (no hidden interior state that a
-//! round-trip would lose).
+//! The workspace is hermetic (no registry crates), so structured export
+//! goes through `usystolic::obs::ToJson` instead of `serde::Serialize`.
+//! These tests pin the capability: every experiment-facing record renders
+//! to JSON that the in-repo parser accepts back (a true round-trip), and
+//! the rendered objects expose the fields downstream tooling keys on.
 
 use usystolic::arch::{ComputingScheme, SystolicConfig};
 use usystolic::gemm::GemmConfig;
 use usystolic::hw::evaluate_layer;
+use usystolic::obs::{JsonValue, ToJson};
 use usystolic::sim::MemoryHierarchy;
 
-fn assert_serializable<T: serde::Serialize>(_: &T) {}
+/// Renders `value` and parses it back, failing on malformed output.
+fn round_trip<T: ToJson>(value: &T) -> JsonValue {
+    let text = value.to_json_string();
+    JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("emitted JSON failed to re-parse: {e} in {text}"))
+}
 
 #[test]
-fn evaluation_records_are_serializable_and_stable() {
+fn evaluation_records_round_trip_through_json() {
     let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
         .with_mul_cycles(64)
         .expect("valid EBT");
@@ -22,28 +28,54 @@ fn evaluation_records_are_serializable_and_stable() {
     let gemm = GemmConfig::conv(9, 9, 4, 3, 3, 1, 8).expect("valid layer");
     let ev = evaluate_layer(&cfg, &mem, &gemm);
 
-    // Every experiment-facing record implements Serialize.
-    assert_serializable(&cfg);
-    assert_serializable(&mem);
-    assert_serializable(&gemm);
-    assert_serializable(&ev);
-    assert_serializable(&ev.report);
-    assert_serializable(&ev.energy);
-    assert_serializable(&ev.power);
-    assert_serializable(&ev.area);
+    // Every experiment-facing record emits re-parseable JSON.
+    round_trip(&cfg);
+    round_trip(&mem);
+    round_trip(&gemm);
+    round_trip(&ev.report);
+    round_trip(&ev.energy);
+    round_trip(&ev.power);
+    round_trip(&ev.area);
+    let parsed = round_trip(&ev);
 
-    // Clones are value-identical (no hidden interior state).
-    let copy = ev;
-    assert_eq!(format!("{ev:?}"), format!("{copy:?}"));
+    // The rendered evaluation keeps the fields experiment tooling keys on.
+    let report = parsed.get("report").expect("report field");
+    let macs = report
+        .get("macs")
+        .and_then(JsonValue::as_u64)
+        .expect("macs field");
+    assert_eq!(macs, gemm.macs());
+    let timing = report.get("timing").expect("timing field");
+    for field in ["ideal_cycles", "stall_cycles", "runtime_cycles"] {
+        assert!(
+            timing.get(field).and_then(JsonValue::as_u64).is_some(),
+            "missing {field}"
+        );
+    }
+    assert!(parsed
+        .get("energy")
+        .and_then(|e| e.get("total_j"))
+        .is_some());
+
+    // Rendering is deterministic: same value, byte-identical JSON.
+    assert_eq!(ev.to_json_string(), ev.to_json_string());
 }
 
 #[test]
-fn config_types_are_serializable() {
-    assert_serializable(&ComputingScheme::UnaryTemporal);
-    assert_serializable(&usystolic::unary::EarlyTermination::full(8));
-    assert_serializable(&usystolic::unary::coding::Polarity::Bipolar);
-    assert_serializable(&usystolic::unary::coding::Coding::Rate);
-    assert_serializable(&usystolic::sim::Variable::Ifm);
+fn config_types_round_trip_through_json() {
+    assert_eq!(ComputingScheme::UnaryTemporal.to_json_string(), "\"UT\"");
+    round_trip(&usystolic::unary::EarlyTermination::full(8));
+    assert_eq!(
+        usystolic::unary::coding::Polarity::Bipolar.to_json_string(),
+        "\"bipolar\""
+    );
+    round_trip(&usystolic::unary::coding::Coding::Rate);
+    round_trip(&usystolic::sim::Variable::Ifm);
     let net = usystolic::models::zoo::alexnet();
-    assert_serializable(&net);
+    let parsed = round_trip(&net);
+    let layers = parsed
+        .get("layers")
+        .and_then(JsonValue::as_array)
+        .expect("layers array");
+    assert_eq!(layers.len(), net.layers.len());
 }

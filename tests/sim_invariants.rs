@@ -21,8 +21,14 @@ fn design_grid() -> Vec<(SystolicConfig, MemoryHierarchy)> {
     let mut out = Vec::new();
     for scheme in ComputingScheme::ALL {
         for (cfg, sram) in [
-            (SystolicConfig::edge(scheme, 8), MemoryHierarchy::edge_with_sram()),
-            (SystolicConfig::cloud(scheme, 8), MemoryHierarchy::cloud_with_sram()),
+            (
+                SystolicConfig::edge(scheme, 8),
+                MemoryHierarchy::edge_with_sram(),
+            ),
+            (
+                SystolicConfig::cloud(scheme, 8),
+                MemoryHierarchy::cloud_with_sram(),
+            ),
         ] {
             out.push((cfg, sram));
             out.push((cfg, MemoryHierarchy::no_sram()));
@@ -37,7 +43,10 @@ fn runtime_never_beats_ideal() {
         let sim = Simulator::new(cfg, mem);
         for gemm in layer_grid() {
             let r = sim.simulate(&gemm);
-            assert!(r.timing.runtime_cycles >= r.timing.ideal_cycles, "{cfg} {gemm}");
+            assert!(
+                r.timing.runtime_cycles >= r.timing.ideal_cycles,
+                "{cfg} {gemm}"
+            );
             assert_eq!(
                 r.timing.runtime_cycles,
                 r.timing.ideal_cycles + r.timing.stall_cycles
@@ -50,9 +59,7 @@ fn runtime_never_beats_ideal() {
 fn dram_bandwidth_never_exceeds_sustained_rate() {
     for (cfg, mem) in design_grid() {
         let sim = Simulator::new(cfg, mem);
-        let limit = mem.dram.sustained_bytes_per_cycle()
-            * usystolic::sim::CLOCK_HZ
-            / 1.0e9;
+        let limit = mem.dram.sustained_bytes_per_cycle() * usystolic::sim::CLOCK_HZ / 1.0e9;
         for gemm in layer_grid() {
             let r = sim.simulate(&gemm);
             assert!(
@@ -69,8 +76,7 @@ fn removing_sram_never_reduces_dram_traffic() {
     for scheme in ComputingScheme::ALL {
         let cfg = SystolicConfig::edge(scheme, 8);
         for gemm in layer_grid() {
-            let with =
-                Simulator::new(cfg, MemoryHierarchy::edge_with_sram()).simulate(&gemm);
+            let with = Simulator::new(cfg, MemoryHierarchy::edge_with_sram()).simulate(&gemm);
             let without = Simulator::new(cfg, MemoryHierarchy::no_sram()).simulate(&gemm);
             assert!(
                 without.traffic.dram.total() >= with.traffic.dram.total(),
@@ -139,16 +145,10 @@ fn bigger_arrays_do_not_slow_layers_down() {
 fn sixteen_bit_layers_move_more_bytes() {
     for scheme in [ComputingScheme::BinaryParallel, ComputingScheme::UnaryRate] {
         let gemm = GemmConfig::conv(15, 15, 64, 3, 3, 1, 64).expect("valid");
-        let t8 = Simulator::new(
-            SystolicConfig::edge(scheme, 8),
-            MemoryHierarchy::no_sram(),
-        )
-        .simulate(&gemm);
-        let t16 = Simulator::new(
-            SystolicConfig::edge(scheme, 16),
-            MemoryHierarchy::no_sram(),
-        )
-        .simulate(&gemm);
+        let t8 = Simulator::new(SystolicConfig::edge(scheme, 8), MemoryHierarchy::no_sram())
+            .simulate(&gemm);
+        let t16 = Simulator::new(SystolicConfig::edge(scheme, 16), MemoryHierarchy::no_sram())
+            .simulate(&gemm);
         assert!(
             t16.traffic.dram.total() >= 2 * t8.traffic.dram.total(),
             "{scheme}"
