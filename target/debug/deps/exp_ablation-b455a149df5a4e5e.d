@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_ablation-b455a149df5a4e5e.d: crates/bench/src/bin/exp_ablation.rs
+
+/root/repo/target/debug/deps/libexp_ablation-b455a149df5a4e5e.rmeta: crates/bench/src/bin/exp_ablation.rs
+
+crates/bench/src/bin/exp_ablation.rs:

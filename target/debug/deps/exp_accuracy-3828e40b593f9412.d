@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_accuracy-3828e40b593f9412.d: crates/bench/src/bin/exp_accuracy.rs
+
+/root/repo/target/debug/deps/libexp_accuracy-3828e40b593f9412.rmeta: crates/bench/src/bin/exp_accuracy.rs
+
+crates/bench/src/bin/exp_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_all-0bb6169329469e01.d: crates/bench/src/bin/exp_all.rs
+
+/root/repo/target/debug/deps/libexp_all-0bb6169329469e01.rmeta: crates/bench/src/bin/exp_all.rs
+
+crates/bench/src/bin/exp_all.rs:

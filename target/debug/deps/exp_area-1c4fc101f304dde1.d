@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_area-1c4fc101f304dde1.d: crates/bench/src/bin/exp_area.rs
+
+/root/repo/target/debug/deps/libexp_area-1c4fc101f304dde1.rmeta: crates/bench/src/bin/exp_area.rs
+
+crates/bench/src/bin/exp_area.rs:

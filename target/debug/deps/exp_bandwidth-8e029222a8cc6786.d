@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_bandwidth-8e029222a8cc6786.d: crates/bench/src/bin/exp_bandwidth.rs
+
+/root/repo/target/debug/deps/libexp_bandwidth-8e029222a8cc6786.rmeta: crates/bench/src/bin/exp_bandwidth.rs
+
+crates/bench/src/bin/exp_bandwidth.rs:

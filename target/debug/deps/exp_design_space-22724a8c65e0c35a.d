@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_design_space-22724a8c65e0c35a.d: crates/bench/src/bin/exp_design_space.rs
+
+/root/repo/target/debug/deps/libexp_design_space-22724a8c65e0c35a.rmeta: crates/bench/src/bin/exp_design_space.rs
+
+crates/bench/src/bin/exp_design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_efficiency-71440b195b04888e.d: crates/bench/src/bin/exp_efficiency.rs
+
+/root/repo/target/debug/deps/libexp_efficiency-71440b195b04888e.rmeta: crates/bench/src/bin/exp_efficiency.rs
+
+crates/bench/src/bin/exp_efficiency.rs:

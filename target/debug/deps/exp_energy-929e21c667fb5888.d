@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_energy-929e21c667fb5888.d: crates/bench/src/bin/exp_energy.rs
+
+/root/repo/target/debug/deps/libexp_energy-929e21c667fb5888.rmeta: crates/bench/src/bin/exp_energy.rs
+
+crates/bench/src/bin/exp_energy.rs:

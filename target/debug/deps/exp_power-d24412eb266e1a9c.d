@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_power-d24412eb266e1a9c.d: crates/bench/src/bin/exp_power.rs
+
+/root/repo/target/debug/deps/libexp_power-d24412eb266e1a9c.rmeta: crates/bench/src/bin/exp_power.rs
+
+crates/bench/src/bin/exp_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_system-81bae2ac76214d00.d: crates/bench/src/bin/exp_system.rs
+
+/root/repo/target/debug/deps/libexp_system-81bae2ac76214d00.rmeta: crates/bench/src/bin/exp_system.rs
+
+crates/bench/src/bin/exp_system.rs:

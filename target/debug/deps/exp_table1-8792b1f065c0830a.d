@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_table1-8792b1f065c0830a.d: crates/bench/src/bin/exp_table1.rs
+
+/root/repo/target/debug/deps/libexp_table1-8792b1f065c0830a.rmeta: crates/bench/src/bin/exp_table1.rs
+
+crates/bench/src/bin/exp_table1.rs:

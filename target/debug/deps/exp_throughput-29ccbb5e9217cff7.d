@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_throughput-29ccbb5e9217cff7.d: crates/bench/src/bin/exp_throughput.rs
+
+/root/repo/target/debug/deps/libexp_throughput-29ccbb5e9217cff7.rmeta: crates/bench/src/bin/exp_throughput.rs
+
+crates/bench/src/bin/exp_throughput.rs:

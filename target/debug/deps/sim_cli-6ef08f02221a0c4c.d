@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_cli-6ef08f02221a0c4c.d: crates/bench/src/bin/sim_cli.rs
+
+/root/repo/target/debug/deps/libsim_cli-6ef08f02221a0c4c.rmeta: crates/bench/src/bin/sim_cli.rs
+
+crates/bench/src/bin/sim_cli.rs:

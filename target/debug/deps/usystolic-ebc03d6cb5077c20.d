@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/usystolic-ebc03d6cb5077c20.d: src/lib.rs
+
+/root/repo/target/debug/deps/libusystolic-ebc03d6cb5077c20.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/usystolic_bench-09dffca53ddd7652.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libusystolic_bench-09dffca53ddd7652.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/accuracy.rs crates/bench/src/area.rs crates/bench/src/bandwidth.rs crates/bench/src/design.rs crates/bench/src/design_space.rs crates/bench/src/efficiency.rs crates/bench/src/energy.rs crates/bench/src/power.rs crates/bench/src/system.rs crates/bench/src/table.rs crates/bench/src/table1.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/accuracy.rs:
+crates/bench/src/area.rs:
+crates/bench/src/bandwidth.rs:
+crates/bench/src/design.rs:
+crates/bench/src/design_space.rs:
+crates/bench/src/efficiency.rs:
+crates/bench/src/energy.rs:
+crates/bench/src/power.rs:
+crates/bench/src/system.rs:
+crates/bench/src/table.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/usystolic_core-87bb8aacf9575d80.d: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/array2d.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/fifo.rs crates/core/src/fsu.rs crates/core/src/isa.rs crates/core/src/mapping.rs crates/core/src/pe.rs crates/core/src/scheme.rs
+
+/root/repo/target/debug/deps/libusystolic_core-87bb8aacf9575d80.rmeta: crates/core/src/lib.rs crates/core/src/array.rs crates/core/src/array2d.rs crates/core/src/baselines.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/fifo.rs crates/core/src/fsu.rs crates/core/src/isa.rs crates/core/src/mapping.rs crates/core/src/pe.rs crates/core/src/scheme.rs
+
+crates/core/src/lib.rs:
+crates/core/src/array.rs:
+crates/core/src/array2d.rs:
+crates/core/src/baselines.rs:
+crates/core/src/check.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/fifo.rs:
+crates/core/src/fsu.rs:
+crates/core/src/isa.rs:
+crates/core/src/mapping.rs:
+crates/core/src/pe.rs:
+crates/core/src/scheme.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/usystolic_gemm-3319c31d68710434.d: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs
+
+/root/repo/target/debug/deps/libusystolic_gemm-3319c31d68710434.rmeta: crates/gemm/src/lib.rs crates/gemm/src/config.rs crates/gemm/src/im2col.rs crates/gemm/src/loopnest.rs crates/gemm/src/pad.rs crates/gemm/src/quant.rs crates/gemm/src/stats.rs crates/gemm/src/tensor.rs
+
+crates/gemm/src/lib.rs:
+crates/gemm/src/config.rs:
+crates/gemm/src/im2col.rs:
+crates/gemm/src/loopnest.rs:
+crates/gemm/src/pad.rs:
+crates/gemm/src/quant.rs:
+crates/gemm/src/stats.rs:
+crates/gemm/src/tensor.rs:

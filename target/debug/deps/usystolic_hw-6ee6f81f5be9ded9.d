@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/usystolic_hw-6ee6f81f5be9ded9.d: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+/root/repo/target/debug/deps/libusystolic_hw-6ee6f81f5be9ded9.rmeta: crates/hw/src/lib.rs crates/hw/src/area.rs crates/hw/src/energy.rs crates/hw/src/evaluate.rs crates/hw/src/pe_area.rs crates/hw/src/power.rs crates/hw/src/summary.rs crates/hw/src/tech.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/area.rs:
+crates/hw/src/energy.rs:
+crates/hw/src/evaluate.rs:
+crates/hw/src/pe_area.rs:
+crates/hw/src/power.rs:
+crates/hw/src/summary.rs:
+crates/hw/src/tech.rs:

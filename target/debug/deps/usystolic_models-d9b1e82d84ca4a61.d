@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/usystolic_models-d9b1e82d84ca4a61.d: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+/root/repo/target/debug/deps/libusystolic_models-d9b1e82d84ca4a61.rmeta: crates/models/src/lib.rs crates/models/src/dataset.rs crates/models/src/mlp.rs crates/models/src/mlperf.rs crates/models/src/trainer.rs crates/models/src/zoo.rs
+
+crates/models/src/lib.rs:
+crates/models/src/dataset.rs:
+crates/models/src/mlp.rs:
+crates/models/src/mlperf.rs:
+crates/models/src/trainer.rs:
+crates/models/src/zoo.rs:

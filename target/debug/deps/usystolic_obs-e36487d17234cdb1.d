@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/usystolic_obs-e36487d17234cdb1.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libusystolic_obs-e36487d17234cdb1.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/usystolic_sim-55618af6eb40583e.d: crates/sim/src/lib.rs crates/sim/src/dataflow.rs crates/sim/src/dram_model.rs crates/sim/src/jitter.rs crates/sim/src/memory.rs crates/sim/src/multi.rs crates/sim/src/report.rs crates/sim/src/runtime.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libusystolic_sim-55618af6eb40583e.rmeta: crates/sim/src/lib.rs crates/sim/src/dataflow.rs crates/sim/src/dram_model.rs crates/sim/src/jitter.rs crates/sim/src/memory.rs crates/sim/src/multi.rs crates/sim/src/report.rs crates/sim/src/runtime.rs crates/sim/src/trace.rs crates/sim/src/traffic.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataflow.rs:
+crates/sim/src/dram_model.rs:
+crates/sim/src/jitter.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/traffic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/usystolic_unary-8e6562862dcd8392.d: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs
+
+/root/repo/target/debug/deps/libusystolic_unary-8e6562862dcd8392.rmeta: crates/unary/src/lib.rs crates/unary/src/add.rs crates/unary/src/bitstream.rs crates/unary/src/bsg.rs crates/unary/src/coding.rs crates/unary/src/div.rs crates/unary/src/et.rs crates/unary/src/mul.rs crates/unary/src/rng.rs crates/unary/src/scc.rs crates/unary/src/sign.rs crates/unary/src/stability.rs
+
+crates/unary/src/lib.rs:
+crates/unary/src/add.rs:
+crates/unary/src/bitstream.rs:
+crates/unary/src/bsg.rs:
+crates/unary/src/coding.rs:
+crates/unary/src/div.rs:
+crates/unary/src/et.rs:
+crates/unary/src/mul.rs:
+crates/unary/src/rng.rs:
+crates/unary/src/scc.rs:
+crates/unary/src/sign.rs:
+crates/unary/src/stability.rs:
