@@ -1,0 +1,230 @@
+//! Structured diagnostics: codes, severities and the analysis report.
+//!
+//! Every invariant the analyzer checks has a stable `USYxxx` code so
+//! scripts and CI can match on specific failures; the human-readable
+//! message and fix hint may evolve freely. The code families:
+//!
+//! | range | family |
+//! |---|---|
+//! | USY00x | configuration construction (shape, bitwidth) |
+//! | USY01x | early-termination legality (Section III-C) |
+//! | USY02x | accumulator width / reduced-resolution accumulation (Section III-A) |
+//! | USY03x | zero-SCC structural wiring (Section II-B2, Eq. 1–4) |
+//! | USY04x | weight-stationary schedule and skew-FIFO legality |
+//! | USY05x | memory-hierarchy feasibility (Section V-B/V-D) |
+
+use usystolic_obs::{JsonValue, ToJson};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The configuration is merely suspicious; the run would complete.
+    Warning,
+    /// The configuration violates a paper invariant; results would be
+    /// wrong or the hardware unrealisable.
+    Error,
+}
+
+impl core::fmt::Display for Severity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`USY020` …).
+    pub code: &'static str,
+    /// Whether the finding rejects the configuration.
+    pub severity: Severity,
+    /// The offending input field (`acc_width`, `mul_cycles`, …).
+    pub field: &'static str,
+    /// What is wrong, with the concrete numbers involved.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl core::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} (field: {})\n  hint: {}",
+            self.severity, self.code, self.message, self.field, self.hint
+        )
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("code", self.code.to_json()),
+            ("severity", self.severity.to_string().to_json()),
+            ("field", self.field.to_json()),
+            ("message", self.message.to_json()),
+            ("hint", self.hint.to_json()),
+        ])
+    }
+}
+
+/// The full result of one analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in check order (errors and warnings interleaved).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether no diagnostic of [`Severity::Error`] was produced.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// The codes of all findings, in order (convenient for tests).
+    #[must_use]
+    pub fn codes(&self) -> Vec<&'static str> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// Whether a specific code was reported.
+    #[must_use]
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    pub(crate) fn error(
+        &mut self,
+        code: &'static str,
+        field: &'static str,
+        message: String,
+        hint: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            field,
+            message,
+            hint,
+        });
+    }
+
+    pub(crate) fn warning(
+        &mut self,
+        code: &'static str,
+        field: &'static str,
+        message: String,
+        hint: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            field,
+            message,
+            hint,
+        });
+    }
+}
+
+impl core::fmt::Display for Report {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("legal", self.is_legal().to_json()),
+            ("errors", self.error_count().to_json()),
+            ("warnings", self.warning_count().to_json()),
+            (
+                "diagnostics",
+                JsonValue::Array(self.diagnostics.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: &'static str, severity: Severity) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            field: "acc_width",
+            message: "too narrow".into(),
+            hint: "widen it".into(),
+        }
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let r = Report {
+            diagnostics: vec![
+                diag("USY020", Severity::Error),
+                diag("USY021", Severity::Warning),
+            ],
+        };
+        assert!(!r.is_legal());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.codes(), vec!["USY020", "USY021"]);
+        assert!(r.has("USY021"));
+        assert!(!r.has("USY030"));
+    }
+
+    #[test]
+    fn empty_report_is_legal() {
+        let r = Report::default();
+        assert!(r.is_legal());
+        assert_eq!(r.to_string(), "0 error(s), 0 warning(s)");
+    }
+
+    #[test]
+    fn display_formats_code_and_hint() {
+        let s = diag("USY020", Severity::Error).to_string();
+        assert!(s.starts_with("error[USY020]:"), "{s}");
+        assert!(s.contains("hint: widen it"), "{s}");
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let r = Report {
+            diagnostics: vec![diag("USY020", Severity::Error)],
+        };
+        let json = r.to_json().render();
+        assert!(json.contains("\"legal\":false"), "{json}");
+        assert!(json.contains("\"USY020\""), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+    }
+}

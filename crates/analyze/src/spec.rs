@@ -1,0 +1,168 @@
+//! The raw (unvalidated) configuration the analyzer inspects.
+//!
+//! [`SystolicConfig`](usystolic_core::SystolicConfig) cannot represent an
+//! illegal configuration — its constructors reject one. The analyzer's
+//! job is to explain *why* a proposed configuration is illegal before any
+//! hardware or simulation money is spent on it, so it takes this raw
+//! mirror of the config fields instead, which can hold any values.
+
+use usystolic_core::{ComputingScheme, SystolicConfig};
+
+/// How the per-PE rate-coded bitstream generators get their random
+/// numbers (Section III-B, Fig. 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RngWiring {
+    /// One RNG shared along each row/column with per-PE delay registers
+    /// (the paper's C-BSG wiring) — guarantees SCC = 0 products.
+    #[default]
+    SharedDelayed,
+    /// An independent free-running RNG per PE — cheaper to wire but the
+    /// operand streams are only *statistically* uncorrelated, so the
+    /// zero-SCC condition (Eq. 1) no longer holds structurally.
+    Independent,
+}
+
+impl core::fmt::Display for RngWiring {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            RngWiring::SharedDelayed => "shared-delayed",
+            RngWiring::Independent => "independent",
+        })
+    }
+}
+
+/// An unvalidated systolic-array configuration.
+///
+/// Optional fields fall back to the validated defaults: no early
+/// termination, the scheme's default accumulator width, shared-RNG
+/// wiring and full-skew FIFOs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawSpec {
+    /// Array rows `R`.
+    pub rows: usize,
+    /// Array columns `C`.
+    pub cols: usize,
+    /// Computing scheme.
+    pub scheme: ComputingScheme,
+    /// Data bitwidth `N`.
+    pub bitwidth: u32,
+    /// Requested effective bitwidth `n` (early termination), if any.
+    pub effective_bitwidth: Option<u32>,
+    /// Requested multiply cycle count (the paper's "Unary-32c"), if any.
+    pub mul_cycles: Option<u64>,
+    /// Output-register (accumulator) width override, if any.
+    pub acc_width: Option<u32>,
+    /// Bitstream-generator wiring of the unary schemes.
+    pub wiring: RngWiring,
+    /// Skew-FIFO depth override at the array edges, if any.
+    pub fifo_depth: Option<usize>,
+}
+
+impl RawSpec {
+    /// A raw spec with every optional knob at its default.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, scheme: ComputingScheme, bitwidth: u32) -> Self {
+        Self {
+            rows,
+            cols,
+            scheme,
+            bitwidth,
+            effective_bitwidth: None,
+            mul_cycles: None,
+            acc_width: None,
+            wiring: RngWiring::default(),
+            fifo_depth: None,
+        }
+    }
+
+    /// Mirrors an already-validated configuration (useful to re-check a
+    /// config against a *workload*, where shape legality is settled but
+    /// accumulator depth and bandwidth are not).
+    #[must_use]
+    pub fn from_config(config: &SystolicConfig) -> Self {
+        Self {
+            rows: config.rows(),
+            cols: config.cols(),
+            scheme: config.scheme(),
+            bitwidth: config.bitwidth(),
+            effective_bitwidth: Some(config.early_termination().effective_bitwidth()),
+            mul_cycles: None,
+            acc_width: Some(config.acc_width()),
+            wiring: RngWiring::default(),
+            fifo_depth: None,
+        }
+    }
+
+    /// Sets the effective bitwidth.
+    #[must_use]
+    pub fn with_effective_bitwidth(mut self, ebt: u32) -> Self {
+        self.effective_bitwidth = Some(ebt);
+        self
+    }
+
+    /// Sets the multiply cycle count.
+    #[must_use]
+    pub fn with_mul_cycles(mut self, cycles: u64) -> Self {
+        self.mul_cycles = Some(cycles);
+        self
+    }
+
+    /// Sets the accumulator width.
+    #[must_use]
+    pub fn with_acc_width(mut self, width: u32) -> Self {
+        self.acc_width = Some(width);
+        self
+    }
+
+    /// Sets the RNG wiring.
+    #[must_use]
+    pub fn with_wiring(mut self, wiring: RngWiring) -> Self {
+        self.wiring = wiring;
+        self
+    }
+
+    /// Sets the skew-FIFO depth.
+    #[must_use]
+    pub fn with_fifo_depth(mut self, depth: usize) -> Self {
+        self.fifo_depth = Some(depth);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let s = RawSpec::new(12, 14, ComputingScheme::UnaryRate, 8)
+            .with_effective_bitwidth(6)
+            .with_mul_cycles(32)
+            .with_acc_width(16)
+            .with_wiring(RngWiring::Independent)
+            .with_fifo_depth(4);
+        assert_eq!(s.effective_bitwidth, Some(6));
+        assert_eq!(s.mul_cycles, Some(32));
+        assert_eq!(s.acc_width, Some(16));
+        assert_eq!(s.wiring, RngWiring::Independent);
+        assert_eq!(s.fifo_depth, Some(4));
+    }
+
+    #[test]
+    fn from_config_mirrors_validated_fields() {
+        let cfg = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(32)
+            .unwrap();
+        let s = RawSpec::from_config(&cfg);
+        assert_eq!(s.rows, 12);
+        assert_eq!(s.cols, 14);
+        assert_eq!(s.effective_bitwidth, Some(6));
+        assert_eq!(s.acc_width, Some(cfg.acc_width()));
+    }
+
+    #[test]
+    fn wiring_displays() {
+        assert_eq!(RngWiring::SharedDelayed.to_string(), "shared-delayed");
+        assert_eq!(RngWiring::Independent.to_string(), "independent");
+    }
+}

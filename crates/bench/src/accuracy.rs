@@ -120,9 +120,11 @@ pub fn figure9_cnn(difficulty: Difficulty, ebts: &[u32], test_per_class: usize) 
     };
     push("FXP-o-res", &mut |n| {
         net.accuracy_fxp(&test, FxpFormat::OutputRes(n))
+            .expect("static shapes match")
     });
     push("FXP-i-res", &mut |n| {
         net.accuracy_fxp(&test, FxpFormat::InputRes(n))
+            .expect("static shapes match")
     });
     push("uSystolic-rate", &mut |n| {
         net.accuracy_with(&test, &rate_exec(n))

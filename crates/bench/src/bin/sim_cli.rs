@@ -22,8 +22,26 @@
 //! `chrome://tracing` or Perfetto), `--metrics` a counters/gauges/
 //! histograms snapshot, and `--json` replaces the human-readable report
 //! with the full evaluation record as structured JSON on stdout.
+//!
+//! Static analysis (`--check`): validate a configuration against the
+//! paper's invariants *without* running anything. The raw knob values go
+//! straight to `usystolic_analyze` — including values the simulator's
+//! constructors would reject — and every violation is reported with a
+//! stable `USYxxx` code. Exits 1 when any error-severity diagnostic
+//! fires, 0 otherwise.
+//!
+//! ```sh
+//! sim_cli --check --scheme UR --acc-width 4           # USY020: overflow
+//! sim_cli --check --scheme UR --cycles 256            # USY011: n > N
+//! sim_cli --check --scheme UR --wiring independent    # USY030: SCC != 0
+//! sim_cli --check --scheme BP --no-sram --conv 27,27,96,5,5,1,256
+//!                                                     # USY050: bandwidth
+//! ```
 
-use usystolic_core::{ComputingScheme, SystolicConfig};
+use usystolic_analyze::{analyze, RawSpec, Report, RngWiring};
+use usystolic_core::{
+    ComputingScheme, SystolicConfig, CLOUD_COLS, CLOUD_ROWS, EDGE_COLS, EDGE_ROWS,
+};
 use usystolic_gemm::GemmConfig;
 use usystolic_hw::evaluate_layer;
 use usystolic_hw::summary::NetworkEvaluation;
@@ -43,6 +61,10 @@ struct Args {
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     json: bool,
+    check: bool,
+    acc_width: Option<u32>,
+    wiring: RngWiring,
+    fifo_depth: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -50,7 +72,14 @@ fn usage() -> ! {
         "usage: usystolic_sim [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
                      [--shape edge|cloud] [--sram|--no-sram]
                      [--trace FILE] [--metrics FILE] [--json]
-                     (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)"
+                     (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)
+       usystolic_sim --check [--scheme S] [--cycles N] [--bits N] [--shape edge|cloud]
+                     [--acc-width N] [--wiring shared|independent] [--fifo-depth N]
+                     [--sram|--no-sram] [--json]
+                     [--conv ... | --matmul ... | --network ...]
+
+--check statically validates the configuration against the paper's
+invariants (stable USYxxx diagnostic codes) and exits 1 on any error."
     );
     std::process::exit(2);
 }
@@ -96,6 +125,10 @@ fn parse_args() -> Args {
         trace: None,
         metrics: None,
         json: false,
+        check: false,
+        acc_width: None,
+        wiring: RngWiring::SharedDelayed,
+        fifo_depth: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -158,14 +191,111 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(value().into()),
             "--metrics" => args.metrics = Some(value().into()),
             "--json" => args.json = true,
+            "--check" => args.check = true,
+            "--acc-width" => {
+                let v = value();
+                args.acc_width = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--acc-width {v}: not an integer"))),
+                );
+            }
+            "--wiring" => {
+                let v = value();
+                args.wiring = match v.as_str() {
+                    "shared" | "shared-delayed" => RngWiring::SharedDelayed,
+                    "independent" => RngWiring::Independent,
+                    _ => fail(format!("--wiring {v}: expected shared or independent")),
+                };
+            }
+            "--fifo-depth" => {
+                let v = value();
+                args.fifo_depth = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--fifo-depth {v}: not an integer"))),
+                );
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
-    if args.gemm.is_none() && args.network.is_none() {
+    if !args.check && args.gemm.is_none() && args.network.is_none() {
         usage();
     }
     args
+}
+
+/// The `--check` mode: static analysis of the raw knob values, no
+/// simulation. Exits 1 when any error-severity diagnostic fires.
+fn run_check(args: &Args) -> ! {
+    let (rows, cols) = if args.cloud {
+        (CLOUD_ROWS, CLOUD_COLS)
+    } else {
+        (EDGE_ROWS, EDGE_COLS)
+    };
+    let mut spec = RawSpec::new(rows, cols, args.scheme, args.bitwidth).with_wiring(args.wiring);
+    spec.mul_cycles = args.cycles;
+    spec.acc_width = args.acc_width;
+    spec.fifo_depth = args.fifo_depth;
+
+    let no_sram = args.no_sram.unwrap_or(args.scheme.is_unary());
+    let memory = if no_sram {
+        MemoryHierarchy::no_sram()
+    } else if args.cloud {
+        MemoryHierarchy::cloud_with_sram()
+    } else {
+        MemoryHierarchy::edge_with_sram()
+    };
+
+    // Spec-only checks, plus workload/memory checks per GEMM layer.
+    let gemms: Vec<GemmConfig> = match (&args.gemm, args.network.as_deref()) {
+        (Some(g), _) => vec![*g],
+        (None, Some(name)) => network_by_name(name).gemms(),
+        (None, None) => Vec::new(),
+    };
+    let mut report = if gemms.is_empty() {
+        analyze(&spec, None, Some(&memory))
+    } else {
+        let mut merged = Report::default();
+        for gemm in &gemms {
+            for d in analyze(&spec, Some(gemm), Some(&memory)).diagnostics {
+                if !merged.diagnostics.contains(&d) {
+                    merged.diagnostics.push(d);
+                }
+            }
+        }
+        merged
+    };
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.code, &a.message).cmp(&(b.code, &b.message)));
+
+    if args.json {
+        println!("{}", report.to_json().render());
+    } else {
+        println!(
+            "check: {}x{} {} {}b, wiring {}, {}",
+            rows,
+            cols,
+            args.scheme.label(),
+            args.bitwidth,
+            args.wiring,
+            if no_sram { "DRAM only" } else { "SRAM + DRAM" }
+        );
+        println!("{report}");
+    }
+    std::process::exit(i32::from(!report.is_legal()));
+}
+
+fn network_by_name(name: &str) -> usystolic_models::zoo::Network {
+    match name {
+        "alexnet" => zoo::alexnet(),
+        "resnet18" => zoo::resnet18(),
+        "vgg16" => zoo::vgg16(),
+        "mnist" => zoo::mnist_cnn4(),
+        other => fail(format!(
+            "--network {other}: expected alexnet, resnet18, vgg16 or mnist"
+        )),
+    }
 }
 
 /// Writes the observability artefacts collected during the run.
@@ -197,6 +327,9 @@ fn export_session(args: &Args, session: &usystolic_obs::Session) {
 
 fn main() {
     let args = parse_args();
+    if args.check {
+        run_check(&args);
+    }
     let mut config = if args.cloud {
         SystolicConfig::cloud(args.scheme, args.bitwidth)
     } else {
@@ -283,13 +416,7 @@ fn main() {
     }
 
     let network = match args.network.as_deref() {
-        Some("alexnet") => zoo::alexnet(),
-        Some("resnet18") => zoo::resnet18(),
-        Some("vgg16") => zoo::vgg16(),
-        Some("mnist") => zoo::mnist_cnn4(),
-        Some(other) => fail(format!(
-            "--network {other}: expected alexnet, resnet18, vgg16 or mnist"
-        )),
+        Some(name) => network_by_name(name),
         None => usage(),
     };
     let ev = NetworkEvaluation::evaluate(&config, &memory, &network.gemms());

@@ -132,7 +132,8 @@ pub fn emit(table: &Table) {
 /// Formats a float in engineering-friendly short form.
 #[must_use]
 pub fn fmt_sig(x: f64) -> String {
-    if x == 0.0 {
+    // ±0.0 (bit compare, no epsilon: anything smaller prints in e-notation).
+    if x.abs().to_bits() == 0 {
         "0".into()
     } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
         format!("{x:.3e}")

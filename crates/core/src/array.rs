@@ -12,6 +12,7 @@ use crate::scheme::ComputingScheme;
 use crate::CoreError;
 use usystolic_gemm::{GemmConfig, Matrix};
 use usystolic_unary::add::BinaryAccumulator;
+use usystolic_unary::coding::Coding;
 use usystolic_unary::rng::{NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
 
@@ -117,10 +118,8 @@ pub fn unary_gemm(
     weights: &Matrix<i64>,
 ) -> Result<(Matrix<i64>, ExecStats), CoreError> {
     let coding = match config.scheme() {
-        ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => config
-            .scheme()
-            .coding()
-            .expect("unary schemes define a coding"),
+        ComputingScheme::UnaryRate => Coding::Rate,
+        ComputingScheme::UnaryTemporal => Coding::Temporal,
         other => {
             return Err(CoreError::Config(format!(
                 "unary_gemm does not execute {other}"

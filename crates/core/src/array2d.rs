@@ -26,6 +26,7 @@ use crate::scheme::ComputingScheme;
 use crate::CoreError;
 use usystolic_gemm::{GemmConfig, Matrix};
 use usystolic_unary::add::BinaryAccumulator;
+use usystolic_unary::coding::Coding;
 use usystolic_unary::rng::{NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
 
@@ -183,12 +184,13 @@ impl<'a> TileMachine<'a> {
     fn fresh_row_gen(&self) -> RowGen {
         let bitwidth = self.config.bitwidth();
         match self.config.scheme() {
-            ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => RowGen::Unary {
+            s @ (ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal) => RowGen::Unary {
                 ifm_src: IfmSource::for_coding(
-                    self.config
-                        .scheme()
-                        .coding()
-                        .expect("unary schemes have a coding"),
+                    if s == ComputingScheme::UnaryTemporal {
+                        Coding::Temporal
+                    } else {
+                        Coding::Rate
+                    },
                     bitwidth,
                 ),
                 w_rng: SobolSource::dimension(0, bitwidth - 1),

@@ -106,6 +106,7 @@ impl SystolicConfig {
     /// fallible construction).
     #[must_use]
     pub fn edge(scheme: ComputingScheme, bitwidth: u32) -> Self {
+        // Documented `# Panics` convenience constructor: lint: allow(panic)
         Self::new(EDGE_ROWS, EDGE_COLS, scheme, bitwidth).expect("edge shape is valid")
     }
 
@@ -116,6 +117,7 @@ impl SystolicConfig {
     /// Panics on an unsupported bitwidth.
     #[must_use]
     pub fn cloud(scheme: ComputingScheme, bitwidth: u32) -> Self {
+        // Documented `# Panics` convenience constructor: lint: allow(panic)
         Self::new(CLOUD_ROWS, CLOUD_COLS, scheme, bitwidth).expect("cloud shape is valid")
     }
 
@@ -230,7 +232,8 @@ impl core::fmt::Display for SystolicConfig {
 /// `N + log2(R)` — the "N-bit smaller OREG" of Section III-A. One extra
 /// guard bit covers the sign-magnitude maximum of `2^(N-1)` (inclusive).
 fn default_acc_width(scheme: ComputingScheme, bitwidth: u32, rows: usize) -> u32 {
-    let fold_bits = (rows.max(2) as f64).log2().ceil() as u32;
+    // ceil(log2(r)) for r >= 2, in integer arithmetic.
+    let fold_bits = (rows.max(2) - 1).ilog2() + 1;
     match scheme {
         ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial => {
             2 * bitwidth + fold_bits + 2

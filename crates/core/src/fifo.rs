@@ -45,8 +45,12 @@ impl<T: Clone> DelayLine<T> {
         if self.depth == 0 {
             return value;
         }
+        // The queue is constructed with `depth` elements and push/pop stay
+        // paired, so pop_front always yields; falling back to the pushed
+        // value keeps the degenerate case total without panicking.
+        let out = self.queue.pop_front().unwrap_or_else(|| value.clone());
         self.queue.push_back(value);
-        self.queue.pop_front().expect("queue holds depth elements")
+        out
     }
 
     /// The configured latency.

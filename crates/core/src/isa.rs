@@ -144,7 +144,10 @@ impl ProgramBuilder {
         let mut instructions = vec![Instruction::SetMacCycles {
             mac_cycles: self.config.mac_cycles(),
         }];
+        // Fold counts are ceil(K/rows) / ceil(N/cols) of realistic layer
+        // shapes and stay far below 2^32: lint: allow(narrowing)
         for cf in 0..map.col_folds() as u32 {
+            // Bounded as above: lint: allow(narrowing)
             for rf in 0..map.row_folds() as u32 {
                 instructions.push(Instruction::LoadWeights {
                     row_fold: rf,

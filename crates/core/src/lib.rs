@@ -43,7 +43,7 @@ pub use array::{ugemm_h_gemm, unary_gemm, ExecStats};
 pub use array2d::{cycle_accurate_gemm, CycleStats};
 pub use baselines::binary_gemm;
 pub use check::{differential_check, SchemeCheck};
-pub use config::{ConfigError, SystolicConfig};
+pub use config::{ConfigError, SystolicConfig, CLOUD_COLS, CLOUD_ROWS, EDGE_COLS, EDGE_ROWS};
 pub use exec::{GemmExecutor, GemmOutcome};
 pub use fifo::{DelayLine, SkewBank, SkewOrder};
 pub use fsu::FsuGemm;

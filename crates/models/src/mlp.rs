@@ -44,12 +44,14 @@ impl TinyMlp {
     /// The first layer's GEMM configuration (`1 × PIXELS · PIXELS × HIDDEN`).
     #[must_use]
     pub fn layer1_gemm() -> GemmConfig {
+        // Compile-time-constant shape, checked by test: lint: allow(panic)
         GemmConfig::matmul(1, PIXELS, HIDDEN).expect("static shape is valid")
     }
 
     /// The second layer's GEMM configuration.
     #[must_use]
     pub fn layer2_gemm() -> GemmConfig {
+        // Compile-time-constant shape, checked by test: lint: allow(panic)
         GemmConfig::matmul(1, HIDDEN, CLASSES).expect("static shape is valid")
     }
 

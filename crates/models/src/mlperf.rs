@@ -19,10 +19,12 @@ use crate::zoo::{alexnet, NamedLayer, Network};
 use usystolic_gemm::GemmConfig;
 
 fn conv(ih: usize, iw: usize, ic: usize, wh: usize, ww: usize, s: usize, oc: usize) -> GemmConfig {
+    // Compile-time-constant suite shapes, exercised by test: lint: allow(panic)
     GemmConfig::conv(ih, iw, ic, wh, ww, s, oc).expect("suite shapes are valid")
 }
 
 fn mm(m: usize, k: usize, n: usize) -> GemmConfig {
+    // Compile-time-constant suite shapes, exercised by test: lint: allow(panic)
     GemmConfig::matmul(m, k, n).expect("suite shapes are valid")
 }
 

@@ -11,7 +11,7 @@
 use crate::dataset::{Dataset, Sample, CLASSES, IMAGE_SIZE};
 use usystolic_core::{CoreError, GemmExecutor};
 use usystolic_gemm::quant::{fxp_gemm, FxpFormat};
-use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+use usystolic_gemm::{FeatureMap, GemmConfig, GemmError, Matrix, WeightSet};
 use usystolic_unary::rng::SplitMix64;
 
 const CONV_K: usize = 3;
@@ -62,12 +62,14 @@ impl TinyCnn {
     #[must_use]
     pub fn conv_gemm() -> GemmConfig {
         GemmConfig::conv(IMAGE_SIZE, IMAGE_SIZE, 1, CONV_K, CONV_K, 1, CONV_OC)
+            // Compile-time-constant shape, checked by test: lint: allow(panic)
             .expect("static shape is valid")
     }
 
     /// The GEMM configuration of the fully connected layer.
     #[must_use]
     pub fn fc_gemm() -> GemmConfig {
+        // Compile-time-constant shape, checked by test: lint: allow(panic)
         GemmConfig::matmul(1, FC_IN, CLASSES).expect("static shape is valid")
     }
 
@@ -203,7 +205,9 @@ impl TinyCnn {
             for oh in 0..CONV_OUT {
                 for ow in 0..CONV_OUT {
                     let dz = dconv[(oh * CONV_OUT + ow) * CONV_OC + oc];
-                    if dz == 0.0 {
+                    // Exact-zero sparsity fast path: ReLU-gated gradients
+                    // are bit-exact +0.0, so a bit compare is lossless.
+                    if dz.to_bits() == 0 {
                         continue;
                     }
                     db += dz;
@@ -291,8 +295,12 @@ impl TinyCnn {
 
     /// Top-1 accuracy with both GEMM layers quantised to a fixed-point
     /// comparison format (FXP-o-res / FXP-i-res of Section V-A).
-    #[must_use]
-    pub fn accuracy_fxp(&self, data: &Dataset, format: FxpFormat) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GemmError`] from the quantised GEMM executor (the
+    /// network's static shapes make this unreachable in practice).
+    pub fn accuracy_fxp(&self, data: &Dataset, format: FxpFormat) -> Result<f64, GemmError> {
         let conv_cfg = Self::conv_gemm();
         let fc_cfg = Self::fc_gemm();
         let fc_weights = WeightSet::from_fn(CLASSES, 1, 1, FC_IN, |n, _, _, k| self.fc_w[(n, k)]);
@@ -301,12 +309,10 @@ impl TinyCnn {
             let input = FeatureMap::from_fn(IMAGE_SIZE, IMAGE_SIZE, 1, |h, w, _| {
                 sample.pixels[h * IMAGE_SIZE + w]
             });
-            let conv_out =
-                fxp_gemm(&conv_cfg, &input, &self.conv_w, format).expect("static shapes match");
+            let conv_out = fxp_gemm(&conv_cfg, &input, &self.conv_w, format)?;
             let pooled = self.pool_from_featuremap(&conv_out);
             let fc_in = FeatureMap::from_fn(1, 1, FC_IN, |_, _, k| pooled[k]);
-            let fc_out =
-                fxp_gemm(&fc_cfg, &fc_in, &fc_weights, format).expect("static shapes match");
+            let fc_out = fxp_gemm(&fc_cfg, &fc_in, &fc_weights, format)?;
             let mut logits = [0.0f64; CLASSES];
             for (j, logit) in logits.iter_mut().enumerate() {
                 *logit = fc_out[(0, 0, j)] + self.fc_b[j];
@@ -315,7 +321,7 @@ impl TinyCnn {
                 correct += 1;
             }
         }
-        correct as f64 / data.len() as f64
+        Ok(correct as f64 / data.len() as f64)
     }
 
     /// Adds the conv bias, applies ReLU and average-pools a conv-output
@@ -411,8 +417,8 @@ mod tests {
     #[test]
     fn fxp_i_res_at_least_matches_o_res() {
         let (net, test) = trained();
-        let o = net.accuracy_fxp(&test, FxpFormat::OutputRes(6));
-        let i = net.accuracy_fxp(&test, FxpFormat::InputRes(6));
+        let o = net.accuracy_fxp(&test, FxpFormat::OutputRes(6)).unwrap();
+        let i = net.accuracy_fxp(&test, FxpFormat::InputRes(6)).unwrap();
         assert!(i + 0.1 >= o, "i-res {i} vs o-res {o}");
     }
 }

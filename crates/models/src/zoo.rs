@@ -57,10 +57,12 @@ impl Network {
 }
 
 fn conv(ih: usize, iw: usize, ic: usize, wh: usize, ww: usize, s: usize, oc: usize) -> GemmConfig {
+    // Compile-time-constant zoo shapes, exercised by test: lint: allow(panic)
     GemmConfig::conv(ih, iw, ic, wh, ww, s, oc).expect("zoo layer shapes are valid")
 }
 
 fn fc(k: usize, n: usize) -> GemmConfig {
+    // Compile-time-constant zoo shapes, exercised by test: lint: allow(panic)
     GemmConfig::matmul(1, k, n).expect("zoo layer shapes are valid")
 }
 

@@ -64,9 +64,9 @@ impl<S: NumberSource> MuxAdder<S> {
             .map(|i| {
                 let pick_a = self.select.next() & 1 == 0;
                 if pick_a {
-                    a.get(i).expect("in range")
+                    a.get(i).unwrap_or(false)
                 } else {
-                    b.get(i).expect("in range")
+                    b.get(i).unwrap_or(false)
                 }
             })
             .collect())

@@ -242,7 +242,7 @@ impl Bitstream {
         let mid = mid % self.len;
         let mut out = Self::with_capacity(self.len);
         for i in 0..self.len {
-            out.push(self.get((i + mid) % self.len).expect("index in range"));
+            out.push(self.get((i + mid) % self.len).unwrap_or(false));
         }
         out
     }
@@ -257,7 +257,7 @@ impl Bitstream {
             if i < lag {
                 out.push(fill);
             } else {
-                out.push(self.get(i - lag).expect("index in range"));
+                out.push(self.get(i - lag).unwrap_or(false));
             }
         }
         out

@@ -1,0 +1,139 @@
+//! Workspace automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! The only task so far is `lint`: a zero-dependency source lint pass
+//! enforcing repo-specific rules that clippy cannot express (see
+//! [`rules`] for the rule table and the `// lint: allow(<rule>)` waiver
+//! marker). It exits non-zero when any finding is reported, so CI and
+//! `scripts/verify.sh` can gate on it.
+
+mod rules;
+mod scan;
+
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!("usage: cargo run -p xtask -- lint [--json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut task = None;
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "lint" if task.is_none() => task = Some("lint"),
+            _ => usage(),
+        }
+    }
+    match task {
+        Some("lint") => {
+            let code = run_lint(json);
+            std::process::exit(code);
+        }
+        _ => usage(),
+    }
+}
+
+/// Runs the lint over the workspace; returns the process exit code.
+fn run_lint(json: bool) -> i32 {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "src"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("xtask: warning: unreadable file {rel}");
+            continue;
+        };
+        scanned += 1;
+        findings.extend(rules::lint_source(&rel, &source, rules::classify(&rel)));
+    }
+
+    if json {
+        // Minimal inline JSON (xtask depends on nothing, not even obs).
+        println!("[");
+        for (i, f) in findings.iter().enumerate() {
+            let comma = if i + 1 == findings.len() { "" } else { "," };
+            println!(
+                "  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}{comma}",
+                f.file,
+                f.line,
+                f.rule,
+                f.message.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        println!("]");
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "xtask lint: {} file(s) scanned, {} finding(s)",
+            scanned,
+            findings.len()
+        );
+    }
+    i32::from(!findings.is_empty())
+}
+
+/// The workspace root: two levels above this crate's manifest dir, or the
+/// current directory when invoked outside cargo.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map(Path::to_path_buf).unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_own_sources() {
+        let root = workspace_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root.join("crates").join("xtask"), &mut files);
+        assert!(files
+            .iter()
+            .any(|p| p.file_name().is_some_and(|n| n == "rules.rs")));
+    }
+
+    #[test]
+    fn workspace_root_contains_cargo_toml() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+}

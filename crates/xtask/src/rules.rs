@@ -1,0 +1,531 @@
+//! The repo-specific lint rules.
+//!
+//! Each rule is a textual check over a masked source file (comments and
+//! literal contents blanked, see [`crate::scan`]). They enforce contracts
+//! clippy cannot express for this workspace:
+//!
+//! | id | rule |
+//! |---|---|
+//! | `panic` | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` in non-test library code |
+//! | `narrowing` | no lossy `as` narrowing to sub-64-bit integers in accumulator/shift paths (`crates/core`, `crates/unary`) |
+//! | `wall-clock` | no `std::time` / `SystemTime` / `Instant` in `crates/sim` and `crates/unary` (cycle determinism) |
+//! | `float-eq` | no `==` / `!=` against float literals in non-test code |
+//! | `errors-doc` | public `Result`-returning fns document a `# Errors` section |
+//!
+//! Any rule can be waived for one site with a `// lint: allow(<id>)`
+//! marker on the same line or the line above; the marker is expected to
+//! carry a rationale in the surrounding comment.
+
+use crate::scan::{line_regions, mask_source, LineRegion};
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`panic`, `narrowing`, …).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl core::fmt::Display for Finding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileRules {
+    /// `panic` rule (non-test library code only).
+    pub no_panic: bool,
+    /// `narrowing` rule (accumulator/shift crates).
+    pub no_narrowing: bool,
+    /// `wall-clock` rule (cycle-deterministic crates).
+    pub no_wall_clock: bool,
+    /// `float-eq` rule.
+    pub no_float_eq: bool,
+    /// `errors-doc` rule (public API files).
+    pub errors_doc: bool,
+}
+
+/// Derives the applicable rules from a workspace-relative path.
+///
+/// Library code is everything under `crates/*/src` and the facade `src/`,
+/// except binary entry points (`src/bin`, `main.rs`, `build.rs`), the
+/// `xtask` tool itself, and the `bench` experiment harness (whose library
+/// modules exist to serve its `exp_*`/`sim_cli` binaries and may abort on
+/// impossible configurations). The narrowing rule covers the
+/// accumulator/shift implementation crates (`core`, `unary`); the
+/// wall-clock rule covers the cycle-deterministic crates (`sim`, `unary`).
+#[must_use]
+pub fn classify(rel_path: &str) -> FileRules {
+    let path = rel_path.replace('\\', "/");
+    let in_tool = path.starts_with("crates/xtask") || path.starts_with("crates/bench");
+    let is_bin =
+        path.contains("/bin/") || path.ends_with("/main.rs") || path.ends_with("/build.rs");
+    let is_lib = (path.starts_with("src/")
+        || (path.starts_with("crates/") && path.contains("/src/")))
+        && !is_bin
+        && !in_tool;
+    FileRules {
+        no_panic: is_lib,
+        no_narrowing: path.starts_with("crates/core/src") || path.starts_with("crates/unary/src"),
+        no_wall_clock: path.starts_with("crates/sim/src") || path.starts_with("crates/unary/src"),
+        no_float_eq: true,
+        errors_doc: is_lib,
+    }
+}
+
+/// Runs every applicable rule over one file.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str, rules: FileRules) -> Vec<Finding> {
+    let masked = mask_source(source);
+    let regions = line_regions(&masked);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code_lines: Vec<&str> = masked.lines().collect();
+    let mut findings = Vec::new();
+
+    let allowed = |idx: usize, rule: &str| -> bool {
+        let marker = format!("lint: allow({rule})");
+        raw_lines.get(idx).is_some_and(|l| l.contains(&marker))
+            || idx > 0 && raw_lines.get(idx - 1).is_some_and(|l| l.contains(&marker))
+    };
+    let mut push = |idx: usize, rule: &'static str, message: String| {
+        if !allowed(idx, rule) {
+            findings.push(Finding {
+                file: rel_path.to_owned(),
+                line: idx + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        let region = regions.get(idx).copied().unwrap_or_default();
+
+        if rules.no_panic && !region.test {
+            for token in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+                if code.contains(token) {
+                    push(
+                        idx,
+                        "panic",
+                        format!("`{token}` in library code; return a typed error instead"),
+                    );
+                }
+            }
+            if contains_unwrap_call(code) {
+                push(
+                    idx,
+                    "panic",
+                    "`.unwrap()` in library code; return a typed error instead".to_owned(),
+                );
+            }
+            if code.contains(".expect(") {
+                push(
+                    idx,
+                    "panic",
+                    "`.expect(…)` in library code; return a typed error instead".to_owned(),
+                );
+            }
+        }
+
+        if rules.no_narrowing && !region.test {
+            if let Some(ty) = narrowing_cast(code) {
+                push(
+                    idx,
+                    "narrowing",
+                    format!(
+                        "lossy `as {ty}` narrowing in an accumulator/shift path; \
+                         use `try_from` or mark `// lint: allow(narrowing)` with a range argument"
+                    ),
+                );
+            }
+        }
+
+        if rules.no_wall_clock {
+            for token in ["std::time", "SystemTime", "Instant"] {
+                if code.contains(token) {
+                    push(
+                        idx,
+                        "wall-clock",
+                        format!(
+                            "`{token}` in a cycle-deterministic crate; simulated time must come \
+                             from the cycle counter"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if rules.no_float_eq && !region.test && float_literal_eq(code) {
+            push(
+                idx,
+                "float-eq",
+                "float literal compared with `==`/`!=`; compare against an epsilon or \
+                 restructure"
+                    .to_owned(),
+            );
+        }
+    }
+
+    if rules.errors_doc {
+        check_errors_docs(rel_path, &code_lines, &raw_lines, &regions, &mut findings);
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Matches `.unwrap()` but not `.unwrap_or(…)` / `.unwrap_or_else(…)` /
+/// `.unwrap_or_default()`.
+fn contains_unwrap_call(code: &str) -> bool {
+    code.match_indices(".unwrap")
+        .any(|(i, _)| code[i + ".unwrap".len()..].starts_with("()"))
+}
+
+/// Detects `as <narrow-int>` casts; returns the target type.
+fn narrowing_cast(code: &str) -> Option<&'static str> {
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    for (i, _) in code.match_indices(" as ") {
+        let rest = &code[i + 4..];
+        let target: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(ty) = NARROW.iter().find(|t| **t == target) {
+            return Some(ty);
+        }
+    }
+    None
+}
+
+/// Detects a float literal adjacent to `==` or `!=`.
+fn float_literal_eq(code: &str) -> bool {
+    for op in ["==", "!="] {
+        for (i, _) in code.match_indices(op) {
+            // `!=` shares a suffix with `==` at i+1; skip half-matches.
+            if op == "=="
+                && i > 0
+                && (code.as_bytes()[i - 1] == b'!'
+                    || code.as_bytes()[i - 1] == b'<'
+                    || code.as_bytes()[i - 1] == b'>')
+            {
+                continue;
+            }
+            let before = code[..i]
+                .trim_end()
+                .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
+                .next()
+                .unwrap_or("");
+            let after = code[i + 2..]
+                .trim_start()
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
+                .next()
+                .unwrap_or("");
+            if is_float_literal(before) || is_float_literal(after) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn is_float_literal(token: &str) -> bool {
+    let t = token
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    t.contains('.') && !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+/// Enforces `# Errors` doc sections on public `Result`-returning fns
+/// (trait impls inherit their trait's docs and are exempt).
+fn check_errors_docs(
+    rel_path: &str,
+    code_lines: &[&str],
+    raw_lines: &[&str],
+    regions: &[LineRegion],
+    findings: &mut Vec<Finding>,
+) {
+    let mut docs_have_errors = false;
+    let mut docs_present = false;
+
+    for idx in 0..code_lines.len() {
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        let trimmed_raw = raw.trim_start();
+        let region = regions.get(idx).copied().unwrap_or_default();
+
+        if trimmed_raw.starts_with("///") {
+            docs_present = true;
+            docs_have_errors |= trimmed_raw.contains("# Errors");
+            continue;
+        }
+        if trimmed_raw.starts_with("#[") || trimmed_raw.is_empty() {
+            continue; // attributes/blank lines between docs and item
+        }
+
+        let code = code_lines[idx];
+        let is_pub_fn = code.trim_start().starts_with("pub fn ")
+            || code.trim_start().starts_with("pub const fn ")
+            || code.trim_start().starts_with("pub async fn ");
+        if is_pub_fn && !region.test && !region.trait_impl {
+            // Join the signature up to the body/terminator.
+            let mut sig = String::new();
+            for line in code_lines.iter().skip(idx) {
+                if let Some(head) = line.split(['{', ';']).next() {
+                    sig.push_str(head);
+                    sig.push(' ');
+                    if head.len() != line.len() {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let returns_result = sig
+                .split_once("->")
+                .is_some_and(|(_, ret)| ret.contains("Result"));
+            if returns_result && !docs_have_errors {
+                let marker = "lint: allow(errors-doc)";
+                let waived = (idx.saturating_sub(8)..=idx)
+                    .any(|j| raw_lines.get(j).is_some_and(|l| l.contains(marker)));
+                if !waived {
+                    findings.push(Finding {
+                        file: rel_path.to_owned(),
+                        line: idx + 1,
+                        rule: "errors-doc",
+                        message: if docs_present {
+                            "public `Result`-returning fn lacks a `# Errors` doc section".to_owned()
+                        } else {
+                            "public `Result`-returning fn is undocumented (needs a `# Errors` \
+                             section)"
+                                .to_owned()
+                        },
+                    });
+                }
+            }
+        }
+        docs_have_errors = false;
+        docs_present = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_rules() -> FileRules {
+        classify("crates/core/src/fake.rs")
+    }
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source("crates/core/src/fake.rs", src, lib_rules())
+    }
+
+    fn rule_lines(findings: &[Finding], rule: &str) -> Vec<usize> {
+        findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.line)
+            .collect()
+    }
+
+    // -- seeded-violation fixtures: one per rule, proving each fires ----
+
+    #[test]
+    fn catches_unwrap_expect_and_panic() {
+        let src = "\
+pub fn f(x: Option<u64>) -> u64 {
+    let a = x.unwrap();
+    let b = x.expect(\"present\");
+    if a == 0 { panic!(\"zero\") }
+    a + b
+}
+";
+        let lines = rule_lines(&lint(src), "panic");
+        assert_eq!(lines, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "\
+pub fn f(x: Option<u64>) -> u64 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn test_code_and_strings_and_comments_are_exempt_from_panic() {
+        let src = "\
+pub fn f() -> &'static str {
+    // a comment mentioning panic!(…) and .unwrap()
+    \"string mentioning .unwrap()\"
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        panic!(\"test code may panic\");
+    }
+}
+";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn catches_narrowing_casts() {
+        let src = "\
+pub fn acc(total: i64) -> i64 {
+    let folded = total as i32;
+    i64::from(folded)
+}
+";
+        assert_eq!(rule_lines(&lint(src), "narrowing"), vec![2]);
+    }
+
+    #[test]
+    fn narrowing_allows_marked_sites_and_widening() {
+        let src = "\
+pub fn acc(total: i64, small: u8) -> i64 {
+    let w = small as u64 as i64; // widening is fine
+    // Bounded by MAX_BITWIDTH: lint: allow(narrowing)
+    let n = total as u32;
+    w + i64::from(n)
+}
+";
+        assert!(rule_lines(&lint(src), "narrowing").is_empty());
+    }
+
+    #[test]
+    fn catches_wall_clock_in_sim() {
+        let src = "\
+pub fn now() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+";
+        let f = lint_source(
+            "crates/sim/src/fake.rs",
+            src,
+            classify("crates/sim/src/fake.rs"),
+        );
+        assert!(!rule_lines(&f, "wall-clock").is_empty());
+        // Same source in a non-deterministic crate is allowed.
+        let f = lint_source(
+            "crates/hw/src/fake.rs",
+            src,
+            classify("crates/hw/src/fake.rs"),
+        );
+        assert!(rule_lines(&f, "wall-clock").is_empty());
+    }
+
+    #[test]
+    fn catches_float_literal_equality() {
+        let src = "\
+pub fn f(x: f64) -> bool {
+    if x == 0.0 {
+        return true;
+    }
+    x != 1.5
+}
+";
+        assert_eq!(rule_lines(&lint(src), "float-eq"), vec![2, 5]);
+    }
+
+    #[test]
+    fn integer_equality_and_field_access_are_fine() {
+        let src = "\
+pub fn f(s: &S) -> bool {
+    s.n == 0 && s.next.m != 3 && 0.0f64.max(1.0) > 0.5
+}
+";
+        assert!(rule_lines(&lint(src), "float-eq").is_empty());
+    }
+
+    #[test]
+    fn catches_missing_errors_doc() {
+        let src = "\
+/// Parses a widget.
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| String::new())
+}
+";
+        assert_eq!(rule_lines(&lint(src), "errors-doc"), vec![2]);
+    }
+
+    #[test]
+    fn errors_doc_satisfied_or_exempt() {
+        let src = "\
+/// Parses a widget.
+///
+/// # Errors
+///
+/// Returns a message on malformed input.
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| String::new())
+}
+
+impl core::str::FromStr for W {
+    type Err = String;
+    pub fn from_str(s: &str) -> Result<Self, String> {
+        parse(s).map(W)
+    }
+}
+
+pub fn infallible(x: u32) -> u32 {
+    x + 1
+}
+";
+        assert!(rule_lines(&lint(src), "errors-doc").is_empty());
+    }
+
+    #[test]
+    fn multiline_signatures_are_joined() {
+        let src = "\
+/// Does a thing.
+pub fn long_signature(
+    a: u32,
+    b: u32,
+) -> Result<u32, String> {
+    Ok(a + b)
+}
+";
+        assert_eq!(rule_lines(&lint(src), "errors-doc"), vec![2]);
+    }
+
+    #[test]
+    fn classify_scopes_rules_by_path() {
+        assert!(classify("crates/unary/src/mul.rs").no_panic);
+        assert!(classify("crates/unary/src/mul.rs").no_narrowing);
+        assert!(classify("crates/unary/src/mul.rs").no_wall_clock);
+        assert!(classify("crates/sim/src/trace.rs").no_wall_clock);
+        assert!(!classify("crates/sim/src/trace.rs").no_narrowing);
+        assert!(!classify("crates/bench/src/bin/sim_cli.rs").no_panic);
+        assert!(!classify("crates/bench/src/table.rs").no_panic);
+        assert!(classify("crates/bench/src/table.rs").no_float_eq);
+        assert!(!classify("crates/xtask/src/main.rs").no_panic);
+        assert!(classify("src/lib.rs").no_panic);
+    }
+
+    #[test]
+    fn findings_render_with_location() {
+        let f = Finding {
+            file: "crates/core/src/pe.rs".into(),
+            line: 7,
+            rule: "panic",
+            message: "msg".into(),
+        };
+        assert_eq!(f.to_string(), "crates/core/src/pe.rs:7: [panic] msg");
+    }
+}

@@ -1,0 +1,355 @@
+//! Source masking and region tracking for the lint pass.
+//!
+//! The lint rules operate on a *masked* copy of each file: comment text
+//! and the contents of string/char literals are blanked out (replaced by
+//! spaces) so that a `panic!` inside a doc comment or an error message
+//! never trips a rule. Newlines are preserved byte-for-byte, so line
+//! numbers in the masked copy match the original.
+//!
+//! On top of the masked text, [`line_regions`] classifies every line as
+//! test code (inside a `#[cfg(test)]` block or after a `#[test]`
+//! attribute) and/or trait-impl code (inside an `impl Trait for Type`
+//! block), which several rules use to scope themselves to non-test
+//! library code.
+
+/// Blanks comments and literal contents out of Rust source.
+///
+/// Handles line comments, nested block comments, string literals with
+/// escapes, raw strings (`r"…"`, `r#"…"#`, with optional `b` prefix),
+/// char literals and lifetimes. The returned string has the same length
+/// in lines as the input.
+#[must_use]
+pub fn mask_source(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: blank to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = mask_raw_string(bytes, i, &mut out);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                out.push(b'b');
+                i += 1;
+                i = mask_plain_string(bytes, i, &mut out);
+            }
+            b'"' => {
+                i = mask_plain_string(bytes, i, &mut out);
+            }
+            b'\'' => {
+                i = mask_char_or_lifetime(bytes, i, &mut out);
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    // The input was valid UTF-8 and multi-byte sequences are only copied
+    // verbatim or replaced by ASCII spaces, so the mask stays valid.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn mask_raw_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    // Copy the prefix (b, r, #s, opening quote) verbatim.
+    if bytes[i] == b'b' {
+        out.push(b'b');
+        i += 1;
+    }
+    out.push(b'r');
+    i += 1;
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        out.push(b'#');
+        hashes += 1;
+        i += 1;
+    }
+    out.push(b'"');
+    i += 1;
+    // Blank until `"` followed by `hashes` hash marks.
+    while i < bytes.len() {
+        if bytes[i] == b'"' && bytes[i + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes {
+            out.push(b'"');
+            i += 1;
+            for _ in 0..hashes {
+                out.push(b'#');
+                i += 1;
+            }
+            return i;
+        }
+        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+        i += 1;
+    }
+    i
+}
+
+fn mask_plain_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    out.push(b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn mask_char_or_lifetime(bytes: &[u8], i: usize, out: &mut Vec<u8>) -> usize {
+    // `'x'` or `'\…'` is a char literal; `'ident` is a lifetime.
+    let is_char = match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    };
+    if !is_char {
+        out.push(b'\'');
+        return i + 1;
+    }
+    out.push(b'\'');
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                out.push(b' ');
+                out.push(b' ');
+                j += 2;
+            }
+            b'\'' => {
+                out.push(b'\'');
+                return j + 1;
+            }
+            _ => {
+                out.push(b' ');
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Per-line classification of a masked source file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineRegion {
+    /// Inside a `#[cfg(test)]` block (or the attribute line itself).
+    pub test: bool,
+    /// Inside an `impl Trait for Type` block.
+    pub trait_impl: bool,
+}
+
+/// Classifies every line of a masked source as test and/or trait-impl
+/// code by tracking brace depth.
+#[must_use]
+pub fn line_regions(masked: &str) -> Vec<LineRegion> {
+    #[derive(PartialEq)]
+    enum Kind {
+        Test,
+        TraitImpl,
+    }
+    let mut regions = Vec::new();
+    let mut stack: Vec<(Kind, u32)> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut pending: Option<Kind> = None;
+
+    for line in masked.lines() {
+        let trimmed = line.trim_start();
+        let mut region = LineRegion {
+            test: stack.iter().any(|(k, _)| *k == Kind::Test),
+            trait_impl: stack.iter().any(|(k, _)| *k == Kind::TraitImpl),
+        };
+        if trimmed.contains("#[cfg(test)]") || trimmed.starts_with("#[test]") {
+            pending = Some(Kind::Test);
+            region.test = true;
+        } else if (trimmed.starts_with("impl ")
+            || trimmed.starts_with("impl<")
+            || trimmed.starts_with("unsafe impl"))
+            && trimmed
+                .split('{')
+                .next()
+                .is_some_and(|head| head.contains(" for ") && !head.contains("fn "))
+        {
+            pending = Some(Kind::TraitImpl);
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if let Some(kind) = pending.take() {
+                        stack.push((kind, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if stack.last().is_some_and(|&(_, d)| d >= depth) {
+                        stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        region.test |= stack.iter().any(|(k, _)| *k == Kind::Test) || pending == Some(Kind::Test);
+        region.trait_impl |= stack.iter().any(|(k, _)| *k == Kind::TraitImpl);
+        regions.push(region);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let a = 1; // panic!()\n/* unwrap() */ let b = 2;\n";
+        let m = mask_source(src);
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let a = 1;"));
+        assert!(m.contains("let b = 2;"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let m = mask_source("let s = \"call .unwrap() now\";");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let s = \""));
+        assert!(m.ends_with("\";"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_escapes() {
+        let m = mask_source(r##"let s = r#"panic!("x")"#; let t = "a\"panic!\"";"##);
+        assert!(!m.contains("panic"));
+    }
+
+    #[test]
+    fn keeps_lifetimes_masks_char_literals() {
+        let m = mask_source("fn f<'a>(x: &'a str) -> char { '{' }");
+        assert!(m.contains("<'a>"));
+        assert!(!m.contains("'{'"), "char literal contents masked: {m}");
+        // The masked brace no longer unbalances depth tracking.
+        assert_eq!(m.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask_source("/* outer /* inner */ still comment */ code()");
+        assert!(m.contains("code()"));
+        assert!(!m.contains("inner"));
+    }
+
+    #[test]
+    fn regions_mark_cfg_test_blocks() {
+        let src = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+pub fn lib2() {}
+";
+        let m = mask_source(src);
+        let r = line_regions(&m);
+        assert!(!r[0].test);
+        assert!(r[1].test, "attribute line is test");
+        assert!(r[2].test);
+        assert!(r[3].test);
+        assert!(r[4].test, "closing brace still in region");
+        assert!(!r[5].test);
+    }
+
+    #[test]
+    fn regions_mark_trait_impls() {
+        let src = "\
+impl Widget {
+    pub fn inherent(&self) {}
+}
+impl core::fmt::Display for Widget {
+    fn fmt(&self) {}
+}
+";
+        let r = line_regions(&mask_source(src));
+        assert!(!r[0].trait_impl);
+        assert!(!r[1].trait_impl);
+        assert!(r[3].trait_impl);
+        assert!(r[4].trait_impl);
+    }
+
+    #[test]
+    fn for_loop_is_not_a_trait_impl() {
+        let src = "\
+impl Widget {
+    pub fn f(&self) {
+        for x in 0..3 {
+            let _ = x;
+        }
+    }
+}
+";
+        let r = line_regions(&mask_source(src));
+        assert!(r.iter().all(|l| !l.trait_impl));
+    }
+}

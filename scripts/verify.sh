@@ -25,6 +25,31 @@ else
     echo "    (clippy not installed, skipping)"
 fi
 
+echo "==> cargo run --release -p xtask --offline -- lint"
+cargo run --release -p xtask --offline -- lint
+
+echo "==> sim_cli --check rejection smoke tests"
+cli=./target/release/sim_cli
+# Each class of illegal configuration must be rejected with a non-zero
+# exit and its stable diagnostic code (see docs/diagnostics.md).
+check_rejects() {
+    code="$1"; shift
+    if "$cli" --check "$@" > /dev/null 2>&1; then
+        echo "FAIL: expected --check $* to exit non-zero ($code)" >&2
+        exit 1
+    fi
+    "$cli" --check "$@" 2>&1 | grep -q "$code" || {
+        echo "FAIL: expected $code in output of --check $*" >&2
+        exit 1
+    }
+}
+check_rejects USY020 --scheme UR --acc-width 4
+check_rejects USY011 --scheme UR --cycles 256
+check_rejects USY030 --scheme UR --wiring independent
+check_rejects USY050 --scheme BP --no-sram --conv 27,27,96,5,5,1,256
+# ...and the paper's byte-crawling configuration must pass clean.
+"$cli" --check --scheme UR --cycles 128 --no-sram > /dev/null
+
 echo "==> sim_cli observability smoke test"
 trace=$(mktemp /tmp/usystolic_trace.XXXXXX.json)
 metrics=$(mktemp /tmp/usystolic_metrics.XXXXXX.json)

@@ -19,6 +19,9 @@
 //! * [`obs`] — zero-dependency observability: cycle-level tracing with
 //!   Chrome `trace_event`/JSONL export, a metrics registry and the
 //!   [`obs::ToJson`] structured-JSON trait.
+//! * [`analyze`] — static invariant checker: validates raw (possibly
+//!   illegal) configurations against the paper's invariants without
+//!   simulation, reporting stable `USYxxx` diagnostics.
 //!
 //! # Quickstart
 //!
@@ -32,6 +35,7 @@
 //! # let _ = (config, gemm);
 //! ```
 
+pub use usystolic_analyze as analyze;
 pub use usystolic_core as arch;
 pub use usystolic_gemm as gemm;
 pub use usystolic_hw as hw;

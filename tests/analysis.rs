@@ -1,0 +1,156 @@
+//! Integration tests of the static invariant checker: every diagnostic
+//! code is triggerable, legal paper configurations are clean, and the
+//! analyzer's closed-form verdicts agree with the cycle-level simulator.
+
+use usystolic::analyze::{analyze, required_acc_width, RawSpec, RngWiring, Severity};
+use usystolic::arch::ComputingScheme;
+use usystolic::gemm::GemmConfig;
+use usystolic::obs::ToJson;
+use usystolic::sim::runtime::layer_timing;
+use usystolic::sim::MemoryHierarchy;
+
+fn edge(scheme: ComputingScheme) -> RawSpec {
+    RawSpec::new(12, 14, scheme, 8)
+}
+
+#[test]
+fn paper_configurations_are_clean() {
+    // Every scheme in both paper shapes, with and without the default
+    // knobs, passes the analyzer.
+    for scheme in ComputingScheme::ALL {
+        for (rows, cols) in [(12usize, 14usize), (256, 256)] {
+            let spec = RawSpec::new(rows, cols, scheme, 8);
+            let report = analyze(&spec, None, None);
+            assert!(report.is_legal(), "{scheme:?} {rows}x{cols}: {report}");
+        }
+    }
+    // The paper's headline point: UR-128 on the edge shape.
+    let spec = edge(ComputingScheme::UnaryRate).with_mul_cycles(128);
+    assert!(analyze(&spec, None, None).is_legal());
+}
+
+#[test]
+fn every_error_code_is_triggerable() {
+    let gemm = GemmConfig::conv(27, 27, 96, 5, 5, 1, 256).unwrap();
+    let no_sram = MemoryHierarchy::no_sram();
+    let cases: Vec<(&str, RawSpec)> = vec![
+        ("USY001", RawSpec::new(0, 14, ComputingScheme::UnaryRate, 8)),
+        (
+            "USY002",
+            RawSpec::new(12, 14, ComputingScheme::UnaryRate, 99),
+        ),
+        (
+            "USY010",
+            edge(ComputingScheme::UnaryTemporal).with_effective_bitwidth(6),
+        ),
+        (
+            "USY011",
+            edge(ComputingScheme::UnaryRate).with_mul_cycles(256),
+        ),
+        (
+            "USY012",
+            edge(ComputingScheme::UnaryRate)
+                .with_mul_cycles(32)
+                .with_effective_bitwidth(7),
+        ),
+        ("USY020", edge(ComputingScheme::UnaryRate).with_acc_width(4)),
+        (
+            "USY030",
+            edge(ComputingScheme::UnaryRate).with_wiring(RngWiring::Independent),
+        ),
+        (
+            "USY040",
+            edge(ComputingScheme::UnaryRate).with_fifo_depth(2),
+        ),
+        ("USY050", edge(ComputingScheme::BinaryParallel)),
+    ];
+    for (code, spec) in cases {
+        let report = analyze(&spec, Some(&gemm), Some(&no_sram));
+        assert!(report.has(code), "expected {code}, got: {report}");
+        assert!(!report.is_legal(), "{code} must reject");
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.code.starts_with("USY") && !d.hint.is_empty()),
+            "diagnostics carry codes and hints: {report}"
+        );
+    }
+}
+
+#[test]
+fn acc_width_follows_reduced_resolution_rule() {
+    // Section III-A: unary OREG is N bits smaller than binary for the
+    // same reduction depth.
+    let unary = required_acc_width(ComputingScheme::UnaryRate, 8, 12);
+    let binary = required_acc_width(ComputingScheme::BinaryParallel, 8, 12);
+    assert_eq!(binary - unary, 8);
+    // Boundary: exactly sufficient passes, one bit short fails.
+    assert!(analyze(
+        &edge(ComputingScheme::UnaryRate).with_acc_width(unary),
+        None,
+        None
+    )
+    .is_legal());
+    let short = analyze(
+        &edge(ComputingScheme::UnaryRate).with_acc_width(unary - 1),
+        None,
+        None,
+    );
+    assert!(short.has("USY020"));
+}
+
+#[test]
+fn analyzer_agrees_with_simulator_on_bandwidth() {
+    // USY050 fires exactly when the timing model reports stalls for the
+    // SRAM-free hierarchy.
+    let gemm = GemmConfig::conv(27, 27, 96, 5, 5, 1, 256).unwrap();
+    let memory = MemoryHierarchy::no_sram();
+    for (scheme, cycles) in [
+        (ComputingScheme::BinaryParallel, None),
+        (ComputingScheme::UnaryRate, Some(128)),
+    ] {
+        let mut spec = edge(scheme);
+        spec.mul_cycles = cycles;
+        let report = analyze(&spec, Some(&gemm), Some(&memory));
+
+        let mut cfg = usystolic::arch::SystolicConfig::edge(scheme, 8);
+        if let Some(c) = cycles {
+            cfg = cfg.with_mul_cycles(c).unwrap();
+        }
+        let timing = layer_timing(&gemm, &cfg, &memory);
+        assert_eq!(
+            report.has("USY050"),
+            timing.stall_cycles > 0,
+            "{scheme:?}: analyzer {report} vs {} stall cycles",
+            timing.stall_cycles
+        );
+    }
+}
+
+#[test]
+fn warnings_do_not_reject() {
+    // A skinny GEMM on the cloud array wastes PEs: warned, not rejected.
+    let gemm = GemmConfig::matmul(1, 4, 4).unwrap();
+    let spec = RawSpec::new(256, 256, ComputingScheme::BinaryParallel, 8);
+    let report = analyze(&spec, Some(&gemm), None);
+    assert!(report.has("USY042"), "{report}");
+    assert!(report.is_legal());
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn report_json_is_machine_readable() {
+    let spec = edge(ComputingScheme::UnaryRate).with_acc_width(4);
+    let report = analyze(&spec, None, None);
+    let json = report.to_json().render();
+    let parsed = usystolic::obs::JsonValue::parse(&json).expect("valid JSON");
+    assert_eq!(
+        parsed.get("legal"),
+        Some(&usystolic::obs::JsonValue::Bool(false))
+    );
+    assert!(json.contains("USY020"), "{json}");
+}
