@@ -47,7 +47,7 @@ use usystolic_hw::evaluate_layer;
 use usystolic_hw::summary::NetworkEvaluation;
 use usystolic_models::zoo;
 use usystolic_obs::{JsonValue, ToJson};
-use usystolic_sim::MemoryHierarchy;
+use usystolic_sim::{MemoryHierarchy, MultiInstanceSystem, ScalingReport};
 
 #[derive(Debug)]
 struct Args {
@@ -58,6 +58,7 @@ struct Args {
     no_sram: Option<bool>,
     gemm: Option<GemmConfig>,
     network: Option<String>,
+    instances: Option<usize>,
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     json: bool,
@@ -70,7 +71,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: usystolic_sim [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
-                     [--shape edge|cloud] [--sram|--no-sram]
+                     [--shape edge|cloud] [--sram|--no-sram] [--instances N]
                      [--trace FILE] [--metrics FILE] [--json]
                      (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)
        usystolic_sim --check [--scheme S] [--cycles N] [--bits N] [--shape edge|cloud]
@@ -122,6 +123,7 @@ fn parse_args() -> Args {
         no_sram: None,
         gemm: None,
         network: None,
+        instances: None,
         trace: None,
         metrics: None,
         json: false,
@@ -188,6 +190,16 @@ fn parse_args() -> Args {
                 );
             }
             "--network" => args.network = Some(value()),
+            "--instances" => {
+                let v = value();
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--instances {v}: not an integer")));
+                if n == 0 {
+                    fail("--instances 0: need at least one instance");
+                }
+                args.instances = Some(n);
+            }
             "--trace" => args.trace = Some(value().into()),
             "--metrics" => args.metrics = Some(value().into()),
             "--json" => args.json = true,
@@ -371,17 +383,23 @@ fn main() {
 
     if let Some(gemm) = args.gemm {
         let ev = evaluate_layer(&config, &memory, &gemm);
+        let scaling = args
+            .instances
+            .map(|n| MultiInstanceSystem::new(config, memory).scale(&gemm, n));
         if let Some(session) = usystolic_obs::take() {
             export_session(&args, &session);
         }
         if args.json {
-            let record = JsonValue::object(vec![
+            let mut pairs = vec![
                 ("config", config.to_json()),
                 ("memory", memory.to_json()),
                 ("gemm", gemm.to_json()),
                 ("evaluation", ev.to_json()),
-            ]);
-            println!("{}", record.render());
+            ];
+            if let Some(s) = &scaling {
+                pairs.push(("scaling", s.to_json()));
+            }
+            println!("{}", JsonValue::object(pairs).render());
             return;
         }
         println!("layer:  {gemm}\n");
@@ -412,6 +430,9 @@ fn main() {
         println!("on-chip power    {:>12.3} mW", ev.power.on_chip_w() * 1.0e3);
         println!("total power      {:>12.3} mW", ev.power.total_w() * 1.0e3);
         println!("on-chip area     {:>12.3} mm2", ev.area.total_mm2());
+        if let Some(s) = &scaling {
+            println!("\n{}", scaling_line(s));
+        }
         return;
     }
 
@@ -420,17 +441,42 @@ fn main() {
         None => usage(),
     };
     let ev = NetworkEvaluation::evaluate(&config, &memory, &network.gemms());
+    let scaling: Vec<(String, ScalingReport)> = match args.instances {
+        Some(n) => {
+            let sys = MultiInstanceSystem::new(config, memory);
+            network
+                .layers
+                .iter()
+                .zip(network.gemms())
+                .map(|(layer, gemm)| (layer.name.clone(), sys.scale(&gemm, n)))
+                .collect()
+        }
+        None => Vec::new(),
+    };
     if let Some(session) = usystolic_obs::take() {
         export_session(&args, &session);
     }
     if args.json {
-        let record = JsonValue::object(vec![
+        let mut pairs = vec![
             ("config", config.to_json()),
             ("memory", memory.to_json()),
             ("network", network.to_json()),
             ("evaluation", ev.to_json()),
-        ]);
-        println!("{}", record.render());
+        ];
+        let scaling_json: Vec<JsonValue> = scaling
+            .iter()
+            .map(|(name, s)| {
+                let mut obj = s.to_json();
+                if let JsonValue::Object(p) = &mut obj {
+                    p.insert(0, ("layer".to_owned(), name.to_json()));
+                }
+                obj
+            })
+            .collect();
+        if !scaling_json.is_empty() {
+            pairs.push(("scaling", JsonValue::Array(scaling_json)));
+        }
+        println!("{}", JsonValue::object(pairs).render());
         return;
     }
     println!(
@@ -472,4 +518,21 @@ fn main() {
         "avg total power      {:>12.3} mW",
         ev.total_power_w() * 1.0e3
     );
+    if !scaling.is_empty() {
+        println!();
+        for (name, s) in &scaling {
+            println!("{name:<10} {}", scaling_line(s));
+        }
+    }
+}
+
+/// One human-readable line of a [`ScalingReport`].
+fn scaling_line(s: &ScalingReport) -> String {
+    format!(
+        "scaling x{}: {:.3} layers/s aggregate, {:.1}% efficiency{}",
+        s.instances,
+        s.aggregate_throughput,
+        100.0 * s.scaling_efficiency,
+        if s.dram_limited { ", DRAM-limited" } else { "" }
+    )
 }

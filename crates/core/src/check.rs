@@ -48,16 +48,10 @@ pub fn tolerance_for(scheme: ComputingScheme, bitwidth: u32) -> f64 {
 /// Propagates configuration/execution errors (which would themselves be
 /// bugs for the in-range inputs this generates).
 pub fn differential_check(seed: u64, bitwidth: u32) -> Result<Vec<SchemeCheck>, CoreError> {
-    // Derive a small GEMM shape and tensors from the seed with a splitmix
-    // step (deterministic, dependency-free).
-    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut next = move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
+    // Derive a small GEMM shape and tensors from the seed with the shared
+    // SplitMix64 (the +golden-ratio offset keeps the historical stream).
+    let mut rng = usystolic_unary::rng::SplitMix64::new(seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    let mut next = move || rng.next_u64();
     let dim = |lo: usize, hi: usize, v: u64| lo + (v as usize) % (hi - lo + 1);
     let ih = dim(3, 8, next());
     let iw = dim(3, 8, next());

@@ -1,0 +1,176 @@
+//! Admission control: a bounded queue with explicit rejection.
+//!
+//! Every arriving request passes through the [`AdmissionController`]
+//! before it can be scheduled. The controller holds at most
+//! `capacity` queued requests; when the queue is full the request is
+//! *rejected* — it never enters the system, the rejection counter ticks,
+//! and the caller records a rejected [`RequestRecord`]. A bounded queue
+//! is what keeps tail latency meaningful under overload: without it,
+//! queueing delay grows without bound and every deadline is eventually
+//! missed.
+//!
+//! [`RequestRecord`]: crate::request::RequestRecord
+
+use crate::request::Request;
+
+/// Outcome of offering a request to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; the scheduler will dispatch it.
+    Admitted,
+    /// Queue full; the request is turned away.
+    Rejected,
+}
+
+/// A bounded admission queue.
+#[derive(Debug)]
+pub struct AdmissionController {
+    queue: Vec<Request>,
+    capacity: usize,
+    admitted: u64,
+    rejected: u64,
+    max_depth: usize,
+}
+
+impl AdmissionController {
+    /// Creates a controller holding at most `capacity` queued requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue needs capacity");
+        Self {
+            queue: Vec::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            admitted: 0,
+            rejected: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Offers a request; queues it or rejects it.
+    pub fn offer(&mut self, request: Request) -> Admission {
+        if self.queue.len() >= self.capacity {
+            self.rejected += 1;
+            return Admission::Rejected;
+        }
+        self.queue.push(request);
+        self.admitted += 1;
+        self.max_depth = self.max_depth.max(self.queue.len());
+        Admission::Admitted
+    }
+
+    /// The queued requests, in arrival order (the scheduler picks by
+    /// dispatch key, not position).
+    #[must_use]
+    pub fn queued(&self) -> &[Request] {
+        &self.queue
+    }
+
+    /// Removes and returns the requests at the given queue positions.
+    /// Positions must be sorted ascending and in range.
+    pub fn take(&mut self, positions: &[usize]) -> Vec<Request> {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let mut out = Vec::with_capacity(positions.len());
+        for &p in positions.iter().rev() {
+            out.push(self.queue.remove(p));
+        }
+        out.reverse();
+        out
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deepest the queue ever got (always `<= capacity`).
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Requests admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests rejected so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            class: 0,
+            arrival: id,
+            priority: Priority::Normal,
+            deadline: None,
+            client: None,
+        }
+    }
+
+    #[test]
+    fn rejects_beyond_capacity() {
+        let mut a = AdmissionController::new(2);
+        assert_eq!(a.offer(req(1)), Admission::Admitted);
+        assert_eq!(a.offer(req(2)), Admission::Admitted);
+        assert_eq!(a.offer(req(3)), Admission::Rejected);
+        assert_eq!(a.depth(), 2);
+        assert_eq!(a.admitted(), 2);
+        assert_eq!(a.rejected(), 1);
+        assert_eq!(a.max_depth(), 2);
+    }
+
+    #[test]
+    fn take_removes_by_position() {
+        let mut a = AdmissionController::new(8);
+        for id in 1..=5 {
+            a.offer(req(id));
+        }
+        let taken = a.take(&[0, 2, 4]);
+        let ids: Vec<u64> = taken.iter().map(|r| r.id).collect();
+        assert_eq!(ids, [1, 3, 5]);
+        let left: Vec<u64> = a.queued().iter().map(|r| r.id).collect();
+        assert_eq!(left, [2, 4]);
+        assert_eq!(a.depth(), 2);
+    }
+
+    #[test]
+    fn depth_bound_holds_under_churn() {
+        let mut a = AdmissionController::new(3);
+        for id in 0..100 {
+            a.offer(req(id));
+            if a.depth() == 3 {
+                a.take(&[0]);
+            }
+            assert!(a.depth() <= a.capacity());
+        }
+        assert!(a.max_depth() <= 3);
+        assert!(a.rejected() == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = AdmissionController::new(0);
+    }
+}

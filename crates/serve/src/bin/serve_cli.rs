@@ -1,0 +1,449 @@
+//! Command-line load harness for the serving simulator.
+//!
+//! ```sh
+//! cargo run --release -p usystolic-serve --bin serve_cli -- \
+//!     --seed 7 --workers 4 --instances 4 \
+//!     --arrival-rate 2000000 --duration 0.002
+//! cargo run --release -p usystolic-serve --bin serve_cli -- \
+//!     --network mnist --instances 8 --arrival-rate 2000 --duration 0.5 \
+//!     --deadline 2.0 --json
+//! cargo run --release -p usystolic-serve --bin serve_cli -- \
+//!     --closed-loop 16 --think 0.1 --duration 0.01 --max-batch 8
+//! ```
+//!
+//! The run is **bit-for-bit deterministic**: the same seed and
+//! configuration print the same report (including `--json`) on every run
+//! and for every `--workers` value — the worker pool only parallelises
+//! pure phases. Under overload the bounded admission queue rejects
+//! explicitly; rejections, deadline misses and exact p50/p95/p99
+//! latencies all land in the report. `--trace`/`--metrics` export the
+//! observability session (per-batch spans on the simulated-cycle lane,
+//! queue-depth gauges, stage histograms).
+
+use usystolic_core::{ComputingScheme, SystolicConfig};
+use usystolic_gemm::GemmConfig;
+use usystolic_models::zoo;
+use usystolic_obs::{JsonValue, ToJson};
+use usystolic_serve::loadgen::{ArrivalProcess, LoadGenConfig};
+use usystolic_serve::{serve, LatencySummary, ServeConfig, ServeReport, Workload};
+use usystolic_sim::{MemoryHierarchy, CLOCK_HZ};
+
+#[derive(Debug)]
+struct Args {
+    scheme: ComputingScheme,
+    cycles: Option<u64>,
+    bitwidth: u32,
+    cloud: bool,
+    no_sram: Option<bool>,
+    workloads: Vec<Workload>,
+    workers: usize,
+    instances: usize,
+    queue_depth: usize,
+    max_batch: usize,
+    arrival_rate: Option<f64>,
+    closed_loop: Option<usize>,
+    think_s: f64,
+    duration_s: f64,
+    deadline_ms: Option<f64>,
+    hi_frac: f64,
+    seed: u64,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_cli [--workers N] [--instances N] [--arrival-rate REQ_PER_S]
+                 [--closed-loop CLIENTS] [--think S] [--duration S]
+                 [--deadline MS] [--seed N] [--queue-depth N] [--max-batch N]
+                 [--hi-frac F] [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
+                 [--shape edge|cloud] [--sram|--no-sram]
+                 [--network alexnet|resnet18|vgg16|mnist]... [--matmul M,K,N]...
+                 [--conv IH,IW,IC,WH,WW,S,OC]... [--trace FILE] [--metrics FILE]
+                 [--json]
+
+Each --network/--matmul/--conv adds one workload class; requests draw a
+class uniformly. With no workload flags a 64x64x64 matmul is served.
+Open-loop Poisson arrivals by default (--arrival-rate, requests per
+second of simulated time); --closed-loop switches to a fixed client
+population with --think seconds between completion and re-issue."
+    );
+    std::process::exit(2);
+}
+
+/// Exits with a clear diagnostic (code 2) instead of a panic/backtrace.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("serve_cli: error: {message}");
+    std::process::exit(2);
+}
+
+fn parse_dims(flag: &str, s: &str, expected: usize) -> Vec<usize> {
+    let dims: Vec<usize> = s
+        .split(',')
+        .map(|p| {
+            p.trim().parse().unwrap_or_else(|_| {
+                fail(format!(
+                    "{flag} {s}: '{}' is not a non-negative integer",
+                    p.trim()
+                ))
+            })
+        })
+        .collect();
+    if dims.len() != expected {
+        fail(format!(
+            "{flag} {s}: expected {expected} comma-separated dimensions, got {}",
+            dims.len()
+        ));
+    }
+    dims
+}
+
+fn network_by_name(name: &str) -> zoo::Network {
+    match name {
+        "alexnet" => zoo::alexnet(),
+        "resnet18" => zoo::resnet18(),
+        "vgg16" => zoo::vgg16(),
+        "mnist" => zoo::mnist_cnn4(),
+        other => fail(format!(
+            "--network {other}: expected alexnet, resnet18, vgg16 or mnist"
+        )),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scheme: ComputingScheme::UnaryRate,
+        cycles: None,
+        bitwidth: 8,
+        cloud: false,
+        no_sram: None,
+        workloads: Vec::new(),
+        workers: 1,
+        instances: 1,
+        queue_depth: 64,
+        max_batch: 8,
+        arrival_rate: None,
+        closed_loop: None,
+        think_s: 0.0,
+        duration_s: 0.01,
+        deadline_ms: None,
+        hi_frac: 0.0,
+        seed: 1,
+        trace: None,
+        metrics: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| fail(format!("{flag} requires a value")))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                let v = value();
+                args.scheme = match v.as_str() {
+                    "BP" => ComputingScheme::BinaryParallel,
+                    "BS" => ComputingScheme::BinarySerial,
+                    "UG" => ComputingScheme::UGemmHybrid,
+                    "UR" => ComputingScheme::UnaryRate,
+                    "UT" => ComputingScheme::UnaryTemporal,
+                    _ => fail(format!("--scheme {v}: expected BP, BS, UG, UR or UT")),
+                }
+            }
+            "--cycles" => {
+                let v = value();
+                args.cycles = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--cycles {v}: not an integer"))),
+                );
+            }
+            "--bits" => {
+                let v = value();
+                args.bitwidth = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--bits {v}: not an integer")));
+            }
+            "--shape" => {
+                let v = value();
+                args.cloud = match v.as_str() {
+                    "edge" => false,
+                    "cloud" => true,
+                    _ => fail(format!("--shape {v}: expected edge or cloud")),
+                }
+            }
+            "--sram" => args.no_sram = Some(false),
+            "--no-sram" => args.no_sram = Some(true),
+            "--network" => {
+                let net = network_by_name(&value());
+                args.workloads.push(Workload::from_network(&net));
+            }
+            "--matmul" => {
+                let v = value();
+                let d = parse_dims("--matmul", &v, 3);
+                let gemm = GemmConfig::matmul(d[0], d[1], d[2])
+                    .unwrap_or_else(|e| fail(format!("--matmul {v}: {e}")));
+                args.workloads
+                    .push(Workload::from_gemm(&format!("matmul{v}"), gemm));
+            }
+            "--conv" => {
+                let v = value();
+                let d = parse_dims("--conv", &v, 7);
+                let gemm = GemmConfig::conv(d[0], d[1], d[2], d[3], d[4], d[5], d[6])
+                    .unwrap_or_else(|e| fail(format!("--conv {v}: {e}")));
+                args.workloads
+                    .push(Workload::from_gemm(&format!("conv{v}"), gemm));
+            }
+            "--workers" => {
+                let v = value();
+                args.workers = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--workers {v}: not an integer")));
+            }
+            "--instances" => {
+                let v = value();
+                args.instances = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--instances {v}: not an integer")));
+            }
+            "--queue-depth" => {
+                let v = value();
+                args.queue_depth = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--queue-depth {v}: not an integer")));
+            }
+            "--max-batch" => {
+                let v = value();
+                args.max_batch = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--max-batch {v}: not an integer")));
+            }
+            "--arrival-rate" => {
+                let v = value();
+                args.arrival_rate = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--arrival-rate {v}: not a number"))),
+                );
+            }
+            "--closed-loop" => {
+                let v = value();
+                args.closed_loop = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--closed-loop {v}: not an integer"))),
+                );
+            }
+            "--think" => {
+                let v = value();
+                args.think_s = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--think {v}: not a number")));
+            }
+            "--duration" => {
+                let v = value();
+                args.duration_s = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--duration {v}: not a number")));
+            }
+            "--deadline" => {
+                let v = value();
+                args.deadline_ms = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--deadline {v}: not a number"))),
+                );
+            }
+            "--hi-frac" => {
+                let v = value();
+                args.hi_frac = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--hi-frac {v}: not a number")));
+            }
+            "--seed" => {
+                let v = value();
+                args.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--seed {v}: not an integer")));
+            }
+            "--trace" => args.trace = Some(value().into()),
+            "--metrics" => args.metrics = Some(value().into()),
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.closed_loop.is_some() && args.arrival_rate.is_some() {
+        fail("--closed-loop and --arrival-rate are mutually exclusive");
+    }
+    if !args.duration_s.is_finite() || args.duration_s <= 0.0 {
+        fail(format!("--duration {}: must be positive", args.duration_s));
+    }
+    if !(0.0..=1.0).contains(&args.hi_frac) {
+        fail(format!("--hi-frac {}: must be in [0, 1]", args.hi_frac));
+    }
+    args
+}
+
+fn build_config(args: &Args) -> (ServeConfig, Vec<Workload>) {
+    let mut array = if args.cloud {
+        SystolicConfig::cloud(args.scheme, args.bitwidth)
+    } else {
+        SystolicConfig::edge(args.scheme, args.bitwidth)
+    };
+    if let Some(c) = args.cycles {
+        array = array
+            .with_mul_cycles(c)
+            .unwrap_or_else(|e| fail(format!("--cycles: {e}")));
+    }
+    // Default: binary keeps SRAM, unary drops it (the paper's conclusion).
+    let no_sram = args.no_sram.unwrap_or(args.scheme.is_unary());
+    let memory = if no_sram {
+        MemoryHierarchy::no_sram()
+    } else if args.cloud {
+        MemoryHierarchy::cloud_with_sram()
+    } else {
+        MemoryHierarchy::edge_with_sram()
+    };
+
+    let workloads = if args.workloads.is_empty() {
+        let gemm = GemmConfig::matmul(64, 64, 64)
+            .unwrap_or_else(|e| fail(format!("default workload: {e}")));
+        vec![Workload::from_gemm("matmul64,64,64", gemm)]
+    } else {
+        args.workloads.clone()
+    };
+
+    let process = match args.closed_loop {
+        Some(clients) => ArrivalProcess::ClosedLoop {
+            clients,
+            think_cycles: (args.think_s * CLOCK_HZ).round() as u64,
+        },
+        None => {
+            let rate = args.arrival_rate.unwrap_or(1000.0);
+            if !rate.is_finite() || rate <= 0.0 {
+                fail(format!("--arrival-rate {rate}: must be positive"));
+            }
+            ArrivalProcess::OpenPoisson {
+                mean_interarrival_cycles: CLOCK_HZ / rate,
+            }
+        }
+    };
+
+    let config = ServeConfig {
+        array,
+        memory,
+        instances: args.instances,
+        queue_capacity: args.queue_depth,
+        max_batch: args.max_batch,
+        workers: args.workers,
+        duration_cycles: (args.duration_s * CLOCK_HZ).ceil() as u64,
+        load: LoadGenConfig {
+            process,
+            seed: args.seed,
+            classes: workloads.len(),
+            high_priority_fraction: args.hi_frac,
+            deadline_cycles: args
+                .deadline_ms
+                .map(|ms| (ms * 1.0e-3 * CLOCK_HZ).round() as u64),
+        },
+    };
+    (config, workloads)
+}
+
+/// Writes the observability artefacts collected during the run.
+fn export_session(args: &Args, session: &usystolic_obs::Session) {
+    if let Some(path) = &args.trace {
+        session
+            .tracer
+            .write_chrome(path)
+            .unwrap_or_else(|e| fail(format!("writing trace to {}: {e}", path.display())));
+        if !args.json {
+            eprintln!(
+                "trace:  {} ({} events, {} dropped)",
+                path.display(),
+                session.tracer.len(),
+                session.tracer.dropped()
+            );
+        }
+    }
+    if let Some(path) = &args.metrics {
+        session
+            .metrics
+            .write_snapshot(path)
+            .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display())));
+        if !args.json {
+            eprintln!("metrics: {}", path.display());
+        }
+    }
+}
+
+fn ms(cycles: u64) -> f64 {
+    ServeReport::cycles_to_ms(cycles)
+}
+
+fn print_stage(name: &str, s: &LatencySummary) {
+    println!(
+        "{name:<12} p50 {:>10.4} ms   p95 {:>10.4} ms   p99 {:>10.4} ms   max {:>10.4} ms",
+        ms(s.p50_cycles),
+        ms(s.p95_cycles),
+        ms(s.p99_cycles),
+        ms(s.max_cycles)
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let (config, workloads) = build_config(&args);
+
+    // The session also feeds the --json "metrics" section, so install it
+    // unconditionally; every recorded value is simulation-derived (no
+    // wall-clock), keeping the output bit-for-bit reproducible.
+    usystolic_obs::install(usystolic_obs::Session::new());
+    let report = match serve(&config, &workloads) {
+        Ok(r) => r,
+        Err(e) => fail(e),
+    };
+    let session = usystolic_obs::take().unwrap_or_default();
+    export_session(&args, &session);
+
+    if args.json {
+        let record = JsonValue::object(vec![
+            ("config", config.array.to_json()),
+            ("memory", config.memory.to_json()),
+            ("seed", args.seed.to_json()),
+            ("report", report.to_json()),
+            ("metrics", session.metrics.to_json()),
+        ]);
+        println!("{}", record.render());
+        return;
+    }
+
+    println!("array:      {}", config.array);
+    println!(
+        "pool:       {} instance(s), {} worker(s), queue {} deep, batch <= {}",
+        report.instances, report.workers, report.queue_capacity, report.max_batch
+    );
+    println!("workloads:  {}", report.workload_names.join(", "));
+    println!(
+        "horizon:    {:.4} ms ({} cycles), makespan {:.4} ms",
+        ms(report.duration_cycles),
+        report.duration_cycles,
+        ms(report.makespan_cycles)
+    );
+    println!();
+    println!(
+        "offered {}   admitted {}   rejected {}   completed {}   deadline missed {}",
+        report.offered, report.admitted, report.rejected, report.completed, report.deadline_missed
+    );
+    println!(
+        "batches {}   mean batch {:.2}   max queue depth {}   utilization {:.1}%",
+        report.batches,
+        report.mean_batch_size(),
+        report.max_queue_depth,
+        100.0 * report.mean_utilization
+    );
+    println!("throughput  {:.1} req/s", report.throughput_per_s);
+    println!();
+    print_stage("latency", &report.latency);
+    print_stage("queue wait", &report.queue_wait);
+    print_stage("service", &report.service);
+}

@@ -1,0 +1,400 @@
+//! The serving engine: a deterministic discrete-event simulation.
+//!
+//! [`serve`] is the one-call entry point. It runs three phases:
+//!
+//! 1. **Profile** (parallel) — every `(workload, layer)` pair is profiled
+//!    into the batched service-time model of
+//!    [`WorkloadProfile`](crate::workload::WorkloadProfile) on the
+//!    work-stealing pool. Profiling is pure, so the phase is
+//!    result-identical for any worker count.
+//! 2. **Event loop** (sequential, deterministic) — arrivals flow through
+//!    the bounded [`AdmissionController`], the EDF/priority
+//!    [`Scheduler`] packs same-class batches onto free instances, and
+//!    completions free instances, record per-request timelines and (in
+//!    closed-loop mode) trigger the next client request. Service times
+//!    come from the profiles, with shared-DRAM contention scaled by the
+//!    number of busy instances at dispatch.
+//! 3. **Reduce** (parallel) — per-request records fold into exact
+//!    latency/wait/service histograms in fixed-size chunks; the merge is
+//!    commutative, so again any worker count produces identical numbers.
+//!
+//! The caller's `usystolic_obs` session (if installed) receives queue
+//! depth gauges, admission/rejection/deadline counters, batch-size and
+//! latency histograms, and one Chrome-trace span per dispatched batch on
+//! the simulated-cycle lane (`tid` = instance).
+
+use crate::admission::{Admission, AdmissionController};
+use crate::event::{EventKind, EventQueue};
+use crate::histogram::CycleHistogram;
+use crate::loadgen::LoadGen;
+use crate::pool::run_indexed;
+use crate::report::{ServeConfig, ServeError, ServeReport};
+use crate::request::{Disposition, Request, RequestRecord};
+use crate::scheduler::Scheduler;
+use crate::workload::{LayerProfile, Workload, WorkloadProfile};
+use usystolic_obs::ToJson;
+use usystolic_sim::CLOCK_HZ;
+
+/// Per-instance bookkeeping during the event loop.
+#[derive(Debug, Clone)]
+struct Instance {
+    /// In-flight batch and its dispatch cycle, if busy.
+    in_flight: Option<(u64, Vec<Request>)>,
+    busy_cycles: u64,
+    batches: u64,
+}
+
+/// Runs the serving simulation to completion.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] when the configuration is degenerate (no
+/// workloads, an empty workload, zero instances/queue/batch/duration) or
+/// when a worker thread fails.
+pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport, ServeError> {
+    if workloads.is_empty() {
+        return Err(ServeError::NoWorkloads);
+    }
+    if let Some(w) = workloads.iter().find(|w| w.layers.is_empty()) {
+        return Err(ServeError::EmptyWorkload(w.name.clone()));
+    }
+    if config.instances == 0 {
+        return Err(ServeError::InvalidConfig("instances must be at least 1"));
+    }
+    if config.queue_capacity == 0 {
+        return Err(ServeError::InvalidConfig(
+            "queue_capacity must be at least 1",
+        ));
+    }
+    if config.max_batch == 0 {
+        return Err(ServeError::InvalidConfig("max_batch must be at least 1"));
+    }
+    if config.duration_cycles == 0 {
+        return Err(ServeError::InvalidConfig(
+            "duration_cycles must be at least 1",
+        ));
+    }
+
+    // ---- Phase 1: profile every (workload, layer) in parallel. --------
+    let profiles = profile_workloads(config, workloads)?;
+
+    // ---- Phase 2: the deterministic event loop. -----------------------
+    let mut load = {
+        let mut lc = config.load;
+        lc.classes = workloads.len();
+        LoadGen::new(lc)
+    };
+    let mut events = EventQueue::new();
+    for r in load.initial_arrivals(config.duration_cycles) {
+        events.push(r.arrival, EventKind::Arrival(r));
+    }
+
+    let mut admission = AdmissionController::new(config.queue_capacity);
+    let scheduler = Scheduler::new(config.max_batch);
+    let mut instances: Vec<Instance> = vec![
+        Instance {
+            in_flight: None,
+            busy_cycles: 0,
+            batches: 0,
+        };
+        config.instances
+    ];
+    let mut busy = 0usize;
+    let mut records: Vec<RequestRecord> = Vec::new();
+    let mut offered = 0u64;
+    let mut makespan = 0u64;
+
+    while let Some(event) = events.pop() {
+        let now = event.at;
+        makespan = makespan.max(now);
+        match event.kind {
+            EventKind::Arrival(request) => {
+                offered += 1;
+                match admission.offer(request) {
+                    Admission::Admitted => {
+                        usystolic_obs::gauge("serve.queue_depth", admission.depth() as f64);
+                    }
+                    Admission::Rejected => {
+                        records.push(RequestRecord {
+                            request,
+                            disposition: Disposition::Rejected,
+                            dispatch: 0,
+                            completion: 0,
+                            instance: 0,
+                            batch_size: 0,
+                        });
+                        usystolic_obs::count("serve.rejected", 1);
+                        usystolic_obs::with(|o| {
+                            o.tracer.instant(
+                                "rejected",
+                                "serve",
+                                usystolic_obs::PID_SIM,
+                                0,
+                                now as f64,
+                                Vec::new(),
+                            );
+                        });
+                    }
+                }
+            }
+            EventKind::Completion { instance } => {
+                let slot = &mut instances[instance - 1];
+                if let Some((dispatch, batch)) = slot.in_flight.take() {
+                    busy -= 1;
+                    slot.busy_cycles += now - dispatch;
+                    let size = batch.len();
+                    for request in batch {
+                        records.push(RequestRecord {
+                            request,
+                            disposition: Disposition::Completed,
+                            dispatch,
+                            completion: now,
+                            instance,
+                            batch_size: size,
+                        });
+                        usystolic_obs::with(|o| {
+                            o.metrics.count("serve.completed", 1);
+                            o.metrics
+                                .observe("serve.latency_ms", cycles_ms(now - request.arrival));
+                            o.metrics.observe(
+                                "serve.queue_wait_ms",
+                                cycles_ms(dispatch - request.arrival),
+                            );
+                        });
+                        if let Some(client) = request.client {
+                            if let Some(next) =
+                                load.after_completion(client, now, config.duration_cycles)
+                            {
+                                events.push(next.arrival, EventKind::Arrival(next));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dispatch_free_instances(
+            now,
+            &scheduler,
+            &mut admission,
+            &profiles,
+            &mut instances,
+            &mut busy,
+            &mut events,
+        );
+    }
+
+    // ---- Phase 3: fold records into stage statistics in parallel. -----
+    let stats = reduce_records(config.workers, &records, workloads.len())?;
+
+    let makespan = makespan.max(config.duration_cycles);
+    let busy_cycles: Vec<u64> = instances.iter().map(|i| i.busy_cycles).collect();
+    let batches: u64 = instances.iter().map(|i| i.batches).sum();
+    let elapsed_s = makespan as f64 / CLOCK_HZ;
+    let total_busy: u64 = busy_cycles.iter().sum();
+
+    let report = ServeReport {
+        instances: config.instances,
+        workers: config.workers.max(1),
+        queue_capacity: config.queue_capacity,
+        max_batch: config.max_batch,
+        duration_cycles: config.duration_cycles,
+        makespan_cycles: makespan,
+        offered,
+        admitted: admission.admitted(),
+        rejected: admission.rejected(),
+        completed: stats.completed,
+        deadline_missed: stats.deadline_missed,
+        batches,
+        max_queue_depth: admission.max_depth(),
+        latency: stats.latency.summary(),
+        queue_wait: stats.queue_wait.summary(),
+        service: stats.service.summary(),
+        instance_busy_cycles: busy_cycles,
+        throughput_per_s: stats.completed as f64 / elapsed_s,
+        mean_utilization: total_busy as f64 / (config.instances as f64 * makespan as f64),
+        workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+        per_class_completed: stats.per_class_completed,
+        records,
+    };
+
+    usystolic_obs::with(|o| {
+        o.metrics.count("serve.offered", report.offered);
+        o.metrics.count("serve.admitted", report.admitted);
+        o.metrics.count("serve.batches", report.batches);
+        o.metrics
+            .count("serve.deadline_missed", report.deadline_missed);
+        o.metrics
+            .gauge("serve.max_queue_depth", report.max_queue_depth as f64);
+        o.metrics
+            .gauge("serve.mean_utilization", report.mean_utilization);
+        o.metrics
+            .gauge("serve.throughput_per_s", report.throughput_per_s);
+    });
+    Ok(report)
+}
+
+fn cycles_ms(cycles: u64) -> f64 {
+    cycles as f64 / CLOCK_HZ * 1.0e3
+}
+
+/// Phase 1: per-layer profiles on the pool, folded per workload.
+fn profile_workloads(
+    config: &ServeConfig,
+    workloads: &[Workload],
+) -> Result<Vec<WorkloadProfile>, ServeError> {
+    let tasks: Vec<(usize, usize)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(w, wl)| (0..wl.layers.len()).map(move |l| (w, l)))
+        .collect();
+    let layer_profiles = run_indexed(config.workers.max(1), tasks.len(), |i| {
+        let (w, l) = tasks[i];
+        LayerProfile::compute(&workloads[w].layers[l], &config.array, &config.memory)
+    })
+    .map_err(ServeError::Pool)?;
+    Ok(workloads
+        .iter()
+        .enumerate()
+        .map(|(w, wl)| {
+            let layers: Vec<LayerProfile> = tasks
+                .iter()
+                .zip(&layer_profiles)
+                .filter(|((tw, _), _)| *tw == w)
+                .map(|(_, &p)| p)
+                .collect();
+            WorkloadProfile::from_layers(&wl.name, &layers, &config.memory)
+        })
+        .collect())
+}
+
+/// Greedy dispatch: fill every free instance while the queue has work.
+fn dispatch_free_instances(
+    now: u64,
+    scheduler: &Scheduler,
+    admission: &mut AdmissionController,
+    profiles: &[WorkloadProfile],
+    instances: &mut [Instance],
+    busy: &mut usize,
+    events: &mut EventQueue,
+) {
+    while *busy < instances.len() && admission.depth() > 0 {
+        let Some(batch) = scheduler.next_batch(admission) else {
+            return;
+        };
+        let Some(free_idx) = instances.iter().position(|i| i.in_flight.is_none()) else {
+            return;
+        };
+        let class = batch[0].class;
+        let concurrency = *busy + 1;
+        let service = profiles[class].service_cycles(batch.len(), concurrency);
+        let completion = now + service;
+        usystolic_obs::with(|o| {
+            o.metrics.count("serve.dispatched", batch.len() as u64);
+            o.metrics.observe("serve.batch_size", batch.len() as f64);
+            o.metrics
+                .gauge("serve.queue_depth", admission.depth() as f64);
+            o.tracer.complete(
+                format!("batch {}", profiles[class].name),
+                "serve",
+                usystolic_obs::PID_SIM,
+                free_idx as u32 + 1,
+                now as f64,
+                service as f64,
+                vec![
+                    ("class".to_owned(), profiles[class].name.to_json()),
+                    ("batch".to_owned(), (batch.len() as u64).to_json()),
+                    ("concurrency".to_owned(), (concurrency as u64).to_json()),
+                    (
+                        "dram_limited".to_owned(),
+                        profiles[class]
+                            .dram_limited(batch.len(), concurrency)
+                            .to_json(),
+                    ),
+                ],
+            );
+        });
+        let slot = &mut instances[free_idx];
+        slot.in_flight = Some((now, batch));
+        slot.batches += 1;
+        *busy += 1;
+        events.push(
+            completion,
+            EventKind::Completion {
+                instance: free_idx + 1,
+            },
+        );
+    }
+}
+
+/// Per-chunk partial statistics (commutative merge).
+struct StageStats {
+    latency: CycleHistogram,
+    queue_wait: CycleHistogram,
+    service: CycleHistogram,
+    completed: u64,
+    deadline_missed: u64,
+    per_class_completed: Vec<u64>,
+}
+
+/// Phase 3: fold records into histograms across the pool.
+fn reduce_records(
+    workers: usize,
+    records: &[RequestRecord],
+    classes: usize,
+) -> Result<StageStats, ServeError> {
+    const CHUNK: usize = 2048;
+    let chunks = records.len().div_ceil(CHUNK);
+    let partials = run_indexed(workers.max(1), chunks, |c| {
+        let slice = &records[c * CHUNK..((c + 1) * CHUNK).min(records.len())];
+        let mut s = StageStats {
+            latency: CycleHistogram::new(),
+            queue_wait: CycleHistogram::new(),
+            service: CycleHistogram::new(),
+            completed: 0,
+            deadline_missed: 0,
+            per_class_completed: vec![0; classes],
+        };
+        for r in slice {
+            if r.deadline_missed() {
+                s.deadline_missed += 1;
+            }
+            if let (Some(lat), Some(wait), Some(svc)) = (
+                r.latency_cycles(),
+                r.queue_wait_cycles(),
+                r.service_cycles(),
+            ) {
+                s.latency.observe(lat);
+                s.queue_wait.observe(wait);
+                s.service.observe(svc);
+                s.completed += 1;
+                s.per_class_completed[r.request.class] += 1;
+            }
+        }
+        s
+    })
+    .map_err(ServeError::Pool)?;
+
+    let mut total = StageStats {
+        latency: CycleHistogram::new(),
+        queue_wait: CycleHistogram::new(),
+        service: CycleHistogram::new(),
+        completed: 0,
+        deadline_missed: 0,
+        per_class_completed: vec![0; classes],
+    };
+    for p in partials {
+        total.latency.merge(&p.latency);
+        total.queue_wait.merge(&p.queue_wait);
+        total.service.merge(&p.service);
+        total.completed += p.completed;
+        total.deadline_missed += p.deadline_missed;
+        for (t, c) in total
+            .per_class_completed
+            .iter_mut()
+            .zip(&p.per_class_completed)
+        {
+            *t += c;
+        }
+    }
+    Ok(total)
+}

@@ -1,0 +1,162 @@
+//! The discrete-event core: a deterministic future-event list.
+//!
+//! Simulated time is an integer cycle counter (the same 400 MHz array
+//! cycles as [`usystolic_sim::CLOCK_HZ`]). Events are totally ordered by
+//! `(cycle, kind, seq)` where `seq` is a monotonically assigned insertion
+//! number: completions sort before arrivals at the same cycle (a freed
+//! instance can serve a same-cycle arrival), and the insertion number
+//! breaks every remaining tie, so the pop order — and therefore the whole
+//! simulation — is a pure function of the inputs.
+
+use crate::request::Request;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A batch on the given instance (1-based) finishes.
+    Completion {
+        /// Instance index, 1-based.
+        instance: usize,
+    },
+    /// A request reaches the admission controller.
+    Arrival(Request),
+}
+
+impl EventKind {
+    /// Completion (0) sorts before arrival (1) at the same cycle.
+    fn order(&self) -> u8 {
+        match self {
+            EventKind::Completion { .. } => 0,
+            EventKind::Arrival(_) => 1,
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Cycle at which the event fires.
+    pub at: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+/// Heap entry ordered as a max-heap on the *reversed* deterministic key,
+/// so `BinaryHeap::pop` yields the earliest event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: u64,
+    order: u8,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.order, other.seq).cmp(&(self.at, self.order, self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of future events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at cycle `at`.
+    pub fn push(&mut self, at: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            order: kind.order(),
+            seq,
+            event: Event { at, kind },
+        });
+    }
+
+    /// Pops the next event in deterministic order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|e| e.event)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+
+    fn arrival(id: u64, at: u64) -> EventKind {
+        EventKind::Arrival(Request {
+            id,
+            class: 0,
+            arrival: at,
+            priority: Priority::Normal,
+            deadline: None,
+            client: None,
+        })
+    }
+
+    #[test]
+    fn pops_in_cycle_order() {
+        let mut q = EventQueue::new();
+        q.push(30, arrival(1, 30));
+        q.push(10, arrival(2, 10));
+        q.push(20, arrival(3, 20));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at).collect();
+        assert_eq!(order, [10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn completion_beats_arrival_at_the_same_cycle() {
+        let mut q = EventQueue::new();
+        q.push(10, arrival(1, 10));
+        q.push(10, EventKind::Completion { instance: 1 });
+        let first = q.pop().expect("two events");
+        assert!(matches!(first.kind, EventKind::Completion { .. }));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(5, arrival(7, 5));
+        q.push(5, arrival(9, 5));
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(r) => r.id,
+                EventKind::Completion { .. } => 0,
+            })
+            .collect();
+        assert_eq!(ids, [7, 9]);
+    }
+}

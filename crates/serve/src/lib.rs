@@ -1,0 +1,81 @@
+//! # usystolic-serve — batched request serving on simulated array pools
+//!
+//! A discrete-event serving simulator for pools of uSystolic array
+//! instances. Inference requests — a zoo network or a raw GEMM, an
+//! arrival cycle, a priority and an optional deadline — flow through
+//! three stages:
+//!
+//! * [`admission`] — a bounded queue with explicit rejection: overload
+//!   produces back-pressure the report can see, never unbounded memory;
+//! * [`scheduler`] — priority-tiered earliest-deadline-first dispatch
+//!   that packs same-class batches onto free instances, amortising each
+//!   class's weight preload across the batch;
+//! * completion — per-request stage timelines folded into exact
+//!   streaming histograms ([`histogram`]) for p50/p95/p99.
+//!
+//! Service times come from the workspace's own timing model
+//! ([`workload`] wraps `ideal_cycles` / `layer_traffic`), including the
+//! §V-H shared-DRAM contention of `MultiInstanceSystem` as concurrency
+//! rises. Load is generated deterministically ([`loadgen`]): open-loop
+//! Poisson-like, open-loop uniform, or closed-loop with think time, all
+//! seeded through the workspace's shared SplitMix64.
+//!
+//! The engine ([`engine::serve`]) is **bit-for-bit deterministic for any
+//! worker count**: the host-side work-stealing pool ([`pool`]) only runs
+//! pure phases (profiling before the event loop, statistics folding after
+//! it); every admission, scheduling and timing decision happens in one
+//! sequential event loop. `--workers` changes wall-clock time, never one
+//! number in the report.
+//!
+//! ```
+//! use usystolic_core::{ComputingScheme, SystolicConfig};
+//! use usystolic_gemm::GemmConfig;
+//! use usystolic_serve::loadgen::{ArrivalProcess, LoadGenConfig};
+//! use usystolic_serve::{serve, ServeConfig, Workload};
+//! use usystolic_sim::MemoryHierarchy;
+//!
+//! let config = ServeConfig {
+//!     array: SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+//!     memory: MemoryHierarchy::edge_with_sram(),
+//!     instances: 2,
+//!     queue_capacity: 16,
+//!     max_batch: 4,
+//!     workers: 2,
+//!     duration_cycles: 200_000,
+//!     load: LoadGenConfig {
+//!         process: ArrivalProcess::OpenPoisson { mean_interarrival_cycles: 4000.0 },
+//!         seed: 7,
+//!         classes: 1, // overridden with the workload count
+//!         high_priority_fraction: 0.1,
+//!         deadline_cycles: Some(100_000),
+//!     },
+//! };
+//! let gemm = GemmConfig::matmul(64, 64, 64).expect("valid");
+//! let report = serve(&config, &[Workload::from_gemm("m64", gemm)]).expect("valid config");
+//! assert_eq!(report.offered, report.admitted + report.rejected);
+//! # let _ = report.latency.p99_cycles;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod engine;
+pub mod event;
+pub mod histogram;
+pub mod loadgen;
+pub mod pool;
+pub mod report;
+pub mod request;
+pub mod scheduler;
+pub mod workload;
+
+pub use admission::{Admission, AdmissionController};
+pub use engine::serve;
+pub use histogram::{CycleHistogram, LatencySummary};
+pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
+pub use pool::{run_indexed, PoolError};
+pub use report::{ServeConfig, ServeError, ServeReport};
+pub use request::{Disposition, Priority, Request, RequestRecord};
+pub use scheduler::Scheduler;
+pub use workload::{LayerProfile, Workload, WorkloadProfile};

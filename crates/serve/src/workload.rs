@@ -1,0 +1,235 @@
+//! Workload classes and their pre-computed timing profiles.
+//!
+//! A [`Workload`] is what one request asks for: a named sequence of GEMM
+//! layers (a network from `usystolic_models::zoo` or a single raw
+//! [`GemmConfig`]). Before the event loop runs, every layer of every
+//! workload is folded into a [`WorkloadProfile`] — the four numbers the
+//! batched service-time model needs:
+//!
+//! * `compute_first_cycles` — stall-free pipeline cycles of one request
+//!   (weight preloads, `M` input vectors per fold, systolic skew);
+//! * `compute_marginal_cycles` — the *streaming-only* cycles an extra
+//!   request adds when batched behind resident weights (`M · mac` per
+//!   fold: batching re-streams inputs but re-uses every weight preload);
+//! * `dram_fixed_bytes` — weight DRAM traffic, paid once per batch;
+//! * `dram_per_request_bytes` — IFM + OFM DRAM traffic, paid per request.
+//!
+//! The service time of a batch of `b` requests dispatched while `n`
+//! instances are busy follows the §V-H shared-DRAM model of
+//! [`MultiInstanceSystem`]: compute is `first + (b−1)·marginal`, the
+//! shared DRAM serves `n×` the batch's bytes in the same window, and the
+//! batch takes the maximum of the two (perfectly overlapped double
+//! buffering). Profile computation is pure per `(workload, layer)` pair,
+//! which is exactly the unit the worker pool parallelises.
+//!
+//! [`MultiInstanceSystem`]: usystolic_sim::MultiInstanceSystem
+
+use usystolic_core::{SystolicConfig, TileMapping};
+use usystolic_gemm::GemmConfig;
+use usystolic_models::zoo::Network;
+use usystolic_sim::{ideal_cycles, layer_traffic, MemoryHierarchy};
+
+/// One workload class: the layers a single request executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Class name (shown in reports and trace spans).
+    pub name: String,
+    /// GEMM layers in execution order.
+    pub layers: Vec<GemmConfig>,
+}
+
+impl Workload {
+    /// A single-layer workload from a raw GEMM configuration.
+    #[must_use]
+    pub fn from_gemm(name: &str, gemm: GemmConfig) -> Self {
+        Self {
+            name: name.to_owned(),
+            layers: vec![gemm],
+        }
+    }
+
+    /// A workload from a zoo network (keeps the network's name).
+    #[must_use]
+    pub fn from_network(network: &Network) -> Self {
+        Self {
+            name: network.name.clone(),
+            layers: network.gemms(),
+        }
+    }
+}
+
+/// The per-layer slice of a profile (the worker pool's task unit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerProfile {
+    /// Stall-free cycles of the layer for one request.
+    pub compute_first_cycles: u64,
+    /// Extra streaming cycles per additional batched request.
+    pub compute_marginal_cycles: u64,
+    /// Weight DRAM bytes (batch-amortised).
+    pub dram_fixed_bytes: u64,
+    /// IFM + OFM DRAM bytes (per request).
+    pub dram_per_request_bytes: u64,
+}
+
+impl LayerProfile {
+    /// Profiles one layer under the given array and memory hierarchy.
+    #[must_use]
+    pub fn compute(gemm: &GemmConfig, config: &SystolicConfig, memory: &MemoryHierarchy) -> Self {
+        let map = TileMapping::new(gemm, config.rows(), config.cols());
+        let folds = (map.row_folds() * map.col_folds()) as u64;
+        let traffic = layer_traffic(gemm, config, memory);
+        Self {
+            compute_first_cycles: ideal_cycles(gemm, config),
+            compute_marginal_cycles: folds * map.m() as u64 * config.mac_cycles(),
+            dram_fixed_bytes: traffic.dram.weight,
+            dram_per_request_bytes: traffic.dram.ifm + traffic.dram.ofm,
+        }
+    }
+
+    /// Element-wise sum (folding layers into a workload profile).
+    #[must_use]
+    pub fn accumulate(self, other: Self) -> Self {
+        Self {
+            compute_first_cycles: self.compute_first_cycles + other.compute_first_cycles,
+            compute_marginal_cycles: self.compute_marginal_cycles + other.compute_marginal_cycles,
+            dram_fixed_bytes: self.dram_fixed_bytes + other.dram_fixed_bytes,
+            dram_per_request_bytes: self.dram_per_request_bytes + other.dram_per_request_bytes,
+        }
+    }
+}
+
+/// The pre-computed timing profile of one workload class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Class name.
+    pub name: String,
+    /// Number of GEMM layers.
+    pub layer_count: usize,
+    /// Sum of the per-layer profiles.
+    pub totals: LayerProfile,
+    /// Sustained DRAM bandwidth in bytes per cycle of the shared DRAM.
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl WorkloadProfile {
+    /// Assembles a profile from its per-layer slices.
+    #[must_use]
+    pub fn from_layers(name: &str, layers: &[LayerProfile], memory: &MemoryHierarchy) -> Self {
+        Self {
+            name: name.to_owned(),
+            layer_count: layers.len(),
+            totals: layers
+                .iter()
+                .fold(LayerProfile::default(), |a, &l| a.accumulate(l)),
+            dram_bytes_per_cycle: memory.dram.sustained_bytes_per_cycle(),
+        }
+    }
+
+    /// Service cycles of a batch of `batch` requests of this class,
+    /// dispatched while `concurrency` instances (including this one) are
+    /// busy and contending for the shared DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `concurrency` is zero.
+    #[must_use]
+    pub fn service_cycles(&self, batch: usize, concurrency: usize) -> u64 {
+        assert!(batch > 0, "a batch carries at least one request");
+        assert!(concurrency > 0, "the dispatching instance is busy");
+        let t = &self.totals;
+        let compute = t.compute_first_cycles + (batch as u64 - 1) * t.compute_marginal_cycles;
+        let bytes = t.dram_fixed_bytes + batch as u64 * t.dram_per_request_bytes;
+        // Shared DRAM: n busy instances demand ~n× the bytes in the same
+        // window, so this batch sees 1/n of the sustained bandwidth.
+        let dram = (concurrency as f64 * bytes as f64 / self.dram_bytes_per_cycle).ceil() as u64;
+        compute.max(dram)
+    }
+
+    /// Whether a batch of `batch` at `concurrency` is DRAM-limited.
+    #[must_use]
+    pub fn dram_limited(&self, batch: usize, concurrency: usize) -> bool {
+        let t = &self.totals;
+        let compute = t.compute_first_cycles + (batch as u64 - 1) * t.compute_marginal_cycles;
+        self.service_cycles(batch, concurrency) > compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usystolic_core::ComputingScheme;
+
+    fn profile(scheme: ComputingScheme, mul_cycles: Option<u64>) -> WorkloadProfile {
+        let mut config = SystolicConfig::edge(scheme, 8);
+        if let Some(c) = mul_cycles {
+            config = config.with_mul_cycles(c).expect("valid");
+        }
+        let memory = MemoryHierarchy::no_sram();
+        let gemm = GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).expect("valid layer");
+        let layers = vec![LayerProfile::compute(&gemm, &config, &memory)];
+        WorkloadProfile::from_layers("conv2", &layers, &memory)
+    }
+
+    #[test]
+    fn single_request_matches_layer_timing_when_compute_bound() {
+        // A crawling unary batch of one at concurrency one is exactly the
+        // layer_timing runtime (compute-bound, stall-free).
+        let config = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+            .with_mul_cycles(128)
+            .expect("valid");
+        let memory = MemoryHierarchy::no_sram();
+        let gemm = GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).expect("valid layer");
+        let p = profile(ComputingScheme::UnaryRate, Some(128));
+        let t = usystolic_sim::layer_timing(&gemm, &config, &memory);
+        assert_eq!(p.service_cycles(1, 1), t.runtime_cycles);
+        assert!(!p.dram_limited(1, 1));
+    }
+
+    #[test]
+    fn batching_amortises_the_first_request() {
+        let p = profile(ComputingScheme::UnaryRate, Some(128));
+        let one = p.service_cycles(1, 1);
+        let four = p.service_cycles(4, 1);
+        // Four batched requests cost less than four sequential ones...
+        assert!(four < 4 * one, "{four} vs 4x{one}");
+        // ...but more than one (marginal cycles are non-zero).
+        assert!(four > one);
+        // Marginal cost is linear in the batch tail.
+        let two = p.service_cycles(2, 1);
+        assert_eq!(four - two, 2 * (two - one));
+    }
+
+    #[test]
+    fn concurrency_inflates_dram_limited_batches_only() {
+        // Binary parallel without SRAM is DRAM-bound: more concurrency
+        // stretches the service time. Crawling unary has headroom.
+        let bp = profile(ComputingScheme::BinaryParallel, None);
+        assert!(bp.dram_limited(1, 2));
+        assert!(bp.service_cycles(1, 8) > bp.service_cycles(1, 1));
+
+        let ur = profile(ComputingScheme::UnaryRate, Some(128));
+        assert_eq!(ur.service_cycles(1, 4), ur.service_cycles(1, 1));
+    }
+
+    #[test]
+    fn multi_layer_profiles_sum() {
+        let config = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+        let memory = MemoryHierarchy::no_sram();
+        let net = usystolic_models::zoo::mnist_cnn4();
+        let layers: Vec<LayerProfile> = net
+            .gemms()
+            .iter()
+            .map(|g| LayerProfile::compute(g, &config, &memory))
+            .collect();
+        let p = WorkloadProfile::from_layers(&net.name, &layers, &memory);
+        assert_eq!(p.layer_count, 4);
+        let sum: u64 = net.gemms().iter().map(|g| ideal_cycles(g, &config)).sum();
+        assert_eq!(p.totals.compute_first_cycles, sum);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_batch_rejected() {
+        let _ = profile(ComputingScheme::UnaryRate, Some(128)).service_cycles(0, 1);
+    }
+}

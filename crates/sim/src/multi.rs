@@ -29,6 +29,17 @@ pub struct ScalingReport {
     pub dram_limited: bool,
 }
 
+impl usystolic_obs::ToJson for ScalingReport {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("instances", self.instances.to_json()),
+            ("aggregate_throughput", self.aggregate_throughput.to_json()),
+            ("scaling_efficiency", self.scaling_efficiency.to_json()),
+            ("dram_limited", self.dram_limited.to_json()),
+        ])
+    }
+}
+
 /// A system of identical array instances sharing one DRAM.
 ///
 /// # Example

@@ -22,6 +22,10 @@
 //! * [`analyze`] — static invariant checker: validates raw (possibly
 //!   illegal) configurations against the paper's invariants without
 //!   simulation, reporting stable `USYxxx` diagnostics.
+//! * [`serve`] — batched request serving on simulated instance pools:
+//!   bounded admission, deadline/priority-aware batching dispatch,
+//!   deterministic load generation and exact p50/p95/p99 latency
+//!   histograms.
 //!
 //! # Quickstart
 //!
@@ -41,5 +45,6 @@ pub use usystolic_gemm as gemm;
 pub use usystolic_hw as hw;
 pub use usystolic_models as models;
 pub use usystolic_obs as obs;
+pub use usystolic_serve as serve;
 pub use usystolic_sim as sim;
 pub use usystolic_unary as unary;
