@@ -1,0 +1,64 @@
+//! Benchmarks the word-packed MAC kernel against the bit-serial
+//! reference and writes `BENCH_kernel.json`.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_kernel --
+//! [--short] [--out PATH] [--workers 1,2,4,8]`
+//!
+//! `--short` shrinks the timed case and the sweeps for CI smoke runs.
+
+use std::process::ExitCode;
+
+use usystolic_bench::kernel;
+use usystolic_obs::ToJson;
+
+fn main() -> ExitCode {
+    let mut short = false;
+    let mut out = String::from("BENCH_kernel.json");
+    let mut workers: Vec<usize> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match args.next().map(|s| {
+                s.split(',')
+                    .map(|w| w.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+            }) {
+                Some(Ok(list)) if !list.is_empty() && list.iter().all(|&w| w > 0) => {
+                    workers = list;
+                }
+                _ => {
+                    eprintln!("--workers requires a comma-separated list of positive integers");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: exp_kernel [--short] [--out PATH] [--workers 1,2,4,8]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = kernel::run(short, &workers);
+    usystolic_bench::table::emit(&report.table());
+    let json = report.to_json().render();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if report.checksums_match && report.bit_exact && report.workers_consistent {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("kernel bench found a mismatch; see {out}");
+        ExitCode::FAILURE
+    }
+}

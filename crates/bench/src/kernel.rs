@@ -1,0 +1,275 @@
+//! Kernel micro-benchmark: bit-serial vs word-packed MAC-window
+//! evaluation on the cycle-accurate machine, with bit-exactness and
+//! worker-determinism checks (`BENCH_kernel.json`).
+//!
+//! The headline case is the paper's 8-bit rate-coded configuration on one
+//! fully-occupied 16×16 weight tile; the report also sweeps the
+//! EBT × scheme space asserting the packed kernel reproduces the
+//! bit-serial reference exactly, and re-runs the packed sweep across
+//! worker counts asserting the output checksum never moves.
+
+use std::time::Instant;
+
+use crate::table::Table;
+use usystolic_core::{
+    cycle_accurate_gemm_with, ComputingScheme, CycleStats, KernelMode, SystolicConfig,
+};
+use usystolic_gemm::{GemmConfig, Matrix};
+use usystolic_obs::{JsonValue, ToJson};
+use usystolic_unary::rng::SplitMix64;
+
+/// Result of one kernel benchmark run.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Tile rows/cols of the headline case (square).
+    pub tile: usize,
+    /// Data bitwidth of the headline case.
+    pub bitwidth: u32,
+    /// Input vectors pushed through the tile.
+    pub vectors: usize,
+    /// Timing iterations (best-of).
+    pub iters: usize,
+    /// Bit-serial wall time, microseconds (best of `iters`).
+    pub serial_us: f64,
+    /// Word-packed wall time, microseconds (best of `iters`).
+    pub packed_us: f64,
+    /// `serial_us / packed_us`.
+    pub speedup: f64,
+    /// Output checksum of the bit-serial run.
+    pub checksum_serial: u64,
+    /// Output checksum of the packed run.
+    pub checksum_packed: u64,
+    /// Whether the two checksums (and cycle statistics) agree.
+    pub checksums_match: bool,
+    /// Whether the packed kernel matched the bit-serial reference exactly
+    /// over the full EBT × scheme sweep.
+    pub bit_exact: bool,
+    /// Worker counts exercised by the determinism check.
+    pub workers: Vec<usize>,
+    /// Whether every worker count produced the packed checksum.
+    pub workers_consistent: bool,
+}
+
+/// Order-sensitive FNV-style checksum over an output matrix and its cycle
+/// statistics, so "same checksum" means "same result, bit for bit".
+#[must_use]
+pub fn checksum(out: &Matrix<i64>, stats: &CycleStats) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &v in out.as_slice() {
+        mix(v as u64);
+    }
+    mix(stats.cycles);
+    mix(stats.busy_pe_cycles);
+    mix(stats.tiles);
+    mix(stats.saturation_events);
+    h
+}
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<i64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut m = Matrix::<i64>::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.range_i64(-127, 127);
+    }
+    m
+}
+
+fn headline_case(tile: usize, vectors: usize) -> (GemmConfig, Matrix<i64>, Matrix<i64>) {
+    let gemm = GemmConfig::matmul(vectors, tile, tile).expect("valid benchmark shape");
+    let input = deterministic_matrix(vectors, tile, 0x5eed_0001);
+    let weights = deterministic_matrix(tile, tile, 0x5eed_0002);
+    (gemm, input, weights)
+}
+
+fn time_best(iters: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut last = 0u64;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        last = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    (best, last)
+}
+
+/// Runs the kernel benchmark. `short` shrinks the vector count and the
+/// timing iterations for CI smoke runs; `workers` is the determinism
+/// sweep (deduplicated order kept).
+#[must_use]
+pub fn run(short: bool, workers: &[usize]) -> KernelBench {
+    let tile = 16usize;
+    let bitwidth = 8u32;
+    let (vectors, iters) = if short { (4, 1) } else { (16, 3) };
+    let cfg = SystolicConfig::new(tile, tile, ComputingScheme::UnaryRate, bitwidth)
+        .expect("valid benchmark configuration")
+        .with_acc_width(32);
+    let (gemm, input, weights) = headline_case(tile, vectors);
+
+    let (serial_us, checksum_serial) = time_best(iters, || {
+        let (out, stats) =
+            cycle_accurate_gemm_with(&cfg, &gemm, &input, &weights, KernelMode::Serial, 1)
+                .expect("serial run");
+        checksum(&out, &stats)
+    });
+    let (packed_us, checksum_packed) = time_best(iters, || {
+        let (out, stats) =
+            cycle_accurate_gemm_with(&cfg, &gemm, &input, &weights, KernelMode::Packed, 1)
+                .expect("packed run");
+        checksum(&out, &stats)
+    });
+
+    // EBT × scheme bit-exactness sweep (small case keeps smoke runs fast).
+    let (sweep_gemm, sweep_in, sweep_w) = headline_case(8, 3);
+    let mut bit_exact = true;
+    for (scheme, ebts) in [
+        (ComputingScheme::UnaryRate, &[8u32, 7, 6, 5, 4][..]),
+        (ComputingScheme::UnaryTemporal, &[8u32][..]),
+    ] {
+        for &ebt in ebts {
+            let sweep_cfg = SystolicConfig::new(8, 8, scheme, bitwidth)
+                .expect("valid sweep configuration")
+                .with_effective_bitwidth(ebt)
+                .expect("valid EBT")
+                .with_acc_width(32);
+            let (so, ss) = cycle_accurate_gemm_with(
+                &sweep_cfg,
+                &sweep_gemm,
+                &sweep_in,
+                &sweep_w,
+                KernelMode::Serial,
+                1,
+            )
+            .expect("serial sweep run");
+            let (po, ps) = cycle_accurate_gemm_with(
+                &sweep_cfg,
+                &sweep_gemm,
+                &sweep_in,
+                &sweep_w,
+                KernelMode::Packed,
+                1,
+            )
+            .expect("packed sweep run");
+            bit_exact &= checksum(&so, &ss) == checksum(&po, &ps);
+        }
+    }
+
+    // Worker determinism: the packed checksum must never move.
+    let workers: Vec<usize> = if workers.is_empty() {
+        vec![1, 2, 4, 8]
+    } else {
+        workers.to_vec()
+    };
+    let workers_consistent = workers.iter().all(|&w| {
+        let (out, stats) =
+            cycle_accurate_gemm_with(&cfg, &gemm, &input, &weights, KernelMode::Packed, w)
+                .expect("worker run");
+        checksum(&out, &stats) == checksum_packed
+    });
+
+    KernelBench {
+        tile,
+        bitwidth,
+        vectors,
+        iters,
+        serial_us,
+        packed_us,
+        speedup: serial_us / packed_us.max(1e-9),
+        checksum_serial,
+        checksum_packed,
+        checksums_match: checksum_serial == checksum_packed,
+        bit_exact,
+        workers,
+        workers_consistent,
+    }
+}
+
+impl KernelBench {
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Kernel bench: {}-bit rate-coded {}x{} tile, {} vectors",
+                self.bitwidth, self.tile, self.tile, self.vectors
+            ),
+            &["metric", "value"],
+        );
+        t.push_row(vec!["serial us".into(), format!("{:.1}", self.serial_us)]);
+        t.push_row(vec!["packed us".into(), format!("{:.1}", self.packed_us)]);
+        t.push_row(vec!["speedup".into(), format!("{:.1}x", self.speedup)]);
+        t.push_row(vec![
+            "checksums match".into(),
+            self.checksums_match.to_string(),
+        ]);
+        t.push_row(vec![
+            "bit exact (EBT sweep)".into(),
+            self.bit_exact.to_string(),
+        ]);
+        t.push_row(vec![
+            "workers consistent".into(),
+            format!("{} ({:?})", self.workers_consistent, self.workers),
+        ]);
+        t
+    }
+}
+
+impl ToJson for KernelBench {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("tile", (self.tile as u64).to_json()),
+            ("bitwidth", u64::from(self.bitwidth).to_json()),
+            ("vectors", (self.vectors as u64).to_json()),
+            ("iters", (self.iters as u64).to_json()),
+            ("serial_us", self.serial_us.to_json()),
+            ("packed_us", self.packed_us.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("checksum_serial", self.checksum_serial.to_json()),
+            ("checksum_packed", self.checksum_packed.to_json()),
+            ("checksums_match", JsonValue::Bool(self.checksums_match)),
+            ("bit_exact", JsonValue::Bool(self.bit_exact)),
+            (
+                "workers",
+                JsonValue::Array(self.workers.iter().map(|&w| (w as u64).to_json()).collect()),
+            ),
+            (
+                "workers_consistent",
+                JsonValue::Bool(self.workers_consistent),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_bench_is_exact_and_deterministic() {
+        let report = run(true, &[1, 2, 3]);
+        assert!(report.checksums_match, "serial vs packed checksums differ");
+        assert!(report.bit_exact, "EBT sweep found a mismatch");
+        assert!(report.workers_consistent, "worker count changed results");
+        assert!(report.serial_us > 0.0 && report.packed_us > 0.0);
+        let json = report.to_json().render();
+        assert!(json.contains("\"checksums_match\":true"), "{json}");
+        assert!(json.contains("\"bit_exact\":true"), "{json}");
+        assert!(json.contains("\"workers_consistent\":true"), "{json}");
+        assert!(report.table().rows().len() >= 6);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = deterministic_matrix(2, 2, 1);
+        let mut b = a.clone();
+        let s = CycleStats::default();
+        assert_eq!(checksum(&a, &s), checksum(&b, &s));
+        let (x, y) = (b[(0, 0)], b[(0, 1)]);
+        b[(0, 0)] = y;
+        b[(0, 1)] = x;
+        assert_ne!(checksum(&a, &s), checksum(&b, &s));
+    }
+}

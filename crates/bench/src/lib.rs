@@ -16,6 +16,7 @@
 //! | Table I (quantified) | [`table1`] | `exp_table1` |
 //! | §V-G SRAM sweep + footnote-1 dataflows | [`design_space`] | `exp_design_space` |
 //! | §III-C / §V-A ablations | [`ablation`] | `exp_ablation` |
+//! | Kernel perf (serial vs packed MAC, `BENCH_kernel.json`) | [`kernel`] | `exp_kernel` |
 //!
 //! The [`design`] module enumerates the paper's design points (computing
 //! scheme × early termination × SRAM presence) and [`table`] renders
@@ -32,6 +33,7 @@ pub mod design;
 pub mod design_space;
 pub mod efficiency;
 pub mod energy;
+pub mod kernel;
 pub mod power;
 pub mod system;
 pub mod table;

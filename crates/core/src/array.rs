@@ -7,7 +7,6 @@
 
 use crate::config::SystolicConfig;
 use crate::mapping::TileMapping;
-use crate::pe::UnaryRow;
 use crate::scheme::ComputingScheme;
 use crate::CoreError;
 use usystolic_gemm::{GemmConfig, Matrix};
@@ -40,8 +39,16 @@ impl ExecStats {
 }
 
 /// Records one tile's wall-clock span on the [`usystolic_obs::PID_WALL`]
-/// lane (no-op when no session is installed).
-fn record_tile(kernel: &'static str, cf: usize, rf: usize, rows: usize, cols: usize, t0: f64) {
+/// lane (no-op when no session is installed — in particular on worker
+/// threads of the parallel tile sweep, which carry no session).
+pub(crate) fn record_tile(
+    kernel: &'static str,
+    cf: usize,
+    rf: usize,
+    rows: usize,
+    cols: usize,
+    t0: f64,
+) {
     usystolic_obs::with(|o| {
         use usystolic_obs::ToJson;
         let t1 = o.tracer.now_us();
@@ -101,10 +108,12 @@ fn check_lowered(
 /// levels in `[-2^(N-1), 2^(N-1)]`) through the uSystolic array model.
 ///
 /// Per weight tile and input vector, each occupied row executes one
-/// rate/temporal MAC window ([`UnaryRow::run_fast`]); the per-PE signed
-/// counts flow upward through reduced-resolution [`BinaryAccumulator`]s
-/// and the final partial sums are rescaled by the early-termination shift
-/// at the top-row shifters.
+/// rate/temporal MAC window (bit-exact with
+/// [`crate::pe::UnaryRow::run_fast`], evaluated through the word-packed
+/// kernel of [`crate::kernel`]); the per-PE signed counts flow upward
+/// through reduced-resolution [`BinaryAccumulator`]s and the final
+/// partial sums are rescaled by the early-termination shift at the
+/// top-row shifters.
 ///
 /// # Errors
 ///
@@ -116,6 +125,34 @@ pub fn unary_gemm(
     gemm: &GemmConfig,
     input: &Matrix<i64>,
     weights: &Matrix<i64>,
+) -> Result<(Matrix<i64>, ExecStats), CoreError> {
+    unary_gemm_workers(config, gemm, input, weights, 1)
+}
+
+/// [`unary_gemm`] with an explicit worker count for the weight-tile sweep.
+///
+/// Tiles are independent, so their per-window signed counts are computed
+/// in parallel on the shared work-stealing pool ([`usystolic_pool`]) with
+/// the word-packed kernel of [`crate::kernel`] (the counts equal
+/// [`crate::pe::UnaryRow::run_fast`]'s bit for bit). The counts are then
+/// folded into
+/// the shared reduced-resolution accumulators **sequentially, in the
+/// exact `(col_fold, row_fold, vector, row, column)` order of the serial
+/// sweep** — accumulator clamping is order-sensitive, and this keeps the
+/// output and the saturation statistics bit-for-bit identical for every
+/// worker count (`tests::worker_count_does_not_change_results`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Shape`] for mismatched matrices,
+/// [`CoreError::Config`] if the configuration's scheme is not a uSystolic
+/// scheme or the worker pool fails.
+pub fn unary_gemm_workers(
+    config: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+    workers: usize,
 ) -> Result<(Matrix<i64>, ExecStats), CoreError> {
     let coding = match config.scheme() {
         ComputingScheme::UnaryRate => Coding::Rate,
@@ -134,40 +171,65 @@ pub fn unary_gemm(
     let mul_cycles = config.mul_cycles();
     let et = config.early_termination();
 
+    // Serial sweep order: column folds outer, row folds inner.
+    let tiles: Vec<(usize, usize)> = (0..map.col_folds())
+        .flat_map(|cf| (0..map.row_folds()).map(move |rf| (cf, rf)))
+        .collect();
+
+    // Phase 1 (parallel): per tile, the signed count every (vector, row,
+    // column) MAC window contributes. Pure computation — no shared state,
+    // results land in task order whatever the interleaving.
+    let partials = usystolic_pool::run_indexed(workers, tiles.len(), |i| {
+        let (cf, rf) = tiles[i];
+        let n0 = cf * config.cols();
+        let k0 = rf * config.rows();
+        let tile_rows = map.rows_in_fold(rf);
+        let tile_cols = map.cols_in_fold(cf);
+        let mut tile_t0 = 0.0;
+        usystolic_obs::with(|o| tile_t0 = o.tracer.now_us());
+        // Pre-split the tile's weights into sign-magnitude rows and pack
+        // their comparator streams once for all M windows.
+        let tile_weights: Vec<Vec<SignMagnitude>> = (0..tile_rows)
+            .map(|r| {
+                (0..tile_cols)
+                    .map(|c| SignMagnitude::from_signed(weights[(k0 + r, n0 + c)], bitwidth))
+                    .collect()
+            })
+            .collect();
+        let mut kernel =
+            crate::kernel::PackedTileKernel::new(bitwidth, coding, mul_cycles, &tile_weights);
+        let mut counts = Vec::with_capacity(m * tile_rows * tile_cols);
+        for p in 0..m {
+            for r in 0..tile_rows {
+                let ifm = SignMagnitude::from_signed(input[(p, k0 + r)], bitwidth);
+                for c in 0..tile_cols {
+                    counts.push(kernel.window_count(r, c, ifm));
+                }
+            }
+        }
+        record_tile("unary_gemm", cf, rf, tile_rows, tile_cols, tile_t0);
+        counts
+    })
+    .map_err(|e| CoreError::Config(format!("tile sweep worker pool failed: {e}")))?;
+
+    // Phase 2 (sequential): fold the counts into the shared accumulators
+    // in the serial sweep's add order.
     let mut accs: Vec<BinaryAccumulator> = (0..m * n)
         .map(|_| BinaryAccumulator::new(config.acc_width()))
         .collect();
     let mut stats = ExecStats::default();
-
-    for cf in 0..map.col_folds() {
+    for (counts, &(cf, rf)) in partials.iter().zip(&tiles) {
         let n0 = cf * config.cols();
+        let tile_rows = map.rows_in_fold(rf);
         let tile_cols = map.cols_in_fold(cf);
-        for rf in 0..map.row_folds() {
-            let k0 = rf * config.rows();
-            let tile_rows = map.rows_in_fold(rf);
-            let mut tile_t0 = 0.0;
-            usystolic_obs::with(|o| tile_t0 = o.tracer.now_us());
-            // Pre-split the tile's weights into sign-magnitude rows.
-            let tile_weights: Vec<Vec<SignMagnitude>> = (0..tile_rows)
-                .map(|r| {
-                    (0..tile_cols)
-                        .map(|c| SignMagnitude::from_signed(weights[(k0 + r, n0 + c)], bitwidth))
-                        .collect()
-                })
-                .collect();
-            for p in 0..m {
-                for (r, w_row) in tile_weights.iter().enumerate() {
-                    let ifm = SignMagnitude::from_signed(input[(p, k0 + r)], bitwidth);
-                    let mut row = UnaryRow::new(bitwidth, ifm, w_row.clone(), coding);
-                    let counts = row.run_fast(mul_cycles);
-                    for (c, &count) in counts.iter().enumerate() {
-                        accs[p * n + n0 + c].add(count);
-                    }
-                    stats.mac_windows += tile_cols as u64;
-                    stats.compute_cycles += config.mac_cycles();
+        for p in 0..m {
+            for r in 0..tile_rows {
+                for c in 0..tile_cols {
+                    accs[p * n + n0 + c].add(counts[(p * tile_rows + r) * tile_cols + c]);
                 }
+                stats.mac_windows += tile_cols as u64;
+                stats.compute_cycles += config.mac_cycles();
             }
-            record_tile("unary_gemm", cf, rf, tile_rows, tile_cols, tile_t0);
         }
     }
 
@@ -182,6 +244,7 @@ pub fn unary_gemm(
             out[(p, c)] = et.scale(acc.value());
         }
     }
+    usystolic_obs::with(|o| o.metrics.count("core.packed_windows", stats.mac_windows));
     record_kernel_stats(&stats);
     Ok((out, stats))
 }
@@ -392,6 +455,28 @@ mod tests {
         let (a, _) = unary_gemm(&big, &gemm, &li, &lw).unwrap();
         let (b, _) = unary_gemm(&small, &gemm, &li, &lw).unwrap();
         assert_eq!(a, b, "tiling must be value-preserving");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // The parallel tile sweep folds counts in the serial order, so the
+        // output and the (order-sensitive) saturation stats are identical
+        // for every worker count — including with a clamping accumulator.
+        let (gemm, li, lw, _) = lowered_case(15, 16);
+        for acc_width in [32u32, 4] {
+            for scheme in [ComputingScheme::UnaryRate, ComputingScheme::UnaryTemporal] {
+                let cfg = SystolicConfig::new(3, 2, scheme, 8)
+                    .unwrap()
+                    .with_acc_width(acc_width);
+                let (one, one_stats) = unary_gemm_workers(&cfg, &gemm, &li, &lw, 1).unwrap();
+                for workers in [2usize, 3, 8] {
+                    let (many, many_stats) =
+                        unary_gemm_workers(&cfg, &gemm, &li, &lw, workers).unwrap();
+                    assert_eq!(one, many, "{scheme} acc {acc_width} workers {workers}");
+                    assert_eq!(one_stats, many_stats, "{scheme} workers {workers}");
+                }
+            }
+        }
     }
 
     #[test]

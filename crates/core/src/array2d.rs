@@ -20,6 +20,7 @@
 //! cycle count against the `usystolic-sim` ideal-cycle formula.
 
 use crate::config::SystolicConfig;
+use crate::kernel::{KernelMode, PackedTileKernel};
 use crate::mapping::TileMapping;
 use crate::pe::IfmSource;
 use crate::scheme::ComputingScheme;
@@ -114,6 +115,37 @@ pub fn cycle_accurate_gemm(
     input: &Matrix<i64>,
     weights: &Matrix<i64>,
 ) -> Result<(Matrix<i64>, CycleStats), CoreError> {
+    cycle_accurate_gemm_with(config, gemm, input, weights, KernelMode::Auto, 1)
+}
+
+/// [`cycle_accurate_gemm`] with an explicit kernel mode and worker count.
+///
+/// The weight-tile sweep is embarrassingly parallel (tiles share no
+/// machine state, only the output accumulation), so tiles are dispatched
+/// across `workers` threads of the shared work-stealing pool
+/// ([`usystolic_pool`]) and the per-tile partial results are folded
+/// sequentially in the canonical `(col_fold, row_fold)` order — the
+/// result is **bit-for-bit identical for every worker count and for every
+/// [`KernelMode`]** (`tests::packed_kernel_and_workers_are_bit_exact`).
+///
+/// Under [`KernelMode::Auto`] / [`KernelMode::Packed`], the uSystolic
+/// rate/temporal tiles are evaluated by the word-packed kernel (64
+/// multiply cycles per `u64` word, see [`crate::kernel`]) instead of the
+/// per-cycle scalar machine; binary and uGEMM-H tiles always step the
+/// bit-serial reference.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Shape`] for mismatched matrices and
+/// [`CoreError::Config`] if the worker pool fails.
+pub fn cycle_accurate_gemm_with(
+    config: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+    mode: KernelMode,
+    workers: usize,
+) -> Result<(Matrix<i64>, CycleStats), CoreError> {
     let (k, n) = gemm.lowered_shape();
     let m = gemm.output_pixels();
     if input.rows() != m || input.cols() != k || weights.rows() != k || weights.cols() != n {
@@ -127,14 +159,59 @@ pub fn cycle_accurate_gemm(
     }
 
     let map = TileMapping::new(gemm, config.rows(), config.cols());
+    let packed = mode.packs(config.scheme());
+    let tiles: Vec<(usize, usize)> = (0..map.col_folds())
+        .flat_map(|cf| (0..map.row_folds()).map(move |rf| (cf, rf)))
+        .collect();
+
+    let mut sweep_t0 = 0.0;
+    usystolic_obs::with(|o| sweep_t0 = o.tracer.now_us());
+
+    // Per-tile partials in parallel. The per-tile spans inside the closure
+    // are recorded only on the inline (single-worker) path: worker threads
+    // carry no thread-local observability session, so the calls no-op
+    // there and the sweep-level span below covers the parallel case.
+    let partials = usystolic_pool::run_indexed(workers, tiles.len(), |i| {
+        let (cf, rf) = tiles[i];
+        let mut tile_out = Matrix::<i64>::zeros(m, n);
+        let mut tile_stats = CycleStats::default();
+        let mut t0 = 0.0;
+        usystolic_obs::with(|o| t0 = o.tracer.now_us());
+        let tile = TileMachine::new(config, input, weights, &map, rf, cf);
+        let (rows, cols) = (tile.rows, tile.cols);
+        if packed {
+            tile.run_packed(&mut tile_out, &mut tile_stats);
+        } else {
+            tile.run(&mut tile_out, &mut tile_stats);
+        }
+        crate::array::record_tile(
+            if packed {
+                "cycle_gemm.packed"
+            } else {
+                "cycle_gemm.serial"
+            },
+            cf,
+            rf,
+            rows,
+            cols,
+            t0,
+        );
+        (tile_out, tile_stats)
+    })
+    .map_err(|e| CoreError::Config(format!("tile sweep worker pool failed: {e}")))?;
+
+    // Deterministic sequential fold in tile order: parallelism changes
+    // wall-clock time, never one output bit.
     let mut out = Matrix::<i64>::zeros(m, n);
     let mut stats = CycleStats::default();
-
-    for cf in 0..map.col_folds() {
-        for rf in 0..map.row_folds() {
-            let tile = TileMachine::new(config, input, weights, &map, rf, cf);
-            tile.run(&mut out, &mut stats);
+    for (tile_out, tile_stats) in partials {
+        for (dst, src) in out.as_mut_slice().iter_mut().zip(tile_out.as_slice()) {
+            *dst += *src;
         }
+        stats.cycles += tile_stats.cycles;
+        stats.busy_pe_cycles += tile_stats.busy_pe_cycles;
+        stats.tiles += tile_stats.tiles;
+        stats.saturation_events += tile_stats.saturation_events;
     }
 
     // Top-row shifters: rescale the early-terminated partial sums once,
@@ -145,6 +222,33 @@ pub fn cycle_accurate_gemm(
             *v <<= shift;
         }
     }
+
+    usystolic_obs::with(|o| {
+        use usystolic_obs::ToJson;
+        let t1 = o.tracer.now_us();
+        o.metrics.count(
+            if packed {
+                "core.cycle.packed_pe_cycles"
+            } else {
+                "core.cycle.serial_pe_cycles"
+            },
+            stats.busy_pe_cycles,
+        );
+        o.metrics.count("core.cycle.tiles", stats.tiles);
+        o.tracer.complete(
+            format!("cycle_gemm sweep {mode}"),
+            "core",
+            usystolic_obs::PID_WALL,
+            0,
+            sweep_t0,
+            t1 - sweep_t0,
+            vec![
+                ("packed".to_owned(), u64::from(packed).to_json()),
+                ("workers".to_owned(), (workers.max(1) as u64).to_json()),
+                ("tiles".to_owned(), stats.tiles.to_json()),
+            ],
+        );
+    });
     Ok((out, stats))
 }
 
@@ -379,6 +483,78 @@ impl<'a> TileMachine<'a> {
         stats.cycles += (t_end + 1) as u64;
         stats.tiles += 1;
     }
+
+    /// Word-packed evaluation of the same tile: every PE's AND-gate and
+    /// signed accumulation collapse to popcounts over packed comparator
+    /// words ([`crate::kernel::PackedTileKernel`]); the M-end cascade is
+    /// replayed per `(vector, column)` bottom-up, exactly as the scalar
+    /// machine's timing makes it happen (row `r+1`'s M-end lands one cycle
+    /// before row `r`'s, so its drained partial sum is what row `r` folds
+    /// in).
+    ///
+    /// Bit-exact against [`run`](Self::run) for the uSystolic schemes:
+    /// within one MAC window every increment of a PE carries the same
+    /// sign, the accumulator clamps monotonically, and `drain()` clears
+    /// both the value and the sticky saturation flag at every M-end — so
+    /// the lump add per window reproduces the per-cycle adds, clamping
+    /// and saturation count included. Cycle statistics are emitted from
+    /// the closed-form schedule (`t_end`, `R'·C'·M·mac`), which
+    /// `tests::packed_stats_match_serial_stats` pins against the stepped
+    /// machine.
+    ///
+    /// Only meaningful for [`ComputingScheme::UnaryRate`] /
+    /// [`ComputingScheme::UnaryTemporal`]; callers gate on
+    /// [`KernelMode::packs`].
+    fn run_packed(self, out: &mut Matrix<i64>, stats: &mut CycleStats) {
+        let bitwidth = self.config.bitwidth();
+        let mac = self.config.mac_cycles() as i64;
+        let preload = self.rows as i64;
+        let (rows, cols, m) = (self.rows, self.cols, self.m);
+        let coding = if self.config.scheme() == ComputingScheme::UnaryTemporal {
+            Coding::Temporal
+        } else {
+            Coding::Rate
+        };
+
+        let w_sm: Vec<Vec<SignMagnitude>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        SignMagnitude::from_signed(
+                            self.weights[(self.k0 + r, self.n0 + c)],
+                            bitwidth,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut kernel = PackedTileKernel::new(bitwidth, coding, self.config.mul_cycles(), &w_sm);
+
+        // One accumulator replayed per M-end: `drain()` clears the value
+        // and the sticky saturation flag, exactly like the per-PE OREGs
+        // between windows.
+        let mut acc = BinaryAccumulator::new(self.config.acc_width());
+        for p in 0..m {
+            for c in 0..cols {
+                let mut below = 0i64;
+                for r in (0..rows).rev() {
+                    let ifm = SignMagnitude::from_signed(self.input[(p, self.k0 + r)], bitwidth);
+                    acc.add(kernel.window_count(r, c, ifm));
+                    acc.add(below);
+                    if acc.saturated() {
+                        stats.saturation_events += 1;
+                    }
+                    below = acc.drain();
+                }
+                out[(p, self.n0 + c)] += below;
+            }
+        }
+
+        let t_end = preload + (rows as i64 - 1) + (cols as i64 - 1) + m as i64 * mac - 1;
+        stats.cycles += (t_end + 1) as u64;
+        stats.busy_pe_cycles += (rows * cols * m) as u64 * self.config.mac_cycles();
+        stats.tiles += 1;
+    }
 }
 
 #[cfg(test)]
@@ -496,6 +672,89 @@ mod tests {
         // Every (vector, weight) pair occupies one PE for mac_cycles.
         let expect = gemm.macs() * cfg.mac_cycles();
         assert_eq!(stats.busy_pe_cycles, expect);
+    }
+
+    #[test]
+    fn packed_kernel_and_workers_are_bit_exact() {
+        // The packed kernel and the parallel tile sweep must reproduce the
+        // bit-serial single-thread machine exactly, over both uSystolic
+        // schemes and the full EBT sweep.
+        let (gemm, li, lw) = lowered_case(21);
+        for (scheme, ebts) in [
+            (ComputingScheme::UnaryRate, &[8u32, 7, 6, 5, 4][..]),
+            (ComputingScheme::UnaryTemporal, &[8u32][..]),
+        ] {
+            for &ebt in ebts {
+                let cfg = SystolicConfig::new(4, 3, scheme, 8)
+                    .expect("valid")
+                    .with_effective_bitwidth(ebt)
+                    .expect("valid EBT")
+                    .with_acc_width(32);
+                let (serial, serial_stats) =
+                    cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Serial, 1)
+                        .expect("serial path executes");
+                for workers in [1usize, 2, 4, 8] {
+                    let (packed, packed_stats) = cycle_accurate_gemm_with(
+                        &cfg,
+                        &gemm,
+                        &li,
+                        &lw,
+                        KernelMode::Packed,
+                        workers,
+                    )
+                    .expect("packed path executes");
+                    assert_eq!(serial, packed, "{scheme} EBT {ebt} workers {workers}");
+                    assert_eq!(
+                        serial_stats, packed_stats,
+                        "{scheme} EBT {ebt} workers {workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_stats_match_serial_stats() {
+        // The packed path emits its statistics from the closed-form
+        // schedule; they must equal the stepped machine's measurements,
+        // saturation events included (narrow accumulator forces clamping).
+        let (gemm, li, lw) = lowered_case(22);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)
+            .expect("valid")
+            .with_acc_width(4);
+        let (serial, serial_stats) =
+            cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Serial, 1)
+                .expect("serial path executes");
+        let (packed, packed_stats) =
+            cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Packed, 1)
+                .expect("packed path executes");
+        assert!(serial_stats.saturation_events > 0, "case must saturate");
+        assert_eq!(serial, packed);
+        assert_eq!(serial_stats, packed_stats);
+    }
+
+    #[test]
+    fn unpackable_schemes_fall_back_to_serial() {
+        // KernelMode::Packed on binary / uGEMM-H schemes silently uses the
+        // bit-serial reference — identical results, identical stats.
+        let (gemm, li, lw) = lowered_case(23);
+        for scheme in [
+            ComputingScheme::BinaryParallel,
+            ComputingScheme::BinarySerial,
+            ComputingScheme::UGemmHybrid,
+        ] {
+            let cfg = SystolicConfig::new(4, 3, scheme, 8)
+                .expect("valid")
+                .with_acc_width(32);
+            let (serial, serial_stats) =
+                cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Serial, 1)
+                    .expect("serial path executes");
+            let (forced, forced_stats) =
+                cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Packed, 4)
+                    .expect("fallback path executes");
+            assert_eq!(serial, forced, "{scheme}");
+            assert_eq!(serial_stats, forced_stats, "{scheme}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! each scheme the treatment the paper gives it in the accuracy study
 //! (Section V-A).
 
-use crate::array::{ugemm_h_gemm, unary_gemm, ExecStats};
+use crate::array::{ugemm_h_gemm, unary_gemm_workers, ExecStats};
 use crate::baselines::binary_gemm;
 use crate::config::SystolicConfig;
 use crate::scheme::ComputingScheme;
@@ -14,6 +14,7 @@ use crate::CoreError;
 use usystolic_gemm::im2col;
 use usystolic_gemm::quant::Quantizer;
 use usystolic_gemm::{FeatureMap, GemmConfig, Matrix, WeightSet};
+use usystolic_unary::et::EarlyTermination;
 
 /// The result of a scheme-accurate GEMM execution.
 #[derive(Debug, Clone)]
@@ -46,19 +47,37 @@ pub struct GemmOutcome {
 #[derive(Debug, Clone)]
 pub struct GemmExecutor {
     config: SystolicConfig,
+    workers: usize,
 }
 
 impl GemmExecutor {
-    /// Creates an executor for the given configuration.
+    /// Creates an executor for the given configuration (single-threaded
+    /// tile sweep; see [`with_workers`](Self::with_workers)).
     #[must_use]
     pub fn new(config: SystolicConfig) -> Self {
-        Self { config }
+        Self { config, workers: 1 }
+    }
+
+    /// Spreads the independent weight-tile sweep of the unary executors
+    /// across `workers` threads of the shared work-stealing pool. Results
+    /// are bit-for-bit identical for every worker count — the per-tile
+    /// partials are folded sequentially in the serial sweep's order.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// The executor's configuration.
     #[must_use]
     pub fn config(&self) -> &SystolicConfig {
         &self.config
+    }
+
+    /// Worker threads used for the tile sweep.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Executes a GEMM on real-valued tensors: quantise → lower → run the
@@ -109,11 +128,15 @@ impl GemmExecutor {
             let t1 = o.tracer.now_us();
             o.metrics.count("core.gemm_executions", 1);
             // Crawling dividend of early termination: cycles a full-length
-            // unary window would have spent beyond the truncated one.
+            // unary window (2^(N-1) multiply cycles, not 2^N) would have
+            // spent beyond the truncated one.
             let saved = match self.config.scheme() {
-                ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => {
-                    stats.mac_windows
-                        * (1u64 << self.config.bitwidth()).saturating_sub(self.config.mul_cycles())
+                scheme @ (ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal) => {
+                    let full = scheme.mul_cycles(
+                        self.config.bitwidth(),
+                        EarlyTermination::full(self.config.bitwidth()),
+                    );
+                    stats.mac_windows * full.saturating_sub(self.config.mul_cycles())
                 }
                 _ => 0,
             };
@@ -161,7 +184,7 @@ impl GemmExecutor {
                 binary_gemm(&self.config, gemm, input, weights)
             }
             ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => {
-                unary_gemm(&self.config, gemm, input, weights)
+                unary_gemm_workers(&self.config, gemm, input, weights, self.workers)
             }
             ComputingScheme::UGemmHybrid => ugemm_h_gemm(&self.config, gemm, input, weights),
         }
@@ -266,6 +289,61 @@ mod tests {
             (ur - ut).abs() <= ur.max(ut),
             "rate {ur} and temporal {ut} should be the same class"
         );
+    }
+
+    #[test]
+    fn et_cycles_saved_is_pinned_to_stream_length() {
+        // A full-length unary MAC window is 2^(N-1) multiply cycles (the
+        // unary stream length), not 2^N: the crawling dividend per window
+        // is 2^(N-1) − mul_cycles. EBT 6 at N = 8 saves 128 − 32 = 96
+        // cycles per window; full-length rate and temporal runs save 0.
+        let (gemm, input, weights) = case();
+        for (scheme, ebt, saved_per_window) in [
+            (ComputingScheme::UnaryRate, 6u32, 96u64),
+            (ComputingScheme::UnaryRate, 8, 0),
+            (ComputingScheme::UnaryTemporal, 8, 0),
+        ] {
+            let cfg = SystolicConfig::new(4, 3, scheme, 8)
+                .unwrap()
+                .with_effective_bitwidth(ebt)
+                .unwrap();
+            let prior = usystolic_obs::install(usystolic_obs::Session::new());
+            let outcome = GemmExecutor::new(cfg)
+                .execute(&gemm, &input, &weights)
+                .unwrap();
+            let session = usystolic_obs::take().unwrap();
+            if let Some(p) = prior {
+                usystolic_obs::install(p);
+            }
+            assert!(outcome.stats.mac_windows > 0);
+            assert_eq!(
+                session.metrics.counter("core.et_cycles_saved"),
+                outcome.stats.mac_windows * saved_per_window,
+                "{scheme} EBT {ebt}"
+            );
+            // The per-window saving is pinned against the scheme's own
+            // stream length, for both unary schemes.
+            assert_eq!(
+                scheme.mul_cycles(8, EarlyTermination::full(8)),
+                usystolic_unary::stream_len(8)
+            );
+        }
+    }
+
+    #[test]
+    fn executor_workers_do_not_change_results() {
+        let (gemm, input, weights) = case();
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8).unwrap();
+        let one = GemmExecutor::new(cfg)
+            .execute(&gemm, &input, &weights)
+            .unwrap();
+        let four = GemmExecutor::new(cfg)
+            .with_workers(4)
+            .execute(&gemm, &input, &weights)
+            .unwrap();
+        assert_eq!(one.output, four.output);
+        assert_eq!(one.stats, four.stats);
+        assert_eq!(GemmExecutor::new(cfg).with_workers(0).workers(), 1);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Word-packed MAC-window kernel shared by the functional and
+//! cycle-accurate executors.
+//!
+//! A uSystolic MAC window is fully determined by three comparator
+//! sequences that restart from the same seed every window (Fig. 4/7): the
+//! C-I comparator of the IFM source, and per column the C-W comparator of
+//! the conditionally-advanced weight RNG. [`usystolic_unary::packed`]
+//! evaluates those comparators 64 cycles per `u64` word; this module adds
+//! the per-tile precomputation that makes whole GEMM tiles cheap:
+//!
+//! * the IFM and weight RNG sequences are drained **once per tile** (the
+//!   sources reset at every window, so one sequence serves all `M × R'`
+//!   windows);
+//! * every PE's weight comparator stream is packed once
+//!   ([`usystolic_unary::packed::PackedCbsg`]);
+//! * a window's signed count collapses to one cached enable popcount plus
+//!   one prefix popcount — `sign · #{ j < n_en : seq_w[j] < |W| }` —
+//!   instead of `mul_cycles` scalar iterations.
+//!
+//! The lump-signed count is bit-exact against the cycle-by-cycle
+//! accumulation because every increment of one window carries the same
+//! sign (`ISIGN ⊕ WSIGN` is constant over a window) and the downstream
+//! [`usystolic_unary::add::BinaryAccumulator`] clamps monotonically.
+//! `crate::pe::tests::packed_path_matches_pipeline_and_fast` and
+//! `crate::array2d::tests` pin the equivalence.
+
+use crate::scheme::ComputingScheme;
+use std::collections::HashMap;
+use usystolic_unary::coding::Coding;
+use usystolic_unary::packed::{self, PackedCbsg};
+use usystolic_unary::rng::SobolSource;
+use usystolic_unary::sign::SignMagnitude;
+
+use crate::pe::IfmSource;
+
+/// Selects how the executors evaluate MAC windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// Use the word-packed kernel wherever it can express the scheme
+    /// (the uSystolic rate/temporal schemes), the bit-serial reference
+    /// everywhere else.
+    #[default]
+    Auto,
+    /// Always step the bit-serial reference machine.
+    Serial,
+    /// Request the packed kernel; schemes the packing cannot express
+    /// (binary and the bipolar uGEMM-H, whose windows mix increment
+    /// signs) still fall back to the bit-serial reference.
+    Packed,
+}
+
+impl KernelMode {
+    /// Whether this mode evaluates `scheme` through the packed kernel.
+    #[must_use]
+    pub fn packs(self, scheme: ComputingScheme) -> bool {
+        match self {
+            KernelMode::Serial => false,
+            KernelMode::Auto | KernelMode::Packed => matches!(
+                scheme,
+                ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal
+            ),
+        }
+    }
+}
+
+impl core::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelMode::Auto => write!(f, "auto"),
+            KernelMode::Serial => write!(f, "serial"),
+            KernelMode::Packed => write!(f, "packed"),
+        }
+    }
+}
+
+/// Per-tile packed state: one drained IFM sequence, one packed weight
+/// comparator stream per PE, and a cache of enable popcounts keyed by the
+/// IFM magnitudes this tile has seen.
+pub(crate) struct PackedTileKernel {
+    seq_i: Vec<u64>,
+    w_sm: Vec<SignMagnitude>,
+    w_packed: Vec<PackedCbsg>,
+    cols: usize,
+    enable_cache: HashMap<u64, u64>,
+}
+
+impl PackedTileKernel {
+    /// Packs one tile's stationary weights (`w_sm[r][c]`, rows of equal
+    /// length) for windows of `mul_cycles` multiply cycles under `coding`.
+    pub(crate) fn new(
+        bitwidth: u32,
+        coding: Coding,
+        mul_cycles: u64,
+        w_sm: &[Vec<SignMagnitude>],
+    ) -> Self {
+        let mut ifm_src = IfmSource::for_coding(coding, bitwidth);
+        let seq_i = packed::sequence(&mut ifm_src, mul_cycles);
+        let mut w_rng = SobolSource::dimension(0, bitwidth - 1);
+        let seq_w = packed::sequence(&mut w_rng, mul_cycles);
+        let cols = w_sm.first().map_or(0, Vec::len);
+        let flat: Vec<SignMagnitude> = w_sm.iter().flatten().copied().collect();
+        let w_packed = flat
+            .iter()
+            .map(|w| PackedCbsg::from_stream(packed::comparator_stream(&seq_w, w.magnitude)))
+            .collect();
+        Self {
+            seq_i,
+            w_sm: flat,
+            w_packed,
+            cols,
+            enable_cache: HashMap::new(),
+        }
+    }
+
+    /// Enable-bit popcount of a window processing an IFM of `magnitude`
+    /// (cached: a tile revisits the same input levels every fold).
+    pub(crate) fn enabled(&mut self, magnitude: u64) -> u64 {
+        let seq_i = &self.seq_i;
+        *self
+            .enable_cache
+            .entry(magnitude)
+            .or_insert_with(|| seq_i.iter().filter(|&&v| v < magnitude).count() as u64)
+    }
+
+    /// The signed count PE `(r, c)` contributes for one MAC window on
+    /// `ifm` — identical to what [`crate::pe::UnaryRow::run_fast`] would
+    /// accumulate for that column.
+    pub(crate) fn window_count(&mut self, r: usize, c: usize, ifm: SignMagnitude) -> i64 {
+        let n_en = self.enabled(ifm.magnitude);
+        let idx = r * self.cols + c;
+        let ones = self.w_packed[idx].ones_given(n_en);
+        ifm.product_increment(self.w_sm[idx]) * ones as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::UnaryRow;
+
+    #[test]
+    fn mode_packs_only_unary_schemes() {
+        for scheme in ComputingScheme::ALL {
+            let unary = matches!(
+                scheme,
+                ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal
+            );
+            assert!(!KernelMode::Serial.packs(scheme));
+            assert_eq!(KernelMode::Auto.packs(scheme), unary);
+            assert_eq!(KernelMode::Packed.packs(scheme), unary);
+        }
+        assert_eq!(KernelMode::default(), KernelMode::Auto);
+        assert_eq!(KernelMode::Packed.to_string(), "packed");
+    }
+
+    #[test]
+    fn tile_kernel_matches_row_fast_path() {
+        let sm = |v: i64| SignMagnitude::from_signed(v, 8);
+        let w_sm = vec![vec![sm(100), sm(-3), sm(77)], vec![sm(0), sm(-128), sm(55)]];
+        for coding in [Coding::Rate, Coding::Temporal] {
+            for mul in [16u64, 128] {
+                let mut kernel = PackedTileKernel::new(8, coding, mul, &w_sm);
+                for ifm_level in [0i64, 1, -77, 111, 128, -128] {
+                    for (r, row_w) in w_sm.iter().enumerate() {
+                        let mut row = UnaryRow::new(8, sm(ifm_level), row_w.clone(), coding);
+                        let reference = row.run_fast(mul).to_vec();
+                        for (c, &expect) in reference.iter().enumerate() {
+                            assert_eq!(
+                                kernel.window_count(r, c, sm(ifm_level)),
+                                expect,
+                                "{coding:?} mul {mul} ifm {ifm_level} pe ({r},{c})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`array2d`] — the fully cycle-accurate machine stepping every PE,
 //!   pipeline register and partial-sum cascade; bit-exact against the
 //!   fast executors.
+//! * [`kernel`] — the word-packed MAC-window kernel ([`KernelMode`]):
+//!   64 multiply cycles per `u64` word, shared by the functional and
+//!   cycle-accurate executors, bit-exact against the bit-serial paths.
 //! * [`fifo`] — the synchronising skew FIFOs surrounding the array.
 //! * [`fsu`] — the fully-streaming unary (uGEMM-style) reference
 //!   architecture used to quantify Table I.
@@ -35,12 +38,13 @@ pub mod exec;
 pub mod fifo;
 pub mod fsu;
 pub mod isa;
+pub mod kernel;
 pub mod mapping;
 pub mod pe;
 pub mod scheme;
 
-pub use array::{ugemm_h_gemm, unary_gemm, ExecStats};
-pub use array2d::{cycle_accurate_gemm, CycleStats};
+pub use array::{ugemm_h_gemm, unary_gemm, unary_gemm_workers, ExecStats};
+pub use array2d::{cycle_accurate_gemm, cycle_accurate_gemm_with, CycleStats};
 pub use baselines::binary_gemm;
 pub use check::{differential_check, SchemeCheck};
 pub use config::{ConfigError, SystolicConfig, CLOUD_COLS, CLOUD_ROWS, EDGE_COLS, EDGE_ROWS};
@@ -48,6 +52,7 @@ pub use exec::{GemmExecutor, GemmOutcome};
 pub use fifo::{DelayLine, SkewBank, SkewOrder};
 pub use fsu::FsuGemm;
 pub use isa::{Instruction, IsaError, Processor, Program, ProgramBuilder};
+pub use kernel::KernelMode;
 pub use mapping::TileMapping;
 pub use pe::{IfmSource, UnaryRow};
 pub use scheme::ComputingScheme;

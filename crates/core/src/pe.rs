@@ -22,6 +22,7 @@
 //! bit-for-bit in its tests.
 
 use usystolic_unary::coding::Coding;
+use usystolic_unary::packed;
 use usystolic_unary::rng::{CounterSource, NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
 
@@ -241,6 +242,33 @@ impl UnaryRow {
         &self.counts
     }
 
+    /// Computes the same per-column counts as [`run`](Self::run) and
+    /// [`run_fast`](Self::run_fast) word-at-a-time: the IFM comparator and
+    /// the per-column weight comparators are evaluated over precomputed
+    /// source sequences packed 64 bits per word
+    /// ([`usystolic_unary::packed`]), so each column's window collapses to
+    /// one popcount instead of `mul_cycles` scalar iterations.
+    ///
+    /// The C-BSG gating (weight RNG advances only on enabled cycles)
+    /// becomes a prefix length: after the window, exactly
+    /// `popcount(enable)` RNG outputs have been consumed, and the column
+    /// count is the prefix popcount of its weight comparator stream.
+    /// Within one window every increment of a column carries the same sign
+    /// (`ISIGN ⊕ WSIGN` is per-window constant), so the lump add is
+    /// bit-exact. `tests::packed_path_matches_pipeline_and_fast` proves
+    /// equivalence against both reference paths.
+    pub fn run_packed(&mut self, mul_cycles: u64) -> &[i64] {
+        let seq_i = packed::sequence(&mut self.ifm_src, mul_cycles);
+        let enable = packed::comparator_stream(&seq_i, self.ifm.magnitude);
+        let n_en = enable.count_ones();
+        let seq_w = packed::sequence(&mut self.weight_rng, n_en);
+        for (c, w) in self.weights.iter().enumerate() {
+            let ones = packed::comparator_stream(&seq_w, w.magnitude).count_ones();
+            self.counts[c] += self.ifm.product_increment(*w) * ones as i64;
+        }
+        &self.counts
+    }
+
     /// Per-column signed counts accumulated so far.
     #[must_use]
     pub fn counts(&self) -> &[i64] {
@@ -307,12 +335,11 @@ mod tests {
             let weights: Vec<SignMagnitude> =
                 [100, -3, 77, 0, -128, 55].iter().map(|&w| sm(w)).collect();
             let mut slow = UnaryRow::new(8, sm(ifm), weights.clone(), Coding::Rate);
-            let mut fast = UnaryRow::new(8, sm(ifm), weights, Coding::Rate);
-            assert_eq!(
-                slow.run(128).to_vec(),
-                fast.run_fast(128).to_vec(),
-                "ifm {ifm}"
-            );
+            let mut fast = UnaryRow::new(8, sm(ifm), weights.clone(), Coding::Rate);
+            let mut packed = UnaryRow::new(8, sm(ifm), weights, Coding::Rate);
+            let reference = slow.run(128).to_vec();
+            assert_eq!(reference, fast.run_fast(128).to_vec(), "ifm {ifm}");
+            assert_eq!(reference, packed.run_packed(128).to_vec(), "ifm {ifm}");
         }
     }
 
@@ -320,16 +347,67 @@ mod tests {
     fn fast_path_matches_pipeline_temporal() {
         let weights: Vec<SignMagnitude> = [64, -100, 17].iter().map(|&w| sm(w)).collect();
         let mut slow = UnaryRow::new(8, sm(-90), weights.clone(), Coding::Temporal);
-        let mut fast = UnaryRow::new(8, sm(-90), weights, Coding::Temporal);
-        assert_eq!(slow.run(128).to_vec(), fast.run_fast(128).to_vec());
+        let mut fast = UnaryRow::new(8, sm(-90), weights.clone(), Coding::Temporal);
+        let mut packed = UnaryRow::new(8, sm(-90), weights, Coding::Temporal);
+        let reference = slow.run(128).to_vec();
+        assert_eq!(reference, fast.run_fast(128).to_vec());
+        assert_eq!(reference, packed.run_packed(128).to_vec());
     }
 
     #[test]
     fn fast_path_matches_pipeline_early_terminated() {
         let weights: Vec<SignMagnitude> = [100, 50, -25, 127].iter().map(|&w| sm(w)).collect();
         let mut slow = UnaryRow::new(8, sm(99), weights.clone(), Coding::Rate);
-        let mut fast = UnaryRow::new(8, sm(99), weights, Coding::Rate);
-        assert_eq!(slow.run(32).to_vec(), fast.run_fast(32).to_vec());
+        let mut fast = UnaryRow::new(8, sm(99), weights.clone(), Coding::Rate);
+        let mut packed = UnaryRow::new(8, sm(99), weights, Coding::Rate);
+        let reference = slow.run(32).to_vec();
+        assert_eq!(reference, fast.run_fast(32).to_vec());
+        assert_eq!(reference, packed.run_packed(32).to_vec());
+    }
+
+    #[test]
+    fn packed_path_matches_pipeline_and_fast() {
+        // All three contenders over non-square rows (cols ≠ typical tile
+        // widths, including a single-column row) and the full EBT sweep of
+        // multiply-cycle counts 2^0 .. 2^(N-1).
+        for coding in [Coding::Rate, Coding::Temporal] {
+            for cols in [1usize, 3, 6] {
+                let weights: Vec<SignMagnitude> = [100, -3, 77, 0, -128, 55][..cols]
+                    .iter()
+                    .map(|&w| sm(w))
+                    .collect();
+                for mul in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+                    let mut slow = UnaryRow::new(8, sm(-111), weights.clone(), coding);
+                    let mut fast = UnaryRow::new(8, sm(-111), weights.clone(), coding);
+                    let mut packed = UnaryRow::new(8, sm(-111), weights.clone(), coding);
+                    let reference = slow.run(mul).to_vec();
+                    assert_eq!(
+                        reference,
+                        fast.run_fast(mul).to_vec(),
+                        "{coding:?} cols {cols} mul {mul}"
+                    );
+                    assert_eq!(
+                        reference,
+                        packed.run_packed(mul).to_vec(),
+                        "{coding:?} cols {cols} mul {mul}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_path_accumulates_across_windows() {
+        // Consecutive windows on one row: the RNG state carried between
+        // windows must match the bit-serial path.
+        let weights: Vec<SignMagnitude> = [90, -70].iter().map(|&w| sm(w)).collect();
+        let mut fast = UnaryRow::new(8, sm(101), weights.clone(), Coding::Rate);
+        let mut packed = UnaryRow::new(8, sm(101), weights, Coding::Rate);
+        for _ in 0..3 {
+            fast.run_fast(32);
+            packed.run_packed(32);
+        }
+        assert_eq!(fast.counts().to_vec(), packed.counts().to_vec());
     }
 
     #[test]

@@ -18,7 +18,12 @@ use crate::tensor::{FeatureMap, WeightSet};
 use crate::GemmError;
 
 /// A symmetric signed linear quantiser mapping `[-max_abs, max_abs]` onto
-/// integer levels `[-2^(bits-1), 2^(bits-1)]`.
+/// integer levels `[-(2^(bits-1) - 1), 2^(bits-1) - 1]`.
+///
+/// The top level is `2^(bits-1) - 1`, not `2^(bits-1)`: `+2^(bits-1)` is
+/// not representable in `bits`-bit two's complement, so `±max_abs` (and
+/// anything beyond) clamps to the symmetric representable extreme at one
+/// quantisation step of error.
 ///
 /// # Example
 ///
@@ -57,18 +62,24 @@ impl Quantizer {
     }
 
     /// Creates a quantiser covering the maximum absolute value of `data`
-    /// (per-tensor calibration). Falls back to 1.0 for all-zero data.
+    /// (per-tensor calibration). Non-finite samples (NaN, ±∞) are ignored;
+    /// falls back to 1.0 when no finite non-zero sample exists.
     #[must_use]
     pub fn calibrated(bits: u32, data: &[f64]) -> Self {
-        let max = data.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let max = data
+            .iter()
+            .map(|x| x.abs())
+            .filter(|a| a.is_finite())
+            .fold(0.0f64, f64::max);
         Self::from_max(bits, if max > 0.0 { max } else { 1.0 })
     }
 
     /// Quantises a value to its integer level, rounding to nearest and
-    /// clamping to the representable range.
+    /// clamping the magnitude to the representable range
+    /// `±(2^(bits-1) - 1)`. NaN maps to level 0.
     #[must_use]
     pub fn quantize(&self, x: f64) -> i64 {
-        let max = 1i64 << (self.bits - 1);
+        let max = (1i64 << (self.bits - 1)) - 1;
         ((x * self.scale).round() as i64).clamp(-max, max)
     }
 
@@ -249,26 +260,65 @@ mod tests {
 
     #[test]
     fn quantizer_roundtrip_within_half_step() {
+        // Strictly inside the range, rounding is the only error source.
         let q = Quantizer::from_max(8, 1.0);
-        for &x in &[-1.0, -0.37, 0.0, 0.5, 0.999, 1.0] {
+        for &x in &[-0.99, -0.37, 0.0, 0.5, 0.99] {
             let err = (q.dequantize(q.quantize(x)) - x).abs();
             assert!(err <= 0.5 / 128.0 + 1e-12, "x={x} err={err}");
         }
     }
 
     #[test]
+    fn quantizer_roundtrip_at_extremes() {
+        // ±max_abs would round to ±2^(bits-1), which two's complement
+        // cannot represent — they clamp to ±(2^(bits-1) − 1) and round
+        // trip within one full step instead of a half step.
+        let q = Quantizer::from_max(8, 1.0);
+        assert_eq!(q.quantize(1.0), 127);
+        assert_eq!(q.quantize(-1.0), -127);
+        for &x in &[1.0, -1.0] {
+            let err = (q.dequantize(q.quantize(x)) - x).abs();
+            assert!(err <= 1.0 / 128.0 + 1e-12, "x={x} err={err}");
+        }
+        // Values just above the range clamp to the same extreme level.
+        assert_eq!(q.quantize(1.0 + 1e-9), 127);
+        assert_eq!(q.quantize(-1.0 - 1e-9), -127);
+        // The last exactly-representable level round trips losslessly.
+        let top = q.dequantize(127);
+        assert_eq!(q.quantize(top), 127);
+        assert!((q.dequantize(q.quantize(top)) - top).abs() < 1e-12);
+    }
+
+    #[test]
     fn quantizer_clamps() {
         let q = Quantizer::from_max(8, 1.0);
-        assert_eq!(q.quantize(5.0), 128);
-        assert_eq!(q.quantize(-5.0), -128);
+        assert_eq!(q.quantize(5.0), 127);
+        assert_eq!(q.quantize(-5.0), -127);
+        assert_eq!(q.quantize(f64::INFINITY), 127);
+        assert_eq!(q.quantize(f64::NEG_INFINITY), -127);
+        assert_eq!(q.quantize(f64::NAN), 0);
     }
 
     #[test]
     fn calibrated_covers_data() {
         let q = Quantizer::calibrated(8, &[-3.0, 1.0, 2.5]);
-        assert_eq!(q.quantize(3.0), 128);
+        assert_eq!(q.quantize(3.0), 127);
         let q0 = Quantizer::calibrated(8, &[0.0, 0.0]);
         assert_eq!(q0.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn calibration_ignores_non_finite_samples() {
+        // NaN/∞ samples must not poison (or panic) the calibration: the
+        // scale comes from the finite samples only.
+        let q = Quantizer::calibrated(8, &[f64::NAN, -2.0, f64::INFINITY, 1.0]);
+        assert_eq!(q.quantize(2.0), 127);
+        assert_eq!(q.quantize(-2.0), -127);
+        assert_eq!(q.quantize(1.0), 64);
+        // All-non-finite data falls back to max_abs = 1.0.
+        let q1 = Quantizer::calibrated(8, &[f64::NAN, f64::INFINITY]);
+        assert_eq!(q1.quantize(0.5), 64);
+        assert_eq!(q1.quantize(1.0), 127);
     }
 
     #[test]

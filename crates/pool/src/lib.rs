@@ -1,20 +1,23 @@
-//! A host-side work-stealing worker pool.
+//! A host-side work-stealing worker pool shared across the workspace.
 //!
-//! The serving simulator splits into a sequential, deterministic event
-//! loop and two embarrassingly parallel phases — profiling every
-//! `(workload, layer)` pair before the loop, and folding per-request
-//! records into stage statistics after it. [`run_indexed`] runs those
-//! phases across `workers` `std::thread`s: every worker owns a deque of
-//! task indices, pops from its own front, and **steals from the back** of
-//! the busiest victim when it runs dry (the classic Chase–Lev shape,
-//! expressed with mutexed deques since the workspace is `forbid(unsafe)`
-//! and dependency-free).
+//! Two consumers split their work into embarrassingly parallel indexed
+//! phases: the serving simulator (profiling every `(workload, layer)` pair
+//! before its event loop, folding per-request records after it) and the
+//! GEMM executors (the independent weight-tile sweep of a lowered GEMM).
+//! [`run_indexed`] runs those phases across `workers` `std::thread`s:
+//! every worker owns a deque of task indices, pops from its own front, and
+//! **steals from the back** of the busiest victim when it runs dry (the
+//! classic Chase–Lev shape, expressed with mutexed deques since the
+//! workspace is `forbid(unsafe)` and dependency-free).
 //!
 //! Determinism: each task writes its result into its own pre-allocated
 //! slot, so the output vector is identical whatever the interleaving —
 //! parallelism changes wall-clock time, never results. `workers == 1`
 //! runs inline on the caller thread (no spawn, no locks taken by anyone
 //! else), which is also the fallback when a spawn fails.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::sync::{Mutex, PoisonError};

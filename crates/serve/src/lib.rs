@@ -21,7 +21,8 @@
 //! seeded through the workspace's shared SplitMix64.
 //!
 //! The engine ([`engine::serve`]) is **bit-for-bit deterministic for any
-//! worker count**: the host-side work-stealing pool ([`pool`]) only runs
+//! worker count**: the shared host-side work-stealing pool
+//! ([`usystolic_pool`], re-exported as [`pool`]) only runs
 //! pure phases (profiling before the event loop, statistics folding after
 //! it); every admission, scheduling and timing decision happens in one
 //! sequential event loop. `--workers` changes wall-clock time, never one
@@ -64,7 +65,6 @@ pub mod engine;
 pub mod event;
 pub mod histogram;
 pub mod loadgen;
-pub mod pool;
 pub mod report;
 pub mod request;
 pub mod scheduler;
@@ -74,8 +74,9 @@ pub use admission::{Admission, AdmissionController};
 pub use engine::serve;
 pub use histogram::{CycleHistogram, LatencySummary};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
-pub use pool::{run_indexed, PoolError};
 pub use report::{ServeConfig, ServeError, ServeReport};
 pub use request::{Disposition, Priority, Request, RequestRecord};
 pub use scheduler::Scheduler;
+pub use usystolic_pool as pool;
+pub use usystolic_pool::{run_indexed, PoolError};
 pub use workload::{LayerProfile, Workload, WorkloadProfile};

@@ -65,6 +65,49 @@ impl Bitstream {
         }
     }
 
+    /// Creates a bitstream of `len` bits directly from packed words (64
+    /// bits per word, bit 0 of word 0 is the first cycle) — the entry
+    /// point of the word-packed generators in [`crate::packed`].
+    ///
+    /// `words` is resized to exactly `len.div_ceil(64)` words (missing
+    /// words are zero-filled, surplus words dropped) and any bits of the
+    /// last word beyond `len` are masked off, so `count_ones`-based
+    /// reductions never see stray tail bits.
+    #[must_use]
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(len.div_ceil(64), 0);
+        let mut bs = Self { words, len };
+        bs.mask_tail();
+        bs
+    }
+
+    /// The packed backing words (64 bits per word, in stream order). Bits
+    /// of the last word at positions `>= len % 64` are always zero.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of 1-bits among the first `n` bits of the stream (prefix
+    /// popcount): full words via `count_ones`, plus a masked tail word.
+    ///
+    /// `n` is clamped to the stream length, so `count_ones_first(len())`
+    /// equals [`count_ones`](Self::count_ones).
+    #[must_use]
+    pub fn count_ones_first(&self, n: usize) -> u64 {
+        let n = n.min(self.len);
+        let full = n / 64;
+        let mut ones: u64 = self.words[..full]
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        let tail = n % 64;
+        if tail != 0 {
+            ones += u64::from((self.words[full] & ((1u64 << tail) - 1)).count_ones());
+        }
+        ones
+    }
+
     /// Number of bits in the stream.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -481,5 +524,102 @@ mod tests {
         let a = from_str("1100");
         let b = from_str("1010");
         assert_eq!(a.overlap(&b).unwrap(), 1);
+    }
+
+    /// Lengths straddling the 64-bit word boundary, where a stray tail bit
+    /// would silently corrupt every `count_ones`-based reduction.
+    const EDGE_LENGTHS: [usize; 5] = [0, 63, 64, 65, 128];
+
+    #[test]
+    fn tail_masking_at_word_boundaries() {
+        for len in EDGE_LENGTHS {
+            // `ones`, `not` and `xnor` all write full words and then mask.
+            let ones = Bitstream::ones(len);
+            assert_eq!(ones.count_ones(), len as u64, "ones({len})");
+            let zeros = Bitstream::zeros(len);
+            assert_eq!(zeros.not().count_ones(), len as u64, "not/zeros({len})");
+            assert_eq!(
+                zeros.xnor(&zeros).unwrap().count_ones(),
+                len as u64,
+                "xnor({len})"
+            );
+            // No bit beyond `len` is set in the backing words.
+            for (i, w) in ones.words().iter().enumerate() {
+                let valid = (len - i * 64).min(64);
+                let mask = if valid == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << valid) - 1
+                };
+                assert_eq!(w & !mask, 0, "stray tail bits at len {len}, word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zip_words_at_word_boundaries() {
+        for len in EDGE_LENGTHS {
+            let a: Bitstream = (0..len).map(|i| i % 2 == 0).collect();
+            let b: Bitstream = (0..len).map(|i| i % 3 == 0).collect();
+            let and = a.and(&b).unwrap();
+            let or = a.or(&b).unwrap();
+            let xor = a.xor(&b).unwrap();
+            let expect = |f: fn(bool, bool) -> bool| {
+                (0..len).filter(|&i| f(i % 2 == 0, i % 3 == 0)).count() as u64
+            };
+            assert_eq!(and.count_ones(), expect(|x, y| x && y), "and({len})");
+            assert_eq!(or.count_ones(), expect(|x, y| x || y), "or({len})");
+            assert_eq!(xor.count_ones(), expect(|x, y| x ^ y), "xor({len})");
+        }
+    }
+
+    #[test]
+    fn from_iterator_at_word_boundaries() {
+        for len in EDGE_LENGTHS {
+            let bits: Vec<bool> = (0..len).map(|i| i % 5 != 0).collect();
+            let bs: Bitstream = bits.iter().copied().collect();
+            assert_eq!(bs.len(), len);
+            assert_eq!(
+                bs.count_ones(),
+                bits.iter().filter(|&&b| b).count() as u64,
+                "len {len}"
+            );
+            assert_eq!(bs.words().len(), len.div_ceil(64));
+        }
+    }
+
+    #[test]
+    fn from_words_masks_and_resizes() {
+        // Surplus set bits beyond `len` must be dropped.
+        let bs = Bitstream::from_words(vec![u64::MAX, u64::MAX, u64::MAX], 65);
+        assert_eq!(bs.len(), 65);
+        assert_eq!(bs.words().len(), 2);
+        assert_eq!(bs.count_ones(), 65);
+        // Missing words are zero-filled.
+        let bs = Bitstream::from_words(vec![0b1011], 128);
+        assert_eq!(bs.words().len(), 2);
+        assert_eq!(bs.count_ones(), 3);
+        // Round-trips through the bit accessor.
+        assert_eq!(bs.get(0), Some(true));
+        assert_eq!(bs.get(1), Some(true));
+        assert_eq!(bs.get(2), Some(false));
+        assert_eq!(bs.get(127), Some(false));
+        // Empty stream.
+        let bs = Bitstream::from_words(vec![7], 0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+    }
+
+    #[test]
+    fn prefix_popcount_matches_scalar() {
+        for len in EDGE_LENGTHS {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 7) % 3 == 0).collect();
+            let bs: Bitstream = bits.iter().copied().collect();
+            for n in [0, 1, 62, 63, 64, 65, 100, len, len + 7] {
+                let expect = bits.iter().take(n).filter(|&&b| b).count() as u64;
+                assert_eq!(bs.count_ones_first(n), expect, "len {len}, prefix {n}");
+            }
+            assert_eq!(bs.count_ones_first(bs.len()), bs.count_ones());
+        }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`bsg`] — comparator-based bitstream generators, including the
 //!   *conditional* bitstream generator (C-BSG) that underpins the accurate
 //!   uMUL of Fig. 4.
+//! * [`packed`] — word-packed bitstream generation: the same comparators
+//!   evaluated 64 cycles per `u64` word over precomputed source
+//!   sequences, bit-exact against the serial generators.
 //! * [`mod@scc`] — the stochastic cross-correlation metric; `SCC == 0` is the
 //!   necessary-and-sufficient condition for accurate unary multiplication
 //!   (Eq. 1).
@@ -59,6 +62,7 @@ pub mod coding;
 pub mod div;
 pub mod et;
 pub mod mul;
+pub mod packed;
 pub mod rng;
 pub mod scc;
 pub mod sign;

@@ -61,6 +61,14 @@ grep -q '"traceEvents"' "$trace"
 grep -q '"sim.dram_bytes"' "$metrics"
 rm -f "$trace" "$metrics"
 
+echo "==> kernel bench smoke test (packed vs serial bit-exactness)"
+bench_json=$(mktemp /tmp/usystolic_kernel.XXXXXX.json)
+./target/release/exp_kernel --short --out "$bench_json" > /dev/null
+grep -q '"checksums_match":true' "$bench_json"
+grep -q '"bit_exact":true' "$bench_json"
+grep -q '"workers_consistent":true' "$bench_json"
+rm -f "$bench_json"
+
 echo "==> sim_cli --instances scaling smoke test"
 ./target/release/sim_cli --scheme UR --cycles 128 --no-sram \
     --conv 31,31,96,5,5,1,256 --instances 16 --json \

@@ -26,6 +26,9 @@
 //!   bounded admission, deadline/priority-aware batching dispatch,
 //!   deterministic load generation and exact p50/p95/p99 latency
 //!   histograms.
+//! * [`pool`] — the shared host-side work-stealing thread pool behind the
+//!   parallel phases of [`serve`] and the tile sweeps of [`arch`]
+//!   (deterministic: worker count never changes results).
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use usystolic_gemm as gemm;
 pub use usystolic_hw as hw;
 pub use usystolic_models as models;
 pub use usystolic_obs as obs;
+pub use usystolic_pool as pool;
 pub use usystolic_serve as serve;
 pub use usystolic_sim as sim;
 pub use usystolic_unary as unary;
