@@ -61,6 +61,8 @@ struct Args {
     instances: Option<usize>,
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
+    metrics_format: MetricsFormat,
+    report_html: Option<std::path::PathBuf>,
     json: bool,
     check: bool,
     acc_width: Option<u32>,
@@ -68,11 +70,19 @@ struct Args {
     fifo_depth: Option<usize>,
 }
 
+/// On-disk encoding for `--metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: usystolic_sim [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
                      [--shape edge|cloud] [--sram|--no-sram] [--instances N]
-                     [--trace FILE] [--metrics FILE] [--json]
+                     [--trace FILE] [--metrics FILE] [--metrics-format json|prom]
+                     [--report FILE.html] [--json]
                      (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)
        usystolic_sim --check [--scheme S] [--cycles N] [--bits N] [--shape edge|cloud]
                      [--acc-width N] [--wiring shared|independent] [--fifo-depth N]
@@ -126,6 +136,8 @@ fn parse_args() -> Args {
         instances: None,
         trace: None,
         metrics: None,
+        metrics_format: MetricsFormat::Json,
+        report_html: None,
         json: false,
         check: false,
         acc_width: None,
@@ -202,6 +214,15 @@ fn parse_args() -> Args {
             }
             "--trace" => args.trace = Some(value().into()),
             "--metrics" => args.metrics = Some(value().into()),
+            "--metrics-format" => {
+                let v = value();
+                args.metrics_format = match v.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    _ => fail(format!("--metrics-format {v}: expected json or prom")),
+                }
+            }
+            "--report" => args.report_html = Some(value().into()),
             "--json" => args.json = true,
             "--check" => args.check = true,
             "--acc-width" => {
@@ -327,13 +348,34 @@ fn export_session(args: &Args, session: &usystolic_obs::Session) {
         }
     }
     if let Some(path) = &args.metrics {
-        session
-            .metrics
-            .write_snapshot(path)
-            .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display())));
+        match args.metrics_format {
+            MetricsFormat::Json => session
+                .metrics
+                .write_snapshot(path)
+                .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display()))),
+            MetricsFormat::Prom => {
+                std::fs::write(path, usystolic_obs::prometheus_text(&session.metrics))
+                    .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display())))
+            }
+        }
         if !args.json {
             eprintln!("metrics: {}", path.display());
         }
+    }
+    if let Some(path) = &args.report_html {
+        let html = usystolic_obs::html_report("sim_cli observability report", &session.metrics);
+        std::fs::write(path, html)
+            .unwrap_or_else(|e| fail(format!("writing report to {}: {e}", path.display())));
+        if !args.json {
+            eprintln!("report: {}", path.display());
+        }
+    }
+    if session.tracer.dropped() > 0 {
+        eprintln!(
+            "sim_cli: warning: trace ring full, {} span(s) dropped (oldest first); \
+             raise the tracer capacity to keep them",
+            session.tracer.dropped()
+        );
     }
 }
 
@@ -364,7 +406,7 @@ fn main() {
 
     // Collect traces/metrics only when asked for: with no session the
     // instrumented hot paths stay allocation-free.
-    let observing = args.trace.is_some() || args.metrics.is_some();
+    let observing = args.trace.is_some() || args.metrics.is_some() || args.report_html.is_some();
     if observing {
         usystolic_obs::install(usystolic_obs::Session::new());
     }

@@ -53,6 +53,19 @@ pub(crate) fn record_tile(
         use usystolic_obs::ToJson;
         let t1 = o.tracer.now_us();
         o.metrics.observe("core.tile_us", t1 - t0);
+        o.metrics
+            .observe_labeled("core.tile_us", &[("kernel", kernel)], t1 - t0);
+        o.metrics
+            .count_labeled("core.tiles", &[("kernel", kernel)], 1);
+        // `correlated_args` stamps the active request/shard ids (set by
+        // the serve engine) onto the tile span, closing the admission →
+        // batch → layer → tile chain in the trace.
+        let args = o.correlated_args(vec![
+            ("col_fold".to_owned(), (cf as u64).to_json()),
+            ("row_fold".to_owned(), (rf as u64).to_json()),
+            ("rows".to_owned(), (rows as u64).to_json()),
+            ("cols".to_owned(), (cols as u64).to_json()),
+        ]);
         o.tracer.complete(
             format!("{kernel} tile c{cf}r{rf}"),
             "core",
@@ -60,12 +73,7 @@ pub(crate) fn record_tile(
             1,
             t0,
             t1 - t0,
-            vec![
-                ("col_fold".to_owned(), (cf as u64).to_json()),
-                ("row_fold".to_owned(), (rf as u64).to_json()),
-                ("rows".to_owned(), (rows as u64).to_json()),
-                ("cols".to_owned(), (cols as u64).to_json()),
-            ],
+            args,
         );
     });
 }

@@ -235,6 +235,16 @@ pub fn cycle_accurate_gemm_with(
             stats.busy_pe_cycles,
         );
         o.metrics.count("core.cycle.tiles", stats.tiles);
+        o.metrics.count_labeled(
+            "core.cycle.tiles",
+            &[("kernel", if packed { "packed" } else { "serial" })],
+            stats.tiles,
+        );
+        let args = o.correlated_args(vec![
+            ("packed".to_owned(), u64::from(packed).to_json()),
+            ("workers".to_owned(), (workers.max(1) as u64).to_json()),
+            ("tiles".to_owned(), stats.tiles.to_json()),
+        ]);
         o.tracer.complete(
             format!("cycle_gemm sweep {mode}"),
             "core",
@@ -242,11 +252,7 @@ pub fn cycle_accurate_gemm_with(
             0,
             sweep_t0,
             t1 - sweep_t0,
-            vec![
-                ("packed".to_owned(), u64::from(packed).to_json()),
-                ("workers".to_owned(), (workers.max(1) as u64).to_json()),
-                ("tiles".to_owned(), stats.tiles.to_json()),
-            ],
+            args,
         );
     });
     Ok((out, stats))

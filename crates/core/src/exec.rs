@@ -141,6 +141,23 @@ impl GemmExecutor {
                 _ => 0,
             };
             o.metrics.count("core.et_cycles_saved", saved);
+            let scheme_label = self.config.scheme().label();
+            o.metrics
+                .count_labeled("core.gemm_executions", &[("scheme", scheme_label)], 1);
+            o.metrics.count_labeled(
+                "core.mac_windows",
+                &[("scheme", scheme_label)],
+                stats.mac_windows,
+            );
+            let args = o.correlated_args(vec![
+                ("scheme".to_owned(), self.config.scheme().to_json()),
+                ("macs".to_owned(), gemm.macs().to_json()),
+                ("mac_windows".to_owned(), stats.mac_windows.to_json()),
+                (
+                    "saturation_events".to_owned(),
+                    stats.saturation_events.to_json(),
+                ),
+            ]);
             o.tracer.complete(
                 format!("gemm.execute {}", self.config.scheme().label()),
                 "core",
@@ -148,15 +165,7 @@ impl GemmExecutor {
                 0,
                 t0,
                 t1 - t0,
-                vec![
-                    ("scheme".to_owned(), self.config.scheme().to_json()),
-                    ("macs".to_owned(), gemm.macs().to_json()),
-                    ("mac_windows".to_owned(), stats.mac_windows.to_json()),
-                    (
-                        "saturation_events".to_owned(),
-                        stats.saturation_events.to_json(),
-                    ),
-                ],
+                args,
             );
         });
         Ok(GemmOutcome { output, stats })

@@ -1,0 +1,155 @@
+//! `obs_cli` — telemetry-snapshot tooling, starting with `diff`: the
+//! repo's automated perf gate.
+//!
+//! ```sh
+//! # Compare two bench/metrics snapshots; exit 1 on regression.
+//! obs_cli diff BENCH_kernel.json fresh_kernel.json --threshold 20
+//!
+//! # Only the kernel-throughput ratio gates the build; everything else
+//! # (raw wall times shift with machine load) is informational.
+//! obs_cli diff BENCH_kernel.json fresh_kernel.json \
+//!     --threshold 20 --gate speedup
+//!
+//! # Machine-readable report.
+//! obs_cli diff old.json new.json --json
+//! ```
+//!
+//! Any JSON object tree works: `BENCH_*.json` artifacts, `--metrics`
+//! registry snapshots, or `--json` CLI reports. Keys are flattened to
+//! dotted paths, classified by direction heuristics (`speedup` up is
+//! good, `_us`/`stall_cycles` up is bad), and changes beyond the
+//! threshold in the bad direction fail the run.
+//!
+//! Exit codes: 0 no regression, 1 regression detected, 2 usage or I/O
+//! error.
+
+use usystolic_obs::diff::{diff_snapshots, DiffOptions, Direction};
+use usystolic_obs::{JsonValue, ToJson};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_cli diff OLD.json NEW.json [--threshold PCT] [--gate SUBSTR]... [--json]
+
+Flattens both snapshots to dotted numeric keys, classifies each key as
+higher-is-better (speedup, throughput, efficiency, ...) or
+lower-is-better (_us, latency, stall, dropped, ...), and exits 1 when a
+gated key moves beyond the threshold (default 20%) in the bad direction.
+--gate restricts gating to keys containing SUBSTR (repeatable); ungated
+keys are still reported."
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("obs_cli: error: {message}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> JsonValue {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    JsonValue::parse(&text).unwrap_or_else(|e| fail(format!("{path}: invalid JSON: {e:?}")))
+}
+
+fn direction_glyph(d: Direction) -> &'static str {
+    match d {
+        Direction::HigherIsBetter => "↑good",
+        Direction::LowerIsBetter => "↓good",
+        Direction::Unknown => "  -  ",
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage();
+    };
+    if cmd != "diff" {
+        fail(format!("unknown command '{cmd}' (expected 'diff')"));
+    }
+
+    let mut paths: Vec<&str> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut json_out = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--threshold needs a value"));
+                opts.threshold_pct = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--threshold {v}: not a number")));
+                if opts.threshold_pct.is_nan() || opts.threshold_pct < 0.0 {
+                    fail("--threshold must be non-negative");
+                }
+            }
+            "--gate" => {
+                let v = it.next().unwrap_or_else(|| fail("--gate needs a value"));
+                opts.gates.push(v.clone());
+            }
+            "--json" => json_out = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => fail(format!("unknown flag '{other}'")),
+            other => paths.push(other),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+
+    let old = load(paths[0]);
+    let new = load(paths[1]);
+    let report = diff_snapshots(&old, &new, &opts);
+
+    if json_out {
+        println!("{}", report.to_json().render());
+    } else {
+        println!(
+            "obs_cli diff: {} vs {} (threshold {}%{})",
+            paths[0],
+            paths[1],
+            opts.threshold_pct,
+            if opts.gates.is_empty() {
+                String::new()
+            } else {
+                format!(", gates: {}", opts.gates.join(","))
+            }
+        );
+        println!(
+            "{:<44} {:>14} {:>14} {:>9}  {:>6} verdict",
+            "key", "old", "new", "pct", "dir"
+        );
+        for row in &report.rows {
+            let pct = row
+                .pct
+                .map_or_else(|| "n/a".to_owned(), |p| format!("{p:+.1}%"));
+            let verdict = if row.regression { "REGRESSION" } else { "ok" };
+            println!(
+                "{:<44} {:>14} {:>14} {:>9}  {:>6} {}",
+                row.key,
+                format!("{}", row.old),
+                format!("{}", row.new),
+                pct,
+                direction_glyph(row.direction),
+                verdict
+            );
+        }
+        for key in &report.only_old {
+            println!("{key:<44} (only in old snapshot)");
+        }
+        for key in &report.only_new {
+            println!("{key:<44} (only in new snapshot)");
+        }
+        println!(
+            "compared {} keys, {} regression(s)",
+            report.rows.len(),
+            report.regressions()
+        );
+    }
+
+    if report.has_regressions() {
+        std::process::exit(1);
+    }
+}

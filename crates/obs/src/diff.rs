@@ -1,0 +1,413 @@
+//! Snapshot diffing with regression thresholds — the engine behind
+//! `obs_cli diff`, the repo's first automated perf gate.
+//!
+//! Two JSON snapshots (a metrics registry dump, a `BENCH_kernel.json`
+//! bench artifact, a `--json` CLI report — any JSON object tree) are
+//! flattened to dotted numeric keys and compared key by key. Each key is
+//! classified by a direction heuristic — `speedup` and `throughput`
+//! should go up, `_us` and `stall_cycles` should go down — and a change
+//! beyond the configured threshold in the *bad* direction counts as a
+//! regression. CI runs this against the committed kernel bench snapshot
+//! and fails the build on a >20 % throughput drop.
+
+use crate::json::{JsonValue, ToJson};
+use std::collections::BTreeMap;
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (`speedup`, `throughput`, …).
+    HigherIsBetter,
+    /// Smaller is better (`_us`, `latency`, `stall_cycles`, …).
+    LowerIsBetter,
+    /// No heuristic matched: reported, never gated.
+    Unknown,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::HigherIsBetter => "higher_is_better",
+            Direction::LowerIsBetter => "lower_is_better",
+            Direction::Unknown => "unknown",
+        }
+    }
+}
+
+/// Substrings marking a key as higher-is-better.
+const HIGHER_TOKENS: &[&str] = &[
+    "speedup",
+    "throughput",
+    "per_s",
+    "efficiency",
+    "utilization",
+    "admitted",
+    "completed",
+    "consistent",
+    "match",
+    "bit_exact",
+    "inferences",
+    "lifetime",
+];
+
+/// Substrings marking a key as lower-is-better.
+const LOWER_TOKENS: &[&str] = &[
+    "_us",
+    "_ms",
+    "_ns",
+    "latency",
+    "cycles",
+    "stall",
+    "dropped",
+    "rejected",
+    "missed",
+    "queue_wait",
+    "overhead",
+    "conflicts",
+    "late",
+    "_bytes",
+];
+
+/// Classifies a flattened key by substring heuristics. Higher-is-better
+/// tokens win ties (so `throughput_cycles`-style compounds lean on the
+/// more specific head noun).
+#[must_use]
+pub fn classify(key: &str) -> Direction {
+    let lower = key.to_ascii_lowercase();
+    if HIGHER_TOKENS.iter().any(|t| lower.contains(t)) {
+        return Direction::HigherIsBetter;
+    }
+    if LOWER_TOKENS.iter().any(|t| lower.contains(t)) {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Unknown
+}
+
+/// Flattens a JSON tree to dotted numeric keys: objects nest with `.`,
+/// arrays index with `.N`, booleans map to 0/1, strings and nulls are
+/// skipped.
+#[must_use]
+pub fn flatten(value: &JsonValue) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    flatten_into(value, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(value: &JsonValue, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        JsonValue::Object(pairs) => {
+            for (k, v) in pairs {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(v, key, out);
+            }
+        }
+        JsonValue::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                let key = if prefix.is_empty() {
+                    i.to_string()
+                } else {
+                    format!("{prefix}.{i}")
+                };
+                flatten_into(v, key, out);
+            }
+        }
+        JsonValue::Bool(b) => {
+            out.insert(prefix, if *b { 1.0 } else { 0.0 });
+        }
+        other => {
+            if let Some(n) = other.as_f64() {
+                out.insert(prefix, n);
+            }
+        }
+    }
+}
+
+/// Options for a diff run.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Percent change beyond which a gated key regresses (default 20).
+    pub threshold_pct: f64,
+    /// When non-empty, only keys containing one of these substrings
+    /// (case-insensitive) can fail the gate; everything else is
+    /// informational.
+    pub gates: Vec<String>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            threshold_pct: 20.0,
+            gates: Vec::new(),
+        }
+    }
+}
+
+/// One compared key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Flattened dotted key.
+    pub key: String,
+    /// Value in the old snapshot.
+    pub old: f64,
+    /// Value in the new snapshot.
+    pub new: f64,
+    /// Absolute change (`new - old`).
+    pub delta: f64,
+    /// Percent change relative to `|old|`, when `old != 0`.
+    pub pct: Option<f64>,
+    /// The direction heuristic's verdict for this key.
+    pub direction: Direction,
+    /// True when this key moved beyond the threshold in the bad
+    /// direction *and* matched the gate filter.
+    pub regression: bool,
+}
+
+impl ToJson for DiffRow {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("key", JsonValue::Str(self.key.clone())),
+            ("old", self.old.to_json()),
+            ("new", self.new.to_json()),
+            ("delta", self.delta.to_json()),
+            ("pct", self.pct.to_json()),
+            (
+                "direction",
+                JsonValue::Str(self.direction.as_str().to_owned()),
+            ),
+            ("regression", self.regression.to_json()),
+        ])
+    }
+}
+
+/// The result of diffing two snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Keys present in both snapshots, in key order.
+    pub rows: Vec<DiffRow>,
+    /// Keys only the old snapshot has.
+    pub only_old: Vec<String>,
+    /// Keys only the new snapshot has.
+    pub only_new: Vec<String>,
+}
+
+impl DiffReport {
+    /// Number of regressed keys.
+    #[must_use]
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.regression).count()
+    }
+
+    /// True when any gated key regressed.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.rows.iter().any(|r| r.regression)
+    }
+}
+
+impl ToJson for DiffReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            (
+                "rows",
+                JsonValue::Array(self.rows.iter().map(ToJson::to_json).collect()),
+            ),
+            ("only_old", self.only_old.to_json()),
+            ("only_new", self.only_new.to_json()),
+            ("regressions", self.regressions().to_json()),
+        ])
+    }
+}
+
+fn gate_matches(gates: &[String], key: &str) -> bool {
+    if gates.is_empty() {
+        return true;
+    }
+    let lower = key.to_ascii_lowercase();
+    gates
+        .iter()
+        .any(|g| lower.contains(&g.to_ascii_lowercase()))
+}
+
+/// Diffs two parsed snapshots.
+#[must_use]
+pub fn diff_snapshots(old: &JsonValue, new: &JsonValue, opts: &DiffOptions) -> DiffReport {
+    let old_flat = flatten(old);
+    let new_flat = flatten(new);
+    let mut report = DiffReport::default();
+
+    for (key, &old_v) in &old_flat {
+        match new_flat.get(key) {
+            None => report.only_old.push(key.clone()),
+            Some(&new_v) => {
+                let delta = new_v - old_v;
+                // Exact-zero baseline sentinel, not a tolerance check:
+                // any non-zero baseline yields a percentage. lint: allow(float-eq)
+                let pct = if old_v == 0.0 {
+                    None
+                } else {
+                    Some(delta / old_v.abs() * 100.0)
+                };
+                let direction = classify(key);
+                let worse = match (direction, pct) {
+                    (Direction::HigherIsBetter, Some(p)) => p < -opts.threshold_pct,
+                    (Direction::LowerIsBetter, Some(p)) => p > opts.threshold_pct,
+                    // old == 0: a lower-is-better key springing to life
+                    // (e.g. dropped events) counts; higher-is-better
+                    // collapsing to a zero baseline cannot be scored.
+                    (Direction::LowerIsBetter, None) => new_v > 0.0,
+                    _ => false,
+                };
+                report.rows.push(DiffRow {
+                    key: key.clone(),
+                    old: old_v,
+                    new: new_v,
+                    delta,
+                    pct,
+                    direction,
+                    regression: worse && gate_matches(&opts.gates, key),
+                });
+            }
+        }
+    }
+    for key in new_flat.keys() {
+        if !old_flat.contains_key(key) {
+            report.only_new.push(key.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JsonValue {
+        JsonValue::parse(s).expect("test JSON")
+    }
+
+    #[test]
+    fn flatten_handles_nesting_arrays_and_bools() {
+        let v = parse(r#"{"a":{"b":1.5},"list":[10,20],"ok":true,"name":"x"}"#);
+        let flat = flatten(&v);
+        assert_eq!(flat.get("a.b"), Some(&1.5));
+        assert_eq!(flat.get("list.0"), Some(&10.0));
+        assert_eq!(flat.get("list.1"), Some(&20.0));
+        assert_eq!(flat.get("ok"), Some(&1.0));
+        assert!(!flat.contains_key("name"));
+    }
+
+    #[test]
+    fn direction_heuristics() {
+        assert_eq!(classify("speedup"), Direction::HigherIsBetter);
+        assert_eq!(classify("throughput_per_s"), Direction::HigherIsBetter);
+        assert_eq!(classify("scaling_efficiency"), Direction::HigherIsBetter);
+        assert_eq!(classify("packed_us"), Direction::LowerIsBetter);
+        assert_eq!(classify("serve.p99_cycles"), Direction::LowerIsBetter);
+        assert_eq!(classify("stall_cycles"), Direction::LowerIsBetter);
+        assert_eq!(classify("tile"), Direction::Unknown);
+    }
+
+    #[test]
+    fn speedup_drop_beyond_threshold_regresses() {
+        let old = parse(r#"{"speedup":32.9}"#);
+        let new = parse(r#"{"speedup":20.0}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(report.has_regressions());
+        let row = &report.rows[0];
+        assert!(row.regression);
+        assert!(row.pct.unwrap() < -20.0);
+    }
+
+    #[test]
+    fn small_movement_passes() {
+        let old = parse(r#"{"speedup":32.9,"packed_us":253.0}"#);
+        let new = parse(r#"{"speedup":30.0,"packed_us":280.0}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.rows.len(), 2);
+    }
+
+    #[test]
+    fn latency_rise_beyond_threshold_regresses() {
+        let old = parse(r#"{"packed_us":100.0}"#);
+        let new = parse(r#"{"packed_us":150.0}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(report.has_regressions());
+    }
+
+    #[test]
+    fn improvement_never_regresses() {
+        let old = parse(r#"{"speedup":10.0,"packed_us":500.0}"#);
+        let new = parse(r#"{"speedup":40.0,"packed_us":100.0}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn unknown_direction_is_reported_not_gated() {
+        let old = parse(r#"{"tile":16}"#);
+        let new = parse(r#"{"tile":4}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.rows[0].direction, Direction::Unknown);
+    }
+
+    #[test]
+    fn gates_restrict_failures() {
+        let old = parse(r#"{"speedup":30.0,"serial_us":100.0}"#);
+        let new = parse(r#"{"speedup":30.0,"serial_us":1000.0}"#);
+        let gated = DiffOptions {
+            threshold_pct: 20.0,
+            gates: vec!["speedup".to_owned()],
+        };
+        // serial_us blew up, but only speedup is gated.
+        let report = diff_snapshots(&old, &new, &gated);
+        assert!(!report.has_regressions());
+        // Ungated, the same diff fails.
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(report.has_regressions());
+    }
+
+    #[test]
+    fn zero_baseline_lower_is_better_counts_new_badness() {
+        let old = parse(r#"{"dropped":0}"#);
+        let new = parse(r#"{"dropped":12}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert!(report.has_regressions());
+    }
+
+    #[test]
+    fn disjoint_keys_are_listed() {
+        let old = parse(r#"{"a":1,"b":2}"#);
+        let new = parse(r#"{"b":2,"c":3}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        assert_eq!(report.only_old, ["a"]);
+        assert_eq!(report.only_new, ["c"]);
+        assert_eq!(report.rows.len(), 1);
+    }
+
+    #[test]
+    fn boolean_flip_to_false_regresses_match_keys() {
+        let old = parse(r#"{"checksums_match":true}"#);
+        let new = parse(r#"{"checksums_match":false}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        // 1 -> 0 is a 100% drop on a higher-is-better key.
+        assert!(report.has_regressions());
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let old = parse(r#"{"speedup":10.0}"#);
+        let new = parse(r#"{"speedup":5.0}"#);
+        let report = diff_snapshots(&old, &new, &DiffOptions::default());
+        let j = report.to_json();
+        assert_eq!(j.get("regressions").unwrap().as_u64(), Some(1));
+        let rows = j.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("key").unwrap().as_str(), Some("speedup"));
+        assert_eq!(rows[0].get("regression").unwrap().as_bool(), Some(true));
+    }
+}

@@ -76,6 +76,15 @@ impl JsonValue {
         }
     }
 
+    /// The node as a `bool` if it is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The node as a string slice if it is a string.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

@@ -1,0 +1,274 @@
+//! Dimensional metric keys: a metric is identified by `(name, sorted
+//! label set)` so one logical signal — `serve.rejected`, say — can be
+//! broken down per shard, priority class, or computing scheme without
+//! exploding into ad-hoc name suffixes.
+//!
+//! Labels are carried as borrowed `&[(&str, &str)]` slices right up to
+//! the point a session is known to be installed, so a disabled
+//! instrumentation site stays allocation-free (pinned by the
+//! `noop_overhead` test). The [`labels!`] macro builds such a slice in
+//! place:
+//!
+//! ```
+//! use usystolic_obs::labels;
+//!
+//! let l = labels!("class" => "alexnet", "priority" => "high");
+//! assert_eq!(l.len(), 2);
+//! ```
+//!
+//! Inside the registry the pairs become an owned [`LabelSet`], sorted by
+//! key (`BTreeMap`-style) so that rendering, JSON snapshots and
+//! Prometheus exposition are deterministic regardless of the order the
+//! call site listed the labels in.
+
+use crate::json::{JsonValue, ToJson};
+
+/// Builds a `&[(&str, &str)]` label slice in place, without allocating.
+///
+/// ```
+/// use usystolic_obs::labels;
+/// let empty = labels!();
+/// assert!(empty.is_empty());
+/// let one = labels!("scheme" => "UR");
+/// assert_eq!(one, &[("scheme", "UR")]);
+/// ```
+#[macro_export]
+macro_rules! labels {
+    () => {
+        &[] as &[(&str, &str)]
+    };
+    ($($k:expr => $v:expr),+ $(,)?) => {
+        &[$(($k, $v)),+] as &[(&str, &str)]
+    };
+}
+
+/// An owned, key-sorted set of `key=value` labels.
+///
+/// Keys are unique; when the input slice repeats a key the last value
+/// wins (matching `BTreeMap::insert` semantics).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSet {
+    pairs: Vec<(String, String)>,
+}
+
+impl LabelSet {
+    /// The empty label set (the key of every unlabeled metric).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from borrowed pairs, sorting by key and keeping the
+    /// last value for duplicate keys.
+    #[must_use]
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Self {
+        let mut owned: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        owned.sort_by(|a, b| a.0.cmp(&b.0));
+        owned.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                // `dedup_by` keeps the *first* of a run; we want the last
+                // occurrence, so copy it forward before dropping.
+                earlier.1 = std::mem::take(&mut later.1);
+                true
+            } else {
+                false
+            }
+        });
+        Self { pairs: owned }
+    }
+
+    /// True when no labels are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Looks up a label value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.pairs[i].1.as_str())
+    }
+
+    /// Renders the `{k="v",...}` suffix, or the empty string when there
+    /// are no labels. Values are escaped Prometheus-style (`\\`, `\"`,
+    /// `\n`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.pairs.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(&mut out, v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+impl ToJson for LabelSet {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                .collect(),
+        )
+    }
+}
+
+/// The full identity of a dimensional metric: name plus label set.
+///
+/// Ordering is by name first, then by the sorted labels, so a
+/// `BTreeMap<MetricKey, _>` iterates all series of one metric
+/// contiguously — exactly the grouping the Prometheus exporter needs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    name: String,
+    labels: LabelSet,
+}
+
+impl MetricKey {
+    /// Builds a key from a name and borrowed label pairs.
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        Self {
+            name: name.to_owned(),
+            labels: LabelSet::from_pairs(labels),
+        }
+    }
+
+    /// An unlabeled key.
+    #[must_use]
+    pub fn plain(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            labels: LabelSet::empty(),
+        }
+    }
+
+    /// The metric name without labels.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The label set.
+    #[must_use]
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// The canonical string form: `name` when unlabeled, otherwise
+    /// `name{k="v",...}` with keys sorted. This is the key used in JSON
+    /// snapshots.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut out = self.name.clone();
+        out.push_str(&self.labels.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sort_by_key_regardless_of_call_order() {
+        let a = LabelSet::from_pairs(labels!("z" => "1", "a" => "2"));
+        let b = LabelSet::from_pairs(labels!("a" => "2", "z" => "1"));
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "{a=\"2\",z=\"1\"}");
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let l = LabelSet::from_pairs(labels!("k" => "old", "k" => "new"));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get("k"), Some("new"));
+    }
+
+    #[test]
+    fn empty_set_renders_nothing() {
+        assert_eq!(LabelSet::empty().render(), "");
+        assert_eq!(
+            MetricKey::plain("serve.rejected").canonical(),
+            "serve.rejected"
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_prometheus_like() {
+        let k = MetricKey::new(
+            "serve.rejected",
+            labels!("class" => "alexnet", "prio" => "high"),
+        );
+        assert_eq!(
+            k.canonical(),
+            "serve.rejected{class=\"alexnet\",prio=\"high\"}"
+        );
+    }
+
+    #[test]
+    fn values_are_escaped() {
+        let l = LabelSet::from_pairs(labels!("k" => "a\"b\\c\nd"));
+        assert_eq!(l.render(), "{k=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn ordering_groups_series_of_one_name() {
+        let mut keys = [
+            MetricKey::new("b", labels!("x" => "2")),
+            MetricKey::plain("b"),
+            MetricKey::new("a", labels!("x" => "1")),
+            MetricKey::new("b", labels!("x" => "1")),
+        ];
+        keys.sort();
+        let canon: Vec<String> = keys.iter().map(MetricKey::canonical).collect();
+        assert_eq!(canon, ["a{x=\"1\"}", "b", "b{x=\"1\"}", "b{x=\"2\"}"]);
+    }
+
+    #[test]
+    fn get_on_sorted_pairs() {
+        let l = LabelSet::from_pairs(labels!("b" => "2", "a" => "1", "c" => "3"));
+        assert_eq!(l.get("a"), Some("1"));
+        assert_eq!(l.get("b"), Some("2"));
+        assert_eq!(l.get("c"), Some("3"));
+        assert_eq!(l.get("d"), None);
+    }
+}

@@ -1,14 +1,25 @@
 //! # usystolic-obs — zero-dependency observability
 //!
-//! Cycle-level tracing, a metrics registry and structured JSON export for
-//! the uSystolic workspace, with **no external dependencies**:
+//! Cycle-level tracing, a dimensional metrics registry and structured
+//! JSON export for the uSystolic workspace, with **no external
+//! dependencies**:
 //!
 //! * [`json`] — a hand-rolled JSON writer/parser and the [`ToJson`] trait
 //!   (the workspace's stand-in for `serde::Serialize`);
-//! * [`metrics`] — counters, gauges and fixed-bucket histograms;
+//! * [`label`] — `(name, sorted label set)` metric keys and the
+//!   [`labels!`] builder macro;
+//! * [`metrics`] — counters, gauges, fixed-bucket histograms, streaming
+//!   quantile sketches and windowed time series, all label-aware;
+//! * [`sketch`] — a deterministic mergeable t-digest for p50/p95/p99
+//!   without storing samples;
+//! * [`series`] — rings of fixed-width cycle buckets for rolling rates;
 //! * [`trace`] — a bounded-ring-buffer span/event tracer exporting Chrome
 //!   `trace_event` JSON (loadable in `chrome://tracing` / Perfetto) and
-//!   JSONL.
+//!   JSONL;
+//! * [`export`] — Prometheus text exposition and a self-contained HTML
+//!   report with inline SVG sparklines;
+//! * [`diff`] — a snapshot differ with regression thresholds, the engine
+//!   behind `obs_cli diff`.
 //!
 //! ## Sessions
 //!
@@ -25,6 +36,7 @@
 //! obs::install(obs::Session::new());
 //! // ... run instrumented code: Simulator::simulate, GemmExecutor::execute ...
 //! obs::with(|o| o.metrics.count("my.counter", 1));
+//! obs::count_labeled("my.rejected", obs::labels!("class" => "edge"), 1);
 //! let session = obs::take().expect("installed above");
 //! assert_eq!(session.metrics.counter("my.counter"), 1);
 //! let chrome_json = session.tracer.export_chrome();
@@ -34,30 +46,56 @@
 //! Sessions are deliberately thread-local: the simulator is
 //! single-threaded per design point, and sweep harnesses that fan out
 //! across threads install one session per worker and
-//! [`Registry::absorb`] the results.
+//! [`Registry::absorb`] the results (histograms, sketches and series all
+//! merge rather than clobber).
+//!
+//! ## Request correlation
+//!
+//! A session carries an optional `request_id` / `shard_id` pair. The
+//! serve engine sets them around admission and batch dispatch, and every
+//! span recorded through [`Session::correlated_args`] picks them up, so
+//! one request's admission → batch → layer → tile path reconstructs in
+//! Perfetto by filtering on `req`.
 
+pub mod diff;
+pub mod export;
 pub mod json;
+pub mod label;
 pub mod metrics;
+pub mod series;
+pub mod sketch;
 pub mod trace;
 
+pub use diff::{DiffOptions, DiffReport, DiffRow, Direction};
+pub use export::{html_report, prometheus_text};
 pub use json::{JsonError, JsonValue, ToJson};
-pub use metrics::{Histogram, Registry};
+pub use label::{LabelSet, MetricKey};
+pub use metrics::{Histogram, Registry, ABSORB_CONFLICTS};
+pub use series::{SeriesBucket, TimeSeries};
+pub use sketch::QuantileSketch;
 pub use trace::{Phase, TraceEvent, Tracer, DEFAULT_CAPACITY, PID_SIM, PID_WALL};
 
 use std::cell::RefCell;
 
-/// One observability session: a tracer, a metrics registry and the
-/// virtual cycle cursor the timing simulator advances.
+/// One observability session: a tracer, a metrics registry, the virtual
+/// cycle cursor the timing simulator advances, and the correlation
+/// fields the serve engine threads through spans.
 #[derive(Debug, Default)]
 pub struct Session {
     /// Span/event ring buffer.
     pub tracer: Tracer,
-    /// Counters, gauges, histograms.
+    /// Counters, gauges, histograms, sketches, series.
     pub metrics: Registry,
     /// Virtual timeline cursor for simulated-cycle spans: each
     /// `Simulator::simulate` call places its layer span here and advances
     /// the cursor by the layer's runtime cycles.
     pub sim_cycles: u64,
+    /// The request currently being served, if any; spans recorded while
+    /// set carry a `req` argument.
+    pub request_id: Option<u64>,
+    /// The shard/instance currently executing, if any; spans recorded
+    /// while set carry a `shard` argument.
+    pub shard_id: Option<u64>,
 }
 
 impl Session {
@@ -76,9 +114,22 @@ impl Session {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             tracer: Tracer::new(capacity),
-            metrics: Registry::new(),
-            sim_cycles: 0,
+            ..Self::default()
         }
+    }
+
+    /// Appends the active correlation fields (`req`, `shard`) to a span
+    /// argument list and returns it — instrumentation sites pass their
+    /// own args through this so traces become request-filterable.
+    #[must_use]
+    pub fn correlated_args(&self, mut args: Vec<(String, JsonValue)>) -> Vec<(String, JsonValue)> {
+        if let Some(req) = self.request_id {
+            args.push(("req".to_owned(), JsonValue::UInt(req)));
+        }
+        if let Some(shard) = self.shard_id {
+            args.push(("shard".to_owned(), JsonValue::UInt(shard)));
+        }
+        args
     }
 }
 
@@ -119,16 +170,69 @@ pub fn count(name: &str, v: u64) {
     with(|o| o.metrics.count(name, v));
 }
 
+/// Convenience: adds to a labeled counter (no-op when disabled; the
+/// label slice is borrowed, so the disabled path does not allocate).
+pub fn count_labeled(name: &str, labels: &[(&str, &str)], v: u64) {
+    with(|o| o.metrics.count_labeled(name, labels, v));
+}
+
 /// Convenience: sets a gauge in the installed session (no-op when
 /// disabled).
 pub fn gauge(name: &str, v: f64) {
     with(|o| o.metrics.gauge(name, v));
 }
 
+/// Convenience: sets a labeled gauge (no-op when disabled).
+pub fn gauge_labeled(name: &str, labels: &[(&str, &str)], v: f64) {
+    with(|o| o.metrics.gauge_labeled(name, labels, v));
+}
+
 /// Convenience: records a histogram sample in the installed session
 /// (no-op when disabled).
 pub fn observe(name: &str, v: f64) {
     with(|o| o.metrics.observe(name, v));
+}
+
+/// Convenience: records a labeled histogram sample (no-op when
+/// disabled).
+pub fn observe_labeled(name: &str, labels: &[(&str, &str)], v: f64) {
+    with(|o| o.metrics.observe_labeled(name, labels, v));
+}
+
+/// Convenience: records a streaming-quantile sample (no-op when
+/// disabled).
+pub fn record_quantile(name: &str, v: f64) {
+    with(|o| o.metrics.record_quantile(name, v));
+}
+
+/// Convenience: records a labeled streaming-quantile sample (no-op when
+/// disabled).
+pub fn record_quantile_labeled(name: &str, labels: &[(&str, &str)], v: f64) {
+    with(|o| o.metrics.record_quantile_labeled(name, labels, v));
+}
+
+/// Convenience: records a windowed time-series sample (no-op when
+/// disabled).
+pub fn series_record(name: &str, cycle: u64, v: f64) {
+    with(|o| o.metrics.series_record(name, cycle, v));
+}
+
+/// Convenience: records a labeled windowed time-series sample (no-op
+/// when disabled).
+pub fn series_record_labeled(name: &str, labels: &[(&str, &str)], cycle: u64, v: f64) {
+    with(|o| o.metrics.series_record_labeled(name, labels, cycle, v));
+}
+
+/// Sets (or clears) the request-correlation id on the installed session
+/// (no-op when disabled).
+pub fn set_request_id(id: Option<u64>) {
+    with(|o| o.request_id = id);
+}
+
+/// Sets (or clears) the shard-correlation id on the installed session
+/// (no-op when disabled).
+pub fn set_shard_id(id: Option<u64>) {
+    with(|o| o.shard_id = id);
 }
 
 #[cfg(test)]
@@ -158,6 +262,10 @@ mod tests {
         count("never", 1);
         gauge("never", 1.0);
         observe("never", 1.0);
+        count_labeled("never", labels!("k" => "v"), 1);
+        record_quantile("never", 1.0);
+        series_record("never", 0, 1.0);
+        set_request_id(Some(1));
         with(|_| panic!("must not run without a session"));
         assert!(take().is_none());
     }
@@ -170,5 +278,68 @@ mod tests {
         assert_eq!(prev.metrics.counter("a"), 1);
         let fresh = take().expect("fresh session");
         assert_eq!(fresh.metrics.counter("a"), 0);
+    }
+
+    #[test]
+    fn labeled_helpers_hit_the_registry() {
+        install(Session::new());
+        count_labeled("c", labels!("k" => "v"), 2);
+        gauge_labeled("g", labels!("k" => "v"), 1.5);
+        observe_labeled("h", labels!("k" => "v"), 3.0);
+        record_quantile_labeled("q", labels!("k" => "v"), 4.0);
+        series_record_labeled("s", labels!("k" => "v"), 100, 1.0);
+        let s = take().expect("installed");
+        assert_eq!(s.metrics.counter_labeled("c", labels!("k" => "v")), 2);
+        assert_eq!(
+            s.metrics.gauge_value_labeled("g", labels!("k" => "v")),
+            Some(1.5)
+        );
+        assert_eq!(
+            s.metrics
+                .histogram_labeled("h", labels!("k" => "v"))
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            s.metrics
+                .sketch_labeled("q", labels!("k" => "v"))
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            s.metrics
+                .series_labeled("s", labels!("k" => "v"))
+                .unwrap()
+                .window_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn correlation_ids_thread_into_span_args() {
+        install(Session::new());
+        set_request_id(Some(7));
+        set_shard_id(Some(3));
+        with(|o| {
+            let args = o.correlated_args(vec![("x".to_owned(), JsonValue::UInt(1))]);
+            let ts = o.tracer.now_us();
+            o.tracer
+                .complete("work", "test", PID_WALL, 0, ts, 1.0, args);
+        });
+        set_request_id(None);
+        set_shard_id(None);
+        let s = take().expect("installed");
+        let ev = s.tracer.events().next().expect("one span");
+        let args = &ev.args;
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "req" && v.as_u64() == Some(7)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "shard" && v.as_u64() == Some(3)));
+        assert_eq!(s.request_id, None);
+        assert_eq!(s.shard_id, None);
     }
 }

@@ -1,0 +1,457 @@
+//! A deterministic, mergeable streaming-quantile sketch (merging
+//! t-digest with a fixed compression factor).
+//!
+//! The serve engine needs p50/p95/p99 of the request-latency
+//! distribution without storing every sample, and sweep fan-outs need to
+//! *merge* per-chunk digests into one. This implementation follows the
+//! merging t-digest of Dunning & Ertl with the `k1` (arcsine) scale
+//! function and makes two deliberate restrictions so results are
+//! bit-reproducible:
+//!
+//! * **no randomness** — ties are broken by insertion order via a stable
+//!   sort, never by coin flip;
+//! * **no wall clock** — compression triggers purely on buffer size.
+//!
+//! The digest is therefore a pure function of the observation sequence,
+//! and a merge is a pure function of the two digests in argument order.
+//! Call sites that fold worker results merge in a fixed chunk order, so
+//! worker count never changes the result (pinned by the
+//! `labeled_metrics_deterministic_across_worker_counts` integration
+//! test).
+//!
+//! ## Error bound
+//!
+//! With the default compression `δ = 128`, the `k1` scale function bounds
+//! every centroid's weight by `4·n·q(1−q)/δ`, which caps the *rank* error
+//! of an interpolated quantile at about `2·q(1−q)/δ` of the sample count:
+//! ≲ 0.4 % of `n` at the median and tighter toward the tails (p95/p99).
+//! The `docs/observability.md` catalog and the
+//! `sketch_agrees_with_exact_histogram_on_serve_latency` test both work
+//! to a conservative ±1 % rank band.
+
+use crate::json::{JsonValue, ToJson};
+
+/// Default compression factor: ~2× the centroid budget, ≲0.4 % mid-range
+/// rank error.
+pub const DEFAULT_COMPRESSION: f64 = 128.0;
+
+/// Buffered observations per compression pass, as a multiple of the
+/// compression factor.
+const BUFFER_FACTOR: f64 = 4.0;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Centroid {
+    mean: f64,
+    weight: f64,
+}
+
+/// A mergeable t-digest quantile sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_COMPRESSION)
+    }
+}
+
+impl QuantileSketch {
+    /// Creates a sketch with the given compression factor (clamped to at
+    /// least 16; larger is more accurate and more memory).
+    #[must_use]
+    pub fn new(compression: f64) -> Self {
+        let compression = if compression.is_finite() && compression > 16.0 {
+            compression
+        } else {
+            16.0
+        };
+        Self {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buffer.push(v);
+        if self.buffer.len() >= (BUFFER_FACTOR * self.compression) as usize {
+            self.compress();
+        }
+    }
+
+    /// Folds another sketch into this one. The result keeps `self`'s
+    /// compression factor and is a deterministic function of the two
+    /// digests in this argument order.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.centroids.extend(other.centroids.iter().copied());
+        self.buffer.extend(other.buffer.iter().copied());
+        self.compress();
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The configured compression factor.
+    #[must_use]
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Number of centroids currently held (after an internal flush the
+    /// bound is ~`2 × compression`).
+    #[must_use]
+    pub fn centroid_count(&self) -> usize {
+        self.centroids.len() + self.buffer.len()
+    }
+
+    /// Estimates the quantile `q ∈ [0, 1]`, or `None` when empty.
+    /// `q ≤ 0` returns the minimum, `q ≥ 1` the maximum.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        // Work on the merged view of flushed centroids + pending buffer
+        // singletons so `&self` access never mutates state.
+        let mut view: Vec<Centroid> = self.centroids.clone();
+        view.extend(self.buffer.iter().map(|&v| Centroid {
+            mean: v,
+            weight: 1.0,
+        }));
+        view.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+
+        let total = self.count as f64;
+        let target = q * total;
+        // Each centroid's mass is centred at (cumulative + weight/2);
+        // interpolate linearly between adjacent centres and clamp to the
+        // exact observed extremes.
+        let mut cum = 0.0;
+        let mut prev_centre = 0.0;
+        let mut prev_mean = self.min;
+        for c in &view {
+            let centre = cum + c.weight / 2.0;
+            if target <= centre {
+                if centre <= prev_centre {
+                    return Some(c.mean.clamp(self.min, self.max));
+                }
+                let t = (target - prev_centre) / (centre - prev_centre);
+                let v = prev_mean + t * (c.mean - prev_mean);
+                return Some(v.clamp(self.min, self.max));
+            }
+            cum += c.weight;
+            prev_centre = centre;
+            prev_mean = c.mean;
+        }
+        Some(self.max)
+    }
+
+    /// Estimates the percentile `p ∈ [0, 100]` (mirrors
+    /// `LatencySummary`'s convention), or `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        self.quantile(p / 100.0)
+    }
+
+    /// The `k1` scale function: maps `q ∈ [0,1]` to `k ∈ [0, δ]` with
+    /// fine resolution at both tails.
+    fn k_scale(&self, q: f64) -> f64 {
+        let clamped = q.clamp(0.0, 1.0);
+        self.compression * ((2.0 * clamped - 1.0).asin() / std::f64::consts::PI + 0.5)
+    }
+
+    fn k_inverse(&self, k: f64) -> f64 {
+        let x = (k / self.compression - 0.5) * std::f64::consts::PI;
+        (x.sin() + 1.0) / 2.0
+    }
+
+    /// Flushes the buffer into the centroid list with one merge pass.
+    fn compress(&mut self) {
+        if self.buffer.is_empty() && self.centroids.len() <= (2.0 * self.compression) as usize {
+            return;
+        }
+        let mut incoming: Vec<Centroid> = std::mem::take(&mut self.centroids);
+        incoming.extend(self.buffer.drain(..).map(|v| Centroid {
+            mean: v,
+            weight: 1.0,
+        }));
+        incoming.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+        if incoming.is_empty() {
+            return;
+        }
+
+        let total: f64 = incoming.iter().map(|c| c.weight).sum();
+        let mut out: Vec<Centroid> = Vec::with_capacity((2.0 * self.compression) as usize);
+        let mut acc = incoming[0];
+        let mut q_left = 0.0;
+        let mut q_limit = self.k_inverse(self.k_scale(0.0) + 1.0);
+        for c in incoming.iter().skip(1) {
+            let q_right = q_left + (acc.weight + c.weight) / total;
+            if q_right <= q_limit {
+                // Weighted mean keeps the centroid's centre exact.
+                let w = acc.weight + c.weight;
+                acc.mean = (acc.mean * acc.weight + c.mean * c.weight) / w;
+                acc.weight = w;
+            } else {
+                q_left += acc.weight / total;
+                q_limit = self.k_inverse(self.k_scale(q_left) + 1.0);
+                out.push(acc);
+                acc = *c;
+            }
+        }
+        out.push(acc);
+        self.centroids = out;
+    }
+}
+
+impl ToJson for QuantileSketch {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("min", self.min().to_json()),
+            ("max", self.max().to_json()),
+            ("compression", self.compression.to_json()),
+            ("p50", self.quantile(0.50).to_json()),
+            ("p95", self.quantile(0.95).to_json()),
+            ("p99", self.quantile(0.99).to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank percentile (the `crates/serve` histogram
+    /// convention): rank = ceil(p/100 · n), 1-based.
+    fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+        assert!(!sorted.is_empty());
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    /// Deterministic sample stream (SplitMix64-style, fixed seed).
+    fn samples(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                // Skewed, latency-like distribution: mostly small with a
+                // long tail.
+                let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                1.0 + 5000.0 * u * u * u * u
+            })
+            .collect()
+    }
+
+    fn rank_of(sorted: &[f64], v: f64) -> f64 {
+        let below = sorted.iter().filter(|&&x| x <= v).count();
+        below as f64 / sorted.len() as f64
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut s = QuantileSketch::default();
+        s.observe(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn quantiles_within_one_percent_rank_error() {
+        let mut data = samples(20_000, 7);
+        let mut s = QuantileSketch::default();
+        for &v in &data {
+            s.observe(v);
+        }
+        data.sort_by(f64::total_cmp);
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0] {
+            let est = s.percentile(p).unwrap();
+            let r = rank_of(&data, est);
+            assert!(
+                (r - p / 100.0).abs() <= 0.01,
+                "p{p}: estimated {est} sits at rank {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_rank_agreement_on_small_exact_band() {
+        let mut data = samples(5000, 3);
+        let mut s = QuantileSketch::default();
+        for &v in &data {
+            s.observe(v);
+        }
+        data.sort_by(f64::total_cmp);
+        for p in [50.0, 95.0, 99.0] {
+            let est = s.percentile(p).unwrap();
+            let lo = exact_percentile(&data, (p - 1.0).max(0.0));
+            let hi = exact_percentile(&data, (p + 1.0).min(100.0));
+            assert!(
+                est >= lo && est <= hi,
+                "p{p}: {est} outside nearest-rank band [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential_observation() {
+        let data = samples(8192, 11);
+        let mut whole = QuantileSketch::default();
+        for &v in &data {
+            whole.observe(v);
+        }
+        // Merge per-chunk digests in fixed chunk order.
+        let mut merged = QuantileSketch::default();
+        for chunk in data.chunks(1000) {
+            let mut part = QuantileSketch::default();
+            for &v in chunk {
+                part.observe(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [50.0, 95.0, 99.0] {
+            let est = merged.percentile(p).unwrap();
+            let r = rank_of(&sorted, est);
+            assert!(
+                (r - p / 100.0).abs() <= 0.01,
+                "merged p{p}: {est} at rank {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_streams_give_bit_identical_digests() {
+        let data = samples(4096, 5);
+        let build = || {
+            let mut s = QuantileSketch::default();
+            for &v in &data {
+                s.observe(v);
+            }
+            s
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+
+    #[test]
+    fn centroid_budget_is_bounded() {
+        let mut s = QuantileSketch::default();
+        for &v in &samples(100_000, 1) {
+            s.observe(v);
+        }
+        assert!(
+            s.centroid_count() <= (6.0 * s.compression()) as usize,
+            "centroids {} exceed budget",
+            s.centroid_count()
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut s = QuantileSketch::default();
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        s.observe(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn json_shape_has_percentiles() {
+        let mut s = QuantileSketch::default();
+        for v in 1..=100 {
+            s.observe(f64::from(v));
+        }
+        let j = s.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(100));
+        assert!(j.get("p50").unwrap().as_f64().unwrap() > 0.0);
+        assert!(j.get("p99").unwrap().as_f64().unwrap() >= j.get("p50").unwrap().as_f64().unwrap());
+    }
+}

@@ -36,8 +36,14 @@ fn allocations_during<F: FnOnce()>(f: F) -> u64 {
     ALLOCATIONS.load(Ordering::SeqCst) - before
 }
 
+/// The allocation counter is process-global, so tests in this file must
+/// not run concurrently: a test that legitimately allocates (or the
+/// harness itself) would be charged to another test's measured region.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn disabled_instrumentation_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
     assert!(
         usystolic_obs::take().is_none(),
         "test requires no installed session"
@@ -64,8 +70,46 @@ fn disabled_instrumentation_does_not_allocate() {
     );
 }
 
+/// The dimensional sites added for fleet telemetry — labeled counters/
+/// gauges/histograms, streaming sketches, windowed series and the
+/// request-correlation setters — stay allocation-free when disabled:
+/// labels are borrowed `&[(&str, &str)]` slices, so no call below may
+/// build a `String` or box anything before the session check.
+#[test]
+fn disabled_labeled_and_sketch_sites_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    assert!(
+        usystolic_obs::take().is_none(),
+        "test requires no installed session"
+    );
+    usystolic_obs::count("warmup", 1);
+
+    let allocs = allocations_during(|| {
+        for i in 0..10_000u64 {
+            usystolic_obs::count_labeled(
+                "serve.rejected",
+                &[("class", "m"), ("priority", "high")],
+                1,
+            );
+            usystolic_obs::gauge_labeled("sim.scaling_efficiency", &[("instances", "4")], 0.9);
+            usystolic_obs::observe_labeled("core.tile_us", &[("kernel", "packed")], i as f64);
+            usystolic_obs::record_quantile("serve.latency_cycles", i as f64);
+            usystolic_obs::record_quantile_labeled("serve.latency_cycles", &[("class", "m")], 1.0);
+            usystolic_obs::series_record("serve.arrivals", i, 1.0);
+            usystolic_obs::series_record_labeled("serve.arrivals", &[("class", "m")], i, 1.0);
+            usystolic_obs::set_request_id(Some(i));
+            usystolic_obs::set_shard_id(Some(1));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled labeled/sketch/series path allocated {allocs} times"
+    );
+}
+
 #[test]
 fn enabled_instrumentation_records() {
+    let _guard = SERIAL.lock().unwrap();
     usystolic_obs::install(usystolic_obs::Session::new());
     usystolic_obs::count("k", 2);
     let s = usystolic_obs::take().expect("installed above");

@@ -49,7 +49,16 @@ struct Args {
     seed: u64,
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
+    metrics_format: MetricsFormat,
+    report_html: Option<std::path::PathBuf>,
     json: bool,
+}
+
+/// On-disk encoding for `--metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
 }
 
 fn usage() -> ! {
@@ -61,7 +70,7 @@ fn usage() -> ! {
                  [--shape edge|cloud] [--sram|--no-sram]
                  [--network alexnet|resnet18|vgg16|mnist]... [--matmul M,K,N]...
                  [--conv IH,IW,IC,WH,WW,S,OC]... [--trace FILE] [--metrics FILE]
-                 [--json]
+                 [--metrics-format json|prom] [--report FILE.html] [--json]
 
 Each --network/--matmul/--conv adds one workload class; requests draw a
 class uniformly. With no workload flags a 64x64x64 matmul is served.
@@ -132,6 +141,8 @@ fn parse_args() -> Args {
         seed: 1,
         trace: None,
         metrics: None,
+        metrics_format: MetricsFormat::Json,
+        report_html: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -266,6 +277,15 @@ fn parse_args() -> Args {
             }
             "--trace" => args.trace = Some(value().into()),
             "--metrics" => args.metrics = Some(value().into()),
+            "--metrics-format" => {
+                let v = value();
+                args.metrics_format = match v.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    _ => fail(format!("--metrics-format {v}: expected json or prom")),
+                }
+            }
+            "--report" => args.report_html = Some(value().into()),
             "--json" => args.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -366,13 +386,34 @@ fn export_session(args: &Args, session: &usystolic_obs::Session) {
         }
     }
     if let Some(path) = &args.metrics {
-        session
-            .metrics
-            .write_snapshot(path)
-            .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display())));
+        match args.metrics_format {
+            MetricsFormat::Json => session
+                .metrics
+                .write_snapshot(path)
+                .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display()))),
+            MetricsFormat::Prom => {
+                std::fs::write(path, usystolic_obs::prometheus_text(&session.metrics))
+                    .unwrap_or_else(|e| fail(format!("writing metrics to {}: {e}", path.display())))
+            }
+        }
         if !args.json {
             eprintln!("metrics: {}", path.display());
         }
+    }
+    if let Some(path) = &args.report_html {
+        let html = usystolic_obs::html_report("serve_cli observability report", &session.metrics);
+        std::fs::write(path, html)
+            .unwrap_or_else(|e| fail(format!("writing report to {}: {e}", path.display())));
+        if !args.json {
+            eprintln!("report: {}", path.display());
+        }
+    }
+    if session.tracer.dropped() > 0 {
+        eprintln!(
+            "serve_cli: warning: trace ring full, {} span(s) dropped (oldest first); \
+             raise the tracer capacity to keep them",
+            session.tracer.dropped()
+        );
     }
 }
 

@@ -79,6 +79,20 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
     let profiles = profile_workloads(config, workloads)?;
 
     // ---- Phase 2: the deterministic event loop. -----------------------
+    // Windowed series share one bucket geometry derived from the run
+    // horizon, so rolling arrival/rejection/queue-depth rates line up
+    // bucket-for-bucket (the signal an autoscaler consumes).
+    usystolic_obs::with(|o| {
+        let width = (config.duration_cycles / 64).max(1);
+        for name in [
+            "serve.arrivals",
+            "serve.rejections",
+            "serve.dispatches",
+            "serve.queue_depth",
+        ] {
+            o.metrics.register_series(name, &[], width, 128);
+        }
+    });
     let mut load = {
         let mut lc = config.load;
         lc.classes = workloads.len();
@@ -110,11 +124,44 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
         match event.kind {
             EventKind::Arrival(request) => {
                 offered += 1;
+                usystolic_obs::with(|o| {
+                    o.metrics.series_record("serve.arrivals", now, 1.0);
+                });
                 match admission.offer(request) {
                     Admission::Admitted => {
-                        usystolic_obs::gauge("serve.queue_depth", admission.depth() as f64);
+                        usystolic_obs::with(|o| {
+                            let depth = admission.depth() as f64;
+                            o.metrics.gauge("serve.queue_depth", depth);
+                            o.metrics.series_record("serve.queue_depth", now, depth);
+                        });
                     }
                     Admission::Rejected => {
+                        usystolic_obs::with(|o| {
+                            o.metrics.count("serve.rejected", 1);
+                            o.metrics.count_labeled(
+                                "serve.rejected",
+                                &[
+                                    ("class", workloads[request.class].name.as_str()),
+                                    ("priority", request.priority.label()),
+                                ],
+                                1,
+                            );
+                            o.metrics.series_record("serve.rejections", now, 1.0);
+                            o.request_id = Some(request.id);
+                            let args = o.correlated_args(vec![(
+                                "class".to_owned(),
+                                workloads[request.class].name.to_json(),
+                            )]);
+                            o.tracer.instant(
+                                "rejected",
+                                "serve",
+                                usystolic_obs::PID_SIM,
+                                0,
+                                now as f64,
+                                args,
+                            );
+                            o.request_id = None;
+                        });
                         records.push(RequestRecord {
                             request,
                             disposition: Disposition::Rejected,
@@ -122,17 +169,6 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                             completion: 0,
                             instance: 0,
                             batch_size: 0,
-                        });
-                        usystolic_obs::count("serve.rejected", 1);
-                        usystolic_obs::with(|o| {
-                            o.tracer.instant(
-                                "rejected",
-                                "serve",
-                                usystolic_obs::PID_SIM,
-                                0,
-                                now as f64,
-                                Vec::new(),
-                            );
                         });
                     }
                 }
@@ -153,13 +189,28 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                             batch_size: size,
                         });
                         usystolic_obs::with(|o| {
+                            let class = workloads[request.class].name.as_str();
+                            let latency = now - request.arrival;
+                            let wait = dispatch - request.arrival;
                             o.metrics.count("serve.completed", 1);
-                            o.metrics
-                                .observe("serve.latency_ms", cycles_ms(now - request.arrival));
-                            o.metrics.observe(
-                                "serve.queue_wait_ms",
-                                cycles_ms(dispatch - request.arrival),
+                            o.metrics.count_labeled(
+                                "serve.completed",
+                                &[("class", class), ("priority", request.priority.label())],
+                                1,
                             );
+                            o.metrics.observe("serve.latency_ms", cycles_ms(latency));
+                            o.metrics.observe("serve.queue_wait_ms", cycles_ms(wait));
+                            // Streaming quantiles of the same values the
+                            // exact reduce-phase histograms see.
+                            o.metrics
+                                .record_quantile("serve.latency_cycles", latency as f64);
+                            o.metrics.record_quantile_labeled(
+                                "serve.latency_cycles",
+                                &[("class", class)],
+                                latency as f64,
+                            );
+                            o.metrics
+                                .record_quantile("serve.queue_wait_cycles", wait as f64);
                         });
                         if let Some(client) = request.client {
                             if let Some(next) =
@@ -289,10 +340,44 @@ fn dispatch_free_instances(
         let service = profiles[class].service_cycles(batch.len(), concurrency);
         let completion = now + service;
         usystolic_obs::with(|o| {
+            let class_name = profiles[class].name.as_str();
             o.metrics.count("serve.dispatched", batch.len() as u64);
+            o.metrics.count_labeled(
+                "serve.dispatched",
+                &[("class", class_name)],
+                batch.len() as u64,
+            );
             o.metrics.observe("serve.batch_size", batch.len() as f64);
+            o.metrics.observe_labeled(
+                "serve.batch_size",
+                &[("class", class_name)],
+                batch.len() as f64,
+            );
+            let depth = admission.depth() as f64;
+            o.metrics.gauge("serve.queue_depth", depth);
+            o.metrics.series_record("serve.queue_depth", now, depth);
             o.metrics
-                .gauge("serve.queue_depth", admission.depth() as f64);
+                .series_record("serve.dispatches", now, batch.len() as f64);
+            // Correlate the batch span with the shard executing it and
+            // the requests it carries, so one request's admission →
+            // batch path reconstructs in Perfetto.
+            o.shard_id = Some(free_idx as u64 + 1);
+            o.request_id = batch.first().map(|r| r.id);
+            let args = o.correlated_args(vec![
+                ("class".to_owned(), profiles[class].name.to_json()),
+                ("batch".to_owned(), (batch.len() as u64).to_json()),
+                ("concurrency".to_owned(), (concurrency as u64).to_json()),
+                (
+                    "dram_limited".to_owned(),
+                    profiles[class]
+                        .dram_limited(batch.len(), concurrency)
+                        .to_json(),
+                ),
+                (
+                    "req_ids".to_owned(),
+                    usystolic_obs::JsonValue::Array(batch.iter().map(|r| r.id.to_json()).collect()),
+                ),
+            ]);
             o.tracer.complete(
                 format!("batch {}", profiles[class].name),
                 "serve",
@@ -300,18 +385,10 @@ fn dispatch_free_instances(
                 free_idx as u32 + 1,
                 now as f64,
                 service as f64,
-                vec![
-                    ("class".to_owned(), profiles[class].name.to_json()),
-                    ("batch".to_owned(), (batch.len() as u64).to_json()),
-                    ("concurrency".to_owned(), (concurrency as u64).to_json()),
-                    (
-                        "dram_limited".to_owned(),
-                        profiles[class]
-                            .dram_limited(batch.len(), concurrency)
-                            .to_json(),
-                    ),
-                ],
+                args,
             );
+            o.request_id = None;
+            o.shard_id = None;
         });
         let slot = &mut instances[free_idx];
         slot.in_flight = Some((now, batch));

@@ -91,12 +91,30 @@ impl MultiInstanceSystem {
         let per_layer_s = system_cycles as f64 / CLOCK_HZ;
         let aggregate = instances as f64 / per_layer_s;
         let one = Simulator::new(self.config, self.memory).simulate(gemm);
-        ScalingReport {
+        let report = ScalingReport {
             instances,
             aggregate_throughput: aggregate,
             scaling_efficiency: aggregate / (instances as f64 * one.throughput_per_s),
             dram_limited: dram_cycles > sram_bound,
-        }
+        };
+        usystolic_obs::with(|o| {
+            // Per-instance-count breakdown: the label keeps every scaling
+            // query of one sweep as its own series.
+            let n = instances.to_string();
+            let scheme = self.config.scheme().label();
+            o.metrics.count("sim.scaling_queries", 1);
+            o.metrics.gauge_labeled(
+                "sim.scaling_efficiency",
+                &[("instances", &n), ("scheme", scheme)],
+                report.scaling_efficiency,
+            );
+            o.metrics.gauge_labeled(
+                "sim.aggregate_throughput",
+                &[("instances", &n), ("scheme", scheme)],
+                report.aggregate_throughput,
+            );
+        });
+        report
     }
 
     /// The largest instance count that still scales with at least

@@ -119,8 +119,16 @@ impl Simulator {
             macs: gemm.macs(),
         };
         usystolic_obs::with(|o| {
+            let scheme_label = self.config.scheme().label();
             o.metrics.count("sim.layers", 1);
+            o.metrics
+                .count_labeled("sim.layers", &[("scheme", scheme_label)], 1);
             o.metrics.count("sim.macs", report.macs);
+            o.metrics.count_labeled(
+                "sim.runtime_cycles_by_scheme",
+                &[("scheme", scheme_label)],
+                report.timing.runtime_cycles,
+            );
             o.metrics
                 .gauge("sim.dram_bandwidth_gbps", report.dram_bandwidth_gbps);
             o.metrics.gauge("sim.utilization", report.utilization);
@@ -128,6 +136,23 @@ impl Simulator {
             // PID_SIM lane; layers abut on a virtual cursor the session
             // advances because the timing model is analytic.
             let ts = o.sim_cycles as f64;
+            let args = o.correlated_args(vec![
+                ("scheme".to_owned(), self.config.scheme().to_json()),
+                ("macs".to_owned(), report.macs.to_json()),
+                (
+                    "ideal_cycles".to_owned(),
+                    report.timing.ideal_cycles.to_json(),
+                ),
+                (
+                    "stall_cycles".to_owned(),
+                    report.timing.stall_cycles.to_json(),
+                ),
+                (
+                    "dram_bytes".to_owned(),
+                    report.traffic.dram.total().to_json(),
+                ),
+                ("utilization".to_owned(), report.utilization.to_json()),
+            ]);
             o.tracer.complete(
                 format!("layer {}", self.config.scheme().label()),
                 "sim",
@@ -135,23 +160,7 @@ impl Simulator {
                 0,
                 ts,
                 report.timing.runtime_cycles as f64,
-                vec![
-                    ("scheme".to_owned(), self.config.scheme().to_json()),
-                    ("macs".to_owned(), report.macs.to_json()),
-                    (
-                        "ideal_cycles".to_owned(),
-                        report.timing.ideal_cycles.to_json(),
-                    ),
-                    (
-                        "stall_cycles".to_owned(),
-                        report.timing.stall_cycles.to_json(),
-                    ),
-                    (
-                        "dram_bytes".to_owned(),
-                        report.traffic.dram.total().to_json(),
-                    ),
-                    ("utilization".to_owned(), report.utilization.to_json()),
-                ],
+                args,
             );
             o.tracer.counter(
                 "sim.dram_bandwidth_gbps",

@@ -69,6 +69,43 @@ grep -q '"bit_exact":true' "$bench_json"
 grep -q '"workers_consistent":true' "$bench_json"
 rm -f "$bench_json"
 
+echo "==> obs_cli perf-regression gate"
+obs=./target/release/obs_cli
+# Self-diff of the committed baseline is regression-free by definition.
+"$obs" diff BENCH_kernel.json BENCH_kernel.json \
+    --gate speedup --threshold 20 > /dev/null
+# A fresh kernel bench must hold the baseline speedup within 20%.
+# Full mode (~40 ms), matching how the committed baseline was produced:
+# --short measures a smaller case whose ratio is not comparable.
+kernel_now=$(mktemp /tmp/usystolic_kernel_now.XXXXXX.json)
+./target/release/exp_kernel --out "$kernel_now" > /dev/null
+"$obs" diff BENCH_kernel.json "$kernel_now" --gate speedup --threshold 20
+# ...and the gate must actually bite: a synthetic regression exits 1.
+kernel_bad=$(mktemp /tmp/usystolic_kernel_bad.XXXXXX.json)
+printf '{"speedup":1.0}' > "$kernel_bad"
+if "$obs" diff BENCH_kernel.json "$kernel_bad" \
+    --gate speedup --threshold 20 > /dev/null 2>&1; then
+    echo "FAIL: obs_cli diff did not flag a synthetic 97% regression" >&2
+    exit 1
+fi
+rm -f "$kernel_now" "$kernel_bad"
+
+echo "==> metrics exporter smoke test (prom + html)"
+prom=$(mktemp /tmp/usystolic_metrics.XXXXXX.prom)
+html=$(mktemp /tmp/usystolic_report.XXXXXX.html)
+./target/release/sim_cli \
+    --scheme UR --cycles 128 --shape edge --no-sram \
+    --conv 31,31,96,5,5,1,256 \
+    --metrics "$prom" --metrics-format prom --report "$html" --json > /dev/null
+grep -q '# TYPE sim_dram_bytes counter' "$prom"
+grep -q '<table' "$html"
+if ./target/release/sim_cli --matmul 4,4,4 --metrics-format bogus \
+    > /dev/null 2>&1; then
+    echo "FAIL: --metrics-format bogus should exit 2" >&2
+    exit 1
+fi
+rm -f "$prom" "$html"
+
 echo "==> sim_cli --instances scaling smoke test"
 ./target/release/sim_cli --scheme UR --cycles 128 --no-sram \
     --conv 31,31,96,5,5,1,256 --instances 16 --json \

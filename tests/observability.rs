@@ -207,3 +207,191 @@ fn histogram_bucket_boundaries_via_facade() {
         .unwrap();
     assert_eq!(counts.len(), 4);
 }
+
+// ---------------------------------------------------------------------------
+// Fleet-grade telemetry: dimensional metrics, sketches, series, correlation.
+// ---------------------------------------------------------------------------
+
+use usystolic::serve::loadgen::{ArrivalProcess, LoadGenConfig};
+use usystolic::serve::{serve, ServeConfig, Workload};
+
+/// An overloaded two-instance pool: enough completions (>600) to push the
+/// latency sketch through its compression path, and enough pressure on
+/// the bounded queue to produce rejections for the labeled counters.
+fn overloaded_pool(workers: usize) -> (ServeConfig, Vec<Workload>) {
+    let gemm = GemmConfig::matmul(64, 64, 64).unwrap();
+    let workloads = vec![Workload::from_gemm("matmul64", gemm)];
+    let config = ServeConfig {
+        array: SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+        memory: MemoryHierarchy::edge_with_sram(),
+        instances: 2,
+        queue_capacity: 8,
+        max_batch: 4,
+        workers,
+        duration_cycles: 4_000_000,
+        load: LoadGenConfig {
+            process: ArrivalProcess::OpenPoisson {
+                mean_interarrival_cycles: 1000.0,
+            },
+            seed: 7,
+            classes: workloads.len(),
+            high_priority_fraction: 0.25,
+            deadline_cycles: None,
+        },
+    };
+    (config, workloads)
+}
+
+/// The streaming latency sketch agrees with the exact nearest-rank
+/// histogram the serve report computes from the same samples: identical
+/// counts, and p50/p95/p99 within the documented 2% relative bound (the
+/// t-digest's ≤1% rank error, doubled for rank→value conversion slack).
+#[test]
+fn serve_latency_sketch_agrees_with_exact_histogram() {
+    obs::install(obs::Session::new());
+    let (config, workloads) = overloaded_pool(1);
+    let report = serve(&config, &workloads).unwrap();
+    let session = obs::take().expect("session installed");
+
+    let sketch = session
+        .metrics
+        .sketch("serve.latency_cycles")
+        .expect("latency sketch recorded");
+    assert_eq!(sketch.count(), report.latency.count);
+    assert!(
+        sketch.count() > 600,
+        "need enough samples to exercise compression, got {}",
+        sketch.count()
+    );
+
+    for (p, exact) in [
+        (50.0, report.latency.p50_cycles),
+        (95.0, report.latency.p95_cycles),
+        (99.0, report.latency.p99_cycles),
+    ] {
+        let approx = sketch.percentile(p).expect("non-empty sketch");
+        let err = (approx - exact as f64).abs() / exact as f64;
+        assert!(
+            err <= 0.02,
+            "p{p}: sketch {approx} vs exact {exact} ({:.3}% off)",
+            100.0 * err
+        );
+    }
+
+    // The queue-wait sketch saw every completion too, and the per-class
+    // sketch partition adds back up to the unlabeled total.
+    let wait = session
+        .metrics
+        .sketch("serve.queue_wait_cycles")
+        .expect("queue-wait sketch");
+    assert_eq!(wait.count(), report.queue_wait.count);
+    let by_class = session
+        .metrics
+        .sketch_labeled("serve.latency_cycles", &[("class", "matmul64")])
+        .expect("per-class latency sketch");
+    assert_eq!(by_class.count(), sketch.count());
+}
+
+/// Labeled counters partition their unlabeled totals: rejected and
+/// completed split by `{class, priority}` sum back to the report's
+/// scalars, and the windowed arrival series preserves every sample.
+#[test]
+fn serve_labeled_metrics_reconcile_with_report() {
+    obs::install(obs::Session::new());
+    let (config, workloads) = overloaded_pool(1);
+    let report = serve(&config, &workloads).unwrap();
+    let session = obs::take().expect("session installed");
+    let m = &session.metrics;
+
+    assert!(report.rejected > 0, "test needs an overloaded queue");
+    for (name, total) in [
+        ("serve.rejected", report.rejected),
+        ("serve.completed", report.completed),
+    ] {
+        let by_label: u64 = ["normal", "high"]
+            .iter()
+            .map(|prio| m.counter_labeled(name, &[("class", "matmul64"), ("priority", prio)]))
+            .sum();
+        assert_eq!(by_label, total, "{name} labels must partition the total");
+        assert_eq!(m.counter(name), total, "{name} unlabeled total");
+    }
+
+    let arrivals = m.series("serve.arrivals").expect("arrival series");
+    let seen: f64 = arrivals.iter().map(|(_, b)| b.count as f64).sum();
+    assert_eq!(seen as u64, report.offered, "series kept every arrival");
+    assert_eq!(arrivals.late_samples(), 0);
+    let rejections = m.series("serve.rejections").expect("rejection series");
+    let rej: f64 = rejections.iter().map(|(_, b)| b.count as f64).sum();
+    assert_eq!(rej as u64, report.rejected);
+}
+
+/// The metrics registry — labeled counters, sketches, windowed series and
+/// all — renders bit-identically for every worker count: the host pool
+/// only parallelises pure phases, so telemetry is part of the
+/// determinism contract.
+#[test]
+fn serve_metrics_bit_identical_across_worker_counts() {
+    let mut renders = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        obs::install(obs::Session::new());
+        let (config, workloads) = overloaded_pool(workers);
+        serve(&config, &workloads).unwrap();
+        let session = obs::take().expect("session installed");
+        renders.push((workers, session.metrics.to_json().render()));
+    }
+    let (_, baseline) = &renders[0];
+    for (workers, render) in &renders[1..] {
+        assert_eq!(
+            render, baseline,
+            "metrics diverged between workers=1 and workers={workers}"
+        );
+    }
+}
+
+/// Batch spans carry the request correlation a trace viewer needs to
+/// reconstruct one request's admission → batch → completion path: the
+/// lead request id, the instance (shard), and the full batch id list.
+#[test]
+fn serve_spans_carry_request_correlation() {
+    obs::install(obs::Session::new());
+    let (config, workloads) = overloaded_pool(1);
+    let report = serve(&config, &workloads).unwrap();
+    let session = obs::take().expect("session installed");
+
+    let arg = |span: &obs::TraceEvent, key: &str| {
+        span.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let batches: Vec<_> = session
+        .tracer
+        .events()
+        .filter(|e| e.ph == obs::Phase::Complete && e.name.starts_with("batch"))
+        .collect();
+    assert!(!batches.is_empty(), "batch spans recorded");
+    let mut correlated_ids = 0u64;
+    for span in &batches {
+        let req = arg(span, "req").and_then(|v| v.as_u64()).expect("req arg");
+        let shard = arg(span, "shard")
+            .and_then(|v| v.as_u64())
+            .expect("shard arg");
+        assert!((1..=report.instances as u64).contains(&shard));
+        let ids = arg(span, "req_ids").expect("req_ids arg");
+        let ids = ids.as_array().expect("req_ids array");
+        assert_eq!(ids.first().and_then(JsonValue::as_u64), Some(req));
+        correlated_ids += ids.len() as u64;
+    }
+    // Every admitted request appears in exactly one batch span (the ring
+    // is large enough for this run to keep them all).
+    assert_eq!(correlated_ids, report.admitted);
+    assert_eq!(session.tracer.dropped(), 0);
+
+    // Rejection instants carry the rejected request's id too.
+    let rejected = session
+        .tracer
+        .events()
+        .find(|e| e.ph == obs::Phase::Instant && e.name == "rejected")
+        .expect("rejection instant");
+    assert!(arg(rejected, "req").and_then(|v| v.as_u64()).is_some());
+}
