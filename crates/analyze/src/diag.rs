@@ -12,12 +12,18 @@
 //! | USY03x | zero-SCC structural wiring (Section II-B2, Eq. 1–4) |
 //! | USY04x | weight-stationary schedule and skew-FIFO legality |
 //! | USY05x | memory-hierarchy feasibility (Section V-B/V-D) |
+//! | USY06x | whole-network abstract interpretation (calibrated ranges, ET budget) |
+//! | USY07x | serving feasibility (utilisation, deadlines, shared DRAM) |
 
 use usystolic_obs::{JsonValue, ToJson};
 
 /// Diagnostic severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// A positive finding: the analyzer *proved* something a coarser
+    /// check could not (e.g. overflow freedom under calibrated ranges
+    /// where the worst-case rule rejects). Never rejects.
+    Note,
     /// The configuration is merely suspicious; the run would complete.
     Warning,
     /// The configuration violates a paper invariant; results would be
@@ -28,6 +34,7 @@ pub enum Severity {
 impl core::fmt::Display for Severity {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str(match self {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
@@ -97,7 +104,19 @@ impl Report {
     /// Number of warning-severity diagnostics.
     #[must_use]
     pub fn warning_count(&self) -> usize {
-        self.diagnostics.len() - self.error_count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Number of note-severity diagnostics.
+    #[must_use]
+    pub fn note_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Note)
+            .count()
     }
 
     /// The codes of all findings, in order (convenient for tests).
@@ -143,6 +162,27 @@ impl Report {
             hint,
         });
     }
+
+    pub(crate) fn note(
+        &mut self,
+        code: &'static str,
+        field: &'static str,
+        message: String,
+        hint: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Note,
+            field,
+            message,
+            hint,
+        });
+    }
+
+    /// Appends every diagnostic of `other` to this report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
 }
 
 impl core::fmt::Display for Report {
@@ -152,9 +192,10 @@ impl core::fmt::Display for Report {
         }
         write!(
             f,
-            "{} error(s), {} warning(s)",
+            "{} error(s), {} warning(s), {} note(s)",
             self.error_count(),
-            self.warning_count()
+            self.warning_count(),
+            self.note_count()
         )
     }
 }
@@ -165,6 +206,7 @@ impl ToJson for Report {
             ("legal", self.is_legal().to_json()),
             ("errors", self.error_count().to_json()),
             ("warnings", self.warning_count().to_json()),
+            ("notes", self.note_count().to_json()),
             (
                 "diagnostics",
                 JsonValue::Array(self.diagnostics.iter().map(ToJson::to_json).collect()),
@@ -207,7 +249,23 @@ mod tests {
     fn empty_report_is_legal() {
         let r = Report::default();
         assert!(r.is_legal());
-        assert_eq!(r.to_string(), "0 error(s), 0 warning(s)");
+        assert_eq!(r.to_string(), "0 error(s), 0 warning(s), 0 note(s)");
+    }
+
+    #[test]
+    fn notes_never_reject_and_are_counted_separately() {
+        let mut r = Report::default();
+        r.note("USY060", "acc_width", "proved".into(), "enjoy".into());
+        assert!(r.is_legal());
+        assert_eq!(r.note_count(), 1);
+        assert_eq!(r.warning_count(), 0);
+        assert!(r.has("USY060"));
+        assert!(r.to_json().render().contains("\"severity\":\"note\""));
+        let mut other = Report::default();
+        other.warning("USY021", "acc_width", "wide".into(), "shrink".into());
+        r.merge(other);
+        assert_eq!(r.codes(), vec!["USY060", "USY021"]);
+        assert_eq!(r.warning_count(), 1);
     }
 
     #[test]

@@ -24,7 +24,14 @@
 //!   array-edge FIFO depth (`USY040`–`USY042`);
 //! * **memory feasibility** — DRAM bandwidth vs the layer's byte demand
 //!   per compute cycle, SRAM capacity refetch (`USY050`–`USY052`,
-//!   Section V-B/V-D).
+//!   Section V-B/V-D);
+//! * **network abstract interpretation** — calibrated value ranges
+//!   propagated through a whole network prove per-layer
+//!   overflow-freedom or saturation and compose early-termination error
+//!   against an accuracy budget (`USY060`–`USY063`, [`interp`]);
+//! * **serving feasibility** — utilisation, deadline and DRAM bounds
+//!   from the closed-form batched service-time model, before any event
+//!   is simulated (`USY070`–`USY073`, [`serving`]).
 //!
 //! # Example
 //!
@@ -42,8 +49,15 @@
 
 mod checks;
 mod diag;
+pub mod interp;
+pub mod serving;
 mod spec;
 
 pub use checks::{analyze, required_acc_width};
 pub use diag::{Diagnostic, Report, Severity};
+pub use interp::{
+    analyze_network, derive_kernel_paths, et_window_error, window_bound, LayerVerdict,
+    NetworkAnalysis,
+};
+pub use serving::{check_serving, ServiceEstimate, ServingSpec};
 pub use spec::{RawSpec, RngWiring};

@@ -38,7 +38,7 @@
 //!                                                     # USY050: bandwidth
 //! ```
 
-use usystolic_analyze::{analyze, RawSpec, Report, RngWiring};
+use usystolic_analyze::{analyze, analyze_network, NetworkAnalysis, RawSpec, Report, RngWiring};
 use usystolic_core::{
     ComputingScheme, SystolicConfig, CLOUD_COLS, CLOUD_ROWS, EDGE_COLS, EDGE_ROWS,
 };
@@ -66,6 +66,7 @@ struct Args {
     json: bool,
     check: bool,
     acc_width: Option<u32>,
+    acc_budget: Option<f64>,
     wiring: RngWiring,
     fifo_depth: Option<usize>,
 }
@@ -85,12 +86,17 @@ fn usage() -> ! {
                      [--report FILE.html] [--json]
                      (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)
        usystolic_sim --check [--scheme S] [--cycles N] [--bits N] [--shape edge|cloud]
-                     [--acc-width N] [--wiring shared|independent] [--fifo-depth N]
+                     [--acc-width N] [--acc-budget FRACTION]
+                     [--wiring shared|independent] [--fifo-depth N]
                      [--sram|--no-sram] [--json]
                      [--conv ... | --matmul ... | --network ...]
 
 --check statically validates the configuration against the paper's
-invariants (stable USYxxx diagnostic codes) and exits 1 on any error."
+invariants (stable USYxxx diagnostic codes) and exits 1 on any error.
+With --network it also runs the whole-network abstract interpreter:
+calibrated value ranges prove per-layer overflow freedom or saturation
+(USY060/USY061), and the composed early-termination error bound is
+compared against --acc-budget (USY062/USY063)."
     );
     std::process::exit(2);
 }
@@ -141,6 +147,7 @@ fn parse_args() -> Args {
         json: false,
         check: false,
         acc_width: None,
+        acc_budget: None,
         wiring: RngWiring::SharedDelayed,
         fifo_depth: None,
     };
@@ -232,6 +239,16 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| fail(format!("--acc-width {v}: not an integer"))),
                 );
             }
+            "--acc-budget" => {
+                let v = value();
+                let b: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--acc-budget {v}: not a number")));
+                if !b.is_finite() || b <= 0.0 {
+                    fail(format!("--acc-budget {v}: must be a positive fraction"));
+                }
+                args.acc_budget = Some(b);
+            }
             "--wiring" => {
                 let v = value();
                 args.wiring = match v.as_str() {
@@ -280,9 +297,10 @@ fn run_check(args: &Args) -> ! {
     };
 
     // Spec-only checks, plus workload/memory checks per GEMM layer.
-    let gemms: Vec<GemmConfig> = match (&args.gemm, args.network.as_deref()) {
+    let network = args.network.as_deref().map(network_by_name);
+    let gemms: Vec<GemmConfig> = match (&args.gemm, &network) {
         (Some(g), _) => vec![*g],
-        (None, Some(name)) => network_by_name(name).gemms(),
+        (None, Some(net)) => net.gemms(),
         (None, None) => Vec::new(),
     };
     let mut report = if gemms.is_empty() {
@@ -298,12 +316,34 @@ fn run_check(args: &Args) -> ! {
         }
         merged
     };
+    // Whole-network abstract interpretation: calibrated ranges, composed
+    // ET error. Only meaningful when a full network is on the table.
+    let interp: Option<NetworkAnalysis> = network
+        .as_ref()
+        .map(|net| analyze_network(&spec, net, args.acc_budget));
+    if let Some(na) = &interp {
+        // Calibrated ranges subsume the worst-case width rule: when the
+        // interpreter proves every layer overflow-free, the coarse
+        // USY020 rejection is withdrawn in favour of the USY060 notes.
+        if !na.layers.is_empty() && !na.report.has("USY061") {
+            report.diagnostics.retain(|d| d.code != "USY020");
+        }
+        for d in &na.report.diagnostics {
+            if !report.diagnostics.contains(d) {
+                report.diagnostics.push(d.clone());
+            }
+        }
+    }
     report
         .diagnostics
         .sort_by(|a, b| (a.code, &a.message).cmp(&(b.code, &b.message)));
 
     if args.json {
-        println!("{}", report.to_json().render());
+        let mut json = report.to_json();
+        if let (JsonValue::Object(pairs), Some(na)) = (&mut json, &interp) {
+            pairs.push(("network".to_owned(), na.to_json()));
+        }
+        println!("{}", json.render());
     } else {
         println!(
             "check: {}x{} {} {}b, wiring {}, {}",
@@ -314,6 +354,46 @@ fn run_check(args: &Args) -> ! {
             args.wiring,
             if no_sram { "DRAM only" } else { "SRAM + DRAM" }
         );
+        if let Some(na) = &interp {
+            if !na.layers.is_empty() {
+                println!(
+                    "\n{:<8} {:>6} {:>6} {:>6} {:>10} {:>12} {:>12} {:>6} {:>10}",
+                    "layer",
+                    "in_lv",
+                    "w_lv",
+                    "depth",
+                    "window",
+                    "acc bound",
+                    "capacity",
+                    "worst",
+                    "et error"
+                );
+                for l in &na.layers {
+                    println!(
+                        "{:<8} {:>6} {:>6} {:>6} {:>10} {:>12} {:>12} {:>6} {:>10.3e}",
+                        l.name,
+                        l.input_levels,
+                        l.weight_levels,
+                        l.depth,
+                        l.window_bound,
+                        l.acc_bound,
+                        l.acc_capacity,
+                        l.worst_case_width,
+                        l.et_rel_error
+                    );
+                }
+                match args.acc_budget {
+                    Some(b) => println!(
+                        "composed ET error bound {:.3e} vs budget {b}\n",
+                        na.composed_et_error
+                    ),
+                    None => println!(
+                        "composed ET error bound {:.3e} (no --acc-budget given)\n",
+                        na.composed_et_error
+                    ),
+                }
+            }
+        }
         println!("{report}");
     }
     std::process::exit(i32::from(!report.is_legal()));

@@ -220,37 +220,44 @@ pub fn unary_gemm_workers(
     })
     .map_err(|e| CoreError::Config(format!("tile sweep worker pool failed: {e}")))?;
 
-    // Phase 2 (sequential): fold the counts into the shared accumulators
-    // in the serial sweep's add order.
-    let mut accs: Vec<BinaryAccumulator> = (0..m * n)
-        .map(|_| BinaryAccumulator::new(config.acc_width()))
-        .collect();
+    // Phase 2 (sequential): replay each tile's M-end cascade in the
+    // serial sweep's order. Per (vector, column) the partial sum flows
+    // bottom-up through one reduced-resolution OREG per occupied row —
+    // fresh at each window, drained at its M-end (steps 3–4 of Fig. 7) —
+    // so at most `min(rows, K)` windows ever share a register, and the
+    // cross-fold partials meet in the full-precision output buffer.
+    // This is bit-exact with the stepped machine of [`crate::array2d`],
+    // clamping and saturation statistics included (a flat fold over the
+    // whole `K` reduction would clamp where the hardware cannot).
+    let mut out = Matrix::<i64>::zeros(m, n);
     let mut stats = ExecStats::default();
     for (counts, &(cf, rf)) in partials.iter().zip(&tiles) {
         let n0 = cf * config.cols();
         let tile_rows = map.rows_in_fold(rf);
         let tile_cols = map.cols_in_fold(cf);
         for p in 0..m {
-            for r in 0..tile_rows {
-                for c in 0..tile_cols {
-                    accs[p * n + n0 + c].add(counts[(p * tile_rows + r) * tile_cols + c]);
+            for c in 0..tile_cols {
+                let mut partial = 0i64;
+                for r in (0..tile_rows).rev() {
+                    let mut oreg = BinaryAccumulator::new(config.acc_width());
+                    oreg.add(counts[(p * tile_rows + r) * tile_cols + c]);
+                    oreg.add(partial);
+                    if oreg.saturated() {
+                        stats.saturation_events += 1;
+                    }
+                    partial = oreg.drain();
                 }
-                stats.mac_windows += tile_cols as u64;
-                stats.compute_cycles += config.mac_cycles();
+                out[(p, n0 + c)] += partial;
             }
+            stats.mac_windows += (tile_rows * tile_cols) as u64;
+            stats.compute_cycles += tile_rows as u64 * config.mac_cycles();
         }
     }
 
-    let mut out = Matrix::<i64>::zeros(m, n);
-    for p in 0..m {
-        for c in 0..n {
-            let acc = &accs[p * n + c];
-            if acc.saturated() {
-                stats.saturation_events += 1;
-            }
-            // Top-row shifter: scale the n-bit partial sum back to N bits.
-            out[(p, c)] = et.scale(acc.value());
-        }
+    // Top-row shifters: scale the n-bit partial sums back to N bits
+    // (the shift is linear, so once after the fold equals per-drain).
+    for v in out.as_mut_slice() {
+        *v = et.scale(*v);
     }
     usystolic_obs::with(|o| o.metrics.count("core.packed_windows", stats.mac_windows));
     record_kernel_stats(&stats);

@@ -606,6 +606,27 @@ mod tests {
     }
 
     #[test]
+    fn matches_fast_executor_under_narrow_accumulator_folding() {
+        // K > rows with a deliberately narrow OREG: each fold's partials
+        // clamp in the per-row registers, but the cross-fold partials
+        // must meet unclamped in the output buffer on both paths (a flat
+        // fold over the whole K reduction would clamp where the M-end
+        // cascade of the stepped machine cannot).
+        let (gemm, li, lw) = lowered_case(12);
+        let cfg = SystolicConfig::new(3, 2, ComputingScheme::UnaryRate, 8)
+            .expect("valid")
+            .with_acc_width(4);
+        let (fast, fast_stats) = GemmExecutor::new(cfg)
+            .execute_lowered(&gemm, &li, &lw)
+            .expect("fast path executes");
+        let (cycle, cycle_stats) =
+            cycle_accurate_gemm(&cfg, &gemm, &li, &lw).expect("cycle path executes");
+        assert!(cycle_stats.saturation_events > 0, "case must saturate");
+        assert_eq!(fast, cycle);
+        assert_eq!(fast_stats.saturation_events, cycle_stats.saturation_events);
+    }
+
+    #[test]
     fn matches_fast_executor_unary_rate_early_terminated() {
         let (gemm, li, lw) = lowered_case(4);
         let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryRate, 8)

@@ -25,7 +25,7 @@
 //! `crate::array2d::tests` pin the equivalence.
 
 use crate::scheme::ComputingScheme;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use usystolic_unary::coding::Coding;
 use usystolic_unary::packed::{self, PackedCbsg};
 use usystolic_unary::rng::SobolSource;
@@ -49,17 +49,67 @@ pub enum KernelMode {
     Packed,
 }
 
+/// A concrete strategy for evaluating one scheme's MAC windows.
+///
+/// Together with [`kernel_paths`] this forms the dispatch table that
+/// [`KernelMode::Auto`] consults: each scheme maps to the ordered list of
+/// paths that are *legal* for it (bit-exact against the reference),
+/// fastest first. `crates/analyze` re-derives the same table from the
+/// schemes' window semantics and a tier-1 test pins the two in agreement,
+/// so a new scheme cannot silently claim a packing it cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelPath {
+    /// Word-packed popcount kernel: 64 window cycles per `u64` word.
+    Packed,
+    /// Cycle-by-cycle bit-serial reference machine.
+    Serial,
+}
+
+impl core::fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KernelPath::Packed => write!(f, "packed"),
+            KernelPath::Serial => write!(f, "serial"),
+        }
+    }
+}
+
+/// Legal kernel paths for `scheme`, fastest first.
+///
+/// Packing requires every increment of a window to carry one constant
+/// sign (`ISIGN ⊕ WSIGN`), which holds for the sign-magnitude uSystolic
+/// rate/temporal codings but not for binary arithmetic or the bipolar
+/// uGEMM-H windows. The serial reference machine is legal everywhere.
+#[must_use]
+pub fn kernel_paths(scheme: ComputingScheme) -> &'static [KernelPath] {
+    const PACKED_FIRST: &[KernelPath] = &[KernelPath::Packed, KernelPath::Serial];
+    const SERIAL_ONLY: &[KernelPath] = &[KernelPath::Serial];
+    match scheme {
+        ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => PACKED_FIRST,
+        ComputingScheme::BinaryParallel
+        | ComputingScheme::BinarySerial
+        | ComputingScheme::UGemmHybrid => SERIAL_ONLY,
+    }
+}
+
 impl KernelMode {
+    /// The path this mode selects for `scheme`: the fastest legal path
+    /// from the dispatch table, unless the mode forbids it.
+    #[must_use]
+    pub fn path(self, scheme: ComputingScheme) -> KernelPath {
+        let legal = kernel_paths(scheme);
+        match self {
+            KernelMode::Serial => KernelPath::Serial,
+            // `Packed` is a request, not an override: schemes whose table
+            // entry lacks the packed path still run the reference machine.
+            KernelMode::Auto | KernelMode::Packed => legal[0],
+        }
+    }
+
     /// Whether this mode evaluates `scheme` through the packed kernel.
     #[must_use]
     pub fn packs(self, scheme: ComputingScheme) -> bool {
-        match self {
-            KernelMode::Serial => false,
-            KernelMode::Auto | KernelMode::Packed => matches!(
-                scheme,
-                ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal
-            ),
-        }
+        self.path(scheme) == KernelPath::Packed
     }
 }
 
@@ -81,7 +131,10 @@ pub(crate) struct PackedTileKernel {
     w_sm: Vec<SignMagnitude>,
     w_packed: Vec<PackedCbsg>,
     cols: usize,
-    enable_cache: HashMap<u64, u64>,
+    // BTreeMap rather than HashMap: the cache is only keyed lookups today,
+    // but the determinism-taint lint bans hash-ordered containers in
+    // result-affecting crates outright.
+    enable_cache: BTreeMap<u64, u64>,
 }
 
 impl PackedTileKernel {
@@ -108,7 +161,7 @@ impl PackedTileKernel {
             w_sm: flat,
             w_packed,
             cols,
-            enable_cache: HashMap::new(),
+            enable_cache: BTreeMap::new(),
         }
     }
 
@@ -151,6 +204,25 @@ mod tests {
         }
         assert_eq!(KernelMode::default(), KernelMode::Auto);
         assert_eq!(KernelMode::Packed.to_string(), "packed");
+    }
+
+    #[test]
+    fn dispatch_table_is_ordered_and_complete() {
+        for scheme in ComputingScheme::ALL {
+            let paths = kernel_paths(scheme);
+            // Every scheme can always fall back to the reference machine,
+            // and the table is ordered fastest-first.
+            assert_eq!(*paths.last().unwrap(), KernelPath::Serial);
+            assert!(!paths.is_empty());
+            assert_eq!(
+                KernelMode::Auto.path(scheme),
+                paths[0],
+                "Auto must select the fastest legal path for {scheme:?}"
+            );
+            assert_eq!(KernelMode::Serial.path(scheme), KernelPath::Serial);
+        }
+        assert_eq!(KernelPath::Packed.to_string(), "packed");
+        assert_eq!(KernelPath::Serial.to_string(), "serial");
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use exec::{GemmExecutor, GemmOutcome};
 pub use fifo::{DelayLine, SkewBank, SkewOrder};
 pub use fsu::FsuGemm;
 pub use isa::{Instruction, IsaError, Processor, Program, ProgramBuilder};
-pub use kernel::KernelMode;
+pub use kernel::{kernel_paths, KernelMode, KernelPath};
 pub use mapping::TileMapping;
 pub use pe::{IfmSource, UnaryRow};
 pub use scheme::ComputingScheme;

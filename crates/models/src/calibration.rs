@@ -1,0 +1,318 @@
+//! Analytic value-range calibration of a [`Network`] for the static
+//! analyzer.
+//!
+//! The per-tensor calibration of [`usystolic_gemm::Quantizer::calibrated`]
+//! always maps a tensor's own maximum to full scale, so every layer looks
+//! full-range to a per-layer analysis. Real deployments often share one
+//! quantization scale across the network (a single activation scale and a
+//! single weight scale), and under a shared scale most layers occupy only
+//! a *fraction* of the level grid — the calibrated value ranges the
+//! whole-network abstract interpreter exploits to prove tighter
+//! accumulator bounds than the worst-case Section III-A rule.
+//!
+//! The calibration here is **analytic**, not sampled: it propagates value
+//! intervals layer by layer with interval arithmetic under three
+//! documented (and conservative) modeling assumptions:
+//!
+//! 1. network inputs are normalized to `[0, 1]` (images);
+//! 2. weights are bounded by the Kaiming-uniform initialisation bound
+//!    `|w| ≤ sqrt(6 / fan_in)` with `fan_in` the layer's reduction
+//!    length;
+//! 3. a ReLU clamps every hidden activation at zero.
+//!
+//! Under these assumptions every interval is *sound*: any network
+//! satisfying 1–3 produces values inside the computed ranges, so any
+//! overflow-freedom proof built on them is a real proof (relative to the
+//! model). The intervals are deterministic — no data, no RNG — which is
+//! what lets CI assert exact diagnostic codes on them.
+
+use crate::zoo::Network;
+
+/// A closed interval of real values `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueInterval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl ValueInterval {
+    /// A new interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "malformed interval [{lo}, {hi}]"
+        );
+        Self { lo, hi }
+    }
+
+    /// The degenerate single-point interval.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The symmetric interval `[-m, m]`.
+    #[must_use]
+    pub fn symmetric(m: f64) -> Self {
+        Self::new(-m.abs(), m.abs())
+    }
+
+    /// Largest absolute value contained in the interval.
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// The interval after a ReLU (`max(0, x)`).
+    #[must_use]
+    pub fn relu(&self) -> Self {
+        Self::new(self.lo.max(0.0), self.hi.max(0.0))
+    }
+
+    /// Exact interval product `{a·b : a ∈ self, b ∈ rhs}`.
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let products = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let lo = products.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = products.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self::new(lo, hi)
+    }
+
+    /// The interval of a sum of `k` independent products drawn from this
+    /// interval.
+    #[must_use]
+    pub fn sum(&self, k: usize) -> Self {
+        let k = k as f64;
+        Self::new(self.lo * k, self.hi * k)
+    }
+
+    /// Whether `v` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Calibrated value ranges of one GEMM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRanges {
+    /// Layer name (mirrors [`crate::zoo::NamedLayer::name`]).
+    pub name: String,
+    /// Input activation values entering the layer (post-ReLU of the
+    /// previous layer; `[0, 1]` for the first).
+    pub input: ValueInterval,
+    /// Weight values of the layer.
+    pub weight: ValueInterval,
+    /// Accumulated pre-activation output values.
+    pub output: ValueInterval,
+}
+
+/// Shared-scale calibration of a whole network at one data bitwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkCalibration {
+    /// Network name.
+    pub network: String,
+    /// Data bitwidth `N` the level grid is quantized to.
+    pub bitwidth: u32,
+    /// Real value of one activation level under the shared scale.
+    pub activation_scale: f64,
+    /// Real value of one weight level under the shared scale.
+    pub weight_scale: f64,
+    /// Per-layer ranges, in execution order.
+    pub layers: Vec<LayerRanges>,
+}
+
+impl NetworkCalibration {
+    /// Full-scale level magnitude of the grid: `2^(N-1) - 1`.
+    #[must_use]
+    pub fn full_scale(&self) -> u64 {
+        (1u64 << (self.bitwidth - 1)) - 1
+    }
+
+    /// Largest quantized input-level magnitude layer `layer` can see
+    /// under the shared activation scale (capped at full scale).
+    #[must_use]
+    pub fn input_levels(&self, layer: usize) -> u64 {
+        self.levels(self.layers[layer].input.magnitude(), self.activation_scale)
+    }
+
+    /// Largest quantized weight-level magnitude of layer `layer` under
+    /// the shared weight scale (capped at full scale).
+    #[must_use]
+    pub fn weight_levels(&self, layer: usize) -> u64 {
+        self.levels(self.layers[layer].weight.magnitude(), self.weight_scale)
+    }
+
+    fn levels(&self, magnitude: f64, scale: f64) -> u64 {
+        if scale <= 0.0 {
+            return 0;
+        }
+        // Round up: a sound level bound must cover the rounding of any
+        // value inside the range.
+        ((magnitude / scale).ceil() as u64).min(self.full_scale())
+    }
+}
+
+/// Kaiming-uniform weight-magnitude bound for a layer of `fan_in`
+/// inputs: `sqrt(6 / fan_in)`.
+#[must_use]
+pub fn kaiming_bound(fan_in: usize) -> f64 {
+    (6.0 / fan_in.max(1) as f64).sqrt()
+}
+
+/// Analytically calibrates `network` at data bitwidth `bitwidth`.
+///
+/// Propagates `[0, 1]` inputs through every layer with interval
+/// arithmetic (Kaiming-bounded weights, ReLU between layers), then fixes
+/// one shared activation scale and one shared weight scale from the
+/// network-wide maxima. Layers whose local ranges sit below the global
+/// maxima come out with sub-full-scale level bounds — exactly what the
+/// abstract interpreter needs to beat the worst-case accumulator rule.
+///
+/// # Panics
+///
+/// Panics if `bitwidth` is zero (no level grid to calibrate to).
+#[must_use]
+pub fn calibrate(network: &Network, bitwidth: u32) -> NetworkCalibration {
+    assert!(
+        bitwidth >= 2,
+        "calibration needs a sign bit and a level bit"
+    );
+    let mut layers = Vec::with_capacity(network.layers.len());
+    let mut activation = ValueInterval::new(0.0, 1.0);
+    for layer in &network.layers {
+        let fan_in = layer.gemm.reduction_len();
+        let weight = ValueInterval::symmetric(kaiming_bound(fan_in));
+        let output = activation.mul(&weight).sum(fan_in);
+        layers.push(LayerRanges {
+            name: layer.name.clone(),
+            input: activation,
+            weight,
+            output,
+        });
+        activation = output.relu();
+    }
+
+    let full = ((1u64 << (bitwidth - 1)) - 1) as f64;
+    let act_max = layers
+        .iter()
+        .map(|l| l.input.magnitude())
+        .fold(0.0f64, f64::max);
+    let w_max = layers
+        .iter()
+        .map(|l| l.weight.magnitude())
+        .fold(0.0f64, f64::max);
+    NetworkCalibration {
+        network: network.name.clone(),
+        bitwidth,
+        activation_scale: act_max / full,
+        weight_scale: w_max / full,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{alexnet, mnist_cnn4};
+
+    #[test]
+    fn interval_arithmetic_is_exact() {
+        let a = ValueInterval::new(-2.0, 3.0);
+        let b = ValueInterval::new(-1.0, 4.0);
+        let p = a.mul(&b);
+        assert_eq!(p, ValueInterval::new(-8.0, 12.0));
+        assert_eq!(a.relu(), ValueInterval::new(0.0, 3.0));
+        assert_eq!(a.sum(3), ValueInterval::new(-6.0, 9.0));
+        assert_eq!(a.magnitude(), 3.0);
+        assert_eq!(ValueInterval::symmetric(-2.5).hi, 2.5);
+        assert!(a.contains(0.0) && !a.contains(3.5));
+        assert_eq!(ValueInterval::point(1.5).lo, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed interval")]
+    fn inverted_interval_rejected() {
+        let _ = ValueInterval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn activation_magnitudes_grow_monotonically() {
+        // Interval propagation through K-wide sums grows magnitudes
+        // (sqrt(6K) per layer), so the *last* layer pins the shared scale
+        // and earlier layers occupy a sub-range.
+        let cal = calibrate(&mnist_cnn4(), 8);
+        let mags: Vec<f64> = cal.layers.iter().map(|l| l.input.magnitude()).collect();
+        for w in mags.windows(2) {
+            assert!(w[0] < w[1], "magnitudes must grow: {mags:?}");
+        }
+    }
+
+    #[test]
+    fn early_layers_get_sub_full_level_bounds() {
+        let cal = calibrate(&mnist_cnn4(), 8);
+        let full = cal.full_scale();
+        assert_eq!(full, 127);
+        // The first layer's input range [0,1] is tiny under the shared
+        // scale; the last layer's input pins it at full scale.
+        assert!(
+            cal.input_levels(0) < full / 4,
+            "layer 0 levels {} not sub-full",
+            cal.input_levels(0)
+        );
+        assert_eq!(cal.input_levels(cal.layers.len() - 1), full);
+        // Weight levels: the largest-magnitude (smallest fan-in) layer
+        // pins the weight scale.
+        let max_w = (0..cal.layers.len())
+            .map(|i| cal.weight_levels(i))
+            .max()
+            .unwrap();
+        assert_eq!(max_w, full);
+    }
+
+    #[test]
+    fn level_bounds_never_exceed_full_scale() {
+        for bits in [4u32, 8, 12] {
+            let cal = calibrate(&alexnet(), bits);
+            let full = cal.full_scale();
+            for i in 0..cal.layers.len() {
+                assert!(cal.input_levels(i) <= full);
+                assert!(cal.weight_levels(i) <= full);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_sound_for_model_values() {
+        // A value at the modeling assumptions' extremes must lie inside
+        // every interval: input 1.0 at layer 0, Kaiming bound weights.
+        let cal = calibrate(&mnist_cnn4(), 8);
+        assert!(cal.layers[0].input.contains(1.0));
+        for (l, named) in cal.layers.iter().zip(&mnist_cnn4().layers) {
+            let bound = kaiming_bound(named.gemm.reduction_len());
+            assert!(l.weight.contains(bound) && l.weight.contains(-bound));
+            // The output interval covers the all-extremes accumulation.
+            let extreme = named.gemm.reduction_len() as f64 * l.input.magnitude() * bound;
+            assert!(l.output.contains(extreme), "{} misses {extreme}", l.name);
+        }
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        assert!(kaiming_bound(9) > kaiming_bound(9216));
+        assert_eq!(kaiming_bound(6), 1.0);
+        assert_eq!(kaiming_bound(0), kaiming_bound(1));
+    }
+}

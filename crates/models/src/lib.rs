@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod dataset;
 pub mod mlp;
 pub mod mlperf;
 pub mod trainer;
 pub mod zoo;
 
+pub use calibration::{calibrate, LayerRanges, NetworkCalibration, ValueInterval};
 pub use dataset::{ConfusionMatrix, Dataset, Sample};
 pub use mlp::TinyMlp;
 pub use mlperf::{mlperf_gemms, mlperf_suite};

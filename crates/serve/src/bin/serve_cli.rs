@@ -20,11 +20,13 @@
 //! observability session (per-batch spans on the simulated-cycle lane,
 //! queue-depth gauges, stage histograms).
 
+use usystolic_analyze::{check_serving, Report, ServingSpec};
 use usystolic_core::{ComputingScheme, SystolicConfig};
 use usystolic_gemm::GemmConfig;
 use usystolic_models::zoo;
 use usystolic_obs::{JsonValue, ToJson};
 use usystolic_serve::loadgen::{ArrivalProcess, LoadGenConfig};
+use usystolic_serve::workload::{LayerProfile, WorkloadProfile};
 use usystolic_serve::{serve, LatencySummary, ServeConfig, ServeReport, Workload};
 use usystolic_sim::{MemoryHierarchy, CLOCK_HZ};
 
@@ -52,6 +54,7 @@ struct Args {
     metrics_format: MetricsFormat,
     report_html: Option<std::path::PathBuf>,
     json: bool,
+    check: bool,
 }
 
 /// On-disk encoding for `--metrics`.
@@ -71,12 +74,19 @@ fn usage() -> ! {
                  [--network alexnet|resnet18|vgg16|mnist]... [--matmul M,K,N]...
                  [--conv IH,IW,IC,WH,WW,S,OC]... [--trace FILE] [--metrics FILE]
                  [--metrics-format json|prom] [--report FILE.html] [--json]
+                 [--check]
 
 Each --network/--matmul/--conv adds one workload class; requests draw a
 class uniformly. With no workload flags a 64x64x64 matmul is served.
 Open-loop Poisson arrivals by default (--arrival-rate, requests per
 second of simulated time); --closed-loop switches to a fixed client
-population with --think seconds between completion and re-issue."
+population with --think seconds between completion and re-issue.
+
+--check runs the static serving-feasibility analysis instead of the
+event simulation: USY070 (provable overload), USY071 (near-saturation
+utilisation), USY072 (deadline below the minimum possible latency),
+USY073 (DRAM-limited operating point). Exit 0 when feasible, 1 when any
+error fires."
     );
     std::process::exit(2);
 }
@@ -144,6 +154,7 @@ fn parse_args() -> Args {
         metrics_format: MetricsFormat::Json,
         report_html: None,
         json: false,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -287,6 +298,7 @@ fn parse_args() -> Args {
             }
             "--report" => args.report_html = Some(value().into()),
             "--json" => args.json = true,
+            "--check" => args.check = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -431,9 +443,131 @@ fn print_stage(name: &str, s: &LatencySummary) {
     );
 }
 
+/// The static `USY07x` pre-flight (`--check`): feasibility verdicts from
+/// the closed-form service model, without simulating a single event.
+fn run_check(args: &Args, config: &ServeConfig, workloads: &[Workload]) -> i32 {
+    if config.instances == 0 || config.max_batch == 0 {
+        fail("--check needs at least one instance and a non-zero --max-batch");
+    }
+    let mean_interarrival_cycles = match config.load.process {
+        ArrivalProcess::OpenPoisson {
+            mean_interarrival_cycles,
+        } => mean_interarrival_cycles,
+        ArrivalProcess::OpenUniform { interval_cycles } => interval_cycles as f64,
+        // A closed loop self-limits: it never offers more than the
+        // system completes, so the overload bound is vacuous.
+        ArrivalProcess::ClosedLoop { .. } => f64::INFINITY,
+    };
+    let spec = ServingSpec {
+        mean_interarrival_cycles,
+        instances: config.instances,
+        max_batch: config.max_batch,
+        queue_capacity: config.queue_capacity,
+        deadline_cycles: config.load.deadline_cycles,
+    };
+
+    let mut report = Report::default();
+    let mut estimates = Vec::new();
+    for wl in workloads {
+        let layers: Vec<LayerProfile> = wl
+            .layers
+            .iter()
+            .map(|g| LayerProfile::compute(g, &config.array, &config.memory))
+            .collect();
+        let profile = WorkloadProfile::from_layers(&wl.name, &layers, &config.memory);
+        let estimate = profile.service_estimate(config.max_batch, config.instances);
+        report.merge(check_serving(&estimate, &spec));
+        estimates.push(estimate);
+    }
+
+    if args.json {
+        let classes: Vec<JsonValue> = estimates
+            .iter()
+            .map(|e| {
+                let capacity_per_s = spec.instances as f64 * spec.max_batch as f64
+                    / e.batch_cycles.max(1) as f64
+                    * CLOCK_HZ;
+                JsonValue::object(vec![
+                    ("name", e.name.to_json()),
+                    ("batch_cycles", e.batch_cycles.to_json()),
+                    ("single_request_cycles", e.single_cycles.to_json()),
+                    ("dram_limited", e.dram_limited.to_json()),
+                    ("capacity_req_per_s", capacity_per_s.to_json()),
+                ])
+            })
+            .collect();
+        let record = JsonValue::object(vec![
+            ("config", config.array.to_json()),
+            ("memory", config.memory.to_json()),
+            ("instances", spec.instances.to_json()),
+            ("max_batch", spec.max_batch.to_json()),
+            ("queue_capacity", spec.queue_capacity.to_json()),
+            (
+                "mean_interarrival_cycles",
+                spec.mean_interarrival_cycles.to_json(),
+            ),
+            ("workloads", JsonValue::Array(classes)),
+            ("report", report.to_json()),
+        ]);
+        println!("{}", record.render());
+    } else {
+        println!("array:      {}", config.array);
+        println!(
+            "pool:       {} instance(s), queue {} deep, batch <= {}",
+            spec.instances, spec.queue_capacity, spec.max_batch
+        );
+        match config.load.process {
+            ArrivalProcess::OpenPoisson { .. } => println!(
+                "arrivals:   open Poisson, {:.1} req/s offered",
+                CLOCK_HZ / mean_interarrival_cycles
+            ),
+            ArrivalProcess::OpenUniform { .. } => println!(
+                "arrivals:   open uniform, {:.1} req/s offered",
+                CLOCK_HZ / mean_interarrival_cycles
+            ),
+            ArrivalProcess::ClosedLoop { clients, .. } => {
+                println!("arrivals:   closed loop, {clients} client(s) (cannot overload)");
+            }
+        }
+        println!();
+        println!(
+            "{:<24} {:>14} {:>14} {:>14}  dram",
+            "workload", "min lat (ms)", "batch (cyc)", "cap (req/s)"
+        );
+        for e in &estimates {
+            let capacity_per_s = spec.instances as f64 * spec.max_batch as f64
+                / e.batch_cycles.max(1) as f64
+                * CLOCK_HZ;
+            println!(
+                "{:<24} {:>14.4} {:>14} {:>14.1}  {}",
+                e.name,
+                ServeReport::cycles_to_ms(e.single_cycles),
+                e.batch_cycles,
+                capacity_per_s,
+                if e.dram_limited { "limited" } else { "ok" }
+            );
+        }
+        println!();
+        println!("{report}");
+        println!(
+            "serving plan is {}",
+            if report.is_legal() {
+                "FEASIBLE"
+            } else {
+                "INFEASIBLE"
+            }
+        );
+    }
+    i32::from(!report.is_legal())
+}
+
 fn main() {
     let args = parse_args();
     let (config, workloads) = build_config(&args);
+
+    if args.check {
+        std::process::exit(run_check(&args, &config, &workloads));
+    }
 
     // The session also feeds the --json "metrics" section, so install it
     // unconditionally; every recorded value is simulation-derived (no

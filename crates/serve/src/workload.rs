@@ -24,6 +24,7 @@
 //!
 //! [`MultiInstanceSystem`]: usystolic_sim::MultiInstanceSystem
 
+use usystolic_analyze::ServiceEstimate;
 use usystolic_core::{SystolicConfig, TileMapping};
 use usystolic_gemm::GemmConfig;
 use usystolic_models::zoo::Network;
@@ -152,6 +153,25 @@ impl WorkloadProfile {
         let compute = t.compute_first_cycles + (batch as u64 - 1) * t.compute_marginal_cycles;
         self.service_cycles(batch, concurrency) > compute
     }
+
+    /// The [`ServiceEstimate`] at the operating point `(max_batch,
+    /// instances)` — what `usystolic_analyze::check_serving` consumes
+    /// for the pre-flight `USY07x` feasibility checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `instances` is zero (like
+    /// [`Self::service_cycles`]; the feasibility checker skips
+    /// degenerate knobs before asking for an estimate).
+    #[must_use]
+    pub fn service_estimate(&self, max_batch: usize, instances: usize) -> ServiceEstimate {
+        ServiceEstimate {
+            name: self.name.clone(),
+            batch_cycles: self.service_cycles(max_batch, instances),
+            single_cycles: self.service_cycles(1, 1),
+            dram_limited: self.dram_limited(max_batch, instances),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,5 +251,80 @@ mod tests {
     #[should_panic(expected = "at least one request")]
     fn zero_batch_rejected() {
         let _ = profile(ComputingScheme::UnaryRate, Some(128)).service_cycles(0, 1);
+    }
+
+    // Real-profile integration of the `USY07x` pre-flight checks: the
+    // decision logic is unit-tested over synthetic estimates in
+    // `usystolic_analyze::serving`; these pin the estimate produced by
+    // the §V-H shared-DRAM model to the checker's verdicts.
+    mod feasibility {
+        use super::*;
+        use usystolic_analyze::{check_serving, ServingSpec};
+
+        fn spec(mean_interarrival_cycles: f64) -> ServingSpec {
+            ServingSpec {
+                mean_interarrival_cycles,
+                instances: 4,
+                max_batch: 8,
+                queue_capacity: 16,
+                deadline_cycles: None,
+            }
+        }
+
+        #[test]
+        fn estimate_matches_the_service_model() {
+            let p = profile(ComputingScheme::UnaryRate, Some(128));
+            let e = p.service_estimate(8, 4);
+            assert_eq!(e.name, p.name);
+            assert_eq!(e.batch_cycles, p.service_cycles(8, 4));
+            assert_eq!(e.single_cycles, p.service_cycles(1, 1));
+            assert_eq!(e.dram_limited, p.dram_limited(8, 4));
+        }
+
+        #[test]
+        fn overload_is_detected_before_any_event() {
+            // One arrival per cycle swamps any real profile.
+            let p = profile(ComputingScheme::UnaryRate, Some(128));
+            let r = check_serving(&p.service_estimate(8, 4), &spec(1.0));
+            assert!(r.has("USY070"), "{r}");
+            assert!(!r.is_legal());
+        }
+
+        #[test]
+        fn light_load_passes_clean() {
+            let p = profile(ComputingScheme::UnaryRate, Some(128));
+            let batch = p.service_cycles(8, 4);
+            // Ten batch-times between arrivals: utilisation ~0.0125.
+            let r = check_serving(&p.service_estimate(8, 4), &spec(batch as f64 * 10.0));
+            assert!(r.is_legal(), "{r}");
+            assert!(r.diagnostics.is_empty(), "{r}");
+        }
+
+        #[test]
+        fn impossible_deadline_is_an_error() {
+            let p = profile(ComputingScheme::UnaryRate, Some(128));
+            let min = p.service_cycles(1, 1);
+            let mut s = spec(min as f64 * 100.0);
+            s.deadline_cycles = Some(min - 1);
+            let r = check_serving(&p.service_estimate(8, 4), &s);
+            assert!(r.has("USY072"), "{r}");
+            s.deadline_cycles = Some(min);
+            assert!(!check_serving(&p.service_estimate(8, 4), &s).has("USY072"));
+        }
+
+        #[test]
+        fn dram_bound_profile_warns_on_instances() {
+            // Binary parallel without SRAM is DRAM-limited (Section V-B).
+            let bp = profile(ComputingScheme::BinaryParallel, None);
+            let batch = bp.service_cycles(8, 4);
+            let r = check_serving(&bp.service_estimate(8, 4), &spec(batch as f64 * 10.0));
+            assert!(r.has("USY073"), "{r}");
+            assert!(r.is_legal());
+            // Crawling unary has bandwidth headroom: no warning.
+            let ur = profile(ComputingScheme::UnaryRate, Some(128));
+            let batch = ur.service_cycles(8, 4);
+            let r = check_serving(&ur.service_estimate(8, 4), &spec(batch as f64 * 10.0));
+            assert!(!r.has("USY073"), "{r}");
+        }
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::memory::DramSpec;
 use crate::trace::TraceEvent;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of replaying a trace against the DRAM bank/page structure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,14 +63,15 @@ impl DramAnalysis {
 pub fn analyze_trace(events: &[TraceEvent], dram: &DramSpec) -> DramAnalysis {
     let page_bytes = u64::from(dram.page_bits) / 8;
     let banks = u64::from(dram.banks);
-    // Open row per bank.
-    let mut open_rows: HashMap<u64, u64> = HashMap::new();
+    // Open row per bank. BTreeMap keeps any future iteration over bank
+    // state deterministic (the determinism-taint lint bans HashMap here).
+    let mut open_rows: BTreeMap<u64, u64> = BTreeMap::new();
     let mut analysis = DramAnalysis {
         accesses: 0,
         page_hits: 0,
         same_cycle_conflicts: 0,
     };
-    let mut cycle_bank_use: HashMap<u64, u64> = HashMap::new();
+    let mut cycle_bank_use: BTreeMap<u64, u64> = BTreeMap::new();
     let mut current_cycle = u64::MAX;
 
     for e in events {

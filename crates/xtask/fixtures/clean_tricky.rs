@@ -1,0 +1,48 @@
+//! Hostile-but-clean corpus: every construct below *looks* like a
+//! violation to a substring scanner but lives in a comment, a literal
+//! or test code. The lint must report nothing here. panic! .unwrap()
+
+/// Doc comments may freely mention panic!("boom"), `.unwrap()`,
+/// `x == 0.5`, HashMap, SystemTime and `total as i32`.
+pub fn doc_heavy() -> &'static str {
+    "a string with panic!(\"inner\") and .unwrap() and HashMap"
+}
+
+/* A block comment /* nested once /* and twice */ still */ mentioning
+   .expect("no"), total as i32, std::time and SystemTime. */
+pub fn raw_strings() -> usize {
+    let s = r#"raw with "quotes", panic!, .unwrap(), 1.0 == 2.0"#;
+    let b = b"byte string with .expect( inside";
+    let m = r##"multi
+line raw: unreachable!() and HashSet"##;
+    s.len() + b.len() + m.len()
+}
+
+pub fn chars_not_lifetimes<'a>(x: &'a [u8]) -> (char, char, u8) {
+    let quote = '"';
+    let escaped = '\'';
+    (quote, escaped, x.first().copied().unwrap_or(b'\n'))
+}
+
+pub fn waived(total: i64) -> u32 {
+    // Bounded by the caller's contract: lint: allow(narrowing)
+    total as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_do_all_of_it() {
+        let mut m = HashMap::new();
+        m.insert("k", 1.0_f64);
+        assert!(m.get("k").copied().unwrap() == 1.0);
+        let folded = 300_i64 as u8;
+        assert_ne!(folded as f64, 0.25);
+        let sorted = [0.5_f64, 0.25]
+            .iter()
+            .max_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(sorted.is_some());
+    }
+}

@@ -1,0 +1,34 @@
+//! Seeded violations for the lint regression corpus: every rule fires
+//! at a known line. The string waiver marker below must NOT suppress
+//! its finding — only comments can waive.
+
+pub fn panics(x: Option<u64>) -> u64 {
+    let marker = "lint: allow(panic)";
+    x.unwrap() + marker.len() as u64
+}
+
+pub fn narrows(total: i64) -> u32 {
+    total as u32
+}
+
+pub fn clock() -> u64 {
+    std::time::now_cycles()
+}
+
+pub fn float_eq(x: f64) -> bool {
+    x == 0.25
+}
+
+pub fn tainted(keys: &[u64]) -> usize {
+    let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    set.len()
+}
+
+pub fn unordered(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    xs
+}
+
+pub fn undocumented(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| String::new())
+}

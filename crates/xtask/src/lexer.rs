@@ -1,0 +1,736 @@
+//! A hand-rolled Rust lexer for the repository lint.
+//!
+//! The previous scanner masked comments and string literals out of the
+//! source and then grepped lines, which made every rule a substring
+//! match and every new rule a fresh masking bug. This module tokenises
+//! the source instead: rules pattern-match over a token stream in which
+//! a `panic!` inside a doc comment is a [`TokenKind::LineComment`], a
+//! `".unwrap()"` inside a raw string is a [`TokenKind::Str`], and `'a`
+//! in `Vec<&'a str>` is a [`TokenKind::Lifetime`] — none of which can
+//! collide with code tokens.
+//!
+//! The lexer is deliberately lossy where the lint does not care: all
+//! punctuation becomes [`TokenKind::Punct`] (with a small set of
+//! two-character operators kept whole so rules can match `::`, `==`,
+//! `->` directly), keywords are ordinary [`TokenKind::Ident`]s, and
+//! numeric suffixes stay attached to their literal. Comment text is
+//! retained verbatim so waiver markers (`lint: allow(rule)`) can be
+//! found *only* in comments, never in string literals.
+//!
+//! Every token records the 1-based line of its first character, which
+//! is what findings report.
+
+/// The coarse classification the lint rules match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Integer literal, any base, suffix attached (`0xFF`, `1_000u64`).
+    Int,
+    /// Float literal, suffix attached (`1.0`, `2e-3`, `1.5f32`).
+    Float,
+    /// Any string literal: plain, raw, byte or byte-raw, quotes kept.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `//` comment, text kept, including `///` and `//!` doc forms.
+    LineComment,
+    /// A (possibly nested) `/* */` comment, text kept.
+    BlockComment,
+    /// Punctuation: one of [`JOINED`] or a single character.
+    Punct,
+}
+
+/// Two-character operators kept as a single [`TokenKind::Punct`] token.
+/// Everything else is split into single characters. The set is exactly
+/// what the rules need to match (`::`, `==`, `!=`, `<=`, `>=`, `->`)
+/// plus the operators whose splitting would create false `=`/`<`/`>`
+/// neighbours for the float-comparison rule.
+const JOINED: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "..", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
+];
+
+/// One token of the source, borrowing its text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact source text, delimiters included.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Whether this token is a comment of either form.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is a punctuation token with exactly this text.
+    #[must_use]
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Tokenises `source`. The lexer never fails: unterminated literals or
+/// comments simply extend to the end of the input, and any byte it does
+/// not recognise becomes a single-character [`TokenKind::Punct`]. This
+/// is the right behaviour for a lint that must not crash on the code it
+/// is criticising.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'b' | b'r' if self.literal_prefix() => {}
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: usize) {
+        self.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line: start_line,
+        });
+    }
+
+    /// Counts the newlines inside the token just consumed so `self.line`
+    /// stays correct across multi-line literals and comments.
+    fn advance_lines(&mut self, start: usize) {
+        self.line += self.bytes[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+    }
+
+    fn line_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, start_line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.pos, self.line);
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::BlockComment, start, start_line);
+        self.advance_lines(start);
+    }
+
+    /// Consumes a plain (escaped) string literal starting at the current
+    /// `"`. `start` points at the literal's first byte (before any `b`
+    /// prefix the caller already consumed past).
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        self.push(TokenKind::Str, start, start_line);
+        self.advance_lines(start);
+    }
+
+    /// Handles `b"…"`, `b'…'`, `r"…"`, `r#"…"#`, `br#"…"#`. Returns
+    /// true if a literal was consumed; false means the `b`/`r` is just
+    /// the start of an identifier (including raw identifiers `r#type`).
+    fn literal_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let mut i = self.pos;
+        let mut raw = false;
+        // Optional order: `b`, then `r`, i.e. b" b' r" br" are literals.
+        if self.bytes[i] == b'b' {
+            i += 1;
+        }
+        if self.bytes.get(i) == Some(&b'r') {
+            i += 1;
+            raw = true;
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.bytes.get(i + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.bytes.get(i + hashes) == Some(&b'"') {
+                self.raw_string(start, i + hashes, hashes);
+                return true;
+            }
+            return false; // raw identifier or plain ident starting r/br.
+        }
+        match self.bytes.get(i) {
+            Some(&b'"') => {
+                self.pos = i;
+                self.string(start);
+                true
+            }
+            Some(&b'\'') => {
+                // Byte char b'x' — always a char, never a lifetime.
+                self.pos = i + 1;
+                self.char_body(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a raw string whose opening `"` is at `quote`, closed by
+    /// `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self, start: usize, quote: usize, hashes: usize) {
+        let start_line = self.line;
+        self.pos = quote + 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"'
+                && self.bytes[self.pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        self.push(TokenKind::Str, start, start_line);
+        self.advance_lines(start);
+    }
+
+    /// At a `'`: decides between a char literal and a lifetime the same
+    /// way rustc does — `'x'` and `'\n'` are chars; `'a` followed by
+    /// anything but a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(c) if is_ident_start(c) => self.peek(2) == Some(b'\''),
+            Some(b'\'') | None => false, // `''` or trailing quote: punt.
+            Some(_) => true,             // '(' in '(', ' ' in ' ', digits…
+        };
+        if is_char {
+            self.pos += 1;
+            self.char_body(start);
+        } else {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Lifetime, start, self.line);
+        }
+    }
+
+    /// Consumes the body of a char literal; `self.pos` is just past the
+    /// opening quote.
+    fn char_body(&mut self, start: usize) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        self.push(TokenKind::Char, start, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut float = false;
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        {
+            self.pos += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Int, start, self.line);
+            return;
+        }
+        self.digits();
+        if self.peek(0) == Some(b'.') {
+            // `1.5` and `1.` are floats; `1.max(2)` and `1..4` are not.
+            let after = self.peek(1);
+            let method = after.is_some_and(is_ident_start);
+            let range = after == Some(b'.');
+            if !method && !range {
+                float = true;
+                self.pos += 1;
+                self.digits();
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = matches!(self.peek(1), Some(b'+' | b'-'));
+            let exp_at = if sign { 2 } else { 1 };
+            if self.peek(exp_at).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.pos += exp_at;
+                self.digits();
+            }
+        }
+        // Suffix: u64, i8, f32, usize…  f-suffixes force float.
+        let suffix_start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        if self.src[suffix_start..self.pos].starts_with('f') {
+            float = true;
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, start, self.line);
+    }
+
+    fn digits(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        if self.pos + 1 < self.bytes.len() {
+            let pair = &self.src[self.pos..self.pos + 2];
+            if JOINED.contains(&pair) {
+                self.pos += 2;
+                self.push(TokenKind::Punct, start, self.line);
+                return;
+            }
+        }
+        // Step over a full UTF-8 scalar so multi-byte characters inside
+        // e.g. stray text never split into invalid slices.
+        let mut end = self.pos + 1;
+        while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+            end += 1;
+        }
+        self.pos = end;
+        self.push(TokenKind::Punct, start, self.line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The enclosing-region flags of one token: computed in a single pass
+/// over the stream by tracking brace depth, `#[cfg(test)]`/`#[test]`
+/// attributes and `impl Trait for Type` headers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Region {
+    /// Inside (or annotated by) a test region.
+    pub test: bool,
+    /// Inside an `impl Trait for Type` block.
+    pub trait_impl: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    Test,
+    TraitImpl,
+}
+
+/// Computes the [`Region`] of every token, parallel to `tokens`.
+///
+/// `#[test]` and `#[cfg(test)]` (but not `#[cfg(not(test))]`) mark the
+/// item that follows: the region covers the attribute itself, the item
+/// header and the full braced body. `impl … for …` headers with no `fn`
+/// before the opening brace mark the body as a trait impl (inherent
+/// impls — no `for` — do not).
+#[must_use]
+pub fn token_regions(tokens: &[Token<'_>]) -> Vec<Region> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut regions = vec![Region::default(); tokens.len()];
+    let mut depth = 0usize;
+    let mut stack: Vec<(RegionKind, usize)> = Vec::new();
+    let mut pending: Option<RegionKind> = None;
+
+    let mut c = 0usize;
+    while c < code.len() {
+        let i = code[c];
+        let tok = &tokens[i];
+        let in_test =
+            pending == Some(RegionKind::Test) || stack.iter().any(|&(k, _)| k == RegionKind::Test);
+        let in_trait = stack.iter().any(|&(k, _)| k == RegionKind::TraitImpl);
+        regions[i] = Region {
+            test: in_test,
+            trait_impl: in_trait,
+        };
+
+        if tok.is_punct("#") {
+            if let Some(end) = attribute_end(tokens, &code, c) {
+                let mut is_test = false;
+                let mut idents = Vec::new();
+                for &j in &code[c..=end] {
+                    if tokens[j].kind == TokenKind::Ident {
+                        idents.push(tokens[j].text);
+                    }
+                    regions[j] = regions[i];
+                }
+                if idents == ["test"]
+                    || (idents.first() == Some(&"cfg")
+                        && idents.contains(&"test")
+                        && !idents.contains(&"not"))
+                {
+                    is_test = true;
+                }
+                if is_test {
+                    pending = Some(RegionKind::Test);
+                }
+                c = end + 1;
+                continue;
+            }
+        }
+
+        if tok.is_ident("impl") && pending.is_none() {
+            // Scan the header up to its `{`; `for` without `fn` means a
+            // trait impl (`impl Display for X`), not an inherent impl.
+            let mut saw_for = false;
+            let mut saw_fn = false;
+            for &j in &code[c + 1..] {
+                let t = &tokens[j];
+                if t.is_punct("{") || t.is_punct(";") {
+                    break;
+                }
+                saw_for |= t.is_ident("for");
+                saw_fn |= t.is_ident("fn");
+            }
+            if saw_for && !saw_fn {
+                pending = Some(RegionKind::TraitImpl);
+            }
+        }
+
+        if tok.is_punct("{") {
+            if let Some(kind) = pending.take() {
+                stack.push((kind, depth));
+            }
+            depth += 1;
+        } else if tok.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if stack.last().is_some_and(|&(_, d)| d >= depth) {
+                stack.pop();
+            }
+        }
+        c += 1;
+    }
+
+    // Comments inherit the region of the nearest following code token,
+    // so a comment inside a test mod is test-region too.
+    let mut next = Region::default();
+    for i in (0..tokens.len()).rev() {
+        if tokens[i].is_comment() {
+            regions[i] = next;
+        } else {
+            next = regions[i];
+        }
+    }
+    regions
+}
+
+/// If code-position `c` starts an attribute (`#` `[` … `]`, or the
+/// inner form `#` `!` `[` … `]`), returns the code position of the
+/// closing `]`.
+fn attribute_end(tokens: &[Token<'_>], code: &[usize], c: usize) -> Option<usize> {
+    let mut k = c + 1;
+    if code.get(k).is_some_and(|&j| tokens[j].is_punct("!")) {
+        k += 1;
+    }
+    if !code.get(k).is_some_and(|&j| tokens[j].is_punct("[")) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (pos, &j) in code.iter().enumerate().skip(k) {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(pos);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("pub fn f(x: u32) -> u32 { x }");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["pub", "fn", "f", "x", "u32", "u32", "x"]);
+        assert!(toks.contains(&(TokenKind::Punct, "->".into())));
+    }
+
+    #[test]
+    fn joined_operators_stay_whole() {
+        let toks = kinds("a == b != c <= d >= e :: f");
+        for op in ["==", "!=", "<=", ">=", "::"] {
+            assert!(toks.contains(&(TokenKind::Punct, op.into())), "{op}");
+        }
+    }
+
+    #[test]
+    fn line_and_block_comments_keep_text() {
+        let toks = lex("// top panic!\n/* block /* nested */ unwrap() */ fn f() {}");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("panic!"));
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert!(toks[1].text.contains("unwrap()"));
+        assert_eq!(toks[1].line, 2);
+        assert!(toks[2].is_ident("fn"));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = lex(r#"let s = "panic! \" .unwrap()"; x"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("panic!"));
+        assert!(toks.last().unwrap().is_ident("x"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_one_token() {
+        let toks = lex("r#\"has \"quotes\" and panic!\"# b\"bytes\" br#\"raw bytes\"#");
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+        assert!(strs[0].text.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Str));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = lex(r"fn f<'a>(x: &'a str) -> char { 'x' } let e = '\n'; let s = 'static;");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars, ["'x'", r"'\n'"]);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let toks = kinds("1 1.5 1e3 1.5e-3 0xFF 0b1010 1_000u64 2.0f32 1.max(2) 0..4");
+        let of = |kind: TokenKind| {
+            toks.iter()
+                .filter(|(k, _)| *k == kind)
+                .map(|(_, t)| t.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(of(TokenKind::Float), ["1.5", "1e3", "1.5e-3", "2.0f32"]);
+        assert_eq!(
+            of(TokenKind::Int),
+            ["1", "0xFF", "0b1010", "1_000u64", "1", "2", "0", "4"]
+        );
+    }
+
+    #[test]
+    fn lines_are_one_based_and_survive_multiline_tokens() {
+        let src = "a\n\"two\nline\"\nb\n/* c\nd */\ne";
+        let toks = lex(src);
+        let line_of = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("\"two\nline\""), 2);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("e"), 7);
+    }
+
+    #[test]
+    fn regions_mark_cfg_test_blocks() {
+        let src = "fn a() { x(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y(); }\n}\nfn b() {}\n";
+        let toks = lex(src);
+        let regions = token_regions(&toks);
+        let region_of = |text: &str, line: usize| {
+            let i = toks
+                .iter()
+                .position(|t| t.text == text && t.line == line)
+                .unwrap();
+            regions[i]
+        };
+        assert!(!region_of("x", 1).test);
+        assert!(region_of("y", 4).test);
+        assert!(region_of("}", 5).test, "closing brace still in region");
+        assert!(!region_of("b", 6).test);
+    }
+
+    #[test]
+    fn regions_do_not_mark_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() { x(); } }\n";
+        let toks = lex(src);
+        let regions = token_regions(&toks);
+        let i = toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(!regions[i].test);
+    }
+
+    #[test]
+    fn regions_mark_test_attribute_and_header() {
+        let src = "#[test]\nfn t() { z(); }\nfn u() { w(); }\n";
+        let toks = lex(src);
+        let regions = token_regions(&toks);
+        let at = |text: &str| {
+            let i = toks.iter().position(|t| t.text == text).unwrap();
+            regions[i]
+        };
+        assert!(at("t").test, "header after #[test] is test region");
+        assert!(at("z").test);
+        assert!(!at("w").test);
+    }
+
+    #[test]
+    fn regions_mark_trait_impls_not_inherent_impls() {
+        let src = "impl core::fmt::Display for X {\n  fn fmt(&self) { a(); }\n}\nimpl X {\n  pub fn new() { b(); }\n}\nfor x in 0..3 { c(); }\n";
+        let toks = lex(src);
+        let regions = token_regions(&toks);
+        let at = |text: &str| {
+            let i = toks.iter().position(|t| t.text == text).unwrap();
+            regions[i]
+        };
+        assert!(at("a").trait_impl);
+        assert!(!at("b").trait_impl, "inherent impl is not exempt");
+        assert!(!at("c").trait_impl, "a for-loop is not an impl header");
+    }
+
+    #[test]
+    fn comments_inherit_the_following_region() {
+        let src = "#[cfg(test)]\nmod tests {\n  // inside\n  fn t() {}\n}\n// outside\nfn f() {}\n";
+        let toks = lex(src);
+        let regions = token_regions(&toks);
+        let at = |text: &str| {
+            let i = toks.iter().position(|t| t.text.contains(text)).unwrap();
+            regions[i]
+        };
+        assert!(at("inside").test);
+        assert!(!at("outside").test);
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b\"open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src}");
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! The repo-specific lint rules.
 //!
-//! Each rule is a textual check over a masked source file (comments and
-//! literal contents blanked, see [`crate::scan`]). They enforce contracts
-//! clippy cannot express for this workspace:
+//! Each rule is a pattern match over the token stream produced by
+//! [`crate::lexer`] — a `panic!` inside a doc comment or a raw string
+//! is a comment/string token and can never match a rule that inspects
+//! code tokens. The rules enforce contracts clippy cannot express for
+//! this workspace:
 //!
 //! | id | rule |
 //! |---|---|
@@ -10,13 +12,17 @@
 //! | `narrowing` | no lossy `as` narrowing to sub-64-bit integers in accumulator/shift paths (`crates/core`, `crates/unary`) |
 //! | `wall-clock` | no `std::time` / `SystemTime` / `Instant` in `crates/sim` and `crates/unary` (cycle determinism) |
 //! | `float-eq` | no `==` / `!=` against float literals in non-test code |
+//! | `determinism` | no `HashMap` / `HashSet` in result-affecting crates (`core`, `sim`, `serve`, `unary`): their iteration order varies run to run |
+//! | `float-ord` | no `sort_by`/`max_by`/`min_by` closures built on `partial_cmp` in non-test code; NaN silently reorders — use `total_cmp` |
 //! | `errors-doc` | public `Result`-returning fns document a `# Errors` section |
 //!
 //! Any rule can be waived for one site with a `// lint: allow(<id>)`
 //! marker on the same line or the line above; the marker is expected to
-//! carry a rationale in the surrounding comment.
+//! carry a rationale in the surrounding comment. Waivers are recognised
+//! **only inside comments** — the same text in a string literal does
+//! not waive anything.
 
-use crate::scan::{line_regions, mask_source, LineRegion};
+use crate::lexer::{lex, token_regions, Token, TokenKind};
 
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +58,10 @@ pub struct FileRules {
     pub no_wall_clock: bool,
     /// `float-eq` rule.
     pub no_float_eq: bool,
+    /// `determinism` rule (result-affecting crates).
+    pub no_determinism: bool,
+    /// `float-ord` rule.
+    pub no_float_ord: bool,
     /// `errors-doc` rule (public API files).
     pub errors_doc: bool,
 }
@@ -64,10 +74,17 @@ pub struct FileRules {
 /// modules exist to serve its `exp_*`/`sim_cli` binaries and may abort on
 /// impossible configurations). The narrowing rule covers the
 /// accumulator/shift implementation crates (`core`, `unary`); the
-/// wall-clock rule covers the cycle-deterministic crates (`sim`, `unary`).
+/// wall-clock rule covers the cycle-deterministic crates (`sim`,
+/// `unary`); the determinism-taint rule covers every crate whose output
+/// feeds simulation results (`core`, `sim`, `serve`, `unary`). Files
+/// under a `fixtures/` directory are the lint's own regression corpus of
+/// deliberate violations and are exempt from everything.
 #[must_use]
 pub fn classify(rel_path: &str) -> FileRules {
     let path = rel_path.replace('\\', "/");
+    if path.contains("/fixtures/") {
+        return FileRules::default();
+    }
     let in_tool = path.starts_with("crates/xtask") || path.starts_with("crates/bench");
     let is_bin =
         path.contains("/bin/") || path.ends_with("/main.rs") || path.ends_with("/build.rs");
@@ -75,246 +92,350 @@ pub fn classify(rel_path: &str) -> FileRules {
         || (path.starts_with("crates/") && path.contains("/src/")))
         && !is_bin
         && !in_tool;
+    let result_affecting = [
+        "crates/core/src",
+        "crates/sim/src",
+        "crates/serve/src",
+        "crates/unary/src",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p));
     FileRules {
         no_panic: is_lib,
         no_narrowing: path.starts_with("crates/core/src") || path.starts_with("crates/unary/src"),
         no_wall_clock: path.starts_with("crates/sim/src") || path.starts_with("crates/unary/src"),
         no_float_eq: true,
+        no_determinism: result_affecting,
+        no_float_ord: true,
         errors_doc: is_lib,
     }
 }
 
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+const FLOAT_SORTS: [&str; 5] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
 /// Runs every applicable rule over one file.
 #[must_use]
 pub fn lint_source(rel_path: &str, source: &str, rules: FileRules) -> Vec<Finding> {
-    let masked = mask_source(source);
-    let regions = line_regions(&masked);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let code_lines: Vec<&str> = masked.lines().collect();
+    let tokens = lex(source);
+    let regions = token_regions(&tokens);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let waivers = collect_waivers(&tokens);
     let mut findings = Vec::new();
 
-    let allowed = |idx: usize, rule: &str| -> bool {
-        let marker = format!("lint: allow({rule})");
-        raw_lines.get(idx).is_some_and(|l| l.contains(&marker))
-            || idx > 0 && raw_lines.get(idx - 1).is_some_and(|l| l.contains(&marker))
-    };
-    let mut push = |idx: usize, rule: &'static str, message: String| {
-        if !allowed(idx, rule) {
-            findings.push(Finding {
-                file: rel_path.to_owned(),
-                line: idx + 1,
-                rule,
-                message,
-            });
-        }
+    let waived = |line: usize, rule: &str| -> bool {
+        waivers
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
     };
 
-    for (idx, code) in code_lines.iter().enumerate() {
-        let region = regions.get(idx).copied().unwrap_or_default();
+    for c in 0..code.len() {
+        let t = &tokens[code[c]];
+        let region = regions[code[c]];
+        let next = |k: usize| code.get(c + k).map(|&i| &tokens[i]);
+        let mut push = |line: usize, rule: &'static str, message: String| {
+            if !waived(line, rule) {
+                findings.push(Finding {
+                    file: rel_path.to_owned(),
+                    line,
+                    rule,
+                    message,
+                });
+            }
+        };
 
         if rules.no_panic && !region.test {
-            for token in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
-                if code.contains(token) {
-                    push(
-                        idx,
-                        "panic",
-                        format!("`{token}` in library code; return a typed error instead"),
-                    );
-                }
-            }
-            if contains_unwrap_call(code) {
+            if t.kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&t.text)
+                && next(1).is_some_and(|n| n.is_punct("!"))
+            {
                 push(
-                    idx,
+                    t.line,
                     "panic",
-                    "`.unwrap()` in library code; return a typed error instead".to_owned(),
-                );
-            }
-            if code.contains(".expect(") {
-                push(
-                    idx,
-                    "panic",
-                    "`.expect(…)` in library code; return a typed error instead".to_owned(),
-                );
-            }
-        }
-
-        if rules.no_narrowing && !region.test {
-            if let Some(ty) = narrowing_cast(code) {
-                push(
-                    idx,
-                    "narrowing",
                     format!(
-                        "lossy `as {ty}` narrowing in an accumulator/shift path; \
-                         use `try_from` or mark `// lint: allow(narrowing)` with a range argument"
+                        "`{}!` in library code; return a typed error instead",
+                        t.text
                     ),
                 );
             }
+            if t.is_punct(".") && next(2).is_some_and(|n| n.is_punct("(")) {
+                if next(1).is_some_and(|n| n.is_ident("unwrap"))
+                    && next(3).is_some_and(|n| n.is_punct(")"))
+                {
+                    push(
+                        t.line,
+                        "panic",
+                        "`.unwrap()` in library code; return a typed error instead".to_owned(),
+                    );
+                }
+                if next(1).is_some_and(|n| n.is_ident("expect")) {
+                    push(
+                        t.line,
+                        "panic",
+                        "`.expect(…)` in library code; return a typed error instead".to_owned(),
+                    );
+                }
+            }
         }
 
-        if rules.no_wall_clock {
-            for token in ["std::time", "SystemTime", "Instant"] {
-                if code.contains(token) {
+        if rules.no_narrowing && !region.test && t.is_ident("as") {
+            if let Some(n) = next(1) {
+                if n.kind == TokenKind::Ident && NARROW.contains(&n.text) {
                     push(
-                        idx,
-                        "wall-clock",
+                        n.line,
+                        "narrowing",
                         format!(
-                            "`{token}` in a cycle-deterministic crate; simulated time must come \
-                             from the cycle counter"
+                            "lossy `as {}` narrowing in an accumulator/shift path; \
+                             use `try_from` or mark `// lint: allow(narrowing)` with a range \
+                             argument",
+                            n.text
                         ),
                     );
                 }
             }
         }
 
-        if rules.no_float_eq && !region.test && float_literal_eq(code) {
+        if rules.no_wall_clock {
+            if t.is_ident("SystemTime") || t.is_ident("Instant") {
+                push(
+                    t.line,
+                    "wall-clock",
+                    format!(
+                        "`{}` in a cycle-deterministic crate; simulated time must come from the \
+                         cycle counter",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_ident("std")
+                && next(1).is_some_and(|n| n.is_punct("::"))
+                && next(2).is_some_and(|n| n.is_ident("time"))
+            {
+                push(
+                    t.line,
+                    "wall-clock",
+                    "`std::time` in a cycle-deterministic crate; simulated time must come from \
+                     the cycle counter"
+                        .to_owned(),
+                );
+            }
+        }
+
+        if rules.no_float_eq && !region.test && (t.is_punct("==") || t.is_punct("!=")) {
+            let prev_float = c > 0 && tokens[code[c - 1]].kind == TokenKind::Float;
+            let next_float = next(1).is_some_and(|n| n.kind == TokenKind::Float);
+            if prev_float || next_float {
+                push(
+                    t.line,
+                    "float-eq",
+                    "float literal compared with `==`/`!=`; compare against an epsilon or \
+                     restructure"
+                        .to_owned(),
+                );
+            }
+        }
+
+        if rules.no_determinism && !region.test && (t.is_ident("HashMap") || t.is_ident("HashSet"))
+        {
             push(
-                idx,
-                "float-eq",
-                "float literal compared with `==`/`!=`; compare against an epsilon or \
-                 restructure"
-                    .to_owned(),
+                t.line,
+                "determinism",
+                format!(
+                    "`{}` has run-to-run iteration order; use `BTreeMap`/`BTreeSet` (or a Vec) \
+                     in result-affecting code",
+                    t.text
+                ),
             );
+        }
+
+        if rules.no_float_ord
+            && !region.test
+            && t.kind == TokenKind::Ident
+            && FLOAT_SORTS.contains(&t.text)
+            && next(1).is_some_and(|n| n.is_punct("("))
+        {
+            // Scan the call's argument list for a partial_cmp comparator.
+            let mut depth = 0usize;
+            let mut uses_partial = false;
+            for &i in &code[c + 1..] {
+                let u = &tokens[i];
+                if u.is_punct("(") {
+                    depth += 1;
+                } else if u.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if u.is_ident("partial_cmp") {
+                    uses_partial = true;
+                }
+            }
+            if uses_partial {
+                push(
+                    t.line,
+                    "float-ord",
+                    format!(
+                        "`{}` comparator built on `partial_cmp` silently reorders on NaN; use \
+                         `total_cmp` or compare extracted keys",
+                        t.text
+                    ),
+                );
+            }
         }
     }
 
     if rules.errors_doc {
-        check_errors_docs(rel_path, &code_lines, &raw_lines, &regions, &mut findings);
+        check_errors_docs(rel_path, &tokens, &regions, &waivers, &mut findings);
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
 
-/// Matches `.unwrap()` but not `.unwrap_or(…)` / `.unwrap_or_else(…)` /
-/// `.unwrap_or_default()`.
-fn contains_unwrap_call(code: &str) -> bool {
-    code.match_indices(".unwrap")
-        .any(|(i, _)| code[i + ".unwrap".len()..].starts_with("()"))
-}
-
-/// Detects `as <narrow-int>` casts; returns the target type.
-fn narrowing_cast(code: &str) -> Option<&'static str> {
-    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
-    for (i, _) in code.match_indices(" as ") {
-        let rest = &code[i + 4..];
-        let target: String = rest
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if let Some(ty) = NARROW.iter().find(|t| **t == target) {
-            return Some(ty);
+/// Extracts `lint: allow(<rule>)` waiver markers from comment tokens
+/// only, each with the 1-based line the marker sits on (block comments
+/// may carry a marker on any of their lines).
+fn collect_waivers(tokens: &[Token<'_>]) -> Vec<(usize, String)> {
+    const MARKER: &str = "lint: allow(";
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
         }
-    }
-    None
-}
-
-/// Detects a float literal adjacent to `==` or `!=`.
-fn float_literal_eq(code: &str) -> bool {
-    for op in ["==", "!="] {
-        for (i, _) in code.match_indices(op) {
-            // `!=` shares a suffix with `==` at i+1; skip half-matches.
-            if op == "=="
-                && i > 0
-                && (code.as_bytes()[i - 1] == b'!'
-                    || code.as_bytes()[i - 1] == b'<'
-                    || code.as_bytes()[i - 1] == b'>')
-            {
-                continue;
-            }
-            let before = code[..i]
-                .trim_end()
-                .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
-                .next()
-                .unwrap_or("");
-            let after = code[i + 2..]
-                .trim_start()
-                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_'))
-                .next()
-                .unwrap_or("");
-            if is_float_literal(before) || is_float_literal(after) {
-                return true;
+        for (i, _) in t.text.match_indices(MARKER) {
+            let line = t.line + t.text[..i].matches('\n').count();
+            let rest = &t.text[i + MARKER.len()..];
+            if let Some(end) = rest.find(')') {
+                out.push((line, rest[..end].to_owned()));
             }
         }
     }
-    false
-}
-
-fn is_float_literal(token: &str) -> bool {
-    let t = token
-        .trim_end_matches("f64")
-        .trim_end_matches("f32")
-        .trim_end_matches('_');
-    t.contains('.') && !t.is_empty() && t.parse::<f64>().is_ok()
+    out
 }
 
 /// Enforces `# Errors` doc sections on public `Result`-returning fns
 /// (trait impls inherit their trait's docs and are exempt).
+///
+/// Walks the raw token stream so doc comments can be tracked: `///`
+/// lines set the doc state, attributes are transparent, and any other
+/// code token detaches the docs from what follows.
 fn check_errors_docs(
     rel_path: &str,
-    code_lines: &[&str],
-    raw_lines: &[&str],
-    regions: &[LineRegion],
+    tokens: &[Token<'_>],
+    regions: &[crate::lexer::Region],
+    waivers: &[(usize, String)],
     findings: &mut Vec<Finding>,
 ) {
-    let mut docs_have_errors = false;
     let mut docs_present = false;
+    let mut docs_have_errors = false;
+    let next_code = |mut k: usize| -> Option<usize> {
+        while k < tokens.len() {
+            if !tokens[k].is_comment() {
+                return Some(k);
+            }
+            k += 1;
+        }
+        None
+    };
 
-    for idx in 0..code_lines.len() {
-        let raw = raw_lines.get(idx).copied().unwrap_or("");
-        let trimmed_raw = raw.trim_start();
-        let region = regions.get(idx).copied().unwrap_or_default();
-
-        if trimmed_raw.starts_with("///") {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::LineComment && t.text.starts_with("///") {
             docs_present = true;
-            docs_have_errors |= trimmed_raw.contains("# Errors");
+            docs_have_errors |= t.text.contains("# Errors");
+            i += 1;
             continue;
         }
-        if trimmed_raw.starts_with("#[") || trimmed_raw.is_empty() {
-            continue; // attributes/blank lines between docs and item
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        // Attributes between the docs and the item are transparent.
+        if t.is_punct("#") {
+            let mut k = next_code(i + 1);
+            if k.is_some_and(|k| tokens[k].is_punct("!")) {
+                k = next_code(k.unwrap_or(i) + 1);
+            }
+            if let Some(open) = k.filter(|&k| tokens[k].is_punct("[")) {
+                let mut depth = 0usize;
+                let mut j = open;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("[") {
+                        depth += 1;
+                    } else if tokens[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
         }
 
-        let code = code_lines[idx];
-        let is_pub_fn = code.trim_start().starts_with("pub fn ")
-            || code.trim_start().starts_with("pub const fn ")
-            || code.trim_start().starts_with("pub async fn ");
-        if is_pub_fn && !region.test && !region.trait_impl {
-            // Join the signature up to the body/terminator.
-            let mut sig = String::new();
-            for line in code_lines.iter().skip(idx) {
-                if let Some(head) = line.split(['{', ';']).next() {
-                    sig.push_str(head);
-                    sig.push(' ');
-                    if head.len() != line.len() {
+        if t.is_ident("pub") {
+            let region = regions[i];
+            // `pub(crate)`/`pub(super)` items are not public API.
+            let mut k = next_code(i + 1);
+            while k.is_some_and(|k| {
+                tokens[k].is_ident("const")
+                    || tokens[k].is_ident("async")
+                    || tokens[k].is_ident("unsafe")
+            }) {
+                k = next_code(k.unwrap_or(i) + 1);
+            }
+            if k.is_some_and(|k| tokens[k].is_ident("fn")) && !region.test && !region.trait_impl {
+                let mut in_return = false;
+                let mut returns_result = false;
+                let mut j = k.unwrap_or(i) + 1;
+                while j < tokens.len() {
+                    let u = &tokens[j];
+                    if u.is_punct("{") || u.is_punct(";") {
                         break;
                     }
-                } else {
-                    break;
+                    if u.is_punct("->") {
+                        in_return = true;
+                    } else if in_return && u.is_ident("Result") {
+                        returns_result = true;
+                    }
+                    j += 1;
                 }
-            }
-            let returns_result = sig
-                .split_once("->")
-                .is_some_and(|(_, ret)| ret.contains("Result"));
-            if returns_result && !docs_have_errors {
-                let marker = "lint: allow(errors-doc)";
-                let waived = (idx.saturating_sub(8)..=idx)
-                    .any(|j| raw_lines.get(j).is_some_and(|l| l.contains(marker)));
-                if !waived {
-                    findings.push(Finding {
-                        file: rel_path.to_owned(),
-                        line: idx + 1,
-                        rule: "errors-doc",
-                        message: if docs_present {
-                            "public `Result`-returning fn lacks a `# Errors` doc section".to_owned()
-                        } else {
-                            "public `Result`-returning fn is undocumented (needs a `# Errors` \
-                             section)"
-                                .to_owned()
-                        },
+                if returns_result && !docs_have_errors {
+                    let waived = waivers.iter().any(|(l, r)| {
+                        r == "errors-doc" && (t.line.saturating_sub(8)..=t.line).contains(l)
                     });
+                    if !waived {
+                        findings.push(Finding {
+                            file: rel_path.to_owned(),
+                            line: t.line,
+                            rule: "errors-doc",
+                            message: if docs_present {
+                                "public `Result`-returning fn lacks a `# Errors` doc section"
+                                    .to_owned()
+                            } else {
+                                "public `Result`-returning fn is undocumented (needs a \
+                                 `# Errors` section)"
+                                    .to_owned()
+                            },
+                        });
+                    }
                 }
             }
         }
-        docs_have_errors = false;
         docs_present = false;
+        docs_have_errors = false;
+        i += 1;
     }
 }
 
@@ -454,6 +575,78 @@ pub fn f(s: &S) -> bool {
     }
 
     #[test]
+    fn catches_hash_collections_in_result_affecting_code() {
+        let src = "\
+use std::collections::HashMap;
+pub fn order(keys: &[u64]) -> Vec<u64> {
+    let mut m = HashMap::new();
+    for k in keys { m.insert(*k, ()); }
+    m.into_keys().collect()
+}
+";
+        let f = lint_source(
+            "crates/sim/src/fake.rs",
+            src,
+            classify("crates/sim/src/fake.rs"),
+        );
+        assert_eq!(rule_lines(&f, "determinism"), vec![1, 3]);
+        // Outside the result-affecting crates the rule is off.
+        let f = lint_source(
+            "crates/obs/src/fake.rs",
+            src,
+            classify("crates/obs/src/fake.rs"),
+        );
+        assert!(rule_lines(&f, "determinism").is_empty());
+    }
+
+    #[test]
+    fn determinism_exempts_test_code_and_waived_sites() {
+        let src = "\
+// Scratch set; iteration order never observed: lint: allow(determinism)
+pub fn waived() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u64, u64>::new(); }
+}
+";
+        let f = lint_source(
+            "crates/core/src/fake.rs",
+            src,
+            classify("crates/core/src/fake.rs"),
+        );
+        // Only the un-waived second HashSet mention (line 3) fires.
+        assert_eq!(rule_lines(&f, "determinism"), vec![3]);
+    }
+
+    #[test]
+    fn catches_partial_cmp_comparators() {
+        let src = "\
+pub fn order(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    xs.sort_by(f64::total_cmp);
+    xs
+}
+";
+        assert_eq!(rule_lines(&lint(src), "float-ord"), vec![2]);
+    }
+
+    #[test]
+    fn partial_cmp_outside_sorts_is_fine() {
+        let src = "\
+impl PartialOrd for W {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+";
+        assert!(rule_lines(&lint(src), "float-ord").is_empty());
+    }
+
+    #[test]
     fn catches_missing_errors_doc() {
         let src = "\
 /// Parses a widget.
@@ -509,13 +702,26 @@ pub fn long_signature(
         assert!(classify("crates/unary/src/mul.rs").no_panic);
         assert!(classify("crates/unary/src/mul.rs").no_narrowing);
         assert!(classify("crates/unary/src/mul.rs").no_wall_clock);
+        assert!(classify("crates/unary/src/mul.rs").no_determinism);
         assert!(classify("crates/sim/src/trace.rs").no_wall_clock);
         assert!(!classify("crates/sim/src/trace.rs").no_narrowing);
+        assert!(classify("crates/serve/src/scheduler.rs").no_determinism);
+        assert!(!classify("crates/obs/src/sketch.rs").no_determinism);
         assert!(!classify("crates/bench/src/bin/sim_cli.rs").no_panic);
         assert!(!classify("crates/bench/src/table.rs").no_panic);
         assert!(classify("crates/bench/src/table.rs").no_float_eq);
+        assert!(classify("crates/bench/src/table.rs").no_float_ord);
         assert!(!classify("crates/xtask/src/main.rs").no_panic);
         assert!(classify("src/lib.rs").no_panic);
+    }
+
+    #[test]
+    fn fixture_corpus_is_exempt_from_workspace_linting() {
+        let rules = classify("crates/xtask/fixtures/seeded.rs");
+        assert!(!rules.no_panic);
+        assert!(!rules.no_float_eq);
+        assert!(!rules.no_determinism);
+        assert!(!rules.errors_doc);
     }
 
     #[test]
@@ -527,5 +733,46 @@ pub fn long_signature(
             message: "msg".into(),
         };
         assert_eq!(f.to_string(), "crates/core/src/pe.rs:7: [panic] msg");
+    }
+
+    // -- the on-disk regression corpus (see ../fixtures/) ---------------
+
+    fn all_rules() -> FileRules {
+        FileRules {
+            no_panic: true,
+            no_narrowing: true,
+            no_wall_clock: true,
+            no_float_eq: true,
+            no_determinism: true,
+            no_float_ord: true,
+            errors_doc: true,
+        }
+    }
+
+    #[test]
+    fn hostile_but_clean_corpus_yields_zero_findings() {
+        let src = include_str!("../fixtures/clean_tricky.rs");
+        let f = lint_source("fixtures/clean_tricky.rs", src, all_rules());
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn seeded_corpus_fires_every_rule_at_the_exact_line() {
+        let src = include_str!("../fixtures/seeded.rs");
+        let f = lint_source("fixtures/seeded.rs", src, all_rules());
+        let got: Vec<(usize, &str)> = f.iter().map(|f| (f.line, f.rule)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (7, "panic"),
+                (11, "narrowing"),
+                (15, "wall-clock"),
+                (19, "float-eq"),
+                (23, "determinism"),
+                (28, "float-ord"),
+                (32, "errors-doc"),
+            ],
+            "{f:#?}"
+        );
     }
 }

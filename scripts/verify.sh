@@ -50,6 +50,44 @@ check_rejects USY050 --scheme BP --no-sram --conv 27,27,96,5,5,1,256
 # ...and the paper's byte-crawling configuration must pass clean.
 "$cli" --check --scheme UR --cycles 128 --no-sram > /dev/null
 
+echo "==> network abstract interpretation smoke tests"
+# The interpreter must PROVE MNIST-CNN4 overflow-free at a 9-bit OREG
+# (below the 14-bit worst case: exit 0 with USY060 proof notes)...
+"$cli" --check --scheme UR --network mnist --acc-width 9 \
+    | grep -q 'USY060' || {
+    echo "FAIL: expected USY060 overflow-freedom proof at acc-width 9" >&2
+    exit 1
+}
+# ...must prove saturation reachable at 4 bits...
+check_rejects USY061 --scheme UR --network mnist --acc-width 4
+# ...and must reject an early-termination point whose composed network
+# error bound blows the accuracy budget.
+check_rejects USY062 --scheme UR --network mnist --cycles 8 \
+    --acc-budget 0.0001
+
+echo "==> serve_cli --check serving-feasibility smoke tests"
+serve=./target/release/serve_cli
+# A provably overloaded plan with an impossible deadline must be
+# rejected with both codes before any event is simulated...
+if "$serve" --check --instances 1 --arrival-rate 100000000 \
+    --deadline 0.0001 > /dev/null 2>&1; then
+    echo "FAIL: expected overloaded serving plan to exit non-zero" >&2
+    exit 1
+fi
+out=$("$serve" --check --instances 1 --arrival-rate 100000000 \
+    --deadline 0.0001 2>&1 || true)
+echo "$out" | grep -q USY070 || {
+    echo "FAIL: expected USY070 in overloaded serving check" >&2
+    exit 1
+}
+echo "$out" | grep -q USY072 || {
+    echo "FAIL: expected USY072 in impossible-deadline serving check" >&2
+    exit 1
+}
+# ...and a lightly loaded pool with a generous deadline passes clean.
+"$serve" --check --instances 4 --arrival-rate 100 --deadline 1000 \
+    > /dev/null
+
 echo "==> sim_cli observability smoke test"
 trace=$(mktemp /tmp/usystolic_trace.XXXXXX.json)
 metrics=$(mktemp /tmp/usystolic_metrics.XXXXXX.json)
