@@ -1,0 +1,57 @@
+//! Characterizes accuracy vs bit-error rate for the unary codings
+//! against the binary baseline and writes `BENCH_faults.json`.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_faults --
+//! [--short] [--out PATH] [--seed N]`
+//!
+//! Exits non-zero when any pinned claim fails: serial/packed kernel
+//! agreement, replay determinism, or the graceful-degradation ordering
+//! (unary strictly below binary at every non-zero BER).
+
+use std::process::ExitCode;
+
+use usystolic_bench::faults;
+use usystolic_obs::ToJson;
+
+/// Exits with code 2 and the usage line on a malformed flag.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("exp_faults: error: {message}");
+    eprintln!("usage: exp_faults [--short] [--out PATH] [--seed N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut short = false;
+    let mut out = String::from("BENCH_faults.json");
+    let mut seed = 0x5eed_fa11u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => fail("--out requires a path"),
+            },
+            "--seed" => match args.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                _ => fail("--seed requires an unsigned integer"),
+            },
+            other => fail(format!("unknown argument: {other}")),
+        }
+    }
+
+    let report = faults::run(short, seed);
+    usystolic_bench::table::emit(&report.table());
+    let json = report.to_json().render();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if report.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("faults bench found a broken claim; see {out}");
+        ExitCode::FAILURE
+    }
+}

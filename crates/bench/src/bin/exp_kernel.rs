@@ -11,6 +11,13 @@ use std::process::ExitCode;
 use usystolic_bench::kernel;
 use usystolic_obs::ToJson;
 
+/// Exits with code 2 and the usage line on a malformed flag.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("exp_kernel: error: {message}");
+    eprintln!("usage: exp_kernel [--short] [--out PATH] [--workers 1,2,4,8]");
+    std::process::exit(2);
+}
+
 fn main() -> ExitCode {
     let mut short = false;
     let mut out = String::from("BENCH_kernel.json");
@@ -21,10 +28,7 @@ fn main() -> ExitCode {
             "--short" => short = true,
             "--out" => match args.next() {
                 Some(path) => out = path,
-                None => {
-                    eprintln!("--out requires a path");
-                    return ExitCode::FAILURE;
-                }
+                None => fail("--out requires a path"),
             },
             "--workers" => match args.next().map(|s| {
                 s.split(',')
@@ -34,16 +38,9 @@ fn main() -> ExitCode {
                 Some(Ok(list)) if !list.is_empty() && list.iter().all(|&w| w > 0) => {
                     workers = list;
                 }
-                _ => {
-                    eprintln!("--workers requires a comma-separated list of positive integers");
-                    return ExitCode::FAILURE;
-                }
+                _ => fail("--workers requires a comma-separated list of positive integers"),
             },
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: exp_kernel [--short] [--out PATH] [--workers 1,2,4,8]");
-                return ExitCode::FAILURE;
-            }
+            other => fail(format!("unknown argument: {other}")),
         }
     }
 

@@ -42,12 +42,19 @@ use usystolic_analyze::{analyze, analyze_network, NetworkAnalysis, RawSpec, Repo
 use usystolic_core::{
     ComputingScheme, SystolicConfig, CLOUD_COLS, CLOUD_ROWS, EDGE_COLS, EDGE_ROWS,
 };
+use usystolic_faults::{
+    faulty_binary_gemm, faulty_unary_gemm, DeviceFaults, FaultKernel, FaultReport, GemmShape,
+    StuckAt,
+};
 use usystolic_gemm::GemmConfig;
 use usystolic_hw::evaluate_layer;
 use usystolic_hw::summary::NetworkEvaluation;
 use usystolic_models::zoo;
 use usystolic_obs::{JsonValue, ToJson};
 use usystolic_sim::{MemoryHierarchy, MultiInstanceSystem, ScalingReport};
+use usystolic_unary::coding::Coding;
+use usystolic_unary::rng::SplitMix64;
+use usystolic_unary::stream_len;
 
 #[derive(Debug)]
 struct Args {
@@ -69,6 +76,9 @@ struct Args {
     acc_budget: Option<f64>,
     wiring: RngWiring,
     fifo_depth: Option<usize>,
+    fault_ber: Option<f64>,
+    fault_stuck: Vec<StuckAt>,
+    fault_seed: Option<u64>,
 }
 
 /// On-disk encoding for `--metrics`.
@@ -84,12 +94,20 @@ fn usage() -> ! {
                      [--shape edge|cloud] [--sram|--no-sram] [--instances N]
                      [--trace FILE] [--metrics FILE] [--metrics-format json|prom]
                      [--report FILE.html] [--json]
+                     [--fault-ber F] [--fault-stuck R,C,V]... [--fault-seed N]
                      (--conv IH,IW,IC,WH,WW,S,OC | --matmul M,K,N | --network alexnet|resnet18|vgg16|mnist)
        usystolic_sim --check [--scheme S] [--cycles N] [--bits N] [--shape edge|cloud]
                      [--acc-width N] [--acc-budget FRACTION]
                      [--wiring shared|independent] [--fifo-depth N]
                      [--sram|--no-sram] [--json]
                      [--conv ... | --matmul ... | --network ...]
+
+Fault injection (--fault-ber, --fault-stuck, --fault-seed) runs a
+deterministic device-fault characterization on a sub-sampled window of
+the layer's GEMM: bit-serial and word-packed unary kernels (which must
+agree bit for bit) against the binary product-register baseline, under
+the same seeded fault sites. --fault-stuck takes R,C,V with V=0|1 and
+may repeat; --fault-seed defaults to 1.
 
 --check statically validates the configuration against the paper's
 invariants (stable USYxxx diagnostic codes) and exits 1 on any error.
@@ -150,6 +168,9 @@ fn parse_args() -> Args {
         acc_budget: None,
         wiring: RngWiring::SharedDelayed,
         fifo_depth: None,
+        fault_ber: None,
+        fault_stuck: Vec::new(),
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -262,6 +283,46 @@ fn parse_args() -> Args {
                 args.fifo_depth = Some(
                     v.parse()
                         .unwrap_or_else(|_| fail(format!("--fifo-depth {v}: not an integer"))),
+                );
+            }
+            "--fault-ber" => {
+                let v = value();
+                let ber: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--fault-ber {v}: not a number")));
+                if !ber.is_finite() || !(0.0..=1.0).contains(&ber) {
+                    fail(format!("--fault-ber {v}: must be a probability in [0, 1]"));
+                }
+                args.fault_ber = Some(ber);
+            }
+            "--fault-stuck" => {
+                let v = value();
+                let parts: Vec<&str> = v.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    fail(format!("--fault-stuck {v}: expected R,C,V (three fields)"));
+                }
+                let row: usize = parts[0]
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--fault-stuck {v}: bad row '{}'", parts[0])));
+                let col: usize = parts[1]
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--fault-stuck {v}: bad col '{}'", parts[1])));
+                let stuck_value = match parts[2] {
+                    "0" => false,
+                    "1" => true,
+                    other => fail(format!("--fault-stuck {v}: value '{other}' must be 0 or 1")),
+                };
+                args.fault_stuck.push(StuckAt {
+                    row,
+                    col,
+                    value: stuck_value,
+                });
+            }
+            "--fault-seed" => {
+                let v = value();
+                args.fault_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--fault-seed {v}: not an integer"))),
                 );
             }
             "--help" | "-h" => usage(),
@@ -411,6 +472,187 @@ fn network_by_name(name: &str) -> usystolic_models::zoo::Network {
     }
 }
 
+/// The device fault model assembled from the CLI flags, on the array's
+/// physical PE grid — `None` when no fault flag was given.
+fn device_faults(args: &Args) -> Option<DeviceFaults> {
+    if args.fault_ber.is_none() && args.fault_stuck.is_empty() && args.fault_seed.is_none() {
+        return None;
+    }
+    let (rows, cols) = if args.cloud {
+        (CLOUD_ROWS, CLOUD_COLS)
+    } else {
+        (EDGE_ROWS, EDGE_COLS)
+    };
+    let mut faults = DeviceFaults::new(args.fault_seed.unwrap_or(1))
+        .with_ber(args.fault_ber.unwrap_or(0.0))
+        .with_grid(rows, cols);
+    for &s in &args.fault_stuck {
+        faults = faults.with_stuck(s);
+    }
+    faults
+        .validate()
+        .unwrap_or_else(|e| fail(format!("fault model: {e}")));
+    Some(faults)
+}
+
+/// Root-mean-square error of `faulty` against `clean`, normalized by the
+/// clean RMS (absolute RMSE when the clean output is all zero).
+fn nrmse(faulty: &[i64], clean: &[i64]) -> f64 {
+    let n = clean.len() as f64;
+    let mse: f64 = faulty
+        .iter()
+        .zip(clean)
+        .map(|(&f, &c)| {
+            let d = (f - c) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let ref_ms: f64 = clean.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() / n;
+    if ref_ms > 0.0 {
+        (mse / ref_ms).sqrt()
+    } else {
+        mse.sqrt()
+    }
+}
+
+/// Outcome of the seeded device-fault characterization: both unary
+/// kernels and the binary baseline on the same sub-sampled GEMM window,
+/// each compared against its own quiet (fault-free) run.
+struct FaultCharacterization {
+    shape: GemmShape,
+    coding: Coding,
+    serial: FaultReport,
+    packed: FaultReport,
+    binary: FaultReport,
+    unary_nrmse: f64,
+    binary_nrmse: f64,
+    kernels_agree: bool,
+}
+
+/// Runs the characterization. The layer's GEMM is sub-sampled to at most
+/// an 8×16×8 window so the bit-level simulation stays tractable on full
+/// layers; the fault model's `(seed, window, cycle)` determinism is
+/// untouched by the sampling.
+fn fault_characterization(
+    args: &Args,
+    faults: &DeviceFaults,
+    gemm: &GemmConfig,
+) -> FaultCharacterization {
+    let shape = GemmShape {
+        m: gemm.output_pixels().min(8),
+        k: gemm.reduction_len().min(16),
+        n: gemm.output_channels().min(8),
+    };
+    let bitwidth = args.bitwidth;
+    if !(2..=usystolic_unary::MAX_BITWIDTH).contains(&bitwidth) {
+        fail(format!(
+            "--bits {bitwidth}: fault injection needs 2..={}",
+            usystolic_unary::MAX_BITWIDTH
+        ));
+    }
+    let hi = (stream_len(bitwidth) - 1).cast_signed();
+    let mut rng = SplitMix64::new(faults.seed);
+    let a: Vec<i64> = (0..shape.m * shape.k)
+        .map(|_| rng.range_i64(-hi, hi))
+        .collect();
+    let b: Vec<i64> = (0..shape.k * shape.n)
+        .map(|_| rng.range_i64(-hi, hi))
+        .collect();
+    let coding = match args.scheme {
+        ComputingScheme::UnaryTemporal => Coding::Temporal,
+        _ => Coding::Rate,
+    };
+    let quiet = DeviceFaults::new(faults.seed).with_grid(faults.rows, faults.cols);
+    let run_unary = |model: &DeviceFaults, kernel: FaultKernel| {
+        faulty_unary_gemm(&a, &b, shape, bitwidth, coding, model, kernel)
+            .unwrap_or_else(|e| fail(format!("fault injection: {e}")))
+    };
+    let run_binary = |model: &DeviceFaults| {
+        faulty_binary_gemm(&a, &b, shape, bitwidth, model)
+            .unwrap_or_else(|e| fail(format!("fault injection: {e}")))
+    };
+    let unary_clean = run_unary(&quiet, FaultKernel::Packed);
+    let binary_clean = run_binary(&quiet);
+    let serial = run_unary(faults, FaultKernel::Serial);
+    let packed = run_unary(faults, FaultKernel::Packed);
+    let binary = run_binary(faults);
+    FaultCharacterization {
+        shape,
+        coding,
+        unary_nrmse: nrmse(&packed.output, &unary_clean.output),
+        binary_nrmse: nrmse(&binary.output, &binary_clean.output),
+        kernels_agree: serial == packed,
+        serial,
+        packed,
+        binary,
+    }
+}
+
+impl FaultCharacterization {
+    fn kernel_json(report: &FaultReport, error: f64) -> JsonValue {
+        JsonValue::object(vec![
+            ("transient_flips", report.transient_flips.to_json()),
+            ("stuck_windows", report.stuck_windows.to_json()),
+            ("corrupted_words", report.corrupted_words.to_json()),
+            ("checksum", report.checksum().to_json()),
+            ("nrmse", error.to_json()),
+        ])
+    }
+
+    fn to_json(&self, faults: &DeviceFaults) -> JsonValue {
+        JsonValue::object(vec![
+            ("seed", faults.seed.to_json()),
+            ("ber", faults.ber.to_json()),
+            ("stuck", faults.stuck.to_json()),
+            ("coding", self.coding.to_string().to_json()),
+            (
+                "shape",
+                JsonValue::object(vec![
+                    ("m", (self.shape.m as u64).to_json()),
+                    ("k", (self.shape.k as u64).to_json()),
+                    ("n", (self.shape.n as u64).to_json()),
+                ]),
+            ),
+            ("kernels_agree", self.kernels_agree.to_json()),
+            (
+                "unary_serial",
+                Self::kernel_json(&self.serial, self.unary_nrmse),
+            ),
+            (
+                "unary_packed",
+                Self::kernel_json(&self.packed, self.unary_nrmse),
+            ),
+            ("binary", Self::kernel_json(&self.binary, self.binary_nrmse)),
+        ])
+    }
+
+    fn print_human(&self, faults: &DeviceFaults) {
+        println!(
+            "\nfault injection  seed {} BER {:.2e} stuck {} ({} coding, {}x{}x{} window)",
+            faults.seed,
+            faults.ber,
+            faults.stuck.len(),
+            self.coding,
+            self.shape.m,
+            self.shape.k,
+            self.shape.n
+        );
+        println!(
+            "  unary ({} = packed: {})  flips {:>6}  stuck windows {:>4}  nrmse {:.4}",
+            FaultKernel::Serial,
+            self.kernels_agree,
+            self.packed.transient_flips,
+            self.packed.stuck_windows,
+            self.unary_nrmse
+        );
+        println!(
+            "  binary baseline        flips {:>6}  stuck windows {:>4}  nrmse {:.4}",
+            self.binary.transient_flips, self.binary.stuck_windows, self.binary_nrmse
+        );
+    }
+}
+
 /// Writes the observability artefacts collected during the run.
 fn export_session(args: &Args, session: &usystolic_obs::Session) {
     if let Some(path) = &args.trace {
@@ -503,11 +745,16 @@ fn main() {
         );
     }
 
+    let faults = device_faults(&args);
+
     if let Some(gemm) = args.gemm {
         let ev = evaluate_layer(&config, &memory, &gemm);
         let scaling = args
             .instances
             .map(|n| MultiInstanceSystem::new(config, memory).scale(&gemm, n));
+        let characterization = faults
+            .as_ref()
+            .map(|f| fault_characterization(&args, f, &gemm));
         if let Some(session) = usystolic_obs::take() {
             export_session(&args, &session);
         }
@@ -520,6 +767,9 @@ fn main() {
             ];
             if let Some(s) = &scaling {
                 pairs.push(("scaling", s.to_json()));
+            }
+            if let (Some(f), Some(c)) = (&faults, &characterization) {
+                pairs.push(("faults", c.to_json(f)));
             }
             println!("{}", JsonValue::object(pairs).render());
             return;
@@ -555,6 +805,9 @@ fn main() {
         if let Some(s) = &scaling {
             println!("\n{}", scaling_line(s));
         }
+        if let (Some(f), Some(c)) = (&faults, &characterization) {
+            c.print_human(f);
+        }
         return;
     }
 
@@ -563,6 +816,15 @@ fn main() {
         None => usage(),
     };
     let ev = NetworkEvaluation::evaluate(&config, &memory, &network.gemms());
+    // Device faults characterize on the network's first layer.
+    let characterization = faults.as_ref().map(|f| {
+        let first = network
+            .gemms()
+            .first()
+            .copied()
+            .unwrap_or_else(|| fail("fault injection: network has no layers"));
+        fault_characterization(&args, f, &first)
+    });
     let scaling: Vec<(String, ScalingReport)> = match args.instances {
         Some(n) => {
             let sys = MultiInstanceSystem::new(config, memory);
@@ -597,6 +859,9 @@ fn main() {
             .collect();
         if !scaling_json.is_empty() {
             pairs.push(("scaling", JsonValue::Array(scaling_json)));
+        }
+        if let (Some(f), Some(c)) = (&faults, &characterization) {
+            pairs.push(("faults", c.to_json(f)));
         }
         println!("{}", JsonValue::object(pairs).render());
         return;
@@ -645,6 +910,9 @@ fn main() {
         for (name, s) in &scaling {
             println!("{name:<10} {}", scaling_line(s));
         }
+    }
+    if let (Some(f), Some(c)) = (&faults, &characterization) {
+        c.print_human(f);
     }
 }
 

@@ -17,6 +17,7 @@
 //! | §V-G SRAM sweep + footnote-1 dataflows | [`design_space`] | `exp_design_space` |
 //! | §III-C / §V-A ablations | [`ablation`] | `exp_ablation` |
 //! | Kernel perf (serial vs packed MAC, `BENCH_kernel.json`) | [`kernel`] | `exp_kernel` |
+//! | Resilience (accuracy vs BER, `BENCH_faults.json`) | [`faults`] | `exp_faults` |
 //!
 //! The [`design`] module enumerates the paper's design points (computing
 //! scheme × early termination × SRAM presence) and [`table`] renders
@@ -33,6 +34,7 @@ pub mod design;
 pub mod design_space;
 pub mod efficiency;
 pub mod energy;
+pub mod faults;
 pub mod kernel;
 pub mod power;
 pub mod system;

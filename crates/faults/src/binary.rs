@@ -1,0 +1,176 @@
+//! Binary baseline under the same fault model.
+//!
+//! A conventional MAC holds each product in a `2(N-1)+1`-bit register.
+//! Applying the *same* per-bit error rate to that register (masks drawn
+//! from the same `(seed, window)` SplitMix64 streams as the unary
+//! kernels) exposes the asymmetry the paper's coding schemes exploit: a
+//! unary flip is always worth one LSB of the product, while a binary
+//! flip at bit `i` is worth `2^i` — up to twice the full product range
+//! when the MSB goes.
+
+use crate::config::{DeviceFaults, FaultError};
+use crate::gemm::{check_inputs, corrupted_operands, record_window, FaultReport, GemmShape};
+use crate::mask::window_mask;
+use usystolic_sim::Variable;
+
+/// Magnitude bits of the binary product register for `bitwidth`-bit
+/// sign-magnitude operands: `|x·w| ≤ 2^(2(bitwidth-1))` needs
+/// `2(bitwidth-1)+1` bits.
+#[must_use]
+pub fn product_register_bits(bitwidth: u32) -> usize {
+    2 * (bitwidth as usize - 1) + 1
+}
+
+/// Runs the faulted binary GEMM baseline.
+///
+/// Operands are clamped to `bitwidth`-bit sign-magnitude range like the
+/// unary kernels; the output accumulates full products (a scale of
+/// `2^(bitwidth-1)` above [`crate::faulty_unary_gemm`]'s counts).
+/// Transient flips XOR bits of the product-magnitude register as read
+/// out — no clamping, exactly as a corrupted register would be consumed.
+/// Stuck-at PEs force the whole register (all-ones or all-zeros);
+/// memory corruption hits operands exactly as in the unary kernels.
+///
+/// # Errors
+///
+/// Returns the [`DeviceFaults::validate`] errors, plus
+/// [`FaultError::UnsupportedBitwidth`] and [`FaultError::ShapeMismatch`]
+/// when the operands disagree with `shape`.
+pub fn faulty_binary_gemm(
+    a: &[i64],
+    b: &[i64],
+    shape: GemmShape,
+    bitwidth: u32,
+    faults: &DeviceFaults,
+) -> Result<FaultReport, FaultError> {
+    faults.validate()?;
+    check_inputs(a.len(), b.len(), shape, bitwidth)?;
+    let reg_bits = product_register_bits(bitwidth);
+    let (a_sm, hits_a) = corrupted_operands(a, Variable::Ifm, faults.memory.as_ref(), bitwidth);
+    let (b_sm, hits_b) = corrupted_operands(b, Variable::Weight, faults.memory.as_ref(), bitwidth);
+    let mut report = FaultReport {
+        output: Vec::with_capacity(shape.m * shape.n),
+        transient_flips: 0,
+        stuck_windows: 0,
+        stuck_cycles: 0,
+        corrupted_words: hits_a + hits_b,
+        sites: Vec::new(),
+    };
+    for mi in 0..shape.m {
+        for ni in 0..shape.n {
+            let mut acc = 0i64;
+            for ki in 0..shape.k {
+                let window = shape.window(mi, ki, ni);
+                let x = a_sm[mi * shape.k + ki];
+                let w = b_sm[ki * shape.n + ni];
+                let stuck = faults.stuck_at(ki, ni);
+                let mask = window_mask(faults.seed, window, reg_bits, faults.ber);
+                record_window(&mut report, window, &mask, stuck, reg_bits);
+                acc += match stuck {
+                    Some(true) => ((1u64 << reg_bits) - 1).cast_signed(),
+                    Some(false) => 0,
+                    None => {
+                        let mut magnitude = x.magnitude * w.magnitude;
+                        for bit in mask.cycles() {
+                            magnitude ^= 1u64 << bit;
+                        }
+                        x.product_increment(w) * magnitude.cast_signed()
+                    }
+                };
+            }
+            report.output.push(acc);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StuckAt;
+    use usystolic_unary::rng::SplitMix64;
+
+    fn operands(shape: GemmShape, hi: i64) -> (Vec<i64>, Vec<i64>) {
+        let mut rng = SplitMix64::new(55);
+        let a = (0..shape.m * shape.k)
+            .map(|_| rng.range_i64(-hi, hi))
+            .collect();
+        let b = (0..shape.k * shape.n)
+            .map(|_| rng.range_i64(-hi, hi))
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn quiet_baseline_is_the_exact_matmul() {
+        let shape = GemmShape { m: 3, k: 5, n: 2 };
+        let (a, b) = operands(shape, 127);
+        let r = faulty_binary_gemm(&a, &b, shape, 8, &DeviceFaults::new(0)).expect("valid gemm");
+        for mi in 0..shape.m {
+            for ni in 0..shape.n {
+                let exact: i64 = (0..shape.k)
+                    .map(|ki| a[mi * shape.k + ki] * b[ki * shape.n + ni])
+                    .sum();
+                assert_eq!(r.output[mi * shape.n + ni], exact);
+            }
+        }
+        assert_eq!(r.transient_flips, 0);
+        assert_eq!(r.checksum(), {
+            let again =
+                faulty_binary_gemm(&a, &b, shape, 8, &DeviceFaults::new(0)).expect("valid gemm");
+            again.checksum()
+        });
+    }
+
+    #[test]
+    fn flips_are_deterministic_and_register_scaled() {
+        let shape = GemmShape { m: 2, k: 3, n: 2 };
+        let (a, b) = operands(shape, 100);
+        let faults = DeviceFaults::new(9).with_ber(0.05);
+        let r1 = faulty_binary_gemm(&a, &b, shape, 8, &faults).expect("valid gemm");
+        let r2 = faulty_binary_gemm(&a, &b, shape, 8, &faults).expect("valid gemm");
+        assert_eq!(r1, r2);
+        // Bit positions stay inside the product register.
+        assert!(r1.sites.iter().all(|s| s.cycle < 15));
+        // 12 windows x 15 bits at BER 0.05 makes a flip overwhelmingly
+        // likely under any healthy seed.
+        assert!(r1.transient_flips > 0);
+    }
+
+    #[test]
+    fn stuck_registers_force_extremes() {
+        let shape = GemmShape { m: 1, k: 1, n: 1 };
+        let up = DeviceFaults::new(0).with_grid(1, 1).with_stuck(StuckAt {
+            row: 0,
+            col: 0,
+            value: true,
+        });
+        let r = faulty_binary_gemm(&[3], &[4], shape, 8, &up).expect("valid gemm");
+        assert_eq!(r.output[0], (1 << 15) - 1);
+        assert_eq!(r.stuck_cycles, 15);
+        let down = DeviceFaults::new(0).with_grid(1, 1).with_stuck(StuckAt {
+            row: 0,
+            col: 0,
+            value: false,
+        });
+        let r = faulty_binary_gemm(&[3], &[4], shape, 8, &down).expect("valid gemm");
+        assert_eq!(r.output[0], 0);
+    }
+
+    #[test]
+    fn register_width_covers_the_product_range() {
+        assert_eq!(product_register_bits(8), 15);
+        // 128 * 128 = 2^14 fits in 15 bits.
+        assert!(128u64 * 128 < 1 << product_register_bits(8));
+        assert_eq!(product_register_bits(2), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_models() {
+        let shape = GemmShape { m: 1, k: 1, n: 1 };
+        let e = faulty_binary_gemm(&[1], &[1], shape, 8, &DeviceFaults::new(0).with_ber(2.0));
+        assert!(matches!(e, Err(FaultError::InvalidBer(_))));
+        let e = faulty_binary_gemm(&[1, 2], &[1], shape, 8, &DeviceFaults::new(0));
+        assert!(matches!(e, Err(FaultError::ShapeMismatch { .. })));
+    }
+}

@@ -62,6 +62,49 @@ impl AdmissionController {
         Admission::Admitted
     }
 
+    /// Admits past the bound (brown-out overflow). Counts as admitted;
+    /// the caller enforces its own overflow ceiling.
+    pub fn force_admit(&mut self, request: Request) {
+        self.queue.push(request);
+        self.admitted += 1;
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// Re-enqueues an already-admitted request (retry after a shard
+    /// crash) without recounting it — the admission ledger sees each
+    /// request once, however many times it is retried.
+    pub fn requeue(&mut self, request: Request) {
+        self.queue.push(request);
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// Removes and returns the queued request with the given id, if it
+    /// is still waiting (a dispatched or completed request is not).
+    pub fn remove_by_id(&mut self, id: u64) -> Option<Request> {
+        let pos = self.queue.iter().position(|r| r.id == id)?;
+        Some(self.queue.remove(pos))
+    }
+
+    /// Removes and returns, in queue order, every queued request whose
+    /// absolute deadline is before `now` (deadline shedding).
+    pub fn expire_before(&mut self, now: u64) -> Vec<Request> {
+        let mut expired = Vec::new();
+        self.queue.retain(|r| match r.deadline {
+            Some(d) if d < now => {
+                expired.push(*r);
+                false
+            }
+            _ => true,
+        });
+        expired
+    }
+
+    /// Drains whatever is still queued, in queue order (end of run with
+    /// the whole fleet down — nothing left to serve them).
+    pub fn drain_remaining(&mut self) -> Vec<Request> {
+        std::mem::take(&mut self.queue)
+    }
+
     /// The queued requests, in arrival order (the scheduler picks by
     /// dispatch key, not position).
     #[must_use]
@@ -93,7 +136,8 @@ impl AdmissionController {
         self.capacity
     }
 
-    /// Deepest the queue ever got (always `<= capacity`).
+    /// Deepest the queue ever got (`<= capacity` unless brown-out
+    /// overflow used [`Self::force_admit`]).
     #[must_use]
     pub fn max_depth(&self) -> usize {
         self.max_depth
@@ -172,5 +216,46 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_rejected() {
         let _ = AdmissionController::new(0);
+    }
+
+    #[test]
+    fn force_admit_overflows_without_rejecting() {
+        let mut a = AdmissionController::new(2);
+        a.offer(req(1));
+        a.offer(req(2));
+        a.force_admit(req(3));
+        assert_eq!(a.depth(), 3);
+        assert_eq!(a.admitted(), 3);
+        assert_eq!(a.rejected(), 0);
+        assert_eq!(a.max_depth(), 3);
+    }
+
+    #[test]
+    fn requeue_does_not_recount_admission() {
+        let mut a = AdmissionController::new(4);
+        a.offer(req(1));
+        let r = a.remove_by_id(1).expect("queued");
+        assert_eq!(a.depth(), 0);
+        a.requeue(r);
+        assert_eq!(a.depth(), 1);
+        assert_eq!(a.admitted(), 1);
+        assert_eq!(a.remove_by_id(99), None);
+    }
+
+    #[test]
+    fn expire_before_sheds_past_deadlines_in_order() {
+        let mut a = AdmissionController::new(8);
+        for id in 1..=4 {
+            let mut r = req(id);
+            r.deadline = if id % 2 == 0 { Some(10 * id) } else { None };
+            a.offer(r);
+        }
+        // Deadlines: req2 at 20, req4 at 40. At now=30 only req2 expires.
+        let expired = a.expire_before(30);
+        assert_eq!(expired.iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
+        assert_eq!(a.depth(), 3);
+        let rest = a.drain_remaining();
+        assert_eq!(rest.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 3, 4]);
+        assert_eq!(a.depth(), 0);
     }
 }

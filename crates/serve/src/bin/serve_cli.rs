@@ -27,7 +27,10 @@ use usystolic_models::zoo;
 use usystolic_obs::{JsonValue, ToJson};
 use usystolic_serve::loadgen::{ArrivalProcess, LoadGenConfig};
 use usystolic_serve::workload::{LayerProfile, WorkloadProfile};
-use usystolic_serve::{serve, LatencySummary, ServeConfig, ServeReport, Workload};
+use usystolic_serve::{
+    serve, BrownoutPolicy, FleetFaultPlan, LatencySummary, RetryPolicy, ServeConfig, ServeReport,
+    ShardFailure, ShardSlowdown, Workload,
+};
 use usystolic_sim::{MemoryHierarchy, CLOCK_HZ};
 
 #[derive(Debug)]
@@ -55,6 +58,15 @@ struct Args {
     report_html: Option<std::path::PathBuf>,
     json: bool,
     check: bool,
+    shard_fails: Vec<ShardFailure>,
+    shard_slows: Vec<ShardSlowdown>,
+    timeout_ms: Option<f64>,
+    retry_max: u32,
+    retry_backoff_ms: f64,
+    retry_jitter_permille: u32,
+    brownout: Option<BrownoutPolicy>,
+    shed_expired: bool,
+    fault_seed: Option<u64>,
 }
 
 /// On-disk encoding for `--metrics`.
@@ -75,12 +87,27 @@ fn usage() -> ! {
                  [--conv IH,IW,IC,WH,WW,S,OC]... [--trace FILE] [--metrics FILE]
                  [--metrics-format json|prom] [--report FILE.html] [--json]
                  [--check]
+                 [--shard-fail MS[,IDX]]... [--shard-slow MS,PCT[,IDX]]...
+                 [--timeout MS] [--retry-max N] [--retry-backoff MS]
+                 [--retry-jitter PERMILLE] [--brownout DEPTH,SERVICE]
+                 [--shed-expired] [--fault-seed N]
 
 Each --network/--matmul/--conv adds one workload class; requests draw a
 class uniformly. With no workload flags a 64x64x64 matmul is served.
 Open-loop Poisson arrivals by default (--arrival-rate, requests per
 second of simulated time); --closed-loop switches to a fixed client
 population with --think seconds between completion and re-issue.
+
+Fleet faults (all deterministic under --fault-seed, default --seed):
+--shard-fail kills instance IDX (default 1) at MS milliseconds of
+simulated time; its in-flight requests retry on the survivors up to
+--retry-max times with exponential backoff (--retry-backoff base,
+--retry-jitter permille of seeded jitter). --shard-slow multiplies
+instance IDX's service times by PCT percent from MS on. --timeout bounds
+queue wait; --shed-expired drops queued requests past their deadline;
+--brownout DEPTH,SERVICE (permille) degrades service to SERVICE/1000 of
+nominal once the queue passes DEPTH/1000 of capacity, admitting overflow
+up to twice the queue instead of rejecting.
 
 --check runs the static serving-feasibility analysis instead of the
 event simulation: USY070 (provable overload), USY071 (near-saturation
@@ -116,6 +143,21 @@ fn parse_dims(flag: &str, s: &str, expected: usize) -> Vec<usize> {
         ));
     }
     dims
+}
+
+/// Parses a milliseconds-of-simulated-time value into array cycles.
+fn parse_ms_cycles(flag: &str, s: &str) -> u64 {
+    let ms: f64 = s
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| fail(format!("{flag}: '{}' is not a number", s.trim())));
+    if !ms.is_finite() || ms < 0.0 {
+        fail(format!(
+            "{flag}: '{}' must be a non-negative time",
+            s.trim()
+        ));
+    }
+    (ms * 1.0e-3 * CLOCK_HZ).round() as u64
 }
 
 fn network_by_name(name: &str) -> zoo::Network {
@@ -155,6 +197,15 @@ fn parse_args() -> Args {
         report_html: None,
         json: false,
         check: false,
+        shard_fails: Vec::new(),
+        shard_slows: Vec::new(),
+        timeout_ms: None,
+        retry_max: 0,
+        retry_backoff_ms: 0.01,
+        retry_jitter_permille: 0,
+        brownout: None,
+        shed_expired: false,
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -286,6 +337,107 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| fail(format!("--seed {v}: not an integer")));
             }
+            "--shard-fail" => {
+                let v = value();
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.is_empty() || parts.len() > 2 {
+                    fail(format!("--shard-fail {v}: expected MS or MS,IDX"));
+                }
+                let at = parse_ms_cycles("--shard-fail", parts[0]);
+                let instance = if parts.len() == 2 {
+                    parts[1].trim().parse().unwrap_or_else(|_| {
+                        fail(format!("--shard-fail {v}: IDX is not an integer"))
+                    })
+                } else {
+                    1
+                };
+                args.shard_fails.push(ShardFailure { at, instance });
+            }
+            "--shard-slow" => {
+                let v = value();
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() < 2 || parts.len() > 3 {
+                    fail(format!("--shard-slow {v}: expected MS,PCT or MS,PCT,IDX"));
+                }
+                let at = parse_ms_cycles("--shard-slow", parts[0]);
+                let factor_percent = parts[1]
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--shard-slow {v}: PCT is not an integer")));
+                let instance = if parts.len() == 3 {
+                    parts[2].trim().parse().unwrap_or_else(|_| {
+                        fail(format!("--shard-slow {v}: IDX is not an integer"))
+                    })
+                } else {
+                    1
+                };
+                args.shard_slows.push(ShardSlowdown {
+                    at,
+                    instance,
+                    factor_percent,
+                });
+            }
+            "--timeout" => {
+                let v = value();
+                let ms: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--timeout {v}: not a number")));
+                if !ms.is_finite() || ms <= 0.0 {
+                    fail(format!("--timeout {v}: must be positive"));
+                }
+                args.timeout_ms = Some(ms);
+            }
+            "--retry-max" => {
+                let v = value();
+                args.retry_max = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--retry-max {v}: not an integer")));
+            }
+            "--retry-backoff" => {
+                let v = value();
+                let ms: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--retry-backoff {v}: not a number")));
+                if !ms.is_finite() || ms <= 0.0 {
+                    fail(format!("--retry-backoff {v}: must be positive"));
+                }
+                args.retry_backoff_ms = ms;
+            }
+            "--retry-jitter" => {
+                let v = value();
+                args.retry_jitter_permille = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--retry-jitter {v}: not an integer")));
+            }
+            "--brownout" => {
+                let v = value();
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 2 {
+                    fail(format!(
+                        "--brownout {v}: expected DEPTH,SERVICE (both permille)"
+                    ));
+                }
+                let depth_permille = parts[0]
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--brownout {v}: DEPTH is not an integer")));
+                let service_permille = parts[1]
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--brownout {v}: SERVICE is not an integer")));
+                args.brownout = Some(BrownoutPolicy {
+                    depth_permille,
+                    service_permille,
+                });
+            }
+            "--shed-expired" => args.shed_expired = true,
+            "--fault-seed" => {
+                let v = value();
+                args.fault_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(format!("--fault-seed {v}: not an integer"))),
+                );
+            }
             "--trace" => args.trace = Some(value().into()),
             "--metrics" => args.metrics = Some(value().into()),
             "--metrics-format" => {
@@ -376,6 +528,22 @@ fn build_config(args: &Args) -> (ServeConfig, Vec<Workload>) {
             deadline_cycles: args
                 .deadline_ms
                 .map(|ms| (ms * 1.0e-3 * CLOCK_HZ).round() as u64),
+        },
+        faults: FleetFaultPlan {
+            seed: args.fault_seed.unwrap_or(args.seed),
+            failures: args.shard_fails.clone(),
+            slowdowns: args.shard_slows.clone(),
+            timeout_cycles: args
+                .timeout_ms
+                .map(|ms| ((ms * 1.0e-3 * CLOCK_HZ).round() as u64).max(1)),
+            shed_expired: args.shed_expired,
+            retry: RetryPolicy {
+                max_retries: args.retry_max,
+                backoff_base_cycles: ((args.retry_backoff_ms * 1.0e-3 * CLOCK_HZ).round() as u64)
+                    .max(1),
+                jitter_permille: args.retry_jitter_permille,
+            },
+            brownout: args.brownout,
         },
     };
     (config, workloads)
@@ -585,6 +753,7 @@ fn main() {
             ("config", config.array.to_json()),
             ("memory", config.memory.to_json()),
             ("seed", args.seed.to_json()),
+            ("faults", config.faults.to_json()),
             ("report", report.to_json()),
             ("metrics", session.metrics.to_json()),
         ]);
@@ -617,6 +786,19 @@ fn main() {
         100.0 * report.mean_utilization
     );
     println!("throughput  {:.1} req/s", report.throughput_per_s);
+    if !config.faults.is_quiet() {
+        println!(
+            "resilience  crashes {}   retries {}   failovers {}   timed out {}   failed {}   \
+             brownout {}   lost {}",
+            report.shard_crashes,
+            report.retries,
+            report.failovers,
+            report.timed_out,
+            report.failed,
+            report.brownout_requests,
+            report.lost()
+        );
+    }
     println!();
     print_stage("latency", &report.latency);
     print_stage("queue wait", &report.queue_wait);

@@ -25,6 +25,7 @@
 
 use crate::admission::{Admission, AdmissionController};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::FleetFaultPlan;
 use crate::histogram::CycleHistogram;
 use crate::loadgen::LoadGen;
 use crate::pool::run_indexed;
@@ -32,16 +33,43 @@ use crate::report::{ServeConfig, ServeError, ServeReport};
 use crate::request::{Disposition, Request, RequestRecord};
 use crate::scheduler::Scheduler;
 use crate::workload::{LayerProfile, Workload, WorkloadProfile};
+use std::collections::BTreeMap;
 use usystolic_obs::ToJson;
 use usystolic_sim::CLOCK_HZ;
+
+/// A batch in flight on one instance.
+#[derive(Debug, Clone)]
+struct InFlight {
+    dispatch: u64,
+    batch: Vec<Request>,
+    degraded: bool,
+}
 
 /// Per-instance bookkeeping during the event loop.
 #[derive(Debug, Clone)]
 struct Instance {
-    /// In-flight batch and its dispatch cycle, if busy.
-    in_flight: Option<(u64, Vec<Request>)>,
+    /// In-flight batch, if busy.
+    in_flight: Option<InFlight>,
     busy_cycles: u64,
     batches: u64,
+    /// False once the shard fail-stops; a dead shard never dispatches.
+    alive: bool,
+    /// Bumped on every crash; stale completions (dispatched before the
+    /// crash) carry the old epoch and are ignored.
+    epoch: u64,
+    /// Service-time multiplier in percent (100 = nominal).
+    slow_percent: u32,
+}
+
+/// Terminal counters the fault paths accumulate during the event loop.
+#[derive(Debug, Default)]
+struct FaultTally {
+    timed_out: u64,
+    failed: u64,
+    retries: u64,
+    failovers: u64,
+    brownout_requests: u64,
+    shard_crashes: u64,
 }
 
 /// Runs the serving simulation to completion.
@@ -74,6 +102,7 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
             "duration_cycles must be at least 1",
         ));
     }
+    config.faults.validate(config.instances)?;
 
     // ---- Phase 1: profile every (workload, layer) in parallel. --------
     let profiles = profile_workloads(config, workloads)?;
@@ -102,6 +131,23 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
     for r in load.initial_arrivals(config.duration_cycles) {
         events.push(r.arrival, EventKind::Arrival(r));
     }
+    for f in &config.faults.failures {
+        events.push(
+            f.at,
+            EventKind::ShardFail {
+                instance: f.instance,
+            },
+        );
+    }
+    for s in &config.faults.slowdowns {
+        events.push(
+            s.at,
+            EventKind::ShardSlow {
+                instance: s.instance,
+                factor_percent: s.factor_percent,
+            },
+        );
+    }
 
     let mut admission = AdmissionController::new(config.queue_capacity);
     let scheduler = Scheduler::new(config.max_batch);
@@ -110,6 +156,9 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
             in_flight: None,
             busy_cycles: 0,
             batches: 0,
+            alive: true,
+            epoch: 0,
+            slow_percent: 100,
         };
         config.instances
     ];
@@ -117,6 +166,9 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
     let mut records: Vec<RequestRecord> = Vec::new();
     let mut offered = 0u64;
     let mut makespan = 0u64;
+    let mut tally = FaultTally::default();
+    // Retry attempts consumed per request id, keyed deterministically.
+    let mut retry_counts: BTreeMap<u64, u32> = BTreeMap::new();
 
     while let Some(event) = events.pop() {
         let now = event.at;
@@ -127,8 +179,24 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                 usystolic_obs::with(|o| {
                     o.metrics.series_record("serve.arrivals", now, 1.0);
                 });
-                match admission.offer(request) {
+                // Brown-out takes the overflow path *before* `offer`
+                // would count a rejection: quality degrades instead.
+                let decision = if admission.depth() < admission.capacity()
+                    || config.faults.brownout.is_none()
+                {
+                    admission.offer(request)
+                } else if admission.depth() < config.queue_capacity * 2 {
+                    admission.force_admit(request);
+                    Admission::Admitted
+                } else {
+                    admission.offer(request)
+                };
+                match decision {
                     Admission::Admitted => {
+                        if let Some(t) = config.faults.timeout_cycles {
+                            events
+                                .push(now.saturating_add(t), EventKind::Timeout { id: request.id });
+                        }
                         usystolic_obs::with(|o| {
                             let depth = admission.depth() as f64;
                             o.metrics.gauge("serve.queue_depth", depth);
@@ -144,6 +212,11 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                                     ("class", workloads[request.class].name.as_str()),
                                     ("priority", request.priority.label()),
                                 ],
+                                1,
+                            );
+                            o.metrics.count_labeled(
+                                "serve.rejections",
+                                &[("reason", "capacity")],
                                 1,
                             );
                             o.metrics.series_record("serve.rejections", now, 1.0);
@@ -169,17 +242,25 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                             completion: 0,
                             instance: 0,
                             batch_size: 0,
+                            retries: 0,
+                            degraded: false,
                         });
                     }
                 }
             }
-            EventKind::Completion { instance } => {
+            EventKind::Completion { instance, epoch } => {
                 let slot = &mut instances[instance - 1];
-                if let Some((dispatch, batch)) = slot.in_flight.take() {
+                // A completion from before the shard's crash is stale:
+                // the batch was lost, ShardFail already re-routed it.
+                if slot.epoch != epoch {
+                    continue;
+                }
+                if let Some(fl) = slot.in_flight.take() {
                     busy -= 1;
-                    slot.busy_cycles += now - dispatch;
-                    let size = batch.len();
-                    for request in batch {
+                    slot.busy_cycles += now - fl.dispatch;
+                    let size = fl.batch.len();
+                    let dispatch = fl.dispatch;
+                    for request in fl.batch {
                         records.push(RequestRecord {
                             request,
                             disposition: Disposition::Completed,
@@ -187,6 +268,8 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                             completion: now,
                             instance,
                             batch_size: size,
+                            retries: retry_counts.get(&request.id).copied().unwrap_or(0),
+                            degraded: fl.degraded,
                         });
                         usystolic_obs::with(|o| {
                             let class = workloads[request.class].name.as_str();
@@ -222,6 +305,127 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
                     }
                 }
             }
+            EventKind::ShardFail { instance } => {
+                let slot = &mut instances[instance - 1];
+                if slot.alive {
+                    slot.alive = false;
+                    slot.epoch += 1;
+                    tally.shard_crashes += 1;
+                    usystolic_obs::with(|o| {
+                        o.metrics
+                            .count_labeled("faults.injected", &[("kind", "shard_fail")], 1);
+                        o.tracer.instant(
+                            "shard_fail",
+                            "faults",
+                            usystolic_obs::PID_SIM,
+                            instance as u32,
+                            now as f64,
+                            Vec::new(),
+                        );
+                    });
+                    if let Some(fl) = slot.in_flight.take() {
+                        busy -= 1;
+                        slot.busy_cycles += now - fl.dispatch;
+                        for request in fl.batch {
+                            let attempt = retry_counts.get(&request.id).copied().unwrap_or(0);
+                            if attempt < config.faults.retry.max_retries {
+                                retry_counts.insert(request.id, attempt + 1);
+                                tally.retries += 1;
+                                let delay = config.faults.backoff_cycles(request.id, attempt);
+                                events.push(now.saturating_add(delay), EventKind::Retry(request));
+                                usystolic_obs::with(|o| o.metrics.count("serve.retries", 1));
+                            } else {
+                                tally.failed += 1;
+                                records.push(RequestRecord {
+                                    request,
+                                    disposition: Disposition::Failed,
+                                    dispatch: 0,
+                                    completion: 0,
+                                    instance: 0,
+                                    batch_size: 0,
+                                    retries: attempt,
+                                    degraded: false,
+                                });
+                                usystolic_obs::with(|o| {
+                                    o.metrics.count("serve.failed", 1);
+                                    o.metrics.count_labeled(
+                                        "serve.rejections",
+                                        &[("reason", "shard_down")],
+                                        1,
+                                    );
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::ShardSlow {
+                instance,
+                factor_percent,
+            } => {
+                let slot = &mut instances[instance - 1];
+                if slot.alive {
+                    slot.slow_percent = factor_percent;
+                    usystolic_obs::with(|o| {
+                        o.metrics
+                            .count_labeled("faults.injected", &[("kind", "shard_slow")], 1);
+                    });
+                }
+            }
+            EventKind::Timeout { id } => {
+                // Only bites while the request still waits in the queue;
+                // dispatched or completed requests ignore stale timers.
+                if let Some(request) = admission.remove_by_id(id) {
+                    tally.timed_out += 1;
+                    records.push(RequestRecord {
+                        request,
+                        disposition: Disposition::TimedOut,
+                        dispatch: 0,
+                        completion: 0,
+                        instance: 0,
+                        batch_size: 0,
+                        retries: retry_counts.get(&id).copied().unwrap_or(0),
+                        degraded: false,
+                    });
+                    usystolic_obs::with(|o| {
+                        o.metrics.count("serve.timeouts", 1);
+                        o.metrics
+                            .count_labeled("serve.rejections", &[("reason", "timeout")], 1);
+                        o.metrics.series_record("serve.rejections", now, 1.0);
+                    });
+                }
+            }
+            EventKind::Retry(request) => {
+                // Failover: the shard that held it is gone; the request
+                // re-enters the queue for the survivors. Its wait budget
+                // restarts from this resubmission.
+                tally.failovers += 1;
+                admission.requeue(request);
+                if let Some(t) = config.faults.timeout_cycles {
+                    events.push(now.saturating_add(t), EventKind::Timeout { id: request.id });
+                }
+                usystolic_obs::with(|o| o.metrics.count("serve.failovers", 1));
+            }
+        }
+        if config.faults.shed_expired {
+            for request in admission.expire_before(now) {
+                tally.timed_out += 1;
+                records.push(RequestRecord {
+                    request,
+                    disposition: Disposition::TimedOut,
+                    dispatch: 0,
+                    completion: 0,
+                    instance: 0,
+                    batch_size: 0,
+                    retries: retry_counts.get(&request.id).copied().unwrap_or(0),
+                    degraded: false,
+                });
+                usystolic_obs::with(|o| {
+                    o.metrics.count("serve.timeouts", 1);
+                    o.metrics
+                        .count_labeled("serve.rejections", &[("reason", "deadline")], 1);
+                });
+            }
         }
         dispatch_free_instances(
             now,
@@ -231,7 +435,30 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
             &mut instances,
             &mut busy,
             &mut events,
+            &config.faults,
+            &mut tally,
         );
+    }
+
+    // With the whole fleet down, queued requests have no instance left
+    // to serve them: record each as failed so the ledger still closes.
+    for request in admission.drain_remaining() {
+        tally.failed += 1;
+        records.push(RequestRecord {
+            request,
+            disposition: Disposition::Failed,
+            dispatch: 0,
+            completion: 0,
+            instance: 0,
+            batch_size: 0,
+            retries: retry_counts.get(&request.id).copied().unwrap_or(0),
+            degraded: false,
+        });
+        usystolic_obs::with(|o| {
+            o.metrics.count("serve.failed", 1);
+            o.metrics
+                .count_labeled("serve.rejections", &[("reason", "shard_down")], 1);
+        });
     }
 
     // ---- Phase 3: fold records into stage statistics in parallel. -----
@@ -254,6 +481,12 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
         admitted: admission.admitted(),
         rejected: admission.rejected(),
         completed: stats.completed,
+        timed_out: tally.timed_out,
+        failed: tally.failed,
+        retries: tally.retries,
+        failovers: tally.failovers,
+        brownout_requests: tally.brownout_requests,
+        shard_crashes: tally.shard_crashes,
         deadline_missed: stats.deadline_missed,
         batches,
         max_queue_depth: admission.max_depth(),
@@ -267,6 +500,22 @@ pub fn serve(config: &ServeConfig, workloads: &[Workload]) -> Result<ServeReport
         per_class_completed: stats.per_class_completed,
         records,
     };
+
+    // Request conservation is an invariant, not a statistic: every
+    // offered request is admitted or rejected, and every admitted
+    // request ends exactly one way — completed, timed out or failed.
+    assert!(
+        report.conserved(),
+        "request conservation violated: offered={} admitted={} rejected={} \
+         completed={} timed_out={} failed={} (lost={})",
+        report.offered,
+        report.admitted,
+        report.rejected,
+        report.completed,
+        report.timed_out,
+        report.failed,
+        report.lost(),
+    );
 
     usystolic_obs::with(|o| {
         o.metrics.count("serve.offered", report.offered);
@@ -318,7 +567,12 @@ fn profile_workloads(
         .collect())
 }
 
-/// Greedy dispatch: fill every free instance while the queue has work.
+/// Greedy dispatch: fill every free *alive* instance while the queue
+/// has work. Under brown-out (queue at or past the depth threshold)
+/// batches run degraded — scaled compute and traffic, the serving
+/// analogue of raised early termination. A slowed shard stretches its
+/// service time by its percent factor.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_free_instances(
     now: u64,
     scheduler: &Scheduler,
@@ -327,18 +581,45 @@ fn dispatch_free_instances(
     instances: &mut [Instance],
     busy: &mut usize,
     events: &mut EventQueue,
+    faults: &FleetFaultPlan,
+    tally: &mut FaultTally,
 ) {
-    while *busy < instances.len() && admission.depth() > 0 {
-        let Some(batch) = scheduler.next_batch(admission) else {
+    loop {
+        if admission.depth() == 0 {
+            return;
+        }
+        let Some(free_idx) = instances
+            .iter()
+            .position(|i| i.alive && i.in_flight.is_none())
+        else {
             return;
         };
-        let Some(free_idx) = instances.iter().position(|i| i.in_flight.is_none()) else {
+        // Brown-out is decided on the depth seen *before* this batch
+        // drains it — the signal an overloaded fleet actually has.
+        let degraded = faults.brownout.filter(|b| {
+            admission.depth() * 1000 >= b.depth_permille as usize * admission.capacity()
+        });
+        let Some(batch) = scheduler.next_batch(admission) else {
             return;
         };
         let class = batch[0].class;
         let concurrency = *busy + 1;
-        let service = profiles[class].service_cycles(batch.len(), concurrency);
+        let service = match degraded {
+            Some(b) => {
+                profiles[class].service_cycles_scaled(batch.len(), concurrency, b.service_permille)
+            }
+            None => profiles[class].service_cycles(batch.len(), concurrency),
+        };
+        // A slowed shard serves at factor_percent of nominal speed.
+        let service = service.saturating_mul(u64::from(instances[free_idx].slow_percent)) / 100;
         let completion = now + service;
+        if degraded.is_some() {
+            tally.brownout_requests += batch.len() as u64;
+            usystolic_obs::with(|o| {
+                o.metrics
+                    .count("serve.brownout_requests", batch.len() as u64);
+            });
+        }
         usystolic_obs::with(|o| {
             let class_name = profiles[class].name.as_str();
             o.metrics.count("serve.dispatched", batch.len() as u64);
@@ -391,13 +672,18 @@ fn dispatch_free_instances(
             o.shard_id = None;
         });
         let slot = &mut instances[free_idx];
-        slot.in_flight = Some((now, batch));
+        slot.in_flight = Some(InFlight {
+            dispatch: now,
+            batch,
+            degraded: degraded.is_some(),
+        });
         slot.batches += 1;
         *busy += 1;
         events.push(
             completion,
             EventKind::Completion {
                 instance: free_idx + 1,
+                epoch: slot.epoch,
             },
         );
     }

@@ -19,17 +19,50 @@ pub enum EventKind {
     Completion {
         /// Instance index, 1-based.
         instance: usize,
+        /// The instance's crash epoch at dispatch time. A completion
+        /// whose epoch no longer matches the instance is stale — the
+        /// shard crashed under the batch — and is ignored.
+        epoch: u64,
     },
+    /// A shard fail-stops (scripted by the fleet fault plan).
+    ShardFail {
+        /// Instance index, 1-based.
+        instance: usize,
+    },
+    /// A shard degrades to a fraction of its nominal speed.
+    ShardSlow {
+        /// Instance index, 1-based.
+        instance: usize,
+        /// Service multiplier in percent (100 = nominal).
+        factor_percent: u32,
+    },
+    /// A queued request's wait budget expires (no-op if it already
+    /// dispatched).
+    Timeout {
+        /// Request id.
+        id: u64,
+    },
+    /// A request lost to a shard crash re-enters the queue after
+    /// backoff.
+    Retry(Request),
     /// A request reaches the admission controller.
     Arrival(Request),
 }
 
 impl EventKind {
-    /// Completion (0) sorts before arrival (1) at the same cycle.
+    /// Same-cycle tie order: completions free instances first, then
+    /// fleet faults land, then timeouts expire, then retries re-enter,
+    /// and fresh arrivals come last (a freed instance or queue slot can
+    /// serve a same-cycle arrival; a batch finishing exactly when its
+    /// shard dies still completes).
     fn order(&self) -> u8 {
         match self {
             EventKind::Completion { .. } => 0,
-            EventKind::Arrival(_) => 1,
+            EventKind::ShardFail { .. } => 1,
+            EventKind::ShardSlow { .. } => 2,
+            EventKind::Timeout { .. } => 3,
+            EventKind::Retry(_) => 4,
+            EventKind::Arrival(_) => 5,
         }
     }
 }
@@ -140,10 +173,35 @@ mod tests {
     fn completion_beats_arrival_at_the_same_cycle() {
         let mut q = EventQueue::new();
         q.push(10, arrival(1, 10));
-        q.push(10, EventKind::Completion { instance: 1 });
+        q.push(
+            10,
+            EventKind::Completion {
+                instance: 1,
+                epoch: 0,
+            },
+        );
         let first = q.pop().expect("two events");
         assert!(matches!(first.kind, EventKind::Completion { .. }));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn same_cycle_kinds_follow_the_documented_order() {
+        let mut q = EventQueue::new();
+        q.push(10, arrival(1, 10));
+        q.push(10, EventKind::Timeout { id: 1 });
+        q.push(10, EventKind::ShardFail { instance: 1 });
+        q.push(
+            10,
+            EventKind::Completion {
+                instance: 1,
+                epoch: 0,
+            },
+        );
+        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.order())
+            .collect();
+        assert_eq!(kinds, [0, 1, 3, 5]);
     }
 
     #[test]
@@ -154,7 +212,7 @@ mod tests {
         let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Arrival(r) => r.id,
-                EventKind::Completion { .. } => 0,
+                _ => 0,
             })
             .collect();
         assert_eq!(ids, [7, 9]);

@@ -1,0 +1,395 @@
+//! Fleet-level fault plan: shard crashes, slowdowns, timeouts, retries
+//! and brown-out degradation.
+//!
+//! A [`FleetFaultPlan`] scripts every fleet fault of a serving run as
+//! plain data: which shard fails or slows at which cycle, how long a
+//! request may wait before timing out, how many retries a crashed
+//! shard's in-flight requests get (with deterministic exponential
+//! backoff and seeded jitter), and whether overload browns the fleet
+//! out — degrading service quality (raised early termination, shorter
+//! unary streams) instead of rejecting requests.
+//!
+//! Everything is an integer — cycles, percent, permille — so the plan
+//! derives `Eq` and every scheduled event stays exactly comparable. The
+//! only randomness is retry jitter, drawn from a `SplitMix64` keyed by
+//! `(seed, request id, attempt)`: the same plan replays the same
+//! backoff schedule whatever the host worker count.
+
+use crate::report::ServeError;
+use usystolic_obs::{JsonValue, ToJson};
+use usystolic_unary::rng::SplitMix64;
+
+/// A shard that fail-stops at a given cycle.
+///
+/// The shard stops accepting work; the batch it is running (if any) is
+/// lost and its requests are retried on the survivors or recorded as
+/// failed, per the plan's [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// Cycle at which the shard dies.
+    pub at: u64,
+    /// Instance index, 1-based (matching trace `tid`s and reports).
+    pub instance: usize,
+}
+
+/// A shard that degrades to a fraction of its nominal speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlowdown {
+    /// Cycle from which the slowdown applies (to subsequent dispatches;
+    /// the batch already in flight keeps its original completion time).
+    pub at: u64,
+    /// Instance index, 1-based.
+    pub instance: usize,
+    /// Service-time multiplier in percent (`100` = nominal, `300` =
+    /// three times slower). Must be at least 100.
+    pub factor_percent: u32,
+}
+
+/// Bounded retry with exponential backoff and seeded jitter for the
+/// in-flight requests of a crashed shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries each request gets before it is recorded as failed.
+    /// Zero disables retry: a crash fails its whole in-flight batch.
+    pub max_retries: u32,
+    /// Backoff before attempt `n` is `base << n` cycles, plus jitter.
+    pub backoff_base_cycles: u64,
+    /// Upper bound of the uniform jitter, as permille of the backoff
+    /// (`250` adds up to 25%). Zero disables jitter.
+    pub jitter_permille: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base_cycles: 1024,
+            jitter_permille: 0,
+        }
+    }
+}
+
+/// Brown-out: under overload, degrade quality instead of rejecting.
+///
+/// When the admission queue is at least `depth_permille` of its
+/// capacity, dispatches run at `service_permille` of their nominal
+/// compute and traffic — the serving analogue of raising early
+/// termination: shorter unary streams, fewer crawled bytes, lower
+/// precision — and arrivals that would be rejected are force-admitted
+/// up to twice the configured queue capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutPolicy {
+    /// Queue-depth threshold as permille of capacity at or above which
+    /// dispatches degrade (e.g. `800` = 80% full).
+    pub depth_permille: u32,
+    /// Compute/traffic scale of degraded service in permille (e.g.
+    /// `500` = half the cycles). Must be in `1..=1000`.
+    pub service_permille: u32,
+}
+
+/// The complete fleet fault plan for one serving run.
+///
+/// [`FleetFaultPlan::default`] is the quiet plan: no failures, no
+/// slowdowns, no timeouts, no retries, no brown-out — the engine under
+/// a quiet plan is bit-identical to the fault-free engine.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetFaultPlan {
+    /// Seed for retry jitter (the only randomness at fleet level).
+    pub seed: u64,
+    /// Scripted shard crashes.
+    pub failures: Vec<ShardFailure>,
+    /// Scripted shard slowdowns.
+    pub slowdowns: Vec<ShardSlowdown>,
+    /// Queue-wait budget: a request still queued this many cycles after
+    /// (re)submission times out. `None` disables timeouts.
+    pub timeout_cycles: Option<u64>,
+    /// Shed queued requests whose absolute deadline has passed instead
+    /// of serving them late (they record as timed out, reason
+    /// `deadline`).
+    pub shed_expired: bool,
+    /// Retry policy for in-flight requests lost to a crash.
+    pub retry: RetryPolicy,
+    /// Optional brown-out mode.
+    pub brownout: Option<BrownoutPolicy>,
+}
+
+impl FleetFaultPlan {
+    /// Whether this plan injects nothing (the engine behaves exactly
+    /// like the fault-free engine).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.failures.is_empty()
+            && self.slowdowns.is_empty()
+            && self.timeout_cycles.is_none()
+            && !self.shed_expired
+            && self.brownout.is_none()
+    }
+
+    /// Checks the plan against the fleet size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when an event names an
+    /// instance outside `1..=instances`, a slowdown factor is below
+    /// 100%, a timeout is zero, or a brown-out permille is out of range.
+    pub fn validate(&self, instances: usize) -> Result<(), ServeError> {
+        for f in &self.failures {
+            if f.instance == 0 || f.instance > instances {
+                return Err(ServeError::InvalidConfig(
+                    "shard failure names an instance outside the fleet",
+                ));
+            }
+        }
+        for s in &self.slowdowns {
+            if s.instance == 0 || s.instance > instances {
+                return Err(ServeError::InvalidConfig(
+                    "shard slowdown names an instance outside the fleet",
+                ));
+            }
+            if s.factor_percent < 100 {
+                return Err(ServeError::InvalidConfig(
+                    "slowdown factor must be at least 100 percent",
+                ));
+            }
+        }
+        if self.timeout_cycles == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "timeout_cycles must be at least 1",
+            ));
+        }
+        if self.retry.max_retries > 0 && self.retry.backoff_base_cycles == 0 {
+            return Err(ServeError::InvalidConfig(
+                "retry backoff base must be at least 1 cycle",
+            ));
+        }
+        if self.retry.jitter_permille > 1000 {
+            return Err(ServeError::InvalidConfig(
+                "retry jitter must be at most 1000 permille",
+            ));
+        }
+        if let Some(b) = &self.brownout {
+            if b.service_permille == 0 || b.service_permille > 1000 {
+                return Err(ServeError::InvalidConfig(
+                    "brownout service_permille must be in 1..=1000",
+                ));
+            }
+            if b.depth_permille == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "brownout depth_permille must be at least 1",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Backoff before retry `attempt` (0-based) of request `id`:
+    /// `base << attempt` plus uniform jitter in
+    /// `[0, backoff * jitter_permille / 1000]`, drawn from a SplitMix64
+    /// keyed by `(seed, id, attempt)` — a pure function of the plan, so
+    /// replays are exact for any worker count.
+    #[must_use]
+    pub fn backoff_cycles(&self, id: u64, attempt: u32) -> u64 {
+        let shift = attempt.min(20);
+        let base = self.retry.backoff_base_cycles.saturating_mul(1 << shift);
+        if self.retry.jitter_permille == 0 {
+            return base;
+        }
+        let mut rng = SplitMix64::new(
+            self.seed
+                ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        );
+        let span = base / 1000 * u64::from(self.retry.jitter_permille)
+            + base % 1000 * u64::from(self.retry.jitter_permille) / 1000;
+        base.saturating_add(rng.below(span + 1))
+    }
+}
+
+impl ToJson for FleetFaultPlan {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("seed", self.seed.to_json()),
+            (
+                "failures",
+                JsonValue::Array(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            JsonValue::object(vec![
+                                ("at", f.at.to_json()),
+                                ("instance", f.instance.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "slowdowns",
+                JsonValue::Array(
+                    self.slowdowns
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object(vec![
+                                ("at", s.at.to_json()),
+                                ("instance", s.instance.to_json()),
+                                ("factor_percent", u64::from(s.factor_percent).to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("timeout_cycles", self.timeout_cycles.to_json()),
+            ("shed_expired", self.shed_expired.to_json()),
+            (
+                "retry",
+                JsonValue::object(vec![
+                    ("max_retries", u64::from(self.retry.max_retries).to_json()),
+                    (
+                        "backoff_base_cycles",
+                        self.retry.backoff_base_cycles.to_json(),
+                    ),
+                    (
+                        "jitter_permille",
+                        u64::from(self.retry.jitter_permille).to_json(),
+                    ),
+                ]),
+            ),
+            (
+                "brownout",
+                match &self.brownout {
+                    None => JsonValue::Null,
+                    Some(b) => JsonValue::object(vec![
+                        ("depth_permille", u64::from(b.depth_permille).to_json()),
+                        ("service_permille", u64::from(b.service_permille).to_json()),
+                    ]),
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_quiet_and_valid() {
+        let p = FleetFaultPlan::default();
+        assert!(p.is_quiet());
+        assert!(p.validate(1).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_plans() {
+        let mut p = FleetFaultPlan {
+            failures: vec![ShardFailure {
+                at: 10,
+                instance: 3,
+            }],
+            ..FleetFaultPlan::default()
+        };
+        assert!(p.validate(2).is_err());
+        assert!(p.validate(3).is_ok());
+        p.failures[0].instance = 0;
+        assert!(p.validate(3).is_err());
+
+        let p = FleetFaultPlan {
+            slowdowns: vec![ShardSlowdown {
+                at: 5,
+                instance: 1,
+                factor_percent: 50,
+            }],
+            ..FleetFaultPlan::default()
+        };
+        assert!(p.validate(1).is_err());
+
+        let p = FleetFaultPlan {
+            timeout_cycles: Some(0),
+            ..FleetFaultPlan::default()
+        };
+        assert!(p.validate(1).is_err());
+
+        let p = FleetFaultPlan {
+            brownout: Some(BrownoutPolicy {
+                depth_permille: 800,
+                service_permille: 0,
+            }),
+            ..FleetFaultPlan::default()
+        };
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt_without_jitter() {
+        let p = FleetFaultPlan {
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_base_cycles: 100,
+                jitter_permille: 0,
+            },
+            ..FleetFaultPlan::default()
+        };
+        assert_eq!(p.backoff_cycles(7, 0), 100);
+        assert_eq!(p.backoff_cycles(7, 1), 200);
+        assert_eq!(p.backoff_cycles(7, 2), 400);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = FleetFaultPlan {
+            seed: 42,
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff_base_cycles: 1000,
+                jitter_permille: 250,
+            },
+            ..FleetFaultPlan::default()
+        };
+        for id in 0..50u64 {
+            let b = p.backoff_cycles(id, 0);
+            assert!((1000..=1250).contains(&b), "{b}");
+            assert_eq!(b, p.backoff_cycles(id, 0));
+        }
+        // Different requests see different jitter under a healthy seed.
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..50).map(|id| p.backoff_cycles(id, 0)).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = FleetFaultPlan {
+            retry: RetryPolicy {
+                max_retries: u32::MAX,
+                backoff_base_cycles: u64::MAX / 2,
+                jitter_permille: 0,
+            },
+            ..FleetFaultPlan::default()
+        };
+        assert_eq!(p.backoff_cycles(1, 63), u64::MAX);
+    }
+
+    #[test]
+    fn plan_renders_to_json() {
+        let p = FleetFaultPlan {
+            seed: 9,
+            failures: vec![ShardFailure {
+                at: 100,
+                instance: 1,
+            }],
+            timeout_cycles: Some(5000),
+            brownout: Some(BrownoutPolicy {
+                depth_permille: 800,
+                service_permille: 500,
+            }),
+            ..FleetFaultPlan::default()
+        };
+        let j = p.to_json();
+        assert_eq!(j.get("seed"), Some(&JsonValue::UInt(9)));
+        assert!(matches!(j.get("failures"), Some(JsonValue::Array(a)) if a.len() == 1));
+        assert!(matches!(j.get("brownout"), Some(JsonValue::Object(_))));
+        let quiet = FleetFaultPlan::default().to_json();
+        assert_eq!(quiet.get("brownout"), Some(&JsonValue::Null));
+        assert_eq!(quiet.get("timeout_cycles"), Some(&JsonValue::Null));
+    }
+}

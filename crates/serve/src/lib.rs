@@ -28,11 +28,19 @@
 //! sequential event loop. `--workers` changes wall-clock time, never one
 //! number in the report.
 //!
+//! Fleet resilience is scripted through [`faults`]: shard crashes with
+//! epoch-invalidated completions, bounded retry with deterministic
+//! exponential backoff and seeded jitter, queue-wait timeouts, deadline
+//! shedding, shard slowdowns, and brown-out degradation under overload.
+//! The engine asserts *request conservation* — every admitted request
+//! completes, times out or fails; nothing is silently lost, even when
+//! shards die mid-batch ([`ServeReport::lost`] is always zero).
+//!
 //! ```
 //! use usystolic_core::{ComputingScheme, SystolicConfig};
 //! use usystolic_gemm::GemmConfig;
 //! use usystolic_serve::loadgen::{ArrivalProcess, LoadGenConfig};
-//! use usystolic_serve::{serve, ServeConfig, Workload};
+//! use usystolic_serve::{serve, FleetFaultPlan, ServeConfig, Workload};
 //! use usystolic_sim::MemoryHierarchy;
 //!
 //! let config = ServeConfig {
@@ -50,6 +58,7 @@
 //!         high_priority_fraction: 0.1,
 //!         deadline_cycles: Some(100_000),
 //!     },
+//!     faults: FleetFaultPlan::default(), // quiet: no fleet faults
 //! };
 //! let gemm = GemmConfig::matmul(64, 64, 64).expect("valid");
 //! let report = serve(&config, &[Workload::from_gemm("m64", gemm)]).expect("valid config");
@@ -63,6 +72,7 @@
 pub mod admission;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod histogram;
 pub mod loadgen;
 pub mod report;
@@ -72,6 +82,7 @@ pub mod workload;
 
 pub use admission::{Admission, AdmissionController};
 pub use engine::serve;
+pub use faults::{BrownoutPolicy, FleetFaultPlan, RetryPolicy, ShardFailure, ShardSlowdown};
 pub use histogram::{CycleHistogram, LatencySummary};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use report::{ServeConfig, ServeError, ServeReport};

@@ -1,5 +1,6 @@
 //! Serving configuration, errors and the end-of-run report.
 
+use crate::faults::FleetFaultPlan;
 use crate::histogram::LatencySummary;
 use crate::loadgen::LoadGenConfig;
 use crate::pool::PoolError;
@@ -29,6 +30,10 @@ pub struct ServeConfig {
     /// Load generator configuration. The engine overrides
     /// [`LoadGenConfig::classes`] with the number of workloads.
     pub load: LoadGenConfig,
+    /// Fleet fault plan ([`FleetFaultPlan::default`] for a quiet,
+    /// fault-free run — the engine is then bit-identical to one without
+    /// the fault layer).
+    pub faults: FleetFaultPlan,
 }
 
 /// Errors from [`serve`](crate::engine::serve).
@@ -90,7 +95,20 @@ pub struct ServeReport {
     pub rejected: u64,
     /// Requests served to completion.
     pub completed: u64,
-    /// Requests that missed their deadline (late or rejected).
+    /// Admitted requests that expired while queued (wait budget or
+    /// deadline shedding).
+    pub timed_out: u64,
+    /// Admitted requests lost to shard failure with retries exhausted.
+    pub failed: u64,
+    /// Retry attempts scheduled after shard crashes.
+    pub retries: u64,
+    /// Requests re-routed to surviving shards after their shard crashed.
+    pub failovers: u64,
+    /// Requests served degraded under brown-out.
+    pub brownout_requests: u64,
+    /// Shards that fail-stopped during the run.
+    pub shard_crashes: u64,
+    /// Requests that missed their deadline (late or never completed).
     pub deadline_missed: u64,
     /// Batches dispatched.
     pub batches: u64,
@@ -132,6 +150,24 @@ impl ServeReport {
     pub fn cycles_to_ms(cycles: u64) -> f64 {
         cycles as f64 / CLOCK_HZ * 1.0e3
     }
+
+    /// Requests unaccounted for: admitted minus every terminal
+    /// disposition. Zero on every run — the engine asserts it — and
+    /// exported so external harnesses can check shard-kill scenarios
+    /// lose nothing.
+    #[must_use]
+    pub fn lost(&self) -> i64 {
+        self.admitted.cast_signed() - (self.completed + self.timed_out + self.failed).cast_signed()
+    }
+
+    /// The request-conservation ledger: every offered request is
+    /// admitted or rejected, and every admitted request completes,
+    /// times out or fails — nothing is silently dropped, even under
+    /// shard crashes and retries.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.offered == self.admitted + self.rejected && self.lost() == 0
+    }
 }
 
 fn summary_json(s: &LatencySummary) -> JsonValue {
@@ -166,6 +202,14 @@ impl ToJson for ServeReport {
             ("admitted", self.admitted.to_json()),
             ("rejected", self.rejected.to_json()),
             ("completed", self.completed.to_json()),
+            ("timed_out", self.timed_out.to_json()),
+            ("failed", self.failed.to_json()),
+            ("lost", self.lost().to_json()),
+            ("conserved", self.conserved().to_json()),
+            ("retries", self.retries.to_json()),
+            ("failovers", self.failovers.to_json()),
+            ("brownout_requests", self.brownout_requests.to_json()),
+            ("shard_crashes", self.shard_crashes.to_json()),
             ("deadline_missed", self.deadline_missed.to_json()),
             ("batches", self.batches.to_json()),
             ("mean_batch_size", self.mean_batch_size().to_json()),

@@ -79,6 +79,25 @@ pub enum Disposition {
     Completed,
     /// Turned away by the admission controller (bounded queue full).
     Rejected,
+    /// Expired while queued: its wait budget ran out, or shedding
+    /// dropped it past its deadline.
+    TimedOut,
+    /// Lost to shard failure with retries exhausted (or the whole fleet
+    /// down at end of run).
+    Failed,
+}
+
+impl Disposition {
+    /// Short label for metrics and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Disposition::Completed => "completed",
+            Disposition::Rejected => "rejected",
+            Disposition::TimedOut => "timed_out",
+            Disposition::Failed => "failed",
+        }
+    }
 }
 
 /// The full lifecycle record of one request.
@@ -86,57 +105,66 @@ pub enum Disposition {
 pub struct RequestRecord {
     /// The request as admitted (or rejected).
     pub request: Request,
-    /// Completion vs rejection.
+    /// How the request left the system.
     pub disposition: Disposition,
-    /// Cycle the request was packed onto an instance (0 for rejected).
+    /// Cycle the request was packed onto an instance (0 unless
+    /// completed).
     pub dispatch: u64,
-    /// Cycle the batch carrying the request completed (0 for rejected).
+    /// Cycle the batch carrying the request completed (0 unless
+    /// completed).
     pub completion: u64,
-    /// Instance that served it (0 for rejected; 1-based otherwise).
+    /// Instance that served it (0 unless completed; 1-based otherwise).
     pub instance: usize,
-    /// Size of the batch it was served in (0 for rejected).
+    /// Size of the batch it was served in (0 unless completed).
     pub batch_size: usize,
+    /// Retry attempts consumed after shard crashes (0 when its shard
+    /// never crashed under it).
+    pub retries: u32,
+    /// Whether it was served degraded under brown-out (raised early
+    /// termination, reduced precision).
+    pub degraded: bool,
 }
 
 impl RequestRecord {
-    /// End-to-end latency in cycles (admission to completion); `None` for
-    /// rejected requests.
+    /// End-to-end latency in cycles (admission to completion); `None`
+    /// unless completed.
     #[must_use]
     pub fn latency_cycles(&self) -> Option<u64> {
         match self.disposition {
             Disposition::Completed => Some(self.completion - self.request.arrival),
-            Disposition::Rejected => None,
+            _ => None,
         }
     }
 
-    /// Cycles spent waiting in the admission queue; `None` for rejected
-    /// requests.
+    /// Cycles spent waiting in the admission queue; `None` unless
+    /// completed.
     #[must_use]
     pub fn queue_wait_cycles(&self) -> Option<u64> {
         match self.disposition {
             Disposition::Completed => Some(self.dispatch - self.request.arrival),
-            Disposition::Rejected => None,
+            _ => None,
         }
     }
 
-    /// Cycles spent in service (dispatch to completion); `None` for
-    /// rejected requests.
+    /// Cycles spent in service (dispatch to completion); `None` unless
+    /// completed.
     #[must_use]
     pub fn service_cycles(&self) -> Option<u64> {
         match self.disposition {
             Disposition::Completed => Some(self.completion - self.dispatch),
-            Disposition::Rejected => None,
+            _ => None,
         }
     }
 
-    /// Whether the request completed after its deadline (rejected
-    /// requests with a deadline also count as missed).
+    /// Whether the request completed after its deadline (requests with
+    /// a deadline that never complete — rejected, timed out, failed —
+    /// also count as missed).
     #[must_use]
     pub fn deadline_missed(&self) -> bool {
         match (self.request.deadline, self.disposition) {
             (None, _) => false,
-            (Some(_), Disposition::Rejected) => true,
             (Some(d), Disposition::Completed) => self.completion > d,
+            (Some(_), _) => true,
         }
     }
 }
@@ -187,6 +215,8 @@ mod tests {
             completion: 400,
             instance: 1,
             batch_size: 2,
+            retries: 0,
+            degraded: false,
         };
         assert_eq!(r.latency_cycles(), Some(300));
         assert_eq!(r.queue_wait_cycles(), Some(50));
@@ -203,6 +233,8 @@ mod tests {
             completion: 400,
             instance: 1,
             batch_size: 1,
+            retries: 0,
+            degraded: false,
         };
         r.request.deadline = Some(399);
         assert!(r.deadline_missed());
@@ -217,5 +249,29 @@ mod tests {
         assert_eq!(rejected.latency_cycles(), None);
         assert_eq!(rejected.queue_wait_cycles(), None);
         assert_eq!(rejected.service_cycles(), None);
+    }
+
+    #[test]
+    fn terminal_fault_dispositions_carry_no_latency() {
+        let mut r = RequestRecord {
+            request: req(2),
+            disposition: Disposition::TimedOut,
+            dispatch: 0,
+            completion: 0,
+            instance: 0,
+            batch_size: 0,
+            retries: 1,
+            degraded: false,
+        };
+        assert_eq!(r.latency_cycles(), None);
+        assert_eq!(r.service_cycles(), None);
+        assert!(!r.deadline_missed());
+        r.request.deadline = Some(50);
+        assert!(r.deadline_missed());
+        r.disposition = Disposition::Failed;
+        assert!(r.deadline_missed());
+        assert_eq!(r.queue_wait_cycles(), None);
+        assert_eq!(Disposition::TimedOut.label(), "timed_out");
+        assert_eq!(Disposition::Failed.label(), "failed");
     }
 }

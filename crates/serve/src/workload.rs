@@ -146,6 +146,39 @@ impl WorkloadProfile {
         compute.max(dram)
     }
 
+    /// Service cycles of a degraded (brown-out) batch: compute and DRAM
+    /// traffic both scale to `compute_permille / 1000` of nominal — the
+    /// serving analogue of raising early termination, which shortens the
+    /// unary streams and therefore cuts MAC cycles *and* crawled bytes
+    /// together. `compute_permille == 1000` reproduces
+    /// [`Self::service_cycles`] exactly (same integer arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`, `concurrency` or `compute_permille` is zero,
+    /// or `compute_permille` exceeds 1000.
+    #[must_use]
+    pub fn service_cycles_scaled(
+        &self,
+        batch: usize,
+        concurrency: usize,
+        compute_permille: u32,
+    ) -> u64 {
+        assert!(batch > 0, "a batch carries at least one request");
+        assert!(concurrency > 0, "the dispatching instance is busy");
+        assert!(
+            (1..=1000).contains(&compute_permille),
+            "degradation is a fraction of nominal service"
+        );
+        let t = &self.totals;
+        let compute = t.compute_first_cycles + (batch as u64 - 1) * t.compute_marginal_cycles;
+        let bytes = t.dram_fixed_bytes + batch as u64 * t.dram_per_request_bytes;
+        let compute = compute * u64::from(compute_permille) / 1000;
+        let bytes = bytes * u64::from(compute_permille) / 1000;
+        let dram = (concurrency as f64 * bytes as f64 / self.dram_bytes_per_cycle).ceil() as u64;
+        compute.max(dram)
+    }
+
     /// Whether a batch of `batch` at `concurrency` is DRAM-limited.
     #[must_use]
     pub fn dram_limited(&self, batch: usize, concurrency: usize) -> bool {
@@ -251,6 +284,30 @@ mod tests {
     #[should_panic(expected = "at least one request")]
     fn zero_batch_rejected() {
         let _ = profile(ComputingScheme::UnaryRate, Some(128)).service_cycles(0, 1);
+    }
+
+    #[test]
+    fn full_permille_reproduces_nominal_service_exactly() {
+        for scheme in [ComputingScheme::UnaryRate, ComputingScheme::BinaryParallel] {
+            let p = profile(scheme, None);
+            for (b, c) in [(1, 1), (4, 2), (8, 8)] {
+                assert_eq!(p.service_cycles_scaled(b, c, 1000), p.service_cycles(b, c));
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_service_is_monotone_in_permille() {
+        let p = profile(ComputingScheme::UnaryRate, Some(128));
+        let full = p.service_cycles_scaled(4, 2, 1000);
+        let half = p.service_cycles_scaled(4, 2, 500);
+        let quarter = p.service_cycles_scaled(4, 2, 250);
+        assert!(half < full);
+        assert!(quarter < half);
+        // Degradation scales both compute and traffic, so the halved
+        // service is about half of nominal.
+        assert!(half >= full / 2);
+        assert!(half <= full / 2 + 1);
     }
 
     // Real-profile integration of the `USY07x` pre-flight checks: the

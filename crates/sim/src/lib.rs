@@ -31,7 +31,7 @@ pub mod traffic;
 pub use dataflow::{ideal_cycles_with, layer_traffic_with, runtime_cycles_with, Dataflow};
 pub use dram_model::{analyze_trace, DramAnalysis};
 pub use jitter::SlackBudget;
-pub use memory::{DramSpec, MemoryHierarchy, SramSpec, Variable};
+pub use memory::{DramSpec, MemoryHierarchy, SramSpec, Variable, WordCorruption};
 pub use multi::{battery_lifetime, LifetimeReport, MultiInstanceSystem, ScalingReport};
 pub use report::{LayerReport, Simulator, CLOCK_HZ};
 pub use runtime::{ideal_cycles, layer_timing, LayerTiming};

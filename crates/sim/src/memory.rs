@@ -168,6 +168,90 @@ impl MemoryHierarchy {
     }
 }
 
+/// Deterministic word-corruption hook for memory-resident operands.
+///
+/// Models retention/transfer upsets in the DRAM (or an SRAM bank) holding
+/// a GEMM variable: each stored word of `word_bits` bits is upset with
+/// probability `word_ber`, and an upset flips exactly one uniformly
+/// chosen bit (the single-bit-upset model DRAM ECC literature uses).
+///
+/// Corruption is a pure function of `(seed, region, index)` — callers may
+/// query words in any order, any number of times, and always see the same
+/// mask, which is what keeps fault injection bit-identical across kernel
+/// paths and worker counts. A zero mask means the word is clean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordCorruption {
+    /// Seed of the corruption pattern.
+    pub seed: u64,
+    /// Per-word upset probability in `[0, 1]`.
+    pub word_ber: f64,
+    /// Bits per stored word (the operand bitwidth).
+    pub word_bits: u32,
+}
+
+impl WordCorruption {
+    /// A corruption model upsetting `word_bits`-bit words with
+    /// probability `word_ber` under `seed`.
+    #[must_use]
+    pub fn new(seed: u64, word_ber: f64, word_bits: u32) -> Self {
+        Self {
+            seed,
+            word_ber,
+            word_bits,
+        }
+    }
+
+    /// The XOR mask for word `index` of `region` (zero when the word is
+    /// clean). Deterministic and random-access: the per-word RNG stream
+    /// is keyed by `(seed, region, index)`.
+    #[must_use]
+    pub fn mask_for(&self, region: Variable, index: u64) -> u64 {
+        if self.word_ber <= 0.0 || self.word_bits == 0 {
+            return 0;
+        }
+        let region_key = match region {
+            Variable::Ifm => 1u64,
+            Variable::Weight => 2,
+            Variable::Ofm => 3,
+        };
+        let key = self
+            .seed
+            .wrapping_add(region_key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut rng = usystolic_unary::rng::SplitMix64::new(key);
+        if self.word_ber >= 1.0 || rng.next_f64() < self.word_ber {
+            1u64 << rng.below(u64::from(self.word_bits))
+        } else {
+            0
+        }
+    }
+
+    /// Applies the mask of every word in `words` (treated as region
+    /// `region`, indexed from 0) in place, returning how many words were
+    /// corrupted.
+    pub fn corrupt(&self, region: Variable, words: &mut [u64]) -> u64 {
+        let mut hit = 0;
+        for (i, w) in words.iter_mut().enumerate() {
+            let mask = self.mask_for(region, i as u64);
+            if mask != 0 {
+                *w ^= mask;
+                hit += 1;
+            }
+        }
+        hit
+    }
+}
+
+impl usystolic_obs::ToJson for WordCorruption {
+    fn to_json(&self) -> usystolic_obs::JsonValue {
+        usystolic_obs::JsonValue::object(vec![
+            ("seed", self.seed.to_json()),
+            ("word_ber", self.word_ber.to_json()),
+            ("word_bits", self.word_bits.to_json()),
+        ])
+    }
+}
+
 impl usystolic_obs::ToJson for Variable {
     fn to_json(&self) -> usystolic_obs::JsonValue {
         usystolic_obs::JsonValue::Str(self.to_string())
@@ -254,5 +338,41 @@ mod tests {
     fn variables_display() {
         assert_eq!(Variable::Ifm.to_string(), "IFM");
         assert_eq!(Variable::ALL.len(), 3);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_random_access() {
+        let c = WordCorruption::new(7, 0.25, 8);
+        // Same (region, index) always gives the same mask, in any order.
+        let forward: Vec<u64> = (0..256).map(|i| c.mask_for(Variable::Weight, i)).collect();
+        let backward: Vec<u64> = (0..256)
+            .rev()
+            .map(|i| c.mask_for(Variable::Weight, i))
+            .collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // Regions decorrelate.
+        let ifm: Vec<u64> = (0..256).map(|i| c.mask_for(Variable::Ifm, i)).collect();
+        assert_ne!(forward, ifm);
+        // Upsets are single-bit and land inside the word.
+        for m in forward.iter().filter(|&&m| m != 0) {
+            assert_eq!(m.count_ones(), 1);
+            assert!(*m < 1 << 8);
+        }
+        // Rate roughly matches word_ber (coarse: 256 draws at 25%).
+        let hits = forward.iter().filter(|&&m| m != 0).count();
+        assert!((20..=110).contains(&hits), "{hits} upsets of 256");
+    }
+
+    #[test]
+    fn corruption_edge_rates() {
+        let clean = WordCorruption::new(1, 0.0, 8);
+        assert!((0..64).all(|i| clean.mask_for(Variable::Weight, i) == 0));
+        let always = WordCorruption::new(1, 1.0, 8);
+        assert!((0..64).all(|i| always.mask_for(Variable::Weight, i) != 0));
+        let mut words = vec![0u64; 64];
+        assert_eq!(always.corrupt(Variable::Weight, &mut words), 64);
+        assert!(words.iter().all(|&w| w.count_ones() == 1));
+        // Zero-width words can never corrupt.
+        assert_eq!(WordCorruption::new(1, 1.0, 0).mask_for(Variable::Ifm, 0), 0);
     }
 }

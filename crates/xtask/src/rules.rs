@@ -76,7 +76,8 @@ pub struct FileRules {
 /// accumulator/shift implementation crates (`core`, `unary`); the
 /// wall-clock rule covers the cycle-deterministic crates (`sim`,
 /// `unary`); the determinism-taint rule covers every crate whose output
-/// feeds simulation results (`core`, `sim`, `serve`, `unary`). Files
+/// feeds simulation results (`core`, `faults`, `sim`, `serve`,
+/// `unary`). Files
 /// under a `fixtures/` directory are the lint's own regression corpus of
 /// deliberate violations and are exempt from everything.
 #[must_use]
@@ -94,6 +95,7 @@ pub fn classify(rel_path: &str) -> FileRules {
         && !in_tool;
     let result_affecting = [
         "crates/core/src",
+        "crates/faults/src",
         "crates/sim/src",
         "crates/serve/src",
         "crates/unary/src",
@@ -706,6 +708,8 @@ pub fn long_signature(
         assert!(classify("crates/sim/src/trace.rs").no_wall_clock);
         assert!(!classify("crates/sim/src/trace.rs").no_narrowing);
         assert!(classify("crates/serve/src/scheduler.rs").no_determinism);
+        assert!(classify("crates/faults/src/mask.rs").no_determinism);
+        assert!(classify("crates/faults/src/mask.rs").no_panic);
         assert!(!classify("crates/obs/src/sketch.rs").no_determinism);
         assert!(!classify("crates/bench/src/bin/sim_cli.rs").no_panic);
         assert!(!classify("crates/bench/src/table.rs").no_panic);

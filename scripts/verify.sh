@@ -175,4 +175,64 @@ cmp -s "$a.norm" "$b.norm" || {
 }
 rm -f "$a" "$b" "$a.norm" "$b.norm"
 
+echo "==> exp_faults smoke test (accuracy vs BER, graceful degradation)"
+faults_json=$(mktemp /tmp/usystolic_faults.XXXXXX.json)
+./target/release/exp_faults --short --out "$faults_json" > /dev/null
+grep -q '"kernels_agree":true' "$faults_json"
+grep -q '"deterministic":true' "$faults_json"
+grep -q '"unary_graceful":true' "$faults_json"
+rm -f "$faults_json"
+
+echo "==> serve_cli fault-injection smoke test (seeded replay + conservation)"
+fa=$(mktemp /tmp/usystolic_fault_serve.XXXXXX.json)
+fb=$(mktemp /tmp/usystolic_fault_serve.XXXXXX.json)
+# A seeded shard-kill scenario with retries, timeouts and brownout must
+# reproduce bit for bit across worker counts (the echoed knob aside)...
+"$serve" --matmul 64,64,64 --instances 2 --duration 0.01 \
+    --arrival-rate 2000 --shard-fail 4,1 --retry-max 3 --retry-backoff 0.05 \
+    --retry-jitter 250 --timeout 2 --brownout 500,600 --shed-expired \
+    --fault-seed 11 --workers 4 --json > "$fa"
+"$serve" --matmul 64,64,64 --instances 2 --duration 0.01 \
+    --arrival-rate 2000 --shard-fail 4,1 --retry-max 3 --retry-backoff 0.05 \
+    --retry-jitter 250 --timeout 2 --brownout 500,600 --shed-expired \
+    --fault-seed 11 --workers 1 --json > "$fb"
+sed 's/"workers":[0-9]*//' "$fa" > "$fa.norm"
+sed 's/"workers":[0-9]*//' "$fb" > "$fb.norm"
+cmp -s "$fa.norm" "$fb.norm" || {
+    echo "FAIL: seeded fault scenario differs across worker counts" >&2
+    exit 1
+}
+# ...must actually kill the shard and fail over...
+grep -q '"shard_crashes":1' "$fa"
+grep -q '"serve.failovers"' "$fa"
+# ...and must lose nothing: every admitted request is accounted for.
+grep -q '"lost":0' "$fa" || {
+    echo "FAIL: shard-kill scenario lost requests" >&2
+    exit 1
+}
+grep -q '"conserved":true' "$fa" || {
+    echo "FAIL: request-conservation ledger does not balance" >&2
+    exit 1
+}
+rm -f "$fa" "$fb" "$fa.norm" "$fb.norm"
+
+echo "==> sim_cli device-fault smoke test"
+# A faulted layer run must report kernel agreement in its JSON block...
+./target/release/sim_cli --scheme UR --matmul 64,64,64 \
+    --fault-ber 1e-3 --fault-stuck 2,3,1 --fault-seed 9 --json \
+    | grep -q '"kernels_agree":true'
+# ...and malformed fault flags must exit 2 with a diagnostic.
+rc=0; ./target/release/sim_cli --matmul 4,4,4 --fault-ber 1.5 \
+    > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 2 || {
+    echo "FAIL: --fault-ber 1.5 should exit 2 (got $rc)" >&2
+    exit 1
+}
+rc=0; ./target/release/sim_cli --matmul 4,4,4 --fault-stuck 2,3,7 \
+    > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 2 || {
+    echo "FAIL: --fault-stuck 2,3,7 should exit 2 (got $rc)" >&2
+    exit 1
+}
+
 echo "verify: OK"

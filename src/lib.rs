@@ -29,6 +29,9 @@
 //! * [`pool`] — the shared host-side work-stealing thread pool behind the
 //!   parallel phases of [`serve`] and the tile sweeps of [`arch`]
 //!   (deterministic: worker count never changes results).
+//! * [`faults`] — deterministic fault injection: seeded transient bit
+//!   flips, stuck-at PEs and memory word corruption with bit-identical
+//!   serial/packed outcomes, plus the binary resilience baseline.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 
 pub use usystolic_analyze as analyze;
 pub use usystolic_core as arch;
+pub use usystolic_faults as faults;
 pub use usystolic_gemm as gemm;
 pub use usystolic_hw as hw;
 pub use usystolic_models as models;

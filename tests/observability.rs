@@ -213,7 +213,7 @@ fn histogram_bucket_boundaries_via_facade() {
 // ---------------------------------------------------------------------------
 
 use usystolic::serve::loadgen::{ArrivalProcess, LoadGenConfig};
-use usystolic::serve::{serve, ServeConfig, Workload};
+use usystolic::serve::{serve, FleetFaultPlan, ServeConfig, Workload};
 
 /// An overloaded two-instance pool: enough completions (>600) to push the
 /// latency sketch through its compression path, and enough pressure on
@@ -238,6 +238,7 @@ fn overloaded_pool(workers: usize) -> (ServeConfig, Vec<Workload>) {
             high_priority_fraction: 0.25,
             deadline_cycles: None,
         },
+        faults: FleetFaultPlan::default(),
     };
     (config, workloads)
 }

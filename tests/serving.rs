@@ -13,7 +13,8 @@ use usystolic::arch::{ComputingScheme, SystolicConfig};
 use usystolic::gemm::GemmConfig;
 use usystolic::serve::loadgen::{ArrivalProcess, LoadGenConfig};
 use usystolic::serve::{
-    serve, CycleHistogram, LayerProfile, ServeConfig, ServeReport, Workload, WorkloadProfile,
+    serve, CycleHistogram, FleetFaultPlan, LayerProfile, ServeConfig, ServeReport, Workload,
+    WorkloadProfile,
 };
 use usystolic::sim::MemoryHierarchy;
 
@@ -37,6 +38,7 @@ fn base_config(process: ArrivalProcess, seed: u64) -> ServeConfig {
             high_priority_fraction: 0.25,
             deadline_cycles: Some(50_000),
         },
+        faults: FleetFaultPlan::default(),
     }
 }
 
@@ -141,6 +143,7 @@ fn deadline_misses_match_the_constant_service_oracle() {
                 high_priority_fraction: 0.0,
                 deadline_cycles: deadline,
             },
+            faults: FleetFaultPlan::default(),
         };
         serve(&config, std::slice::from_ref(&workload)).expect("valid config")
     };
