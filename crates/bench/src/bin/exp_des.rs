@@ -1,0 +1,56 @@
+//! Benchmarks the serving engine's fidelity tiers on a fleet-scale
+//! VGG-16 workload and writes `BENCH_des.json`.
+//!
+//! Usage: `cargo run --release -p usystolic-bench --bin exp_des --
+//! [--short] [--out PATH]`
+//!
+//! `--short` shrinks the fleet and the arrival horizon for CI smoke
+//! runs (and relaxes the speedup bar — smoke-scale timing is noisy).
+//!
+//! The run fails (non-zero exit) when the analytic tier misses its
+//! wall-clock speedup target over the cycle-accurate reference, when
+//! the packed tier is not bit-identical to the reference, or when the
+//! analytic latency estimates drift out of tolerance.
+
+use std::process::ExitCode;
+
+use usystolic_bench::des_fleet;
+use usystolic_obs::ToJson;
+
+/// Exits with code 2 and the usage line on a malformed flag.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("exp_des: error: {message}");
+    eprintln!("usage: exp_des [--short] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut short = false;
+    let mut out = String::from("BENCH_des.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--short" => short = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => fail("--out requires a path"),
+            },
+            other => fail(format!("unknown argument: {other}")),
+        }
+    }
+
+    let bench = des_fleet::run(short);
+    usystolic_bench::table::emit(&bench.table());
+    let json = bench.to_json().render();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if bench.speedup_target_met && bench.packed_bit_identical && bench.estimates_within_tolerance {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fidelity bench missed a target; see {out}");
+        ExitCode::FAILURE
+    }
+}

@@ -47,11 +47,11 @@ use usystolic_faults::{
     StuckAt,
 };
 use usystolic_gemm::GemmConfig;
-use usystolic_hw::evaluate_layer;
+use usystolic_hw::evaluate_layer_with;
 use usystolic_hw::summary::NetworkEvaluation;
 use usystolic_models::zoo;
 use usystolic_obs::{JsonValue, ToJson};
-use usystolic_sim::{MemoryHierarchy, MultiInstanceSystem, ScalingReport};
+use usystolic_sim::{Fidelity, MemoryHierarchy, MultiInstanceSystem, ScalingReport, Simulator};
 use usystolic_unary::coding::Coding;
 use usystolic_unary::rng::SplitMix64;
 use usystolic_unary::stream_len;
@@ -66,6 +66,7 @@ struct Args {
     gemm: Option<GemmConfig>,
     network: Option<String>,
     instances: Option<usize>,
+    fidelity: Fidelity,
     trace: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     metrics_format: MetricsFormat,
@@ -92,6 +93,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: usystolic_sim [--scheme BP|BS|UG|UR|UT] [--cycles N] [--bits N]
                      [--shape edge|cloud] [--sram|--no-sram] [--instances N]
+                     [--fidelity cycle|packed|analytic]
                      [--trace FILE] [--metrics FILE] [--metrics-format json|prom]
                      [--report FILE.html] [--json]
                      [--fault-ber F] [--fault-stuck R,C,V]... [--fault-seed N]
@@ -101,6 +103,11 @@ fn usage() -> ! {
                      [--wiring shared|independent] [--fifo-depth N]
                      [--sram|--no-sram] [--json]
                      [--conv ... | --matmul ... | --network ...]
+
+--fidelity picks the timing-model tier: cycle (default) walks every
+fold of the tile mapping, packed uses the bit-identical closed form,
+and analytic additionally drops the SRAM service bound (exact for
+compute- or DRAM-bound layers).
 
 Fault injection (--fault-ber, --fault-stuck, --fault-seed) runs a
 deterministic device-fault characterization on a sub-sampled window of
@@ -158,6 +165,7 @@ fn parse_args() -> Args {
         gemm: None,
         network: None,
         instances: None,
+        fidelity: Fidelity::CycleAccurate,
         trace: None,
         metrics: None,
         metrics_format: MetricsFormat::Json,
@@ -239,6 +247,12 @@ fn parse_args() -> Args {
                     fail("--instances 0: need at least one instance");
                 }
                 args.instances = Some(n);
+            }
+            "--fidelity" => {
+                let v = value();
+                args.fidelity = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--fidelity {v}: {e}")));
             }
             "--trace" => args.trace = Some(value().into()),
             "--metrics" => args.metrics = Some(value().into()),
@@ -746,9 +760,10 @@ fn main() {
     }
 
     let faults = device_faults(&args);
+    let sim = Simulator::new(config, memory).with_fidelity(args.fidelity);
 
     if let Some(gemm) = args.gemm {
-        let ev = evaluate_layer(&config, &memory, &gemm);
+        let ev = evaluate_layer_with(&sim, &gemm);
         let scaling = args
             .instances
             .map(|n| MultiInstanceSystem::new(config, memory).scale(&gemm, n));
@@ -815,7 +830,7 @@ fn main() {
         Some(name) => network_by_name(name),
         None => usage(),
     };
-    let ev = NetworkEvaluation::evaluate(&config, &memory, &network.gemms());
+    let ev = NetworkEvaluation::evaluate_with(&sim, &network.gemms());
     // Device faults characterize on the network's first layer.
     let characterization = faults.as_ref().map(|f| {
         let first = network

@@ -30,6 +30,7 @@ pub mod ablation;
 pub mod accuracy;
 pub mod area;
 pub mod bandwidth;
+pub mod des_fleet;
 pub mod design;
 pub mod design_space;
 pub mod efficiency;

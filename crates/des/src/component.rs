@@ -1,0 +1,281 @@
+//! Typed wiring: components, the dispatch engine, and FIFO ports.
+//!
+//! A [`Component`] owns model state and handles popped events through a
+//! [`Context`] that can schedule or cancel follow-ups on the shared
+//! calendar. [`Port`]s are explicit named FIFO channels between a
+//! producer and a consumer component, so dataflow shows up in the types
+//! instead of hiding in shared mutable state. The [`Engine`] drives one
+//! component over one queue sequentially — obs side effects happen in
+//! pop order, which keeps metric snapshots worker-count invariant.
+
+use std::collections::VecDeque;
+
+use crate::fidelity::Fidelity;
+use crate::queue::{Event, EventId, EventQueue, Scheduled};
+
+/// Handle given to a component while it processes one event.
+///
+/// Wraps the shared queue with the current simulated time and the
+/// engine's fidelity tier; follow-up events are scheduled here.
+pub struct Context<'a, E: Event> {
+    queue: &'a mut EventQueue<E>,
+    now: u64,
+    fidelity: Fidelity,
+}
+
+impl<'a, E: Event> Context<'a, E> {
+    /// Current simulated cycle (the timestamp of the event in flight).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The engine's fidelity tier, resolved per dispatch.
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Schedules a follow-up event at an absolute cycle. Scheduling in
+    /// the past is clamped to `now` so causality cannot run backwards.
+    pub fn schedule_at(&mut self, at: u64, event: E) -> EventId {
+        self.queue.schedule(at.max(self.now), event)
+    }
+
+    /// Schedules a follow-up event `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: u64, event: E) -> EventId {
+        self.queue.schedule(self.now.saturating_add(delay), event)
+    }
+
+    /// Cancels a previously scheduled event; `true` if it was pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Pending events remaining on the calendar (excluding the one in
+    /// flight).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A simulation model that reacts to events.
+pub trait Component<E: Event> {
+    /// Stable name used as the `component` label on `des.queue_depth`.
+    fn name(&self) -> &'static str;
+
+    /// Handles one popped event; follow-ups go through `ctx`.
+    fn handle(&mut self, event: Scheduled<E>, ctx: &mut Context<'_, E>);
+}
+
+/// Sequential dispatch loop: pops events in deterministic order and
+/// feeds them to a component until the calendar drains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine {
+    fidelity: Fidelity,
+}
+
+impl Engine {
+    /// Creates an engine at the given fidelity tier.
+    #[must_use]
+    pub fn new(fidelity: Fidelity) -> Self {
+        Self { fidelity }
+    }
+
+    /// The tier every dispatch resolves.
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Runs `component` until `queue` is empty; returns the timestamp of
+    /// the last dispatched event (0 when the queue started empty).
+    ///
+    /// Per dispatch, when an obs session is installed, this counts
+    /// `des.dispatch{fidelity}` and records the post-handle
+    /// `des.queue_depth{component}` gauge and time series — all on this
+    /// sequential loop, so snapshots do not depend on worker count.
+    pub fn run<E: Event, C: Component<E>>(
+        &self,
+        queue: &mut EventQueue<E>,
+        component: &mut C,
+    ) -> u64 {
+        let mut last = 0;
+        while let Some(scheduled) = queue.pop() {
+            last = scheduled.at;
+            let mut ctx = Context {
+                queue,
+                now: scheduled.at,
+                fidelity: self.fidelity,
+            };
+            component.handle(scheduled, &mut ctx);
+            if usystolic_obs::is_enabled() {
+                let labels = [("component", component.name())];
+                let depth = queue.len() as f64;
+                usystolic_obs::count_labeled(
+                    "des.dispatch",
+                    &[("fidelity", self.fidelity.label())],
+                    1,
+                );
+                usystolic_obs::gauge_labeled("des.queue_depth", &labels, depth);
+                usystolic_obs::series_record_labeled("des.queue_depth", &labels, last, depth);
+            }
+        }
+        last
+    }
+}
+
+/// A named FIFO channel between two components.
+///
+/// Producers [`send`](Self::send), consumers [`recv`](Self::recv);
+/// order is strictly first-in first-out, so a pipeline wired through
+/// ports is as deterministic as the calendar driving it.
+#[derive(Debug)]
+pub struct Port<T> {
+    name: &'static str,
+    fifo: VecDeque<T>,
+}
+
+impl<T> Port<T> {
+    /// Creates an empty port with a stable diagnostic name.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            fifo: VecDeque::new(),
+        }
+    }
+
+    /// The port's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Enqueues a value at the tail.
+    pub fn send(&mut self, value: T) {
+        self.fifo.push_back(value);
+    }
+
+    /// Dequeues the head value, if any.
+    pub fn recv(&mut self) -> Option<T> {
+        self.fifo.pop_front()
+    }
+
+    /// Peeks at the head value without dequeuing.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        self.fifo.front()
+    }
+
+    /// Number of queued values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the port holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ping {
+        Kick(u64),
+        Echo,
+    }
+
+    impl Event for Ping {}
+
+    struct Echoer {
+        seen: Vec<(u64, Ping)>,
+    }
+
+    impl Component<Ping> for Echoer {
+        fn name(&self) -> &'static str {
+            "echoer"
+        }
+
+        fn handle(&mut self, event: Scheduled<Ping>, ctx: &mut Context<'_, Ping>) {
+            self.seen.push((event.at, event.event));
+            if let Ping::Kick(delay) = event.event {
+                ctx.schedule_in(delay, Ping::Echo);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_drains_follow_ups_and_reports_last_cycle() {
+        let mut queue = EventQueue::new();
+        queue.schedule(10, Ping::Kick(5));
+        queue.schedule(12, Ping::Kick(1));
+        let mut echoer = Echoer { seen: Vec::new() };
+        let last = Engine::new(Fidelity::Packed).run(&mut queue, &mut echoer);
+        assert_eq!(last, 15);
+        assert_eq!(
+            echoer.seen,
+            [
+                (10, Ping::Kick(5)),
+                (12, Ping::Kick(1)),
+                (13, Ping::Echo),
+                (15, Ping::Echo),
+            ]
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn context_clamps_past_schedules_to_now() {
+        struct PastScheduler {
+            fired: Vec<u64>,
+        }
+        impl Component<Ping> for PastScheduler {
+            fn name(&self) -> &'static str {
+                "past"
+            }
+            fn handle(&mut self, event: Scheduled<Ping>, ctx: &mut Context<'_, Ping>) {
+                self.fired.push(event.at);
+                if matches!(event.event, Ping::Kick(_)) {
+                    ctx.schedule_at(0, Ping::Echo); // in the past → clamped
+                }
+            }
+        }
+        let mut queue = EventQueue::new();
+        queue.schedule(7, Ping::Kick(0));
+        let mut c = PastScheduler { fired: Vec::new() };
+        let last = Engine::default().run(&mut queue, &mut c);
+        assert_eq!(last, 7, "clamped echo fires at now, not before");
+        assert_eq!(c.fired, [7, 7]);
+    }
+
+    #[test]
+    fn empty_queue_run_returns_zero() {
+        let mut queue: EventQueue<Ping> = EventQueue::new();
+        let mut echoer = Echoer { seen: Vec::new() };
+        assert_eq!(Engine::default().run(&mut queue, &mut echoer), 0);
+        assert!(echoer.seen.is_empty());
+    }
+
+    #[test]
+    fn port_is_fifo() {
+        let mut p = Port::new("gemm.out");
+        assert_eq!(p.name(), "gemm.out");
+        assert!(p.is_empty());
+        p.send(1);
+        p.send(2);
+        p.send(3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.peek(), Some(&1));
+        assert_eq!(p.recv(), Some(1));
+        assert_eq!(p.recv(), Some(2));
+        assert_eq!(p.recv(), Some(3));
+        assert_eq!(p.recv(), None);
+    }
+}

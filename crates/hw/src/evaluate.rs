@@ -27,14 +27,16 @@ pub struct LayerEvaluation {
     pub area: OnChipArea,
 }
 
-/// Evaluates one layer on one design point (array + memory hierarchy).
+/// Wraps an already-simulated [`LayerReport`] with the hardware model:
+/// energy, power, EDP, efficiency and area for the simulator's design
+/// point. This is the one place a report becomes an evaluation, shared
+/// by every entry path and fidelity tier.
 #[must_use]
-pub fn evaluate_layer(
+pub fn evaluate_from_report(
     config: &SystolicConfig,
     memory: &MemoryHierarchy,
-    gemm: &GemmConfig,
+    report: LayerReport,
 ) -> LayerEvaluation {
-    let report = Simulator::new(*config, *memory).simulate(gemm);
     let energy = LayerEnergy::compute(config, memory, &report);
     let power = LayerPower::new(&energy, report.runtime_s);
     LayerEvaluation {
@@ -48,17 +50,43 @@ pub fn evaluate_layer(
     }
 }
 
-/// Evaluates a whole network, one record per layer.
+/// Evaluates one layer on a configured simulator (fidelity included).
+#[must_use]
+pub fn evaluate_layer_with(sim: &Simulator, gemm: &GemmConfig) -> LayerEvaluation {
+    evaluate_from_report(sim.config(), sim.memory(), sim.simulate(gemm))
+}
+
+/// Evaluates one layer on one design point (array + memory hierarchy)
+/// at the default cycle-accurate fidelity.
+#[must_use]
+pub fn evaluate_layer(
+    config: &SystolicConfig,
+    memory: &MemoryHierarchy,
+    gemm: &GemmConfig,
+) -> LayerEvaluation {
+    evaluate_layer_with(&Simulator::new(*config, *memory), gemm)
+}
+
+/// Evaluates a whole network on a configured simulator, one record per
+/// layer. Layers run through the simulator's discrete-event calendar
+/// ([`Simulator::simulate_network`]), so the network path exercises the
+/// same event machinery at every fidelity tier.
+#[must_use]
+pub fn evaluate_network_with(sim: &Simulator, layers: &[GemmConfig]) -> Vec<LayerEvaluation> {
+    sim.simulate_network(layers)
+        .into_iter()
+        .map(|report| evaluate_from_report(sim.config(), sim.memory(), report))
+        .collect()
+}
+
+/// Evaluates a whole network at the default cycle-accurate fidelity.
 #[must_use]
 pub fn evaluate_network(
     config: &SystolicConfig,
     memory: &MemoryHierarchy,
     layers: &[GemmConfig],
 ) -> Vec<LayerEvaluation> {
-    layers
-        .iter()
-        .map(|l| evaluate_layer(config, memory, l))
-        .collect()
+    evaluate_network_with(&Simulator::new(*config, *memory), layers)
 }
 
 impl usystolic_obs::ToJson for LayerEvaluation {

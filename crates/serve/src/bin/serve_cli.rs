@@ -28,8 +28,8 @@ use usystolic_obs::{JsonValue, ToJson};
 use usystolic_serve::loadgen::{ArrivalProcess, LoadGenConfig};
 use usystolic_serve::workload::{LayerProfile, WorkloadProfile};
 use usystolic_serve::{
-    serve, BrownoutPolicy, FleetFaultPlan, LatencySummary, RetryPolicy, ServeConfig, ServeReport,
-    ShardFailure, ShardSlowdown, Workload,
+    serve, BrownoutPolicy, Fidelity, FleetFaultPlan, LatencySummary, RetryPolicy, ServeConfig,
+    ServeReport, ShardFailure, ShardSlowdown, Workload,
 };
 use usystolic_sim::{MemoryHierarchy, CLOCK_HZ};
 
@@ -67,6 +67,7 @@ struct Args {
     brownout: Option<BrownoutPolicy>,
     shed_expired: bool,
     fault_seed: Option<u64>,
+    fidelity: Fidelity,
 }
 
 /// On-disk encoding for `--metrics`.
@@ -91,6 +92,7 @@ fn usage() -> ! {
                  [--timeout MS] [--retry-max N] [--retry-backoff MS]
                  [--retry-jitter PERMILLE] [--brownout DEPTH,SERVICE]
                  [--shed-expired] [--fault-seed N]
+                 [--fidelity cycle|packed|analytic]
 
 Each --network/--matmul/--conv adds one workload class; requests draw a
 class uniformly. With no workload flags a 64x64x64 matmul is served.
@@ -108,6 +110,12 @@ queue wait; --shed-expired drops queued requests past their deadline;
 --brownout DEPTH,SERVICE (permille) degrades service to SERVICE/1000 of
 nominal once the queue passes DEPTH/1000 of capacity, admitting overflow
 up to twice the queue instead of rejecting.
+
+--fidelity picks the service-time model resolution: cycle (default)
+re-derives every layer timing from first principles at each dispatch,
+packed uses the precomputed exact totals (identical numbers, faster),
+analytic interpolates the closed-form feasibility estimate (approximate,
+fleet-scale fast).
 
 --check runs the static serving-feasibility analysis instead of the
 event simulation: USY070 (provable overload), USY071 (near-saturation
@@ -206,6 +214,7 @@ fn parse_args() -> Args {
         brownout: None,
         shed_expired: false,
         fault_seed: None,
+        fidelity: Fidelity::CycleAccurate,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -430,6 +439,12 @@ fn parse_args() -> Args {
                     service_permille,
                 });
             }
+            "--fidelity" => {
+                let v = value();
+                args.fidelity = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("--fidelity {v}: {e}")));
+            }
             "--shed-expired" => args.shed_expired = true,
             "--fault-seed" => {
                 let v = value();
@@ -545,6 +560,7 @@ fn build_config(args: &Args) -> (ServeConfig, Vec<Workload>) {
             },
             brownout: args.brownout,
         },
+        fidelity: args.fidelity,
     };
     (config, workloads)
 }

@@ -25,8 +25,11 @@
 //! ([`usystolic_pool`], re-exported as [`pool`]) only runs
 //! pure phases (profiling before the event loop, statistics folding after
 //! it); every admission, scheduling and timing decision happens in one
-//! sequential event loop. `--workers` changes wall-clock time, never one
-//! number in the report.
+//! sequential event loop driven by the shared `usystolic_des` calendar.
+//! `--workers` changes wall-clock time, never one number in the report.
+//! Service times resolve at a configurable [`Fidelity`]: cycle-accurate
+//! and packed are bit-identical, analytic swaps in the `analyze`
+//! closed-form estimate for `O(1)` dispatch at fleet scale.
 //!
 //! Fleet resilience is scripted through [`faults`]: shard crashes with
 //! epoch-invalidated completions, bounded retry with deterministic
@@ -59,6 +62,7 @@
 //!         deadline_cycles: Some(100_000),
 //!     },
 //!     faults: FleetFaultPlan::default(), // quiet: no fleet faults
+//!     fidelity: usystolic_serve::Fidelity::CycleAccurate,
 //! };
 //! let gemm = GemmConfig::matmul(64, 64, 64).expect("valid");
 //! let report = serve(&config, &[Workload::from_gemm("m64", gemm)]).expect("valid config");
@@ -71,7 +75,6 @@
 
 pub mod admission;
 pub mod engine;
-pub mod event;
 pub mod faults;
 pub mod histogram;
 pub mod loadgen;
@@ -81,13 +84,14 @@ pub mod scheduler;
 pub mod workload;
 
 pub use admission::{Admission, AdmissionController};
-pub use engine::serve;
+pub use engine::{serve, EventKind};
 pub use faults::{BrownoutPolicy, FleetFaultPlan, RetryPolicy, ShardFailure, ShardSlowdown};
 pub use histogram::{CycleHistogram, LatencySummary};
 pub use loadgen::{ArrivalProcess, LoadGen, LoadGenConfig};
 pub use report::{ServeConfig, ServeError, ServeReport};
 pub use request::{Disposition, Priority, Request, RequestRecord};
 pub use scheduler::Scheduler;
+pub use usystolic_des::Fidelity;
 pub use usystolic_pool as pool;
 pub use usystolic_pool::{run_indexed, PoolError};
 pub use workload::{LayerProfile, Workload, WorkloadProfile};

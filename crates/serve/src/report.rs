@@ -6,6 +6,7 @@ use crate::loadgen::LoadGenConfig;
 use crate::pool::PoolError;
 use crate::request::RequestRecord;
 use usystolic_core::SystolicConfig;
+use usystolic_des::Fidelity;
 use usystolic_obs::{JsonValue, ToJson};
 use usystolic_sim::{MemoryHierarchy, CLOCK_HZ};
 
@@ -34,6 +35,11 @@ pub struct ServeConfig {
     /// fault-free run — the engine is then bit-identical to one without
     /// the fault layer).
     pub faults: FleetFaultPlan,
+    /// Model resolution the event loop dispatches at.
+    /// [`Fidelity::CycleAccurate`] (the default) and [`Fidelity::Packed`]
+    /// are bit-identical; [`Fidelity::Analytic`] trades exactness for
+    /// `O(1)` service estimates at fleet scale.
+    pub fidelity: Fidelity,
 }
 
 /// Errors from [`serve`](crate::engine::serve).

@@ -99,6 +99,44 @@ impl LayerProfile {
     }
 }
 
+/// The §V-H batched service-time formula over explicit totals.
+///
+/// This is the one place the formula lives: the packed fidelity tier
+/// feeds it the profile's pre-computed totals, the cycle-accurate tier
+/// feeds it totals re-derived from the raw layers at dispatch time, and
+/// both produce the same bits because integer layer sums commute.
+/// `compute_permille == 1000` is nominal service; anything lower is the
+/// brown-out degradation of
+/// [`WorkloadProfile::service_cycles_scaled`].
+///
+/// # Panics
+///
+/// Panics if `batch`, `concurrency` or `compute_permille` is zero, or
+/// `compute_permille` exceeds 1000.
+#[must_use]
+pub fn batched_service_cycles(
+    totals: &LayerProfile,
+    dram_bytes_per_cycle: f64,
+    batch: usize,
+    concurrency: usize,
+    compute_permille: u32,
+) -> u64 {
+    assert!(batch > 0, "a batch carries at least one request");
+    assert!(concurrency > 0, "the dispatching instance is busy");
+    assert!(
+        (1..=1000).contains(&compute_permille),
+        "degradation is a fraction of nominal service"
+    );
+    let compute = totals.compute_first_cycles + (batch as u64 - 1) * totals.compute_marginal_cycles;
+    let bytes = totals.dram_fixed_bytes + batch as u64 * totals.dram_per_request_bytes;
+    let compute = compute * u64::from(compute_permille) / 1000;
+    let bytes = bytes * u64::from(compute_permille) / 1000;
+    // Shared DRAM: n busy instances demand ~n× the bytes in the same
+    // window, so this batch sees 1/n of the sustained bandwidth.
+    let dram = (concurrency as f64 * bytes as f64 / dram_bytes_per_cycle).ceil() as u64;
+    compute.max(dram)
+}
+
 /// The pre-computed timing profile of one workload class.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
@@ -135,15 +173,13 @@ impl WorkloadProfile {
     /// Panics if `batch` or `concurrency` is zero.
     #[must_use]
     pub fn service_cycles(&self, batch: usize, concurrency: usize) -> u64 {
-        assert!(batch > 0, "a batch carries at least one request");
-        assert!(concurrency > 0, "the dispatching instance is busy");
-        let t = &self.totals;
-        let compute = t.compute_first_cycles + (batch as u64 - 1) * t.compute_marginal_cycles;
-        let bytes = t.dram_fixed_bytes + batch as u64 * t.dram_per_request_bytes;
-        // Shared DRAM: n busy instances demand ~n× the bytes in the same
-        // window, so this batch sees 1/n of the sustained bandwidth.
-        let dram = (concurrency as f64 * bytes as f64 / self.dram_bytes_per_cycle).ceil() as u64;
-        compute.max(dram)
+        batched_service_cycles(
+            &self.totals,
+            self.dram_bytes_per_cycle,
+            batch,
+            concurrency,
+            1000,
+        )
     }
 
     /// Service cycles of a degraded (brown-out) batch: compute and DRAM
@@ -164,19 +200,13 @@ impl WorkloadProfile {
         concurrency: usize,
         compute_permille: u32,
     ) -> u64 {
-        assert!(batch > 0, "a batch carries at least one request");
-        assert!(concurrency > 0, "the dispatching instance is busy");
-        assert!(
-            (1..=1000).contains(&compute_permille),
-            "degradation is a fraction of nominal service"
-        );
-        let t = &self.totals;
-        let compute = t.compute_first_cycles + (batch as u64 - 1) * t.compute_marginal_cycles;
-        let bytes = t.dram_fixed_bytes + batch as u64 * t.dram_per_request_bytes;
-        let compute = compute * u64::from(compute_permille) / 1000;
-        let bytes = bytes * u64::from(compute_permille) / 1000;
-        let dram = (concurrency as f64 * bytes as f64 / self.dram_bytes_per_cycle).ceil() as u64;
-        compute.max(dram)
+        batched_service_cycles(
+            &self.totals,
+            self.dram_bytes_per_cycle,
+            batch,
+            concurrency,
+            compute_permille,
+        )
     }
 
     /// Whether a batch of `batch` at `concurrency` is DRAM-limited.

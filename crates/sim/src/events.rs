@@ -1,0 +1,175 @@
+//! The network pipeline as discrete-event components.
+//!
+//! [`Simulator::simulate_network`](crate::Simulator::simulate_network)
+//! no longer walks layers in a bare `for` loop: it schedules a
+//! [`SimEvent::LayerStart`] for the first layer on a `usystolic_des`
+//! calendar and lets a [`NetworkDriver`] component chain the rest. Each
+//! start simulates its layer (same obs side effects, same order as the
+//! old loop), pushes the [`LayerReport`] onto an output [`Port`], and
+//! schedules the [`SimEvent::LayerDone`] at the layer's runtime horizon;
+//! the done event starts the next layer, so the calendar's final
+//! timestamp is the network makespan in cycles.
+//!
+//! `LayerDone` carries class 0 and `LayerStart` class 1: a completion
+//! always dispatches before a start scheduled at the same cycle, the
+//! same discipline the serving engine uses for its completion/arrival
+//! races.
+
+use crate::report::{LayerReport, Simulator};
+use usystolic_des::{Component, Context, Event, Port, Scheduled};
+use usystolic_gemm::GemmConfig;
+
+/// Events of the layer pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// Layer `index` finished; the next layer may start this cycle.
+    LayerDone {
+        /// Index into the network's layer list.
+        index: usize,
+    },
+    /// Begin simulating layer `index`.
+    LayerStart {
+        /// Index into the network's layer list.
+        index: usize,
+    },
+}
+
+impl Event for SimEvent {
+    fn class(&self) -> u8 {
+        match self {
+            SimEvent::LayerDone { .. } => 0,
+            SimEvent::LayerStart { .. } => 1,
+        }
+    }
+}
+
+/// Drives one network through the calendar, layer by layer.
+///
+/// Borrows the simulator and the layer list; collects per-layer reports
+/// on an internal port in execution order.
+pub struct NetworkDriver<'a> {
+    simulator: &'a Simulator,
+    layers: &'a [GemmConfig],
+    reports: Port<LayerReport>,
+}
+
+impl<'a> NetworkDriver<'a> {
+    /// Wires a driver over a simulator and its network.
+    #[must_use]
+    pub fn new(simulator: &'a Simulator, layers: &'a [GemmConfig]) -> Self {
+        Self {
+            simulator,
+            layers,
+            reports: Port::new("network.reports"),
+        }
+    }
+
+    /// Drains the collected reports in layer order.
+    #[must_use]
+    pub fn into_reports(mut self) -> Vec<LayerReport> {
+        let mut out = Vec::with_capacity(self.reports.len());
+        while let Some(r) = self.reports.recv() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+impl Component<SimEvent> for NetworkDriver<'_> {
+    fn name(&self) -> &'static str {
+        "network"
+    }
+
+    fn handle(&mut self, event: Scheduled<SimEvent>, ctx: &mut Context<'_, SimEvent>) {
+        match event.event {
+            SimEvent::LayerStart { index } => {
+                let report = self.simulator.simulate(&self.layers[index]);
+                ctx.schedule_in(report.timing.runtime_cycles, SimEvent::LayerDone { index });
+                self.reports.send(report);
+            }
+            SimEvent::LayerDone { index } => {
+                let next = index + 1;
+                if next < self.layers.len() {
+                    ctx.schedule_in(0, SimEvent::LayerStart { index: next });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryHierarchy;
+    use usystolic_core::{ComputingScheme, SystolicConfig};
+    use usystolic_des::{Engine, EventQueue, Fidelity};
+
+    fn layers() -> Vec<GemmConfig> {
+        vec![
+            GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).unwrap(),
+            GemmConfig::matmul(1, 9216, 4096).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn driver_reproduces_the_plain_loop() {
+        let sim = Simulator::new(
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8),
+            MemoryHierarchy::no_sram(),
+        );
+        let direct: Vec<LayerReport> = layers().iter().map(|l| sim.simulate(l)).collect();
+        let driven = sim.simulate_network(&layers());
+        assert_eq!(driven, direct);
+    }
+
+    #[test]
+    fn calendar_ends_at_the_network_makespan() {
+        let sim = Simulator::new(
+            SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let net = layers();
+        let expected: u64 = net
+            .iter()
+            .map(|l| sim.simulate(l).timing.runtime_cycles)
+            .sum();
+        let mut events = EventQueue::new();
+        events.schedule(0, SimEvent::LayerStart { index: 0 });
+        let mut driver = NetworkDriver::new(&sim, &net);
+        let makespan = Engine::new(sim.fidelity()).run(&mut events, &mut driver);
+        assert_eq!(makespan, expected);
+        assert_eq!(driver.into_reports().len(), net.len());
+    }
+
+    #[test]
+    fn packed_fidelity_is_bit_identical_per_layer() {
+        let cycle = Simulator::new(
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(128)
+                .unwrap(),
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let packed = cycle.with_fidelity(Fidelity::Packed);
+        assert_eq!(
+            cycle.simulate_network(&layers()),
+            packed.simulate_network(&layers())
+        );
+    }
+
+    #[test]
+    fn analytic_fidelity_never_slows_a_layer_down() {
+        // Dropping the SRAM service bound can only shorten runtimes.
+        let exact = Simulator::new(
+            SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+            MemoryHierarchy::edge_with_sram(),
+        );
+        let analytic = exact.with_fidelity(Fidelity::Analytic);
+        for (e, a) in exact
+            .simulate_network(&layers())
+            .iter()
+            .zip(analytic.simulate_network(&layers()))
+        {
+            assert!(a.timing.runtime_cycles <= e.timing.runtime_cycles);
+        }
+    }
+}

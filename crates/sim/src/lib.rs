@@ -14,12 +14,18 @@
 //! * [`runtime`] — ideal pipeline cycles plus memory-contention stalls.
 //! * [`report`] — [`Simulator`]: one call per layer returning bandwidth,
 //!   runtime, throughput and utilisation in the paper's units.
+//! * [`events`] — the network pipeline as `usystolic_des` components:
+//!   [`Simulator::simulate_network`] drives layers through the shared
+//!   discrete-event calendar at a configurable [`Fidelity`]
+//!   (cycle-accurate and packed are bit-identical; analytic drops the
+//!   SRAM service bound for speed).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataflow;
 pub mod dram_model;
+pub mod events;
 pub mod jitter;
 pub mod memory;
 pub mod multi;
@@ -30,10 +36,12 @@ pub mod traffic;
 
 pub use dataflow::{ideal_cycles_with, layer_traffic_with, runtime_cycles_with, Dataflow};
 pub use dram_model::{analyze_trace, DramAnalysis};
+pub use events::{NetworkDriver, SimEvent};
 pub use jitter::SlackBudget;
 pub use memory::{DramSpec, MemoryHierarchy, SramSpec, Variable, WordCorruption};
 pub use multi::{battery_lifetime, LifetimeReport, MultiInstanceSystem, ScalingReport};
 pub use report::{LayerReport, Simulator, CLOCK_HZ};
-pub use runtime::{ideal_cycles, layer_timing, LayerTiming};
+pub use runtime::{ideal_cycles, ideal_cycles_closed_form, layer_timing, LayerTiming};
 pub use trace::{Access, TraceEvent, TraceGenerator};
 pub use traffic::{layer_traffic, LayerTraffic, VariableTraffic};
+pub use usystolic_des::Fidelity;

@@ -2,10 +2,14 @@
 //! timing together and converts them to the physical units the paper
 //! plots (GB/s bandwidth, layers/s throughput).
 
+use crate::events::{NetworkDriver, SimEvent};
 use crate::memory::MemoryHierarchy;
-use crate::runtime::{layer_timing_from_traffic, LayerTiming};
+use crate::runtime::{
+    ideal_cycles_closed_form, layer_timing_from_parts, layer_timing_from_traffic, LayerTiming,
+};
 use crate::traffic::{layer_traffic, LayerTraffic};
 use usystolic_core::{SystolicConfig, TileMapping};
+use usystolic_des::{Engine, EventQueue, Fidelity};
 use usystolic_gemm::GemmConfig;
 use usystolic_obs::ToJson;
 
@@ -57,17 +61,37 @@ pub struct Simulator {
     config: SystolicConfig,
     memory: MemoryHierarchy,
     clock_hz: f64,
+    fidelity: Fidelity,
 }
 
 impl Simulator {
-    /// Creates a simulator at the paper's 400 MHz clock.
+    /// Creates a simulator at the paper's 400 MHz clock, at
+    /// [`Fidelity::CycleAccurate`].
     #[must_use]
     pub fn new(config: SystolicConfig, memory: MemoryHierarchy) -> Self {
         Self {
             config,
             memory,
             clock_hz: CLOCK_HZ,
+            fidelity: Fidelity::CycleAccurate,
         }
+    }
+
+    /// Overrides the model fidelity. [`Fidelity::Packed`] swaps the
+    /// fold-walk compute model for its closed form (bit-identical,
+    /// `O(1)` per layer); [`Fidelity::Analytic`] additionally drops the
+    /// per-variable SRAM service bound (exact for compute- or DRAM-bound
+    /// layers — the paper's crawling regime — and optimistic otherwise).
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The model fidelity layers are simulated at.
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
     }
 
     /// Overrides the clock (Hz).
@@ -104,7 +128,26 @@ impl Simulator {
     #[must_use]
     pub fn simulate(&self, gemm: &GemmConfig) -> LayerReport {
         let traffic = layer_traffic(gemm, &self.config, &self.memory);
-        let timing = layer_timing_from_traffic(gemm, &self.config, &self.memory, &traffic);
+        let timing = match self.fidelity {
+            // The reference: walk every fold of the tile mapping.
+            Fidelity::CycleAccurate => {
+                layer_timing_from_traffic(gemm, &self.config, &self.memory, &traffic)
+            }
+            // Closed-form compute, full memory model — same bits, O(1).
+            Fidelity::Packed => layer_timing_from_parts(
+                ideal_cycles_closed_form(gemm, &self.config),
+                &self.memory,
+                &traffic,
+                true,
+            ),
+            // Closed-form compute, DRAM bound only.
+            Fidelity::Analytic => layer_timing_from_parts(
+                ideal_cycles_closed_form(gemm, &self.config),
+                &self.memory,
+                &traffic,
+                false,
+            ),
+        };
         let runtime_s = timing.runtime_cycles as f64 / self.clock_hz;
         let gb = 1.0e9;
         let map = TileMapping::new(gemm, self.config.rows(), self.config.cols());
@@ -176,9 +219,24 @@ impl Simulator {
 
     /// Simulates a sequence of layers (e.g. a network), returning one
     /// report per layer.
+    ///
+    /// Layers are driven through the shared `usystolic_des` calendar: a
+    /// [`NetworkDriver`] component simulates each layer when its
+    /// [`SimEvent::LayerStart`] fires and chains the next start behind
+    /// the [`SimEvent::LayerDone`] at the layer's runtime horizon — the
+    /// event clock ends at the network makespan. The per-layer reports
+    /// (and their obs side effects) are identical to calling
+    /// [`Self::simulate`] in a loop; the calendar adds only `des.*`
+    /// instrumentation.
     #[must_use]
     pub fn simulate_network(&self, layers: &[GemmConfig]) -> Vec<LayerReport> {
-        layers.iter().map(|l| self.simulate(l)).collect()
+        let mut events = EventQueue::new();
+        if !layers.is_empty() {
+            events.schedule(0, SimEvent::LayerStart { index: 0 });
+        }
+        let mut driver = NetworkDriver::new(self, layers);
+        let _makespan = Engine::new(self.fidelity).run(&mut events, &mut driver);
+        driver.into_reports()
     }
 }
 

@@ -54,6 +54,31 @@ pub fn ideal_cycles(gemm: &GemmConfig, config: &SystolicConfig) -> u64 {
     total
 }
 
+/// Closed-form ideal cycles: the fold walk of [`ideal_cycles`] summed
+/// analytically. Every full-size fold contributes the same term, and the
+/// ragged last row/column folds only shift the per-fold `R'`/`C'` sums,
+/// which telescope to the mapped `K` and `N` totals:
+///
+/// ```text
+/// Σ_rf Σ_cf (r + m·mac + r + c − 2)
+///   = 2·col_folds·K + row_folds·N + row_folds·col_folds·(m·mac − 2)
+/// ```
+///
+/// (`r + c ≥ 2` always holds, so the walk's `saturating_sub` is exact.)
+/// Bit-identical to [`ideal_cycles`] in `O(1)` — the packed fidelity
+/// tier's compute model.
+#[must_use]
+pub fn ideal_cycles_closed_form(gemm: &GemmConfig, config: &SystolicConfig) -> u64 {
+    let map = TileMapping::new(gemm, config.rows(), config.cols());
+    let rf = map.row_folds() as u64;
+    let cf = map.col_folds() as u64;
+    let m = map.m() as u64;
+    let mac = config.mac_cycles();
+    // Sum before subtraction dominates the subtrahend (each tile's
+    // `2r + c − 2 ≥ 1`), so the u64 subtraction cannot underflow.
+    2 * cf * map.k() as u64 + rf * map.n() as u64 + rf * cf * m * mac - 2 * rf * cf
+}
+
 /// Computes the layer timing under the given memory hierarchy.
 #[must_use]
 pub fn layer_timing(
@@ -74,10 +99,27 @@ pub fn layer_timing_from_traffic(
     memory: &MemoryHierarchy,
     traffic: &LayerTraffic,
 ) -> LayerTiming {
-    let ideal = ideal_cycles(gemm, config);
+    layer_timing_from_parts(ideal_cycles(gemm, config), memory, traffic, true)
+}
+
+/// Computes the layer timing from a pre-computed ideal-cycle count —
+/// the fidelity tiers' entry point. The packed tier passes the
+/// closed-form ideal ([`ideal_cycles_closed_form`], bit-identical to the
+/// walk); the analytic tier additionally sets `model_sram = false` to
+/// skip the per-variable SRAM service bound, keeping only the DRAM bound
+/// (exact whenever the layer is compute- or DRAM-bound, which is the
+/// paper's crawling regime).
+#[must_use]
+pub fn layer_timing_from_parts(
+    ideal: u64,
+    memory: &MemoryHierarchy,
+    traffic: &LayerTraffic,
+    model_sram: bool,
+) -> LayerTiming {
     let dram_cycles =
         (traffic.dram.total() as f64 / memory.dram.sustained_bytes_per_cycle()).ceil() as u64;
     let sram_cycles = match memory.sram {
+        Some(_) if !model_sram => 0,
         Some(s) => {
             let per_var = [traffic.sram.ifm, traffic.sram.weight, traffic.sram.ofm];
             per_var
@@ -186,6 +228,56 @@ mod tests {
             "cloud {} vs edge {}",
             tc.overhead(),
             te.overhead()
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_the_fold_walk_exactly() {
+        // Ragged folds in both dimensions, every scheme, long and short
+        // MAC intervals: the closed form is the walk, bit for bit.
+        let shapes = [
+            GemmConfig::matmul(1, 1, 1).unwrap(),
+            GemmConfig::matmul(64, 64, 64).unwrap(),
+            GemmConfig::matmul(100, 12, 14).unwrap(),
+            GemmConfig::matmul(3, 17, 33).unwrap(),
+            GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).unwrap(),
+            GemmConfig::conv(13, 13, 192, 3, 3, 1, 384).unwrap(),
+        ];
+        let configs = [
+            SystolicConfig::edge(ComputingScheme::BinaryParallel, 8),
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(128)
+                .unwrap(),
+            SystolicConfig::cloud(ComputingScheme::UnaryTemporal, 8),
+            SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+                .with_mul_cycles(32)
+                .unwrap(),
+        ];
+        for gemm in &shapes {
+            for cfg in &configs {
+                assert_eq!(
+                    ideal_cycles_closed_form(gemm, cfg),
+                    ideal_cycles(gemm, cfg),
+                    "closed form diverged for {gemm:?} on {:?}",
+                    cfg.scheme()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parts_timing_without_sram_model_keeps_the_dram_bound() {
+        let gemm = GemmConfig::conv(27, 27, 96, 5, 5, 1, 256).unwrap();
+        let cfg = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+        let memory = MemoryHierarchy::edge_with_sram();
+        let traffic = layer_traffic(&gemm, &cfg, &memory);
+        let ideal = ideal_cycles(&gemm, &cfg);
+        let full = layer_timing_from_parts(ideal, &memory, &traffic, true);
+        let no_sram = layer_timing_from_parts(ideal, &memory, &traffic, false);
+        assert!(no_sram.runtime_cycles <= full.runtime_cycles);
+        assert_eq!(
+            full,
+            layer_timing_from_traffic(&gemm, &cfg, &memory, &traffic)
         );
     }
 

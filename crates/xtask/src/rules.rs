@@ -10,9 +10,9 @@
 //! |---|---|
 //! | `panic` | no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` in non-test library code |
 //! | `narrowing` | no lossy `as` narrowing to sub-64-bit integers in accumulator/shift paths (`crates/core`, `crates/unary`) |
-//! | `wall-clock` | no `std::time` / `SystemTime` / `Instant` in `crates/sim` and `crates/unary` (cycle determinism) |
+//! | `wall-clock` | no `std::time` / `SystemTime` / `Instant` in `crates/des`, `crates/sim` and `crates/unary` (cycle determinism) |
 //! | `float-eq` | no `==` / `!=` against float literals in non-test code |
-//! | `determinism` | no `HashMap` / `HashSet` in result-affecting crates (`core`, `sim`, `serve`, `unary`): their iteration order varies run to run |
+//! | `determinism` | no `HashMap` / `HashSet` in result-affecting crates (`core`, `des`, `sim`, `serve`, `unary`): their iteration order varies run to run |
 //! | `float-ord` | no `sort_by`/`max_by`/`min_by` closures built on `partial_cmp` in non-test code; NaN silently reorders — use `total_cmp` |
 //! | `errors-doc` | public `Result`-returning fns document a `# Errors` section |
 //!
@@ -74,9 +74,9 @@ pub struct FileRules {
 /// modules exist to serve its `exp_*`/`sim_cli` binaries and may abort on
 /// impossible configurations). The narrowing rule covers the
 /// accumulator/shift implementation crates (`core`, `unary`); the
-/// wall-clock rule covers the cycle-deterministic crates (`sim`,
+/// wall-clock rule covers the cycle-deterministic crates (`des`, `sim`,
 /// `unary`); the determinism-taint rule covers every crate whose output
-/// feeds simulation results (`core`, `faults`, `sim`, `serve`,
+/// feeds simulation results (`core`, `des`, `faults`, `sim`, `serve`,
 /// `unary`). Files
 /// under a `fixtures/` directory are the lint's own regression corpus of
 /// deliberate violations and are exempt from everything.
@@ -95,6 +95,7 @@ pub fn classify(rel_path: &str) -> FileRules {
         && !in_tool;
     let result_affecting = [
         "crates/core/src",
+        "crates/des/src",
         "crates/faults/src",
         "crates/sim/src",
         "crates/serve/src",
@@ -105,7 +106,9 @@ pub fn classify(rel_path: &str) -> FileRules {
     FileRules {
         no_panic: is_lib,
         no_narrowing: path.starts_with("crates/core/src") || path.starts_with("crates/unary/src"),
-        no_wall_clock: path.starts_with("crates/sim/src") || path.starts_with("crates/unary/src"),
+        no_wall_clock: path.starts_with("crates/des/src")
+            || path.starts_with("crates/sim/src")
+            || path.starts_with("crates/unary/src"),
         no_float_eq: true,
         no_determinism: result_affecting,
         no_float_ord: true,
@@ -708,6 +711,10 @@ pub fn long_signature(
         assert!(classify("crates/sim/src/trace.rs").no_wall_clock);
         assert!(!classify("crates/sim/src/trace.rs").no_narrowing);
         assert!(classify("crates/serve/src/scheduler.rs").no_determinism);
+        assert!(classify("crates/des/src/queue.rs").no_determinism);
+        assert!(classify("crates/des/src/queue.rs").no_wall_clock);
+        assert!(classify("crates/des/src/queue.rs").no_panic);
+        assert!(!classify("crates/des/src/queue.rs").no_narrowing);
         assert!(classify("crates/faults/src/mask.rs").no_determinism);
         assert!(classify("crates/faults/src/mask.rs").no_panic);
         assert!(!classify("crates/obs/src/sketch.rs").no_determinism);

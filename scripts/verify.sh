@@ -216,6 +216,47 @@ grep -q '"conserved":true' "$fa" || {
 }
 rm -f "$fa" "$fb" "$fa.norm" "$fb.norm"
 
+echo "==> fidelity-tier smoke test (cycle vs packed vs analytic)"
+fc=$(mktemp /tmp/usystolic_fid_cycle.XXXXXX.json)
+fp=$(mktemp /tmp/usystolic_fid_packed.XXXXXX.json)
+fn=$(mktemp /tmp/usystolic_fid_analytic.XXXXXX.json)
+# The same seeded sim must be bit-identical at cycle and packed tier...
+./target/release/sim_cli --scheme UR --cycles 128 --no-sram \
+    --conv 31,31,96,5,5,1,256 --fidelity cycle --json > "$fc"
+./target/release/sim_cli --scheme UR --cycles 128 --no-sram \
+    --conv 31,31,96,5,5,1,256 --fidelity packed --json > "$fp"
+cmp -s "$fc" "$fp" || {
+    echo "FAIL: packed fidelity diverged from cycle-accurate sim" >&2
+    exit 1
+}
+# ...and the same seeded serve scenario must run at both ends of the
+# fidelity range, losing nothing at either tier.
+"$serve" --seed 7 --instances 4 --arrival-rate 2000000 --duration 0.002 \
+    --queue-depth 16 --deadline 1.0 --fidelity cycle --json > "$fc"
+"$serve" --seed 7 --instances 4 --arrival-rate 2000000 --duration 0.002 \
+    --queue-depth 16 --deadline 1.0 --fidelity analytic --json > "$fn"
+grep -q '"lost":0' "$fc"
+grep -q '"lost":0' "$fn"
+# The analytic latency estimate must stay within 25% of the exact tier.
+python3 -c '
+import json, sys
+exact = json.load(open(sys.argv[1]))["report"]["latency"]["p50_cycles"]
+est = json.load(open(sys.argv[2]))["report"]["latency"]["p50_cycles"]
+sys.exit(0 if abs(est - exact) / max(exact, 1) <= 0.25 else 1)
+' "$fc" "$fn" || {
+    echo "FAIL: analytic latency estimate drifted >25% from exact" >&2
+    exit 1
+}
+rm -f "$fc" "$fp" "$fn"
+
+echo "==> exp_des smoke test (fleet fidelity speedup + tolerance)"
+des_json=$(mktemp /tmp/usystolic_des.XXXXXX.json)
+./target/release/exp_des --short --out "$des_json" > /dev/null
+grep -q '"packed_bit_identical":true' "$des_json"
+grep -q '"estimates_within_tolerance":true' "$des_json"
+grep -q '"speedup_target_met":true' "$des_json"
+rm -f "$des_json"
+
 echo "==> sim_cli device-fault smoke test"
 # A faulted layer run must report kernel agreement in its JSON block...
 ./target/release/sim_cli --scheme UR --matmul 64,64,64 \

@@ -10,8 +10,13 @@
 //!   tensors and fixed-point quantisation.
 //! * [`arch`] — functional systolic arrays: the uSystolic PE array plus the
 //!   binary parallel, binary serial and uGEMM-H baselines.
+//! * [`des`] — the unified deterministic discrete-event core: the
+//!   stable-ordering event queue, typed `Event`/`Port`/`Component`
+//!   wiring and the `CycleAccurate | Packed | Analytic` fidelity switch
+//!   shared by [`sim`] and [`serve`].
 //! * [`sim`] — the uSystolic-Sim substitute: weight-stationary timing,
-//!   SRAM/DRAM memory hierarchy, per-layer bandwidth and runtime.
+//!   SRAM/DRAM memory hierarchy, per-layer bandwidth and runtime,
+//!   driven through [`des`] components.
 //! * [`hw`] — hardware cost models (area, leakage/dynamic energy, power,
 //!   efficiency) standing in for Design Compiler + CACTI.
 //! * [`models`] — DNN workload zoo (AlexNet, ResNet18, MNIST CNN,
@@ -47,6 +52,7 @@
 
 pub use usystolic_analyze as analyze;
 pub use usystolic_core as arch;
+pub use usystolic_des as des;
 pub use usystolic_faults as faults;
 pub use usystolic_gemm as gemm;
 pub use usystolic_hw as hw;

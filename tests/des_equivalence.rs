@@ -1,0 +1,355 @@
+//! Golden equivalence for the discrete-event core (`crates/des`).
+//!
+//! The five files under `tests/golden/` were captured from `sim_cli` and
+//! `serve_cli` *before* both loops were ported onto the shared event
+//! calendar. These tests rebuild each CLI's JSON record in-process and
+//! assert the ported engines reproduce the pinned bytes bit for bit —
+//! report fields *and* obs metric snapshots — at every worker count.
+//! The calendar's own `des.*` instrumentation is new by construction, so
+//! it is stripped before the golden comparison and asserted present
+//! separately; everything else must not have moved by a single bit.
+
+use usystolic::arch::{kernel_paths, ComputingScheme, SystolicConfig};
+use usystolic::des::Fidelity;
+use usystolic::gemm::GemmConfig;
+use usystolic::hw::evaluate_layer;
+use usystolic::hw::summary::NetworkEvaluation;
+use usystolic::models::zoo;
+use usystolic::obs::{JsonValue, ToJson};
+use usystolic::serve::loadgen::{ArrivalProcess, LoadGenConfig};
+use usystolic::serve::{
+    serve, BrownoutPolicy, FleetFaultPlan, RetryPolicy, ServeConfig, ShardFailure, Workload,
+};
+use usystolic::sim::{MemoryHierarchy, CLOCK_HZ};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {path}: {e}"))
+        .trim_end()
+        .to_owned()
+}
+
+/// Drops the calendar's own `des.*` keys from every metrics section —
+/// the only keys the port is allowed to add.
+fn strip_des_metrics(mut metrics: JsonValue) -> JsonValue {
+    if let JsonValue::Object(sections) = &mut metrics {
+        for (_, section) in sections.iter_mut() {
+            if let JsonValue::Object(entries) = section {
+                entries.retain(|(key, _)| !key.starts_with("des."));
+            }
+        }
+    }
+    metrics
+}
+
+/// `serve_cli --seed 7 --workers W --instances 4 --arrival-rate 2000000
+/// --duration 0.002 --queue-depth 16 --deadline 1.0 --json`.
+fn overload_config(workers: usize) -> (ServeConfig, Vec<Workload>, u64) {
+    let seed = 7;
+    let config = ServeConfig {
+        array: SystolicConfig::edge(ComputingScheme::UnaryRate, 8),
+        memory: MemoryHierarchy::no_sram(),
+        instances: 4,
+        queue_capacity: 16,
+        max_batch: 8,
+        workers,
+        duration_cycles: (0.002 * CLOCK_HZ).ceil() as u64,
+        load: LoadGenConfig {
+            process: ArrivalProcess::OpenPoisson {
+                mean_interarrival_cycles: CLOCK_HZ / 2_000_000.0,
+            },
+            seed,
+            classes: 1,
+            high_priority_fraction: 0.0,
+            deadline_cycles: Some((1.0 * 1.0e-3 * CLOCK_HZ).round() as u64),
+        },
+        faults: FleetFaultPlan {
+            seed,
+            retry: RetryPolicy {
+                max_retries: 0,
+                backoff_base_cycles: (0.01 * 1.0e-3 * CLOCK_HZ).round() as u64,
+                jitter_permille: 0,
+            },
+            ..FleetFaultPlan::default()
+        },
+        fidelity: Fidelity::CycleAccurate,
+    };
+    let gemm = GemmConfig::matmul(64, 64, 64).expect("valid");
+    (
+        config,
+        vec![Workload::from_gemm("matmul64,64,64", gemm)],
+        seed,
+    )
+}
+
+/// `serve_cli --matmul 64,64,64 --instances 2 --duration 0.01
+/// --arrival-rate 2000 --shard-fail 4,1 --retry-max 3 --retry-backoff
+/// 0.05 --retry-jitter 250 --timeout 2 --brownout 500,600 --shed-expired
+/// --fault-seed 11 --workers W --json`.
+fn shardkill_config(workers: usize) -> (ServeConfig, Vec<Workload>, u64) {
+    let seed = 1; // serve_cli default
+    let config = ServeConfig {
+        array: SystolicConfig::edge(ComputingScheme::UnaryRate, 8),
+        memory: MemoryHierarchy::no_sram(),
+        instances: 2,
+        queue_capacity: 64,
+        max_batch: 8,
+        workers,
+        duration_cycles: (0.01 * CLOCK_HZ).ceil() as u64,
+        load: LoadGenConfig {
+            process: ArrivalProcess::OpenPoisson {
+                mean_interarrival_cycles: CLOCK_HZ / 2000.0,
+            },
+            seed,
+            classes: 1,
+            high_priority_fraction: 0.0,
+            deadline_cycles: None,
+        },
+        faults: FleetFaultPlan {
+            seed: 11,
+            failures: vec![ShardFailure {
+                at: (4.0 * 1.0e-3 * CLOCK_HZ).round() as u64,
+                instance: 1,
+            }],
+            slowdowns: Vec::new(),
+            timeout_cycles: Some((2.0 * 1.0e-3 * CLOCK_HZ).round() as u64),
+            shed_expired: true,
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff_base_cycles: (0.05 * 1.0e-3 * CLOCK_HZ).round() as u64,
+                jitter_permille: 250,
+            },
+            brownout: Some(BrownoutPolicy {
+                depth_permille: 500,
+                service_permille: 600,
+            }),
+        },
+        fidelity: Fidelity::CycleAccurate,
+    };
+    let gemm = GemmConfig::matmul(64, 64, 64).expect("valid");
+    (
+        config,
+        vec![Workload::from_gemm("matmul64,64,64", gemm)],
+        seed,
+    )
+}
+
+/// Runs the engine under a fresh obs session and rebuilds `serve_cli`'s
+/// `--json` record. Returns `(record, metrics)` so callers can compare
+/// both the des-stripped and untouched renders.
+fn serve_record(config: &ServeConfig, workloads: &[Workload], seed: u64) -> (JsonValue, JsonValue) {
+    let prior = usystolic::obs::take();
+    usystolic::obs::install(usystolic::obs::Session::new());
+    let report = serve(config, workloads).expect("valid config");
+    let session = usystolic::obs::take().unwrap_or_default();
+    if let Some(p) = prior {
+        usystolic::obs::install(p);
+    }
+    let metrics = session.metrics.to_json();
+    let record = |m: JsonValue| {
+        JsonValue::object(vec![
+            ("config", config.array.to_json()),
+            ("memory", config.memory.to_json()),
+            ("seed", seed.to_json()),
+            ("faults", config.faults.to_json()),
+            ("report", report.to_json()),
+            ("metrics", m),
+        ])
+    };
+    (record(metrics.clone()), metrics)
+}
+
+/// The report renders `"workers":N` exactly once; pin it to 1 so runs at
+/// different worker counts are byte-comparable.
+fn normalize_workers(render: &str, workers: usize) -> String {
+    render.replacen(&format!("\"workers\":{workers}"), "\"workers\":1", 1)
+}
+
+fn assert_serve_golden(name: &str, build: fn(usize) -> (ServeConfig, Vec<Workload>, u64)) {
+    let pinned = golden(name);
+    let mut unfiltered = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (config, workloads, seed) = build(workers);
+        let (record, metrics) = serve_record(&config, &workloads, seed);
+        // Bit-for-bit against the pre-port capture, modulo the new des.*
+        // keys and the worker count baked into the report.
+        let (mut stripped, report_rest) = match record.clone() {
+            JsonValue::Object(mut pairs) => {
+                let m = pairs.pop().expect("metrics last");
+                (m, JsonValue::Object(pairs))
+            }
+            other => panic!("record is not an object: {other:?}"),
+        };
+        stripped.1 = strip_des_metrics(stripped.1);
+        let filtered = match report_rest {
+            JsonValue::Object(mut pairs) => {
+                pairs.push(stripped);
+                JsonValue::Object(pairs)
+            }
+            other => panic!("unreachable: {other:?}"),
+        };
+        assert_eq!(
+            normalize_workers(&filtered.render(), workers),
+            pinned,
+            "{name} diverged from the pre-port golden at workers={workers}"
+        );
+        // The calendar's own instrumentation must be present and counted
+        // on the sequential loop (identical at every worker count).
+        if let JsonValue::Object(sections) = &metrics {
+            let counters = sections
+                .iter()
+                .find(|(k, _)| k == "counters")
+                .map(|(_, v)| v)
+                .expect("counters section");
+            if let JsonValue::Object(entries) = counters {
+                for key in [
+                    "des.events.scheduled",
+                    "des.events.dispatched",
+                    "des.dispatch{fidelity=\"cycle\"}",
+                ] {
+                    assert!(
+                        entries.iter().any(|(k, _)| k == key),
+                        "{name}: missing {key} at workers={workers}"
+                    );
+                }
+            }
+        }
+        unfiltered.push(normalize_workers(&record.render(), workers));
+    }
+    // Worker-count invariance of the *unfiltered* record: even the des.*
+    // series must not depend on the pool width.
+    for render in &unfiltered[1..] {
+        assert_eq!(render, &unfiltered[0], "{name}: workers changed a bit");
+    }
+}
+
+#[test]
+fn serve_overload_golden_is_bit_identical_at_every_worker_count() {
+    assert_serve_golden("serve_seed7_overload.json", overload_config);
+}
+
+#[test]
+fn serve_shardkill_golden_is_bit_identical_at_every_worker_count() {
+    assert_serve_golden("serve_faults_shardkill.json", shardkill_config);
+}
+
+#[test]
+fn serve_packed_tier_matches_cycle_accurate_bit_for_bit() {
+    for build in [overload_config, shardkill_config] {
+        let (config, workloads, seed) = build(1);
+        let (cycle, _) = serve_record(&config, &workloads, seed);
+        let mut packed_cfg = config.clone();
+        packed_cfg.fidelity = Fidelity::Packed;
+        let (packed, _) = serve_record(&packed_cfg, &workloads, seed);
+        // Reports must be identical; only the fidelity label on
+        // des.dispatch may differ, so compare des-stripped renders.
+        let strip = |v: JsonValue| match v {
+            JsonValue::Object(mut pairs) => {
+                for (k, section) in pairs.iter_mut() {
+                    if k == "metrics" {
+                        *section = strip_des_metrics(section.clone());
+                    }
+                }
+                JsonValue::Object(pairs)
+            }
+            other => other,
+        };
+        assert_eq!(strip(cycle).render(), strip(packed).render());
+    }
+}
+
+#[test]
+fn sim_layer_goldens_are_bit_identical() {
+    // sim_cli --scheme UR --cycles 128 --no-sram --conv 31,31,96,5,5,1,256
+    let ur = SystolicConfig::edge(ComputingScheme::UnaryRate, 8)
+        .with_mul_cycles(128)
+        .expect("valid EBT");
+    let no_sram = MemoryHierarchy::no_sram();
+    let conv2 = GemmConfig::conv(31, 31, 96, 5, 5, 1, 256).expect("valid");
+    let record = JsonValue::object(vec![
+        ("config", ur.to_json()),
+        ("memory", no_sram.to_json()),
+        ("gemm", conv2.to_json()),
+        (
+            "evaluation",
+            evaluate_layer(&ur, &no_sram, &conv2).to_json(),
+        ),
+    ]);
+    assert_eq!(record.render(), golden("sim_ur128_conv2.json"));
+
+    // sim_cli --scheme BP --matmul 64,64,64
+    let bp = SystolicConfig::edge(ComputingScheme::BinaryParallel, 8);
+    let sram = MemoryHierarchy::edge_with_sram();
+    let m64 = GemmConfig::matmul(64, 64, 64).expect("valid");
+    let record = JsonValue::object(vec![
+        ("config", bp.to_json()),
+        ("memory", sram.to_json()),
+        ("gemm", m64.to_json()),
+        ("evaluation", evaluate_layer(&bp, &sram, &m64).to_json()),
+    ]);
+    assert_eq!(record.render(), golden("sim_bp_matmul64.json"));
+}
+
+#[test]
+fn sim_network_golden_survives_the_des_port() {
+    // sim_cli --scheme UR --network mnist: the network path now runs
+    // through the event calendar, and must not have moved a single bit.
+    let ur = SystolicConfig::edge(ComputingScheme::UnaryRate, 8);
+    let no_sram = MemoryHierarchy::no_sram();
+    let network = zoo::mnist_cnn4();
+    let ev = NetworkEvaluation::evaluate(&ur, &no_sram, &network.gemms());
+    let record = JsonValue::object(vec![
+        ("config", ur.to_json()),
+        ("memory", no_sram.to_json()),
+        ("network", network.to_json()),
+        ("evaluation", ev.to_json()),
+    ]);
+    assert_eq!(record.render(), golden("sim_ur_mnist.json"));
+}
+
+#[test]
+fn analytic_tier_tracks_exact_latency_within_tolerance() {
+    let (config, workloads, _) = overload_config(1);
+    let exact = serve(&config, &workloads).expect("valid");
+    let mut analytic_cfg = config.clone();
+    analytic_cfg.fidelity = Fidelity::Analytic;
+    let analytic = serve(&analytic_cfg, &workloads).expect("valid");
+    assert_eq!(exact.lost(), 0);
+    assert_eq!(analytic.lost(), 0);
+    let tolerance = |a: u64, b: u64| {
+        let (a, b) = (a as f64, b as f64);
+        (a - b).abs() / b.max(1.0) <= 0.25
+    };
+    assert!(
+        tolerance(analytic.latency.p50_cycles, exact.latency.p50_cycles),
+        "analytic p50 {} vs exact {}",
+        analytic.latency.p50_cycles,
+        exact.latency.p50_cycles
+    );
+    assert!(
+        tolerance(analytic.service.p50_cycles, exact.service.p50_cycles),
+        "analytic service p50 {} vs exact {}",
+        analytic.service.p50_cycles,
+        exact.service.p50_cycles
+    );
+}
+
+#[test]
+fn kernel_dispatch_table_agrees_with_the_analyzer() {
+    // Satellite check: KernelMode::Auto's static per-scheme table and
+    // the analyzer's independently derived paths never drift apart.
+    for scheme in [
+        ComputingScheme::BinaryParallel,
+        ComputingScheme::BinarySerial,
+        ComputingScheme::UGemmHybrid,
+        ComputingScheme::UnaryRate,
+        ComputingScheme::UnaryTemporal,
+    ] {
+        assert_eq!(
+            kernel_paths(scheme),
+            usystolic::analyze::derive_kernel_paths(scheme).as_slice(),
+            "kernel table drifted for {scheme:?}"
+        );
+    }
+}

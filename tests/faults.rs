@@ -168,6 +168,7 @@ fn fault_config(faults: FleetFaultPlan, seed: u64) -> ServeConfig {
             deadline_cycles: Some(50_000),
         },
         faults,
+        fidelity: usystolic::serve::Fidelity::CycleAccurate,
     }
 }
 

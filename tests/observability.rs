@@ -239,6 +239,7 @@ fn overloaded_pool(workers: usize) -> (ServeConfig, Vec<Workload>) {
             deadline_cycles: None,
         },
         faults: FleetFaultPlan::default(),
+        fidelity: usystolic::serve::Fidelity::CycleAccurate,
     };
     (config, workloads)
 }

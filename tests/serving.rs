@@ -39,6 +39,7 @@ fn base_config(process: ArrivalProcess, seed: u64) -> ServeConfig {
             deadline_cycles: Some(50_000),
         },
         faults: FleetFaultPlan::default(),
+        fidelity: usystolic::serve::Fidelity::CycleAccurate,
     }
 }
 
@@ -144,6 +145,7 @@ fn deadline_misses_match_the_constant_service_oracle() {
                 deadline_cycles: deadline,
             },
             faults: FleetFaultPlan::default(),
+            fidelity: usystolic::serve::Fidelity::CycleAccurate,
         };
         serve(&config, std::slice::from_ref(&workload)).expect("valid config")
     };
