@@ -40,6 +40,7 @@ use usystolic_core::{ComputingScheme, IfmSource, KernelPath};
 use usystolic_models::calibration::{calibrate, NetworkCalibration};
 use usystolic_models::zoo::Network;
 use usystolic_obs::{JsonValue, ToJson};
+use usystolic_unary::coding::Coding;
 use usystolic_unary::packed::{self, PackedCbsg};
 use usystolic_unary::rng::SobolSource;
 use usystolic_unary::MAX_BITWIDTH;
@@ -97,20 +98,34 @@ pub fn et_window_error(bitwidth: u32, effective_bitwidth: u32) -> u64 {
 /// Statically derives the legal kernel paths for `scheme` from its window
 /// semantics, fastest first.
 ///
-/// The word-packed popcount kernel is legal exactly when every increment
-/// of one window carries a constant sign and both operands reduce to
-/// comparator streams — i.e. [`ComputingScheme::sign_magnitude_operands`]
-/// together with a unary coding. The bit-serial reference machine is
-/// legal everywhere. A tier-1 test pins this derivation against the
-/// dispatch table [`usystolic_core::kernel_paths`] actually consults.
+/// * **Closed form** is legal exactly when both window comparators are
+///   analytic: a *temporal* enable stream (counter comparator — prefix
+///   counts collapse to `min`) on constant-sign sign-magnitude operands,
+///   whose weight RNG prefix count is a digit DP over the base-2 Sobol
+///   sequence. No drained sequence exists at all.
+/// * **Packed** is legal when every window reduces to prefix popcounts
+///   over restarting comparator streams: constant increment sign with a
+///   unary coding ([`ComputingScheme::sign_magnitude_operands`]), or
+///   uGEMM-H — whose mixed-sign bipolar window splits into the two
+///   constant-sign enable masks of its ones-/zeros-phase RNGs, each a
+///   conditionally-advanced comparator like the C-BSG.
+/// * The bit-serial reference machine is legal everywhere.
+///
+/// A tier-1 test pins this derivation against the dispatch table
+/// [`usystolic_core::kernel_paths`] actually consults.
 #[must_use]
 pub fn derive_kernel_paths(scheme: ComputingScheme) -> Vec<KernelPath> {
-    let packable = scheme.sign_magnitude_operands() && scheme.coding().is_some();
-    if packable {
-        vec![KernelPath::Packed, KernelPath::Serial]
-    } else {
-        vec![KernelPath::Serial]
+    let mut paths = Vec::new();
+    if scheme.sign_magnitude_operands() && scheme.coding() == Some(Coding::Temporal) {
+        paths.push(KernelPath::ClosedForm);
     }
+    if (scheme.sign_magnitude_operands() && scheme.coding().is_some())
+        || scheme == ComputingScheme::UGemmHybrid
+    {
+        paths.push(KernelPath::Packed);
+    }
+    paths.push(KernelPath::Serial);
+    paths
 }
 
 /// The abstract interpreter's verdict on one layer.

@@ -52,7 +52,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {out}");
-    if report.checksums_match && report.bit_exact && report.workers_consistent {
+    if report.checksums_match
+        && report.bit_exact
+        && report.workers_consistent
+        && report.temporal_bit_exact
+        && report.hybrid_bit_exact
+    {
         ExitCode::SUCCESS
     } else {
         eprintln!("kernel bench found a mismatch; see {out}");

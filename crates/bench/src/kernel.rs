@@ -1,11 +1,14 @@
-//! Kernel micro-benchmark: bit-serial vs word-packed MAC-window
+//! Kernel micro-benchmark: bit-serial vs fast-path MAC-window
 //! evaluation on the cycle-accurate machine, with bit-exactness and
 //! worker-determinism checks (`BENCH_kernel.json`).
 //!
 //! The headline case is the paper's 8-bit rate-coded configuration on one
-//! fully-occupied 16×16 weight tile; the report also sweeps the
-//! EBT × scheme space asserting the packed kernel reproduces the
-//! bit-serial reference exactly, and re-runs the packed sweep across
+//! fully-occupied 16×16 weight tile. Three companion rows time the other
+//! dispatch-table paths: the closed-form temporal window (uGEMM-T), the
+//! constant-sign packed bipolar kernel (uGEMM-H), and the multi-word
+//! popcount reduction on a stream wider than one machine word. The report
+//! also sweeps the EBT × scheme space asserting every fast path reproduces
+//! the bit-serial reference exactly, and re-runs each fast path across
 //! worker counts asserting the output checksum never moves.
 
 use std::time::Instant;
@@ -41,13 +44,39 @@ pub struct KernelBench {
     pub checksum_packed: u64,
     /// Whether the two checksums (and cycle statistics) agree.
     pub checksums_match: bool,
-    /// Whether the packed kernel matched the bit-serial reference exactly
-    /// over the full EBT × scheme sweep.
+    /// Whether the fast kernels matched the bit-serial reference exactly
+    /// over the full EBT × scheme sweep and the multi-word case.
     pub bit_exact: bool,
     /// Worker counts exercised by the determinism check.
     pub workers: Vec<usize>,
     /// Whether every worker count produced the packed checksum.
     pub workers_consistent: bool,
+    /// Bit-serial wall time of the temporal (uGEMM-T) case, microseconds.
+    pub temporal_serial_us: f64,
+    /// Closed-form wall time of the temporal case, microseconds.
+    pub temporal_closed_us: f64,
+    /// `temporal_serial_us / temporal_closed_us`.
+    pub temporal_speedup: f64,
+    /// Whether the closed-form temporal window reproduced the bit-serial
+    /// reference (outputs and cycle statistics) at every worker count.
+    pub temporal_bit_exact: bool,
+    /// Bit-serial wall time of the uGEMM-H case, microseconds.
+    pub hybrid_serial_us: f64,
+    /// Packed wall time of the uGEMM-H case, microseconds.
+    pub hybrid_packed_us: f64,
+    /// `hybrid_serial_us / hybrid_packed_us`.
+    pub hybrid_speedup: f64,
+    /// Whether the packed bipolar uGEMM-H kernel reproduced the bit-serial
+    /// reference (outputs and cycle statistics) at every worker count.
+    pub hybrid_bit_exact: bool,
+    /// Data bitwidth of the multi-word case (stream wider than 64 bits).
+    pub multiword_bitwidth: u32,
+    /// Bit-serial wall time of the multi-word case, microseconds.
+    pub multiword_serial_us: f64,
+    /// Packed wall time of the multi-word case, microseconds.
+    pub multiword_packed_us: f64,
+    /// `multiword_serial_us / multiword_packed_us`.
+    pub multiword_speedup: f64,
 }
 
 /// Order-sensitive FNV-style checksum over an output matrix and its cycle
@@ -96,6 +125,51 @@ fn time_best(iters: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
     (best, last)
 }
 
+/// One serial-vs-fast comparison: best-of timings, speedup, and a
+/// bit-exactness verdict that also replays the fast path at every
+/// requested worker count (outputs *and* cycle statistics must agree).
+struct PairTiming {
+    serial_us: f64,
+    fast_us: f64,
+    speedup: f64,
+    exact: bool,
+}
+
+fn timed_pair(
+    cfg: &SystolicConfig,
+    gemm: &GemmConfig,
+    input: &Matrix<i64>,
+    weights: &Matrix<i64>,
+    iters: usize,
+    workers: &[usize],
+) -> PairTiming {
+    let (serial_us, checksum_serial) = time_best(iters, || {
+        let (out, stats) =
+            cycle_accurate_gemm_with(cfg, gemm, input, weights, KernelMode::Serial, 1)
+                .expect("serial run");
+        checksum(&out, &stats)
+    });
+    let (fast_us, checksum_fast) = time_best(iters, || {
+        let (out, stats) =
+            cycle_accurate_gemm_with(cfg, gemm, input, weights, KernelMode::Packed, 1)
+                .expect("fast run");
+        checksum(&out, &stats)
+    });
+    let mut exact = checksum_serial == checksum_fast;
+    for &w in workers {
+        let (out, stats) =
+            cycle_accurate_gemm_with(cfg, gemm, input, weights, KernelMode::Packed, w)
+                .expect("worker run");
+        exact &= checksum(&out, &stats) == checksum_fast;
+    }
+    PairTiming {
+        serial_us,
+        fast_us,
+        speedup: serial_us / fast_us.max(1e-9),
+        exact,
+    }
+}
+
 /// Runs the kernel benchmark. `short` shrinks the vector count and the
 /// timing iterations for CI smoke runs; `workers` is the determinism
 /// sweep (deduplicated order kept).
@@ -104,6 +178,11 @@ pub fn run(short: bool, workers: &[usize]) -> KernelBench {
     let tile = 16usize;
     let bitwidth = 8u32;
     let (vectors, iters) = if short { (4, 1) } else { (16, 3) };
+    let workers: Vec<usize> = if workers.is_empty() {
+        vec![1, 2, 4, 8]
+    } else {
+        workers.to_vec()
+    };
     let cfg = SystolicConfig::new(tile, tile, ComputingScheme::UnaryRate, bitwidth)
         .expect("valid benchmark configuration")
         .with_acc_width(32);
@@ -123,11 +202,15 @@ pub fn run(short: bool, workers: &[usize]) -> KernelBench {
     });
 
     // EBT × scheme bit-exactness sweep (small case keeps smoke runs fast).
+    // uGEMM-H rejects true early termination, so it rides along at the
+    // full-width no-op EBT, pinning its packed kernel against the
+    // bit-serial bipolar walk.
     let (sweep_gemm, sweep_in, sweep_w) = headline_case(8, 3);
     let mut bit_exact = true;
     for (scheme, ebts) in [
         (ComputingScheme::UnaryRate, &[8u32, 7, 6, 5, 4][..]),
         (ComputingScheme::UnaryTemporal, &[8u32][..]),
+        (ComputingScheme::UGemmHybrid, &[8u32][..]),
     ] {
         for &ebt in ebts {
             let sweep_cfg = SystolicConfig::new(8, 8, scheme, bitwidth)
@@ -158,17 +241,59 @@ pub fn run(short: bool, workers: &[usize]) -> KernelBench {
     }
 
     // Worker determinism: the packed checksum must never move.
-    let workers: Vec<usize> = if workers.is_empty() {
-        vec![1, 2, 4, 8]
-    } else {
-        workers.to_vec()
-    };
     let workers_consistent = workers.iter().all(|&w| {
         let (out, stats) =
             cycle_accurate_gemm_with(&cfg, &gemm, &input, &weights, KernelMode::Packed, w)
                 .expect("worker run");
         checksum(&out, &stats) == checksum_packed
     });
+
+    // Closed-form temporal window (uGEMM-T): the dispatch table resolves
+    // the fast path to `KernelPath::ClosedForm`, so no stream is ever
+    // materialised — window ones come from the prefix-count arithmetic.
+    let temporal_cfg = SystolicConfig::new(tile, tile, ComputingScheme::UnaryTemporal, bitwidth)
+        .expect("valid temporal configuration")
+        .with_acc_width(32);
+    let temporal = timed_pair(&temporal_cfg, &gemm, &input, &weights, iters, &workers);
+
+    // Packed bipolar uGEMM-H: constant-sign enable masks replace the
+    // conditionally-advanced RNG walk. Saturation statistics must agree
+    // too, so the accumulator stays at the default full width here.
+    let hybrid_tile = 8usize;
+    let hybrid_cfg = SystolicConfig::new(
+        hybrid_tile,
+        hybrid_tile,
+        ComputingScheme::UGemmHybrid,
+        bitwidth,
+    )
+    .expect("valid hybrid configuration")
+    .with_acc_width(32);
+    let (hybrid_gemm, hybrid_in, hybrid_w) = headline_case(hybrid_tile, vectors.min(8));
+    let hybrid = timed_pair(
+        &hybrid_cfg,
+        &hybrid_gemm,
+        &hybrid_in,
+        &hybrid_w,
+        iters,
+        &workers,
+    );
+
+    // Multi-word reduction: a 14-bit rate-coded stream is 2^13 bits =
+    // 128 u64 words per comparator stream, exercising the unrolled
+    // popcount chain far past the single-word fast case.
+    let multiword_bitwidth = 14u32;
+    let multiword_tile = 4usize;
+    let multiword_cfg = SystolicConfig::new(
+        multiword_tile,
+        multiword_tile,
+        ComputingScheme::UnaryRate,
+        multiword_bitwidth,
+    )
+    .expect("valid multi-word configuration")
+    .with_acc_width(32);
+    let (mw_gemm, mw_in, mw_w) = headline_case(multiword_tile, 2);
+    let multiword = timed_pair(&multiword_cfg, &mw_gemm, &mw_in, &mw_w, iters, &workers);
+    bit_exact &= multiword.exact;
 
     KernelBench {
         tile,
@@ -184,6 +309,18 @@ pub fn run(short: bool, workers: &[usize]) -> KernelBench {
         bit_exact,
         workers,
         workers_consistent,
+        temporal_serial_us: temporal.serial_us,
+        temporal_closed_us: temporal.fast_us,
+        temporal_speedup: temporal.speedup,
+        temporal_bit_exact: temporal.exact,
+        hybrid_serial_us: hybrid.serial_us,
+        hybrid_packed_us: hybrid.fast_us,
+        hybrid_speedup: hybrid.speedup,
+        hybrid_bit_exact: hybrid.exact,
+        multiword_bitwidth,
+        multiword_serial_us: multiword.serial_us,
+        multiword_packed_us: multiword.fast_us,
+        multiword_speedup: multiword.speedup,
     }
 }
 
@@ -213,6 +350,35 @@ impl KernelBench {
             "workers consistent".into(),
             format!("{} ({:?})", self.workers_consistent, self.workers),
         ]);
+        t.push_row(vec![
+            "temporal closed-form speedup".into(),
+            format!(
+                "{:.1}x ({:.1} -> {:.1} us)",
+                self.temporal_speedup, self.temporal_serial_us, self.temporal_closed_us
+            ),
+        ]);
+        t.push_row(vec![
+            "temporal bit exact".into(),
+            self.temporal_bit_exact.to_string(),
+        ]);
+        t.push_row(vec![
+            "uGEMM-H packed speedup".into(),
+            format!(
+                "{:.1}x ({:.1} -> {:.1} us)",
+                self.hybrid_speedup, self.hybrid_serial_us, self.hybrid_packed_us
+            ),
+        ]);
+        t.push_row(vec![
+            "uGEMM-H bit exact".into(),
+            self.hybrid_bit_exact.to_string(),
+        ]);
+        t.push_row(vec![
+            format!("multi-word speedup ({}-bit)", self.multiword_bitwidth),
+            format!(
+                "{:.1}x ({:.1} -> {:.1} us)",
+                self.multiword_speedup, self.multiword_serial_us, self.multiword_packed_us
+            ),
+        ]);
         t
     }
 }
@@ -239,6 +405,24 @@ impl ToJson for KernelBench {
                 "workers_consistent",
                 JsonValue::Bool(self.workers_consistent),
             ),
+            ("temporal_serial_us", self.temporal_serial_us.to_json()),
+            ("temporal_closed_us", self.temporal_closed_us.to_json()),
+            ("temporal_speedup", self.temporal_speedup.to_json()),
+            (
+                "temporal_bit_exact",
+                JsonValue::Bool(self.temporal_bit_exact),
+            ),
+            ("hybrid_serial_us", self.hybrid_serial_us.to_json()),
+            ("hybrid_packed_us", self.hybrid_packed_us.to_json()),
+            ("hybrid_speedup", self.hybrid_speedup.to_json()),
+            ("hybrid_bit_exact", JsonValue::Bool(self.hybrid_bit_exact)),
+            (
+                "multiword_bitwidth",
+                u64::from(self.multiword_bitwidth).to_json(),
+            ),
+            ("multiword_serial_us", self.multiword_serial_us.to_json()),
+            ("multiword_packed_us", self.multiword_packed_us.to_json()),
+            ("multiword_speedup", self.multiword_speedup.to_json()),
         ])
     }
 }
@@ -254,11 +438,19 @@ mod tests {
         assert!(report.bit_exact, "EBT sweep found a mismatch");
         assert!(report.workers_consistent, "worker count changed results");
         assert!(report.serial_us > 0.0 && report.packed_us > 0.0);
+        assert!(report.temporal_bit_exact, "closed-form temporal mismatch");
+        assert!(report.hybrid_bit_exact, "packed uGEMM-H mismatch");
+        assert!(report.temporal_serial_us > 0.0 && report.temporal_closed_us > 0.0);
+        assert!(report.hybrid_serial_us > 0.0 && report.hybrid_packed_us > 0.0);
+        assert!(report.multiword_serial_us > 0.0 && report.multiword_packed_us > 0.0);
         let json = report.to_json().render();
         assert!(json.contains("\"checksums_match\":true"), "{json}");
         assert!(json.contains("\"bit_exact\":true"), "{json}");
         assert!(json.contains("\"workers_consistent\":true"), "{json}");
-        assert!(report.table().rows().len() >= 6);
+        assert!(json.contains("\"temporal_bit_exact\":true"), "{json}");
+        assert!(json.contains("\"hybrid_bit_exact\":true"), "{json}");
+        assert!(json.contains("\"multiword_speedup\""), "{json}");
+        assert!(report.table().rows().len() >= 11);
     }
 
     #[test]

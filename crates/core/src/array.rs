@@ -12,7 +12,6 @@ use crate::CoreError;
 use usystolic_gemm::{GemmConfig, Matrix};
 use usystolic_unary::add::BinaryAccumulator;
 use usystolic_unary::coding::Coding;
-use usystolic_unary::rng::{NumberSource, SobolSource};
 use usystolic_unary::sign::SignMagnitude;
 
 /// Execution statistics of a functional GEMM run.
@@ -195,8 +194,9 @@ pub fn unary_gemm_workers(
         let tile_cols = map.cols_in_fold(cf);
         let mut tile_t0 = 0.0;
         usystolic_obs::with(|o| tile_t0 = o.tracer.now_us());
-        // Pre-split the tile's weights into sign-magnitude rows and pack
-        // their comparator streams once for all M windows.
+        // Pre-split the tile's weights into sign-magnitude rows once for
+        // all M windows: rate tiles pack their comparator streams,
+        // temporal tiles need no streams at all (closed-form windows).
         let tile_weights: Vec<Vec<SignMagnitude>> = (0..tile_rows)
             .map(|r| {
                 (0..tile_cols)
@@ -205,7 +205,7 @@ pub fn unary_gemm_workers(
             })
             .collect();
         let mut kernel =
-            crate::kernel::PackedTileKernel::new(bitwidth, coding, mul_cycles, &tile_weights);
+            crate::kernel::UnaryTileKernel::new(bitwidth, coding, mul_cycles, &tile_weights);
         let mut counts = Vec::with_capacity(m * tile_rows * tile_cols);
         for p in 0..m {
             for r in 0..tile_rows {
@@ -270,7 +270,11 @@ pub fn unary_gemm_workers(
 ///
 /// Costs `2^N` multiply cycles per MAC window and two conditional
 /// generators per row (Section IV-C2); the per-window contribution is the
-/// bipolar ±1 sum `S ≈ w·i / 2^(N-2)`.
+/// bipolar ±1 sum `S ≈ w·i / 2^(N-2)`, evaluated through the word-packed
+/// split of [`crate::kernel::PackedHybridTileKernel`] — the window's ±1
+/// walk lands in a plain integer here (the OREG only sees the finished
+/// window sum), so the packed evaluation is bit-exact at any accumulator
+/// width.
 ///
 /// # Errors
 ///
@@ -294,8 +298,7 @@ pub fn ugemm_h_gemm(
     let map = TileMapping::new(gemm, config.rows(), config.cols());
     let (m, n) = (map.m(), map.n());
     let bitwidth = config.bitwidth();
-    let half = (1i64 << (bitwidth - 1)) as u64;
-    let len = 1u64 << bitwidth;
+    let half = 1i64 << (bitwidth - 1);
 
     let mut accs: Vec<BinaryAccumulator> = (0..m * n)
         .map(|_| BinaryAccumulator::new(config.acc_width()))
@@ -310,38 +313,26 @@ pub fn ugemm_h_gemm(
             let tile_rows = map.rows_in_fold(rf);
             let mut tile_t0 = 0.0;
             usystolic_obs::with(|o| tile_t0 = o.tracer.now_us());
+            // The tile's stationary weights as bipolar thresholds, packed
+            // once into ones-/zeros-phase comparator words for all M
+            // windows.
+            let w_thr: Vec<Vec<u64>> = (0..tile_rows)
+                .map(|r| {
+                    (0..tile_cols)
+                        .map(|c| {
+                            let w = weights[(k0 + r, n0 + c)].clamp(-half, half);
+                            (w + half) as u64
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut kernel = crate::kernel::PackedHybridTileKernel::new(bitwidth, &w_thr);
             for p in 0..m {
                 for r in 0..tile_rows {
-                    let i_level = input[(p, k0 + r)].clamp(-(half as i64), half as i64);
-                    let i_threshold = (i_level + half as i64) as u64;
-                    // Thresholds for the row's weights in bipolar encoding.
-                    let w_thresholds: Vec<u64> = (0..tile_cols)
-                        .map(|c| {
-                            let w = weights[(k0 + r, n0 + c)].clamp(-(half as i64), half as i64);
-                            (w + half as i64) as u64
-                        })
-                        .collect();
-                    // Bipolar row window with spatial reuse: one input bit
-                    // and one (conditional) random number pair per cycle,
-                    // shared by all columns.
-                    let mut in_src = SobolSource::dimension(1, bitwidth);
-                    let mut rng_ones = SobolSource::dimension(0, bitwidth);
-                    let mut rng_zeros = SobolSource::dimension(2, bitwidth);
-                    let mut sums = vec![0i64; tile_cols];
-                    for _ in 0..len {
-                        let in_bit = in_src.next() < i_threshold;
-                        let r = if in_bit {
-                            rng_ones.next()
-                        } else {
-                            rng_zeros.next()
-                        };
-                        for (c, &t) in w_thresholds.iter().enumerate() {
-                            let out_bit = if in_bit { r < t } else { r >= t };
-                            sums[c] += if out_bit { 1 } else { -1 };
-                        }
-                    }
-                    for (c, &s) in sums.iter().enumerate() {
-                        accs[p * n + n0 + c].add(s);
+                    let i_level = input[(p, k0 + r)].clamp(-half, half);
+                    let i_threshold = (i_level + half) as u64;
+                    for c in 0..tile_cols {
+                        accs[p * n + n0 + c].add(kernel.window_sum(r, c, i_threshold));
                     }
                     stats.mac_windows += tile_cols as u64;
                     stats.compute_cycles += config.mac_cycles();

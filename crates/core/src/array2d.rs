@@ -20,7 +20,9 @@
 //! cycle count against the `usystolic-sim` ideal-cycle formula.
 
 use crate::config::SystolicConfig;
-use crate::kernel::{KernelMode, PackedTileKernel};
+use crate::kernel::{
+    ClosedFormTileKernel, KernelMode, KernelPath, PackedHybridTileKernel, PackedTileKernel,
+};
 use crate::mapping::TileMapping;
 use crate::pe::IfmSource;
 use crate::scheme::ComputingScheme;
@@ -128,11 +130,14 @@ pub fn cycle_accurate_gemm(
 /// result is **bit-for-bit identical for every worker count and for every
 /// [`KernelMode`]** (`tests::packed_kernel_and_workers_are_bit_exact`).
 ///
-/// Under [`KernelMode::Auto`] / [`KernelMode::Packed`], the uSystolic
-/// rate/temporal tiles are evaluated by the word-packed kernel (64
-/// multiply cycles per `u64` word, see [`crate::kernel`]) instead of the
-/// per-cycle scalar machine; binary and uGEMM-H tiles always step the
-/// bit-serial reference.
+/// Under [`KernelMode::Auto`] / [`KernelMode::Packed`], each tile is
+/// evaluated by the fastest path [`KernelMode::resolve`] grants the
+/// configuration: closed-form window arithmetic for temporal coding,
+/// the word-packed popcount kernel (64 multiply cycles per `u64` word,
+/// see [`crate::kernel`]) for rate coding and uGEMM-H, and the
+/// bit-serial reference for the binary baselines (and for uGEMM-H OREGs
+/// narrower than `bitwidth + 2`, where mid-window clamping is real
+/// behaviour the lump add cannot reproduce).
 ///
 /// # Errors
 ///
@@ -159,7 +164,14 @@ pub fn cycle_accurate_gemm_with(
     }
 
     let map = TileMapping::new(gemm, config.rows(), config.cols());
-    let packed = mode.packs(config.scheme());
+    // Resolve the dispatch table once per GEMM (not per tile), so a
+    // demoted request records exactly one fallback event.
+    let path = mode.resolve(config);
+    let kernel_label = match path {
+        KernelPath::ClosedForm => "closed-form",
+        KernelPath::Packed => "packed",
+        KernelPath::Serial => "serial",
+    };
     let tiles: Vec<(usize, usize)> = (0..map.col_folds())
         .flat_map(|cf| (0..map.row_folds()).map(move |rf| (cf, rf)))
         .collect();
@@ -179,16 +191,22 @@ pub fn cycle_accurate_gemm_with(
         usystolic_obs::with(|o| t0 = o.tracer.now_us());
         let tile = TileMachine::new(config, input, weights, &map, rf, cf);
         let (rows, cols) = (tile.rows, tile.cols);
-        if packed {
-            tile.run_packed(&mut tile_out, &mut tile_stats);
-        } else {
-            tile.run(&mut tile_out, &mut tile_stats);
+        match path {
+            KernelPath::Serial => tile.run(&mut tile_out, &mut tile_stats),
+            KernelPath::ClosedForm => tile.run_closed(&mut tile_out, &mut tile_stats),
+            KernelPath::Packed => {
+                if config.scheme() == ComputingScheme::UGemmHybrid {
+                    tile.run_packed_hybrid(&mut tile_out, &mut tile_stats);
+                } else {
+                    tile.run_packed(&mut tile_out, &mut tile_stats);
+                }
+            }
         }
         crate::array::record_tile(
-            if packed {
-                "cycle_gemm.packed"
-            } else {
-                "cycle_gemm.serial"
+            match path {
+                KernelPath::ClosedForm => "cycle_gemm.closed_form",
+                KernelPath::Packed => "cycle_gemm.packed",
+                KernelPath::Serial => "cycle_gemm.serial",
             },
             cf,
             rf,
@@ -227,21 +245,26 @@ pub fn cycle_accurate_gemm_with(
         use usystolic_obs::ToJson;
         let t1 = o.tracer.now_us();
         o.metrics.count(
-            if packed {
-                "core.cycle.packed_pe_cycles"
-            } else {
-                "core.cycle.serial_pe_cycles"
+            match path {
+                KernelPath::Serial => "core.cycle.serial_pe_cycles",
+                // The closed form models the same packed schedule; both
+                // count as off-reference-machine PE cycles.
+                KernelPath::Packed | KernelPath::ClosedForm => "core.cycle.packed_pe_cycles",
             },
             stats.busy_pe_cycles,
         );
         o.metrics.count("core.cycle.tiles", stats.tiles);
-        o.metrics.count_labeled(
-            "core.cycle.tiles",
-            &[("kernel", if packed { "packed" } else { "serial" })],
-            stats.tiles,
-        );
+        o.metrics
+            .count_labeled("core.cycle.tiles", &[("kernel", kernel_label)], stats.tiles);
         let args = o.correlated_args(vec![
-            ("packed".to_owned(), u64::from(packed).to_json()),
+            (
+                "kernel".to_owned(),
+                usystolic_obs::JsonValue::Str(kernel_label.to_owned()),
+            ),
+            (
+                "packed".to_owned(),
+                u64::from(path != KernelPath::Serial).to_json(),
+            ),
             ("workers".to_owned(), (workers.max(1) as u64).to_json()),
             ("tiles".to_owned(), stats.tiles.to_json()),
         ]);
@@ -510,21 +533,82 @@ impl<'a> TileMachine<'a> {
     ///
     /// Only meaningful for [`ComputingScheme::UnaryRate`] /
     /// [`ComputingScheme::UnaryTemporal`]; callers gate on
-    /// [`KernelMode::packs`].
+    /// [`KernelMode::resolve`].
     fn run_packed(self, out: &mut Matrix<i64>, stats: &mut CycleStats) {
         let bitwidth = self.config.bitwidth();
-        let mac = self.config.mac_cycles() as i64;
-        let preload = self.rows as i64;
-        let (rows, cols, m) = (self.rows, self.cols, self.m);
         let coding = if self.config.scheme() == ComputingScheme::UnaryTemporal {
             Coding::Temporal
         } else {
             Coding::Rate
         };
+        let w_sm = self.tile_w_sm();
+        let mut kernel = PackedTileKernel::new(bitwidth, coding, self.config.mul_cycles(), &w_sm);
+        self.cascade_replay(
+            |p, r, c| {
+                let ifm = SignMagnitude::from_signed(self.input[(p, self.k0 + r)], bitwidth);
+                kernel.window_count(r, c, ifm)
+            },
+            out,
+            stats,
+        );
+    }
 
-        let w_sm: Vec<Vec<SignMagnitude>> = (0..rows)
+    /// Closed-form evaluation of a temporal tile: same M-end cascade as
+    /// [`run_packed`](Self::run_packed), but every window count is
+    /// `O(bitwidth)` arithmetic ([`crate::kernel::ClosedFormTileKernel`])
+    /// — no drained sequences, no comparator words, no per-cycle work of
+    /// any kind.
+    fn run_closed(self, out: &mut Matrix<i64>, stats: &mut CycleStats) {
+        let bitwidth = self.config.bitwidth();
+        let w_sm = self.tile_w_sm();
+        let kernel = ClosedFormTileKernel::new(bitwidth, self.config.mul_cycles(), &w_sm);
+        self.cascade_replay(
+            |p, r, c| {
+                let ifm = SignMagnitude::from_signed(self.input[(p, self.k0 + r)], bitwidth);
+                kernel.window_count(r, c, ifm)
+            },
+            out,
+            stats,
+        );
+    }
+
+    /// Word-packed evaluation of a uGEMM-H tile: each bipolar window's
+    /// ±1 walk splits into the constant-sign ones-/zeros-phase popcounts
+    /// of [`crate::kernel::PackedHybridTileKernel`] and lumps into one
+    /// accumulator add per window. [`KernelMode::resolve`] guarantees the
+    /// OREG cannot clamp mid-window here (`acc_width ≥ bitwidth + 2`), so
+    /// the lump add — and the saturation count of the M-end cascade — is
+    /// bit-exact against [`run`](Self::run).
+    fn run_packed_hybrid(self, out: &mut Matrix<i64>, stats: &mut CycleStats) {
+        let bitwidth = self.config.bitwidth();
+        let half = 1i64 << (bitwidth - 1);
+        let w_thr: Vec<Vec<u64>> = (0..self.rows)
             .map(|r| {
-                (0..cols)
+                (0..self.cols)
+                    .map(|c| {
+                        let w = self.weights[(self.k0 + r, self.n0 + c)].clamp(-half, half);
+                        (w + half) as u64
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut kernel = PackedHybridTileKernel::new(bitwidth, &w_thr);
+        self.cascade_replay(
+            |p, r, c| {
+                let level = self.input[(p, self.k0 + r)].clamp(-half, half);
+                kernel.window_sum(r, c, (level + half) as u64)
+            },
+            out,
+            stats,
+        );
+    }
+
+    /// This tile's stationary weights in sign-magnitude form.
+    fn tile_w_sm(&self) -> Vec<Vec<SignMagnitude>> {
+        let bitwidth = self.config.bitwidth();
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
                     .map(|c| {
                         SignMagnitude::from_signed(
                             self.weights[(self.k0 + r, self.n0 + c)],
@@ -533,19 +617,31 @@ impl<'a> TileMachine<'a> {
                     })
                     .collect()
             })
-            .collect();
-        let mut kernel = PackedTileKernel::new(bitwidth, coding, self.config.mul_cycles(), &w_sm);
+            .collect()
+    }
 
-        // One accumulator replayed per M-end: `drain()` clears the value
-        // and the sticky saturation flag, exactly like the per-PE OREGs
-        // between windows.
+    /// Shared backbone of the fast tile paths: the M-end cascade replayed
+    /// per `(vector, column)` bottom-up (row `r+1`'s M-end lands one
+    /// cycle before row `r`'s, so its drained partial sum is what row `r`
+    /// folds in), plus the closed-form schedule statistics. One
+    /// accumulator is reused across windows: `drain()` clears the value
+    /// and the sticky saturation flag, exactly like the per-PE OREGs.
+    fn cascade_replay<F: FnMut(usize, usize, usize) -> i64>(
+        &self,
+        mut window: F,
+        out: &mut Matrix<i64>,
+        stats: &mut CycleStats,
+    ) {
+        let mac = self.config.mac_cycles() as i64;
+        let preload = self.rows as i64;
+        let (rows, cols, m) = (self.rows, self.cols, self.m);
+
         let mut acc = BinaryAccumulator::new(self.config.acc_width());
         for p in 0..m {
             for c in 0..cols {
                 let mut below = 0i64;
                 for r in (0..rows).rev() {
-                    let ifm = SignMagnitude::from_signed(self.input[(p, self.k0 + r)], bitwidth);
-                    acc.add(kernel.window_count(r, c, ifm));
+                    acc.add(window(p, r, c));
                     acc.add(below);
                     if acc.saturated() {
                         stats.saturation_events += 1;
@@ -710,6 +806,7 @@ mod tests {
         for (scheme, ebts) in [
             (ComputingScheme::UnaryRate, &[8u32, 7, 6, 5, 4][..]),
             (ComputingScheme::UnaryTemporal, &[8u32][..]),
+            (ComputingScheme::UGemmHybrid, &[8u32][..]),
         ] {
             for &ebt in ebts {
                 let cfg = SystolicConfig::new(4, 3, scheme, 8)
@@ -762,17 +859,21 @@ mod tests {
 
     #[test]
     fn unpackable_schemes_fall_back_to_serial() {
-        // KernelMode::Packed on binary / uGEMM-H schemes silently uses the
-        // bit-serial reference — identical results, identical stats.
+        // KernelMode::Packed on the binary baselines — and on a uGEMM-H
+        // configuration whose OREG is too narrow for the lump add — uses
+        // the bit-serial reference: identical results, identical stats.
+        // (The fallback is counted and warned about, not silent; see
+        // `crate::kernel::tests::fallbacks_are_counted_not_silent`.)
         let (gemm, li, lw) = lowered_case(23);
-        for scheme in [
-            ComputingScheme::BinaryParallel,
-            ComputingScheme::BinarySerial,
-            ComputingScheme::UGemmHybrid,
+        for (scheme, acc_width) in [
+            (ComputingScheme::BinaryParallel, 32),
+            (ComputingScheme::BinarySerial, 32),
+            (ComputingScheme::UGemmHybrid, 9), // < bitwidth + 2
         ] {
             let cfg = SystolicConfig::new(4, 3, scheme, 8)
                 .expect("valid")
-                .with_acc_width(32);
+                .with_acc_width(acc_width);
+            assert_eq!(KernelMode::Packed.resolve(&cfg), KernelPath::Serial);
             let (serial, serial_stats) =
                 cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Serial, 1)
                     .expect("serial path executes");
@@ -781,6 +882,69 @@ mod tests {
                     .expect("fallback path executes");
             assert_eq!(serial, forced, "{scheme}");
             assert_eq!(serial_stats, forced_stats, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn temporal_closed_form_matches_serial_across_bitwidths() {
+        // The closed-form path (KernelMode::Auto on temporal coding) must
+        // reproduce the stepped machine at every bitwidth — mul_cycles 8,
+        // 64 and 128 put the window exactly below, at and above the u64
+        // word boundary the packed kernel straddles.
+        let (gemm, li, lw) = lowered_case(24);
+        for bitwidth in [4u32, 7, 8] {
+            let half = 1i64 << (bitwidth - 1);
+            let clamp = |m: &Matrix<i64>| {
+                let mut c = m.clone();
+                for v in c.as_mut_slice() {
+                    *v = (*v).clamp(-half, half);
+                }
+                c
+            };
+            let (li, lw) = (clamp(&li), clamp(&lw));
+            let cfg = SystolicConfig::new(4, 3, ComputingScheme::UnaryTemporal, bitwidth)
+                .expect("valid")
+                .with_acc_width(32);
+            assert_eq!(KernelMode::Auto.resolve(&cfg), KernelPath::ClosedForm);
+            let (serial, serial_stats) =
+                cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Serial, 1)
+                    .expect("serial path executes");
+            for workers in [1usize, 2, 4, 8] {
+                let (closed, closed_stats) =
+                    cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Auto, workers)
+                        .expect("closed-form path executes");
+                assert_eq!(serial, closed, "bitwidth {bitwidth} workers {workers}");
+                assert_eq!(
+                    serial_stats, closed_stats,
+                    "bitwidth {bitwidth} workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_packed_matches_serial_stats_under_saturation() {
+        // At the narrowest OREG the packed hybrid path still accepts
+        // (acc_width = bitwidth + 2), the M-end cascade genuinely clamps —
+        // the packed path must reproduce results AND saturation counts.
+        let (gemm, li, lw) = lowered_case(25);
+        let cfg = SystolicConfig::new(4, 3, ComputingScheme::UGemmHybrid, 8)
+            .expect("valid")
+            .with_acc_width(10);
+        assert_eq!(KernelMode::Auto.resolve(&cfg), KernelPath::Packed);
+        let (serial, serial_stats) =
+            cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Serial, 1)
+                .expect("serial path executes");
+        assert!(
+            serial_stats.saturation_events > 0,
+            "case must saturate to be a meaningful pin"
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let (packed, packed_stats) =
+                cycle_accurate_gemm_with(&cfg, &gemm, &li, &lw, KernelMode::Packed, workers)
+                    .expect("packed path executes");
+            assert_eq!(serial, packed, "workers {workers}");
+            assert_eq!(serial_stats, packed_stats, "workers {workers}");
         }
     }
 

@@ -24,8 +24,10 @@
 //! `crate::pe::tests::packed_path_matches_pipeline_and_fast` and
 //! `crate::array2d::tests` pin the equivalence.
 
+use crate::config::SystolicConfig;
 use crate::scheme::ComputingScheme;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use usystolic_unary::coding::Coding;
 use usystolic_unary::packed::{self, PackedCbsg};
 use usystolic_unary::rng::SobolSource;
@@ -36,16 +38,17 @@ use crate::pe::IfmSource;
 /// Selects how the executors evaluate MAC windows.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum KernelMode {
-    /// Use the word-packed kernel wherever it can express the scheme
-    /// (the uSystolic rate/temporal schemes), the bit-serial reference
-    /// everywhere else.
+    /// Use the fastest legal path from the dispatch table for each
+    /// scheme (closed-form for temporal coding, word-packed for the
+    /// other unary schemes), the bit-serial reference everywhere else.
     #[default]
     Auto,
     /// Always step the bit-serial reference machine.
     Serial,
-    /// Request the packed kernel; schemes the packing cannot express
-    /// (binary and the bipolar uGEMM-H, whose windows mix increment
-    /// signs) still fall back to the bit-serial reference.
+    /// Request the fast kernel; schemes whose table is serial-only (the
+    /// binary baselines) still fall back to the bit-serial reference —
+    /// visibly: the fallback records a `core.kernel.fallback` counter
+    /// and warns once on stderr.
     Packed,
 }
 
@@ -59,6 +62,12 @@ pub enum KernelMode {
 /// so a new scheme cannot silently claim a packing it cannot express.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelPath {
+    /// Closed-form window arithmetic: temporal streams are `magnitude`
+    /// ones then zeros, so the enable popcount is a `min` and the weight
+    /// prefix popcount a digit DP
+    /// ([`usystolic_unary::packed::vdc_prefix_count`]) — no drained
+    /// sequence, no comparator words, `O(bitwidth)` per window.
+    ClosedForm,
     /// Word-packed popcount kernel: 64 window cycles per `u64` word.
     Packed,
     /// Cycle-by-cycle bit-serial reference machine.
@@ -68,6 +77,7 @@ pub enum KernelPath {
 impl core::fmt::Display for KernelPath {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
+            KernelPath::ClosedForm => write!(f, "closed-form"),
             KernelPath::Packed => write!(f, "packed"),
             KernelPath::Serial => write!(f, "serial"),
         }
@@ -76,25 +86,63 @@ impl core::fmt::Display for KernelPath {
 
 /// Legal kernel paths for `scheme`, fastest first.
 ///
-/// Packing requires every increment of a window to carry one constant
-/// sign (`ISIGN ⊕ WSIGN`), which holds for the sign-magnitude uSystolic
-/// rate/temporal codings but not for binary arithmetic or the bipolar
-/// uGEMM-H windows. The serial reference machine is legal everywhere.
+/// The closed form additionally requires a *temporal* enable stream (a
+/// counter comparator — prefix counts collapse to `min`). Packing
+/// requires every window to reduce to prefix popcounts over restarting
+/// comparator streams: the sign-magnitude rate/temporal codings qualify
+/// directly (constant window sign `ISIGN ⊕ WSIGN`), and uGEMM-H's
+/// bipolar windows split into the two constant-advance RNG phases
+/// selected by the input bit ([`PackedHybridTileKernel`]). Binary
+/// arithmetic has multi-bit products, not ±1 increments — serial only.
+/// The serial reference machine is legal everywhere.
 #[must_use]
 pub fn kernel_paths(scheme: ComputingScheme) -> &'static [KernelPath] {
+    const CLOSED_FIRST: &[KernelPath] = &[
+        KernelPath::ClosedForm,
+        KernelPath::Packed,
+        KernelPath::Serial,
+    ];
     const PACKED_FIRST: &[KernelPath] = &[KernelPath::Packed, KernelPath::Serial];
     const SERIAL_ONLY: &[KernelPath] = &[KernelPath::Serial];
     match scheme {
-        ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal => PACKED_FIRST,
-        ComputingScheme::BinaryParallel
-        | ComputingScheme::BinarySerial
-        | ComputingScheme::UGemmHybrid => SERIAL_ONLY,
+        ComputingScheme::UnaryTemporal => CLOSED_FIRST,
+        ComputingScheme::UnaryRate | ComputingScheme::UGemmHybrid => PACKED_FIRST,
+        ComputingScheme::BinaryParallel | ComputingScheme::BinarySerial => SERIAL_ONLY,
+    }
+}
+
+/// Set once the first requested-but-denied fast path has been reported;
+/// later fallbacks only count the metric (a long sweep would otherwise
+/// spam stderr with one line per tile).
+static FALLBACK_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Records a requested-but-denied fast path: bumps the
+/// `core.kernel.fallback` counter (labelled with the scheme and reason)
+/// and warns on stderr the first time in the process.
+fn record_fallback(scheme: ComputingScheme, reason: &'static str) {
+    usystolic_obs::with(|o| {
+        o.metrics.count_labeled(
+            "core.kernel.fallback",
+            &[("scheme", scheme.label()), ("reason", reason)],
+            1,
+        );
+    });
+    if !FALLBACK_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: kernel: requested fast path falls back to the bit-serial reference \
+             for {scheme} ({reason}); counting further fallbacks silently \
+             (obs counter core.kernel.fallback)"
+        );
     }
 }
 
 impl KernelMode {
     /// The path this mode selects for `scheme`: the fastest legal path
     /// from the dispatch table, unless the mode forbids it.
+    ///
+    /// This is the *static* table lookup; [`resolve`](Self::resolve)
+    /// additionally applies per-configuration legality guards and is
+    /// what the executors consult.
     #[must_use]
     pub fn path(self, scheme: ComputingScheme) -> KernelPath {
         let legal = kernel_paths(scheme);
@@ -106,10 +154,42 @@ impl KernelMode {
         }
     }
 
-    /// Whether this mode evaluates `scheme` through the packed kernel.
+    /// The path this mode selects for `config`, after per-configuration
+    /// guards — the resolver the executors actually dispatch on.
+    ///
+    /// Two demotions apply, and both are *visible* (metric + one-shot
+    /// stderr warning) rather than silent:
+    ///
+    /// * [`KernelMode::Packed`] on a serial-only scheme (the binary
+    ///   baselines) runs the reference machine;
+    /// * uGEMM-H packing lumps each window's ±1 walk into one
+    ///   accumulator add, which is bit-exact (sticky saturation flag
+    ///   included) only when the OREG cannot clamp mid-window — capacity
+    ///   `2^(acc_width−1)−1 ≥ 2^bitwidth` window cycles, i.e.
+    ///   `acc_width ≥ bitwidth + 2`. Narrower OREGs step the reference
+    ///   machine so transient mid-window clamping is reproduced exactly.
+    #[must_use]
+    pub fn resolve(self, config: &SystolicConfig) -> KernelPath {
+        let scheme = config.scheme();
+        let requested = self.path(scheme);
+        if requested == KernelPath::Serial {
+            if self == KernelMode::Packed && kernel_paths(scheme)[0] == KernelPath::Serial {
+                record_fallback(scheme, "serial-only scheme");
+            }
+            return KernelPath::Serial;
+        }
+        if scheme == ComputingScheme::UGemmHybrid && config.acc_width() < config.bitwidth() + 2 {
+            record_fallback(scheme, "narrow accumulator");
+            return KernelPath::Serial;
+        }
+        requested
+    }
+
+    /// Whether this mode evaluates `scheme` off the bit-serial reference
+    /// machine (packed or closed-form kernel).
     #[must_use]
     pub fn packs(self, scheme: ComputingScheme) -> bool {
-        self.path(scheme) == KernelPath::Packed
+        self.path(scheme) != KernelPath::Serial
     }
 }
 
@@ -140,6 +220,12 @@ pub(crate) struct PackedTileKernel {
 impl PackedTileKernel {
     /// Packs one tile's stationary weights (`w_sm[r][c]`, rows of equal
     /// length) for windows of `mul_cycles` multiply cycles under `coding`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows of `w_sm` have unequal lengths: the tile is
+    /// flattened row-major, so a ragged tile would silently misindex
+    /// every PE after the short row.
     pub(crate) fn new(
         bitwidth: u32,
         coding: Coding,
@@ -150,8 +236,7 @@ impl PackedTileKernel {
         let seq_i = packed::sequence(&mut ifm_src, mul_cycles);
         let mut w_rng = SobolSource::dimension(0, bitwidth - 1);
         let seq_w = packed::sequence(&mut w_rng, mul_cycles);
-        let cols = w_sm.first().map_or(0, Vec::len);
-        let flat: Vec<SignMagnitude> = w_sm.iter().flatten().copied().collect();
+        let (flat, cols) = flatten_tile(w_sm);
         let w_packed = flat
             .iter()
             .map(|w| PackedCbsg::from_stream(packed::comparator_stream(&seq_w, w.magnitude)))
@@ -186,21 +271,228 @@ impl PackedTileKernel {
     }
 }
 
+/// Flattens a rows-of-columns tile row-major, validating that every row
+/// has the same length.
+///
+/// # Panics
+///
+/// Panics with a clear message on a ragged tile — flattened indexing
+/// (`r * cols + c`) would otherwise silently read the wrong PE's state.
+fn flatten_tile<T: Copy>(tile: &[Vec<T>]) -> (Vec<T>, usize) {
+    let cols = tile.first().map_or(0, Vec::len);
+    for (r, row) in tile.iter().enumerate() {
+        assert!(
+            row.len() == cols,
+            "ragged weight tile: row {r} has {} columns, row 0 has {cols}",
+            row.len()
+        );
+    }
+    (tile.iter().flatten().copied().collect(), cols)
+}
+
+/// Closed-form evaluation of temporal-coded MAC windows: `O(bitwidth)`
+/// arithmetic per window, no drained sequences, no comparator words.
+///
+/// Temporal coding makes both comparator streams analytic (the
+/// tuGEMM-style shortcut):
+///
+/// * the C-I enable stream comes from a wrapping counter, so its popcount
+///   over `mul_cycles` is [`packed::counter_prefix_count`] — effectively
+///   `min(mul_cycles, |I|)`;
+/// * the conditionally-advanced weight RNG is the base-2 Sobol sequence,
+///   whose prefix count below `|W|` is the digit DP
+///   [`packed::vdc_prefix_count`].
+///
+/// `tests::closed_form_matches_packed_tile_kernel` pins the equivalence
+/// against [`PackedTileKernel`] (itself pinned against the bit-serial
+/// machine) across word boundaries.
+pub(crate) struct ClosedFormTileKernel {
+    /// Comparator width of both sources (`bitwidth − 1`).
+    width: u32,
+    mul_cycles: u64,
+    w_sm: Vec<SignMagnitude>,
+    cols: usize,
+}
+
+impl ClosedFormTileKernel {
+    /// Prepares one tile's stationary weights (`w_sm[r][c]`, rows of
+    /// equal length) for temporal windows of `mul_cycles` multiply
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ragged tile (see [`PackedTileKernel::new`]) or if
+    /// `mul_cycles` exceeds the weight RNG period `2^(bitwidth−1)` (the
+    /// Sobol prefix count has no closed form past one period; temporal
+    /// windows are at most one period by construction).
+    pub(crate) fn new(bitwidth: u32, mul_cycles: u64, w_sm: &[Vec<SignMagnitude>]) -> Self {
+        let width = bitwidth - 1;
+        assert!(
+            mul_cycles <= 1u64 << width,
+            "temporal window of {mul_cycles} cycles exceeds the RNG period"
+        );
+        let (w_sm, cols) = flatten_tile(w_sm);
+        Self {
+            width,
+            mul_cycles,
+            w_sm,
+            cols,
+        }
+    }
+
+    /// The signed count PE `(r, c)` contributes for one MAC window on
+    /// `ifm` — identical to [`PackedTileKernel::window_count`], without
+    /// ever materialising a stream.
+    pub(crate) fn window_count(&self, r: usize, c: usize, ifm: SignMagnitude) -> i64 {
+        let n_en = packed::counter_prefix_count(self.width, self.mul_cycles, ifm.magnitude);
+        let idx = r * self.cols + c;
+        let w = self.w_sm[idx];
+        let ones = packed::vdc_prefix_count(self.width, n_en, w.magnitude);
+        ifm.product_increment(w) * ones as i64
+    }
+}
+
+/// The fastest exact window kernel for sign-magnitude (rate/temporal)
+/// tiles: temporal windows take the closed form, rate windows the packed
+/// comparator words. One dispatch per tile, not per window.
+pub(crate) enum UnaryTileKernel {
+    Closed(ClosedFormTileKernel),
+    Packed(PackedTileKernel),
+}
+
+impl UnaryTileKernel {
+    /// Prepares one tile's stationary weights under `coding` (see
+    /// [`ClosedFormTileKernel::new`] / [`PackedTileKernel::new`], whose
+    /// panics on ragged tiles this shares).
+    pub(crate) fn new(
+        bitwidth: u32,
+        coding: Coding,
+        mul_cycles: u64,
+        w_sm: &[Vec<SignMagnitude>],
+    ) -> Self {
+        match coding {
+            Coding::Temporal => Self::Closed(ClosedFormTileKernel::new(bitwidth, mul_cycles, w_sm)),
+            Coding::Rate => Self::Packed(PackedTileKernel::new(bitwidth, coding, mul_cycles, w_sm)),
+        }
+    }
+
+    /// The signed count PE `(r, c)` contributes for one MAC window on
+    /// `ifm` (both variants are pinned bit-exact against the bit-serial
+    /// machine).
+    pub(crate) fn window_count(&mut self, r: usize, c: usize, ifm: SignMagnitude) -> i64 {
+        match self {
+            Self::Closed(k) => k.window_count(r, c, ifm),
+            Self::Packed(k) => k.window_count(r, c, ifm),
+        }
+    }
+}
+
+/// Word-packed evaluation of uGEMM-H's bipolar MAC windows.
+///
+/// A bipolar window mixes +1/−1 increments, so it cannot lump into one
+/// signed popcount directly — but the mixing is *structured*: the input
+/// bit selects which of two RNGs advances (ones-phase vs zeros-phase,
+/// Fig. 4 of the uGEMM lineage), and each phase is a conditionally
+/// advanced comparator exactly like the C-BSG. Splitting the window into
+/// its two constant-sign enable masks therefore reduces it to two prefix
+/// popcounts over packed comparator streams:
+///
+/// ```text
+/// n1   = #{ t < len : seq_in[t] < T_in }          (input-high cycles)
+/// pos  = #{ j < n1 : seq_ones[j] < T_w }          (+1s while input high)
+///      + #{ j < len−n1 : seq_zeros[j] ≥ T_w }     (+1s while input low)
+/// sum  = 2·pos − len
+/// ```
+///
+/// The lump add into the OREG is bit-exact against the cycle-by-cycle
+/// ±1 walk whenever the accumulator cannot clamp mid-window
+/// (`acc_width ≥ bitwidth + 2`, enforced by [`KernelMode::resolve`]).
+pub(crate) struct PackedHybridTileKernel {
+    /// Window length `2^bitwidth` (bipolar streams carry one extra
+    /// resolution bit).
+    len: u64,
+    seq_in: Vec<u64>,
+    /// Per-PE `+1` popcount streams: ones-phase comparator `< T_w` and
+    /// zeros-phase comparator `≥ T_w`, both packed.
+    ones_lt: Vec<PackedCbsg>,
+    zeros_ge: Vec<PackedCbsg>,
+    cols: usize,
+    // BTreeMap, not HashMap: determinism lint (see PackedTileKernel).
+    in_cache: BTreeMap<u64, u64>,
+}
+
+impl PackedHybridTileKernel {
+    /// Packs one tile's stationary bipolar weight thresholds
+    /// (`w_thr[r][c] = clamp(W) + 2^(bitwidth−1)`, rows of equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ragged tile (see [`PackedTileKernel::new`]).
+    pub(crate) fn new(bitwidth: u32, w_thr: &[Vec<u64>]) -> Self {
+        let len = 1u64 << bitwidth;
+        let seq_in = packed::sequence(&mut SobolSource::dimension(1, bitwidth), len);
+        let seq_ones = packed::sequence(&mut SobolSource::dimension(0, bitwidth), len);
+        let seq_zeros = packed::sequence(&mut SobolSource::dimension(2, bitwidth), len);
+        let (flat, cols) = flatten_tile(w_thr);
+        let ones_lt = flat
+            .iter()
+            .map(|&thr| PackedCbsg::from_stream(packed::comparator_stream(&seq_ones, thr)))
+            .collect();
+        // The zeros-phase emits +1 on `rand >= T_w`; pack the complement
+        // comparator directly so it is a plain prefix popcount too.
+        let zeros_ge = flat
+            .iter()
+            .map(|&thr| {
+                let lt = packed::comparator_stream(&seq_zeros, thr);
+                PackedCbsg::from_stream(lt.not())
+            })
+            .collect();
+        Self {
+            len,
+            seq_in,
+            ones_lt,
+            zeros_ge,
+            cols,
+            in_cache: BTreeMap::new(),
+        }
+    }
+
+    /// Input-high cycle count of a window on `in_threshold` (cached: a
+    /// tile revisits the same input levels every fold).
+    fn input_high(&mut self, in_threshold: u64) -> u64 {
+        let seq_in = &self.seq_in;
+        *self
+            .in_cache
+            .entry(in_threshold)
+            .or_insert_with(|| seq_in.iter().filter(|&&v| v < in_threshold).count() as u64)
+    }
+
+    /// The signed sum PE `(r, c)`'s ±1 walk reaches over one MAC window
+    /// on an input of `in_threshold` — identical to the value the
+    /// bit-serial machine's OREG holds at the window's end.
+    pub(crate) fn window_sum(&mut self, r: usize, c: usize, in_threshold: u64) -> i64 {
+        let n1 = self.input_high(in_threshold);
+        let n0 = self.len - n1;
+        let idx = r * self.cols + c;
+        let pos = self.ones_lt[idx].ones_given(n1) + self.zeros_ge[idx].ones_given(n0);
+        2 * pos as i64 - self.len as i64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pe::UnaryRow;
+    use usystolic_unary::rng::NumberSource;
 
     #[test]
-    fn mode_packs_only_unary_schemes() {
+    fn mode_packs_all_unary_schemes() {
+        // Every unary scheme — rate, temporal AND uGEMM-H — now declares a
+        // non-serial fastest path; the binary baselines stay serial-only.
         for scheme in ComputingScheme::ALL {
-            let unary = matches!(
-                scheme,
-                ComputingScheme::UnaryRate | ComputingScheme::UnaryTemporal
-            );
             assert!(!KernelMode::Serial.packs(scheme));
-            assert_eq!(KernelMode::Auto.packs(scheme), unary);
-            assert_eq!(KernelMode::Packed.packs(scheme), unary);
+            assert_eq!(KernelMode::Auto.packs(scheme), scheme.is_unary());
+            assert_eq!(KernelMode::Packed.packs(scheme), scheme.is_unary());
         }
         assert_eq!(KernelMode::default(), KernelMode::Auto);
         assert_eq!(KernelMode::Packed.to_string(), "packed");
@@ -221,8 +513,161 @@ mod tests {
             );
             assert_eq!(KernelMode::Serial.path(scheme), KernelPath::Serial);
         }
+        // The acceptance pins of ISSUE 10: temporal leads with the closed
+        // form, uGEMM-H with the packed kernel.
+        assert_eq!(
+            kernel_paths(ComputingScheme::UnaryTemporal)[0],
+            KernelPath::ClosedForm
+        );
+        assert_eq!(
+            kernel_paths(ComputingScheme::UGemmHybrid)[0],
+            KernelPath::Packed
+        );
+        assert_eq!(KernelPath::ClosedForm.to_string(), "closed-form");
         assert_eq!(KernelPath::Packed.to_string(), "packed");
         assert_eq!(KernelPath::Serial.to_string(), "serial");
+    }
+
+    #[test]
+    fn resolve_applies_per_config_guards() {
+        let cfg = |scheme, acc| {
+            SystolicConfig::new(4, 4, scheme, 8)
+                .expect("valid test configuration")
+                .with_acc_width(acc)
+        };
+        // uGEMM-H packs at acc_width ≥ bitwidth + 2 and not below (the
+        // lump add could clamp mid-window there).
+        let ug = ComputingScheme::UGemmHybrid;
+        assert_eq!(KernelMode::Auto.resolve(&cfg(ug, 10)), KernelPath::Packed);
+        assert_eq!(KernelMode::Auto.resolve(&cfg(ug, 32)), KernelPath::Packed);
+        assert_eq!(KernelMode::Auto.resolve(&cfg(ug, 9)), KernelPath::Serial);
+        assert_eq!(KernelMode::Packed.resolve(&cfg(ug, 9)), KernelPath::Serial);
+        // Temporal resolves to the closed form regardless of OREG width
+        // (constant-sign windows clamp monotonically).
+        let ut = ComputingScheme::UnaryTemporal;
+        assert_eq!(
+            KernelMode::Auto.resolve(&cfg(ut, 9)),
+            KernelPath::ClosedForm
+        );
+        // A Packed request on a serial-only scheme is denied, not honoured.
+        let bp = ComputingScheme::BinaryParallel;
+        assert_eq!(KernelMode::Packed.resolve(&cfg(bp, 32)), KernelPath::Serial);
+        assert_eq!(KernelMode::Serial.resolve(&cfg(ug, 32)), KernelPath::Serial);
+    }
+
+    #[test]
+    fn fallbacks_are_counted_not_silent() {
+        let previous = usystolic_obs::install(usystolic_obs::Session::new());
+        let cfg = SystolicConfig::new(2, 2, ComputingScheme::BinarySerial, 8)
+            .expect("valid test configuration");
+        assert_eq!(KernelMode::Packed.resolve(&cfg), KernelPath::Serial);
+        let narrow = SystolicConfig::new(2, 2, ComputingScheme::UGemmHybrid, 8)
+            .expect("valid test configuration")
+            .with_acc_width(8);
+        assert_eq!(KernelMode::Auto.resolve(&narrow), KernelPath::Serial);
+        let session = usystolic_obs::take().expect("session installed above");
+        assert_eq!(
+            session.metrics.counter_labeled(
+                "core.kernel.fallback",
+                &[("scheme", "BS"), ("reason", "serial-only scheme")],
+            ),
+            1
+        );
+        assert_eq!(
+            session.metrics.counter_labeled(
+                "core.kernel.fallback",
+                &[("scheme", "UG"), ("reason", "narrow accumulator")],
+            ),
+            1
+        );
+        if let Some(prev) = previous {
+            usystolic_obs::install(prev);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged weight tile: row 1 has 2 columns, row 0 has 3")]
+    fn ragged_tiles_are_rejected_up_front() {
+        let sm = |v: i64| SignMagnitude::from_signed(v, 8);
+        let ragged = vec![vec![sm(1), sm(2), sm(3)], vec![sm(4), sm(5)]];
+        let _ = PackedTileKernel::new(8, Coding::Rate, 16, &ragged);
+    }
+
+    #[test]
+    fn closed_form_matches_packed_tile_kernel() {
+        // The closed form must agree with the packed kernel (itself pinned
+        // against the bit-serial machine) for every temporal window shape,
+        // including word-boundary multiply counts. bitwidth 7 puts the full
+        // window at 64 cycles, bitwidth 8 at 128.
+        let sm = |v: i64, bw: u32| SignMagnitude::from_signed(v, bw);
+        for bitwidth in [4u32, 7, 8] {
+            let period = 1u64 << (bitwidth - 1);
+            let half = period as i64;
+            let w_sm = vec![
+                vec![sm(half, bitwidth), sm(-3, bitwidth), sm(0, bitwidth)],
+                vec![
+                    sm(1 - half, bitwidth),
+                    sm(1, bitwidth),
+                    sm(half / 2, bitwidth),
+                ],
+            ];
+            for mul in [1u64, period - 1, period] {
+                let closed = ClosedFormTileKernel::new(bitwidth, mul, &w_sm);
+                let mut packed = PackedTileKernel::new(bitwidth, Coding::Temporal, mul, &w_sm);
+                for level in [0i64, 1, -1, half / 3, -half / 2, half, -half] {
+                    let ifm = sm(level, bitwidth);
+                    for r in 0..2 {
+                        for c in 0..3 {
+                            assert_eq!(
+                                closed.window_count(r, c, ifm),
+                                packed.window_count(r, c, ifm),
+                                "bitwidth {bitwidth} mul {mul} level {level} pe ({r},{c})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_kernel_matches_bipolar_bit_serial_walk() {
+        // Scalar reference: the exact RowGen::Bipolar ± walk of the
+        // cycle-accurate machine, reproduced inline.
+        fn serial_window_sum(bitwidth: u32, in_thr: u64, w_thr: u64) -> i64 {
+            let mut in_src = SobolSource::dimension(1, bitwidth);
+            let mut rng_ones = SobolSource::dimension(0, bitwidth);
+            let mut rng_zeros = SobolSource::dimension(2, bitwidth);
+            let mut sum = 0i64;
+            for _ in 0..(1u64 << bitwidth) {
+                let in_bit = in_src.next() < in_thr;
+                let r = if in_bit {
+                    rng_ones.next()
+                } else {
+                    rng_zeros.next()
+                };
+                let bit = if in_bit { r < w_thr } else { r >= w_thr };
+                sum += if bit { 1 } else { -1 };
+            }
+            sum
+        }
+
+        for bitwidth in [4u32, 6, 8] {
+            let len = 1u64 << bitwidth;
+            let w_thr = vec![vec![0u64, 1, len / 2], vec![len / 3, len - 1, len]];
+            let mut kernel = PackedHybridTileKernel::new(bitwidth, &w_thr);
+            for in_thr in [0u64, 1, len / 2 - 1, len / 2, len / 2 + 1, len - 1, len] {
+                for (r, row) in w_thr.iter().enumerate() {
+                    for (c, &thr) in row.iter().enumerate() {
+                        assert_eq!(
+                            kernel.window_sum(r, c, in_thr),
+                            serial_window_sum(bitwidth, in_thr, thr),
+                            "bitwidth {bitwidth} in_thr {in_thr} pe ({r},{c})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

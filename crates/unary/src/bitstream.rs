@@ -97,10 +97,7 @@ impl Bitstream {
     pub fn count_ones_first(&self, n: usize) -> u64 {
         let n = n.min(self.len);
         let full = n / 64;
-        let mut ones: u64 = self.words[..full]
-            .iter()
-            .map(|w| u64::from(w.count_ones()))
-            .sum();
+        let mut ones = popcount_words(&self.words[..full]);
         let tail = n % 64;
         if tail != 0 {
             ones += u64::from((self.words[full] & ((1u64 << tail) - 1)).count_ones());
@@ -164,7 +161,7 @@ impl Bitstream {
     /// Number of 1-bits in the stream.
     #[must_use]
     pub fn count_ones(&self) -> u64 {
-        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+        popcount_words(&self.words)
     }
 
     /// Unipolar value of the stream: `P(1)` (Section II-B1, `V_u = P`).
@@ -332,6 +329,26 @@ impl Bitstream {
             }
         }
     }
+}
+
+/// Multi-word popcount reduction: four independent accumulator chains per
+/// iteration, so wide streams (bitwidth ≥ 8 → ≥ 2 words, uGEMM-H → 4+)
+/// keep several `popcnt` units in flight instead of serialising every word
+/// behind one add — the multi-word layout ROADMAP's kernel item asks for.
+fn popcount_words(words: &[u64]) -> u64 {
+    let mut chunks = words.chunks_exact(4);
+    let (mut a, mut b, mut c, mut d) = (0u64, 0u64, 0u64, 0u64);
+    for quad in chunks.by_ref() {
+        a += u64::from(quad[0].count_ones());
+        b += u64::from(quad[1].count_ones());
+        c += u64::from(quad[2].count_ones());
+        d += u64::from(quad[3].count_ones());
+    }
+    let mut rest = 0u64;
+    for word in chunks.remainder() {
+        rest += u64::from(word.count_ones());
+    }
+    a + b + c + d + rest
 }
 
 impl FromIterator<bool> for Bitstream {
@@ -620,6 +637,23 @@ mod tests {
                 assert_eq!(bs.count_ones_first(n), expect, "len {len}, prefix {n}");
             }
             assert_eq!(bs.count_ones_first(bs.len()), bs.count_ones());
+        }
+    }
+
+    #[test]
+    fn multiword_popcount_at_chunk_boundaries() {
+        // The 4-words-per-chain reduction must agree with a scalar count at
+        // every remainder class of the chunk width (0..=3 leftover words)
+        // and across the chunk boundary itself.
+        for len in [0usize, 191, 192, 255, 256, 257, 320, 449, 512] {
+            let bits: Vec<bool> = (0..len).map(|i| (i * 11) % 5 < 2).collect();
+            let bs: Bitstream = bits.iter().copied().collect();
+            let expect = bits.iter().filter(|&&b| b).count() as u64;
+            assert_eq!(bs.count_ones(), expect, "len {len}");
+            for n in [0, 1, 63, 64, 65, 255, 256, 257, len] {
+                let prefix = bits.iter().take(n).filter(|&&b| b).count() as u64;
+                assert_eq!(bs.count_ones_first(n), prefix, "len {len}, prefix {n}");
+            }
         }
     }
 }

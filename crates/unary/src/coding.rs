@@ -201,10 +201,20 @@ pub fn encode_unipolar<S: NumberSource>(
 
 /// Decodes a unipolar bitstream back to an integer magnitude at the given
 /// bitwidth: `round(P(1) * 2^(bitwidth-1))`.
+///
+/// Pure integer nearest-rounding (half away from zero), so the result is
+/// exact even when `ones * scale` exceeds the 53-bit `f64` mantissa —
+/// `round(ones·scale / len)` computed as `(2·ones·scale + len) / (2·len)`
+/// in 128-bit arithmetic.
 #[must_use]
 pub fn decode_unipolar(stream: &Bitstream, bitwidth: u32) -> u64 {
-    let scale = stream_len(bitwidth) as f64;
-    (stream.unipolar_value() * scale).round() as u64
+    let len = stream.len() as u128;
+    if len == 0 {
+        return 0;
+    }
+    let scale = u128::from(stream_len(bitwidth));
+    let ones = u128::from(stream.count_ones());
+    ((2 * ones * scale + len) / (2 * len)) as u64
 }
 
 /// Encodes a signed `bitwidth`-bit level into a **bipolar** bitstream of
@@ -257,10 +267,20 @@ pub fn encode_bipolar<S: NumberSource>(
 
 /// Decodes a bipolar bitstream back to a signed level:
 /// `round((2·P(1) − 1) · 2^(bitwidth-1))`.
+///
+/// Pure integer nearest-rounding (half away from zero, matching
+/// `f64::round`), exact at any stream length — no float round-trip.
 #[must_use]
 pub fn decode_bipolar(stream: &Bitstream, bitwidth: u32) -> i64 {
-    let scale = stream_len(bitwidth) as f64;
-    (stream.bipolar_value() * scale).round() as i64
+    let scale = i128::from(stream_len(bitwidth));
+    let len = stream.len() as i128;
+    if len == 0 {
+        // An empty stream has bipolar value −1 by convention.
+        return (-scale) as i64;
+    }
+    let num = (2 * i128::from(stream.count_ones()) - len) * scale;
+    let half = if num >= 0 { len } else { -len };
+    ((2 * num + half) / (2 * len)) as i64
 }
 
 impl usystolic_obs::ToJson for Polarity {
@@ -389,6 +409,68 @@ mod tests {
         let uni = encode_unipolar(64, 8, SobolSource::dimension(0, 7)).unwrap();
         let bi = encode_bipolar(64, 8, SobolSource::dimension(0, 8)).unwrap();
         assert_eq!(bi.len(), 2 * uni.len());
+    }
+
+    /// A `len`-bit stream whose first `ones` bits are set — the shape of a
+    /// temporal stream, built directly so wide-bitwidth tests skip the
+    /// multi-million-cycle encoder loop.
+    fn stream_with_ones(ones: usize, len: usize) -> Bitstream {
+        assert!(ones <= len);
+        let mut words = vec![u64::MAX; ones.div_ceil(64)];
+        if !ones.is_multiple_of(64) {
+            *words.last_mut().unwrap() &= (1u64 << (ones % 64)) - 1;
+        }
+        Bitstream::from_words(words, len)
+    }
+
+    #[test]
+    fn integer_decode_round_trips_at_max_bitwidth() {
+        // Pin the integer nearest-rounding rewrite at the widest supported
+        // streams: stream_len(24) = 2^23, where ones·scale reaches 2^46 and
+        // any intermediate truncation would show. Unipolar round-trip…
+        let len = stream_len(crate::MAX_BITWIDTH) as usize;
+        for mag in [0usize, 1, 2, len / 3, len / 2, len - 1, len] {
+            let bs = stream_with_ones(mag, len);
+            assert_eq!(
+                decode_unipolar(&bs, crate::MAX_BITWIDTH),
+                mag as u64,
+                "unipolar magnitude {mag}"
+            );
+        }
+        // …and bipolar at the doubled stream length 2^24, where the decoded
+        // level is exactly `ones − len`.
+        let blen = 2 * len;
+        for level in [-(len as i64), -1, 0, 1, 7, len as i64] {
+            let ones = (level + len as i64) as usize;
+            let bs = stream_with_ones(ones, blen);
+            assert_eq!(
+                decode_bipolar(&bs, crate::MAX_BITWIDTH),
+                level,
+                "bipolar level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_decode_rounds_half_away_from_zero() {
+        // Exact-half cases: an 8·scale-long stream makes the decoded value
+        // move in steps of 1/4 per set bit — `(ones − 512) / 4` — so ±x.5
+        // and ±x.25 are all reachable and must round away from zero,
+        // matching the old `f64::round` behaviour bit for bit.
+        let scale = stream_len(8); // 128
+        let len = 8 * scale as usize; // value = (ones − 512) / 4
+        for (ones, expect) in [(514usize, 1i64), (513, 0), (511, 0), (510, -1), (506, -2)] {
+            let bs = stream_with_ones(ones, len);
+            assert_eq!(decode_bipolar(&bs, 8), expect, "ones {ones}");
+        }
+        // Unipolar halves round up: 2.5 → 3 at quarter-steps.
+        let bs = stream_with_ones(10, 512);
+        assert_eq!(decode_unipolar(&bs, 8), 3); // 10·128/512 = 2.5
+        let bs = stream_with_ones(0, 512);
+        assert_eq!(decode_unipolar(&bs, 8), 0);
+        // Empty streams keep their conventional values.
+        assert_eq!(decode_unipolar(&Bitstream::new(), 8), 0);
+        assert_eq!(decode_bipolar(&Bitstream::new(), 8), -128);
     }
 
     #[test]

@@ -25,6 +25,80 @@
 use crate::bitstream::Bitstream;
 use crate::rng::NumberSource;
 
+/// Closed-form prefix count of the base-2 Sobol sequence (dimension 0):
+/// the number of indices `i < prefix` whose output
+/// `seq[i] = bitrev(gray(i))` is below `threshold`, in `O(width)` — no
+/// drained sequence, no comparator stream.
+///
+/// This is the tuGEMM-style shortcut for temporal-coded MAC windows: the
+/// weight C-BSG of every uSystolic PE is driven by
+/// [`crate::rng::SobolSource::dimension`]`(0, w)`, whose output at index
+/// `i` is the bit-reversal of the Gray code of `i`. Fixing the top bits
+/// of `i` fixes the *low* bits of the output, and the free low bits of
+/// `i` sweep the output's high bits bijectively — so the count below a
+/// threshold decomposes over the set bits of `prefix` into one interval
+/// count each (a digit DP with no table).
+///
+/// Agrees exactly with counting a drained sequence
+/// (`tests::vdc_prefix_count_matches_sobol_dimension_zero`).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or ≥ 64, or if `prefix` exceeds the period
+/// `2^width` (the Gray-code generator is not periodic past one period,
+/// so a longer prefix has no closed form).
+#[must_use]
+pub fn vdc_prefix_count(width: u32, prefix: u64, threshold: u64) -> u64 {
+    assert!(width > 0 && width < 64, "unsupported Sobol width {width}");
+    let period = 1u64 << width;
+    assert!(
+        prefix <= period,
+        "prefix {prefix} exceeds the Sobol period {period}"
+    );
+    let threshold = threshold.min(period);
+    if threshold == 0 {
+        return 0;
+    }
+    if prefix == period {
+        // Full period: the sequence is a permutation of 0..2^width.
+        return threshold;
+    }
+    // Gray bit b of the prefix lands at output bit `width - 1 - b`; the
+    // classes below `prefix` differ from it only in one flipped bit.
+    let gray = prefix ^ (prefix >> 1);
+    let mut fixed_low = 0u64;
+    let mut count = 0u64;
+    for b in (0..width).rev() {
+        let pos = width - 1 - b;
+        let gbit = (gray >> b) & 1;
+        if (prefix >> b) & 1 == 1 {
+            // Class `i_b = 0` (indices below `prefix` sharing the higher
+            // bits): its Gray bit b is flipped relative to `gray`, its
+            // low `pos + 1` output bits are fixed, and its `b` free index
+            // bits sweep the output's high bits over `0..2^b` — count
+            // the outputs `high · 2^(pos+1) + class_low < threshold`.
+            let class_low = fixed_low | ((gbit ^ 1) << pos);
+            if threshold > class_low {
+                count += ((threshold - class_low - 1) >> (pos + 1)) + 1;
+            }
+        }
+        fixed_low |= gbit << pos;
+    }
+    count
+}
+
+/// Closed-form prefix count of a wrapping counter source: the number of
+/// cycles `t < cycles` with `t mod 2^width < threshold` — the enable-bit
+/// popcount of a **temporal-coded** MAC window, with no drained sequence
+/// (temporal streams are `threshold` ones then zeros, per period).
+#[must_use]
+pub fn counter_prefix_count(width: u32, cycles: u64, threshold: u64) -> u64 {
+    assert!(width > 0 && width < 64, "unsupported counter width {width}");
+    let period = 1u64 << width;
+    let threshold = threshold.min(period);
+    (cycles >> width) * threshold + (cycles & (period - 1)).min(threshold)
+}
+
 /// Drains `len` outputs from a number source into a plain vector, exactly
 /// as `len` bit-serial [`NumberSource::next`] calls would (the source is
 /// left in the same state).
@@ -132,6 +206,63 @@ mod tests {
     use super::*;
     use crate::bsg::{Bsg, ConditionalBsg};
     use crate::rng::{CounterSource, LfsrSource, SobolSource};
+
+    #[test]
+    fn vdc_prefix_count_matches_sobol_dimension_zero() {
+        // Brute-force pin against the real weight-RNG sequence: for every
+        // prefix 0..=period (covering the word boundaries 0/63/64/65/128)
+        // and a spread of thresholds, the closed form must equal a drained
+        // sequence count.
+        for width in [1u32, 2, 3, 5, 7, 8] {
+            let period = 1u64 << width;
+            let seq = sequence(&mut SobolSource::dimension(0, width), period);
+            for threshold in [0, 1, period / 3, period / 2, period - 1, period, period + 5] {
+                let mut running = 0u64;
+                for prefix in 0..=period {
+                    assert_eq!(
+                        vdc_prefix_count(width, prefix, threshold),
+                        running,
+                        "width {width}, prefix {prefix}, threshold {threshold}"
+                    );
+                    if prefix < period && seq[prefix as usize] < threshold {
+                        running += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the Sobol period")]
+    fn vdc_prefix_count_rejects_prefixes_past_the_period() {
+        // The Sobol recurrence wraps its direction index, so the second
+        // period is NOT a repeat of the first — a longer prefix has no
+        // closed form and must be refused, not silently extrapolated.
+        let _ = vdc_prefix_count(4, 17, 3);
+    }
+
+    #[test]
+    fn counter_prefix_count_matches_counter_source() {
+        // Counter sources ARE periodic, so prefixes past the period (the
+        // multi-period enable streams of folded windows) are exact too.
+        for width in [1u32, 3, 6] {
+            let period = 1u64 << width;
+            let seq = sequence(&mut CounterSource::new(width), 3 * period);
+            for threshold in [0, 1, period / 2, period - 1, period, period + 9] {
+                let mut running = 0u64;
+                for cycles in 0..=3 * period {
+                    assert_eq!(
+                        counter_prefix_count(width, cycles, threshold),
+                        running,
+                        "width {width}, cycles {cycles}, threshold {threshold}"
+                    );
+                    if cycles < 3 * period && seq[cycles as usize] < threshold {
+                        running += 1;
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn sequence_matches_serial_next_and_leaves_same_state() {

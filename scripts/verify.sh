@@ -99,12 +99,15 @@ grep -q '"traceEvents"' "$trace"
 grep -q '"sim.dram_bytes"' "$metrics"
 rm -f "$trace" "$metrics"
 
-echo "==> kernel bench smoke test (packed vs serial bit-exactness)"
+echo "==> kernel bench smoke test (fast paths vs serial bit-exactness)"
 bench_json=$(mktemp /tmp/usystolic_kernel.XXXXXX.json)
 ./target/release/exp_kernel --short --out "$bench_json" > /dev/null
 grep -q '"checksums_match":true' "$bench_json"
 grep -q '"bit_exact":true' "$bench_json"
 grep -q '"workers_consistent":true' "$bench_json"
+grep -q '"temporal_bit_exact":true' "$bench_json"
+grep -q '"hybrid_bit_exact":true' "$bench_json"
+grep -q '"multiword_speedup"' "$bench_json"
 rm -f "$bench_json"
 
 echo "==> obs_cli perf-regression gate"
@@ -112,7 +115,9 @@ obs=./target/release/obs_cli
 # Self-diff of the committed baseline is regression-free by definition.
 "$obs" diff BENCH_kernel.json BENCH_kernel.json \
     --gate speedup --threshold 20 > /dev/null
-# A fresh kernel bench must hold the baseline speedup within 20%.
+# A fresh kernel bench must hold every baseline speedup within 20% —
+# the substring gate covers speedup, temporal_speedup, hybrid_speedup
+# and multiword_speedup alike.
 # Full mode (~40 ms), matching how the committed baseline was produced:
 # --short measures a smaller case whose ratio is not comparable.
 kernel_now=$(mktemp /tmp/usystolic_kernel_now.XXXXXX.json)
